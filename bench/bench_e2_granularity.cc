@@ -1,0 +1,131 @@
+// E2 — Section 4.3: granularity of IRS documents.
+//
+// The paper enumerates choices for what becomes an IRS document: the
+// whole SGML document, all elements of a given type, each leaf, fixed-
+// size segments [Cal94], or generated abstracts. Our coupling expresses
+// every one of them as (specification query, text mode). This bench
+// regenerates the comparison: index size, indexing time, and whether
+// paragraph-level content queries are answerable without derivation.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+namespace sdms::bench {
+namespace {
+
+struct StrategyResult {
+  std::string name;
+  size_t irs_docs = 0;
+  size_t index_bytes = 0;
+  double index_ms = 0;
+  const char* para_queries;  // how paragraph-level questions are answered
+  const char* doc_queries;   // how document-level questions are answered
+};
+
+/// Splits the text of each document into ~`words` word segments stored
+/// as SEGMENT objects (not part of the element tree), reproducing the
+/// equal-length-passage alternative of [Cal94]/[HeP93].
+void MakeSegments(System& sys, size_t words) {
+  auto& db = *sys.db;
+  if (!db.schema().HasClass("SEGMENT")) {
+    oodb::ClassDef seg;
+    seg.name = "SEGMENT";
+    seg.super = "IRSObject";
+    Status s = db.schema().DefineClass(std::move(seg));
+    if (!s.ok()) std::abort();
+  }
+  for (Oid root : sys.roots) {
+    auto text = sys.coupling->SubtreeText(root);
+    if (!text.ok()) std::abort();
+    std::vector<std::string> tokens = SplitWhitespace(*text);
+    for (size_t start = 0; start < tokens.size(); start += words) {
+      std::string chunk;
+      for (size_t i = start; i < tokens.size() && i < start + words; ++i) {
+        if (!chunk.empty()) chunk += " ";
+        chunk += tokens[i];
+      }
+      auto seg = db.CreateObject("SEGMENT");
+      if (!seg.ok()) std::abort();
+      (void)db.SetAttribute(*seg, "TEXT", oodb::Value(chunk));
+      (void)db.SetAttribute(*seg, "PARENT", oodb::Value(root));
+    }
+  }
+}
+
+void Run() {
+  std::printf("E2 (Section 4.3): IRS document granularity\n\n");
+  for (size_t num_docs : {100, 300}) {
+    sgml::CorpusOptions copts;
+    copts.num_docs = num_docs;
+    copts.seed = 11;
+    auto sys = MakeSystem(copts);
+    MakeSegments(*sys, 30);
+
+    struct Spec {
+      const char* name;
+      const char* spec_query;
+      int mode;
+      const char* para_answer;
+      const char* doc_answer;
+    };
+    const Spec specs[] = {
+        {"whole document", "ACCESS d FROM d IN MMFDOC",
+         coupling::kTextModeSubtree, "not answerable directly",
+         "direct"},
+        {"element type (SECTION)", "ACCESS s FROM s IN SECTION",
+         coupling::kTextModeSubtree, "derive from section",
+         "derive (combine sections)"},
+        {"leaf (PARA)", "ACCESS p FROM p IN PARA",
+         coupling::kTextModeSubtree, "direct",
+         "derive (combine paragraphs)"},
+        {"30-word segments [Cal94]", "ACCESS s FROM s IN SEGMENT",
+         coupling::kTextModeDirect, "approximate (segments)",
+         "derive (combine segments)"},
+        {"generated abstract (titles)", "ACCESS d FROM d IN MMFDOC",
+         coupling::kTextModeTitles, "not answerable directly",
+         "direct (abstract only)"},
+        {"redundant: PARA + MMFDOC",
+         "ACCESS o FROM o IN IRSObject "
+         "WHERE o -> className() == 'PARA' OR o -> className() == 'MMFDOC'",
+         coupling::kTextModeSubtree, "direct", "direct (redundant text)"},
+    };
+
+    Table table({"granularity", "IRS docs", "index KB", "index ms",
+                 "para-level queries", "doc-level queries"});
+    int n = 0;
+    for (const Spec& spec : specs) {
+      std::string name = "g" + std::to_string(n++);
+      Timer timer;
+      auto* coll = MakeIndexedCollection(*sys, name, spec.spec_query,
+                                         spec.mode);
+      double ms = timer.ElapsedMillis();
+      auto irs_coll = sys->irs_engine->GetCollection(name);
+      if (!irs_coll.ok()) std::abort();
+      table.AddRow({spec.name, FmtInt((*irs_coll)->index().doc_count()),
+                    Fmt("%.1f", static_cast<double>(
+                                    (*irs_coll)->index().ApproximateSizeBytes()) /
+                                    1024.0),
+                    Fmt("%.1f", ms), spec.para_answer, spec.doc_answer});
+      (void)coll;
+    }
+    std::printf("corpus: %zu documents, %zu paragraphs\n",
+                sys->corpus.documents.size(), sys->corpus.TotalParagraphs());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: finer granularity multiplies IRS documents but\n"
+      "keeps total index size of the same order (same tokens, more doc\n"
+      "entries); the redundant variant indexes the text twice; abstracts\n"
+      "are tiny but answer only coarse questions. Flexibility claim: all\n"
+      "six rows were produced by the same COLLECTION interface, varying\n"
+      "only (specification query, text mode).\n");
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  return 0;
+}

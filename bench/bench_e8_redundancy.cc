@@ -1,0 +1,98 @@
+// E8 — Section 4.3.1 (and the [SAZ94] ~30% figure): storage redundancy
+// of multi-level indexing vs derivation-based single-level indexing.
+//
+// If both coarse and fine granules must be queryable, the naive answer
+// indexes the text at several levels, storing it redundantly. [SAZ94]
+// reduce the overhead of multiple indexes over the same data to about
+// 30% by compression; the paper's own answer is to index one level and
+// *derive* the other levels' values. We measure the index sizes of the
+// variants on the same corpus.
+
+#include "bench_util.h"
+
+namespace sdms::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "E8 (Section 4.3.1): redundant multi-level indexing vs derivation\n\n");
+  sgml::CorpusOptions copts;
+  copts.num_docs = 250;
+  copts.seed = 29;
+  auto sys = MakeSystem(copts);
+
+  struct Variant {
+    const char* name;
+    const char* spec;
+    int mode;
+    const char* para_q;
+    const char* doc_q;
+  };
+  const Variant variants[] = {
+      {"leaf only (PARA) + derivation", "ACCESS p FROM p IN PARA",
+       coupling::kTextModeSubtree, "direct", "derive"},
+      {"document only (MMFDOC)", "ACCESS d FROM d IN MMFDOC",
+       coupling::kTextModeSubtree, "-", "direct"},
+      {"PARA + MMFDOC (redundant x2)",
+       "ACCESS o FROM o IN IRSObject WHERE o -> className() == 'PARA' OR "
+       "o -> className() == 'MMFDOC'",
+       coupling::kTextModeSubtree, "direct", "direct"},
+      {"all levels (PARA+SECTION+MMFDOC, x3)",
+       "ACCESS o FROM o IN IRSObject WHERE o -> className() == 'PARA' OR "
+       "o -> className() == 'SECTION' OR o -> className() == 'MMFDOC'",
+       coupling::kTextModeSubtree, "direct", "direct"},
+      {"PARA + doc abstracts (titles)", "", 0, "direct",
+       "direct (abstract)"},
+  };
+
+  size_t baseline_bytes = 0;
+  Table table({"variant", "IRS docs", "index KB", "overhead vs leaf",
+               "para queries", "doc queries"});
+  int n = 0;
+  for (const Variant& variant : variants) {
+    std::string name = "v" + std::to_string(n++);
+    coupling::Collection* coll = nullptr;
+    if (std::string(variant.name).find("abstracts") != std::string::npos) {
+      // Composite: paragraphs with full text plus documents indexed by
+      // their generated title abstracts — two spec-query invocations on
+      // the same collection (the interface composes freely).
+      coll = MakeIndexedCollection(*sys, name, "ACCESS p FROM p IN PARA",
+                                   coupling::kTextModeSubtree);
+      Status s = coll->IndexObjects("ACCESS d FROM d IN MMFDOC",
+                                    coupling::kTextModeTitles);
+      if (!s.ok()) std::abort();
+    } else {
+      coll = MakeIndexedCollection(*sys, name, variant.spec, variant.mode);
+    }
+    auto irs_coll = sys->irs_engine->GetCollection(name);
+    if (!irs_coll.ok()) std::abort();
+    size_t bytes = (*irs_coll)->index().ApproximateSizeBytes();
+    if (n == 1) baseline_bytes = bytes;
+    double overhead =
+        (static_cast<double>(bytes) / static_cast<double>(baseline_bytes) -
+         1.0) *
+        100.0;
+    table.AddRow({variant.name, FmtInt((*irs_coll)->index().doc_count()),
+                  Fmt("%.1f", static_cast<double>(bytes) / 1024.0),
+                  n == 1 ? "baseline" : Fmt("%+.1f%%", overhead),
+                  variant.para_q, variant.doc_q});
+    (void)coll;
+  }
+  std::printf("corpus: %zu documents, %zu paragraphs\n",
+              sys->corpus.documents.size(), sys->corpus.TotalParagraphs());
+  table.Print();
+  std::printf(
+      "\nExpected shape: indexing both levels roughly doubles (x2) or\n"
+      "triples (x3) the index, far above the ~30%% overhead [SAZ94]\n"
+      "achieve with compression; leaf-only + deriveIRSValue stores the\n"
+      "text once, and the abstract variant adds only a few percent.\n"
+      "(E3 quantifies the retrieval quality the derivation retains.)\n");
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  return 0;
+}

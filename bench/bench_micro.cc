@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// substrates: B-tree operations, inverted-index build/search, the
+// analyzer pipeline, VQL parsing, and the buffered getIRSValue path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "irs/analysis/analyzer.h"
+#include "irs/collection.h"
+#include "oodb/index/btree.h"
+#include "oodb/query/parser.h"
+
+namespace sdms::bench {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    oodb::BTreeIndex index;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      index.Insert(oodb::Value(static_cast<int64_t>(rng.Uniform(100000))),
+                   Oid(static_cast<uint64_t>(i) + 1));
+    }
+    benchmark::DoNotOptimize(index.entry_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  oodb::BTreeIndex index;
+  Rng rng(7);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    index.Insert(oodb::Value(i), Oid(static_cast<uint64_t>(i) + 1));
+  }
+  for (auto _ : state) {
+    auto hits =
+        index.Lookup(oodb::Value(static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(state.range(0))))));
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_AnalyzerPipeline(benchmark::State& state) {
+  irs::Analyzer analyzer;
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "retrieval systems are indexing structured documents quickly ";
+  }
+  for (auto _ : state) {
+    auto tokens = analyzer.Analyze(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_AnalyzerPipeline);
+
+void BM_IndexAndSearch(benchmark::State& state) {
+  sgml::CorpusOptions copts;
+  copts.num_docs = 50;
+  sgml::Corpus corpus = sgml::CorpusGenerator(copts).Generate();
+  std::vector<std::string> texts;
+  for (const auto& doc : corpus.documents) {
+    texts.push_back(doc.root->SubtreeText());
+  }
+  for (auto _ : state) {
+    auto model = irs::MakeInferenceNetModel();
+    irs::IrsCollection coll("bench", {}, std::move(model));
+    for (size_t i = 0; i < texts.size(); ++i) {
+      (void)coll.AddDocument("oid:" + std::to_string(i + 1), texts[i]);
+    }
+    auto hits = coll.Search("#and(www nii)");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_IndexAndSearch);
+
+void BM_VqlParse(benchmark::State& state) {
+  const std::string query =
+      "ACCESS d -> getAttributeValue('TITLE') "
+      "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+      "WHERE d -> getAttributeValue('YEAR') == 1994 AND "
+      "p1 -> getNext() == p2 AND p1 -> getContaining('MMFDOC') == d AND "
+      "p1 -> getIRSValue('collPara', 'WWW') > 0.4 AND "
+      "p2 -> getIRSValue('collPara', 'NII') > 0.4";
+  for (auto _ : state) {
+    auto parsed = oodb::vql::ParseQuery(query);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_VqlParse);
+
+void BM_GetIrsValueBuffered(benchmark::State& state) {
+  sgml::CorpusOptions copts;
+  copts.num_docs = 80;
+  auto sys = MakeSystem(copts);
+  auto* coll = MakeIndexedCollection(*sys, "paras",
+                                     "ACCESS p FROM p IN PARA",
+                                     coupling::kTextModeSubtree);
+  std::vector<Oid> paras = sys->db->Extent("PARA");
+  (void)coll->GetIrsResult("www");  // warm
+  Rng rng(3);
+  for (auto _ : state) {
+    auto v = coll->FindIrsValue("www", paras[rng.Uniform(paras.size())]);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_GetIrsValueBuffered);
+
+// Optimizer ablation: the same selective query with the optimizer
+// fully on (index + pushdown + reorder) vs fully off.
+void BM_OptimizerAblation(benchmark::State& state) {
+  const bool optimized = state.range(0) != 0;
+  sgml::CorpusOptions copts;
+  copts.num_docs = 200;
+  auto sys = MakeSystem(copts);
+  if (!sys->db->CreateIndex("MMFDOC", "YEAR").ok()) std::abort();
+  auto& engine = sys->coupling->query_engine();
+  engine.options().use_indexes = optimized;
+  engine.options().pushdown_filters = optimized;
+  engine.options().reorder_bindings = optimized;
+  const std::string query =
+      "ACCESS p FROM p IN PARA, d IN MMFDOC "
+      "WHERE d.YEAR == 1994 AND p -> getContaining('MMFDOC') == d";
+  for (auto _ : state) {
+    auto result = engine.Run(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimizerAblation)->Arg(0)->Arg(1);
+
+void BM_MixedQueryEndToEnd(benchmark::State& state) {
+  sgml::CorpusOptions copts;
+  copts.num_docs = 80;
+  auto sys = MakeSystem(copts);
+  (void)MakeIndexedCollection(*sys, "paras", "ACCESS p FROM p IN PARA",
+                              coupling::kTextModeSubtree);
+  const std::string query =
+      "ACCESS p FROM p IN PARA "
+      "WHERE p -> getIRSValue('paras', 'www') > 0.45";
+  for (auto _ : state) {
+    auto result = sys->coupling->query_engine().Run(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MixedQueryEndToEnd);
+
+}  // namespace
+}  // namespace sdms::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+#ifndef SDMS_BENCH_BENCH_UTIL_H_
+#define SDMS_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the experiment harnesses (E1..E10): coupled
+// system construction, corpus loading, and fixed-width table printing.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "coupling/coupling.h"
+#include "irs/engine.h"
+#include "oodb/database.h"
+#include "sgml/corpus/generator.h"
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::bench {
+
+/// A fully wired system plus the generated corpus it holds.
+struct System {
+  std::unique_ptr<oodb::Database> db;
+  std::unique_ptr<irs::IrsEngine> irs_engine;
+  std::unique_ptr<coupling::Coupling> coupling;
+  sgml::Corpus corpus;
+  std::vector<Oid> roots;  // MMFDOC roots in corpus order
+};
+
+/// Builds a system over a generated corpus. Dies on failure (bench
+/// setup errors are programming errors).
+inline std::unique_ptr<System> MakeSystem(
+    const sgml::CorpusOptions& corpus_options,
+    coupling::CouplingOptions coupling_options = {}) {
+  auto sys = std::make_unique<System>();
+  auto db = oodb::Database::Open({});
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open failed\n");
+    std::abort();
+  }
+  sys->db = std::move(*db);
+  sys->irs_engine = std::make_unique<irs::IrsEngine>();
+  sys->coupling = std::make_unique<coupling::Coupling>(
+      sys->db.get(), sys->irs_engine.get(), coupling_options);
+  auto check = [](const Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  };
+  check(sys->coupling->Initialize());
+  auto dtd = sgml::LoadMmfDtd();
+  check(dtd.status());
+  check(sys->coupling->RegisterDtdClasses(*dtd));
+  sys->corpus = sgml::CorpusGenerator(corpus_options).Generate();
+  for (const sgml::Document& doc : sys->corpus.documents) {
+    auto root = sys->coupling->StoreDocument(doc);
+    check(root.status());
+    sys->roots.push_back(*root);
+  }
+  return sys;
+}
+
+/// Creates and indexes a collection; dies on failure.
+inline coupling::Collection* MakeIndexedCollection(
+    System& sys, const std::string& name, const std::string& spec_query,
+    int text_mode, const std::string& model = "inquery") {
+  auto coll = sys.coupling->CreateCollection(name, model);
+  if (!coll.ok()) {
+    std::fprintf(stderr, "collection failed: %s\n",
+                 coll.status().ToString().c_str());
+    std::abort();
+  }
+  Status s = (*coll)->IndexObjects(spec_query, text_mode);
+  if (!s.ok()) {
+    std::fprintf(stderr, "indexObjects failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return *coll;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        std::string cell = i < row.size() ? row[i] : "";
+        std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace sdms::bench
+
+#endif  // SDMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,236 @@
+// An interactive shell over the coupled system: load SGML documents,
+// create and index collections, and run VQL / IRS queries from a
+// prompt. Reads commands from stdin (scripts work via redirection);
+// `.help` lists the commands. Started with --demo it preloads the
+// Figure 4 corpus and a paragraph collection.
+//
+//   $ ./sdms_shell --demo
+//   sdms> ACCESS p, p -> length() FROM p IN PARA
+//         WHERE p -> getIRSValue('paras', 'www') > 0.5
+//   sdms> .irs paras #and(www nii)
+//   sdms> .explain ACCESS d FROM d IN MMFDOC WHERE d.YEAR >= 1994
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "coupling/coupling.h"
+#include "coupling/hypertext.h"
+#include "coupling/media.h"
+#include "irs/engine.h"
+#include "oodb/database.h"
+#include "sgml/corpus/generator.h"
+#include "sgml/mmf_dtd.h"
+
+using namespace sdms;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <VQL query>                        run a database query\n"
+      "  .load <file.sgml>                  parse + store an SGML file\n"
+      "  .demo                              load the Figure 4 corpus\n"
+      "  .gen <n> [seed]                    generate+store n documents\n"
+      "  .collection <name> [model]         create a collection\n"
+      "  .index <name> <mode> <spec query>  indexObjects on a collection\n"
+      "  .irs <name> <IRS query>            raw getIRSResult (top 10)\n"
+      "  .value <name> <oid> <IRS query>    findIRSValue for one object\n"
+      "  .scheme <name> <scheme>            set derivation scheme\n"
+      "  .explain <VQL query>               show the evaluation plan\n"
+      "  .stats                             coupling counters\n"
+      "  .classes                           schema classes\n"
+      "  .help / .quit\n");
+}
+
+struct Shell {
+  std::unique_ptr<oodb::Database> db;
+  irs::IrsEngine irs_engine;
+  std::unique_ptr<coupling::Coupling> coupling;
+
+  Status Init() {
+    SDMS_ASSIGN_OR_RETURN(db, oodb::Database::Open({}));
+    coupling = std::make_unique<coupling::Coupling>(db.get(), &irs_engine);
+    SDMS_RETURN_IF_ERROR(coupling->Initialize());
+    SDMS_ASSIGN_OR_RETURN(sgml::Dtd dtd, sgml::LoadMmfDtd());
+    SDMS_RETURN_IF_ERROR(coupling->RegisterDtdClasses(dtd));
+    SDMS_RETURN_IF_ERROR(coupling::RegisterHypertext(*coupling));
+    SDMS_RETURN_IF_ERROR(coupling::RegisterMediaTextMode(*coupling));
+    return Status::OK();
+  }
+
+  Status LoadDemo() {
+    sgml::Corpus corpus = sgml::MakeFigure4Corpus();
+    for (const auto& doc : corpus.documents) {
+      SDMS_RETURN_IF_ERROR(coupling->StoreDocument(doc).status());
+    }
+    SDMS_ASSIGN_OR_RETURN(coupling::Collection * coll,
+                          coupling->CreateCollection("paras", "inquery"));
+    SDMS_RETURN_IF_ERROR(coll->IndexObjects("ACCESS p FROM p IN PARA",
+                                            coupling::kTextModeSubtree));
+    std::printf("demo: Figure 4 corpus loaded; collection 'paras' over "
+                "%zu paragraphs\n",
+                coll->represented_count());
+    return Status::OK();
+  }
+
+  Status Dispatch(const std::string& line);
+};
+
+Status Shell::Dispatch(const std::string& line) {
+  if (line.empty()) return Status::OK();
+  if (line[0] != '.') {
+    // A VQL query.
+    SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
+                          coupling->query_engine().Run(line));
+    std::printf("%s(%zu rows)\n", result.ToTable(25).c_str(),
+                result.rows.size());
+    return Status::OK();
+  }
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == ".help") {
+    PrintHelp();
+  } else if (cmd == ".demo") {
+    return LoadDemo();
+  } else if (cmd == ".load") {
+    std::string path;
+    in >> path;
+    SDMS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    SDMS_ASSIGN_OR_RETURN(sgml::Document doc, sgml::ParseSgml(text));
+    SDMS_ASSIGN_OR_RETURN(Oid root, coupling->StoreDocument(doc));
+    std::printf("stored %s, root %s\n", path.c_str(),
+                root.ToString().c_str());
+  } else if (cmd == ".gen") {
+    size_t n = 10;
+    uint64_t seed = 42;
+    in >> n >> seed;
+    sgml::CorpusOptions opts;
+    opts.num_docs = n;
+    opts.seed = seed;
+    sgml::Corpus corpus = sgml::CorpusGenerator(opts).Generate();
+    for (const auto& doc : corpus.documents) {
+      SDMS_RETURN_IF_ERROR(coupling->StoreDocument(doc).status());
+    }
+    std::printf("generated and stored %zu documents (%zu paragraphs)\n",
+                corpus.documents.size(), corpus.TotalParagraphs());
+  } else if (cmd == ".collection") {
+    std::string name, model = "inquery";
+    in >> name >> model;
+    if (name.empty()) return Status::InvalidArgument("usage: .collection <name> [model]");
+    SDMS_RETURN_IF_ERROR(coupling->CreateCollection(name, model).status());
+    std::printf("collection '%s' (%s) created\n", name.c_str(),
+                model.c_str());
+  } else if (cmd == ".index") {
+    std::string name;
+    int mode = 0;
+    in >> name >> mode;
+    std::string spec;
+    std::getline(in, spec);
+    SDMS_ASSIGN_OR_RETURN(coupling::Collection * coll,
+                          coupling->GetCollectionByName(name));
+    SDMS_RETURN_IF_ERROR(
+        coll->IndexObjects(std::string(Trim(spec)), mode));
+    std::printf("'%s' now represents %zu objects\n", name.c_str(),
+                coll->represented_count());
+  } else if (cmd == ".irs") {
+    std::string name;
+    in >> name;
+    std::string query;
+    std::getline(in, query);
+    SDMS_ASSIGN_OR_RETURN(coupling::Collection * coll,
+                          coupling->GetCollectionByName(name));
+    SDMS_ASSIGN_OR_RETURN(const coupling::OidScoreMap* result,
+                          coll->GetIrsResult(std::string(Trim(query))));
+    // Top 10 by score.
+    std::vector<std::pair<double, Oid>> ranked;
+    for (const auto& [oid, score] : *result) ranked.emplace_back(score, oid);
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+      std::printf("  %-10s %.4f\n", ranked[i].second.ToString().c_str(),
+                  ranked[i].first);
+    }
+    std::printf("(%zu objects)\n", result->size());
+  } else if (cmd == ".value") {
+    std::string name;
+    uint64_t raw = 0;
+    in >> name >> raw;
+    std::string query;
+    std::getline(in, query);
+    SDMS_ASSIGN_OR_RETURN(coupling::Collection * coll,
+                          coupling->GetCollectionByName(name));
+    SDMS_ASSIGN_OR_RETURN(
+        double v, coll->FindIrsValue(std::string(Trim(query)), Oid(raw)));
+    std::printf("  %.6f%s\n", v,
+                coll->Represents(Oid(raw)) ? "" : "  (derived)");
+  } else if (cmd == ".scheme") {
+    std::string name, scheme;
+    in >> name >> scheme;
+    SDMS_ASSIGN_OR_RETURN(coupling::Collection * coll,
+                          coupling->GetCollectionByName(name));
+    SDMS_RETURN_IF_ERROR(coll->SetDerivationScheme(scheme));
+    std::printf("'%s' derives with %s\n", name.c_str(), scheme.c_str());
+  } else if (cmd == ".explain") {
+    std::string query;
+    std::getline(in, query);
+    SDMS_ASSIGN_OR_RETURN(
+        std::string plan,
+        coupling->query_engine().Explain(std::string(Trim(query))));
+    std::printf("%s", plan.c_str());
+  } else if (cmd == ".stats") {
+    coupling::CouplingStats s = coupling->AggregateStats();
+    std::printf(
+        "objects=%zu  IRS queries=%llu  buffer hits=%llu  misses=%llu  "
+        "derive calls=%llu  reindex ops=%llu\n",
+        db->store().size(), static_cast<unsigned long long>(s.irs_queries),
+        static_cast<unsigned long long>(s.buffer_hits),
+        static_cast<unsigned long long>(s.buffer_misses),
+        static_cast<unsigned long long>(s.derive_calls),
+        static_cast<unsigned long long>(s.reindex_ops));
+  } else if (cmd == ".classes") {
+    for (const std::string& name : db->schema().class_names()) {
+      std::printf("  %-12s (%zu objects)\n", name.c_str(),
+                  db->Extent(name, false).size());
+    }
+  } else {
+    return Status::InvalidArgument("unknown command " + cmd +
+                                   " (try .help)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (Status s = shell.Init(); !s.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("sdms shell — OODBMS-IRS coupling (.help for commands)\n");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--demo") {
+      if (Status s = shell.LoadDemo(); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::string line;
+  while (true) {
+    std::printf("sdms> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    Status s = shell.Dispatch(trimmed);
+    if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+  }
+  std::printf("bye\n");
+  return 0;
+}

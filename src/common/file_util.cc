@@ -1,0 +1,79 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace sdms {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, got);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read failed for " + path);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = (std::fflush(f) == 0) && ok;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed for " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+StatusOr<int64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("file_size " + path + ": " + ec.message());
+  return static_cast<int64_t>(size);
+}
+
+}  // namespace sdms

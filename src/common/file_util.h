@@ -1,0 +1,30 @@
+#ifndef SDMS_COMMON_FILE_UTIL_H_
+#define SDMS_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace sdms {
+
+/// Reads the whole file at `path` into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Writes `data` to `path` atomically (write temp + rename).
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// True if a file or directory exists at `path`.
+bool PathExists(const std::string& path);
+
+/// Creates directory `path` (and parents) if missing.
+Status MakeDirs(const std::string& path);
+
+/// Removes the file at `path` if present.
+Status RemoveFile(const std::string& path);
+
+/// Size in bytes of the file at `path`, or NotFound.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+}  // namespace sdms
+
+#endif  // SDMS_COMMON_FILE_UTIL_H_

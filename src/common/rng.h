@@ -1,0 +1,104 @@
+#ifndef SDMS_COMMON_RNG_H_
+#define SDMS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sdms {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). Used by
+/// the corpus generator and benchmark workloads so every run reproduces
+/// exactly the same corpora and query streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 to expand the seed into two non-zero state words.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = t ^ (t >> 31);
+    }
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Shuffles `v` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[2];
+};
+
+/// Samples ranks from a Zipf distribution over {0, .., n-1} with skew
+/// `s` using precomputed cumulative weights. Rank 0 is the most likely.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Draws one rank using uniform variate from `rng`.
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sdms
+
+#endif  // SDMS_COMMON_RNG_H_

@@ -1,0 +1,170 @@
+#ifndef SDMS_COMMON_STATUS_H_
+#define SDMS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sdms {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: library code reports failures through
+/// `Status` / `StatusOr<T>` return values instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIoError,
+  kNotSupported,
+  kFailedPrecondition,
+  kParseError,
+  kTypeError,
+  kLockConflict,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result. Cheap to copy on the success
+/// path (no allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status LockConflict(std::string msg) {
+    return Status(StatusCode::kLockConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsLockConflict() const { return code_ == StatusCode::kLockConflict; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Dereferencing a
+/// non-OK StatusOr is a programming error (assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a success value (implicit by design, mirroring
+  /// absl::StatusOr, so `return value;` works in functions returning
+  /// StatusOr<T>).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sdms
+
+/// Propagates a non-OK Status out of the current function.
+#define SDMS_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::sdms::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Evaluates an expression returning StatusOr<T>, propagating errors and
+/// otherwise assigning the value to `lhs`.
+#define SDMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define SDMS_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define SDMS_ASSIGN_OR_RETURN_CONCAT(a, b) SDMS_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define SDMS_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SDMS_ASSIGN_OR_RETURN_IMPL(                                            \
+      SDMS_ASSIGN_OR_RETURN_CONCAT(_statusor_tmp_, __LINE__), lhs, expr)
+
+#endif  // SDMS_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef SDMS_COMMON_TIMER_H_
+#define SDMS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sdms {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds as a double.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sdms
+
+#endif  // SDMS_COMMON_TIMER_H_

@@ -1,0 +1,71 @@
+#ifndef SDMS_COUPLING_ARCHITECTURE_CONTROL_MODULE_H_
+#define SDMS_COUPLING_ARCHITECTURE_CONTROL_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "coupling/types.h"
+#include "irs/engine.h"
+#include "oodb/database.h"
+#include "oodb/query/executor.h"
+
+namespace sdms::coupling {
+
+/// Baseline reproduction of the *control module* architecture
+/// (Figure 1, alternative (1) — COINS [CST92], HYDRA [GTZ93]): a third
+/// component coordinates OODBMS and IRS. The application cannot phrase
+/// one mixed query; it must split it into a structure part (a database
+/// query) and a content part (an IRS query with threshold), which the
+/// module runs against the two systems and then joins itself. Data is
+/// interchanged through files / temporary tables (HYDRA stored the IRS
+/// result in a temporary SYBASE table).
+///
+/// The paper argues architecture (3) — the DBMS as control component —
+/// avoids this; the E1 bench quantifies the difference.
+class ControlModule {
+ public:
+  /// One split mixed query.
+  struct MixedQuery {
+    /// Structure part: a VQL query selecting a single OID column.
+    std::string structure_vql;
+    /// Content part.
+    std::string irs_collection;
+    std::string irs_query;
+    double threshold = 0.0;
+  };
+
+  /// A joined result row.
+  struct ResultRow {
+    Oid oid;
+    double score = 0.0;
+  };
+
+  ControlModule(oodb::Database* db, irs::IrsEngine* engine,
+                std::string exchange_dir)
+      : db_(db),
+        engine_(engine),
+        exchange_dir_(std::move(exchange_dir)),
+        query_engine_(db) {}
+
+  /// Runs both parts and intersects: objects satisfying the structure
+  /// part whose IRS value exceeds the threshold, with their values.
+  StatusOr<std::vector<ResultRow>> Run(const MixedQuery& query);
+
+  /// Cross-system round trips performed (1 DB + 1 IRS per Run).
+  uint64_t round_trips() const { return round_trips_; }
+  const CouplingStats& stats() const { return stats_; }
+
+ private:
+  oodb::Database* db_;
+  irs::IrsEngine* engine_;
+  std::string exchange_dir_;
+  oodb::vql::QueryEngine query_engine_;
+  uint64_t round_trips_ = 0;
+  uint64_t file_counter_ = 0;
+  CouplingStats stats_;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_ARCHITECTURE_CONTROL_MODULE_H_

@@ -1,0 +1,533 @@
+#include "coupling/collection_class.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "coupling/coupling.h"
+#include "irs/query/query_node.h"
+#include "oodb/query/parser.h"
+
+namespace sdms::coupling {
+
+using oodb::UpdateKind;
+using oodb::vql::ParsedQuery;
+
+Collection::Collection(Coupling* coupling, Oid self,
+                       std::string irs_collection_name, double missing_value)
+    : coupling_(coupling),
+      self_(self),
+      irs_name_(std::move(irs_collection_name)),
+      missing_value_(missing_value),
+      buffer_(coupling->options().buffer_capacity),
+      // The paper's own tests used the component-maximum derivation
+      // ("iterating through the elements components and determining the
+      // maximal IRS value", Section 4.5.2).
+      scheme_(MakeMaxScheme()) {}
+
+Collection::~Collection() = default;
+
+// ---------------------------------------------------------------------------
+// indexObjects
+// ---------------------------------------------------------------------------
+
+Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
+  SDMS_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                        oodb::vql::ParseQuery(spec_query));
+  if (parsed.select.size() != 1) {
+    return Status::InvalidArgument(
+        "specification query must select exactly one column of IRSObjects");
+  }
+  SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
+                        coupling_->query_engine().Run(parsed));
+  spec_query_ = spec_query;
+  parsed_spec_ = std::move(parsed);
+  text_mode_ = text_mode;
+  // Persist the indexing configuration on the COLLECTION database
+  // object so Coupling::RestoreCollections can reattach it after a
+  // restart.
+  SDMS_RETURN_IF_ERROR(coupling_->db().SetAttribute(
+      self_, "SPECQUERY", oodb::Value(spec_query)));
+  SDMS_RETURN_IF_ERROR(coupling_->db().SetAttribute(
+      self_, "TEXTMODE", oodb::Value(static_cast<int64_t>(text_mode))));
+
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  for (const auto& row : result.rows) {
+    if (!row[0].is_oid()) {
+      return Status::TypeError(
+          "specification query yielded a non-object value: " +
+          row[0].ToString());
+    }
+    Oid oid = row[0].as_oid();
+    if (Represents(oid)) continue;
+    SDMS_ASSIGN_OR_RETURN(std::string text,
+                          coupling_->GetText(oid, text_mode_));
+    SDMS_RETURN_IF_ERROR(coll->AddDocument(oid.ToString(), text));
+    represented_.insert(oid);
+  }
+  return Status::OK();
+}
+
+bool Collection::IsSpecCandidate(Oid oid) const {
+  if (!parsed_spec_.has_value()) return false;
+  auto cls_or = coupling_->db().ClassOf(oid);
+  if (!cls_or.ok()) return false;
+  // Find the binding of the selected variable (spec queries select a
+  // single range variable or an expression over one).
+  const ParsedQuery& q = *parsed_spec_;
+  std::string var;
+  if (q.select[0]->kind == oodb::vql::ExprKind::kVarRef) {
+    var = q.select[0]->name;
+  }
+  for (const auto& b : q.bindings) {
+    if (var.empty() || b.var == var) {
+      if (coupling_->db().schema().IsSubclassOf(*cls_or, b.class_name)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+StatusOr<bool> Collection::SatisfiesSpec(Oid oid) {
+  if (!parsed_spec_.has_value()) return false;
+  const ParsedQuery& q = *parsed_spec_;
+  std::string var;
+  if (q.select[0]->kind == oodb::vql::ExprKind::kVarRef) {
+    var = q.select[0]->name;
+  } else if (!q.bindings.empty()) {
+    var = q.bindings[0].var;
+  }
+  coupling_->query_engine().SetCandidateOverride(var, {oid});
+  SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
+                        coupling_->query_engine().Run(q));
+  for (const auto& row : result.rows) {
+    if (row[0].is_oid() && row[0].as_oid() == oid) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Query path (Figure 3)
+// ---------------------------------------------------------------------------
+
+StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
+  ++stats_.irs_queries;
+  std::vector<irs::SearchHit> hits;
+  if (coupling_->options().file_exchange) {
+    // The paper's original mechanism: "the IRS writes the result to a
+    // file which is parsed afterwards".
+    std::string path = coupling_->options().exchange_dir + "/irs_result_" +
+                       irs_name_ + "_" +
+                       std::to_string(coupling_->exchange_file_counter_++) +
+                       ".txt";
+    SDMS_RETURN_IF_ERROR(
+        coupling_->irs().SearchToFile(irs_name_, irs_query, path));
+    SDMS_ASSIGN_OR_RETURN(hits, irs::IrsEngine::ParseResultFile(path));
+    auto size = FileSize(path);
+    if (size.ok()) stats_.bytes_exchanged += static_cast<uint64_t>(*size);
+    ++stats_.files_exchanged;
+    (void)RemoveFile(path);
+  } else {
+    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                          coupling_->irs().GetCollection(irs_name_));
+    SDMS_ASSIGN_OR_RETURN(hits, coll->Search(irs_query));
+  }
+  OidScoreMap out;
+  for (const irs::SearchHit& h : hits) {
+    // Keys are "oid:<n>" (the OID stored as IRS document meta data).
+    if (!StartsWith(h.key, "oid:")) {
+      return Status::Corruption("IRS document key without OID: " + h.key);
+    }
+    uint64_t raw = 0;
+    try {
+      raw = std::stoull(h.key.substr(4));
+    } catch (...) {
+      return Status::Corruption("malformed OID key: " + h.key);
+    }
+    out.emplace(Oid(raw), h.score);
+  }
+  return out;
+}
+
+StatusOr<const OidScoreMap*> Collection::GetIrsResult(
+    const std::string& irs_query) {
+  SDMS_RETURN_IF_ERROR(MaybePropagate());
+  if (!coupling_->options().disable_buffering) {
+    const OidScoreMap* buffered = buffer_.Get(irs_query);
+    if (buffered != nullptr) {
+      ++stats_.buffer_hits;
+      return buffered;
+    }
+    ++stats_.buffer_misses;
+    SDMS_ASSIGN_OR_RETURN(OidScoreMap result, RunIrsQuery(irs_query));
+    buffer_.Put(irs_query, std::move(result));
+    return buffer_.Get(irs_query);
+  }
+  ++stats_.buffer_misses;
+  SDMS_ASSIGN_OR_RETURN(unbuffered_result_, RunIrsQuery(irs_query));
+  return &unbuffered_result_;
+}
+
+StatusOr<double> Collection::FindIrsValue(const std::string& irs_query,
+                                          Oid obj) {
+  SDMS_ASSIGN_OR_RETURN(const OidScoreMap* result, GetIrsResult(irs_query));
+  auto it = result->find(obj);
+  if (it != result->end()) return it->second;
+  if (Represents(obj)) {
+    // Represented but not retrieved: the IRS assigned no evidence; the
+    // object scores the query's null belief.
+    return NullScore(irs_query);
+  }
+  // Not represented: force the object to derive its value and insert
+  // the result into the buffer (Figure 3).
+  SDMS_ASSIGN_OR_RETURN(double derived, DeriveIrsValue(irs_query, obj));
+  if (!coupling_->options().disable_buffering) {
+    buffer_.InsertValue(irs_query, obj, derived);
+  }
+  return derived;
+}
+
+StatusOr<double> Collection::DeriveIrsValue(const std::string& irs_query,
+                                            Oid obj) {
+  constexpr int kMaxDepth = 64;
+  if (derive_depth_ >= kMaxDepth) {
+    return Status::FailedPrecondition(
+        "deriveIRSValue recursion depth exceeded");
+  }
+  // Cyclic related-object structures (e.g. mutual implies-links): a
+  // derivation already on the stack contributes its null score rather
+  // than recursing forever.
+  auto key = std::make_pair(irs_query, obj.raw());
+  if (derive_in_progress_.count(key) > 0) return NullScore(irs_query);
+  ++stats_.derive_calls;
+  DerivationContext ctx;
+  ctx.object = obj;
+  ctx.irs_query = irs_query;
+  // The floor for derived values is the query's null belief, so an
+  // object without components never outranks one with weak evidence.
+  SDMS_ASSIGN_OR_RETURN(ctx.default_value, NullScore(irs_query));
+  ctx.component_value = [this](Oid component,
+                               const std::string& query) -> StatusOr<double> {
+    return FindIrsValue(query, component);
+  };
+  ctx.components_of = [this](Oid o) { return coupling_->ChildrenOf(o); };
+  ctx.class_of = [this](Oid o) { return coupling_->db().ClassOf(o); };
+  ctx.length_of = [this](Oid o) -> StatusOr<double> {
+    SDMS_ASSIGN_OR_RETURN(std::string text, coupling_->SubtreeText(o));
+    return static_cast<double>(SplitWhitespace(text).size());
+  };
+  ctx.parse_query =
+      [this](const std::string& q)
+      -> StatusOr<std::unique_ptr<irs::QueryNode>> {
+    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                          coupling_->irs().GetCollection(irs_name_));
+    return irs::ParseIrsQuery(q, coll->analyzer());
+  };
+  ++derive_depth_;
+  derive_in_progress_.insert(key);
+  auto result = scheme_->Derive(ctx);
+  derive_in_progress_.erase(key);
+  --derive_depth_;
+  return result;
+}
+
+namespace {
+
+/// Evaluates a query tree with every term belief pinned to `term_null`.
+double TreeNullScore(const irs::QueryNode& node, double term_null) {
+  switch (node.op) {
+    case irs::QueryOp::kTerm:
+    case irs::QueryOp::kOdn:
+    case irs::QueryOp::kUwn:
+      return term_null;
+    case irs::QueryOp::kAnd: {
+      double b = 1.0;
+      for (const auto& c : node.children) b *= TreeNullScore(*c, term_null);
+      return node.children.empty() ? term_null : b;
+    }
+    case irs::QueryOp::kOr: {
+      double b = 1.0;
+      for (const auto& c : node.children) {
+        b *= 1.0 - TreeNullScore(*c, term_null);
+      }
+      return node.children.empty() ? term_null : 1.0 - b;
+    }
+    case irs::QueryOp::kNot:
+      return node.children.empty()
+                 ? term_null
+                 : 1.0 - TreeNullScore(*node.children[0], term_null);
+    case irs::QueryOp::kSum: {
+      if (node.children.empty()) return 0.0;
+      double sum = 0.0;
+      for (const auto& c : node.children) sum += TreeNullScore(*c, term_null);
+      return sum / static_cast<double>(node.children.size());
+    }
+    case irs::QueryOp::kWsum: {
+      if (node.children.empty()) return 0.0;
+      double sum = 0.0;
+      double wsum = 0.0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        double w = i < node.weights.size() ? node.weights[i] : 1.0;
+        sum += w * TreeNullScore(*node.children[i], term_null);
+        wsum += w;
+      }
+      return wsum > 0.0 ? sum / wsum : 0.0;
+    }
+    case irs::QueryOp::kMax: {
+      double best = 0.0;
+      for (const auto& c : node.children) {
+        best = std::max(best, TreeNullScore(*c, term_null));
+      }
+      return node.children.empty() ? term_null : best;
+    }
+  }
+  return term_null;
+}
+
+}  // namespace
+
+StatusOr<double> Collection::NullScore(const std::string& irs_query) {
+  // Models without default beliefs score no-evidence documents zero.
+  if (missing_value_ == 0.0) return 0.0;
+  auto cached = null_score_cache_.find(irs_query);
+  if (cached != null_score_cache_.end()) return cached->second;
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<irs::QueryNode> tree,
+                        irs::ParseIrsQuery(irs_query, coll->analyzer()));
+  double score = TreeNullScore(*tree, missing_value_);
+  null_score_cache_[irs_query] = score;
+  return score;
+}
+
+Status Collection::SetDerivationScheme(const std::string& name) {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<DerivationScheme> scheme,
+                        MakeScheme(name));
+  scheme_ = std::move(scheme);
+  return Status::OK();
+}
+
+void Collection::SetDerivationScheme(std::unique_ptr<DerivationScheme> scheme) {
+  scheme_ = std::move(scheme);
+}
+
+// ---------------------------------------------------------------------------
+// Update propagation (Section 4.6)
+// ---------------------------------------------------------------------------
+
+Status Collection::OnInsert(Oid oid) {
+  if (!parsed_spec_.has_value() || !IsSpecCandidate(oid)) return Status::OK();
+  update_log_.Record(UpdateKind::kInsert, oid);
+  if (policy_ == PropagationPolicy::kEager) return PropagateUpdates();
+  return Status::OK();
+}
+
+Status Collection::OnModify(Oid oid) {
+  if (Represents(oid)) {
+    update_log_.Record(UpdateKind::kModify, oid);
+  } else if (parsed_spec_.has_value() && IsSpecCandidate(oid)) {
+    // A modification may have made the object satisfy the spec query.
+    update_log_.Record(UpdateKind::kInsert, oid);
+  } else {
+    return Status::OK();
+  }
+  if (policy_ == PropagationPolicy::kEager) return PropagateUpdates();
+  return Status::OK();
+}
+
+Status Collection::OnDelete(Oid oid) {
+  // Relevant only for represented objects or ones with a pending
+  // insert (which the log then cancels out).
+  if (!Represents(oid) && !update_log_.Has(oid)) return Status::OK();
+  update_log_.Record(UpdateKind::kDelete, oid);
+  if (policy_ == PropagationPolicy::kEager) return PropagateUpdates();
+  return Status::OK();
+}
+
+Status Collection::MaybePropagate() {
+  if (policy_ == PropagationPolicy::kManual) return Status::OK();
+  if (update_log_.empty()) return Status::OK();
+  // "If an information-need query is issued with update propagation
+  // pending, propagation is enforced."
+  return PropagateUpdates();
+}
+
+Status Collection::PropagateUpdates() {
+  std::vector<PendingOp> ops = update_log_.Drain();
+  stats_.cancelled_ops = update_log_.cancelled();
+  if (ops.empty()) return Status::OK();
+  bool changed = false;
+  for (const PendingOp& op : ops) {
+    Status s = ApplyOp(op);
+    if (!s.ok()) return s;
+    changed = true;
+  }
+  if (changed) {
+    // IRS index structures changed: buffered results are stale.
+    buffer_.Clear();
+  }
+  return Status::OK();
+}
+
+Status Collection::ApplyOp(const PendingOp& op) {
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  switch (op.kind) {
+    case UpdateKind::kInsert: {
+      if (Represents(op.oid)) break;
+      SDMS_ASSIGN_OR_RETURN(bool ok, SatisfiesSpec(op.oid));
+      if (!ok) break;
+      SDMS_ASSIGN_OR_RETURN(std::string text,
+                            coupling_->GetText(op.oid, text_mode_));
+      SDMS_RETURN_IF_ERROR(coll->AddDocument(op.oid.ToString(), text));
+      represented_.insert(op.oid);
+      ++stats_.reindex_ops;
+      break;
+    }
+    case UpdateKind::kModify: {
+      if (!Represents(op.oid)) break;
+      if (!coupling_->db().store().Contains(op.oid)) {
+        // Vanished since recording: treat as a delete.
+        SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
+        represented_.erase(op.oid);
+        ++stats_.reindex_ops;
+        break;
+      }
+      SDMS_ASSIGN_OR_RETURN(std::string text,
+                            coupling_->GetText(op.oid, text_mode_));
+      SDMS_RETURN_IF_ERROR(coll->UpdateDocument(op.oid.ToString(), text));
+      ++stats_.reindex_ops;
+      break;
+    }
+    case UpdateKind::kDelete: {
+      if (!Represents(op.oid)) break;
+      SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
+      represented_.erase(op.oid);
+      ++stats_.reindex_ops;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Duplicated IRS operators (Section 4.5.4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Combines operand score maps with the INQUERY operator semantics,
+/// using `missing` as the belief of a document absent from an operand.
+OidScoreMap CombineMaps(irs::QueryOp op,
+                        const std::vector<OidScoreMap>& operands,
+                        const std::vector<double>& weights, double missing) {
+  OidScoreMap out;
+  // Candidate union.
+  for (const OidScoreMap& m : operands) {
+    for (const auto& [oid, score] : m) out[oid] = 0.0;
+  }
+  auto value_of = [missing](const OidScoreMap& m, Oid oid) {
+    auto it = m.find(oid);
+    return it == m.end() ? missing : it->second;
+  };
+  for (auto& [oid, score] : out) {
+    switch (op) {
+      case irs::QueryOp::kAnd: {
+        double b = 1.0;
+        for (const OidScoreMap& m : operands) b *= value_of(m, oid);
+        score = b;
+        break;
+      }
+      case irs::QueryOp::kOr: {
+        double b = 1.0;
+        for (const OidScoreMap& m : operands) b *= 1.0 - value_of(m, oid);
+        score = 1.0 - b;
+        break;
+      }
+      case irs::QueryOp::kSum: {
+        double sum = 0.0;
+        for (const OidScoreMap& m : operands) sum += value_of(m, oid);
+        score = operands.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(operands.size());
+        break;
+      }
+      case irs::QueryOp::kWsum: {
+        double sum = 0.0;
+        double wsum = 0.0;
+        for (size_t i = 0; i < operands.size(); ++i) {
+          double w = i < weights.size() ? weights[i] : 1.0;
+          sum += w * value_of(operands[i], oid);
+          wsum += w;
+        }
+        score = wsum > 0.0 ? sum / wsum : 0.0;
+        break;
+      }
+      case irs::QueryOp::kMax: {
+        double best = 0.0;
+        for (const OidScoreMap& m : operands) {
+          best = std::max(best, value_of(m, oid));
+        }
+        score = best;
+        break;
+      }
+      default:
+        score = 0.0;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<OidScoreMap> Collection::EvalOperatorsInDbms(
+    const std::string& irs_query) {
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<irs::QueryNode> tree,
+                        irs::ParseIrsQuery(irs_query, coll->analyzer()));
+
+  // Recursive evaluation: leaves hit the (buffered) IRS, inner nodes
+  // are computed here, inside the DBMS.
+  std::function<StatusOr<OidScoreMap>(const irs::QueryNode&)> eval =
+      [&](const irs::QueryNode& node) -> StatusOr<OidScoreMap> {
+    if (node.op == irs::QueryOp::kTerm) {
+      SDMS_ASSIGN_OR_RETURN(const OidScoreMap* m, GetIrsResult(node.term));
+      return *m;
+    }
+    if (node.op == irs::QueryOp::kOdn || node.op == irs::QueryOp::kUwn) {
+      // Proximity nodes cannot be recombined from term results (they
+      // need positions); they are submitted to the IRS as a unit.
+      SDMS_ASSIGN_OR_RETURN(const OidScoreMap* m,
+                            GetIrsResult(node.ToString()));
+      return *m;
+    }
+    if (node.op == irs::QueryOp::kNot) {
+      if (node.children.size() != 1) {
+        return Status::InvalidArgument("#not takes exactly one argument");
+      }
+      SDMS_ASSIGN_OR_RETURN(OidScoreMap inner, eval(*node.children[0]));
+      // Complement over the represented set.
+      OidScoreMap out;
+      for (Oid oid : represented_) {
+        auto it = inner.find(oid);
+        double b = it == inner.end() ? missing_value_ : it->second;
+        out[oid] = 1.0 - b;
+      }
+      return out;
+    }
+    std::vector<OidScoreMap> operands;
+    operands.reserve(node.children.size());
+    for (const auto& c : node.children) {
+      SDMS_ASSIGN_OR_RETURN(OidScoreMap m, eval(*c));
+      operands.push_back(std::move(m));
+    }
+    return CombineMaps(node.op, operands, node.weights, missing_value_);
+  };
+  return eval(*tree);
+}
+
+}  // namespace sdms::coupling

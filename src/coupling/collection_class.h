@@ -1,0 +1,178 @@
+#ifndef SDMS_COUPLING_COLLECTION_CLASS_H_
+#define SDMS_COUPLING_COLLECTION_CLASS_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+#include "coupling/derivation.h"
+#include "coupling/result_buffer.h"
+#include "coupling/types.h"
+#include "coupling/update_log.h"
+#include "oodb/query/ast.h"
+
+namespace sdms::coupling {
+
+class Coupling;
+
+/// The database class COLLECTION (paper Section 4.2): encapsulates
+/// exactly one IRS collection. Holds the specification query and text
+/// mode that define which objects are represented and with which text;
+/// buffers IRS results persistently; propagates updates; and derives
+/// IRS values for objects that are not represented.
+class Collection {
+ public:
+  Collection(Coupling* coupling, Oid self, std::string irs_collection_name,
+             double missing_value);
+  ~Collection();
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  /// OID of the COLLECTION database object.
+  Oid oid() const { return self_; }
+  /// Name of the encapsulated IRS collection.
+  const std::string& irs_collection_name() const { return irs_name_; }
+
+  // --- Paper interface ------------------------------------------------
+
+  /// indexObjects(specQuery, textMode): evaluates the specification
+  /// query (a VQL query whose single select column yields IRSObjects),
+  /// fetches each object's getText(textMode) and indexes it in the IRS
+  /// collection with the OID as document key. Objects already
+  /// represented are skipped, so the method may be re-run after bulk
+  /// loads.
+  Status IndexObjects(const std::string& spec_query, int text_mode);
+
+  /// getIRSResult(IRSQuery): submits the query to the IRS (unless
+  /// buffered) and returns the dictionary ||IRSObject --> REAL||.
+  /// Pending updates are propagated first unless the policy is kManual.
+  StatusOr<const OidScoreMap*> GetIrsResult(const std::string& irs_query);
+
+  /// findIRSValue(IRSQuery, obj): the Figure 3 flow — buffered result
+  /// lookup, then the object's value; objects not represented derive
+  /// their value (deriveIRSValue) and the derived value is inserted
+  /// into the buffer.
+  StatusOr<double> FindIrsValue(const std::string& irs_query, Oid obj);
+
+  /// The three update methods (Section 4.2): invoked when a relevant
+  /// database update occurred. Under kEager the IRS index is
+  /// maintained immediately; otherwise the operation is recorded in
+  /// the cancelling update log.
+  Status OnInsert(Oid oid);
+  Status OnModify(Oid oid);
+  Status OnDelete(Oid oid);
+
+  /// Applies all pending net operations to the IRS index and
+  /// invalidates the result buffer when the index changed.
+  Status PropagateUpdates();
+
+  // --- deriveIRSValue ---------------------------------------------------
+
+  /// Derives the IRS value of a non-represented object from its
+  /// components via the installed derivation scheme.
+  StatusOr<double> DeriveIrsValue(const std::string& irs_query, Oid obj);
+
+  /// Installs a derivation scheme by name ("max", "avg", "wtype",
+  /// "length", "subquery").
+  Status SetDerivationScheme(const std::string& name);
+  void SetDerivationScheme(std::unique_ptr<DerivationScheme> scheme);
+  const DerivationScheme& derivation_scheme() const { return *scheme_; }
+
+  // --- Duplicated IRS operators (Section 4.5.4) -------------------------
+
+  /// Evaluates a structured IRS query *inside the DBMS*: term leaves
+  /// are resolved with (buffered) single-term IRS calls, operator
+  /// nodes are recombined with the INQUERY operator semantics. When
+  /// the single-term results are already buffered this avoids calling
+  /// the IRS at all.
+  StatusOr<OidScoreMap> EvalOperatorsInDbms(const std::string& irs_query);
+
+  // --- Configuration / introspection ------------------------------------
+
+  void set_propagation_policy(PropagationPolicy policy) { policy_ = policy; }
+  PropagationPolicy propagation_policy() const { return policy_; }
+
+  bool Represents(Oid oid) const { return represented_.count(oid) > 0; }
+  size_t represented_count() const { return represented_.size(); }
+  const std::set<Oid>& represented() const { return represented_; }
+
+  const std::string& spec_query() const { return spec_query_; }
+  int text_mode() const { return text_mode_; }
+
+  size_t pending_updates() const { return update_log_.size(); }
+  const UpdateLog& update_log() const { return update_log_; }
+
+  ResultBuffer& buffer() { return buffer_; }
+  const CouplingStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CouplingStats{}; }
+
+  /// Per-*term* belief assigned when a document provides no evidence
+  /// (0.4 for the inference-network model, 0.0 otherwise).
+  double missing_value() const { return missing_value_; }
+
+  /// Score the IRS would assign to a represented document with no
+  /// evidence for any term of `irs_query`: the query tree evaluated
+  /// with every term belief at the default (e.g. 0.4 * 0.4 for
+  /// #and(a b) under the inference-network model). Used when a
+  /// represented object is absent from the IRS result, so that
+  /// no-evidence documents rank below partial-evidence ones.
+  StatusOr<double> NullScore(const std::string& irs_query);
+
+  /// True if `oid`'s class matches the specification query's range
+  /// class (candidate for representation on insert).
+  bool IsSpecCandidate(Oid oid) const;
+
+  /// Persists buffer contents (the paper's buffer is persistent).
+  std::string SerializeBuffer() const { return buffer_.Serialize(); }
+  Status RestoreBuffer(std::string_view data) {
+    return buffer_.Restore(data);
+  }
+
+ private:
+  friend class Coupling;
+
+  /// Actually submits to the IRS (in-process or file exchange).
+  StatusOr<OidScoreMap> RunIrsQuery(const std::string& irs_query);
+
+  /// Ensures pending updates are applied according to the policy.
+  Status MaybePropagate();
+
+  /// (Re)indexes one object per the net update operation.
+  Status ApplyOp(const PendingOp& op);
+
+  /// Evaluates whether `oid` currently satisfies the spec query.
+  StatusOr<bool> SatisfiesSpec(Oid oid);
+
+  Coupling* coupling_;
+  Oid self_;
+  std::string irs_name_;
+  std::string spec_query_;
+  std::optional<oodb::vql::ParsedQuery> parsed_spec_;
+  int text_mode_ = 0;
+  double missing_value_ = 0.0;
+
+  std::set<Oid> represented_;
+  ResultBuffer buffer_;
+  /// Result storage when buffering is disabled (ablation mode).
+  OidScoreMap unbuffered_result_;
+  UpdateLog update_log_;
+  PropagationPolicy policy_ = PropagationPolicy::kOnQuery;
+  std::unique_ptr<DerivationScheme> scheme_;
+  CouplingStats stats_;
+  int derive_depth_ = 0;
+  /// (query, object) derivations currently on the stack; re-entry
+  /// (cyclic structures, e.g. implies-link cycles) returns the null
+  /// score instead of recursing forever.
+  std::set<std::pair<std::string, uint64_t>> derive_in_progress_;
+  /// Cache of NullScore per query string.
+  std::map<std::string, double> null_score_cache_;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_COLLECTION_CLASS_H_

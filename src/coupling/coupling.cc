@@ -1,0 +1,787 @@
+#include "coupling/coupling.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "oodb/builtins.h"
+#include "oodb/query/parser.h"
+
+namespace sdms::coupling {
+
+using oodb::AttributeDef;
+using oodb::ClassDef;
+using oodb::Database;
+using oodb::MethodContext;
+using oodb::TxnId;
+using oodb::UpdateKind;
+using oodb::Value;
+using oodb::ValueDict;
+using oodb::ValueList;
+using oodb::ValueType;
+using oodb::vql::ExprKind;
+using oodb::vql::ParsedQuery;
+
+namespace {
+
+constexpr char kIrsObjectClass[] = "IRSObject";
+constexpr char kCollectionClass[] = "COLLECTION";
+
+// Structural attributes every IRSObject carries.
+constexpr char kAttrGi[] = "GI";
+constexpr char kAttrText[] = "TEXT";
+constexpr char kAttrChildren[] = "CHILDREN";
+constexpr char kAttrParent[] = "PARENT";
+constexpr char kAttrOrd[] = "ORD";
+
+}  // namespace
+
+Coupling::Coupling(Database* db, irs::IrsEngine* engine, Options options)
+    : db_(db), engine_(engine), options_(std::move(options)),
+      query_engine_(db) {}
+
+Coupling::~Coupling() {
+  if (initialized_) db_->RemoveUpdateListener(this);
+}
+
+Status Coupling::Initialize() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+  SDMS_RETURN_IF_ERROR(oodb::RegisterBuiltins(*db_));
+  SDMS_RETURN_IF_ERROR(RegisterCouplingSchema());
+  SDMS_RETURN_IF_ERROR(RegisterIrsObjectMethods());
+  SDMS_RETURN_IF_ERROR(RegisterCollectionMethods());
+  SDMS_RETURN_IF_ERROR(RegisterBuiltinTextModes());
+  db_->AddUpdateListener(this);
+  db_->set_coupling_context(this);
+  query_engine_.AddPrepareHook(
+      [this](Database&, const ParsedQuery& query) {
+        return PrepareIrsConjuncts(query);
+      });
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status Coupling::RegisterCouplingSchema() {
+  if (!db_->schema().HasClass(kIrsObjectClass)) {
+    ClassDef irs_object;
+    irs_object.name = kIrsObjectClass;
+    irs_object.super = oodb::kObjectClass;
+    irs_object.abstract = true;
+    irs_object.attributes = {
+        AttributeDef{kAttrGi, ValueType::kString, Value()},
+        AttributeDef{kAttrText, ValueType::kString, Value()},
+        AttributeDef{kAttrChildren, ValueType::kList, Value()},
+        AttributeDef{kAttrParent, ValueType::kOid, Value()},
+        AttributeDef{kAttrOrd, ValueType::kInt, Value()},
+    };
+    SDMS_RETURN_IF_ERROR(db_->schema().DefineClass(std::move(irs_object)));
+  }
+  if (!db_->schema().HasClass(kCollectionClass)) {
+    ClassDef collection;
+    collection.name = kCollectionClass;
+    collection.super = oodb::kObjectClass;
+    collection.attributes = {
+        AttributeDef{"NAME", ValueType::kString, Value()},
+        AttributeDef{"SPECQUERY", ValueType::kString, Value()},
+        AttributeDef{"TEXTMODE", ValueType::kInt, Value()},
+        AttributeDef{"IRSMODEL", ValueType::kString, Value()},
+    };
+    SDMS_RETURN_IF_ERROR(db_->schema().DefineClass(std::move(collection)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+StatusOr<Collection*> Coupling::CreateCollection(
+    const std::string& name, const std::string& model_name,
+    irs::AnalyzerOptions analyzer_options) {
+  if (collections_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("collection exists: " + name);
+  }
+  SDMS_RETURN_IF_ERROR(
+      engine_->CreateCollection(name, analyzer_options, model_name).status());
+  SDMS_ASSIGN_OR_RETURN(Oid oid, db_->CreateObject(kCollectionClass));
+  SDMS_RETURN_IF_ERROR(db_->SetAttribute(oid, "NAME", Value(name)));
+  SDMS_RETURN_IF_ERROR(db_->SetAttribute(oid, "IRSMODEL", Value(model_name)));
+  // The inference-network model assigns the default belief to documents
+  // without evidence; other models score them zero.
+  double missing = model_name == "inquery" ? 0.4 : 0.0;
+  auto collection = std::make_unique<Collection>(this, oid, name, missing);
+  Collection* raw = collection.get();
+  collections_.emplace(oid, std::move(collection));
+  collections_by_name_.emplace(name, oid);
+  return raw;
+}
+
+StatusOr<Collection*> Coupling::GetCollection(Oid oid) {
+  auto it = collections_.find(oid);
+  if (it == collections_.end()) {
+    return Status::NotFound("no COLLECTION object " + oid.ToString());
+  }
+  return it->second.get();
+}
+
+StatusOr<Collection*> Coupling::GetCollectionByName(const std::string& name) {
+  auto it = collections_by_name_.find(name);
+  if (it == collections_by_name_.end()) {
+    return Status::NotFound("no collection named " + name);
+  }
+  return GetCollection(it->second);
+}
+
+std::vector<Collection*> Coupling::collections() {
+  std::vector<Collection*> out;
+  out.reserve(collections_.size());
+  for (auto& [oid, c] : collections_) out.push_back(c.get());
+  return out;
+}
+
+Status Coupling::DropCollection(const std::string& name) {
+  auto it = collections_by_name_.find(name);
+  if (it == collections_by_name_.end()) {
+    return Status::NotFound("no collection named " + name);
+  }
+  Oid oid = it->second;
+  SDMS_RETURN_IF_ERROR(engine_->DropCollection(name));
+  collections_.erase(oid);
+  collections_by_name_.erase(it);
+  return db_->DeleteObject(oid);
+}
+
+StatusOr<size_t> Coupling::RestoreCollections() {
+  size_t restored = 0;
+  for (Oid oid : db_->Extent(kCollectionClass)) {
+    if (collections_.count(oid) > 0) continue;
+    auto name = db_->GetAttribute(oid, "NAME");
+    if (!name.ok() || !name->is_string()) continue;
+    if (collections_by_name_.count(name->as_string()) > 0) continue;
+    // The IRS collection must have been restored already.
+    auto irs_coll = engine_->GetCollection(name->as_string());
+    if (!irs_coll.ok()) continue;
+
+    auto model = db_->GetAttribute(oid, "IRSMODEL");
+    std::string model_name =
+        model.ok() && model->is_string() ? model->as_string() : "inquery";
+    double missing = model_name == "inquery" ? 0.4 : 0.0;
+    auto collection =
+        std::make_unique<Collection>(this, oid, name->as_string(), missing);
+
+    // Reattach the persisted indexing configuration.
+    auto spec = db_->GetAttribute(oid, "SPECQUERY");
+    if (spec.ok() && spec->is_string() && !spec->as_string().empty()) {
+      auto parsed = oodb::vql::ParseQuery(spec->as_string());
+      if (parsed.ok()) {
+        collection->spec_query_ = spec->as_string();
+        collection->parsed_spec_ = std::move(*parsed);
+      }
+    }
+    auto mode = db_->GetAttribute(oid, "TEXTMODE");
+    if (mode.ok() && mode->is_int()) {
+      collection->text_mode_ = static_cast<int>(mode->as_int());
+    }
+    // The represented set is exactly the restored index's live keys.
+    (*irs_coll)->index().ForEachDoc(
+        [&](irs::DocId, const irs::DocInfo& info) {
+          if (StartsWith(info.key, "oid:")) {
+            try {
+              collection->represented_.insert(
+                  Oid(std::stoull(info.key.substr(4))));
+            } catch (...) {
+              // Foreign key format: leave unrepresented.
+            }
+          }
+        });
+    collections_by_name_.emplace(name->as_string(), oid);
+    collections_.emplace(oid, std::move(collection));
+    ++restored;
+  }
+  return restored;
+}
+
+Status Coupling::SetDefaultCollection(const std::string& name) {
+  SDMS_RETURN_IF_ERROR(GetCollectionByName(name).status());
+  default_collection_ = name;
+  return Status::OK();
+}
+
+Status Coupling::SetClassCollection(const std::string& class_name,
+                                    const std::string& collection_name) {
+  if (!db_->schema().HasClass(class_name)) {
+    return Status::NotFound("no class " + class_name);
+  }
+  SDMS_RETURN_IF_ERROR(GetCollectionByName(collection_name).status());
+  class_collections_[class_name] = collection_name;
+  return Status::OK();
+}
+
+StatusOr<Collection*> Coupling::ChooseCollectionFor(Oid obj) {
+  // Most-derived class mapping first (alternative (3)).
+  auto cls_or = db_->ClassOf(obj);
+  if (cls_or.ok()) {
+    std::string cur = *cls_or;
+    while (!cur.empty()) {
+      auto it = class_collections_.find(cur);
+      if (it != class_collections_.end()) {
+        return GetCollectionByName(it->second);
+      }
+      auto def = db_->schema().GetClass(cur);
+      if (!def.ok()) break;
+      cur = (*def)->super;
+    }
+  }
+  // Fallback: the hard-wired default (alternative (1)).
+  if (!default_collection_.empty()) {
+    return GetCollectionByName(default_collection_);
+  }
+  return Status::FailedPrecondition(
+      "no collection configured for " + obj.ToString() +
+      " (pass one explicitly, or SetDefaultCollection / "
+      "SetClassCollection first)");
+}
+
+StatusOr<Collection*> Coupling::ResolveCollectionArg(const Value& v) {
+  if (v.is_oid()) return GetCollection(v.as_oid());
+  if (v.is_string()) return GetCollectionByName(v.as_string());
+  return Status::TypeError(
+      "collection argument must be a COLLECTION object or name, got " +
+      v.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Text modes
+// ---------------------------------------------------------------------------
+
+void Coupling::RegisterTextProvider(int mode, TextProvider provider) {
+  text_providers_[mode] = std::move(provider);
+}
+
+StatusOr<std::string> Coupling::GetText(Oid obj, int mode) {
+  auto it = text_providers_.find(mode);
+  if (it == text_providers_.end()) {
+    return Status::NotFound("no text provider for mode " +
+                            std::to_string(mode));
+  }
+  return it->second(*db_, obj);
+}
+
+Status Coupling::RegisterBuiltinTextModes() {
+  // Mode 0: all leaf text of the subtree (the paper's SGML default:
+  // "by inspecting the leaves of the subtree rooted at an element,
+  // getText identifies its representation").
+  RegisterTextProvider(kTextModeSubtree,
+                       [this](Database&, Oid oid) -> StatusOr<std::string> {
+                         return SubtreeText(oid);
+                       });
+  // Mode 1: the element's own text only.
+  RegisterTextProvider(kTextModeDirect,
+                       [](Database& db, Oid oid) -> StatusOr<std::string> {
+                         SDMS_ASSIGN_OR_RETURN(Value text,
+                                               db.GetAttribute(oid, kAttrText));
+                         return text.is_string() ? text.as_string()
+                                                 : std::string();
+                       });
+  // Mode 2: automatically generated abstract from the titles of all
+  // subobjects (Section 4.3.1, alternative (1)).
+  RegisterTextProvider(
+      kTextModeTitles, [this](Database& db, Oid oid) -> StatusOr<std::string> {
+        std::string out;
+        std::vector<Oid> stack = {oid};
+        while (!stack.empty()) {
+          Oid cur = stack.back();
+          stack.pop_back();
+          SDMS_ASSIGN_OR_RETURN(std::string cls, db.ClassOf(cur));
+          if (cls.find("TITLE") != std::string::npos) {
+            SDMS_ASSIGN_OR_RETURN(std::string text, SubtreeText(cur));
+            if (!out.empty()) out += " ";
+            out += text;
+          }
+          SDMS_ASSIGN_OR_RETURN(std::vector<Oid> children, ChildrenOf(cur));
+          for (auto it = children.rbegin(); it != children.rend(); ++it) {
+            stack.push_back(*it);
+          }
+        }
+        return out;
+      });
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SGML document storage (Section 4.1)
+// ---------------------------------------------------------------------------
+
+Status Coupling::RegisterDtdClasses(const sgml::Dtd& dtd) {
+  for (const std::string& name : dtd.element_names()) {
+    if (db_->schema().HasClass(name)) continue;
+    SDMS_ASSIGN_OR_RETURN(const sgml::ElementDecl* decl,
+                          dtd.GetElement(name));
+    ClassDef cls;
+    cls.name = name;
+    cls.super = kIrsObjectClass;
+    for (const sgml::AttributeDecl& attr : decl->attributes) {
+      AttributeDef def;
+      def.name = attr.name;
+      def.type = attr.type == sgml::AttrType::kNumber ? ValueType::kInt
+                                                      : ValueType::kString;
+      if (attr.has_default) def.default_value = Value(attr.default_value);
+      cls.attributes.push_back(std::move(def));
+    }
+    SDMS_RETURN_IF_ERROR(db_->schema().DefineClass(std::move(cls)));
+  }
+  return Status::OK();
+}
+
+StatusOr<Oid> Coupling::StoreDocument(const sgml::Document& doc) {
+  if (doc.root == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  TxnId txn = db_->Begin();
+  auto root_or = StoreElement(*doc.root, kNullOid, 0, txn);
+  if (!root_or.ok()) {
+    (void)db_->Abort(txn);
+    return root_or.status();
+  }
+  SDMS_RETURN_IF_ERROR(db_->Commit(txn));
+  return *root_or;
+}
+
+StatusOr<Oid> Coupling::StoreElement(const sgml::ElementNode& element,
+                                     Oid parent, int ord, TxnId txn) {
+  if (!db_->schema().HasClass(element.gi())) {
+    return Status::NotFound("no element-type class for " + element.gi() +
+                            " (RegisterDtdClasses first)");
+  }
+  SDMS_ASSIGN_OR_RETURN(Oid oid, db_->CreateObject(element.gi(), txn));
+  SDMS_RETURN_IF_ERROR(
+      db_->SetAttribute(oid, kAttrGi, Value(element.gi()), txn));
+  if (parent.valid()) {
+    SDMS_RETURN_IF_ERROR(
+        db_->SetAttribute(oid, kAttrParent, Value(parent), txn));
+  }
+  SDMS_RETURN_IF_ERROR(
+      db_->SetAttribute(oid, kAttrOrd, Value(static_cast<int64_t>(ord)), txn));
+  // SGML attributes (declared ones are schema-typed).
+  for (const auto& [name, raw] : element.attributes()) {
+    auto decl = db_->schema().FindAttribute(element.gi(), name);
+    if (!decl.ok()) continue;  // Undeclared: dropped (validator reports).
+    Value value;
+    if ((*decl)->type == ValueType::kInt) {
+      try {
+        value = Value(static_cast<int64_t>(std::stoll(raw)));
+      } catch (...) {
+        return Status::TypeError("attribute " + name + " of " + element.gi() +
+                                 " is not numeric: " + raw);
+      }
+    } else {
+      value = Value(raw);
+    }
+    SDMS_RETURN_IF_ERROR(db_->SetAttribute(oid, name, value, txn));
+  }
+  SDMS_RETURN_IF_ERROR(
+      db_->SetAttribute(oid, kAttrText, Value(element.DirectText()), txn));
+  ValueList children;
+  int child_ord = 0;
+  for (const sgml::Node& n : element.children()) {
+    if (n.kind != sgml::Node::Kind::kElement) continue;
+    SDMS_ASSIGN_OR_RETURN(Oid child,
+                          StoreElement(*n.element, oid, child_ord++, txn));
+    children.push_back(Value(child));
+  }
+  SDMS_RETURN_IF_ERROR(
+      db_->SetAttribute(oid, kAttrChildren, Value(std::move(children)), txn));
+  return oid;
+}
+
+StatusOr<std::vector<Oid>> Coupling::ChildrenOf(Oid oid) const {
+  SDMS_ASSIGN_OR_RETURN(Value children, db_->GetAttribute(oid, kAttrChildren));
+  std::vector<Oid> out;
+  if (!children.is_list()) return out;
+  for (const Value& v : children.as_list()) {
+    if (v.is_oid()) out.push_back(v.as_oid());
+  }
+  return out;
+}
+
+StatusOr<Oid> Coupling::ParentOf(Oid oid) const {
+  SDMS_ASSIGN_OR_RETURN(Value parent, db_->GetAttribute(oid, kAttrParent));
+  return parent.is_oid() ? parent.as_oid() : kNullOid;
+}
+
+StatusOr<Oid> Coupling::ContainingOf(Oid oid, const std::string& gi) const {
+  Oid cur = oid;
+  while (cur.valid()) {
+    SDMS_ASSIGN_OR_RETURN(std::string cls, db_->ClassOf(cur));
+    if (cls == gi) return cur;
+    SDMS_ASSIGN_OR_RETURN(cur, ParentOf(cur));
+  }
+  return kNullOid;
+}
+
+StatusOr<Oid> Coupling::NextSiblingOf(Oid oid) const {
+  SDMS_ASSIGN_OR_RETURN(Oid parent, ParentOf(oid));
+  if (!parent.valid()) return kNullOid;
+  SDMS_ASSIGN_OR_RETURN(std::vector<Oid> siblings, ChildrenOf(parent));
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i] == oid) {
+      return i + 1 < siblings.size() ? siblings[i + 1] : kNullOid;
+    }
+  }
+  return kNullOid;
+}
+
+StatusOr<std::string> Coupling::SubtreeText(Oid oid) const {
+  SDMS_ASSIGN_OR_RETURN(Value text, db_->GetAttribute(oid, kAttrText));
+  std::string out = text.is_string() ? text.as_string() : std::string();
+  SDMS_ASSIGN_OR_RETURN(std::vector<Oid> children, ChildrenOf(oid));
+  for (Oid child : children) {
+    SDMS_ASSIGN_OR_RETURN(std::string part, SubtreeText(child));
+    if (part.empty()) continue;
+    if (!out.empty()) out += " ";
+    out += part;
+  }
+  return out;
+}
+
+Status Coupling::DeleteSubtree(Oid oid) {
+  SDMS_ASSIGN_OR_RETURN(Oid parent, ParentOf(oid));
+  // Collect the subtree bottom-up.
+  std::vector<Oid> order;
+  std::vector<Oid> stack = {oid};
+  while (!stack.empty()) {
+    Oid cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    SDMS_ASSIGN_OR_RETURN(std::vector<Oid> children, ChildrenOf(cur));
+    for (Oid c : children) stack.push_back(c);
+  }
+  TxnId txn = db_->Begin();
+  // Unlink from the parent first: the CHILDREN update is a modify event
+  // on the parent, which tells collections the ancestor text changed.
+  if (parent.valid()) {
+    auto children_or = db_->GetAttribute(parent, kAttrChildren);
+    if (children_or.ok() && children_or->is_list()) {
+      ValueList rest;
+      for (const Value& v : children_or->as_list()) {
+        if (!(v.is_oid() && v.as_oid() == oid)) rest.push_back(v);
+      }
+      Status s = db_->SetAttribute(parent, kAttrChildren,
+                                   Value(std::move(rest)), txn);
+      if (!s.ok()) {
+        (void)db_->Abort(txn);
+        return s;
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Status s = db_->DeleteObject(*it, txn);
+    if (!s.ok()) {
+      (void)db_->Abort(txn);
+      return s;
+    }
+  }
+  return db_->Commit(txn);
+}
+
+// ---------------------------------------------------------------------------
+// Update dispatch (Section 4.6)
+// ---------------------------------------------------------------------------
+
+void Coupling::OnUpdate(UpdateKind kind, Oid oid,
+                        const std::string& class_name,
+                        const std::string& attr) {
+  (void)attr;
+  if (class_name == kCollectionClass || collections_.empty()) return;
+  // Direct effect on the object itself.
+  for (auto& [coid, collection] : collections_) {
+    Status s = Status::OK();
+    switch (kind) {
+      case UpdateKind::kInsert:
+        s = collection->OnInsert(oid);
+        break;
+      case UpdateKind::kModify:
+        s = collection->OnModify(oid);
+        break;
+      case UpdateKind::kDelete:
+        s = collection->OnDelete(oid);
+        break;
+    }
+    (void)s;  // Propagation errors surface on the next query.
+  }
+  // Indirect effect: the text of every ancestor changed as well (its
+  // getText covers the subtree).
+  if (kind != UpdateKind::kDelete) {
+    auto parent_or = ParentOf(oid);
+    while (parent_or.ok() && parent_or->valid()) {
+      Oid ancestor = *parent_or;
+      for (auto& [coid, collection] : collections_) {
+        if (collection->Represents(ancestor)) {
+          (void)collection->OnModify(ancestor);
+        }
+      }
+      parent_or = ParentOf(ancestor);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic query optimization hook
+// ---------------------------------------------------------------------------
+
+Status Coupling::PrepareIrsConjuncts(const ParsedQuery& query) {
+  if (query.where == nullptr) return Status::OK();
+  // Walk the whole WHERE tree (not only top-level conjuncts): any
+  // getIRSValue(collection-literal, query-literal) benefits from one
+  // batched IRS call that warms the result buffer.
+  std::vector<const oodb::vql::Expr*> stack = {query.where.get()};
+  while (!stack.empty()) {
+    const oodb::vql::Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == ExprKind::kMethodCall && e->name == "getIRSValue" &&
+        e->args.size() == 2 && e->args[0]->kind == ExprKind::kLiteral &&
+        e->args[0]->literal.is_string() &&
+        e->args[1]->kind == ExprKind::kLiteral &&
+        e->args[1]->literal.is_string()) {
+      auto coll = GetCollectionByName(e->args[0]->literal.as_string());
+      if (coll.ok()) {
+        SDMS_RETURN_IF_ERROR(
+            (*coll)->GetIrsResult(e->args[1]->literal.as_string()).status());
+      }
+    }
+    if (e->child) stack.push_back(e->child.get());
+    if (e->rhs) stack.push_back(e->rhs.get());
+    for (const auto& a : e->args) stack.push_back(a.get());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// VQL method registration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Coupling* CouplingOf(const MethodContext& ctx) {
+  return static_cast<Coupling*>(ctx.coupling);
+}
+
+}  // namespace
+
+Status Coupling::RegisterIrsObjectMethods() {
+  auto& methods = db_->methods();
+
+  methods.Register(
+      kIrsObjectClass, "getText",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        int mode = 0;
+        if (args.size() == 1 && args[0].is_int()) {
+          mode = static_cast<int>(args[0].as_int());
+        } else if (!args.empty()) {
+          return Status::InvalidArgument("getText takes an optional INT mode");
+        }
+        SDMS_ASSIGN_OR_RETURN(std::string text,
+                              CouplingOf(ctx)->GetText(self, mode));
+        return Value(std::move(text));
+      });
+
+  methods.Register(
+      kIrsObjectClass, "getIRSValue",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        Collection* coll = nullptr;
+        std::string query;
+        if (args.size() == 2 && args[1].is_string()) {
+          // Alternative (2) of Section 4.5.1: explicit collection.
+          SDMS_ASSIGN_OR_RETURN(coll,
+                                CouplingOf(ctx)->ResolveCollectionArg(args[0]));
+          query = args[1].as_string();
+        } else if (args.size() == 1 && args[0].is_string()) {
+          // Alternatives (1)/(3): the coupling chooses the collection.
+          SDMS_ASSIGN_OR_RETURN(coll,
+                                CouplingOf(ctx)->ChooseCollectionFor(self));
+          query = args[0].as_string();
+        } else {
+          return Status::InvalidArgument(
+              "getIRSValue expects ([collection,] IRSQuery)");
+        }
+        SDMS_ASSIGN_OR_RETURN(double value, coll->FindIrsValue(query, self));
+        return Value(value);
+      });
+
+  methods.Register(
+      kIrsObjectClass, "deriveIRSValue",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 2 || !args[1].is_string()) {
+          return Status::InvalidArgument(
+              "deriveIRSValue expects (collection, IRSQuery)");
+        }
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->ResolveCollectionArg(args[0]));
+        SDMS_ASSIGN_OR_RETURN(double value,
+                              coll->DeriveIrsValue(args[1].as_string(), self));
+        return Value(value);
+      });
+
+  methods.Register(
+      kIrsObjectClass, "getChildren",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(std::vector<Oid> children,
+                              CouplingOf(ctx)->ChildrenOf(self));
+        ValueList out;
+        out.reserve(children.size());
+        for (Oid c : children) out.push_back(Value(c));
+        return Value(std::move(out));
+      });
+
+  methods.Register(
+      kIrsObjectClass, "getParent",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(Oid parent, CouplingOf(ctx)->ParentOf(self));
+        return parent.valid() ? Value(parent) : Value();
+      });
+
+  methods.Register(
+      kIrsObjectClass, "getNext",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(Oid next, CouplingOf(ctx)->NextSiblingOf(self));
+        return next.valid() ? Value(next) : Value();
+      });
+
+  methods.Register(
+      kIrsObjectClass, "getContaining",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 1 || !args[0].is_string()) {
+          return Status::InvalidArgument(
+              "getContaining expects an element-type name");
+        }
+        SDMS_ASSIGN_OR_RETURN(
+            Oid found, CouplingOf(ctx)->ContainingOf(self, args[0].as_string()));
+        return found.valid() ? Value(found) : Value();
+      });
+
+  methods.Register(
+      kIrsObjectClass, "length",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(std::string text,
+                              CouplingOf(ctx)->SubtreeText(self));
+        return Value(static_cast<int64_t>(SplitWhitespace(text).size()));
+      });
+
+  methods.Register(
+      kIrsObjectClass, "subtreeText",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(std::string text,
+                              CouplingOf(ctx)->SubtreeText(self));
+        return Value(std::move(text));
+      });
+
+  return Status::OK();
+}
+
+Status Coupling::RegisterCollectionMethods() {
+  auto& methods = db_->methods();
+
+  methods.Register(
+      kCollectionClass, "indexObjects",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.empty() || !args[0].is_string()) {
+          return Status::InvalidArgument(
+              "indexObjects expects (specQuery [, textMode])");
+        }
+        int mode = 0;
+        if (args.size() >= 2 && args[1].is_int()) {
+          mode = static_cast<int>(args[1].as_int());
+        }
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->GetCollection(self));
+        SDMS_RETURN_IF_ERROR(coll->IndexObjects(args[0].as_string(), mode));
+        return Value(true);
+      });
+
+  methods.Register(
+      kCollectionClass, "getIRSResult",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 1 || !args[0].is_string()) {
+          return Status::InvalidArgument("getIRSResult expects (IRSQuery)");
+        }
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->GetCollection(self));
+        SDMS_ASSIGN_OR_RETURN(const OidScoreMap* result,
+                              coll->GetIrsResult(args[0].as_string()));
+        ValueDict dict;
+        for (const auto& [oid, score] : *result) {
+          dict.emplace(oid.ToString(), Value(score));
+        }
+        return Value(std::move(dict));
+      });
+
+  methods.Register(
+      kCollectionClass, "findIRSValue",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 2 || !args[0].is_string() || !args[1].is_oid()) {
+          return Status::InvalidArgument(
+              "findIRSValue expects (IRSQuery, IRSObject)");
+        }
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->GetCollection(self));
+        SDMS_ASSIGN_OR_RETURN(
+            double value,
+            coll->FindIrsValue(args[0].as_string(), args[1].as_oid()));
+        return Value(value);
+      });
+
+  methods.Register(
+      kCollectionClass, "propagateUpdates",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>&) -> StatusOr<Value> {
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->GetCollection(self));
+        SDMS_RETURN_IF_ERROR(coll->PropagateUpdates());
+        return Value(true);
+      });
+
+  methods.Register(
+      kCollectionClass, "setDerivationScheme",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 1 || !args[0].is_string()) {
+          return Status::InvalidArgument(
+              "setDerivationScheme expects a scheme name");
+        }
+        SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                              CouplingOf(ctx)->GetCollection(self));
+        SDMS_RETURN_IF_ERROR(coll->SetDerivationScheme(args[0].as_string()));
+        return Value(true);
+      });
+
+  return Status::OK();
+}
+
+CouplingStats Coupling::AggregateStats() const {
+  CouplingStats total;
+  for (const auto& [oid, c] : collections_) {
+    const CouplingStats& s = c->stats();
+    total.irs_queries += s.irs_queries;
+    total.buffer_hits += s.buffer_hits;
+    total.buffer_misses += s.buffer_misses;
+    total.derive_calls += s.derive_calls;
+    total.reindex_ops += s.reindex_ops;
+    total.cancelled_ops += s.cancelled_ops;
+    total.bytes_exchanged += s.bytes_exchanged;
+    total.files_exchanged += s.files_exchanged;
+  }
+  return total;
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,232 @@
+#include "coupling/derivation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdms::coupling {
+
+namespace {
+
+using irs::QueryNode;
+using irs::QueryOp;
+
+/// Fetches component values for the full query, shared by the simple
+/// (query-agnostic) schemes.
+StatusOr<std::vector<std::pair<Oid, double>>> ComponentValues(
+    const DerivationContext& ctx) {
+  SDMS_ASSIGN_OR_RETURN(std::vector<Oid> components,
+                        ctx.components_of(ctx.object));
+  std::vector<std::pair<Oid, double>> out;
+  out.reserve(components.size());
+  for (Oid c : components) {
+    SDMS_ASSIGN_OR_RETURN(double v, ctx.component_value(c, ctx.irs_query));
+    out.emplace_back(c, v);
+  }
+  return out;
+}
+
+class MaxScheme : public DerivationScheme {
+ public:
+  std::string name() const override { return "max"; }
+
+  StatusOr<double> Derive(const DerivationContext& ctx) const override {
+    SDMS_ASSIGN_OR_RETURN(auto values, ComponentValues(ctx));
+    double best = ctx.default_value;
+    for (const auto& [oid, v] : values) best = std::max(best, v);
+    return best;
+  }
+};
+
+class AvgScheme : public DerivationScheme {
+ public:
+  std::string name() const override { return "avg"; }
+
+  StatusOr<double> Derive(const DerivationContext& ctx) const override {
+    SDMS_ASSIGN_OR_RETURN(auto values, ComponentValues(ctx));
+    if (values.empty()) return ctx.default_value;
+    double sum = 0.0;
+    for (const auto& [oid, v] : values) sum += v;
+    return sum / static_cast<double>(values.size());
+  }
+};
+
+class WeightedTypeScheme : public DerivationScheme {
+ public:
+  explicit WeightedTypeScheme(std::map<std::string, double> weights)
+      : weights_(std::move(weights)) {}
+
+  std::string name() const override { return "wtype"; }
+
+  StatusOr<double> Derive(const DerivationContext& ctx) const override {
+    SDMS_ASSIGN_OR_RETURN(auto values, ComponentValues(ctx));
+    if (values.empty()) return ctx.default_value;
+    double sum = 0.0;
+    double wsum = 0.0;
+    for (const auto& [oid, v] : values) {
+      SDMS_ASSIGN_OR_RETURN(std::string cls, ctx.class_of(oid));
+      auto it = weights_.find(cls);
+      double w = it == weights_.end() ? 1.0 : it->second;
+      sum += w * v;
+      wsum += w;
+    }
+    return wsum > 0.0 ? sum / wsum : ctx.default_value;
+  }
+
+ private:
+  std::map<std::string, double> weights_;
+};
+
+class LengthWeightedScheme : public DerivationScheme {
+ public:
+  std::string name() const override { return "length"; }
+
+  StatusOr<double> Derive(const DerivationContext& ctx) const override {
+    SDMS_ASSIGN_OR_RETURN(auto values, ComponentValues(ctx));
+    if (values.empty()) return ctx.default_value;
+    double sum = 0.0;
+    double wsum = 0.0;
+    for (const auto& [oid, v] : values) {
+      SDMS_ASSIGN_OR_RETURN(double len, ctx.length_of(oid));
+      double w = std::max(len, 1.0);
+      sum += w * v;
+      wsum += w;
+    }
+    return sum / wsum;
+  }
+};
+
+class SubqueryAwareScheme : public DerivationScheme {
+ public:
+  std::string name() const override { return "subquery"; }
+
+  StatusOr<double> Derive(const DerivationContext& ctx) const override {
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
+                          ctx.parse_query(ctx.irs_query));
+    SDMS_ASSIGN_OR_RETURN(std::vector<Oid> components,
+                          ctx.components_of(ctx.object));
+    if (components.empty()) return ctx.default_value;
+    return Combine(ctx, *tree, components);
+  }
+
+ private:
+  /// Evaluates the operator tree; leaves are scored as max over
+  /// components, inner nodes recombine with INQUERY semantics.
+  StatusOr<double> Combine(const DerivationContext& ctx,
+                           const QueryNode& node,
+                           const std::vector<Oid>& components) const {
+    switch (node.op) {
+      case QueryOp::kTerm: {
+        double best = ctx.default_value;
+        for (Oid c : components) {
+          SDMS_ASSIGN_OR_RETURN(double v, ctx.component_value(c, node.term));
+          best = std::max(best, v);
+        }
+        return best;
+      }
+      case QueryOp::kAnd: {
+        double b = 1.0;
+        for (const auto& child : node.children) {
+          SDMS_ASSIGN_OR_RETURN(double v, Combine(ctx, *child, components));
+          b *= v;
+        }
+        return node.children.empty() ? ctx.default_value : b;
+      }
+      case QueryOp::kOr: {
+        double b = 1.0;
+        for (const auto& child : node.children) {
+          SDMS_ASSIGN_OR_RETURN(double v, Combine(ctx, *child, components));
+          b *= 1.0 - v;
+        }
+        return node.children.empty() ? ctx.default_value : 1.0 - b;
+      }
+      case QueryOp::kNot: {
+        if (node.children.empty()) return ctx.default_value;
+        SDMS_ASSIGN_OR_RETURN(double v,
+                              Combine(ctx, *node.children[0], components));
+        return 1.0 - v;
+      }
+      case QueryOp::kSum: {
+        if (node.children.empty()) return ctx.default_value;
+        double sum = 0.0;
+        for (const auto& child : node.children) {
+          SDMS_ASSIGN_OR_RETURN(double v, Combine(ctx, *child, components));
+          sum += v;
+        }
+        return sum / static_cast<double>(node.children.size());
+      }
+      case QueryOp::kWsum: {
+        if (node.children.empty()) return ctx.default_value;
+        double sum = 0.0;
+        double wsum = 0.0;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          double w = i < node.weights.size() ? node.weights[i] : 1.0;
+          SDMS_ASSIGN_OR_RETURN(double v,
+                                Combine(ctx, *node.children[i], components));
+          sum += w * v;
+          wsum += w;
+        }
+        return wsum > 0.0 ? sum / wsum : ctx.default_value;
+      }
+      case QueryOp::kMax: {
+        double best = 0.0;
+        for (const auto& child : node.children) {
+          SDMS_ASSIGN_OR_RETURN(double v, Combine(ctx, *child, components));
+          best = std::max(best, v);
+        }
+        return node.children.empty() ? ctx.default_value : best;
+      }
+      case QueryOp::kOdn:
+      case QueryOp::kUwn: {
+        // Proximity subqueries are atomic: evaluate the whole window
+        // expression per component (a window match cannot span two
+        // components' texts).
+        std::string window_query = node.ToString();
+        double best = ctx.default_value;
+        for (Oid c : components) {
+          SDMS_ASSIGN_OR_RETURN(double v,
+                                ctx.component_value(c, window_query));
+          best = std::max(best, v);
+        }
+        return best;
+      }
+    }
+    return ctx.default_value;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DerivationScheme> MakeMaxScheme() {
+  return std::make_unique<MaxScheme>();
+}
+
+std::unique_ptr<DerivationScheme> MakeAvgScheme() {
+  return std::make_unique<AvgScheme>();
+}
+
+std::unique_ptr<DerivationScheme> MakeWeightedTypeScheme(
+    std::map<std::string, double> class_weights) {
+  return std::make_unique<WeightedTypeScheme>(std::move(class_weights));
+}
+
+std::unique_ptr<DerivationScheme> MakeLengthWeightedScheme() {
+  return std::make_unique<LengthWeightedScheme>();
+}
+
+std::unique_ptr<DerivationScheme> MakeSubqueryAwareScheme() {
+  return std::make_unique<SubqueryAwareScheme>();
+}
+
+StatusOr<std::unique_ptr<DerivationScheme>> MakeScheme(
+    const std::string& name) {
+  if (name == "max") return MakeMaxScheme();
+  if (name == "avg") return MakeAvgScheme();
+  if (name == "length") return MakeLengthWeightedScheme();
+  if (name == "subquery") return MakeSubqueryAwareScheme();
+  if (name == "wtype") {
+    return MakeWeightedTypeScheme({{"DOCTITLE", 2.0}, {"SECTITLE", 2.0}});
+  }
+  return Status::InvalidArgument("unknown derivation scheme: " + name);
+}
+
+}  // namespace sdms::coupling

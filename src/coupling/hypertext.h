@@ -1,0 +1,66 @@
+#ifndef SDMS_COUPLING_HYPERTEXT_H_
+#define SDMS_COUPLING_HYPERTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "coupling/coupling.h"
+#include "coupling/derivation.h"
+
+namespace sdms::coupling {
+
+/// Name of the binary-link class defined by RegisterHypertext.
+inline constexpr char kLinkClass[] = "LINK";
+/// The link type discussed in Section 5.
+inline constexpr char kImpliesLinkType[] = "implies";
+
+/// Installs the hypertext extension of Section 5 on a coupling:
+///  * defines the database class LINK (SOURCE, TARGET, LTYPE) with an
+///    index on TARGET;
+///  * registers text mode kTextModeWithLinks: a node's IRS document is
+///    its own subtree text *plus* the text of every node from which an
+///    implies-link points to it;
+///  * registers IRSObject methods linksFrom(type) and linksTo(type).
+Status RegisterHypertext(Coupling& coupling);
+
+/// Creates a typed binary link object.
+StatusOr<Oid> CreateLink(Coupling& coupling, Oid source, Oid target,
+                         const std::string& type = kImpliesLinkType);
+
+/// Sources of links of `type` pointing at `target`.
+StatusOr<std::vector<Oid>> LinkSources(Coupling& coupling, Oid target,
+                                       const std::string& type);
+
+/// Targets of links of `type` leaving `source`.
+StatusOr<std::vector<Oid>> LinkTargets(Coupling& coupling, Oid source,
+                                       const std::string& type);
+
+/// Materializes the HYPERLINK elements of stored documents into LINK
+/// objects (HyTime-style: the markup *declares* links, the database
+/// represents them as first-class objects). For every HYPERLINK
+/// element under `root` whose TARGET attribute names another
+/// document's DOCID, a LINK is created from the hyperlink's containing
+/// paragraph (or, when it has none, the hyperlink element itself) to
+/// that document's root, typed by the LINKTYPE attribute. Returns the
+/// number of links created; unresolvable targets are skipped.
+StatusOr<size_t> MaterializeHyperlinks(Coupling& coupling, Oid root);
+
+/// Looks up a document root by its DOCID attribute (linear scan of the
+/// MMFDOC extent unless an index on DOCID exists).
+StatusOr<Oid> FindDocumentById(Coupling& coupling, const std::string& docid);
+
+/// Derivation scheme using link semantics (Section 5: "deriveIRSValue
+/// can be used to calculate IRS values for hypertext nodes which are
+/// not represented in the IRS collection, using the link semantics"):
+/// the node's value is the maximum of (a) the component maximum over
+/// its children and (b) `damping` times the best value among nodes
+/// that imply it.
+std::unique_ptr<DerivationScheme> MakeLinkDerivationScheme(
+    Coupling* coupling, std::string link_type = kImpliesLinkType,
+    double damping = 0.8);
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_HYPERTEXT_H_

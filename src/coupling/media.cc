@@ -1,0 +1,71 @@
+#include "coupling/media.h"
+
+namespace sdms::coupling {
+
+namespace {
+
+/// Media element types (raw data leaves whose content is not text).
+bool IsMediaClass(const std::string& cls) {
+  return cls == "FIGURE" || cls == "IMAGE" || cls == "AUDIO" ||
+         cls == "VIDEO";
+}
+
+}  // namespace
+
+Status RegisterMediaTextMode(Coupling& coupling) {
+  Coupling* cp = &coupling;
+  coupling.RegisterTextProvider(
+      kTextModeMediaContext,
+      [cp](oodb::Database& db, Oid oid) -> StatusOr<std::string> {
+        SDMS_ASSIGN_OR_RETURN(std::string cls, db.ClassOf(oid));
+        SDMS_ASSIGN_OR_RETURN(std::string own, cp->SubtreeText(oid));
+        if (!IsMediaClass(cls)) return own;
+
+        std::string text = own;  // The caption.
+        auto append = [&text](const std::string& part) {
+          if (part.empty()) return;
+          if (!text.empty()) text += " ";
+          text += part;
+        };
+        // Referencing fragments: the sibling elements around the media
+        // object (typically the paragraphs discussing the figure).
+        SDMS_ASSIGN_OR_RETURN(Oid parent, cp->ParentOf(oid));
+        if (parent.valid()) {
+          SDMS_ASSIGN_OR_RETURN(std::vector<Oid> siblings,
+                                cp->ChildrenOf(parent));
+          for (size_t i = 0; i < siblings.size(); ++i) {
+            if (siblings[i] != oid) continue;
+            if (i > 0) {
+              SDMS_ASSIGN_OR_RETURN(std::string prev,
+                                    cp->SubtreeText(siblings[i - 1]));
+              append(prev);
+            }
+            if (i + 1 < siblings.size()) {
+              SDMS_ASSIGN_OR_RETURN(std::string next,
+                                    cp->SubtreeText(siblings[i + 1]));
+              append(next);
+            }
+            break;
+          }
+        }
+        // Section context: the title of the containing SECTION.
+        SDMS_ASSIGN_OR_RETURN(Oid section, cp->ContainingOf(oid, "SECTION"));
+        if (section.valid()) {
+          SDMS_ASSIGN_OR_RETURN(std::vector<Oid> children,
+                                cp->ChildrenOf(section));
+          for (Oid child : children) {
+            auto child_cls = db.ClassOf(child);
+            if (child_cls.ok() && *child_cls == "SECTITLE") {
+              SDMS_ASSIGN_OR_RETURN(std::string title,
+                                    cp->SubtreeText(child));
+              append(title);
+              break;
+            }
+          }
+        }
+        return text;
+      });
+  return Status::OK();
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,30 @@
+#ifndef SDMS_COUPLING_MEDIA_H_
+#define SDMS_COUPLING_MEDIA_H_
+
+#include "common/status.h"
+#include "coupling/coupling.h"
+
+namespace sdms::coupling {
+
+/// Text mode registered by RegisterMediaTextMode.
+inline constexpr int kTextModeMediaContext = 4;
+
+/// Installs the non-textual-media handling of Section 5: "a
+/// practicable approach to facilitate information retrieval from
+/// images or other multimedia data in documents is having the text
+/// fragments as IRS documents that reference the image [CrT91, DuR93].
+/// The method getText for image objects would return exactly this
+/// text."
+///
+/// Mode kTextModeMediaContext produces, for a media element (e.g.
+/// FIGURE), the concatenation of
+///   * its own subtree text (the CAPTION),
+///   * the text of its preceding and following sibling elements
+///     (the fragments that reference the image), and
+///   * the title of the containing section, if any.
+/// For non-media elements the mode falls back to the subtree text.
+Status RegisterMediaTextMode(Coupling& coupling);
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_MEDIA_H_

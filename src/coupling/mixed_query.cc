@@ -1,0 +1,144 @@
+#include "coupling/mixed_query.h"
+
+#include "oodb/query/parser.h"
+
+namespace sdms::coupling {
+
+using oodb::vql::BinOp;
+using oodb::vql::Expr;
+using oodb::vql::ExprKind;
+using oodb::vql::ParsedQuery;
+using oodb::vql::QueryResult;
+using oodb::vql::SplitConjuncts;
+
+namespace {
+
+/// A recognized content restriction: var -> getIRSValue(coll, 'q') > t.
+struct ContentRestriction {
+  std::string var;
+  std::string collection;
+  std::string irs_query;
+  double threshold = 0.0;
+  bool inclusive = false;  // >= vs >
+};
+
+bool AsContentRestriction(const Expr& e, ContentRestriction* out) {
+  if (e.kind != ExprKind::kBinary) return false;
+  const Expr* call = nullptr;
+  const Expr* bound = nullptr;
+  bool greater;   // call > bound vs bound < call etc.
+  bool inclusive;
+  switch (e.bin_op) {
+    case BinOp::kGt:
+      call = e.child.get();
+      bound = e.rhs.get();
+      greater = true;
+      inclusive = false;
+      break;
+    case BinOp::kGe:
+      call = e.child.get();
+      bound = e.rhs.get();
+      greater = true;
+      inclusive = true;
+      break;
+    case BinOp::kLt:
+      call = e.rhs.get();
+      bound = e.child.get();
+      greater = true;
+      inclusive = false;
+      break;
+    case BinOp::kLe:
+      call = e.rhs.get();
+      bound = e.child.get();
+      greater = true;
+      inclusive = true;
+      break;
+    default:
+      return false;
+  }
+  if (!greater) return false;
+  if (call->kind != ExprKind::kMethodCall || call->name != "getIRSValue") {
+    return false;
+  }
+  if (call->child->kind != ExprKind::kVarRef) return false;
+  if (call->args.size() != 2 ||
+      call->args[0]->kind != ExprKind::kLiteral ||
+      !call->args[0]->literal.is_string() ||
+      call->args[1]->kind != ExprKind::kLiteral ||
+      !call->args[1]->literal.is_string()) {
+    return false;
+  }
+  if (bound->kind != ExprKind::kLiteral || !bound->literal.is_numeric()) {
+    return false;
+  }
+  out->var = call->child->name;
+  out->collection = call->args[0]->literal.as_string();
+  out->irs_query = call->args[1]->literal.as_string();
+  out->threshold = bound->literal.AsNumber().value();
+  out->inclusive = inclusive;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
+                                               Strategy strategy) {
+  info_ = RunInfo{};
+  info_.strategy = strategy;
+  SDMS_ASSIGN_OR_RETURN(ParsedQuery query, oodb::vql::ParseQuery(vql));
+  if (strategy == Strategy::kIrsFirst) {
+    SDMS_RETURN_IF_ERROR(ApplyIrsFirst(query));
+  }
+  return coupling_->query_engine().Run(query);
+}
+
+Status MixedQueryEvaluator::ApplyIrsFirst(const ParsedQuery& query) {
+  // Candidate sets per variable; conjuncts on the same variable
+  // intersect.
+  std::map<std::string, std::set<Oid>> candidates;
+  std::map<std::string, bool> seeded;
+  for (const Expr* conjunct : SplitConjuncts(query.where.get())) {
+    ContentRestriction r;
+    if (!AsContentRestriction(*conjunct, &r)) continue;
+    SDMS_ASSIGN_OR_RETURN(Collection * coll,
+                          coupling_->GetCollectionByName(r.collection));
+    // Soundness guard: objects absent from the IRS result still score
+    // the query's null belief. If that already passes the threshold,
+    // the content predicate cannot restrict the candidate set (every
+    // represented object qualifies) — fall back to independent
+    // evaluation for this conjunct.
+    SDMS_ASSIGN_OR_RETURN(double null_score, coll->NullScore(r.irs_query));
+    if (null_score > r.threshold ||
+        (r.inclusive && null_score >= r.threshold)) {
+      continue;
+    }
+    SDMS_ASSIGN_OR_RETURN(const OidScoreMap* result,
+                          coll->GetIrsResult(r.irs_query));
+    std::set<Oid> qualifying;
+    for (const auto& [oid, score] : *result) {
+      if (score > r.threshold || (r.inclusive && score >= r.threshold)) {
+        qualifying.insert(oid);
+      }
+    }
+    ++info_.irs_restrictions;
+    auto it = candidates.find(r.var);
+    if (!seeded[r.var]) {
+      candidates[r.var] = std::move(qualifying);
+      seeded[r.var] = true;
+    } else {
+      std::set<Oid> merged;
+      for (Oid oid : it->second) {
+        if (qualifying.count(oid) > 0) merged.insert(oid);
+      }
+      it->second = std::move(merged);
+    }
+  }
+  for (const auto& [var, oids] : candidates) {
+    info_.irs_candidates += oids.size();
+    coupling_->query_engine().SetCandidateOverride(
+        var, std::vector<Oid>(oids.begin(), oids.end()));
+  }
+  return Status::OK();
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,66 @@
+#ifndef SDMS_COUPLING_MIXED_QUERY_H_
+#define SDMS_COUPLING_MIXED_QUERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "coupling/coupling.h"
+
+namespace sdms::coupling {
+
+/// Evaluates mixed (structure + content) queries with the two
+/// strategies of Section 4.5.3:
+///
+///  (1) kIndependent — the query portions are processed independently
+///      by the corresponding system and the results are combined: the
+///      DBMS enumerates its extents, and every content conjunct
+///      (`getIRSValue`) is answered from the buffered IRS result (the
+///      prepare hook warms the buffer with one IRS call per distinct
+///      query). "Restrictions on the search space by the IRS cannot be
+///      used by the OODBMS."
+///
+///  (2) kIrsFirst — "the IRS selects all IRS documents fulfilling the
+///      conditions on the content. The structure conditions are only
+///      verified for the text objects identified in this first step":
+///      content conjuncts of the form
+///          var -> getIRSValue(coll, 'q') > threshold
+///      are evaluated via getIRSResult first; the qualifying OIDs
+///      become the candidate set of `var` in the database evaluation.
+///      Two soundness rules apply: a restriction whose threshold is at
+///      or below the query's null score is skipped (objects without
+///      evidence would qualify too), and the strategy presumes `var`
+///      ranges over objects represented in the collection — values of
+///      non-represented objects are derived, which only the
+///      independent strategy evaluates.
+class MixedQueryEvaluator {
+ public:
+  enum class Strategy { kIndependent, kIrsFirst };
+
+  /// Diagnostics of the most recent Run.
+  struct RunInfo {
+    Strategy strategy = Strategy::kIndependent;
+    /// Content conjuncts converted to candidate restrictions.
+    size_t irs_restrictions = 0;
+    /// Total candidates injected by the IRS-first step.
+    size_t irs_candidates = 0;
+  };
+
+  explicit MixedQueryEvaluator(Coupling* coupling) : coupling_(coupling) {}
+
+  /// Parses and runs `vql` under `strategy`. Both strategies return
+  /// identical rows; they differ in evaluation cost.
+  StatusOr<oodb::vql::QueryResult> Run(const std::string& vql,
+                                       Strategy strategy);
+
+  const RunInfo& last_run() const { return info_; }
+
+ private:
+  Status ApplyIrsFirst(const oodb::vql::ParsedQuery& query);
+
+  Coupling* coupling_;
+  RunInfo info_;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_MIXED_QUERY_H_

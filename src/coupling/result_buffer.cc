@@ -1,0 +1,102 @@
+#include "coupling/result_buffer.h"
+
+#include "oodb/storage/serializer.h"
+
+namespace sdms::coupling {
+
+using oodb::Decoder;
+using oodb::Encoder;
+
+const OidScoreMap* ResultBuffer::Get(const std::string& query) {
+  auto it = entries_.find(query);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  Touch(query, it->second);
+  return &it->second.result;
+}
+
+void ResultBuffer::Put(const std::string& query, OidScoreMap result) {
+  auto it = entries_.find(query);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    Touch(query, it->second);
+    return;
+  }
+  lru_.push_front(query);
+  Entry e;
+  e.result = std::move(result);
+  e.lru_it = lru_.begin();
+  entries_.emplace(query, std::move(e));
+  if (capacity_ > 0 && entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+  }
+}
+
+void ResultBuffer::InsertValue(const std::string& query, Oid oid,
+                               double score) {
+  auto it = entries_.find(query);
+  if (it == entries_.end()) {
+    Put(query, OidScoreMap{{oid, score}});
+    return;
+  }
+  it->second.result[oid] = score;
+}
+
+void ResultBuffer::Touch(const std::string& query, Entry& e) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(query);
+  e.lru_it = lru_.begin();
+}
+
+void ResultBuffer::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void ResultBuffer::Erase(const std::string& query) {
+  auto it = entries_.find(query);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+std::string ResultBuffer::Serialize() const {
+  Encoder enc;
+  enc.PutU64(entries_.size());
+  // Persist in LRU order so the order is restored too.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const Entry& e = entries_.at(*it);
+    enc.PutString(*it);
+    enc.PutU64(e.result.size());
+    for (const auto& [oid, score] : e.result) {
+      enc.PutU64(oid.raw());
+      enc.PutDouble(score);
+    }
+  }
+  return enc.Release();
+}
+
+Status ResultBuffer::Restore(std::string_view data) {
+  Clear();
+  Decoder dec(data);
+  SDMS_ASSIGN_OR_RETURN(uint64_t n, dec.GetU64());
+  for (uint64_t i = 0; i < n; ++i) {
+    SDMS_ASSIGN_OR_RETURN(std::string query, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(uint64_t m, dec.GetU64());
+    OidScoreMap result;
+    for (uint64_t k = 0; k < m; ++k) {
+      SDMS_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+      SDMS_ASSIGN_OR_RETURN(double score, dec.GetDouble());
+      result.emplace(Oid(raw), score);
+    }
+    Put(query, std::move(result));
+  }
+  return Status::OK();
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,70 @@
+#ifndef SDMS_COUPLING_RESULT_BUFFER_H_
+#define SDMS_COUPLING_RESULT_BUFFER_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "coupling/types.h"
+
+namespace sdms::coupling {
+
+/// The persistent IRS-result buffer of Section 4.2: a dictionary
+/// ||STRING --> ||IRSObject --> REAL|| || keyed by IRS query strings.
+/// It serves both intra-query optimization (many objects probed against
+/// one query during a single VQL evaluation) and inter-query
+/// optimization (the same IRS query across separate VQL queries). The
+/// buffer is invalidated when update propagation changes the IRS index.
+class ResultBuffer {
+ public:
+  /// `capacity` bounds the number of buffered queries (LRU eviction);
+  /// 0 = unbounded.
+  explicit ResultBuffer(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns the buffered result for `query`, or nullptr. Refreshes
+  /// LRU order.
+  const OidScoreMap* Get(const std::string& query);
+
+  /// Stores (replacing) the result for `query`.
+  void Put(const std::string& query, OidScoreMap result);
+
+  /// Adds one (object, value) pair into the buffered result of `query`
+  /// (used to cache derived IRS values per Figure 3); creates the
+  /// entry when absent.
+  void InsertValue(const std::string& query, Oid oid, double score);
+
+  /// Drops everything (called after index-changing update propagation).
+  void Clear();
+
+  /// Drops only `query`.
+  void Erase(const std::string& query);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Serializes the buffer (persistence across sessions — the paper
+  /// buffers results "persistently").
+  std::string Serialize() const;
+  Status Restore(std::string_view data);
+
+ private:
+  struct Entry {
+    OidScoreMap result;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(const std::string& query, Entry& e);
+
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// Most-recent first.
+  std::list<std::string> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_RESULT_BUFFER_H_

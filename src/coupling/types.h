@@ -1,0 +1,37 @@
+#ifndef SDMS_COUPLING_TYPES_H_
+#define SDMS_COUPLING_TYPES_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/oid.h"
+
+namespace sdms::coupling {
+
+/// An IRS result mapped back to database objects: the paper's
+/// dictionary ||IRSObject --> REAL|| (Section 4.2).
+using OidScoreMap = std::map<Oid, double>;
+
+/// Counters describing coupling behaviour; read by tests and benches.
+struct CouplingStats {
+  /// Queries actually submitted to the IRS machine.
+  uint64_t irs_queries = 0;
+  /// findIRSValue served from the persistent result buffer.
+  uint64_t buffer_hits = 0;
+  /// findIRSValue that had to call the IRS.
+  uint64_t buffer_misses = 0;
+  /// deriveIRSValue invocations (objects not represented in the IRS).
+  uint64_t derive_calls = 0;
+  /// Documents (re)indexed in the IRS due to update propagation.
+  uint64_t reindex_ops = 0;
+  /// Update operations suppressed by operation-log cancellation.
+  uint64_t cancelled_ops = 0;
+  /// Bytes moved across the system boundary in file-exchange mode.
+  uint64_t bytes_exchanged = 0;
+  /// Result files written/parsed (file-exchange mode).
+  uint64_t files_exchanged = 0;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_TYPES_H_

@@ -1,0 +1,73 @@
+#include "coupling/update_log.h"
+
+#include <algorithm>
+
+namespace sdms::coupling {
+
+using oodb::UpdateKind;
+
+void UpdateLog::Record(UpdateKind kind, Oid oid) {
+  ++recorded_;
+  auto it = net_.find(oid);
+  if (it == net_.end()) {
+    NetState s = kind == UpdateKind::kInsert   ? NetState::kInsert
+                 : kind == UpdateKind::kModify ? NetState::kModify
+                                               : NetState::kDelete;
+    net_.emplace(oid, s);
+    order_.push_back(oid);
+    return;
+  }
+  switch (it->second) {
+    case NetState::kInsert:
+      if (kind == UpdateKind::kDelete) {
+        // insert + delete annihilate: both operations vanish.
+        net_.erase(it);
+        order_.erase(std::find(order_.begin(), order_.end(), oid));
+        cancelled_ += 2;
+      } else {
+        // insert + modify stays an insert (indexing sees final state).
+        ++cancelled_;
+      }
+      break;
+    case NetState::kModify:
+      if (kind == UpdateKind::kDelete) {
+        it->second = NetState::kDelete;
+        ++cancelled_;  // The modify became unnecessary.
+      } else {
+        // modify + modify collapse to one modify.
+        ++cancelled_;
+      }
+      break;
+    case NetState::kDelete:
+      if (kind == UpdateKind::kInsert) {
+        // OIDs are never reused by the database, but a caller may
+        // re-register the same document key: treat conservatively as a
+        // modify (remove + add in the IRS).
+        it->second = NetState::kModify;
+        ++cancelled_;
+      }
+      break;
+  }
+}
+
+std::vector<PendingOp> UpdateLog::Drain() {
+  std::vector<PendingOp> out;
+  out.reserve(net_.size());
+  for (Oid oid : order_) {
+    auto it = net_.find(oid);
+    if (it == net_.end()) continue;
+    UpdateKind kind = it->second == NetState::kInsert   ? UpdateKind::kInsert
+                      : it->second == NetState::kModify ? UpdateKind::kModify
+                                                        : UpdateKind::kDelete;
+    out.push_back(PendingOp{kind, oid});
+  }
+  Clear();
+  return out;
+}
+
+void UpdateLog::Clear() {
+  net_.clear();
+  order_.clear();
+}
+
+}  // namespace sdms::coupling

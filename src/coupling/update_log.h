@@ -1,0 +1,74 @@
+#ifndef SDMS_COUPLING_UPDATE_LOG_H_
+#define SDMS_COUPLING_UPDATE_LOG_H_
+
+#include <map>
+#include <vector>
+
+#include "common/oid.h"
+#include "oodb/database.h"
+
+namespace sdms::coupling {
+
+/// When IRS index structures are brought up to date (Section 4.6):
+///   kEager   — after every committed database update;
+///   kOnQuery — deferred; enforced before the next IRS query
+///              ("if an information-need query is issued with update
+///               propagation pending, propagation is enforced");
+///   kManual  — only when the application calls PropagateUpdates()
+///              (e.g., in detected low-load periods). Queries *do not*
+///              flush; results may be stale. Exposed mainly so the
+///              update bench can quantify the trade-off.
+enum class PropagationPolicy { kEager, kOnQuery, kManual };
+
+/// One net effect to apply to the IRS.
+struct PendingOp {
+  oodb::UpdateKind kind;
+  Oid oid;
+};
+
+/// Records database operations relevant to a collection, cancelling
+/// sequences whose effects annihilate ("database operations are
+/// recorded to avoid unnecessary update propagations, i.e. rebuilding
+/// the IRS index structures even though they will not change").
+/// Net-effect rules per object:
+///   insert + delete            -> nothing
+///   insert + modify*           -> insert
+///   modify + modify*           -> one modify
+///   modify + delete            -> delete
+///   delete + insert (re-use)   -> modify (conservative)
+class UpdateLog {
+ public:
+  /// Records one operation, folding it into the object's net effect.
+  void Record(oodb::UpdateKind kind, Oid oid);
+
+  /// Returns the net operations (in first-touched order) and empties
+  /// the log.
+  std::vector<PendingOp> Drain();
+
+  size_t size() const { return net_.size(); }
+  bool empty() const { return net_.empty(); }
+
+  /// True if a net operation is pending for `oid`.
+  bool Has(Oid oid) const { return net_.count(oid) > 0; }
+
+  /// Raw operations recorded (before cancellation).
+  uint64_t recorded() const { return recorded_; }
+  /// Operations eliminated by cancellation (recorded - net effects
+  /// still pending or drained).
+  uint64_t cancelled() const { return cancelled_; }
+
+  void Clear();
+
+ private:
+  enum class NetState { kInsert, kModify, kDelete };
+
+  // Net effect per object plus arrival order for deterministic drains.
+  std::map<Oid, NetState> net_;
+  std::vector<Oid> order_;
+  uint64_t recorded_ = 0;
+  uint64_t cancelled_ = 0;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_UPDATE_LOG_H_

@@ -1,0 +1,105 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdms::eval {
+
+double PrecisionAtK(const Ranking& ranking, const RelevantSet& relevant,
+                    size_t k) {
+  if (k == 0) return 0.0;
+  size_t n = std::min(k, ranking.size());
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranking[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double RecallAtK(const Ranking& ranking, const RelevantSet& relevant,
+                 size_t k) {
+  if (relevant.empty()) return 0.0;
+  size_t n = std::min(k, ranking.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranking[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double AveragePrecision(const Ranking& ranking, const RelevantSet& relevant) {
+  if (relevant.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double MeanAveragePrecision(const std::vector<Ranking>& rankings,
+                            const std::vector<RelevantSet>& relevants) {
+  if (rankings.empty() || rankings.size() != relevants.size()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    sum += AveragePrecision(rankings[i], relevants[i]);
+  }
+  return sum / static_cast<double>(rankings.size());
+}
+
+double NdcgAtK(const Ranking& ranking, const RelevantSet& relevant, size_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  size_t n = std::min(k, ranking.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranking[i]) > 0) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal = std::min(k, relevant.size());
+  for (size_t i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  int64_t ties_a = 0;
+  int64_t ties_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) continue;
+      if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double n0 = static_cast<double>(concordant + discordant + ties_a);
+  double n1 = static_cast<double>(concordant + discordant + ties_b);
+  double denom = std::sqrt(n0 * n1);
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double F1(double precision, double recall) {
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace sdms::eval

@@ -1,0 +1,42 @@
+#ifndef SDMS_EVAL_METRICS_H_
+#define SDMS_EVAL_METRICS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sdms::eval {
+
+/// A ranked retrieval run: item keys in rank order (best first).
+using Ranking = std::vector<std::string>;
+/// Relevant-item ground truth.
+using RelevantSet = std::set<std::string>;
+
+/// Precision at cutoff k (k > ranking size uses the full ranking).
+double PrecisionAtK(const Ranking& ranking, const RelevantSet& relevant,
+                    size_t k);
+
+/// Recall at cutoff k.
+double RecallAtK(const Ranking& ranking, const RelevantSet& relevant,
+                 size_t k);
+
+/// Average precision (AP) of one ranking.
+double AveragePrecision(const Ranking& ranking, const RelevantSet& relevant);
+
+/// Mean of per-query average precision.
+double MeanAveragePrecision(const std::vector<Ranking>& rankings,
+                            const std::vector<RelevantSet>& relevants);
+
+/// Normalized discounted cumulative gain at k (binary gains).
+double NdcgAtK(const Ranking& ranking, const RelevantSet& relevant, size_t k);
+
+/// Kendall rank-correlation tau-b between two score vectors over the
+/// same items (1 = identical order, -1 = reversed). Ties handled.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// F1 of precision and recall.
+double F1(double precision, double recall);
+
+}  // namespace sdms::eval
+
+#endif  // SDMS_EVAL_METRICS_H_

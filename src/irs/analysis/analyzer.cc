@@ -1,0 +1,31 @@
+#include "irs/analysis/analyzer.h"
+
+#include "common/string_util.h"
+#include "irs/analysis/porter_stemmer.h"
+#include "irs/analysis/stopwords.h"
+#include "irs/analysis/tokenizer.h"
+
+namespace sdms::irs {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> tokens = TokenizeText(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& tok : tokens) {
+    if (options_.remove_stopwords && IsStopword(tok)) continue;
+    if (options_.stem) tok = PorterStem(tok);
+    if (tok.size() < options_.min_token_length) continue;
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeTerm(std::string_view term) const {
+  std::string tok = ToLower(term);
+  if (options_.remove_stopwords && IsStopword(tok)) return "";
+  if (options_.stem) tok = PorterStem(tok);
+  if (tok.size() < options_.min_token_length) return "";
+  return tok;
+}
+
+}  // namespace sdms::irs

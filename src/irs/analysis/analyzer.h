@@ -1,0 +1,41 @@
+#ifndef SDMS_IRS_ANALYSIS_ANALYZER_H_
+#define SDMS_IRS_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdms::irs {
+
+/// Configuration of the text-analysis pipeline applied to documents at
+/// indexing time and to query terms at search time.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Tokens shorter than this (after analysis) are dropped.
+  size_t min_token_length = 1;
+};
+
+/// The analysis pipeline: tokenize -> lowercase -> stop-filter -> stem.
+/// Both the indexer and the query parsers route text through the same
+/// analyzer so document and query terms agree.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Full pipeline over running text.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  /// Pipeline for a single query term; returns empty when the term is
+  /// stopped out.
+  std::string AnalyzeTerm(std::string_view term) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,343 @@
+#include "irs/analysis/porter_stemmer.h"
+
+namespace sdms::irs {
+
+namespace {
+
+/// Working buffer for one stemming run. Implements the measure and
+/// condition predicates of Porter (1980), operating on b[0..k] with
+/// signed indices exactly like the reference implementation.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1a();
+    if (k_ > 0) Step1b();
+    if (k_ > 0) Step1c();
+    if (k_ > 0) Step2();
+    if (k_ > 0) Step3();
+    if (k_ > 0) Step4();
+    if (k_ > 0) Step5a();
+    if (k_ > 0) Step5b();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m(): the number of VC sequences in b[0..j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// True if b[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if b[i-1..i] is a double consonant.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i) - 1]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  /// cvc(i): consonant-vowel-consonant ending at i with the final
+  /// consonant not w, x or y (so "hop" triggers, "snow" does not).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  /// True if b[0..k_] ends with `s`; sets j_ to the stem end.
+  bool Ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  /// Replaces the suffix after j_ by `s` and updates k_.
+  void SetTo(std::string_view s) {
+    b_.resize(static_cast<size_t>(j_) + 1);
+    b_.append(s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  /// SetTo(s) when m() > 0.
+  void R(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Truncate() { b_.resize(static_cast<size_t>(k_) + 1); }
+
+  // Step 1a: plurals. SSES->SS, IES->I, SS->SS, S->"".
+  void Step1a() {
+    if (b_[static_cast<size_t>(k_)] != 's') return;
+    if (Ends("sses")) {
+      k_ -= 2;
+    } else if (Ends("ies")) {
+      SetTo("i");
+    } else if (k_ >= 1 && b_[static_cast<size_t>(k_) - 1] != 's') {
+      --k_;
+    }
+    Truncate();
+  }
+
+  // Step 1b: -eed, -ed, -ing.
+  void Step1b() {
+    if (Ends("eed")) {
+      if (Measure() > 0) {
+        --k_;
+        Truncate();
+      }
+      return;
+    }
+    bool stripped = false;
+    if (Ends("ed") && VowelInStem()) {
+      k_ = j_;
+      stripped = true;
+    } else if (Ends("ing") && VowelInStem()) {
+      k_ = j_;
+      stripped = true;
+    }
+    if (!stripped) return;
+    Truncate();
+    if (Ends("at")) {
+      SetTo("ate");
+    } else if (Ends("bl")) {
+      SetTo("ble");
+    } else if (Ends("iz")) {
+      SetTo("ize");
+    } else if (DoubleC(k_)) {
+      char ch = b_[static_cast<size_t>(k_)];
+      if (ch != 'l' && ch != 's' && ch != 'z') {
+        --k_;
+        Truncate();
+      }
+    } else {
+      j_ = k_;
+      if (Measure() == 1 && Cvc(k_)) SetTo("e");
+    }
+  }
+
+  // Step 1c: y -> i when there is a vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  // Step 2: double suffixes mapped to single ones when m > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_) - 1]) {
+      case 'a':
+        if (Ends("ational")) { R("ate"); break; }
+        if (Ends("tional")) { R("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { R("ence"); break; }
+        if (Ends("anci")) { R("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { R("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { R("ble"); break; }
+        if (Ends("alli")) { R("al"); break; }
+        if (Ends("entli")) { R("ent"); break; }
+        if (Ends("eli")) { R("e"); break; }
+        if (Ends("ousli")) { R("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { R("ize"); break; }
+        if (Ends("ation")) { R("ate"); break; }
+        if (Ends("ator")) { R("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { R("al"); break; }
+        if (Ends("iveness")) { R("ive"); break; }
+        if (Ends("fulness")) { R("ful"); break; }
+        if (Ends("ousness")) { R("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { R("al"); break; }
+        if (Ends("iviti")) { R("ive"); break; }
+        if (Ends("biliti")) { R("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { R("log"); break; }
+        break;
+      default:
+        break;
+    }
+    Truncate();
+  }
+
+  // Step 3: -icate, -ful, -ness etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { R("ic"); break; }
+        if (Ends("ative")) { R(""); break; }
+        if (Ends("alize")) { R("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { R("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { R("ic"); break; }
+        if (Ends("ful")) { R(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { R(""); break; }
+        break;
+      default:
+        break;
+    }
+    Truncate();
+  }
+
+  // Step 4: single suffixes removed when m > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[static_cast<size_t>(k_) - 1]) {
+      case 'a':
+        matched = Ends("al");
+        break;
+      case 'c':
+        matched = Ends("ance") || Ends("ence");
+        break;
+      case 'e':
+        matched = Ends("er");
+        break;
+      case 'i':
+        matched = Ends("ic");
+        break;
+      case 'l':
+        matched = Ends("able") || Ends("ible");
+        break;
+      case 'n':
+        matched = Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent");
+        break;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          matched = true;
+        } else {
+          matched = Ends("ou");
+        }
+        break;
+      case 's':
+        matched = Ends("ism");
+        break;
+      case 't':
+        matched = Ends("ate") || Ends("iti");
+        break;
+      case 'u':
+        matched = Ends("ous");
+        break;
+      case 'v':
+        matched = Ends("ive");
+        break;
+      case 'z':
+        matched = Ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure() > 1) {
+      k_ = j_;
+      Truncate();
+    }
+  }
+
+  // Step 5a: remove final -e when m > 1, or m == 1 and not cvc.
+  void Step5a() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) {
+        --k_;
+        Truncate();
+      }
+    }
+  }
+
+  // Step 5b: -ll -> -l when m > 1.
+  void Step5b() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleC(k_) && Measure() > 1) {
+      --k_;
+      Truncate();
+    }
+  }
+
+  std::string b_;
+  int k_;       // Index of the last character.
+  int j_ = 0;   // Stem end set by Ends().
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);  // Non-alpha: skip.
+  }
+  Stemmer s(word);
+  return s.Run();
+}
+
+}  // namespace sdms::irs

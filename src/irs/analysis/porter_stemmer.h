@@ -1,0 +1,16 @@
+#ifndef SDMS_IRS_ANALYSIS_PORTER_STEMMER_H_
+#define SDMS_IRS_ANALYSIS_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace sdms::irs {
+
+/// Stems `word` (lowercase ASCII) with the classic Porter (1980)
+/// algorithm — the stemmer INQUERY-era IR systems used. Words shorter
+/// than 3 characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_ANALYSIS_PORTER_STEMMER_H_

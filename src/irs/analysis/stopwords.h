@@ -1,0 +1,17 @@
+#ifndef SDMS_IRS_ANALYSIS_STOPWORDS_H_
+#define SDMS_IRS_ANALYSIS_STOPWORDS_H_
+
+#include <string_view>
+
+namespace sdms::irs {
+
+/// True if `word` (already lowercased) is in the built-in English
+/// stop list (a standard ~120-entry function-word list).
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the built-in stop list (for tests).
+size_t StopwordCount();
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_ANALYSIS_STOPWORDS_H_

@@ -1,0 +1,26 @@
+#include "irs/analysis/tokenizer.h"
+
+#include <cctype>
+
+namespace sdms::irs {
+
+std::vector<std::string> TokenizeText(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      cur.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (c == '\'') {
+      // Drop apostrophes inside words: "don't" -> "dont".
+      continue;
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,17 @@
+#ifndef SDMS_IRS_ANALYSIS_TOKENIZER_H_
+#define SDMS_IRS_ANALYSIS_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdms::irs {
+
+/// Splits raw text into lowercase word tokens. A token is a maximal
+/// run of ASCII letters/digits; apostrophes inside words are dropped
+/// ("don't" -> "dont"); everything else separates tokens.
+std::vector<std::string> TokenizeText(std::string_view text);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_ANALYSIS_TOKENIZER_H_

@@ -1,0 +1,61 @@
+#include "irs/collection.h"
+
+#include <algorithm>
+
+namespace sdms::irs {
+
+Status IrsCollection::AddDocument(const std::string& key,
+                                  const std::string& text) {
+  if (HasDocument(key)) {
+    return Status::AlreadyExists("document already in collection " + name_ +
+                                 ": " + key);
+  }
+  std::vector<std::string> tokens = analyzer_.Analyze(text);
+  index_.AddDocument(key, tokens);
+  ++stats_.docs_indexed;
+  return Status::OK();
+}
+
+Status IrsCollection::UpdateDocument(const std::string& key,
+                                     const std::string& text) {
+  SDMS_RETURN_IF_ERROR(RemoveDocument(key));
+  return AddDocument(key, text);
+}
+
+Status IrsCollection::RemoveDocument(const std::string& key) {
+  SDMS_ASSIGN_OR_RETURN(DocId id, index_.FindByKey(key));
+  SDMS_RETURN_IF_ERROR(index_.RemoveDocument(id));
+  ++stats_.docs_removed;
+  return Status::OK();
+}
+
+StatusOr<std::vector<SearchHit>> IrsCollection::Search(
+    const std::string& query) {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
+                        ParseIrsQuery(query, analyzer_));
+  SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
+  ++stats_.queries_executed;
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    auto info = index_.GetDoc(doc);
+    if (!info.ok() || !(*info)->alive) continue;
+    hits.push_back(SearchHit{(*info)->key, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
+                                         const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.key < b.key;
+  });
+  return hits;
+}
+
+std::string IrsCollection::Serialize() const { return index_.Serialize(); }
+
+Status IrsCollection::RestoreIndex(std::string_view data) {
+  SDMS_ASSIGN_OR_RETURN(InvertedIndex index, InvertedIndex::Deserialize(data));
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+}  // namespace sdms::irs

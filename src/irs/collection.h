@@ -1,0 +1,84 @@
+#ifndef SDMS_IRS_COLLECTION_H_
+#define SDMS_IRS_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "irs/analysis/analyzer.h"
+#include "irs/index/inverted_index.h"
+#include "irs/model/retrieval_model.h"
+
+namespace sdms::irs {
+
+/// One ranked search hit: external document key (the OID string) and
+/// its IRS value.
+struct SearchHit {
+  std::string key;
+  double score = 0.0;
+};
+
+/// Usage counters of a collection (benches read these).
+struct CollectionStats {
+  uint64_t docs_indexed = 0;
+  uint64_t docs_removed = 0;
+  uint64_t queries_executed = 0;
+};
+
+/// An IRS collection in the paper's sense: an independent set of flat
+/// text documents with its own index, analyzer, and retrieval model.
+/// Each document carries an external key — the OID of the database
+/// object it represents.
+class IrsCollection {
+ public:
+  IrsCollection(std::string name, AnalyzerOptions analyzer_options,
+                std::unique_ptr<RetrievalModel> model)
+      : name_(std::move(name)),
+        analyzer_(analyzer_options),
+        model_(std::move(model)) {}
+
+  const std::string& name() const { return name_; }
+  const Analyzer& analyzer() const { return analyzer_; }
+  const RetrievalModel& model() const { return *model_; }
+  const InvertedIndex& index() const { return index_; }
+  const CollectionStats& stats() const { return stats_; }
+
+  /// Exchanges the retrieval paradigm (loose-coupling flexibility).
+  void set_model(std::unique_ptr<RetrievalModel> model) {
+    model_ = std::move(model);
+  }
+
+  /// Indexes `text` under `key`. Fails if the key is present.
+  Status AddDocument(const std::string& key, const std::string& text);
+
+  /// Replaces the document under `key` (remove + re-add).
+  Status UpdateDocument(const std::string& key, const std::string& text);
+
+  /// Removes the document under `key`.
+  Status RemoveDocument(const std::string& key);
+
+  bool HasDocument(const std::string& key) const {
+    return index_.FindByKey(key).ok();
+  }
+
+  /// Evaluates an IRS query, returning hits ranked by descending score
+  /// (ties broken by key for determinism).
+  StatusOr<std::vector<SearchHit>> Search(const std::string& query);
+
+  /// Serializes index + stats (analyzer/model are configuration and are
+  /// re-supplied at load).
+  std::string Serialize() const;
+  Status RestoreIndex(std::string_view data);
+
+ private:
+  std::string name_;
+  Analyzer analyzer_;
+  std::unique_ptr<RetrievalModel> model_;
+  InvertedIndex index_;
+  CollectionStats stats_;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_COLLECTION_H_

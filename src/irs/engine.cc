@@ -1,0 +1,117 @@
+#include "irs/engine.h"
+
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace sdms::irs {
+
+StatusOr<IrsCollection*> IrsEngine::CreateCollection(
+    const std::string& name, AnalyzerOptions analyzer_options,
+    const std::string& model_name) {
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("IRS collection exists: " + name);
+  }
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<RetrievalModel> model,
+                        MakeModel(model_name));
+  auto coll = std::make_unique<IrsCollection>(name, analyzer_options,
+                                              std::move(model));
+  IrsCollection* raw = coll.get();
+  collections_.emplace(name, std::move(coll));
+  model_names_[name] = model_name;
+  return raw;
+}
+
+StatusOr<IrsCollection*> IrsEngine::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no IRS collection: " + name);
+  }
+  return it->second.get();
+}
+
+Status IrsEngine::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no IRS collection: " + name);
+  }
+  model_names_.erase(name);
+  return Status::OK();
+}
+
+std::vector<std::string> IrsEngine::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, coll] : collections_) out.push_back(name);
+  return out;
+}
+
+Status IrsEngine::SaveTo(const std::string& dir) const {
+  SDMS_RETURN_IF_ERROR(MakeDirs(dir));
+  std::string manifest;
+  for (const auto& [name, coll] : collections_) {
+    auto model_it = model_names_.find(name);
+    manifest += name + "\t" +
+                (model_it != model_names_.end() ? model_it->second
+                                                : std::string("inquery")) +
+                "\n";
+    SDMS_RETURN_IF_ERROR(
+        WriteFileAtomic(dir + "/" + name + ".idx", coll->Serialize()));
+  }
+  return WriteFileAtomic(dir + "/collections.manifest", manifest);
+}
+
+Status IrsEngine::LoadFrom(const std::string& dir) {
+  SDMS_ASSIGN_OR_RETURN(std::string manifest,
+                        ReadFile(dir + "/collections.manifest"));
+  for (const std::string& line : Split(manifest, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = Split(line, '\t');
+    if (parts.size() != 2) {
+      return Status::Corruption("bad manifest line: " + line);
+    }
+    const std::string& name = parts[0];
+    const std::string& model_name = parts[1];
+    SDMS_ASSIGN_OR_RETURN(IrsCollection * coll,
+                          CreateCollection(name, AnalyzerOptions{}, model_name));
+    SDMS_ASSIGN_OR_RETURN(std::string data, ReadFile(dir + "/" + name + ".idx"));
+    SDMS_RETURN_IF_ERROR(coll->RestoreIndex(data));
+  }
+  return Status::OK();
+}
+
+Status IrsEngine::SearchToFile(const std::string& collection,
+                               const std::string& query,
+                               const std::string& path) {
+  SDMS_ASSIGN_OR_RETURN(IrsCollection * coll, GetCollection(collection));
+  SDMS_ASSIGN_OR_RETURN(std::vector<SearchHit> hits, coll->Search(query));
+  std::string out;
+  for (const SearchHit& h : hits) {
+    out += h.key + "\t" + StrFormat("%.9f", h.score) + "\n";
+  }
+  return WriteFileAtomic(path, out);
+}
+
+StatusOr<std::vector<SearchHit>> IrsEngine::ParseResultFile(
+    const std::string& path) {
+  SDMS_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  std::vector<SearchHit> hits;
+  for (const std::string& line : Split(data, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = Split(line, '\t');
+    if (parts.size() != 2) {
+      return Status::Corruption("bad IRS result line: " + line);
+    }
+    SearchHit h;
+    h.key = parts[0];
+    try {
+      h.score = std::stod(parts[1]);
+    } catch (...) {
+      return Status::Corruption("bad IRS score: " + parts[1]);
+    }
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,71 @@
+#include "irs/feedback/rocchio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "irs/query/query_node.h"
+
+namespace sdms::irs {
+
+StatusOr<std::string> ExpandQueryRocchio(
+    IrsCollection& collection, const std::string& original_query,
+    const std::vector<std::string>& relevant_keys,
+    const FeedbackOptions& options) {
+  const InvertedIndex& index = collection.index();
+
+  // Resolve the relevant documents.
+  std::set<DocId> relevant;
+  for (const std::string& key : relevant_keys) {
+    SDMS_ASSIGN_OR_RETURN(DocId id, index.FindByKey(key));
+    relevant.insert(id);
+  }
+  if (relevant.empty()) {
+    return Status::InvalidArgument("no relevant documents given");
+  }
+
+  // Original terms (analyzed) are never re-added as expansion terms.
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> original_tree,
+                        ParseIrsQuery(original_query, collection.analyzer()));
+  std::vector<std::string> original_terms;
+  original_tree->CollectTerms(original_terms);
+  std::set<std::string> original_set(original_terms.begin(),
+                                     original_terms.end());
+
+  // Rocchio centroid over the relevant documents: summed tf·idf.
+  const double n = std::max<double>(index.doc_count(), 1.0);
+  std::map<std::string, double> weight;
+  index.ForEachTerm([&](const std::string& term,
+                        const std::vector<Posting>& postings) {
+    if (original_set.count(term) > 0) return;
+    double idf = std::log(n / static_cast<double>(postings.size()));
+    if (idf <= 0.0) return;  // Terms in (almost) every document carry
+                             // no feedback signal.
+    for (const Posting& p : postings) {
+      if (relevant.count(p.doc) > 0) {
+        weight[term] += static_cast<double>(p.tf) * idf;
+      }
+    }
+  });
+
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(weight.size());
+  for (const auto& [term, w] : weight) ranked.emplace_back(w, term);
+  std::sort(ranked.rbegin(), ranked.rend());
+  if (ranked.size() > options.expansion_terms) {
+    ranked.resize(options.expansion_terms);
+  }
+
+  // Assemble: #wsum(alpha <original> beta e1 beta e2 ...).
+  std::string out = StrFormat("#wsum(%g ", options.alpha);
+  out += original_tree->ToString();
+  for (const auto& [w, term] : ranked) {
+    out += StrFormat(" %g ", options.beta) + term;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sdms::irs

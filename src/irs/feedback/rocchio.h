@@ -1,0 +1,38 @@
+#ifndef SDMS_IRS_FEEDBACK_ROCCHIO_H_
+#define SDMS_IRS_FEEDBACK_ROCCHIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "irs/collection.h"
+
+namespace sdms::irs {
+
+/// Rocchio-style relevance feedback: expands a query with the most
+/// discriminative terms of documents the user marked relevant. The
+/// paper names relevance feedback an open application-independent
+/// facet (Section 6); this implements the classic variant on top of
+/// the index statistics.
+struct FeedbackOptions {
+  /// Number of expansion terms taken from the relevant documents.
+  size_t expansion_terms = 5;
+  /// Weight of the original query terms in the expanded #wsum.
+  double alpha = 1.0;
+  /// Weight of the expansion terms.
+  double beta = 0.5;
+};
+
+/// Builds an expanded query from `original_query` and the documents
+/// with keys `relevant_keys`. Expansion terms are ranked by summed
+/// tf·idf over the relevant documents; original terms are not
+/// re-added. Returns an IRS query in #wsum syntax, e.g.
+///   #wsum(1 www 1 nii 0.5 browser 0.5 mosaic ...).
+StatusOr<std::string> ExpandQueryRocchio(
+    IrsCollection& collection, const std::string& original_query,
+    const std::vector<std::string>& relevant_keys,
+    const FeedbackOptions& options = FeedbackOptions());
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_FEEDBACK_ROCCHIO_H_

@@ -1,0 +1,214 @@
+#include "irs/index/inverted_index.h"
+
+#include <algorithm>
+
+#include "oodb/storage/serializer.h"
+
+namespace sdms::irs {
+
+using oodb::Decoder;
+using oodb::Encoder;
+
+DocId InvertedIndex::AddDocument(const std::string& key,
+                                 const std::vector<std::string>& tokens) {
+  DocId id = static_cast<DocId>(docs_.size());
+  DocInfo info;
+  info.key = key;
+  info.length = static_cast<uint32_t>(tokens.size());
+  info.alive = true;
+  docs_.push_back(std::move(info));
+  by_key_[key] = id;
+  ++live_docs_;
+  total_tokens_ += tokens.size();
+
+  // Group positions per term for this document.
+  std::map<std::string, std::vector<uint32_t>> grouped;
+  for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+    grouped[tokens[pos]].push_back(pos);
+  }
+  for (auto& [term, positions] : grouped) {
+    Posting p;
+    p.doc = id;
+    p.tf = static_cast<uint32_t>(positions.size());
+    p.positions = std::move(positions);
+    // Doc ids are monotonically increasing, so appending keeps the
+    // postings sorted.
+    dictionary_[term].push_back(std::move(p));
+  }
+  return id;
+}
+
+Status InvertedIndex::RemoveDocument(DocId id) {
+  if (id >= docs_.size() || !docs_[id].alive) {
+    return Status::NotFound("no live IRS document " + std::to_string(id));
+  }
+  docs_[id].alive = false;
+  by_key_.erase(docs_[id].key);
+  --live_docs_;
+  total_tokens_ -= docs_[id].length;
+  // Physical prune: this full-dictionary scan is the "deleting IRS
+  // documents is costly" behaviour the paper discusses (4.3.1 (3)).
+  for (auto it = dictionary_.begin(); it != dictionary_.end();) {
+    auto& postings = it->second;
+    postings.erase(std::remove_if(postings.begin(), postings.end(),
+                                  [id](const Posting& p) { return p.doc == id; }),
+                   postings.end());
+    if (postings.empty()) {
+      it = dictionary_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<DocId> InvertedIndex::FindByKey(const std::string& key) const {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("no IRS document with key " + key);
+  }
+  return it->second;
+}
+
+const std::vector<Posting>* InvertedIndex::GetPostings(
+    const std::string& term) const {
+  auto it = dictionary_.find(term);
+  return it == dictionary_.end() ? nullptr : &it->second;
+}
+
+uint32_t InvertedIndex::DocFreq(const std::string& term) const {
+  const std::vector<Posting>* p = GetPostings(term);
+  return p == nullptr ? 0 : static_cast<uint32_t>(p->size());
+}
+
+StatusOr<const DocInfo*> InvertedIndex::GetDoc(DocId id) const {
+  if (id >= docs_.size()) {
+    return Status::NotFound("no IRS document " + std::to_string(id));
+  }
+  return &docs_[id];
+}
+
+double InvertedIndex::avg_doc_length() const {
+  if (live_docs_ == 0) return 0.0;
+  return static_cast<double>(total_tokens_) / static_cast<double>(live_docs_);
+}
+
+size_t InvertedIndex::ApproximateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, postings] : dictionary_) {
+    bytes += term.size() + sizeof(void*) * 4;  // dictionary entry overhead
+    for (const Posting& p : postings) {
+      bytes += sizeof(Posting) + p.positions.size() * sizeof(uint32_t);
+    }
+  }
+  for (const DocInfo& d : docs_) {
+    bytes += sizeof(DocInfo) + d.key.size();
+  }
+  return bytes;
+}
+
+std::string InvertedIndex::Serialize() const {
+  Encoder enc;
+  enc.PutU64(docs_.size());
+  for (const DocInfo& d : docs_) {
+    enc.PutString(d.key);
+    enc.PutU32(d.length);
+    enc.PutU8(d.alive ? 1 : 0);
+  }
+  enc.PutU64(dictionary_.size());
+  for (const auto& [term, postings] : dictionary_) {
+    enc.PutString(term);
+    enc.PutU64(postings.size());
+    for (const Posting& p : postings) {
+      enc.PutU32(p.doc);
+      enc.PutU32(p.tf);
+      // Delta-encode positions (classic postings compression).
+      uint32_t prev = 0;
+      enc.PutU64(p.positions.size());
+      for (uint32_t pos : p.positions) {
+        enc.PutU32(pos - prev);
+        prev = pos;
+      }
+    }
+  }
+  return enc.Release();
+}
+
+StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
+  InvertedIndex index;
+  Decoder dec(data);
+  SDMS_ASSIGN_OR_RETURN(uint64_t ndocs, dec.GetU64());
+  for (uint64_t i = 0; i < ndocs; ++i) {
+    DocInfo d;
+    SDMS_ASSIGN_OR_RETURN(d.key, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(d.length, dec.GetU32());
+    SDMS_ASSIGN_OR_RETURN(uint8_t alive, dec.GetU8());
+    d.alive = alive != 0;
+    if (d.alive) {
+      index.by_key_[d.key] = static_cast<DocId>(i);
+      ++index.live_docs_;
+      index.total_tokens_ += d.length;
+    }
+    index.docs_.push_back(std::move(d));
+  }
+  SDMS_ASSIGN_OR_RETURN(uint64_t nterms, dec.GetU64());
+  for (uint64_t t = 0; t < nterms; ++t) {
+    SDMS_ASSIGN_OR_RETURN(std::string term, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(uint64_t nposts, dec.GetU64());
+    std::vector<Posting> postings;
+    postings.reserve(nposts);
+    for (uint64_t i = 0; i < nposts; ++i) {
+      Posting p;
+      SDMS_ASSIGN_OR_RETURN(p.doc, dec.GetU32());
+      SDMS_ASSIGN_OR_RETURN(p.tf, dec.GetU32());
+      SDMS_ASSIGN_OR_RETURN(uint64_t npos, dec.GetU64());
+      uint32_t cur = 0;
+      for (uint64_t k = 0; k < npos; ++k) {
+        SDMS_ASSIGN_OR_RETURN(uint32_t delta, dec.GetU32());
+        cur += delta;
+        p.positions.push_back(cur);
+      }
+      postings.push_back(std::move(p));
+    }
+    index.dictionary_.emplace(std::move(term), std::move(postings));
+  }
+  return index;
+}
+
+std::string InvertedIndex::CheckInvariants() const {
+  std::vector<uint64_t> doc_token_counts(docs_.size(), 0);
+  for (const auto& [term, postings] : dictionary_) {
+    if (postings.empty()) return "empty postings list for term " + term;
+    DocId prev = 0;
+    bool first = true;
+    for (const Posting& p : postings) {
+      if (!first && p.doc <= prev) return "postings unsorted for " + term;
+      first = false;
+      prev = p.doc;
+      if (p.doc >= docs_.size()) return "posting references unknown doc";
+      if (!docs_[p.doc].alive) return "posting references dead doc";
+      if (p.tf != p.positions.size()) return "tf != positions.size()";
+      for (size_t i = 1; i < p.positions.size(); ++i) {
+        if (p.positions[i] <= p.positions[i - 1]) {
+          return "positions unsorted for " + term;
+        }
+      }
+      doc_token_counts[p.doc] += p.tf;
+    }
+  }
+  uint64_t tokens = 0;
+  uint32_t live = 0;
+  for (DocId id = 0; id < docs_.size(); ++id) {
+    if (!docs_[id].alive) continue;
+    ++live;
+    tokens += docs_[id].length;
+    if (doc_token_counts[id] != docs_[id].length) {
+      return "doc length mismatch for " + docs_[id].key;
+    }
+  }
+  if (live != live_docs_) return "live_docs_ mismatch";
+  if (tokens != total_tokens_) return "total_tokens_ mismatch";
+  return "";
+}
+
+}  // namespace sdms::irs

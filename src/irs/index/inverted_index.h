@@ -1,0 +1,112 @@
+#ifndef SDMS_IRS_INDEX_INVERTED_INDEX_H_
+#define SDMS_IRS_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::irs {
+
+/// Internal document identifier within one index.
+using DocId = uint32_t;
+
+/// One posting: a document and the term's occurrences in it.
+struct Posting {
+  DocId doc = 0;
+  uint32_t tf = 0;
+  /// Word positions (0-based, post-analysis); enables phrase/proximity
+  /// extensions and makes the on-disk format realistic.
+  std::vector<uint32_t> positions;
+};
+
+/// Per-document bookkeeping.
+struct DocInfo {
+  /// External key — the OODBMS object identifier string ("oid:n"). The
+  /// paper stores the OID as IRS-document meta data (Section 4.3).
+  std::string key;
+  /// Document length in analyzed tokens.
+  uint32_t length = 0;
+  bool alive = false;
+};
+
+/// A positional inverted index over analyzed token streams. Documents
+/// are added as token vectors (analysis happens in IrsCollection).
+/// Deletion is physical (postings are pruned), mirroring the cost the
+/// paper attributes to IRS document removal (Section 4.3.1, option 3).
+class InvertedIndex {
+ public:
+  /// Adds a document; returns its internal id.
+  DocId AddDocument(const std::string& key,
+                    const std::vector<std::string>& tokens);
+
+  /// Removes document `id`; scans the dictionary pruning its postings.
+  Status RemoveDocument(DocId id);
+
+  /// Looks up the internal id of an external key.
+  StatusOr<DocId> FindByKey(const std::string& key) const;
+
+  /// Postings list for `term` (nullptr if unknown).
+  const std::vector<Posting>* GetPostings(const std::string& term) const;
+
+  /// Document frequency of `term`.
+  uint32_t DocFreq(const std::string& term) const;
+
+  /// Info for document `id`.
+  StatusOr<const DocInfo*> GetDoc(DocId id) const;
+
+  /// Number of live documents.
+  uint32_t doc_count() const { return live_docs_; }
+
+  /// Average live-document length in tokens.
+  double avg_doc_length() const;
+
+  /// Number of distinct terms.
+  size_t term_count() const { return dictionary_.size(); }
+
+  /// Total token occurrences indexed (live docs).
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Approximate main-memory footprint of the index structures, in
+  /// bytes (dictionary + postings + doc table). Used by the redundancy
+  /// experiment (E8).
+  size_t ApproximateSizeBytes() const;
+
+  /// Iterates all live documents.
+  template <typename Fn>
+  void ForEachDoc(Fn&& fn) const {
+    for (DocId id = 0; id < docs_.size(); ++id) {
+      if (docs_[id].alive) fn(id, docs_[id]);
+    }
+  }
+
+  /// Iterates the dictionary in term order (persistence, tests).
+  template <typename Fn>
+  void ForEachTerm(Fn&& fn) const {
+    for (const auto& [term, postings] : dictionary_) fn(term, postings);
+  }
+
+  /// Serializes to a binary blob / restores from one.
+  std::string Serialize() const;
+  static StatusOr<InvertedIndex> Deserialize(std::string_view data);
+
+  /// Structural invariants (sorted postings, tf == positions.size(),
+  /// doc lengths consistent). Empty string when consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  // Term -> postings sorted by doc id. std::map keeps deterministic
+  // iteration for serialization and tests.
+  std::map<std::string, std::vector<Posting>> dictionary_;
+  std::vector<DocInfo> docs_;
+  std::unordered_map<std::string, DocId> by_key_;
+  uint32_t live_docs_ = 0;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,129 @@
+#include "irs/index/proximity.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdms::irs {
+
+namespace {
+
+/// Positions of `term` in `doc`, or nullptr when absent.
+const std::vector<uint32_t>* PositionsOf(const InvertedIndex& index,
+                                         const std::string& term, DocId doc) {
+  const std::vector<Posting>* postings = index.GetPostings(term);
+  if (postings == nullptr) return nullptr;
+  auto it = std::lower_bound(
+      postings->begin(), postings->end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  if (it == postings->end() || it->doc != doc) return nullptr;
+  return &it->positions;
+}
+
+}  // namespace
+
+uint32_t CountOrderedMatches(const InvertedIndex& index,
+                             const std::vector<std::string>& terms, DocId doc,
+                             uint32_t max_gap) {
+  if (terms.size() < 2) return 0;
+  std::vector<const std::vector<uint32_t>*> positions;
+  positions.reserve(terms.size());
+  for (const std::string& t : terms) {
+    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
+    if (p == nullptr || p->empty()) return 0;
+    positions.push_back(p);
+  }
+  uint32_t matches = 0;
+  // Greedy non-overlapping matching: for each start occurrence of the
+  // first term (after the previous match), chain through the remaining
+  // terms taking the earliest position within the gap.
+  size_t first_idx = 0;
+  uint32_t resume_after = 0;
+  bool have_resume = false;
+  while (first_idx < positions[0]->size()) {
+    uint32_t start = (*positions[0])[first_idx];
+    if (have_resume && start <= resume_after) {
+      ++first_idx;
+      continue;
+    }
+    uint32_t prev = start;
+    bool complete = true;
+    for (size_t t = 1; t < positions.size(); ++t) {
+      const std::vector<uint32_t>& plist = *positions[t];
+      auto it = std::upper_bound(plist.begin(), plist.end(), prev);
+      if (it == plist.end() || *it > prev + max_gap) {
+        complete = false;
+        break;
+      }
+      prev = *it;
+    }
+    if (complete) {
+      ++matches;
+      resume_after = prev;
+      have_resume = true;
+    }
+    ++first_idx;
+  }
+  return matches;
+}
+
+uint32_t CountUnorderedMatches(const InvertedIndex& index,
+                               const std::vector<std::string>& terms,
+                               DocId doc, uint32_t span) {
+  if (terms.size() < 2) return 0;
+  // Merge all positions tagged by term id.
+  std::vector<std::pair<uint32_t, size_t>> merged;  // (position, term idx)
+  for (size_t t = 0; t < terms.size(); ++t) {
+    const std::vector<uint32_t>* p = PositionsOf(index, terms[t], doc);
+    if (p == nullptr || p->empty()) return 0;
+    for (uint32_t pos : *p) merged.emplace_back(pos, t);
+  }
+  std::sort(merged.begin(), merged.end());
+  // Sliding window: find minimal windows covering all terms, count
+  // them non-overlapping (advance left past the window after a match).
+  std::vector<size_t> in_window(terms.size(), 0);
+  size_t covered = 0;
+  uint32_t matches = 0;
+  size_t left = 0;
+  for (size_t right = 0; right < merged.size(); ++right) {
+    if (in_window[merged[right].second]++ == 0) ++covered;
+    // Shrink from the left while still covering.
+    while (covered == terms.size()) {
+      uint32_t window_span = merged[right].first - merged[left].first + 1;
+      if (window_span <= span) {
+        ++matches;
+        // Non-overlapping: drop everything up to `right`.
+        for (size_t i = left; i <= right; ++i) {
+          if (--in_window[merged[i].second] == 0) --covered;
+        }
+        left = right + 1;
+        break;
+      }
+      if (--in_window[merged[left].second] == 0) --covered;
+      ++left;
+    }
+  }
+  return matches;
+}
+
+std::map<DocId, uint32_t> WindowMatchFrequencies(
+    const InvertedIndex& index, const std::vector<std::string>& terms,
+    bool ordered, uint32_t window) {
+  std::map<DocId, uint32_t> out;
+  if (terms.empty()) return out;
+  // Candidates: documents containing the rarest term.
+  const std::string* rarest = &terms[0];
+  for (const std::string& t : terms) {
+    if (index.DocFreq(t) < index.DocFreq(*rarest)) rarest = &t;
+  }
+  const std::vector<Posting>* postings = index.GetPostings(*rarest);
+  if (postings == nullptr) return out;
+  for (const Posting& p : *postings) {
+    uint32_t tf = ordered
+                      ? CountOrderedMatches(index, terms, p.doc, window)
+                      : CountUnorderedMatches(index, terms, p.doc, window);
+    if (tf > 0) out[p.doc] = tf;
+  }
+  return out;
+}
+
+}  // namespace sdms::irs

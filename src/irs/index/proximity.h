@@ -1,0 +1,39 @@
+#ifndef SDMS_IRS_INDEX_PROXIMITY_H_
+#define SDMS_IRS_INDEX_PROXIMITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "irs/index/inverted_index.h"
+
+namespace sdms::irs {
+
+/// Proximity matching over the positional postings. These back the
+/// #odN/#phrase/#uwN operators: an extension the positional index was
+/// built for (INQUERY shipped equivalent operators).
+
+/// Counts non-overlapping *ordered* window matches of `terms` in `doc`:
+/// the terms appear in the given order with at most `max_gap` positions
+/// between adjacent terms (#phrase == max_gap 1, i.e. adjacent).
+uint32_t CountOrderedMatches(const InvertedIndex& index,
+                             const std::vector<std::string>& terms, DocId doc,
+                             uint32_t max_gap);
+
+/// Counts non-overlapping *unordered* window matches: all terms occur
+/// (in any order) within a window of `span` positions.
+uint32_t CountUnorderedMatches(const InvertedIndex& index,
+                               const std::vector<std::string>& terms,
+                               DocId doc, uint32_t span);
+
+/// Match frequencies for every live document with at least one match.
+/// `ordered` selects ordered vs unordered matching; `window` is the
+/// max gap (ordered) or span (unordered).
+std::map<DocId, uint32_t> WindowMatchFrequencies(
+    const InvertedIndex& index, const std::vector<std::string>& terms,
+    bool ordered, uint32_t window);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_INDEX_PROXIMITY_H_

@@ -1,0 +1,60 @@
+#include <cmath>
+#include <map>
+
+#include "irs/model/retrieval_model.h"
+
+namespace sdms::irs {
+
+namespace {
+
+/// Okapi BM25 (probabilistic model). Like the vector-space model it
+/// flattens structured queries to a term bag; it stands in for the
+/// "systems based on probability" family the paper names.
+class Bm25Model : public RetrievalModel {
+ public:
+  Bm25Model(double k1, double b) : k1_(k1), b_(b) {}
+
+  std::string name() const override { return "bm25"; }
+
+  StatusOr<ScoreMap> Score(const InvertedIndex& index,
+                           const QueryNode& query) const override {
+    std::vector<std::string> terms;
+    query.CollectTerms(terms);
+    std::map<std::string, uint32_t> qtf;
+    for (const std::string& t : terms) ++qtf[t];
+
+    const double n = std::max<double>(index.doc_count(), 1.0);
+    const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    ScoreMap scores;
+    for (const auto& [term, tf_q] : qtf) {
+      uint32_t df = index.DocFreq(term);
+      if (df == 0) continue;
+      // BM25+-style floor keeps idf positive for very common terms.
+      double idf = std::log(
+          1.0 + (n - static_cast<double>(df) + 0.5) /
+                    (static_cast<double>(df) + 0.5));
+      const std::vector<Posting>* postings = index.GetPostings(term);
+      for (const Posting& p : *postings) {
+        auto info = index.GetDoc(p.doc);
+        double dl = info.ok() ? static_cast<double>((*info)->length) : avgdl;
+        double tf = static_cast<double>(p.tf);
+        double denom = tf + k1_ * (1.0 - b_ + b_ * dl / avgdl);
+        scores[p.doc] +=
+            static_cast<double>(tf_q) * idf * (tf * (k1_ + 1.0)) / denom;
+      }
+    }
+    return scores;
+  }
+
+ private:
+  double k1_;
+  double b_;
+};
+
+}  // namespace
+
+std::unique_ptr<RetrievalModel> MakeBm25Model(double k1, double b) {
+  return std::make_unique<Bm25Model>(k1, b);
+}
+
+}  // namespace sdms::irs

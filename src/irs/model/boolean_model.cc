@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <set>
+
+#include "irs/index/proximity.h"
+#include "irs/model/retrieval_model.h"
+
+namespace sdms::irs {
+
+namespace {
+
+/// Set-based Boolean retrieval: a document either matches (score 1.0)
+/// or does not. #sum/#max/#wsum degrade to OR; #and intersects; #not
+/// complements against the live-document set.
+class BooleanModel : public RetrievalModel {
+ public:
+  std::string name() const override { return "boolean"; }
+
+  StatusOr<ScoreMap> Score(const InvertedIndex& index,
+                           const QueryNode& query) const override {
+    SDMS_ASSIGN_OR_RETURN(std::set<DocId> docs, EvalSet(index, query));
+    ScoreMap out;
+    for (DocId d : docs) out[d] = 1.0;
+    return out;
+  }
+
+ private:
+  StatusOr<std::set<DocId>> EvalSet(const InvertedIndex& index,
+                                    const QueryNode& node) const {
+    switch (node.op) {
+      case QueryOp::kTerm: {
+        std::set<DocId> out;
+        const std::vector<Posting>* postings = index.GetPostings(node.term);
+        if (postings != nullptr) {
+          for (const Posting& p : *postings) out.insert(p.doc);
+        }
+        return out;
+      }
+      case QueryOp::kAnd: {
+        std::set<DocId> acc;
+        bool first = true;
+        for (const auto& c : node.children) {
+          SDMS_ASSIGN_OR_RETURN(std::set<DocId> s, EvalSet(index, *c));
+          if (first) {
+            acc = std::move(s);
+            first = false;
+          } else {
+            std::set<DocId> merged;
+            std::set_intersection(acc.begin(), acc.end(), s.begin(), s.end(),
+                                  std::inserter(merged, merged.begin()));
+            acc = std::move(merged);
+          }
+          if (acc.empty()) break;
+        }
+        return acc;
+      }
+      case QueryOp::kOr:
+      case QueryOp::kSum:
+      case QueryOp::kWsum:
+      case QueryOp::kMax: {
+        std::set<DocId> acc;
+        for (const auto& c : node.children) {
+          SDMS_ASSIGN_OR_RETURN(std::set<DocId> s, EvalSet(index, *c));
+          acc.insert(s.begin(), s.end());
+        }
+        return acc;
+      }
+      case QueryOp::kOdn:
+      case QueryOp::kUwn: {
+        std::vector<std::string> terms;
+        node.CollectTerms(terms);
+        std::set<DocId> out;
+        for (const auto& [doc, tf] : WindowMatchFrequencies(
+                 index, terms, node.op == QueryOp::kOdn, node.window)) {
+          out.insert(doc);
+        }
+        return out;
+      }
+      case QueryOp::kNot: {
+        if (node.children.size() != 1) {
+          return Status::InvalidArgument("#not takes exactly one argument");
+        }
+        SDMS_ASSIGN_OR_RETURN(std::set<DocId> inner,
+                              EvalSet(index, *node.children[0]));
+        std::set<DocId> out;
+        index.ForEachDoc([&](DocId id, const DocInfo&) {
+          if (inner.count(id) == 0) out.insert(id);
+        });
+        return out;
+      }
+    }
+    return Status::Internal("unhandled boolean query node");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RetrievalModel> MakeBooleanModel() {
+  return std::make_unique<BooleanModel>();
+}
+
+}  // namespace sdms::irs

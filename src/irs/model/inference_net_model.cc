@@ -1,0 +1,212 @@
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "irs/index/proximity.h"
+#include "irs/model/retrieval_model.h"
+
+namespace sdms::irs {
+
+namespace {
+
+/// INQUERY-style inference-network model (Turtle/Croft). Term beliefs
+/// follow the INQUERY formula
+///     bel(t, d) = db + (1 - db) * ntf * nidf
+/// with ntf = tf / (tf + 0.5 + 1.5 * dl/avgdl) and
+///      nidf = log((N + 0.5) / df) / log(N + 1),
+/// and documents not containing a term contribute the default belief
+/// `db` (0.4). Operator semantics match the INQUERY operators the
+/// paper re-implements in the DBMS (Section 4.5.4): #and is the
+/// product, #or the complement product, #not the complement, #sum the
+/// mean, #wsum the weighted mean, #max the maximum.
+class InferenceNetModel : public RetrievalModel {
+ public:
+  explicit InferenceNetModel(double default_belief)
+      : default_belief_(default_belief) {}
+
+  std::string name() const override { return "inquery"; }
+
+  StatusOr<ScoreMap> Score(const InvertedIndex& index,
+                           const QueryNode& query) const override {
+    // Window (#odN/#uwN) nodes: precompute match frequencies once.
+    WindowCache window_cache;
+    CollectWindows(index, query, window_cache);
+
+    // Candidate generation: every document providing evidence for some
+    // evidence node — containing a plain query term, or matching a
+    // window expression. Other documents keep the all-default belief,
+    // which is constant across documents and rank-irrelevant.
+    std::set<DocId> candidates;
+    std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>
+        tf_cache;
+    CollectCandidates(index, query, window_cache, candidates, tf_cache);
+
+    ScoreMap out;
+    const double n = std::max<double>(index.doc_count(), 1.0);
+    const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    for (DocId d : candidates) {
+      auto info = index.GetDoc(d);
+      double dl = info.ok() ? static_cast<double>((*info)->length) : avgdl;
+      out[d] = Belief(index, query, d, dl, n, avgdl, tf_cache, window_cache);
+    }
+    return out;
+  }
+
+ private:
+  using TfCache =
+      std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>;
+  using WindowCache = std::map<const QueryNode*, std::map<DocId, uint32_t>>;
+
+  static void CollectCandidates(const InvertedIndex& index,
+                                const QueryNode& node,
+                                const WindowCache& window_cache,
+                                std::set<DocId>& candidates,
+                                TfCache& tf_cache) {
+    if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
+      auto it = window_cache.find(&node);
+      if (it != window_cache.end()) {
+        for (const auto& [doc, tf] : it->second) candidates.insert(doc);
+      }
+      return;  // Terms inside a window contribute only via matches.
+    }
+    if (node.op == QueryOp::kTerm) {
+      const std::vector<Posting>* postings = index.GetPostings(node.term);
+      if (postings == nullptr) return;
+      auto& per_doc = tf_cache[node.term];
+      for (const Posting& p : *postings) {
+        candidates.insert(p.doc);
+        per_doc[p.doc] = p.tf;
+      }
+      return;
+    }
+    for (const auto& c : node.children) {
+      CollectCandidates(index, *c, window_cache, candidates, tf_cache);
+    }
+  }
+
+  static void CollectWindows(const InvertedIndex& index, const QueryNode& node,
+                             WindowCache& cache) {
+    if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
+      std::vector<std::string> terms;
+      node.CollectTerms(terms);
+      cache[&node] = WindowMatchFrequencies(
+          index, terms, node.op == QueryOp::kOdn, node.window);
+      return;
+    }
+    for (const auto& c : node.children) CollectWindows(index, *c, cache);
+  }
+
+  double TermBelief(const InvertedIndex& index, const std::string& term,
+                    DocId doc, double dl, double n, double avgdl,
+                    const TfCache& tf_cache) const {
+    auto it = tf_cache.find(term);
+    uint32_t tf = 0;
+    if (it != tf_cache.end()) {
+      auto dit = it->second.find(doc);
+      if (dit != it->second.end()) tf = dit->second;
+    }
+    if (tf == 0) return default_belief_;
+    uint32_t df = index.DocFreq(term);
+    double ntf = static_cast<double>(tf) /
+                 (static_cast<double>(tf) + 0.5 + 1.5 * dl / avgdl);
+    double nidf = std::log((n + 0.5) / std::max<double>(df, 1.0)) /
+                  std::log(n + 1.0);
+    nidf = std::max(0.0, std::min(1.0, nidf));
+    return default_belief_ + (1.0 - default_belief_) * ntf * nidf;
+  }
+
+  double Belief(const InvertedIndex& index, const QueryNode& node, DocId doc,
+                double dl, double n, double avgdl, const TfCache& tf_cache,
+                const WindowCache& window_cache) const {
+    if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
+      // Window belief: the matches behave like occurrences of a pseudo
+      // term whose df is the number of matching documents.
+      auto it = window_cache.find(&node);
+      if (it == window_cache.end()) return default_belief_;
+      auto dit = it->second.find(doc);
+      if (dit == it->second.end()) return default_belief_;
+      double tf = static_cast<double>(dit->second);
+      double df = static_cast<double>(it->second.size());
+      double ntf = tf / (tf + 0.5 + 1.5 * dl / avgdl);
+      double nidf =
+          std::log((n + 0.5) / std::max(df, 1.0)) / std::log(n + 1.0);
+      nidf = std::max(0.0, std::min(1.0, nidf));
+      return default_belief_ + (1.0 - default_belief_) * ntf * nidf;
+    }
+    switch (node.op) {
+      case QueryOp::kTerm:
+        return TermBelief(index, node.term, doc, dl, n, avgdl, tf_cache);
+      case QueryOp::kAnd: {
+        double b = 1.0;
+        for (const auto& c : node.children) {
+          b *= Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+        }
+        return node.children.empty() ? default_belief_ : b;
+      }
+      case QueryOp::kOr: {
+        double b = 1.0;
+        for (const auto& c : node.children) {
+          b *= 1.0 - Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+        }
+        return node.children.empty() ? default_belief_ : 1.0 - b;
+      }
+      case QueryOp::kNot:
+        return node.children.empty()
+                   ? default_belief_
+                   : 1.0 - Belief(index, *node.children[0], doc, dl, n, avgdl,
+                                  tf_cache, window_cache);
+      case QueryOp::kSum: {
+        if (node.children.empty()) return 0.0;
+        double sum = 0.0;
+        for (const auto& c : node.children) {
+          sum += Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+        }
+        return sum / static_cast<double>(node.children.size());
+      }
+      case QueryOp::kWsum: {
+        if (node.children.empty()) return 0.0;
+        double sum = 0.0;
+        double wsum = 0.0;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          double w = i < node.weights.size() ? node.weights[i] : 1.0;
+          sum += w * Belief(index, *node.children[i], doc, dl, n, avgdl,
+                            tf_cache, window_cache);
+          wsum += w;
+        }
+        return wsum > 0.0 ? sum / wsum : 0.0;
+      }
+      case QueryOp::kMax: {
+        double best = 0.0;
+        for (const auto& c : node.children) {
+          best = std::max(best, Belief(index, *c, doc, dl, n, avgdl, tf_cache,
+                                       window_cache));
+        }
+        return best;
+      }
+      case QueryOp::kOdn:
+      case QueryOp::kUwn:
+        // Handled by the window branch above; unreachable here.
+        return default_belief_;
+    }
+    return default_belief_;
+  }
+
+  double default_belief_;
+};
+
+}  // namespace
+
+std::unique_ptr<RetrievalModel> MakeInferenceNetModel(double default_belief) {
+  return std::make_unique<InferenceNetModel>(default_belief);
+}
+
+StatusOr<std::unique_ptr<RetrievalModel>> MakeModel(const std::string& name) {
+  if (name == "boolean") return MakeBooleanModel();
+  if (name == "vsm") return MakeVectorSpaceModel();
+  if (name == "bm25") return MakeBm25Model();
+  if (name == "inquery") return MakeInferenceNetModel();
+  return Status::InvalidArgument("unknown retrieval model: " + name);
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,49 @@
+#ifndef SDMS_IRS_MODEL_RETRIEVAL_MODEL_H_
+#define SDMS_IRS_MODEL_RETRIEVAL_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "irs/index/inverted_index.h"
+#include "irs/query/query_node.h"
+
+namespace sdms::irs {
+
+/// Scores of matching documents: internal doc id -> IRS value.
+using ScoreMap = std::unordered_map<DocId, double>;
+
+/// A retrieval paradigm. The paper's loose coupling explicitly allows
+/// exchanging the retrieval machine ("boolean retrieval systems, vector
+/// retrieval systems, and systems based on probability"); this
+/// interface is that exchange point.
+class RetrievalModel {
+ public:
+  virtual ~RetrievalModel() = default;
+
+  /// Model name for diagnostics ("inquery", "bm25", ...).
+  virtual std::string name() const = 0;
+
+  /// Evaluates `query` over `index`, returning scores for matching
+  /// documents. Scores are normalized to [0, 1] where the model
+  /// supports it (boolean and inference-network models do; tf-idf and
+  /// BM25 scores are positive but unbounded).
+  virtual StatusOr<ScoreMap> Score(const InvertedIndex& index,
+                                   const QueryNode& query) const = 0;
+};
+
+/// Factories for the built-in models.
+std::unique_ptr<RetrievalModel> MakeBooleanModel();
+std::unique_ptr<RetrievalModel> MakeVectorSpaceModel();
+std::unique_ptr<RetrievalModel> MakeBm25Model(double k1 = 1.2,
+                                              double b = 0.75);
+std::unique_ptr<RetrievalModel> MakeInferenceNetModel(
+    double default_belief = 0.4);
+
+/// Creates a model by name: "boolean", "vsm", "bm25", "inquery".
+StatusOr<std::unique_ptr<RetrievalModel>> MakeModel(const std::string& name);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_MODEL_RETRIEVAL_MODEL_H_

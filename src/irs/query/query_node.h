@@ -1,0 +1,67 @@
+#ifndef SDMS_IRS_QUERY_QUERY_NODE_H_
+#define SDMS_IRS_QUERY_QUERY_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::irs {
+
+class Analyzer;
+
+/// Operator kinds of the structured IRS query language. The #-operators
+/// mirror the INQUERY operators whose exact semantics the paper says it
+/// re-implemented inside the DBMS ("For INQUERY, we have knowledge of
+/// half a dozen operators' exact semantics", Section 4.5.4).
+enum class QueryOp {
+  kTerm,  // leaf
+  kSum,   // #sum: mean of children beliefs (INQUERY default)
+  kWsum,  // #wsum: weighted mean
+  kAnd,   // #and: product
+  kOr,    // #or: 1 - prod(1 - b)
+  kNot,   // #not: 1 - b
+  kMax,   // #max: maximum
+  kOdn,   // #odN / #phrase: ordered window over term children
+  kUwn,   // #uwN: unordered window over term children
+};
+
+/// Returns "#sum", "#and", ... (or "term").
+const char* QueryOpName(QueryOp op);
+
+/// A node of the parsed IRS query tree.
+struct QueryNode {
+  QueryOp op = QueryOp::kTerm;
+  /// Analyzed term (leaves only).
+  std::string term;
+  std::vector<std::unique_ptr<QueryNode>> children;
+  /// Child weights for #wsum (parallel to children; 1.0 otherwise).
+  std::vector<double> weights;
+  /// Window size for #odN / #uwN (maximum distance between adjacent
+  /// matched terms for #od, total window span for #uw).
+  uint32_t window = 1;
+
+  /// Renders back to query syntax.
+  std::string ToString() const;
+
+  std::unique_ptr<QueryNode> Clone() const;
+
+  /// Collects all leaf terms (duplicates preserved).
+  void CollectTerms(std::vector<std::string>& out) const;
+};
+
+/// Parses the IRS query language:
+///   query    := node+                      (implicit #sum when several)
+///   node     := '#' op '(' node+ ')' | TERM
+///   #wsum    := '#wsum' '(' (WEIGHT node)+ ')'
+///   windows  := '#odN' | '#phrase' (= #od1) | '#uwN', term children only
+/// Terms are run through `analyzer`; stopped-out terms are dropped.
+/// Examples: "WWW", "#and(WWW NII)", "#wsum(2 www 1 #or(nii internet))",
+/// "#phrase(information retrieval)", "#uw8(database coupling)".
+StatusOr<std::unique_ptr<QueryNode>> ParseIrsQuery(const std::string& query,
+                                                   const Analyzer& analyzer);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_QUERY_QUERY_NODE_H_

@@ -1,0 +1,62 @@
+#include "oodb/builtins.h"
+
+namespace sdms::oodb {
+
+Status RegisterBuiltins(Database& db) {
+  if (!db.schema().HasClass(kObjectClass)) {
+    ClassDef object_class;
+    object_class.name = kObjectClass;
+    object_class.abstract = true;
+    SDMS_RETURN_IF_ERROR(db.schema().DefineClass(std::move(object_class)));
+  }
+
+  db.methods().Register(
+      kObjectClass, "getAttributeValue",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 1 || !args[0].is_string()) {
+          return Status::InvalidArgument(
+              "getAttributeValue expects one string argument");
+        }
+        return ctx.db->GetAttribute(self, args[0].as_string());
+      });
+
+  db.methods().Register(
+      kObjectClass, "setAttributeValue",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 2 || !args[0].is_string()) {
+          return Status::InvalidArgument(
+              "setAttributeValue expects (name, value)");
+        }
+        SDMS_RETURN_IF_ERROR(
+            ctx.db->SetAttribute(self, args[0].as_string(), args[1]));
+        return Value(true);
+      });
+
+  db.methods().Register(
+      kObjectClass, "className",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        if (!args.empty()) {
+          return Status::InvalidArgument("className takes no arguments");
+        }
+        SDMS_ASSIGN_OR_RETURN(std::string cls, ctx.db->ClassOf(self));
+        return Value(std::move(cls));
+      });
+
+  db.methods().Register(
+      kObjectClass, "oidString",
+      [](const MethodContext& ctx, Oid self,
+         const std::vector<Value>& args) -> StatusOr<Value> {
+        (void)ctx;
+        if (!args.empty()) {
+          return Status::InvalidArgument("oidString takes no arguments");
+        }
+        return Value(self.ToString());
+      });
+
+  return Status::OK();
+}
+
+}  // namespace sdms::oodb

@@ -1,0 +1,23 @@
+#ifndef SDMS_OODB_BUILTINS_H_
+#define SDMS_OODB_BUILTINS_H_
+
+#include "oodb/database.h"
+
+namespace sdms::oodb {
+
+/// Root class name under which the builtin methods are registered.
+/// Applications should derive their classes from it (directly or
+/// transitively) to inherit the methods.
+inline constexpr char kObjectClass[] = "Object";
+
+/// Defines class `Object` (if absent) and registers the builtin
+/// methods on it:
+///   getAttributeValue(name)        -> Value
+///   setAttributeValue(name, value) -> TRUE (mutating)
+///   className()                    -> STRING
+///   oidString()                    -> STRING
+Status RegisterBuiltins(Database& db);
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_BUILTINS_H_

@@ -1,0 +1,283 @@
+#include "oodb/index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdms::oodb {
+
+namespace {
+
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kReal:
+      return 2;  // Numerics compare cross-type by value.
+    case ValueType::kString:
+      return 3;
+    case ValueType::kOid:
+      return 4;
+    case ValueType::kList:
+      return 5;
+    case ValueType::kDict:
+      return 6;
+  }
+  return 7;
+}
+
+}  // namespace
+
+int CompareKeys(const Value& a, const Value& b) {
+  int ra = TypeRank(a);
+  int rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  auto cmp = a.Compare(b);
+  if (cmp.ok()) return *cmp;
+  // Same rank but incomparable (lists/dicts): fall back to the string
+  // rendering so the order stays total and deterministic.
+  std::string sa = a.ToString();
+  std::string sb = b.ToString();
+  return sa < sb ? -1 : (sa > sb ? 1 : 0);
+}
+
+struct BTreeIndex::LeafEntry {
+  Value key;
+  std::vector<Oid> oids;
+};
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  // Internal node state: children.size() == keys.size() + 1.
+  std::vector<Value> keys;
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf node state.
+  std::vector<LeafEntry> entries;
+  Node* next = nullptr;
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Node>()) {}
+BTreeIndex::~BTreeIndex() = default;
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  Node* n = root_.get();
+  while (!n->leaf) {
+    // First child whose separator exceeds the key.
+    size_t i = 0;
+    while (i < n->keys.size() && CompareKeys(key, n->keys[i]) >= 0) ++i;
+    n = n->children[i].get();
+  }
+  return n;
+}
+
+void BTreeIndex::Insert(const Value& key, Oid oid) {
+  Node* leaf = FindLeaf(key);
+  InsertIntoLeaf(leaf, key, oid);
+}
+
+void BTreeIndex::InsertIntoLeaf(Node* leaf, const Value& key, Oid oid) {
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return CompareKeys(e.key, k) < 0; });
+  if (it != leaf->entries.end() && CompareKeys(it->key, key) == 0) {
+    if (std::find(it->oids.begin(), it->oids.end(), oid) == it->oids.end()) {
+      it->oids.push_back(oid);
+      ++entry_count_;
+    }
+    return;
+  }
+  LeafEntry e;
+  e.key = key;
+  e.oids.push_back(oid);
+  leaf->entries.insert(it, std::move(e));
+  ++key_count_;
+  ++entry_count_;
+  if (leaf->entries.size() > static_cast<size_t>(kOrder)) SplitLeaf(leaf);
+}
+
+void BTreeIndex::SplitLeaf(Node* leaf) {
+  auto right = std::make_unique<Node>();
+  right->leaf = true;
+  size_t mid = leaf->entries.size() / 2;
+  right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
+                        std::make_move_iterator(leaf->entries.end()));
+  leaf->entries.erase(leaf->entries.begin() + mid, leaf->entries.end());
+  right->next = leaf->next;
+  Node* right_raw = right.get();
+  Value sep = right->entries.front().key;
+  // InsertIntoParent takes ownership of `right`.
+  right.release();
+  leaf->next = right_raw;
+  InsertIntoParent(leaf, std::move(sep), right_raw);
+}
+
+void BTreeIndex::SplitInternal(Node* node) {
+  size_t mid = node->keys.size() / 2;
+  Value sep = node->keys[mid];
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    node->children[i]->parent = right.get();
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.erase(node->keys.begin() + mid, node->keys.end());
+  node->children.erase(node->children.begin() + mid + 1,
+                       node->children.end());
+  Node* right_raw = right.release();
+  InsertIntoParent(node, std::move(sep), right_raw);
+}
+
+void BTreeIndex::InsertIntoParent(Node* left, Value sep, Node* right) {
+  if (left->parent == nullptr) {
+    // `left` is the current root: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(sep));
+    // root_ currently owns `left`.
+    new_root->children.push_back(std::move(root_));
+    new_root->children.emplace_back(right);
+    left->parent = new_root.get();
+    right->parent = new_root.get();
+    root_ = std::move(new_root);
+    return;
+  }
+  Node* parent = left->parent;
+  size_t pos = 0;
+  while (pos < parent->children.size() && parent->children[pos].get() != left) {
+    ++pos;
+  }
+  assert(pos < parent->children.size());
+  parent->keys.insert(parent->keys.begin() + pos, std::move(sep));
+  parent->children.emplace(parent->children.begin() + pos + 1, right);
+  right->parent = parent;
+  if (parent->keys.size() > static_cast<size_t>(kOrder)) {
+    SplitInternal(parent);
+  }
+}
+
+bool BTreeIndex::Remove(const Value& key, Oid oid) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return CompareKeys(e.key, k) < 0; });
+  if (it == leaf->entries.end() || CompareKeys(it->key, key) != 0) return false;
+  auto oit = std::find(it->oids.begin(), it->oids.end(), oid);
+  if (oit == it->oids.end()) return false;
+  it->oids.erase(oit);
+  --entry_count_;
+  if (it->oids.empty()) {
+    // Lazy deletion: the entry is removed but nodes are not rebalanced.
+    // Underfull leaves are tolerated; lookups stay correct.
+    leaf->entries.erase(it);
+    --key_count_;
+  }
+  return true;
+}
+
+std::vector<Oid> BTreeIndex::Lookup(const Value& key) const {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return CompareKeys(e.key, k) < 0; });
+  if (it == leaf->entries.end() || CompareKeys(it->key, key) != 0) return {};
+  return it->oids;
+}
+
+std::vector<Oid> BTreeIndex::Range(const std::optional<Value>& lo,
+                                   bool lo_inclusive,
+                                   const std::optional<Value>& hi,
+                                   bool hi_inclusive) const {
+  std::vector<Oid> out;
+  Node* leaf;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+  } else {
+    leaf = root_.get();
+    while (!leaf->leaf) leaf = leaf->children.front().get();
+  }
+  for (Node* n = leaf; n != nullptr; n = n->next) {
+    for (const LeafEntry& e : n->entries) {
+      if (lo.has_value()) {
+        int c = CompareKeys(e.key, *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = CompareKeys(e.key, *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return out;
+      }
+      out.insert(out.end(), e.oids.begin(), e.oids.end());
+    }
+  }
+  return out;
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+std::string BTreeIndex::CheckInvariants() const {
+  // Walk the tree checking key order and parent links; then walk the
+  // leaf chain checking global order.
+  std::string problem;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty() && problem.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf) {
+      for (size_t i = 1; i < n->entries.size(); ++i) {
+        if (CompareKeys(n->entries[i - 1].key, n->entries[i].key) >= 0) {
+          problem = "leaf entries out of order";
+        }
+      }
+      if (n->entries.size() > static_cast<size_t>(kOrder) + 1) {
+        problem = "leaf overfull";
+      }
+    } else {
+      if (n->children.size() != n->keys.size() + 1) {
+        problem = "internal child/key count mismatch";
+      }
+      for (size_t i = 1; i < n->keys.size(); ++i) {
+        if (CompareKeys(n->keys[i - 1], n->keys[i]) >= 0) {
+          problem = "internal keys out of order";
+        }
+      }
+      for (const auto& c : n->children) {
+        if (c->parent != n) problem = "broken parent link";
+        stack.push_back(c.get());
+      }
+    }
+  }
+  if (!problem.empty()) return problem;
+  // Leaf chain global ordering.
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  const Value* prev = nullptr;
+  size_t seen_keys = 0;
+  size_t seen_entries = 0;
+  for (const Node* n = leaf; n != nullptr; n = n->next) {
+    for (const LeafEntry& e : n->entries) {
+      if (prev != nullptr && CompareKeys(*prev, e.key) >= 0) {
+        return "leaf chain out of order";
+      }
+      prev = &e.key;
+      ++seen_keys;
+      seen_entries += e.oids.size();
+    }
+  }
+  if (seen_keys != key_count_) return "key_count mismatch";
+  if (seen_entries != entry_count_) return "entry_count mismatch";
+  return "";
+}
+
+}  // namespace sdms::oodb

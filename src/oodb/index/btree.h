@@ -1,0 +1,77 @@
+#ifndef SDMS_OODB_INDEX_BTREE_H_
+#define SDMS_OODB_INDEX_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/oid.h"
+#include "oodb/value.h"
+
+namespace sdms::oodb {
+
+/// Total order over Values for index keys. Heterogeneous keys are
+/// ordered by type tag first (null < bool < numeric < string < oid), so
+/// the tree stays consistent even when an attribute mixes types.
+int CompareKeys(const Value& a, const Value& b);
+
+/// An in-memory B+-tree mapping attribute values to sets of OIDs.
+/// Leaves are linked for range scans. Duplicate keys are stored once
+/// with a postings vector of OIDs.
+class BTreeIndex {
+ public:
+  /// Fan-out: max keys per node. 64 keeps nodes cache-friendly.
+  static constexpr int kOrder = 64;
+
+  BTreeIndex();
+  ~BTreeIndex();
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Adds (key, oid). Idempotent for an existing pair.
+  void Insert(const Value& key, Oid oid);
+
+  /// Removes (key, oid); returns false if the pair was absent.
+  bool Remove(const Value& key, Oid oid);
+
+  /// All OIDs with exactly `key`, in insertion-then-OID order.
+  std::vector<Oid> Lookup(const Value& key) const;
+
+  /// All OIDs with keys in [lo, hi]; unbounded side when nullopt.
+  std::vector<Oid> Range(const std::optional<Value>& lo, bool lo_inclusive,
+                         const std::optional<Value>& hi,
+                         bool hi_inclusive) const;
+
+  /// Number of distinct keys.
+  size_t key_count() const { return key_count_; }
+
+  /// Number of (key, oid) pairs.
+  size_t entry_count() const { return entry_count_; }
+
+  /// Tree height (1 = a single leaf); exposed for tests.
+  int height() const;
+
+  /// Internal structural invariant check (sortedness, fill factors,
+  /// leaf links). Used by property tests; returns a description of the
+  /// first violation, or empty string when consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry;
+
+  Node* FindLeaf(const Value& key) const;
+  void InsertIntoLeaf(Node* leaf, const Value& key, Oid oid);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  void InsertIntoParent(Node* left, Value sep, Node* right);
+
+  std::unique_ptr<Node> root_;
+  size_t key_count_ = 0;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_INDEX_BTREE_H_

@@ -1,0 +1,65 @@
+#include "oodb/lock_manager.h"
+
+namespace sdms::oodb {
+
+Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry& e = table_[oid];
+  if (mode == LockMode::kShared) {
+    if (e.exclusive != 0 && e.exclusive != txn) {
+      return Status::LockConflict("S-lock on " + oid.ToString() +
+                                  " blocked by X-lock of txn " +
+                                  std::to_string(e.exclusive));
+    }
+    if (e.exclusive != txn) e.shared.insert(txn);
+  } else {
+    if (e.exclusive != 0 && e.exclusive != txn) {
+      return Status::LockConflict("X-lock on " + oid.ToString() +
+                                  " blocked by X-lock of txn " +
+                                  std::to_string(e.exclusive));
+    }
+    // Upgrade allowed only when this txn is the sole shared holder.
+    for (TxnId holder : e.shared) {
+      if (holder != txn) {
+        return Status::LockConflict("X-lock on " + oid.ToString() +
+                                    " blocked by S-lock of txn " +
+                                    std::to_string(holder));
+      }
+    }
+    e.shared.erase(txn);
+    e.exclusive = txn;
+  }
+  by_txn_[txn].insert(oid);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (Oid oid : it->second) {
+    auto te = table_.find(oid);
+    if (te == table_.end()) continue;
+    te->second.shared.erase(txn);
+    if (te->second.exclusive == txn) te->second.exclusive = 0;
+    if (te->second.shared.empty() && te->second.exclusive == 0) {
+      table_.erase(te);
+    }
+  }
+  by_txn_.erase(it);
+}
+
+bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return false;
+  if (it->second.exclusive == txn) return true;
+  return mode == LockMode::kShared && it->second.shared.count(txn) > 0;
+}
+
+size_t LockManager::locked_object_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return table_.size();
+}
+
+}  // namespace sdms::oodb

@@ -1,0 +1,52 @@
+#ifndef SDMS_OODB_LOCK_MANAGER_H_
+#define SDMS_OODB_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+
+namespace sdms::oodb {
+
+/// Transaction identifier. 0 is reserved.
+using TxnId = uint64_t;
+
+/// Lock modes for per-object two-phase locking.
+enum class LockMode { kShared, kExclusive };
+
+/// Per-object S/X lock table with a *no-wait* policy: a conflicting
+/// request fails immediately with LockConflict instead of blocking, so
+/// deadlocks cannot occur; callers abort and retry. Locks are held
+/// until ReleaseAll at commit/abort (strict 2PL).
+class LockManager {
+ public:
+  /// Acquires (or upgrades to) `mode` on `oid` for `txn`.
+  Status Acquire(TxnId txn, Oid oid, LockMode mode);
+
+  /// Releases every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds at least `mode` on `oid` (X satisfies S).
+  bool Holds(TxnId txn, Oid oid, LockMode mode) const;
+
+  /// Number of objects currently locked (for tests/metrics).
+  size_t locked_object_count() const;
+
+ private:
+  struct Entry {
+    std::set<TxnId> shared;
+    TxnId exclusive = 0;  // 0 = none
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, Entry> table_;
+  std::unordered_map<TxnId, std::set<Oid>> by_txn_;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_LOCK_MANAGER_H_

@@ -1,0 +1,25 @@
+#include "oodb/method_registry.h"
+
+namespace sdms::oodb {
+
+void MethodRegistry::Register(const std::string& cls, const std::string& name,
+                              MethodFn fn) {
+  methods_[cls + "::" + name] = std::move(fn);
+}
+
+StatusOr<const MethodFn*> MethodRegistry::Resolve(
+    const Schema& schema, const std::string& cls,
+    const std::string& name) const {
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = methods_.find(cur + "::" + name);
+    if (it != methods_.end()) return &it->second;
+    auto cd = schema.GetClass(cur);
+    if (!cd.ok()) break;
+    cur = (*cd)->super;
+  }
+  return Status::NotFound("method '" + name + "' not defined for class " +
+                          cls);
+}
+
+}  // namespace sdms::oodb

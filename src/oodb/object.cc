@@ -1,0 +1,32 @@
+#include "oodb/object.h"
+
+namespace sdms::oodb {
+
+StatusOr<Value> DbObject::Get(const std::string& attr) const {
+  auto it = attrs_.find(attr);
+  if (it == attrs_.end()) {
+    return Status::NotFound("attribute '" + attr + "' not set on " +
+                            oid_.ToString());
+  }
+  return it->second;
+}
+
+Value DbObject::GetOr(const std::string& attr, Value fallback) const {
+  auto it = attrs_.find(attr);
+  if (it == attrs_.end()) return fallback;
+  return it->second;
+}
+
+std::string DbObject::ToString() const {
+  std::string out = class_name_ + "(" + oid_.ToString() + "){";
+  bool first = true;
+  for (const auto& [k, v] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + ": " + v.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sdms::oodb

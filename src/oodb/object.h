@@ -1,0 +1,54 @@
+#ifndef SDMS_OODB_OBJECT_H_
+#define SDMS_OODB_OBJECT_H_
+
+#include <map>
+#include <string>
+
+#include "common/oid.h"
+#include "common/status.h"
+#include "oodb/value.h"
+
+namespace sdms::oodb {
+
+/// One stored database object: an OID, the name of its class, and its
+/// attribute values. Behaviour (methods) lives in the MethodRegistry,
+/// dispatched by class name, so objects stay plain data on disk.
+class DbObject {
+ public:
+  DbObject(Oid oid, std::string class_name)
+      : oid_(oid), class_name_(std::move(class_name)) {}
+
+  Oid oid() const { return oid_; }
+  const std::string& class_name() const { return class_name_; }
+
+  /// Returns the value of `attr`, or NotFound.
+  StatusOr<Value> Get(const std::string& attr) const;
+
+  /// Returns the value of `attr`, or `fallback` when absent.
+  Value GetOr(const std::string& attr, Value fallback) const;
+
+  bool Has(const std::string& attr) const { return attrs_.count(attr) > 0; }
+
+  /// Sets `attr` to `value` (no schema check here; Database::SetAttribute
+  /// validates against the schema and records undo/redo).
+  void Set(const std::string& attr, Value value) {
+    attrs_[attr] = std::move(value);
+  }
+
+  /// Removes `attr` if present.
+  void Unset(const std::string& attr) { attrs_.erase(attr); }
+
+  const std::map<std::string, Value>& attributes() const { return attrs_; }
+
+  /// Debug rendering: "ClassName(oid:n){attr: value, ...}".
+  std::string ToString() const;
+
+ private:
+  Oid oid_;
+  std::string class_name_;
+  std::map<std::string, Value> attrs_;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_OBJECT_H_

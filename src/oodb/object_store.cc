@@ -1,0 +1,62 @@
+#include "oodb/object_store.h"
+
+namespace sdms::oodb {
+
+Status ObjectStore::Insert(DbObject obj) {
+  Oid oid = obj.oid();
+  if (!oid.valid()) return Status::InvalidArgument("cannot insert null OID");
+  if (objects_.count(oid) > 0) {
+    return Status::AlreadyExists("object exists: " + oid.ToString());
+  }
+  extents_[obj.class_name()].insert(oid);
+  BumpOidWatermark(oid);
+  objects_.emplace(oid, std::make_unique<DbObject>(std::move(obj)));
+  return Status::OK();
+}
+
+Status ObjectStore::Remove(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  extents_[it->second->class_name()].erase(oid);
+  objects_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<DbObject*> ObjectStore::Get(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  return it->second.get();
+}
+
+StatusOr<const DbObject*> ObjectStore::Get(Oid oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  return static_cast<const DbObject*>(it->second.get());
+}
+
+std::vector<Oid> ObjectStore::DirectExtent(const std::string& cls) const {
+  std::vector<Oid> out;
+  auto it = extents_.find(cls);
+  if (it == extents_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+size_t ObjectStore::DirectExtentSize(const std::string& cls) const {
+  auto it = extents_.find(cls);
+  return it == extents_.end() ? 0 : it->second.size();
+}
+
+void ObjectStore::Clear() {
+  objects_.clear();
+  extents_.clear();
+  next_oid_ = 1;
+}
+
+}  // namespace sdms::oodb

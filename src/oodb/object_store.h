@@ -1,0 +1,78 @@
+#ifndef SDMS_OODB_OBJECT_STORE_H_
+#define SDMS_OODB_OBJECT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+#include "oodb/object.h"
+
+namespace sdms::oodb {
+
+/// In-memory primary storage of all objects plus per-class extents.
+/// Durability is layered on top by Database (WAL + snapshot); the store
+/// itself is a plain container with OID allocation.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Allocates the next OID (monotonically increasing, never reused).
+  Oid AllocateOid() { return Oid(next_oid_++); }
+
+  /// Ensures future allocations are above `oid` (used by recovery).
+  void BumpOidWatermark(Oid oid) {
+    if (oid.raw() >= next_oid_) next_oid_ = oid.raw() + 1;
+  }
+
+  /// Inserts `obj`; fails if its OID is taken.
+  Status Insert(DbObject obj);
+
+  /// Removes the object with `oid`.
+  Status Remove(Oid oid);
+
+  /// Mutable object lookup.
+  StatusOr<DbObject*> Get(Oid oid);
+
+  /// Const object lookup.
+  StatusOr<const DbObject*> Get(Oid oid) const;
+
+  bool Contains(Oid oid) const { return objects_.count(oid) > 0; }
+
+  /// OIDs of the *direct* extent of `cls` (no subclasses), in OID order.
+  std::vector<Oid> DirectExtent(const std::string& cls) const;
+
+  /// Number of objects in the direct extent of `cls`.
+  size_t DirectExtentSize(const std::string& cls) const;
+
+  size_t size() const { return objects_.size(); }
+
+  /// Iterates all objects in OID order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [oid, obj] : objects_) fn(*obj);
+  }
+
+  /// Drops all contents (used when loading a snapshot).
+  void Clear();
+
+  uint64_t next_oid() const { return next_oid_; }
+  void set_next_oid(uint64_t v) { next_oid_ = v; }
+
+ private:
+  // std::map keeps deterministic OID-ordered iteration, which the query
+  // evaluator and snapshot writer rely on for reproducible output.
+  std::map<Oid, std::unique_ptr<DbObject>> objects_;
+  std::unordered_map<std::string, std::set<Oid>> extents_;
+  uint64_t next_oid_ = 1;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_OBJECT_STORE_H_

@@ -1,0 +1,157 @@
+#include "oodb/query/ast.h"
+
+namespace sdms::oodb::vql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kVarRef:
+      return name;
+    case ExprKind::kMethodCall: {
+      std::string out = child->ToString() + " -> " + name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kAttrAccess:
+      return child->ToString() + "." + name;
+    case ExprKind::kBinary:
+      return "(" + child->ToString() + " " + BinOpName(bin_op) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kUnary:
+      return un_op == UnOp::kNot ? "NOT " + child->ToString()
+                                 : "-" + child->ToString();
+    case ExprKind::kListExpr: {
+      std::string out = "[";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->name = name;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  if (child) out->child = child->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  return out;
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "ACCESS ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i]->ToString();
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bindings[i].var + " IN " + bindings[i].class_name;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (order_by) {
+    out += " ORDER BY " + order_by->expr->ToString();
+    if (order_by->descending) out += " DESC";
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+std::unique_ptr<Expr> MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeVarRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeMethodCall(std::unique_ptr<Expr> recv,
+                                     std::string name,
+                                     std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kMethodCall;
+  e->child = std::move(recv);
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeAttrAccess(std::unique_ptr<Expr> recv,
+                                     std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAttrAccess;
+  e->child = std::move(recv);
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> lhs,
+                                 std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->child = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeUnary(UnOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->child = std::move(operand);
+  return e;
+}
+
+}  // namespace sdms::oodb::vql

@@ -1,0 +1,118 @@
+#ifndef SDMS_OODB_QUERY_AST_H_
+#define SDMS_OODB_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oodb/value.h"
+
+namespace sdms::oodb::vql {
+
+/// Expression node kinds of the VQL AST.
+enum class ExprKind {
+  kLiteral,     // 42, 0.6, 'WWW', TRUE, NULL
+  kVarRef,      // p
+  kMethodCall,  // p -> getIRSValue(coll, 'WWW')
+  kAttrAccess,  // p.year
+  kBinary,      // a AND b, a == b, a + b ...
+  kUnary,       // NOT a, -a
+  kListExpr,    // [e1, e2, ...]
+};
+
+/// Binary operators.
+enum class BinOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+/// Unary operators.
+enum class UnOp { kNot, kNeg };
+
+/// Returns the VQL spelling of a binary operator.
+const char* BinOpName(BinOp op);
+
+/// One node of an expression tree. Plain struct (per style rules this
+/// is a passive data carrier); ownership via unique_ptr children.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kVarRef / kMethodCall / kAttrAccess: name of variable, method or
+  // attribute.
+  std::string name;
+
+  // kMethodCall / kAttrAccess receiver; kUnary operand; kBinary lhs.
+  std::unique_ptr<Expr> child;
+
+  // kBinary rhs.
+  std::unique_ptr<Expr> rhs;
+
+  // kMethodCall arguments; kListExpr elements.
+  std::vector<std::unique_ptr<Expr>> args;
+
+  // kBinary / kUnary operator.
+  BinOp bin_op = BinOp::kAnd;
+  UnOp un_op = UnOp::kNot;
+
+  /// Renders the expression back to VQL-ish text (for plans & errors).
+  std::string ToString() const;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+};
+
+/// One range variable: `p IN PARA`.
+struct Binding {
+  std::string var;
+  std::string class_name;
+};
+
+/// Sort specification: `ORDER BY expr [DESC]`.
+struct OrderBy {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+/// A parsed VQL query:
+/// `ACCESS [DISTINCT] <select...> FROM <bindings...> [WHERE expr]
+///  [ORDER BY expr [ASC|DESC]] [LIMIT n]`.
+struct ParsedQuery {
+  std::vector<std::unique_ptr<Expr>> select;
+  std::vector<Binding> bindings;
+  std::unique_ptr<Expr> where;  // may be null
+  std::unique_ptr<OrderBy> order_by;  // may be null
+  int64_t limit = -1;  // -1 = unlimited
+  /// Deduplicate result rows on the select columns (first wins).
+  bool distinct = false;
+
+  std::string ToString() const;
+};
+
+// Convenience constructors used by the parser and by tests.
+std::unique_ptr<Expr> MakeLiteral(Value v);
+std::unique_ptr<Expr> MakeVarRef(std::string name);
+std::unique_ptr<Expr> MakeMethodCall(std::unique_ptr<Expr> recv,
+                                     std::string name,
+                                     std::vector<std::unique_ptr<Expr>> args);
+std::unique_ptr<Expr> MakeAttrAccess(std::unique_ptr<Expr> recv,
+                                     std::string name);
+std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> lhs,
+                                 std::unique_ptr<Expr> rhs);
+std::unique_ptr<Expr> MakeUnary(UnOp op, std::unique_ptr<Expr> operand);
+
+}  // namespace sdms::oodb::vql
+
+#endif  // SDMS_OODB_QUERY_AST_H_

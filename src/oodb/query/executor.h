@@ -1,0 +1,121 @@
+#ifndef SDMS_OODB_QUERY_EXECUTOR_H_
+#define SDMS_OODB_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oodb/database.h"
+#include "oodb/query/ast.h"
+
+namespace sdms::oodb::vql {
+
+/// Tabular result of a VQL query.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Pretty-prints as an aligned ASCII table (examples/benches).
+  std::string ToTable(size_t max_rows = 50) const;
+};
+
+/// Counters exposed after each query; benches use them to show the
+/// effect of optimizations (index use, binding reorder, IRS prefetch).
+struct QueryStats {
+  uint64_t bindings_scanned = 0;   // candidate objects enumerated
+  uint64_t tuples_considered = 0;  // join tuples evaluated
+  uint64_t method_calls = 0;       // VQL method invocations
+  uint64_t index_lookups = 0;      // B-tree probes
+  uint64_t rows_emitted = 0;
+};
+
+/// Hook invoked before evaluation with the parsed query; the coupling
+/// layer uses it for semantic query optimization [AbF95]: it spots
+/// `getIRSValue(coll, 'q')` conjuncts and warms the collection's IRS
+/// result buffer with a single batched IRS call.
+using PrepareHook = std::function<Status(Database&, const ParsedQuery&)>;
+
+/// Evaluates VQL queries against a Database: parsing, optimization
+/// (filter pushdown, index selection, binding reorder) and nested-loop
+/// join evaluation with short-circuit predicates.
+class QueryEngine {
+ public:
+  struct Options {
+    bool use_indexes = true;
+    bool reorder_bindings = true;
+    bool pushdown_filters = true;
+  };
+
+  explicit QueryEngine(Database* db) : db_(db) {}
+
+  Options& options() { return options_; }
+
+  /// Registers a prepare hook (run in registration order).
+  void AddPrepareHook(PrepareHook hook) {
+    prepare_hooks_.push_back(std::move(hook));
+  }
+
+  /// Restricts the candidate set of range variable `var` for the *next*
+  /// Run only (cleared afterwards). This is how the IRS-first mixed-
+  /// query strategy (paper Section 4.5.3, alternative 2) feeds the
+  /// IRS-selected objects into the database evaluation: the IRS
+  /// restricts the search space, the DBMS verifies the structure
+  /// conditions on those objects only.
+  void SetCandidateOverride(const std::string& var, std::vector<Oid> oids) {
+    candidate_overrides_[var] = std::move(oids);
+  }
+
+  /// Parses and runs `vql`.
+  StatusOr<QueryResult> Run(const std::string& vql);
+
+  /// Runs an already-parsed query.
+  StatusOr<QueryResult> Run(const ParsedQuery& query);
+
+  /// Renders the evaluation plan for `vql` without running it: binding
+  /// order, candidate sources (extent scan / index lookup / injected
+  /// candidates), pushed-down filters and join conjuncts.
+  StatusOr<std::string> Explain(const std::string& vql);
+
+  /// Evaluates a bare expression with variables bound to objects.
+  StatusOr<Value> Eval(const Expr& expr,
+                       const std::map<std::string, Value>& env);
+
+  /// Stats of the most recent Run.
+  const QueryStats& last_stats() const { return stats_; }
+
+  Database* db() { return db_; }
+
+ private:
+  struct BindingPlan;
+
+  StatusOr<std::vector<BindingPlan>> BuildPlan(const ParsedQuery& query);
+  Status RunJoin(const ParsedQuery& query,
+                 const std::vector<BindingPlan>& plan, size_t depth,
+                 std::map<std::string, Value>& env, QueryResult& result);
+  Status EmitRow(const ParsedQuery& query,
+                 std::map<std::string, Value>& env, QueryResult& result);
+
+  Database* db_;
+  Options options_;
+  std::vector<PrepareHook> prepare_hooks_;
+  std::map<std::string, std::vector<Oid>> candidate_overrides_;
+  QueryStats stats_;
+};
+
+// --- Expression analysis helpers (shared with the coupling layer) -----
+
+/// Splits a WHERE tree into top-level AND conjuncts.
+std::vector<const Expr*> SplitConjuncts(const Expr* where);
+
+/// Collects the names of all range variables referenced by `expr`.
+void CollectVars(const Expr& expr, std::vector<std::string>& out);
+
+/// True if every variable used by `expr` is in `bound`.
+bool AllVarsBound(const Expr& expr, const std::vector<std::string>& bound);
+
+}  // namespace sdms::oodb::vql
+
+#endif  // SDMS_OODB_QUERY_EXECUTOR_H_

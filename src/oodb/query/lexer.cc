@@ -1,0 +1,179 @@
+#include "oodb/query/lexer.h"
+
+#include <cctype>
+
+namespace sdms::oodb::vql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      out.push_back({TokenType::kIdent, input.substr(i, j - i), 0, 0.0, start});
+      i = j;
+      continue;
+    }
+    // Numbers: integer or real.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j + 1 < n && input[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      std::string text = input.substr(i, j - i);
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_real) {
+        t.type = TokenType::kReal;
+        try {
+          t.real_value = std::stod(text);
+        } catch (...) {
+          return Status::ParseError("real literal out of range: " + text);
+        }
+      } else {
+        t.type = TokenType::kInt;
+        try {
+          t.int_value = std::stoll(text);
+        } catch (...) {
+          return Status::ParseError("integer literal out of range: " + text);
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // String literals, single- or double-quoted; '' escapes a quote.
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == quote) {
+          if (j + 1 < n && input[j + 1] == quote) {
+            text.push_back(quote);
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(text), 0, 0.0, start});
+      i = j;
+      continue;
+    }
+    // Operators & punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('-', '>')) {
+      out.push_back({TokenType::kArrow, "->", 0, 0.0, start});
+      i += 2;
+    } else if (two('=', '=')) {
+      out.push_back({TokenType::kEq, "==", 0, 0.0, start});
+      i += 2;
+    } else if (two('!', '=')) {
+      out.push_back({TokenType::kNe, "!=", 0, 0.0, start});
+      i += 2;
+    } else if (two('<', '=')) {
+      out.push_back({TokenType::kLe, "<=", 0, 0.0, start});
+      i += 2;
+    } else if (two('>', '=')) {
+      out.push_back({TokenType::kGe, ">=", 0, 0.0, start});
+      i += 2;
+    } else if (two('<', '>')) {
+      out.push_back({TokenType::kNe, "<>", 0, 0.0, start});
+      i += 2;
+    } else {
+      TokenType type;
+      switch (c) {
+        case '=':
+          type = TokenType::kEq;
+          break;
+        case '<':
+          type = TokenType::kLt;
+          break;
+        case '>':
+          type = TokenType::kGt;
+          break;
+        case '+':
+          type = TokenType::kPlus;
+          break;
+        case '-':
+          type = TokenType::kMinus;
+          break;
+        case '*':
+          type = TokenType::kStar;
+          break;
+        case '/':
+          type = TokenType::kSlash;
+          break;
+        case '(':
+          type = TokenType::kLParen;
+          break;
+        case ')':
+          type = TokenType::kRParen;
+          break;
+        case '[':
+          type = TokenType::kLBracket;
+          break;
+        case ']':
+          type = TokenType::kRBracket;
+          break;
+        case ',':
+          type = TokenType::kComma;
+          break;
+        case '.':
+          type = TokenType::kDot;
+          break;
+        case ';':
+          type = TokenType::kSemicolon;
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(start));
+      }
+      out.push_back({type, std::string(1, c), 0, 0.0, start});
+      ++i;
+    }
+  }
+  out.push_back({TokenType::kEnd, "", 0, 0.0, n});
+  return out;
+}
+
+}  // namespace sdms::oodb::vql

@@ -1,0 +1,53 @@
+#ifndef SDMS_OODB_QUERY_LEXER_H_
+#define SDMS_OODB_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::oodb::vql {
+
+/// Token categories of the VQL lexer.
+enum class TokenType {
+  kIdent,     // names (keywords detected by the parser, case-insensitive)
+  kInt,       // 42
+  kReal,      // 0.6
+  kString,    // 'WWW'
+  kArrow,     // ->
+  kEq,        // == or =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // *
+  kSlash,     // /
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kDot,       // .
+  kSemicolon, // ;
+  kEnd,       // end of input
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type;
+  std::string text;   // Raw text; string literals are unquoted.
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;
+};
+
+/// Tokenizes a VQL query string. Fails with ParseError on malformed
+/// literals or unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sdms::oodb::vql
+
+#endif  // SDMS_OODB_QUERY_LEXER_H_

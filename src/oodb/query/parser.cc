@@ -1,0 +1,339 @@
+#include "oodb/query/parser.h"
+
+#include "common/string_util.h"
+#include "oodb/query/lexer.h"
+
+namespace sdms::oodb::vql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedQuery> ParseQuery();
+  StatusOr<std::unique_ptr<Expr>> ParseBareExpression();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Consume(TokenType t) {
+    if (Peek().type == t) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (!Consume(t)) {
+      return Status::ParseError(std::string("expected ") + what + " at '" +
+                                Peek().text + "' (offset " +
+                                std::to_string(Peek().offset) + ")");
+    }
+    return Status::OK();
+  }
+
+  // Reserved words that terminate an expression context.
+  bool AtClauseBoundary() const {
+    return PeekKeyword("FROM") || PeekKeyword("WHERE") ||
+           PeekKeyword("ORDER") || PeekKeyword("LIMIT") ||
+           Peek().type == TokenType::kEnd ||
+           Peek().type == TokenType::kSemicolon;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseExpr();     // OR level
+  StatusOr<std::unique_ptr<Expr>> ParseAnd();
+  StatusOr<std::unique_ptr<Expr>> ParseNot();
+  StatusOr<std::unique_ptr<Expr>> ParseComparison();
+  StatusOr<std::unique_ptr<Expr>> ParseAdditive();
+  StatusOr<std::unique_ptr<Expr>> ParseMultiplicative();
+  StatusOr<std::unique_ptr<Expr>> ParseUnary();
+  StatusOr<std::unique_ptr<Expr>> ParsePostfix();
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary();
+  StatusOr<std::vector<std::unique_ptr<Expr>>> ParseArgs(TokenType closer);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery q;
+  if (!ConsumeKeyword("ACCESS") && !ConsumeKeyword("SELECT")) {
+    return Status::ParseError("query must start with ACCESS");
+  }
+  q.distinct = ConsumeKeyword("DISTINCT");
+  // Select list.
+  while (true) {
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+    q.select.push_back(std::move(e));
+    if (!Consume(TokenType::kComma)) break;
+  }
+  // FROM clause.
+  if (!ConsumeKeyword("FROM")) {
+    return Status::ParseError("expected FROM at '" + Peek().text + "'");
+  }
+  while (true) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected range variable at '" + Peek().text +
+                                "'");
+    }
+    Binding b;
+    b.var = Advance().text;
+    if (!ConsumeKeyword("IN")) {
+      return Status::ParseError("expected IN after variable " + b.var);
+    }
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected class name at '" + Peek().text +
+                                "'");
+    }
+    b.class_name = Advance().text;
+    q.bindings.push_back(std::move(b));
+    if (!Consume(TokenType::kComma)) break;
+  }
+  // Optional WHERE.
+  if (ConsumeKeyword("WHERE")) {
+    SDMS_ASSIGN_OR_RETURN(q.where, ParseExpr());
+  }
+  // Optional ORDER BY.
+  if (ConsumeKeyword("ORDER")) {
+    if (!ConsumeKeyword("BY")) {
+      return Status::ParseError("expected BY after ORDER");
+    }
+    auto ob = std::make_unique<OrderBy>();
+    SDMS_ASSIGN_OR_RETURN(ob->expr, ParseExpr());
+    if (ConsumeKeyword("DESC")) {
+      ob->descending = true;
+    } else {
+      ConsumeKeyword("ASC");
+    }
+    q.order_by = std::move(ob);
+  }
+  // Optional LIMIT.
+  if (ConsumeKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInt) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    q.limit = Advance().int_value;
+  }
+  Consume(TokenType::kSemicolon);
+  if (!AtEnd()) {
+    return Status::ParseError("trailing input at '" + Peek().text + "'");
+  }
+  return q;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseBareExpression() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+  Consume(TokenType::kSemicolon);
+  if (!AtEnd()) {
+    return Status::ParseError("trailing input at '" + Peek().text + "'");
+  }
+  return e;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseExpr() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+  while (PeekKeyword("OR")) {
+    Advance();
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+    lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNot());
+  while (PeekKeyword("AND")) {
+    Advance();
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNot());
+    lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (ConsumeKeyword("NOT")) {
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseNot());
+    return MakeUnary(UnOp::kNot, std::move(e));
+  }
+  return ParseComparison();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseComparison() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+  BinOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = BinOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = BinOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  Advance();
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+  return MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+  while (Peek().type == TokenType::kPlus ||
+         Peek().type == TokenType::kMinus) {
+    BinOp op = Peek().type == TokenType::kPlus ? BinOp::kAdd : BinOp::kSub;
+    Advance();
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+  while (Peek().type == TokenType::kStar ||
+         Peek().type == TokenType::kSlash) {
+    BinOp op = Peek().type == TokenType::kStar ? BinOp::kMul : BinOp::kDiv;
+    Advance();
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (Consume(TokenType::kMinus)) {
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseUnary());
+    return MakeUnary(UnOp::kNeg, std::move(e));
+  }
+  return ParsePostfix();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParsePostfix() {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParsePrimary());
+  while (true) {
+    if (Consume(TokenType::kArrow)) {
+      if (Peek().type != TokenType::kIdent) {
+        return Status::ParseError("expected method name after ->");
+      }
+      std::string name = Advance().text;
+      SDMS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      SDMS_ASSIGN_OR_RETURN(auto args, ParseArgs(TokenType::kRParen));
+      e = MakeMethodCall(std::move(e), std::move(name), std::move(args));
+    } else if (Peek().type == TokenType::kDot) {
+      Advance();
+      if (Peek().type != TokenType::kIdent) {
+        return Status::ParseError("expected attribute name after '.'");
+      }
+      e = MakeAttrAccess(std::move(e), Advance().text);
+    } else {
+      break;
+    }
+  }
+  return e;
+}
+
+StatusOr<std::vector<std::unique_ptr<Expr>>> Parser::ParseArgs(
+    TokenType closer) {
+  std::vector<std::unique_ptr<Expr>> args;
+  if (Consume(closer)) return args;
+  while (true) {
+    SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+    args.push_back(std::move(e));
+    if (Consume(closer)) break;
+    SDMS_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+  }
+  return args;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt: {
+      Advance();
+      return MakeLiteral(Value(t.int_value));
+    }
+    case TokenType::kReal: {
+      Advance();
+      return MakeLiteral(Value(t.real_value));
+    }
+    case TokenType::kString: {
+      Advance();
+      return MakeLiteral(Value(t.text));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      SDMS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+      SDMS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return e;
+    }
+    case TokenType::kLBracket: {
+      Advance();
+      SDMS_ASSIGN_OR_RETURN(auto args, ParseArgs(TokenType::kRBracket));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kListExpr;
+      e->args = std::move(args);
+      return StatusOr<std::unique_ptr<Expr>>(std::move(e));
+    }
+    case TokenType::kIdent: {
+      if (EqualsIgnoreCase(t.text, "TRUE")) {
+        Advance();
+        return MakeLiteral(Value(true));
+      }
+      if (EqualsIgnoreCase(t.text, "FALSE")) {
+        Advance();
+        return MakeLiteral(Value(false));
+      }
+      if (EqualsIgnoreCase(t.text, "NULL")) {
+        Advance();
+        return MakeLiteral(Value());
+      }
+      Advance();
+      return MakeVarRef(t.text);
+    }
+    default:
+      return Status::ParseError("unexpected token '" + t.text +
+                                "' at offset " + std::to_string(t.offset));
+  }
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuery(const std::string& input) {
+  SDMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseQuery();
+}
+
+StatusOr<std::unique_ptr<Expr>> ParseExpression(const std::string& input) {
+  SDMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseBareExpression();
+}
+
+}  // namespace sdms::oodb::vql

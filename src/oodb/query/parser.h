@@ -1,0 +1,22 @@
+#ifndef SDMS_OODB_QUERY_PARSER_H_
+#define SDMS_OODB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "oodb/query/ast.h"
+
+namespace sdms::oodb::vql {
+
+/// Parses a full VQL query:
+///   ACCESS e1, e2 FROM p IN PARA, d IN MMFDOC
+///   WHERE <expr> [ORDER BY <expr> [ASC|DESC]] [LIMIT n] [;]
+StatusOr<ParsedQuery> ParseQuery(const std::string& input);
+
+/// Parses a bare expression (used for specification queries given as
+/// predicates and for tests).
+StatusOr<std::unique_ptr<Expr>> ParseExpression(const std::string& input);
+
+}  // namespace sdms::oodb::vql
+
+#endif  // SDMS_OODB_QUERY_PARSER_H_

@@ -1,0 +1,104 @@
+#include "oodb/schema.h"
+
+namespace sdms::oodb {
+
+Status Schema::DefineClass(ClassDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("class name must not be empty");
+  }
+  if (classes_.count(def.name) > 0) {
+    return Status::AlreadyExists("class already defined: " + def.name);
+  }
+  if (!def.super.empty() && classes_.count(def.super) == 0) {
+    return Status::NotFound("superclass not defined: " + def.super);
+  }
+  // Reject duplicate attribute names, including clashes with inherited
+  // attributes: redefinition along the isA chain is not supported.
+  for (size_t i = 0; i < def.attributes.size(); ++i) {
+    for (size_t j = i + 1; j < def.attributes.size(); ++j) {
+      if (def.attributes[i].name == def.attributes[j].name) {
+        return Status::InvalidArgument("duplicate attribute '" +
+                                       def.attributes[i].name + "' in class " +
+                                       def.name);
+      }
+    }
+    if (!def.super.empty()) {
+      auto inherited = FindAttribute(def.super, def.attributes[i].name);
+      if (inherited.ok()) {
+        return Status::InvalidArgument(
+            "attribute '" + def.attributes[i].name + "' in class " + def.name +
+            " shadows an inherited attribute");
+      }
+    }
+  }
+  order_.push_back(def.name);
+  classes_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+StatusOr<const ClassDef*> Schema::GetClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("class not defined: " + name);
+  }
+  return &it->second;
+}
+
+bool Schema::IsSubclassOf(const std::string& cls,
+                          const std::string& ancestor) const {
+  std::string cur = cls;
+  while (!cur.empty()) {
+    if (cur == ancestor) return true;
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) return false;
+    cur = it->second.super;
+  }
+  return false;
+}
+
+StatusOr<std::vector<AttributeDef>> Schema::AllAttributes(
+    const std::string& cls) const {
+  // Collect the inheritance chain root-first.
+  std::vector<const ClassDef*> chain;
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) {
+      return Status::NotFound("class not defined: " + cur);
+    }
+    chain.push_back(&it->second);
+    cur = it->second.super;
+  }
+  std::vector<AttributeDef> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const AttributeDef& a : (*it)->attributes) out.push_back(a);
+  }
+  return out;
+}
+
+StatusOr<const AttributeDef*> Schema::FindAttribute(
+    const std::string& cls, const std::string& attr) const {
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) {
+      return Status::NotFound("class not defined: " + cur);
+    }
+    for (const AttributeDef& a : it->second.attributes) {
+      if (a.name == attr) return &a;
+    }
+    cur = it->second.super;
+  }
+  return Status::NotFound("attribute '" + attr + "' not found on class " +
+                          cls);
+}
+
+std::vector<std::string> Schema::SubclassesOf(const std::string& cls) const {
+  std::vector<std::string> out;
+  for (const std::string& name : order_) {
+    if (IsSubclassOf(name, cls)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sdms::oodb

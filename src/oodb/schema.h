@@ -1,0 +1,75 @@
+#ifndef SDMS_OODB_SCHEMA_H_
+#define SDMS_OODB_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oodb/value.h"
+
+namespace sdms::oodb {
+
+/// Declaration of one attribute of a class.
+struct AttributeDef {
+  std::string name;
+  /// Expected type; kNull means "any type accepted".
+  ValueType type = ValueType::kNull;
+  /// Default value assigned at object creation.
+  Value default_value;
+};
+
+/// Declaration of one database class. Classes form a single-inheritance
+/// isA hierarchy (VML-style); the paper's element-type classes are all
+/// subclasses of `IRSObject`.
+struct ClassDef {
+  std::string name;
+  /// Name of the superclass; empty for root classes.
+  std::string super;
+  std::vector<AttributeDef> attributes;
+  /// True for classes that may not be instantiated directly.
+  bool abstract = false;
+};
+
+/// The database schema: a registry of classes with inheritance-aware
+/// attribute lookup. Thread-compatible; schema changes are expected
+/// during application setup, before concurrent use.
+class Schema {
+ public:
+  /// Registers a class. Fails if the name is taken or the superclass is
+  /// unknown.
+  Status DefineClass(ClassDef def);
+
+  /// Looks up a class by name.
+  StatusOr<const ClassDef*> GetClass(const std::string& name) const;
+
+  bool HasClass(const std::string& name) const {
+    return classes_.count(name) > 0;
+  }
+
+  /// True if `cls` equals `ancestor` or transitively inherits from it.
+  bool IsSubclassOf(const std::string& cls, const std::string& ancestor) const;
+
+  /// All attributes visible on `cls`, inherited ones first.
+  StatusOr<std::vector<AttributeDef>> AllAttributes(
+      const std::string& cls) const;
+
+  /// Finds the declaration of `attr` on `cls` or any ancestor.
+  StatusOr<const AttributeDef*> FindAttribute(const std::string& cls,
+                                              const std::string& attr) const;
+
+  /// Names of `cls` and all its (transitive) subclasses.
+  std::vector<std::string> SubclassesOf(const std::string& cls) const;
+
+  /// All registered class names in definition order.
+  const std::vector<std::string>& class_names() const { return order_; }
+
+ private:
+  std::map<std::string, ClassDef> classes_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_SCHEMA_H_

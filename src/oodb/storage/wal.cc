@@ -1,0 +1,100 @@
+#include "oodb/storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "oodb/storage/serializer.h"
+
+namespace sdms::oodb {
+
+namespace {
+
+void PutFixed32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status Wal::Append(std::string_view payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutFixed32(frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(frame, Crc32(payload));
+  frame.append(payload.data(), payload.size());
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IoError("WAL write failed");
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::OK();
+}
+
+void Wal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status Wal::Truncate() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL " + path_);
+  }
+  return Status::OK();
+}
+
+Status Wal::Replay(const std::string& path,
+                   const std::function<Status(std::string_view)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // No log yet: nothing to replay.
+  std::vector<char> header(8);
+  std::string payload;
+  Status status = Status::OK();
+  while (true) {
+    size_t got = std::fread(header.data(), 1, 8, f);
+    if (got < 8) break;  // Clean end or torn header: stop.
+    uint32_t len = GetFixed32(header.data());
+    uint32_t crc = GetFixed32(header.data() + 4);
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) break;  // Torn record.
+    if (Crc32(payload) != crc) break;  // Corrupt tail: stop replay.
+    status = fn(payload);
+    if (!status.ok()) break;
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace sdms::oodb

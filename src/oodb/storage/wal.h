@@ -1,0 +1,68 @@
+#ifndef SDMS_OODB_STORAGE_WAL_H_
+#define SDMS_OODB_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace sdms::oodb {
+
+/// Record kinds written to the write-ahead log.
+enum class WalRecordType : uint8_t {
+  kCreateObject = 1,
+  kDeleteObject = 2,
+  kSetAttribute = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kCheckpoint = 6,
+};
+
+/// An append-only, CRC-protected write-ahead log. Records are grouped
+/// into transactions by trailing kCommit records; replay drops
+/// uncommitted tails, giving atomicity across crashes.
+///
+/// Record framing: [u32 length][u32 crc][payload]; payload begins with a
+/// one-byte WalRecordType followed by a type-specific body encoded with
+/// Encoder.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if needed) the log file at `path` for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one framed record. Not flushed until Sync().
+  Status Append(std::string_view payload);
+
+  /// Flushes buffered records to the OS and fsyncs.
+  Status Sync();
+
+  /// Closes the file (implicit in destructor).
+  void Close();
+
+  /// Truncates the log after a successful checkpoint/snapshot.
+  Status Truncate();
+
+  /// Reads all well-formed records of the log at `path`, invoking `fn`
+  /// for each payload in order. Stops cleanly at the first corrupt or
+  /// torn record (crash tail).
+  static Status Replay(const std::string& path,
+                       const std::function<Status(std::string_view)>& fn);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_STORAGE_WAL_H_

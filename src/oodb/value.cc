@@ -1,0 +1,171 @@
+#include "oodb/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sdms::oodb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kOid:
+      return "OID";
+    case ValueType::kList:
+      return "LIST";
+    case ValueType::kDict:
+      return "DICT";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<double> Value::AsNumber() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_real()) return as_real();
+  return Status::TypeError(std::string("expected numeric value, got ") +
+                           ValueTypeName(type()));
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return as_bool();
+    case ValueType::kInt:
+      return as_int() != 0;
+    case ValueType::kReal:
+      return as_real() != 0.0;
+    case ValueType::kString:
+      return !as_string().empty();
+    case ValueType::kOid:
+      return as_oid().valid();
+    case ValueType::kList:
+      return !as_list().empty();
+    case ValueType::kDict:
+      return !as_dict().empty();
+  }
+  return false;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsNumber().value() == other.AsNumber().value();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return as_bool() == other.as_bool();
+    case ValueType::kInt:
+      return as_int() == other.as_int();
+    case ValueType::kReal:
+      return as_real() == other.as_real();
+    case ValueType::kString:
+      return as_string() == other.as_string();
+    case ValueType::kOid:
+      return as_oid() == other.as_oid();
+    case ValueType::kList: {
+      const ValueList& a = as_list();
+      const ValueList& b = other.as_list();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].Equals(b[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kDict: {
+      const ValueDict& a = as_dict();
+      const ValueDict& b = other.as_dict();
+      if (a.size() != b.size()) return false;
+      auto ia = a.begin();
+      auto ib = b.begin();
+      for (; ia != a.end(); ++ia, ++ib) {
+        if (ia->first != ib->first || !ia->second.Equals(ib->second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<int> Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsNumber().value();
+    double b = other.AsNumber().value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    int c = as_string().compare(other.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_oid() && other.is_oid()) {
+    if (as_oid() < other.as_oid()) return -1;
+    if (other.as_oid() < as_oid()) return 1;
+    return 0;
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+  }
+  if (is_null() && other.is_null()) return 0;
+  return Status::TypeError(std::string("cannot compare ") +
+                           ValueTypeName(type()) + " with " +
+                           ValueTypeName(other.type()));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kReal: {
+      std::ostringstream os;
+      os << as_real();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + as_string() + "'";
+    case ValueType::kOid:
+      return as_oid().ToString();
+    case ValueType::kList: {
+      std::string out = "[";
+      const ValueList& l = as_list();
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += l[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueType::kDict: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : as_dict()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + ": " + v.ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace sdms::oodb

@@ -1,0 +1,120 @@
+#ifndef SDMS_OODB_VALUE_H_
+#define SDMS_OODB_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+
+namespace sdms::oodb {
+
+class Value;
+
+/// Ordered list of values (VQL `LIST`).
+using ValueList = std::vector<Value>;
+
+/// String-keyed dictionary of values (VQL `DICT`). The paper's coupling
+/// buffers IRS results as dictionaries `||IRSObject --> REAL||`; we
+/// represent those with OID-keyed maps at the coupling layer and expose
+/// them to VQL as dicts keyed by the OID string form.
+using ValueDict = std::map<std::string, Value>;
+
+/// Runtime type tags for Value.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kReal,
+  kString,
+  kOid,
+  kList,
+  kDict,
+};
+
+/// Returns the VQL name of a value type ("INT", "STRING", ...).
+const char* ValueTypeName(ValueType t);
+
+/// The dynamically-typed value universe of the object database: what an
+/// attribute can hold and what a VQL expression evaluates to.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                                  // NOLINT
+  Value(int64_t i) : rep_(i) {}                               // NOLINT
+  Value(int i) : rep_(static_cast<int64_t>(i)) {}             // NOLINT
+  Value(double d) : rep_(d) {}                                // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}              // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}                // NOLINT
+  Value(Oid oid) : rep_(oid) {}                               // NOLINT
+  Value(ValueList list)                                       // NOLINT
+      : rep_(std::make_shared<ValueList>(std::move(list))) {}
+  Value(ValueDict dict)                                       // NOLINT
+      : rep_(std::make_shared<ValueDict>(std::move(dict))) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_real() const { return type() == ValueType::kReal; }
+  bool is_numeric() const { return is_int() || is_real(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_oid() const { return type() == ValueType::kOid; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_dict() const { return type() == ValueType::kDict; }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_real() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  Oid as_oid() const { return std::get<Oid>(rep_); }
+  const ValueList& as_list() const {
+    return *std::get<std::shared_ptr<ValueList>>(rep_);
+  }
+  ValueList& mutable_list() {
+    return *std::get<std::shared_ptr<ValueList>>(rep_);
+  }
+  const ValueDict& as_dict() const {
+    return *std::get<std::shared_ptr<ValueDict>>(rep_);
+  }
+  ValueDict& mutable_dict() {
+    return *std::get<std::shared_ptr<ValueDict>>(rep_);
+  }
+
+  /// Numeric coercion: int or real as double; TypeError otherwise.
+  StatusOr<double> AsNumber() const;
+
+  /// Truthiness used by WHERE clauses: null/false are false, numbers are
+  /// compared against zero, strings/lists against emptiness.
+  bool Truthy() const;
+
+  /// Structural equality (numeric types compare by value, 1 == 1.0).
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison for ordering; returns TypeError for
+  /// incomparable types (e.g. string vs list).
+  StatusOr<int> Compare(const Value& other) const;
+
+  /// Debug/display rendering.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Oid,
+               std::shared_ptr<ValueList>, std::shared_ptr<ValueDict>>
+      rep_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+inline bool operator!=(const Value& a, const Value& b) { return !a.Equals(b); }
+
+}  // namespace sdms::oodb
+
+#endif  // SDMS_OODB_VALUE_H_

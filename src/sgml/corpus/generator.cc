@@ -1,0 +1,231 @@
+#include "sgml/corpus/generator.h"
+
+#include <algorithm>
+
+namespace sdms::sgml {
+
+size_t Corpus::TotalParagraphs() const {
+  size_t total = 0;
+  for (const DocTruth& t : truths) total += t.para_topics.size();
+  return total;
+}
+
+CorpusGenerator::CorpusGenerator(CorpusOptions options)
+    : options_(std::move(options)),
+      zipf_(options_.vocabulary_size, options_.zipf_skew) {
+  vocabulary_.reserve(options_.vocabulary_size);
+  for (size_t i = 0; i < options_.vocabulary_size; ++i) {
+    std::string w = MakeWord(i);
+    // Avoid accidental collision with a topic term.
+    for (const std::string& t : options_.topics) {
+      if (w == t) {
+        w += "x";
+        break;
+      }
+    }
+    vocabulary_.push_back(std::move(w));
+  }
+}
+
+std::string CorpusGenerator::MakeWord(size_t id) const {
+  // Deterministic pseudo-words built from CV syllables: ids map
+  // bijectively to syllable sequences, so all words are distinct.
+  static constexpr const char* kSyllables[] = {
+      "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+      "fa", "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go", "gu",
+      "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+      "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+      "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+      "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+      "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+  };
+  constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+  std::string word;
+  size_t n = id;
+  // At least two syllables so words never collide with stopwords.
+  do {
+    word += kSyllables[n % kNumSyllables];
+    n /= kNumSyllables;
+  } while (n > 0);
+  while (word.size() < 4) word += kSyllables[id % kNumSyllables];
+  return word;
+}
+
+std::string CorpusGenerator::MakeParagraphText(
+    Rng& rng, const std::set<std::string>& topics) {
+  size_t words = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(options_.min_words_per_para),
+      static_cast<int64_t>(options_.max_words_per_para)));
+  std::vector<std::string> tokens;
+  tokens.reserve(words);
+  for (size_t i = 0; i < words; ++i) {
+    tokens.push_back(vocabulary_[zipf_.Sample(rng)]);
+  }
+  // Plant topic terms by replacing a density-sized share of positions.
+  for (const std::string& topic : topics) {
+    size_t count = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(words) *
+                               options_.topic_term_density));
+    for (size_t i = 0; i < count; ++i) {
+      tokens[rng.Uniform(tokens.size())] = topic;
+    }
+  }
+  std::string text;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) text += " ";
+    text += tokens[i];
+  }
+  text += ".";
+  return text;
+}
+
+Corpus CorpusGenerator::Generate() {
+  Rng rng(options_.seed);
+  Corpus corpus;
+  corpus.documents.reserve(options_.num_docs);
+  corpus.truths.reserve(options_.num_docs);
+
+  for (size_t d = 0; d < options_.num_docs; ++d) {
+    Document doc;
+    doc.doctype = "MMFDOC";
+    doc.root = std::make_unique<ElementNode>("MMFDOC");
+    ElementNode& root = *doc.root;
+    root.SetAttribute("DOCID", "doc" + std::to_string(d));
+    root.SetAttribute(
+        "YEAR", std::to_string(rng.UniformInt(options_.min_year,
+                                              options_.max_year)));
+    if (!options_.categories.empty()) {
+      root.SetAttribute(
+          "CATEGORY",
+          options_.categories[rng.Uniform(options_.categories.size())]);
+    }
+
+    // Which topics does this document cover at all?
+    std::set<std::string> doc_topic_pool;
+    for (const std::string& t : options_.topics) {
+      if (rng.Bernoulli(options_.topic_doc_prob)) doc_topic_pool.insert(t);
+    }
+
+    ElementNode* logbook = root.AddElement("LOGBOOK");
+    logbook->AddText("created by corpus generator, document " +
+                     std::to_string(d));
+    ElementNode* title = root.AddElement("DOCTITLE");
+    title->AddText("Report " + std::to_string(d) + " on " +
+                   vocabulary_[zipf_.Sample(rng)]);
+    ElementNode* author = root.AddElement("AUTHOR");
+    author->AddText("author" + std::to_string(rng.Uniform(25)));
+    ElementNode* abstract = root.AddElement("ABSTRACT");
+    abstract->AddText(MakeParagraphText(rng, {}));
+
+    DocTruth truth;
+    size_t sections = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options_.min_sections_per_doc),
+                       static_cast<int64_t>(options_.max_sections_per_doc)));
+    for (size_t s = 0; s < sections; ++s) {
+      ElementNode* section = root.AddElement("SECTION");
+      section->SetAttribute("SECNO", std::to_string(s + 1));
+      ElementNode* sectitle = section->AddElement("SECTITLE");
+      sectitle->AddText("Section " + std::to_string(s + 1) + " about " +
+                        vocabulary_[zipf_.Sample(rng)]);
+      size_t paras = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(options_.min_paras_per_section),
+          static_cast<int64_t>(options_.max_paras_per_section)));
+      for (size_t p = 0; p < paras; ++p) {
+        std::set<std::string> para_topics;
+        for (const std::string& t : doc_topic_pool) {
+          if (rng.Bernoulli(options_.topic_para_prob)) para_topics.insert(t);
+        }
+        ElementNode* para = section->AddElement("PARA");
+        para->AddText(MakeParagraphText(rng, para_topics));
+        if (d > 0 && rng.Bernoulli(options_.hyperlink_prob)) {
+          ElementNode* link = para->AddElement("HYPERLINK");
+          link->SetAttribute("TARGET",
+                             "doc" + std::to_string(rng.Uniform(d)));
+          link->SetAttribute("LINKTYPE", "implies");
+          link->AddText("see the related report");
+        }
+        truth.doc_topics.insert(para_topics.begin(), para_topics.end());
+        truth.para_topics.push_back(std::move(para_topics));
+      }
+    }
+    corpus.documents.push_back(std::move(doc));
+    corpus.truths.push_back(std::move(truth));
+  }
+  return corpus;
+}
+
+Corpus MakeFigure4Corpus(uint64_t seed) {
+  // Paragraph relevance exactly as discussed for Figure 4.
+  struct ParaSpec {
+    int doc;
+    std::set<std::string> topics;
+  };
+  const std::vector<ParaSpec> specs = {
+      {0, {"www"}},        // P1
+      {0, {}},             // P2
+      {0, {}},             // P3
+      {1, {"www", "nii"}}, // P4
+      {1, {}},             // P5
+      {1, {}},             // P6
+      {2, {"www"}},        // P7
+      {2, {"nii"}},        // P8
+      {3, {"www"}},        // P9
+      {3, {"www"}},        // P10
+      {3, {}},             // P11
+  };
+
+  CorpusOptions opts;
+  opts.seed = seed;
+  opts.topics = {"www", "nii"};
+  // Equal-length paragraphs, as the figure's discussion assumes.
+  opts.min_words_per_para = 30;
+  opts.max_words_per_para = 30;
+  opts.topic_term_density = 0.10;
+  CorpusGenerator gen(opts);
+  Rng rng(seed);
+
+  Corpus corpus;
+  corpus.documents.resize(4);
+  corpus.truths.resize(4);
+  for (int d = 0; d < 4; ++d) {
+    Document& doc = corpus.documents[d];
+    doc.doctype = "MMFDOC";
+    doc.root = std::make_unique<ElementNode>("MMFDOC");
+    doc.root->SetAttribute("DOCID", "M" + std::to_string(d + 1));
+    doc.root->SetAttribute("YEAR", "1994");
+    ElementNode* title = doc.root->AddElement("DOCTITLE");
+    title->AddText("Figure-4 document M" + std::to_string(d + 1));
+  }
+
+  int para_no = 0;
+  for (const ParaSpec& spec : specs) {
+    ++para_no;
+    Document& doc = corpus.documents[spec.doc];
+    ElementNode* para = doc.root->AddElement("PARA");
+    // Build a 30-word paragraph with planted topics; background words
+    // come from the generator's vocabulary.
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 30; ++i) {
+      tokens.push_back(gen.vocabulary()[rng.Uniform(gen.vocabulary().size())]);
+    }
+    // Three occurrences per topic at fixed distinct positions (spread
+    // across the paragraph): clearly relevant, equal paragraph length,
+    // no topic overwriting another.
+    size_t topic_no = 0;
+    for (const std::string& t : spec.topics) {
+      for (size_t i = 0; i < 3; ++i) {
+        tokens[(topic_no + i * spec.topics.size()) % tokens.size()] = t;
+      }
+      ++topic_no;
+    }
+    std::string text = "P" + std::to_string(para_no);
+    for (const std::string& tok : tokens) text += " " + tok;
+    para->AddText(text);
+    corpus.truths[spec.doc].para_topics.push_back(spec.topics);
+    corpus.truths[spec.doc].doc_topics.insert(spec.topics.begin(),
+                                              spec.topics.end());
+  }
+  return corpus;
+}
+
+}  // namespace sdms::sgml

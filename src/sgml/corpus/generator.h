@@ -1,0 +1,113 @@
+#ifndef SDMS_SGML_CORPUS_GENERATOR_H_
+#define SDMS_SGML_CORPUS_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sgml/document.h"
+
+namespace sdms::sgml {
+
+/// Parameters of the synthetic MMF corpus. The generator substitutes
+/// for the proprietary MultiMedia Forum document base: it emits
+/// MMF-DTD-conformant documents whose paragraph-level relevance to a
+/// set of topic terms is planted, giving exact ground truth for the
+/// retrieval-quality experiments (E2/E3/E9).
+struct CorpusOptions {
+  uint64_t seed = 42;
+  size_t num_docs = 100;
+
+  size_t min_sections_per_doc = 1;
+  size_t max_sections_per_doc = 4;
+  size_t min_paras_per_section = 2;
+  size_t max_paras_per_section = 6;
+  size_t min_words_per_para = 20;
+  size_t max_words_per_para = 60;
+
+  /// Background vocabulary (Zipf-distributed pseudo-words).
+  size_t vocabulary_size = 3000;
+  double zipf_skew = 1.05;
+
+  /// Topic terms planted into relevant paragraphs. Must not collide
+  /// with generated background words (generated words are synthetic
+  /// syllable strings, topics are caller-supplied).
+  std::vector<std::string> topics = {"www", "nii", "telnet", "hypertext"};
+
+  /// P(document covers a given topic).
+  double topic_doc_prob = 0.25;
+  /// P(paragraph of a covering document is relevant to the topic).
+  double topic_para_prob = 0.35;
+  /// Fraction of words in a relevant paragraph replaced by the topic
+  /// term.
+  double topic_term_density = 0.10;
+
+  /// Years drawn uniformly from [min_year, max_year] for the YEAR
+  /// attribute (the Section 4.4 sample query filters on YEAR = 1994).
+  int min_year = 1990;
+  int max_year = 1996;
+
+  /// Probability that a paragraph ends with a HYPERLINK element
+  /// pointing at a random earlier document (TARGET = its DOCID,
+  /// LINKTYPE "implies"). 0 disables hyperlink markup.
+  double hyperlink_prob = 0.0;
+
+  std::vector<std::string> categories = {"travel", "science", "culture",
+                                         "politics"};
+};
+
+/// Ground truth for one generated document.
+struct DocTruth {
+  /// Topics each paragraph is relevant to, in document order
+  /// (paragraph index -> topic set).
+  std::vector<std::set<std::string>> para_topics;
+  /// Union of paragraph topic sets (document-level relevance).
+  std::set<std::string> doc_topics;
+};
+
+/// A generated corpus: SGML documents plus aligned ground truth.
+struct Corpus {
+  std::vector<Document> documents;
+  std::vector<DocTruth> truths;
+
+  /// Total number of PARA elements.
+  size_t TotalParagraphs() const;
+};
+
+/// Deterministic corpus generator (same options -> same corpus).
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusOptions options);
+
+  /// Generates the corpus described by the options.
+  Corpus Generate();
+
+  /// The background vocabulary (rank order, most frequent first).
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  std::string MakeWord(size_t id) const;
+  std::string MakeParagraphText(Rng& rng, const std::set<std::string>& topics);
+
+  CorpusOptions options_;
+  std::vector<std::string> vocabulary_;
+  ZipfSampler zipf_;
+};
+
+/// Builds the exact document/paragraph configuration of the paper's
+/// Figure 4: four MMF documents M1..M4 over paragraphs P1..P11 where
+///   P1 (M1) is relevant to WWW;
+///   P4 (M2) is relevant to both WWW and NII;
+///   P7, P8 (M3) are relevant to WWW resp. NII;
+///   P9, P10 (M4) are both relevant to WWW only;
+/// all remaining paragraphs are relevant to neither. Paragraphs have
+/// (approximately) equal length as the figure assumes.
+Corpus MakeFigure4Corpus(uint64_t seed = 7);
+
+}  // namespace sdms::sgml
+
+#endif  // SDMS_SGML_CORPUS_GENERATOR_H_

@@ -1,0 +1,384 @@
+#include "sgml/document.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sdms::sgml {
+
+Node Node::MakeText(std::string text) {
+  Node n;
+  n.kind = Kind::kText;
+  n.text = std::move(text);
+  return n;
+}
+
+Node Node::MakeElement(std::unique_ptr<ElementNode> element) {
+  Node n;
+  n.kind = Kind::kElement;
+  n.element = std::move(element);
+  return n;
+}
+
+StatusOr<std::string> ElementNode::GetAttribute(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    return Status::NotFound("no attribute " + name + " on element " + gi_);
+  }
+  return it->second;
+}
+
+void ElementNode::AddText(std::string text) {
+  children_.push_back(Node::MakeText(std::move(text)));
+}
+
+ElementNode* ElementNode::AddElement(std::string gi) {
+  auto child = std::make_unique<ElementNode>(std::move(gi));
+  ElementNode* raw = child.get();
+  children_.push_back(Node::MakeElement(std::move(child)));
+  return raw;
+}
+
+std::string ElementNode::SubtreeText() const {
+  std::string out;
+  for (const Node& n : children_) {
+    std::string part = n.kind == Node::Kind::kText
+                           ? std::string(Trim(n.text))
+                           : n.element->SubtreeText();
+    if (part.empty()) continue;
+    if (!out.empty()) out += " ";
+    out += part;
+  }
+  return out;
+}
+
+std::string ElementNode::DirectText() const {
+  std::string out;
+  for (const Node& n : children_) {
+    if (n.kind != Node::Kind::kText) continue;
+    std::string part(Trim(n.text));
+    if (part.empty()) continue;
+    if (!out.empty()) out += " ";
+    out += part;
+  }
+  return out;
+}
+
+void ElementNode::FindAll(const std::string& gi, bool include_self,
+                          std::vector<const ElementNode*>& out) const {
+  if (include_self && gi_ == gi) out.push_back(this);
+  for (const Node& n : children_) {
+    if (n.kind == Node::Kind::kElement) {
+      n.element->FindAll(gi, /*include_self=*/true, out);
+    }
+  }
+}
+
+std::vector<const ElementNode*> ElementNode::ChildElements() const {
+  std::vector<const ElementNode*> out;
+  for (const Node& n : children_) {
+    if (n.kind == Node::Kind::kElement) out.push_back(n.element.get());
+  }
+  return out;
+}
+
+size_t ElementNode::SubtreeElementCount() const {
+  size_t count = 1;
+  for (const Node& n : children_) {
+    if (n.kind == Node::Kind::kElement) {
+      count += n.element->SubtreeElementCount();
+    }
+  }
+  return count;
+}
+
+std::string EscapeSgml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ElementNode::ToSgml() const {
+  std::string out = "<" + gi_;
+  for (const auto& [k, v] : attrs_) {
+    out += " " + k + "=\"" + EscapeSgml(v) + "\"";
+  }
+  out += ">";
+  for (const Node& n : children_) {
+    if (n.kind == Node::Kind::kText) {
+      out += EscapeSgml(n.text);
+    } else {
+      out += n.element->ToSgml();
+    }
+  }
+  out += "</" + gi_ + ">";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class SgmlParser {
+ public:
+  explicit SgmlParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Document> Parse() {
+    Document doc;
+    SkipMisc(doc);
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::ParseError("expected root start tag");
+    }
+    SDMS_ASSIGN_OR_RETURN(doc.root, ParseElement());
+    SkipMiscTail();
+    if (pos_ < text_.size()) {
+      return Status::ParseError("trailing content after root element");
+    }
+    if (doc.doctype.empty()) doc.doctype = doc.root->gi();
+    return doc;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, comments and a DOCTYPE preamble.
+  void SkipMisc(Document& doc) {
+    while (true) {
+      SkipSpace();
+      if (text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (text_.substr(pos_, 9) == "<!DOCTYPE" ||
+          text_.substr(pos_, 9) == "<!doctype") {
+        size_t p = pos_ + 9;
+        while (p < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[p]))) {
+          ++p;
+        }
+        size_t name_start = p;
+        while (p < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[p])) &&
+               text_[p] != '>' && text_[p] != '[') {
+          ++p;
+        }
+        doc.doctype = ToUpper(text_.substr(name_start, p - name_start));
+        // Skip an internal subset if present.
+        size_t close = text_.find('>', p);
+        size_t bracket = text_.find('[', p);
+        if (bracket != std::string_view::npos && bracket < close) {
+          size_t end_subset = text_.find(']', bracket);
+          close = text_.find('>', end_subset == std::string_view::npos
+                                      ? bracket
+                                      : end_subset);
+        }
+        pos_ = close == std::string_view::npos ? text_.size() : close + 1;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void SkipMiscTail() {
+    while (true) {
+      SkipSpace();
+      if (text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string ReadName() {
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return ToUpper(text_.substr(start, pos_ - start));
+  }
+
+  /// Decodes the supported character entities in `raw`.
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] == '&') {
+        struct Entity {
+          std::string_view name;
+          char ch;
+        };
+        static constexpr Entity kEntities[] = {
+            {"&amp;", '&'}, {"&lt;", '<'}, {"&gt;", '>'},
+            {"&quot;", '"'}, {"&apos;", '\''},
+        };
+        bool matched = false;
+        for (const Entity& e : kEntities) {
+          if (raw.substr(i, e.name.size()) == e.name) {
+            out.push_back(e.ch);
+            i += e.name.size();
+            matched = true;
+            break;
+          }
+        }
+        if (matched) continue;
+      }
+      out.push_back(raw[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  StatusOr<std::unique_ptr<ElementNode>> ParseElement() {
+    // At '<' of a start tag.
+    ++pos_;
+    std::string gi = ReadName();
+    if (gi.empty()) {
+      return Status::ParseError("empty element name at offset " +
+                                std::to_string(pos_));
+    }
+    auto element = std::make_unique<ElementNode>(gi);
+    // Attributes.
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated start tag <" + gi);
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (text_[pos_] == '/' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '>') {
+        // XML-style empty element: accept and return.
+        pos_ += 2;
+        return element;
+      }
+      std::string attr = ReadName();
+      if (attr.empty()) {
+        return Status::ParseError("bad attribute in <" + gi + ">");
+      }
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '"' || text_[pos_] == '\'')) {
+          char q = text_[pos_++];
+          size_t start = pos_;
+          while (pos_ < text_.size() && text_[pos_] != q) ++pos_;
+          if (pos_ >= text_.size()) {
+            return Status::ParseError("unterminated attribute value in <" +
+                                      gi + ">");
+          }
+          element->SetAttribute(
+              attr, DecodeEntities(text_.substr(start, pos_ - start)));
+          ++pos_;
+        } else {
+          // Unquoted name-token value.
+          size_t start = pos_;
+          while (pos_ < text_.size() &&
+                 !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+                 text_[pos_] != '>') {
+            ++pos_;
+          }
+          element->SetAttribute(
+              attr, std::string(text_.substr(start, pos_ - start)));
+        }
+      } else {
+        // Minimized boolean attribute.
+        element->SetAttribute(attr, attr);
+      }
+    }
+    // Content until matching end tag.
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (!pending_text.empty()) {
+        std::string trimmed(Trim(pending_text));
+        if (!trimmed.empty()) {
+          element->AddText(DecodeEntities(pending_text));
+        }
+        pending_text.clear();
+      }
+    };
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("missing end tag </" + gi + ">");
+      }
+      char c = text_[pos_];
+      if (c == '<') {
+        if (text_.substr(pos_, 4) == "<!--") {
+          size_t end = text_.find("-->", pos_ + 4);
+          pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+          continue;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          flush_text();
+          pos_ += 2;
+          std::string close = ReadName();
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Status::ParseError("malformed end tag </" + close);
+          }
+          ++pos_;
+          if (close != gi) {
+            return Status::ParseError("mismatched end tag: expected </" + gi +
+                                      ">, got </" + close + ">");
+          }
+          return element;
+        }
+        flush_text();
+        SDMS_ASSIGN_OR_RETURN(std::unique_ptr<ElementNode> child,
+                              ParseElement());
+        element->mutable_children().push_back(
+            Node::MakeElement(std::move(child)));
+      } else {
+        pending_text.push_back(c);
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Document> ParseSgml(const std::string& text) {
+  SgmlParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace sdms::sgml

@@ -1,0 +1,99 @@
+#ifndef SDMS_SGML_DOCUMENT_H_
+#define SDMS_SGML_DOCUMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::sgml {
+
+class ElementNode;
+
+/// A child of an element: either a nested element or raw text.
+struct Node {
+  enum class Kind { kElement, kText };
+
+  Kind kind = Kind::kText;
+  std::unique_ptr<ElementNode> element;  // kElement
+  std::string text;                      // kText
+
+  static Node MakeText(std::string text);
+  static Node MakeElement(std::unique_ptr<ElementNode> element);
+};
+
+/// One SGML element: generic identifier, attributes, ordered children.
+/// The database stores one object per element (Section 4.1 of the
+/// paper: "each document corresponds to a tree of database objects").
+class ElementNode {
+ public:
+  explicit ElementNode(std::string gi) : gi_(std::move(gi)) {}
+
+  const std::string& gi() const { return gi_; }
+
+  const std::map<std::string, std::string>& attributes() const {
+    return attrs_;
+  }
+  void SetAttribute(const std::string& name, std::string value) {
+    attrs_[name] = std::move(value);
+  }
+  StatusOr<std::string> GetAttribute(const std::string& name) const;
+
+  const std::vector<Node>& children() const { return children_; }
+  std::vector<Node>& mutable_children() { return children_; }
+
+  /// Appends a text child.
+  void AddText(std::string text);
+
+  /// Appends an element child and returns it.
+  ElementNode* AddElement(std::string gi);
+
+  /// Concatenated text of the subtree rooted here, children in document
+  /// order, separated by single spaces. This is the paper's default
+  /// getText: "by inspecting the leaves of the subtree rooted at an
+  /// element" (Section 4.3.2).
+  std::string SubtreeText() const;
+
+  /// Direct text content only (no descendants).
+  std::string DirectText() const;
+
+  /// All descendant elements (and optionally self) with GI `gi`.
+  void FindAll(const std::string& gi, bool include_self,
+               std::vector<const ElementNode*>& out) const;
+
+  /// Child elements (text children skipped).
+  std::vector<const ElementNode*> ChildElements() const;
+
+  /// Number of elements in the subtree (including self).
+  size_t SubtreeElementCount() const;
+
+  /// Serializes back to SGML text.
+  std::string ToSgml() const;
+
+ private:
+  std::string gi_;
+  std::map<std::string, std::string> attrs_;
+  std::vector<Node> children_;
+};
+
+/// A parsed SGML document instance.
+struct Document {
+  std::string doctype;
+  std::unique_ptr<ElementNode> root;
+};
+
+/// Parses an SGML document instance. Supported syntax: start/end tags
+/// with attributes (quoted or name-token values), character data,
+/// comments, a <!DOCTYPE ...> preamble, and the character entities
+/// &amp; &lt; &gt; &quot; &apos;. Tag minimization is not supported —
+/// documents must be fully tagged (the corpus generator emits such).
+StatusOr<Document> ParseSgml(const std::string& text);
+
+/// Escapes text for inclusion in SGML output.
+std::string EscapeSgml(std::string_view text);
+
+}  // namespace sdms::sgml
+
+#endif  // SDMS_SGML_DOCUMENT_H_

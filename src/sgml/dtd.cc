@@ -1,0 +1,367 @@
+#include "sgml/dtd.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sdms::sgml {
+
+bool ContentModel::AllowsPcdata() const {
+  if (kind == Kind::kPcdata || kind == Kind::kAny) return true;
+  for (const ContentModel& c : children) {
+    if (c.AllowsPcdata()) return true;
+  }
+  return false;
+}
+
+std::string ContentModel::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kElement:
+      out = element;
+      break;
+    case Kind::kPcdata:
+      out = "#PCDATA";
+      break;
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kAny:
+      return "ANY";
+    case Kind::kSeq:
+    case Kind::kChoice: {
+      out = "(";
+      const char* sep = kind == Kind::kSeq ? ", " : " | ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i].ToString();
+      }
+      out += ")";
+      break;
+    }
+  }
+  switch (occurrence) {
+    case Occurrence::kOne:
+      break;
+    case Occurrence::kOpt:
+      out += "?";
+      break;
+    case Occurrence::kStar:
+      out += "*";
+      break;
+    case Occurrence::kPlus:
+      out += "+";
+      break;
+  }
+  return out;
+}
+
+const AttributeDecl* ElementDecl::FindAttribute(const std::string& name) const {
+  for (const AttributeDecl& a : attributes) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+Status Dtd::AddElement(ElementDecl decl) {
+  if (elements_.count(decl.name) > 0) {
+    return Status::AlreadyExists("element declared twice: " + decl.name);
+  }
+  order_.push_back(decl.name);
+  elements_.emplace(decl.name, std::move(decl));
+  return Status::OK();
+}
+
+Status Dtd::AddAttributes(const std::string& element,
+                          std::vector<AttributeDecl> attrs) {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    return Status::NotFound("ATTLIST for undeclared element: " + element);
+  }
+  for (AttributeDecl& a : attrs) {
+    if (it->second.FindAttribute(a.name) != nullptr) {
+      return Status::AlreadyExists("attribute declared twice: " + element +
+                                   "." + a.name);
+    }
+    it->second.attributes.push_back(std::move(a));
+  }
+  return Status::OK();
+}
+
+StatusOr<const ElementDecl*> Dtd::GetElement(const std::string& name) const {
+  auto it = elements_.find(name);
+  if (it == elements_.end()) {
+    return Status::NotFound("element not declared: " + name);
+  }
+  return &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// DTD parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Dtd> Parse() {
+    Dtd dtd;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      if (!Consume("<!")) {
+        return Status::ParseError("expected declaration at offset " +
+                                  std::to_string(pos_));
+      }
+      std::string kw = ReadName();
+      if (kw == "ELEMENT") {
+        SDMS_RETURN_IF_ERROR(ParseElementDecl(dtd));
+      } else if (kw == "ATTLIST") {
+        SDMS_RETURN_IF_ERROR(ParseAttlistDecl(dtd));
+      } else if (kw == "DOCTYPE") {
+        SkipSpace();
+        dtd.set_doctype(ReadName());
+        SkipUntil('>');
+      } else {
+        // Unknown declaration (ENTITY, NOTATION, ...): skip.
+        SkipUntil('>');
+      }
+    }
+    if (dtd.doctype().empty() && !dtd.element_names().empty()) {
+      dtd.set_doctype(dtd.element_names().front());
+    }
+    return dtd;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipSpaceAndComments() {
+    while (true) {
+      SkipSpace();
+      if (pos_ + 3 < text_.size() && text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool Consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipUntil(char c) {
+    while (pos_ < text_.size() && text_[pos_] != c) ++pos_;
+    if (pos_ < text_.size()) ++pos_;
+  }
+
+  std::string ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '_' || c == '#') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return ToUpper(text_.substr(start, pos_ - start));
+  }
+
+  Status ParseElementDecl(Dtd& dtd) {
+    ElementDecl decl;
+    decl.name = ReadName();
+    if (decl.name.empty()) {
+      return Status::ParseError("missing element name in <!ELEMENT>");
+    }
+    // Optional omitted-tag minimization indicators: "- -", "- O", "O O".
+    SkipSpace();
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '-' ||
+            (std::toupper(static_cast<unsigned char>(text_[pos_])) == 'O' &&
+             pos_ + 1 < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_ + 1]))))) {
+      ++pos_;
+      SkipSpace();
+    }
+    SDMS_ASSIGN_OR_RETURN(decl.content, ParseContent());
+    SkipSpace();
+    if (!Consume(">")) {
+      return Status::ParseError("expected '>' after element " + decl.name);
+    }
+    return dtd.AddElement(std::move(decl));
+  }
+
+  StatusOr<ContentModel> ParseContent() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of DTD in content model");
+    }
+    if (text_[pos_] == '(') return ParseGroup();
+    std::string name = ReadName();
+    ContentModel m;
+    if (name == "EMPTY") {
+      m.kind = ContentModel::Kind::kEmpty;
+    } else if (name == "ANY") {
+      m.kind = ContentModel::Kind::kAny;
+    } else if (name == "#PCDATA") {
+      m.kind = ContentModel::Kind::kPcdata;
+    } else if (!name.empty()) {
+      m.kind = ContentModel::Kind::kElement;
+      m.element = name;
+    } else {
+      return Status::ParseError("bad content model at offset " +
+                                std::to_string(pos_));
+    }
+    m.occurrence = ParseOccurrence();
+    return m;
+  }
+
+  StatusOr<ContentModel> ParseGroup() {
+    ++pos_;  // consume '('
+    std::vector<ContentModel> parts;
+    bool is_choice = false;
+    bool is_seq = false;
+    while (true) {
+      SDMS_ASSIGN_OR_RETURN(ContentModel part, ParseContent());
+      parts.push_back(std::move(part));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated content group");
+      }
+      char c = text_[pos_];
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      if (c == '|') {
+        if (is_seq) {
+          return Status::ParseError("mixed ',' and '|' in one group");
+        }
+        is_choice = true;
+        ++pos_;
+      } else if (c == ',') {
+        if (is_choice) {
+          return Status::ParseError("mixed ',' and '|' in one group");
+        }
+        is_seq = true;
+        ++pos_;
+      } else if (c == '&') {
+        // AND-group: treat as a sequence (order-insensitive matching is
+        // not supported; generated corpora do not use '&').
+        is_seq = true;
+        ++pos_;
+      } else {
+        return Status::ParseError(std::string("unexpected '") + c +
+                                  "' in content group");
+      }
+    }
+    ContentModel m;
+    m.kind = is_choice ? ContentModel::Kind::kChoice : ContentModel::Kind::kSeq;
+    if (parts.size() == 1) {
+      // Single-particle group: unwrap but keep group occurrence below.
+      m = std::move(parts[0]);
+      Occurrence inner = m.occurrence;
+      Occurrence outer = ParseOccurrence();
+      // Combine occurrences conservatively: any repetition wins.
+      if (outer != Occurrence::kOne) m.occurrence = outer;
+      else m.occurrence = inner;
+      return m;
+    }
+    m.children = std::move(parts);
+    m.occurrence = ParseOccurrence();
+    return m;
+  }
+
+  Occurrence ParseOccurrence() {
+    if (pos_ >= text_.size()) return Occurrence::kOne;
+    switch (text_[pos_]) {
+      case '?':
+        ++pos_;
+        return Occurrence::kOpt;
+      case '*':
+        ++pos_;
+        return Occurrence::kStar;
+      case '+':
+        ++pos_;
+        return Occurrence::kPlus;
+      default:
+        return Occurrence::kOne;
+    }
+  }
+
+  Status ParseAttlistDecl(Dtd& dtd) {
+    std::string element = ReadName();
+    std::vector<AttributeDecl> attrs;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated <!ATTLIST>");
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      AttributeDecl a;
+      a.name = ReadName();
+      std::string type = ReadName();
+      if (type == "CDATA") {
+        a.type = AttrType::kCdata;
+      } else if (type == "NUMBER") {
+        a.type = AttrType::kNumber;
+      } else if (type == "ID") {
+        a.type = AttrType::kId;
+      } else if (type == "NMTOKEN" || type == "NAME") {
+        a.type = AttrType::kNameToken;
+      } else if (type.empty() && text_[pos_] == '(') {
+        // Enumerated type: skip the alternatives, treat as name token.
+        SkipUntil(')');
+        a.type = AttrType::kNameToken;
+      } else {
+        a.type = AttrType::kCdata;
+      }
+      SkipSpace();
+      if (Consume("#REQUIRED")) {
+        a.required = true;
+      } else if (Consume("#IMPLIED")) {
+        // optional, no default
+      } else if (pos_ < text_.size() &&
+                 (text_[pos_] == '"' || text_[pos_] == '\'')) {
+        char q = text_[pos_++];
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != q) ++pos_;
+        a.default_value = std::string(text_.substr(start, pos_ - start));
+        a.has_default = true;
+        if (pos_ < text_.size()) ++pos_;
+      }
+      attrs.push_back(std::move(a));
+    }
+    return dtd.AddAttributes(element, std::move(attrs));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Dtd> ParseDtd(const std::string& text) {
+  DtdParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace sdms::sgml

@@ -1,0 +1,100 @@
+#ifndef SDMS_SGML_DTD_H_
+#define SDMS_SGML_DTD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::sgml {
+
+/// Occurrence indicator of a content-model particle.
+enum class Occurrence {
+  kOne,   // (no indicator)
+  kOpt,   // ?
+  kStar,  // *
+  kPlus,  // +
+};
+
+/// A content-model expression: element reference, sequence (a, b),
+/// choice (a | b), #PCDATA, EMPTY or ANY, each with an occurrence
+/// indicator.
+struct ContentModel {
+  enum class Kind { kElement, kSeq, kChoice, kPcdata, kEmpty, kAny };
+
+  Kind kind = Kind::kEmpty;
+  /// Element name (kElement only), uppercased.
+  std::string element;
+  /// Sub-particles (kSeq / kChoice).
+  std::vector<ContentModel> children;
+  Occurrence occurrence = Occurrence::kOne;
+
+  /// True if #PCDATA occurs anywhere in this model (mixed content).
+  bool AllowsPcdata() const;
+
+  /// Renders back to DTD syntax, e.g. "(DOCTITLE, (SECTION | PARA)*)".
+  std::string ToString() const;
+};
+
+/// Declared attribute kinds (simplified SGML attribute types).
+enum class AttrType { kCdata, kNumber, kId, kNameToken };
+
+/// One attribute declaration from an <!ATTLIST ...>.
+struct AttributeDecl {
+  std::string name;   // uppercased
+  AttrType type = AttrType::kCdata;
+  bool required = false;       // #REQUIRED
+  std::string default_value;   // empty when #IMPLIED
+  bool has_default = false;
+};
+
+/// One <!ELEMENT ...> declaration plus its attributes.
+struct ElementDecl {
+  std::string name;  // uppercased generic identifier
+  ContentModel content;
+  std::vector<AttributeDecl> attributes;
+
+  const AttributeDecl* FindAttribute(const std::string& name) const;
+};
+
+/// A parsed document type definition: the element declarations the
+/// OODBMS maps to element-type classes ([ABH94]).
+class Dtd {
+ public:
+  /// Name of the document type (the root element by convention).
+  const std::string& doctype() const { return doctype_; }
+  void set_doctype(std::string name) { doctype_ = std::move(name); }
+
+  Status AddElement(ElementDecl decl);
+
+  /// Merges an ATTLIST into an existing element declaration.
+  Status AddAttributes(const std::string& element,
+                       std::vector<AttributeDecl> attrs);
+
+  StatusOr<const ElementDecl*> GetElement(const std::string& name) const;
+
+  bool HasElement(const std::string& name) const {
+    return elements_.count(name) > 0;
+  }
+
+  /// Element names in declaration order.
+  const std::vector<std::string>& element_names() const { return order_; }
+
+ private:
+  std::string doctype_;
+  std::map<std::string, ElementDecl> elements_;
+  std::vector<std::string> order_;
+};
+
+/// Parses a DTD from its textual form. Supports the common subset:
+///   <!ELEMENT NAME - - (content)>   (minimization indicators optional)
+///   <!ELEMENT NAME - O EMPTY>, ANY, #PCDATA, sequences, choices,
+///   occurrence indicators ? * +, nested groups
+///   <!ATTLIST NAME attr CDATA #REQUIRED|#IMPLIED|"default">
+///   <!-- comments -->
+StatusOr<Dtd> ParseDtd(const std::string& text);
+
+}  // namespace sdms::sgml
+
+#endif  // SDMS_SGML_DTD_H_

@@ -1,0 +1,42 @@
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::sgml {
+
+const char* MmfDtdText() {
+  return R"dtd(
+<!-- MultiMedia Forum document type (reconstruction). The fragment in
+     the paper shows MMFDOC containing LOGBOOK, DOCTITLE, ABSTRACT and
+     PARA elements; we add AUTHOR, SECTION, FIGREF and HYPERLINK to
+     cover the structural queries of Sections 4.4 and 5. -->
+<!ELEMENT MMFDOC   - - (LOGBOOK?, DOCTITLE, AUTHOR*, ABSTRACT?, (SECTION | PARA)*)>
+<!ELEMENT LOGBOOK  - - (#PCDATA)>
+<!ELEMENT DOCTITLE - - (#PCDATA)>
+<!ELEMENT AUTHOR   - - (#PCDATA)>
+<!ELEMENT ABSTRACT - - (#PCDATA | PARA)*>
+<!ELEMENT SECTION  - - (SECTITLE?, (PARA | FIGURE | SECTION)*)>
+<!ELEMENT SECTITLE - - (#PCDATA)>
+<!ELEMENT PARA     - - (#PCDATA | HYPERLINK)*>
+<!ELEMENT FIGURE   - - (CAPTION?)>
+<!ELEMENT CAPTION  - - (#PCDATA)>
+<!ELEMENT HYPERLINK - - (#PCDATA)>
+<!ATTLIST MMFDOC
+          YEAR     NUMBER #IMPLIED
+          CATEGORY CDATA  #IMPLIED
+          DOCID    CDATA  #IMPLIED>
+<!ATTLIST SECTION
+          SECNO    NUMBER #IMPLIED>
+<!ATTLIST FIGURE
+          SRC      CDATA  #REQUIRED>
+<!ATTLIST HYPERLINK
+          TARGET   CDATA  #REQUIRED
+          LINKTYPE CDATA  "refers">
+)dtd";
+}
+
+StatusOr<Dtd> LoadMmfDtd() {
+  SDMS_ASSIGN_OR_RETURN(Dtd dtd, ParseDtd(MmfDtdText()));
+  dtd.set_doctype("MMFDOC");
+  return dtd;
+}
+
+}  // namespace sdms::sgml

@@ -1,0 +1,21 @@
+#ifndef SDMS_SGML_MMF_DTD_H_
+#define SDMS_SGML_MMF_DTD_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sgml/dtd.h"
+
+namespace sdms::sgml {
+
+/// Textual DTD modeled after the MultiMedia Forum document type the
+/// paper's experiments used (MMFDOC with LOGBOOK, DOCTITLE, ABSTRACT,
+/// sections and paragraphs; Section 4.3's example fragment).
+const char* MmfDtdText();
+
+/// Parses MmfDtdText() into a Dtd.
+StatusOr<Dtd> LoadMmfDtd();
+
+}  // namespace sdms::sgml
+
+#endif  // SDMS_SGML_MMF_DTD_H_

@@ -1,0 +1,238 @@
+#include "sgml/validator.h"
+
+#include <cctype>
+#include <set>
+
+namespace sdms::sgml {
+
+namespace {
+
+using PosSet = std::set<size_t>;
+
+PosSet MatchParticle(const ContentModel& m, const std::vector<std::string>& seq,
+                     size_t pos);
+
+/// Matches exactly one instance of `m` (ignoring its occurrence
+/// indicator) starting at `pos`; returns the reachable end positions.
+PosSet MatchOnce(const ContentModel& m, const std::vector<std::string>& seq,
+                 size_t pos) {
+  switch (m.kind) {
+    case ContentModel::Kind::kElement: {
+      PosSet out;
+      if (pos < seq.size() && seq[pos] == m.element) out.insert(pos + 1);
+      return out;
+    }
+    case ContentModel::Kind::kPcdata:
+      // Text does not consume element positions.
+      return {pos};
+    case ContentModel::Kind::kEmpty:
+      return {pos};
+    case ContentModel::Kind::kAny:
+      // ANY accepts the remaining sequence entirely.
+      return {seq.size()};
+    case ContentModel::Kind::kSeq: {
+      PosSet current = {pos};
+      for (const ContentModel& child : m.children) {
+        PosSet next;
+        for (size_t p : current) {
+          PosSet ends = MatchParticle(child, seq, p);
+          next.insert(ends.begin(), ends.end());
+        }
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      return current;
+    }
+    case ContentModel::Kind::kChoice: {
+      PosSet out;
+      for (const ContentModel& child : m.children) {
+        PosSet ends = MatchParticle(child, seq, pos);
+        out.insert(ends.begin(), ends.end());
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+/// Matches `m` including its occurrence indicator.
+PosSet MatchParticle(const ContentModel& m, const std::vector<std::string>& seq,
+                     size_t pos) {
+  PosSet result;
+  switch (m.occurrence) {
+    case Occurrence::kOne:
+      return MatchOnce(m, seq, pos);
+    case Occurrence::kOpt: {
+      result = MatchOnce(m, seq, pos);
+      result.insert(pos);
+      return result;
+    }
+    case Occurrence::kStar:
+    case Occurrence::kPlus: {
+      PosSet frontier = MatchOnce(m, seq, pos);
+      result = frontier;
+      // Transitive closure over repeated matches.
+      while (!frontier.empty()) {
+        PosSet next;
+        for (size_t p : frontier) {
+          for (size_t q : MatchOnce(m, seq, p)) {
+            if (result.insert(q).second) next.insert(q);
+          }
+        }
+        frontier = std::move(next);
+      }
+      if (m.occurrence == Occurrence::kStar) result.insert(pos);
+      return result;
+    }
+  }
+  return result;
+}
+
+/// Collects element names referenced anywhere in a (mixed) model.
+void CollectElementNames(const ContentModel& m, std::set<std::string>& out) {
+  if (m.kind == ContentModel::Kind::kElement) out.insert(m.element);
+  for (const ContentModel& c : m.children) CollectElementNames(c, out);
+}
+
+bool IsWhitespaceOnly(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Validator::Validate(const Document& doc) const {
+  std::vector<std::string> errors = ValidateAll(doc);
+  if (errors.empty()) return Status::OK();
+  return Status::InvalidArgument(errors.front());
+}
+
+std::vector<std::string> Validator::ValidateAll(const Document& doc) const {
+  std::vector<std::string> errors;
+  if (doc.root == nullptr) {
+    errors.push_back("document has no root element");
+    return errors;
+  }
+  if (!dtd_->doctype().empty() && doc.root->gi() != dtd_->doctype()) {
+    errors.push_back("root element " + doc.root->gi() +
+                     " does not match doctype " + dtd_->doctype());
+  }
+  ValidateElement(*doc.root, "/" + doc.root->gi(), errors);
+  return errors;
+}
+
+void Validator::ValidateElement(const ElementNode& element,
+                                const std::string& path,
+                                std::vector<std::string>& errors) const {
+  auto decl_or = dtd_->GetElement(element.gi());
+  if (!decl_or.ok()) {
+    errors.push_back(path + ": element " + element.gi() +
+                     " is not declared in the DTD");
+    // Children still validated so one unknown wrapper does not hide
+    // deeper errors.
+    for (const Node& n : element.children()) {
+      if (n.kind == Node::Kind::kElement) {
+        ValidateElement(*n.element, path + "/" + n.element->gi(), errors);
+      }
+    }
+    return;
+  }
+  const ElementDecl& decl = **decl_or;
+  ValidateAttributes(element, decl, path, errors);
+  ValidateContent(element, decl, path, errors);
+  size_t child_no = 0;
+  for (const Node& n : element.children()) {
+    if (n.kind == Node::Kind::kElement) {
+      ++child_no;
+      ValidateElement(*n.element,
+                      path + "/" + n.element->gi() + "[" +
+                          std::to_string(child_no) + "]",
+                      errors);
+    }
+  }
+}
+
+void Validator::ValidateAttributes(const ElementNode& element,
+                                   const ElementDecl& decl,
+                                   const std::string& path,
+                                   std::vector<std::string>& errors) const {
+  for (const auto& [name, value] : element.attributes()) {
+    const AttributeDecl* attr = decl.FindAttribute(name);
+    if (attr == nullptr) {
+      errors.push_back(path + ": undeclared attribute " + name);
+      continue;
+    }
+    if (attr->type == AttrType::kNumber) {
+      bool numeric = !value.empty();
+      for (char c : value) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+      }
+      if (!numeric) {
+        errors.push_back(path + ": attribute " + name +
+                         " must be a NUMBER, got '" + value + "'");
+      }
+    }
+  }
+  for (const AttributeDecl& attr : decl.attributes) {
+    if (attr.required && element.attributes().count(attr.name) == 0) {
+      errors.push_back(path + ": missing required attribute " + attr.name);
+    }
+  }
+}
+
+void Validator::ValidateContent(const ElementNode& element,
+                                const ElementDecl& decl,
+                                const std::string& path,
+                                std::vector<std::string>& errors) const {
+  const ContentModel& model = decl.content;
+  bool has_text = false;
+  std::vector<std::string> child_gis;
+  for (const Node& n : element.children()) {
+    if (n.kind == Node::Kind::kText) {
+      if (!IsWhitespaceOnly(n.text)) has_text = true;
+    } else {
+      child_gis.push_back(n.element->gi());
+    }
+  }
+
+  if (model.kind == ContentModel::Kind::kEmpty) {
+    if (has_text || !child_gis.empty()) {
+      errors.push_back(path + ": declared EMPTY but has content");
+    }
+    return;
+  }
+  if (model.kind == ContentModel::Kind::kAny) return;
+
+  if (model.AllowsPcdata()) {
+    // Mixed content (#PCDATA | a | b)*: every element child must be one
+    // of the alternatives.
+    std::set<std::string> allowed;
+    CollectElementNames(model, allowed);
+    for (const std::string& gi : child_gis) {
+      if (allowed.count(gi) == 0) {
+        errors.push_back(path + ": element " + gi +
+                         " not allowed in mixed content of " + element.gi());
+      }
+    }
+    return;
+  }
+
+  if (has_text) {
+    errors.push_back(path + ": text not allowed in element content of " +
+                     element.gi());
+  }
+  PosSet ends = MatchParticle(model, child_gis, 0);
+  if (ends.count(child_gis.size()) == 0) {
+    std::string got;
+    for (size_t i = 0; i < child_gis.size(); ++i) {
+      if (i > 0) got += ", ";
+      got += child_gis[i];
+    }
+    errors.push_back(path + ": children (" + got +
+                     ") do not match content model " + model.ToString());
+  }
+}
+
+}  // namespace sdms::sgml

@@ -1,0 +1,41 @@
+#ifndef SDMS_SGML_VALIDATOR_H_
+#define SDMS_SGML_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sgml/document.h"
+#include "sgml/dtd.h"
+
+namespace sdms::sgml {
+
+/// Validates document instances against a DTD: element declarations,
+/// content models (sequence/choice/occurrence via NFA-style position
+/// sets), mixed content, and attribute declarations.
+class Validator {
+ public:
+  explicit Validator(const Dtd* dtd) : dtd_(dtd) {}
+
+  /// OK when `doc` conforms to the DTD; otherwise the first violation.
+  Status Validate(const Document& doc) const;
+
+  /// Collects every violation (element path + message).
+  std::vector<std::string> ValidateAll(const Document& doc) const;
+
+ private:
+  void ValidateElement(const ElementNode& element, const std::string& path,
+                       std::vector<std::string>& errors) const;
+  void ValidateAttributes(const ElementNode& element, const ElementDecl& decl,
+                          const std::string& path,
+                          std::vector<std::string>& errors) const;
+  void ValidateContent(const ElementNode& element, const ElementDecl& decl,
+                       const std::string& path,
+                       std::vector<std::string>& errors) const;
+
+  const Dtd* dtd_;
+};
+
+}  // namespace sdms::sgml
+
+#endif  // SDMS_SGML_VALIDATOR_H_

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "irs/analysis/analyzer.h"
+#include "irs/analysis/stopwords.h"
+#include "irs/analysis/tokenizer.h"
+
+namespace sdms::irs {
+namespace {
+
+TEST(TokenizerTest, Basic) {
+  auto tokens = TokenizeText("Telnet is a protocol for remote login.");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0], "telnet");
+  EXPECT_EQ(tokens[6], "login");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto tokens = TokenizeText("foo,bar;baz(qux)");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3], "qux");
+}
+
+TEST(TokenizerTest, ApostropheDropped) {
+  auto tokens = TokenizeText("don't");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "dont");
+}
+
+TEST(TokenizerTest, DigitsKept) {
+  auto tokens = TokenizeText("www2 1994");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "www2");
+  EXPECT_EQ(tokens[1], "1994");
+}
+
+TEST(TokenizerTest, Empty) {
+  EXPECT_TRUE(TokenizeText("").empty());
+  EXPECT_TRUE(TokenizeText("  \t\n .,;").empty());
+}
+
+TEST(StopwordsTest, CommonWordsStopped) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("is"));
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_FALSE(IsStopword("telnet"));
+  EXPECT_FALSE(IsStopword("retrieval"));
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("The systems are connecting documents");
+  // "the", "are" stopped; "systems"->"system",
+  // "connecting"->"connect", "documents"->"document".
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "system");
+  EXPECT_EQ(tokens[1], "connect");
+  EXPECT_EQ(tokens[2], "document");
+}
+
+TEST(AnalyzerTest, NoStemming) {
+  AnalyzerOptions opts;
+  opts.stem = false;
+  Analyzer analyzer(opts);
+  auto tokens = analyzer.Analyze("documents");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "documents");
+}
+
+TEST(AnalyzerTest, KeepStopwords) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Analyzer analyzer(opts);
+  auto tokens = analyzer.Analyze("the cat");
+  ASSERT_EQ(tokens.size(), 2u);
+}
+
+TEST(AnalyzerTest, MinTokenLength) {
+  AnalyzerOptions opts;
+  opts.min_token_length = 3;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Analyzer analyzer(opts);
+  auto tokens = analyzer.Analyze("go to moon");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "moon");
+}
+
+TEST(AnalyzerTest, AnalyzeTermMatchesAnalyze) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeTerm("Documents"), "document");
+  EXPECT_EQ(analyzer.AnalyzeTerm("the"), "");  // stopped out
+  auto via_text = analyzer.Analyze("Documents");
+  ASSERT_EQ(via_text.size(), 1u);
+  EXPECT_EQ(via_text[0], analyzer.AnalyzeTerm("Documents"));
+}
+
+}  // namespace
+}  // namespace sdms::irs

@@ -1,0 +1,162 @@
+#include "oodb/index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace sdms::oodb {
+namespace {
+
+TEST(BTreeTest, EmptyLookup) {
+  BTreeIndex index;
+  EXPECT_TRUE(index.Lookup(Value(1)).empty());
+  EXPECT_EQ(index.key_count(), 0u);
+  EXPECT_EQ(index.height(), 1);
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex index;
+  index.Insert(Value(1994), Oid(1));
+  index.Insert(Value(1994), Oid(2));
+  index.Insert(Value(1995), Oid(3));
+  auto hits = index.Lookup(Value(1994));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(index.key_count(), 2u);
+  EXPECT_EQ(index.entry_count(), 3u);
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(BTreeTest, DuplicatePairIdempotent) {
+  BTreeIndex index;
+  index.Insert(Value("x"), Oid(1));
+  index.Insert(Value("x"), Oid(1));
+  EXPECT_EQ(index.entry_count(), 1u);
+}
+
+TEST(BTreeTest, Remove) {
+  BTreeIndex index;
+  index.Insert(Value(1), Oid(1));
+  index.Insert(Value(1), Oid(2));
+  EXPECT_TRUE(index.Remove(Value(1), Oid(1)));
+  EXPECT_FALSE(index.Remove(Value(1), Oid(1)));
+  EXPECT_FALSE(index.Remove(Value(2), Oid(9)));
+  auto hits = index.Lookup(Value(1));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], Oid(2));
+  EXPECT_TRUE(index.Remove(Value(1), Oid(2)));
+  EXPECT_TRUE(index.Lookup(Value(1)).empty());
+  EXPECT_EQ(index.key_count(), 0u);
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex index;
+  for (int i = 0; i < 1000; ++i) index.Insert(Value(i), Oid(i + 1));
+  EXPECT_GT(index.height(), 1);
+  EXPECT_EQ(index.key_count(), 1000u);
+  EXPECT_EQ(index.CheckInvariants(), "");
+  for (int i = 0; i < 1000; ++i) {
+    auto hits = index.Lookup(Value(i));
+    ASSERT_EQ(hits.size(), 1u) << "key " << i;
+    EXPECT_EQ(hits[0], Oid(i + 1));
+  }
+}
+
+TEST(BTreeTest, RangeScan) {
+  BTreeIndex index;
+  for (int i = 0; i < 100; ++i) index.Insert(Value(i), Oid(i + 1));
+  auto hits = index.Range(Value(10), true, Value(20), true);
+  EXPECT_EQ(hits.size(), 11u);
+  hits = index.Range(Value(10), false, Value(20), false);
+  EXPECT_EQ(hits.size(), 9u);
+  hits = index.Range(std::nullopt, true, Value(5), true);
+  EXPECT_EQ(hits.size(), 6u);
+  hits = index.Range(Value(95), true, std::nullopt, true);
+  EXPECT_EQ(hits.size(), 5u);
+  hits = index.Range(std::nullopt, true, std::nullopt, true);
+  EXPECT_EQ(hits.size(), 100u);
+}
+
+TEST(BTreeTest, MixedTypeKeysOrdered) {
+  BTreeIndex index;
+  index.Insert(Value(), Oid(1));
+  index.Insert(Value(true), Oid(2));
+  index.Insert(Value(5), Oid(3));
+  index.Insert(Value("abc"), Oid(4));
+  index.Insert(Value(Oid(9)), Oid(5));
+  EXPECT_EQ(index.CheckInvariants(), "");
+  // Full scan returns all in type-rank order: null < bool < num <
+  // string < oid.
+  auto all = index.Range(std::nullopt, true, std::nullopt, true);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0], Oid(1));
+  EXPECT_EQ(all[4], Oid(5));
+}
+
+TEST(BTreeTest, NumericKeysCompareCrossType) {
+  BTreeIndex index;
+  index.Insert(Value(1), Oid(1));
+  // 1.0 equals 1 as an index key.
+  auto hits = index.Lookup(Value(1.0));
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+// Property test: random interleaved inserts/removes mirror a reference
+// std::multiset; invariants hold throughout.
+class BTreePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  BTreeIndex index;
+  std::set<std::pair<int64_t, uint64_t>> model;
+  for (int step = 0; step < 4000; ++step) {
+    int64_t key = rng.UniformInt(0, 200);
+    uint64_t oid = rng.UniformInt(1, 50);
+    if (rng.Bernoulli(0.6)) {
+      index.Insert(Value(key), Oid(oid));
+      model.emplace(key, oid);
+    } else {
+      bool removed = index.Remove(Value(key), Oid(oid));
+      bool expected = model.erase({key, oid}) > 0;
+      ASSERT_EQ(removed, expected) << "step " << step;
+    }
+  }
+  ASSERT_EQ(index.CheckInvariants(), "");
+  ASSERT_EQ(index.entry_count(), model.size());
+  // Every key agrees with the model.
+  for (int64_t key = 0; key <= 200; ++key) {
+    auto hits = index.Lookup(Value(key));
+    std::set<uint64_t> got;
+    for (Oid o : hits) got.insert(o.raw());
+    std::set<uint64_t> expected;
+    for (auto it = model.lower_bound({key, 0});
+         it != model.end() && it->first == key; ++it) {
+      expected.insert(it->second);
+    }
+    ASSERT_EQ(got, expected) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         testing::Values(1, 2, 3, 17, 99));
+
+TEST(CompareKeysTest, TotalOrder) {
+  std::vector<Value> values = {Value(),      Value(false), Value(true),
+                               Value(-3),    Value(2.5),   Value(7),
+                               Value("abc"), Value("abd"), Value(Oid(1))};
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(CompareKeys(values[i], values[i]), 0);
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      int ab = CompareKeys(values[i], values[j]);
+      int ba = CompareKeys(values[j], values[i]);
+      EXPECT_EQ(ab, -ba);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdms::oodb

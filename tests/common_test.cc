@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace sdms {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing missing");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kLockConflict), "LockConflict");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  SDMS_ASSIGN_OR_RETURN(int h, Half(x));
+  SDMS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = Quarter(6);  // 6/2 = 3 is odd
+  EXPECT_FALSE(err.ok());
+}
+
+// --- string_util ------------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("Hello World"), "hello world");
+  EXPECT_EQ(ToUpper("para"), "PARA");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n y"), "y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  auto parts = SplitWhitespace("  one\ttwo\nthree ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Predicates) {
+  EXPECT_TRUE(StartsWith("oid:42", "oid:"));
+  EXPECT_FALSE(StartsWith("id:42", "oid:"));
+  EXPECT_TRUE(EndsWith("file.idx", ".idx"));
+  EXPECT_TRUE(EqualsIgnoreCase("ACCESS", "access"));
+  EXPECT_FALSE(EqualsIgnoreCase("ACCESS", "acces"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+// --- Rng / Zipf ------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  Rng rng(11);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+// --- file_util ---------------------------------------------------------------
+
+TEST(FileUtilTest, RoundTrip) {
+  std::string path = testing::TempDir() + "/sdms_file_util_test.bin";
+  std::string data = "hello\0world";
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+  EXPECT_TRUE(PathExists(path));
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(static_cast<size_t>(*size), data.size());
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(PathExists(path));
+}
+
+TEST(FileUtilTest, ReadMissingFails) {
+  EXPECT_FALSE(ReadFile("/nonexistent/definitely/missing").ok());
+}
+
+TEST(FileUtilTest, MakeDirs) {
+  std::string dir = testing::TempDir() + "/sdms_mkdir/a/b/c";
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  EXPECT_TRUE(PathExists(dir));
+}
+
+}  // namespace
+}  // namespace sdms

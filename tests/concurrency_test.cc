@@ -1,0 +1,127 @@
+// Concurrency behaviour of the database layer: the lock manager under
+// contention from real threads, and transaction isolation with
+// retry-on-conflict (the no-wait policy's contract).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "oodb/builtins.h"
+#include "oodb/database.h"
+
+namespace sdms::oodb {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = Database::Open(Database::Options{});
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(RegisterBuiltins(**db).ok());
+  ClassDef counter;
+  counter.name = "COUNTER";
+  counter.super = kObjectClass;
+  counter.attributes = {{"N", ValueType::kInt, Value(0)}};
+  EXPECT_TRUE((*db)->schema().DefineClass(std::move(counter)).ok());
+  return std::move(*db);
+}
+
+TEST(ConcurrencyTest, LockManagerUnderContention) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  std::atomic<int> granted{0};
+  std::atomic<int> denied{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnId txn = static_cast<TxnId>(t + 1);
+      for (int r = 0; r < kRounds; ++r) {
+        Oid oid(static_cast<uint64_t>(r % 7 + 1));
+        Status s = lm.Acquire(txn, oid,
+                              r % 3 == 0 ? LockMode::kExclusive
+                                         : LockMode::kShared);
+        if (s.ok()) {
+          ++granted;
+        } else {
+          ++denied;
+          ASSERT_TRUE(s.IsLockConflict()) << s.ToString();
+        }
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(granted + denied, kThreads * kRounds);
+  EXPECT_GT(granted.load(), 0);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(ConcurrencyTest, NoWaitRetryLoopMakesProgress) {
+  // The intended usage pattern: conflicting writers retry aborted
+  // transactions. Every increment must eventually land; the final
+  // counter equals the number of successful commits.
+  auto db = MakeDb();
+  Oid counter = *db->CreateObject("COUNTER");
+
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 50;
+  std::mutex db_mutex;  // The Database object itself is not internally
+                        // synchronized for concurrent use; callers
+                        // serialize calls (locks give *transaction*
+                        // isolation, not latch-free structures).
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        while (true) {
+          std::lock_guard<std::mutex> guard(db_mutex);
+          TxnId txn = db->Begin();
+          auto n = db->GetAttribute(counter, "N");
+          if (!n.ok()) {
+            (void)db->Abort(txn);
+            continue;
+          }
+          Status s = db->SetAttribute(counter, "N",
+                                      Value(n->as_int() + 1), txn);
+          if (!s.ok()) {
+            (void)db->Abort(txn);
+            continue;  // Lock conflict: retry.
+          }
+          ASSERT_TRUE(db->Commit(txn).ok());
+          ++committed;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(committed.load(), kThreads * kIncrementsPerThread);
+  auto n = db->GetAttribute(counter, "N");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->as_int(), kThreads * kIncrementsPerThread);
+}
+
+TEST(ConcurrencyTest, AbortedWriterLeavesNoTrace) {
+  auto db = MakeDb();
+  Oid counter = *db->CreateObject("COUNTER");
+  ASSERT_TRUE(db->SetAttribute(counter, "N", Value(7)).ok());
+
+  TxnId t1 = db->Begin();
+  ASSERT_TRUE(db->SetAttribute(counter, "N", Value(100), t1).ok());
+  // A concurrent reader (read-committed: reads see current state; the
+  // uncommitted write is visible in-memory but rolled back on abort).
+  ASSERT_TRUE(db->Abort(t1).ok());
+  auto n = db->GetAttribute(counter, "N");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->as_int(), 7);
+  // And the lock is free for the next writer.
+  TxnId t2 = db->Begin();
+  EXPECT_TRUE(db->SetAttribute(counter, "N", Value(8), t2).ok());
+  EXPECT_TRUE(db->Commit(t2).ok());
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,91 @@
+#include "coupling/architecture/control_module.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coupling/mixed_query.h"
+#include "coupling_test_util.h"
+
+namespace sdms::coupling {
+namespace {
+
+using testutil::MakeFigure4System;
+
+TEST(ControlModuleTest, RunsSplitMixedQuery) {
+  auto sys = MakeFigure4System();
+  ControlModule module(sys->db.get(), sys->irs_engine.get(),
+                       testing::TempDir());
+  ControlModule::MixedQuery query;
+  query.structure_vql = "ACCESS p FROM p IN PARA";
+  query.irs_collection = "paras";
+  query.irs_query = "www";
+  query.threshold = 0.5;
+  auto result = module.Run(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 5u);
+  for (const auto& row : *result) EXPECT_GT(row.score, 0.5);
+  EXPECT_EQ(module.round_trips(), 2u);  // one IRS + one DB
+  EXPECT_GT(module.stats().bytes_exchanged, 0u);
+  EXPECT_EQ(module.stats().files_exchanged, 1u);
+}
+
+TEST(ControlModuleTest, StructurePartFilters) {
+  auto sys = MakeFigure4System();
+  ControlModule module(sys->db.get(), sys->irs_engine.get(),
+                       testing::TempDir());
+  // Structure part restricted to paragraphs of M4.
+  ControlModule::MixedQuery query;
+  query.structure_vql =
+      "ACCESS p FROM p IN PARA, d IN MMFDOC "
+      "WHERE p -> getContaining('MMFDOC') == d AND "
+      "d -> getAttributeValue('DOCID') == 'M4'";
+  query.irs_collection = "paras";
+  query.irs_query = "www";
+  query.threshold = 0.5;
+  auto result = module.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);  // P9, P10
+}
+
+TEST(ControlModuleTest, AgreesWithDbmsControlledCoupling) {
+  // The same mixed query through the control-module architecture and
+  // through the DBMS-as-control coupling yields the same object set.
+  auto sys = MakeFigure4System();
+  ControlModule module(sys->db.get(), sys->irs_engine.get(),
+                       testing::TempDir());
+  ControlModule::MixedQuery split;
+  split.structure_vql = "ACCESS p FROM p IN PARA";
+  split.irs_collection = "paras";
+  split.irs_query = "www";
+  split.threshold = 0.5;
+  auto via_module = module.Run(split);
+  ASSERT_TRUE(via_module.ok());
+
+  MixedQueryEvaluator eval(sys->coupling.get());
+  auto via_coupling = eval.Run(
+      "ACCESS p FROM p IN PARA WHERE p -> getIRSValue('paras', 'www') > 0.5",
+      MixedQueryEvaluator::Strategy::kIndependent);
+  ASSERT_TRUE(via_coupling.ok());
+
+  std::set<uint64_t> module_oids, coupling_oids;
+  for (const auto& row : *via_module) module_oids.insert(row.oid.raw());
+  for (const auto& row : via_coupling->rows) {
+    coupling_oids.insert(row[0].as_oid().raw());
+  }
+  EXPECT_EQ(module_oids, coupling_oids);
+}
+
+TEST(ControlModuleTest, UnknownCollectionFails) {
+  auto sys = MakeFigure4System();
+  ControlModule module(sys->db.get(), sys->irs_engine.get(),
+                       testing::TempDir());
+  ControlModule::MixedQuery query;
+  query.structure_vql = "ACCESS p FROM p IN PARA";
+  query.irs_collection = "nope";
+  query.irs_query = "www";
+  EXPECT_FALSE(module.Run(query).ok());
+}
+
+}  // namespace
+}  // namespace sdms::coupling

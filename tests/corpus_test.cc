@@ -1,0 +1,177 @@
+#include "sgml/corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/mmf_dtd.h"
+#include "sgml/validator.h"
+
+namespace sdms::sgml {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions opts;
+  opts.num_docs = 20;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  CorpusGenerator g1(SmallOptions());
+  CorpusGenerator g2(SmallOptions());
+  Corpus c1 = g1.Generate();
+  Corpus c2 = g2.Generate();
+  ASSERT_EQ(c1.documents.size(), c2.documents.size());
+  for (size_t i = 0; i < c1.documents.size(); ++i) {
+    EXPECT_EQ(c1.documents[i].root->ToSgml(), c2.documents[i].root->ToSgml());
+    EXPECT_EQ(c1.truths[i].doc_topics, c2.truths[i].doc_topics);
+  }
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  CorpusOptions a = SmallOptions();
+  CorpusOptions b = SmallOptions();
+  b.seed = 100;
+  Corpus ca = CorpusGenerator(a).Generate();
+  Corpus cb = CorpusGenerator(b).Generate();
+  EXPECT_NE(ca.documents[0].root->ToSgml(), cb.documents[0].root->ToSgml());
+}
+
+TEST(CorpusGeneratorTest, DocumentsValidateAgainstMmfDtd) {
+  auto dtd = LoadMmfDtd();
+  ASSERT_TRUE(dtd.ok());
+  Validator v(&*dtd);
+  Corpus corpus = CorpusGenerator(SmallOptions()).Generate();
+  for (const Document& doc : corpus.documents) {
+    Status s = v.Validate(doc);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(CorpusGeneratorTest, GroundTruthAligned) {
+  Corpus corpus = CorpusGenerator(SmallOptions()).Generate();
+  ASSERT_EQ(corpus.documents.size(), corpus.truths.size());
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    std::vector<const ElementNode*> paras;
+    corpus.documents[i].root->FindAll("PARA", false, paras);
+    EXPECT_EQ(paras.size(), corpus.truths[i].para_topics.size());
+    // Relevant paragraphs actually contain their topic terms.
+    for (size_t p = 0; p < paras.size(); ++p) {
+      for (const std::string& topic : corpus.truths[i].para_topics[p]) {
+        EXPECT_NE(paras[p]->SubtreeText().find(topic), std::string::npos)
+            << "doc " << i << " para " << p << " topic " << topic;
+      }
+    }
+    // Doc truth is the union of paragraph truths.
+    std::set<std::string> expected;
+    for (const auto& pt : corpus.truths[i].para_topics) {
+      expected.insert(pt.begin(), pt.end());
+    }
+    EXPECT_EQ(corpus.truths[i].doc_topics, expected);
+  }
+}
+
+TEST(CorpusGeneratorTest, TopicsAppearAcrossCorpus) {
+  CorpusOptions opts = SmallOptions();
+  opts.num_docs = 60;
+  Corpus corpus = CorpusGenerator(opts).Generate();
+  size_t docs_with_topic = 0;
+  for (const DocTruth& t : corpus.truths) {
+    if (!t.doc_topics.empty()) ++docs_with_topic;
+  }
+  // With topic_doc_prob 0.25 and 4 topics, most runs give a healthy
+  // spread; just require some coverage on both sides.
+  EXPECT_GT(docs_with_topic, 10u);
+  EXPECT_LT(docs_with_topic, 60u);
+}
+
+TEST(CorpusGeneratorTest, YearsInRange) {
+  Corpus corpus = CorpusGenerator(SmallOptions()).Generate();
+  for (const Document& doc : corpus.documents) {
+    auto year = doc.root->GetAttribute("YEAR");
+    ASSERT_TRUE(year.ok());
+    int y = std::stoi(*year);
+    EXPECT_GE(y, 1990);
+    EXPECT_LE(y, 1996);
+  }
+}
+
+TEST(CorpusGeneratorTest, HyperlinkMarkupGenerated) {
+  CorpusOptions opts = SmallOptions();
+  opts.hyperlink_prob = 0.5;
+  Corpus corpus = CorpusGenerator(opts).Generate();
+  size_t links = 0;
+  for (size_t d = 0; d < corpus.documents.size(); ++d) {
+    std::vector<const ElementNode*> found;
+    corpus.documents[d].root->FindAll("HYPERLINK", false, found);
+    links += found.size();
+    for (const ElementNode* link : found) {
+      auto target = link->GetAttribute("TARGET");
+      ASSERT_TRUE(target.ok());
+      // Targets reference earlier documents only (no dangling, no
+      // self-links in document 0).
+      int t = std::stoi(target->substr(3));
+      EXPECT_LT(t, static_cast<int>(d));
+      EXPECT_EQ(*link->GetAttribute("LINKTYPE"), "implies");
+    }
+  }
+  EXPECT_GT(links, 10u);
+  // Still DTD-valid.
+  auto dtd = LoadMmfDtd();
+  ASSERT_TRUE(dtd.ok());
+  Validator v(&*dtd);
+  for (const Document& doc : corpus.documents) {
+    EXPECT_TRUE(v.Validate(doc).ok());
+  }
+}
+
+TEST(Figure4Test, ExactConfiguration) {
+  Corpus corpus = MakeFigure4Corpus();
+  ASSERT_EQ(corpus.documents.size(), 4u);
+  ASSERT_EQ(corpus.TotalParagraphs(), 11u);
+
+  // M1: one www paragraph.
+  EXPECT_EQ(corpus.truths[0].para_topics.size(), 3u);
+  EXPECT_EQ(corpus.truths[0].doc_topics, std::set<std::string>{"www"});
+  // M2: P4 relevant to both.
+  EXPECT_EQ(corpus.truths[1].para_topics[0],
+            (std::set<std::string>{"www", "nii"}));
+  // M3: one www, one nii.
+  ASSERT_EQ(corpus.truths[2].para_topics.size(), 2u);
+  EXPECT_EQ(corpus.truths[2].doc_topics,
+            (std::set<std::string>{"www", "nii"}));
+  // M4: two www paragraphs, no nii.
+  EXPECT_EQ(corpus.truths[3].doc_topics, std::set<std::string>{"www"});
+  EXPECT_EQ(corpus.truths[3].para_topics.size(), 3u);
+}
+
+TEST(Figure4Test, ParagraphsEqualLength) {
+  Corpus corpus = MakeFigure4Corpus();
+  std::vector<const ElementNode*> paras;
+  for (const Document& d : corpus.documents) {
+    d.root->FindAll("PARA", false, paras);
+  }
+  ASSERT_EQ(paras.size(), 11u);
+  // All paragraphs have 31 whitespace-separated tokens (P-label + 30).
+  for (const ElementNode* p : paras) {
+    std::string text = p->SubtreeText();
+    size_t words = 1;
+    for (char c : text) {
+      if (c == ' ') ++words;
+    }
+    EXPECT_EQ(words, 31u);
+  }
+}
+
+TEST(Figure4Test, ValidatesAgainstDtd) {
+  auto dtd = LoadMmfDtd();
+  ASSERT_TRUE(dtd.ok());
+  Validator v(&*dtd);
+  Corpus corpus = MakeFigure4Corpus();
+  for (const Document& doc : corpus.documents) {
+    Status s = v.Validate(doc);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace sdms::sgml

@@ -1,0 +1,66 @@
+#ifndef SDMS_TESTS_COUPLING_TEST_UTIL_H_
+#define SDMS_TESTS_COUPLING_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coupling/coupling.h"
+#include "sgml/corpus/generator.h"
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::coupling::testutil {
+
+/// A ready-to-use coupled system: in-memory database, IRS engine,
+/// initialized coupling with the MMF element classes registered.
+struct CoupledSystem {
+  std::unique_ptr<oodb::Database> db;
+  std::unique_ptr<irs::IrsEngine> irs_engine;
+  std::unique_ptr<Coupling> coupling;
+  /// Root OIDs of stored documents (in corpus order).
+  std::vector<Oid> roots;
+};
+
+inline std::unique_ptr<CoupledSystem> MakeCoupledSystem(
+    CouplingOptions options = CouplingOptions()) {
+  auto sys = std::make_unique<CoupledSystem>();
+  auto db = oodb::Database::Open(oodb::Database::Options{});
+  EXPECT_TRUE(db.ok());
+  sys->db = std::move(*db);
+  sys->irs_engine = std::make_unique<irs::IrsEngine>();
+  sys->coupling = std::make_unique<Coupling>(sys->db.get(),
+                                             sys->irs_engine.get(), options);
+  EXPECT_TRUE(sys->coupling->Initialize().ok());
+  auto dtd = sgml::LoadMmfDtd();
+  EXPECT_TRUE(dtd.ok());
+  EXPECT_TRUE(sys->coupling->RegisterDtdClasses(*dtd).ok());
+  return sys;
+}
+
+/// Stores every document of `corpus` and records the root OIDs.
+inline void StoreCorpus(CoupledSystem& sys, const sgml::Corpus& corpus) {
+  for (const sgml::Document& doc : corpus.documents) {
+    auto root = sys.coupling->StoreDocument(doc);
+    ASSERT_TRUE(root.ok()) << root.status().ToString();
+    sys.roots.push_back(*root);
+  }
+}
+
+/// Builds the Figure 4 system: 4 documents, 11 paragraphs, and a
+/// paragraph-level "paras" collection (inquery model) indexed with the
+/// subtree text mode.
+inline std::unique_ptr<CoupledSystem> MakeFigure4System(
+    CouplingOptions options = CouplingOptions()) {
+  auto sys = MakeCoupledSystem(options);
+  StoreCorpus(*sys, sgml::MakeFigure4Corpus());
+  auto coll = sys->coupling->CreateCollection("paras", "inquery");
+  EXPECT_TRUE(coll.ok());
+  EXPECT_TRUE(
+      (*coll)->IndexObjects("ACCESS p FROM p IN PARA", kTextModeSubtree).ok());
+  return sys;
+}
+
+}  // namespace sdms::coupling::testutil
+
+#endif  // SDMS_TESTS_COUPLING_TEST_UTIL_H_

@@ -1,0 +1,382 @@
+#include "oodb/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "oodb/builtins.h"
+
+namespace sdms::oodb {
+namespace {
+
+std::unique_ptr<Database> OpenMem() {
+  auto db = Database::Open(Database::Options{});
+  EXPECT_TRUE(db.ok());
+  return std::move(*db);
+}
+
+void DefineDocSchema(Database& db) {
+  ASSERT_TRUE(RegisterBuiltins(db).ok());
+  ClassDef para;
+  para.name = "PARA";
+  para.super = kObjectClass;
+  para.attributes = {
+      AttributeDef{"TEXT", ValueType::kString, Value()},
+      AttributeDef{"YEAR", ValueType::kInt, Value()},
+      AttributeDef{"SCORE", ValueType::kReal, Value()},
+  };
+  ASSERT_TRUE(db.schema().DefineClass(std::move(para)).ok());
+}
+
+TEST(DatabaseTest, CreateSetGet) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("hello")).ok());
+  auto text = db->GetAttribute(*oid, "TEXT");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->as_string(), "hello");
+  auto cls = db->ClassOf(*oid);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(*cls, "PARA");
+}
+
+TEST(DatabaseTest, AbstractClassNotInstantiable) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  EXPECT_FALSE(db->CreateObject(kObjectClass).ok());
+}
+
+TEST(DatabaseTest, UndeclaredAttributeRejected) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_FALSE(db->SetAttribute(*oid, "NOPE", Value(1)).ok());
+}
+
+TEST(DatabaseTest, TypeMismatchRejected) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(db->SetAttribute(*oid, "YEAR", Value(1994)).ok());
+  EXPECT_FALSE(db->SetAttribute(*oid, "YEAR", Value("1994")).ok());
+  // INT widens to REAL where REAL declared.
+  EXPECT_TRUE(db->SetAttribute(*oid, "SCORE", Value(2)).ok());
+  auto score = db->GetAttribute(*oid, "SCORE");
+  ASSERT_TRUE(score.ok());
+  EXPECT_TRUE(score->is_real());
+}
+
+TEST(DatabaseTest, DeleteObject) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->DeleteObject(*oid).ok());
+  EXPECT_FALSE(db->GetObject(*oid).ok());
+  EXPECT_FALSE(db->DeleteObject(*oid).ok());
+}
+
+TEST(DatabaseTest, ExtentWithSubclasses) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  ClassDef special;
+  special.name = "SPECIALPARA";
+  special.super = "PARA";
+  ASSERT_TRUE(db->schema().DefineClass(std::move(special)).ok());
+  ASSERT_TRUE(db->CreateObject("PARA").ok());
+  ASSERT_TRUE(db->CreateObject("SPECIALPARA").ok());
+  EXPECT_EQ(db->Extent("PARA").size(), 2u);
+  EXPECT_EQ(db->Extent("PARA", /*include_subclasses=*/false).size(), 1u);
+  EXPECT_EQ(db->Extent("SPECIALPARA").size(), 1u);
+}
+
+TEST(DatabaseTest, TransactionCommitGroupsUpdates) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  TxnId txn = db->Begin();
+  auto a = db->CreateObject("PARA", txn);
+  auto b = db->CreateObject("PARA", txn);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(db->Commit(txn).ok());
+  EXPECT_EQ(db->Extent("PARA").size(), 2u);
+}
+
+TEST(DatabaseTest, AbortRollsBackCreate) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  TxnId txn = db->Begin();
+  auto oid = db->CreateObject("PARA", txn);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->Abort(txn).ok());
+  EXPECT_FALSE(db->GetObject(*oid).ok());
+  EXPECT_TRUE(db->Extent("PARA").empty());
+}
+
+TEST(DatabaseTest, AbortRollsBackSetAttribute) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("before")).ok());
+  TxnId txn = db->Begin();
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("after"), txn).ok());
+  ASSERT_TRUE(db->Abort(txn).ok());
+  EXPECT_EQ(db->GetAttribute(*oid, "TEXT")->as_string(), "before");
+}
+
+TEST(DatabaseTest, AbortRollsBackDelete) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("keep me")).ok());
+  TxnId txn = db->Begin();
+  ASSERT_TRUE(db->DeleteObject(*oid, txn).ok());
+  ASSERT_TRUE(db->Abort(txn).ok());
+  auto text = db->GetAttribute(*oid, "TEXT");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->as_string(), "keep me");
+}
+
+TEST(DatabaseTest, ConflictingWritersGetLockConflict) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  TxnId t1 = db->Begin();
+  TxnId t2 = db->Begin();
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("t1"), t1).ok());
+  Status s = db->SetAttribute(*oid, "TEXT", Value("t2"), t2);
+  EXPECT_TRUE(s.IsLockConflict());
+  ASSERT_TRUE(db->Commit(t1).ok());
+  // After t1 releases, t2 can proceed.
+  EXPECT_TRUE(db->SetAttribute(*oid, "TEXT", Value("t2"), t2).ok());
+  ASSERT_TRUE(db->Commit(t2).ok());
+  EXPECT_EQ(db->GetAttribute(*oid, "TEXT")->as_string(), "t2");
+}
+
+TEST(DatabaseTest, MethodInvocation) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto oid = db->CreateObject("PARA");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->SetAttribute(*oid, "YEAR", Value(1994)).ok());
+  auto v = db->Invoke(*oid, "getAttributeValue", {Value("YEAR")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Equals(Value(1994)));
+  auto cls = db->Invoke(*oid, "className", {});
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->as_string(), "PARA");
+  EXPECT_FALSE(db->Invoke(*oid, "noSuchMethod", {}).ok());
+}
+
+TEST(DatabaseTest, IndexLookupAndMaintenance) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  auto a = db->CreateObject("PARA");
+  auto b = db->CreateObject("PARA");
+  ASSERT_TRUE(db->SetAttribute(*a, "YEAR", Value(1994)).ok());
+  ASSERT_TRUE(db->SetAttribute(*b, "YEAR", Value(1995)).ok());
+  ASSERT_TRUE(db->CreateIndex("PARA", "YEAR").ok());
+  EXPECT_TRUE(db->HasIndex("PARA", "YEAR"));
+
+  auto hits = db->IndexLookup("PARA", "YEAR", Value(1994));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], *a);
+
+  // Updates maintain the index.
+  ASSERT_TRUE(db->SetAttribute(*a, "YEAR", Value(1996)).ok());
+  EXPECT_TRUE(db->IndexLookup("PARA", "YEAR", Value(1994))->empty());
+  EXPECT_EQ(db->IndexLookup("PARA", "YEAR", Value(1996))->size(), 1u);
+
+  // Deletes remove from the index.
+  ASSERT_TRUE(db->DeleteObject(*b).ok());
+  EXPECT_TRUE(db->IndexLookup("PARA", "YEAR", Value(1995))->empty());
+
+  // New objects enter the index.
+  auto c = db->CreateObject("PARA");
+  ASSERT_TRUE(db->SetAttribute(*c, "YEAR", Value(1994)).ok());
+  EXPECT_EQ(db->IndexLookup("PARA", "YEAR", Value(1994))->size(), 1u);
+}
+
+class RecordingListener : public UpdateListener {
+ public:
+  struct Event {
+    UpdateKind kind;
+    Oid oid;
+    std::string cls;
+    std::string attr;
+  };
+  void OnUpdate(UpdateKind kind, Oid oid, const std::string& cls,
+                const std::string& attr) override {
+    events.push_back(Event{kind, oid, cls, attr});
+  }
+  std::vector<Event> events;
+};
+
+TEST(DatabaseTest, ListenersFireOnCommitOnly) {
+  auto db = OpenMem();
+  DefineDocSchema(*db);
+  RecordingListener listener;
+  db->AddUpdateListener(&listener);
+
+  TxnId txn = db->Begin();
+  auto oid = db->CreateObject("PARA", txn);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("x"), txn).ok());
+  EXPECT_TRUE(listener.events.empty());  // Nothing until commit.
+  ASSERT_TRUE(db->Commit(txn).ok());
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(listener.events[1].kind, UpdateKind::kModify);
+  EXPECT_EQ(listener.events[1].attr, "TEXT");
+
+  // Aborted transactions fire nothing.
+  listener.events.clear();
+  TxnId txn2 = db->Begin();
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("y"), txn2).ok());
+  ASSERT_TRUE(db->Abort(txn2).ok());
+  EXPECT_TRUE(listener.events.empty());
+
+  db->RemoveUpdateListener(&listener);
+  ASSERT_TRUE(db->SetAttribute(*oid, "TEXT", Value("z")).ok());
+  EXPECT_TRUE(listener.events.empty());
+}
+
+class PersistentDatabaseTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/sdms_db_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(PersistentDatabaseTest, WalRecovery) {
+  Oid oid;
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    auto created = (*db)->CreateObject("PARA");
+    ASSERT_TRUE(created.ok());
+    oid = *created;
+    ASSERT_TRUE((*db)->SetAttribute(oid, "TEXT", Value("durable")).ok());
+    // No checkpoint: recovery must come from the WAL alone.
+  }
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    auto text = (*db)->GetAttribute(oid, "TEXT");
+    ASSERT_TRUE(text.ok());
+    EXPECT_EQ(text->as_string(), "durable");
+  }
+}
+
+TEST_F(PersistentDatabaseTest, UncommittedTailNotRecovered) {
+  Oid committed, uncommitted;
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    auto a = (*db)->CreateObject("PARA");
+    ASSERT_TRUE(a.ok());
+    committed = *a;
+    // Open a transaction and leave it unfinished: its records never
+    // reach the WAL, simulating a crash mid-transaction.
+    TxnId txn = (*db)->Begin();
+    auto b = (*db)->CreateObject("PARA", txn);
+    ASSERT_TRUE(b.ok());
+    uncommitted = *b;
+  }
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    EXPECT_TRUE((*db)->GetObject(committed).ok());
+    EXPECT_FALSE((*db)->GetObject(uncommitted).ok());
+  }
+}
+
+TEST_F(PersistentDatabaseTest, CheckpointAndRecover) {
+  Oid oid;
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    auto created = (*db)->CreateObject("PARA");
+    ASSERT_TRUE(created.ok());
+    oid = *created;
+    ASSERT_TRUE((*db)->SetAttribute(oid, "YEAR", Value(1994)).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    // Post-checkpoint update goes to the fresh WAL.
+    ASSERT_TRUE((*db)->SetAttribute(oid, "YEAR", Value(1995)).ok());
+  }
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    auto year = (*db)->GetAttribute(oid, "YEAR");
+    ASSERT_TRUE(year.ok());
+    EXPECT_TRUE(year->Equals(Value(1995)));
+    // OID allocation resumes above recovered objects.
+    auto fresh = (*db)->CreateObject("PARA");
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_GT(fresh->raw(), oid.raw());
+  }
+}
+
+TEST_F(PersistentDatabaseTest, SyncCommitsDurable) {
+  Oid oid;
+  {
+    auto db = Database::Open(Database::Options{dir_, /*sync_commits=*/true});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    oid = *(*db)->CreateObject("PARA");
+    ASSERT_TRUE((*db)->SetAttribute(oid, "TEXT", Value("fsynced")).ok());
+  }
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    EXPECT_EQ((*db)->GetAttribute(oid, "TEXT")->as_string(), "fsynced");
+  }
+}
+
+TEST(InMemoryDatabaseTest, CheckpointRequiresDataDir) {
+  auto db = Database::Open(Database::Options{});
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->Checkpoint().ok());
+}
+
+TEST_F(PersistentDatabaseTest, DeleteSurvivesRecovery) {
+  Oid keep, gone;
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    keep = *(*db)->CreateObject("PARA");
+    gone = *(*db)->CreateObject("PARA");
+    ASSERT_TRUE((*db)->DeleteObject(gone).ok());
+  }
+  {
+    auto db = Database::Open(Database::Options{dir_, false});
+    ASSERT_TRUE(db.ok());
+    DefineDocSchema(**db);
+    EXPECT_TRUE((*db)->GetObject(keep).ok());
+    EXPECT_FALSE((*db)->GetObject(gone).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,137 @@
+#include "sgml/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::sgml {
+namespace {
+
+TEST(DtdParserTest, SimpleElement) {
+  auto dtd = ParseDtd("<!ELEMENT PARA - - (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  ASSERT_TRUE(dtd->HasElement("PARA"));
+  auto decl = dtd->GetElement("PARA");
+  ASSERT_TRUE(decl.ok());
+  EXPECT_EQ((*decl)->content.kind, ContentModel::Kind::kPcdata);
+}
+
+TEST(DtdParserTest, CaseInsensitiveNames) {
+  auto dtd = ParseDtd("<!element para - - (#pcdata)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->HasElement("PARA"));
+}
+
+TEST(DtdParserTest, SequenceAndOccurrence) {
+  auto dtd = ParseDtd("<!ELEMENT DOC - - (TITLE, AUTHOR*, SECTION+)>");
+  ASSERT_TRUE(dtd.ok());
+  auto decl = dtd->GetElement("DOC");
+  ASSERT_TRUE(decl.ok());
+  const ContentModel& m = (*decl)->content;
+  EXPECT_EQ(m.kind, ContentModel::Kind::kSeq);
+  ASSERT_EQ(m.children.size(), 3u);
+  EXPECT_EQ(m.children[0].occurrence, Occurrence::kOne);
+  EXPECT_EQ(m.children[1].occurrence, Occurrence::kStar);
+  EXPECT_EQ(m.children[2].occurrence, Occurrence::kPlus);
+}
+
+TEST(DtdParserTest, ChoiceGroup) {
+  auto dtd = ParseDtd("<!ELEMENT S - - ((PARA | FIGURE)*)>");
+  ASSERT_TRUE(dtd.ok());
+  auto decl = dtd->GetElement("S");
+  const ContentModel& m = (*decl)->content;
+  EXPECT_EQ(m.kind, ContentModel::Kind::kChoice);
+  EXPECT_EQ(m.occurrence, Occurrence::kStar);
+  EXPECT_EQ(m.children.size(), 2u);
+}
+
+TEST(DtdParserTest, MixedContent) {
+  auto dtd = ParseDtd("<!ELEMENT P - - (#PCDATA | LINK)*>");
+  ASSERT_TRUE(dtd.ok());
+  auto decl = dtd->GetElement("P");
+  EXPECT_TRUE((*decl)->content.AllowsPcdata());
+}
+
+TEST(DtdParserTest, EmptyAndAny) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT IMG - O EMPTY>\n<!ELEMENT BLOB - - ANY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ((*dtd->GetElement("IMG"))->content.kind,
+            ContentModel::Kind::kEmpty);
+  EXPECT_EQ((*dtd->GetElement("BLOB"))->content.kind,
+            ContentModel::Kind::kAny);
+}
+
+TEST(DtdParserTest, Attlist) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT DOC - - ANY>\n"
+      "<!ATTLIST DOC YEAR NUMBER #IMPLIED "
+      "ID CDATA #REQUIRED KIND CDATA \"report\">");
+  ASSERT_TRUE(dtd.ok());
+  auto decl = dtd->GetElement("DOC");
+  ASSERT_EQ((*decl)->attributes.size(), 3u);
+  const AttributeDecl* year = (*decl)->FindAttribute("YEAR");
+  ASSERT_NE(year, nullptr);
+  EXPECT_EQ(year->type, AttrType::kNumber);
+  EXPECT_FALSE(year->required);
+  const AttributeDecl* id = (*decl)->FindAttribute("ID");
+  ASSERT_NE(id, nullptr);
+  EXPECT_TRUE(id->required);
+  const AttributeDecl* kind = (*decl)->FindAttribute("KIND");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_TRUE(kind->has_default);
+  EXPECT_EQ(kind->default_value, "report");
+}
+
+TEST(DtdParserTest, AttlistForUnknownElementFails) {
+  EXPECT_FALSE(ParseDtd("<!ATTLIST NOPE X CDATA #IMPLIED>").ok());
+}
+
+TEST(DtdParserTest, DuplicateElementFails) {
+  EXPECT_FALSE(
+      ParseDtd("<!ELEMENT A - - ANY>\n<!ELEMENT A - - ANY>").ok());
+}
+
+TEST(DtdParserTest, CommentsSkipped) {
+  auto dtd = ParseDtd(
+      "<!-- a comment -->\n<!ELEMENT A - - ANY>\n<!-- another -->");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->HasElement("A"));
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  auto dtd =
+      ParseDtd("<!ELEMENT D - - (A, (B | (C, E))+, F?)>");
+  ASSERT_TRUE(dtd.ok());
+  const ContentModel& m = (*dtd->GetElement("D"))->content;
+  ASSERT_EQ(m.children.size(), 3u);
+  EXPECT_EQ(m.children[1].kind, ContentModel::Kind::kChoice);
+  EXPECT_EQ(m.children[1].occurrence, Occurrence::kPlus);
+  EXPECT_EQ(m.children[1].children[1].kind, ContentModel::Kind::kSeq);
+}
+
+TEST(DtdParserTest, ToStringRoundTrips) {
+  auto dtd = ParseDtd("<!ELEMENT D - - (A, (B | C)*, #PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  std::string rendered = (*dtd->GetElement("D"))->content.ToString();
+  EXPECT_EQ(rendered, "(A, (B | C)*, #PCDATA)");
+}
+
+TEST(MmfDtdTest, Loads) {
+  auto dtd = LoadMmfDtd();
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->doctype(), "MMFDOC");
+  EXPECT_TRUE(dtd->HasElement("MMFDOC"));
+  EXPECT_TRUE(dtd->HasElement("PARA"));
+  EXPECT_TRUE(dtd->HasElement("DOCTITLE"));
+  EXPECT_TRUE(dtd->HasElement("LOGBOOK"));
+  EXPECT_TRUE(dtd->HasElement("SECTION"));
+  EXPECT_TRUE(dtd->HasElement("HYPERLINK"));
+  auto mmfdoc = dtd->GetElement("MMFDOC");
+  ASSERT_TRUE(mmfdoc.ok());
+  EXPECT_NE((*mmfdoc)->FindAttribute("YEAR"), nullptr);
+  EXPECT_EQ((*mmfdoc)->FindAttribute("YEAR")->type, AttrType::kNumber);
+}
+
+}  // namespace
+}  // namespace sdms::sgml

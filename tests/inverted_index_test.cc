@@ -1,0 +1,131 @@
+#include "irs/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sdms::irs {
+namespace {
+
+std::vector<std::string> Tokens(std::initializer_list<const char*> words) {
+  return std::vector<std::string>(words.begin(), words.end());
+}
+
+TEST(InvertedIndexTest, AddAndLookup) {
+  InvertedIndex index;
+  DocId a = index.AddDocument("oid:1", Tokens({"www", "protocol", "www"}));
+  DocId b = index.AddDocument("oid:2", Tokens({"nii", "protocol"}));
+  EXPECT_EQ(index.doc_count(), 2u);
+  EXPECT_EQ(index.total_tokens(), 5u);
+  EXPECT_EQ(index.term_count(), 3u);
+
+  const auto* postings = index.GetPostings("www");
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ((*postings)[0].doc, a);
+  EXPECT_EQ((*postings)[0].tf, 2u);
+  ASSERT_EQ((*postings)[0].positions.size(), 2u);
+  EXPECT_EQ((*postings)[0].positions[0], 0u);
+  EXPECT_EQ((*postings)[0].positions[1], 2u);
+
+  EXPECT_EQ(index.DocFreq("protocol"), 2u);
+  EXPECT_EQ(index.DocFreq("missing"), 0u);
+  EXPECT_EQ(*index.FindByKey("oid:2"), b);
+  EXPECT_FALSE(index.FindByKey("oid:9").ok());
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(InvertedIndexTest, AvgDocLength) {
+  InvertedIndex index;
+  index.AddDocument("a", Tokens({"x", "y"}));
+  index.AddDocument("b", Tokens({"x", "y", "z", "w"}));
+  EXPECT_DOUBLE_EQ(index.avg_doc_length(), 3.0);
+}
+
+TEST(InvertedIndexTest, RemovePrunesPostings) {
+  InvertedIndex index;
+  DocId a = index.AddDocument("a", Tokens({"x", "unique"}));
+  index.AddDocument("b", Tokens({"x"}));
+  ASSERT_TRUE(index.RemoveDocument(a).ok());
+  EXPECT_EQ(index.doc_count(), 1u);
+  EXPECT_EQ(index.DocFreq("x"), 1u);
+  EXPECT_EQ(index.GetPostings("unique"), nullptr);  // Term vanished.
+  EXPECT_FALSE(index.FindByKey("a").ok());
+  EXPECT_FALSE(index.RemoveDocument(a).ok());  // Double remove fails.
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(InvertedIndexTest, SerializeRoundTrip) {
+  InvertedIndex index;
+  index.AddDocument("oid:1", Tokens({"alpha", "beta", "alpha"}));
+  index.AddDocument("oid:2", Tokens({"beta", "gamma"}));
+  DocId dead = index.AddDocument("oid:3", Tokens({"delta"}));
+  ASSERT_TRUE(index.RemoveDocument(dead).ok());
+
+  std::string blob = index.Serialize();
+  auto restored = InvertedIndex::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->doc_count(), 2u);
+  EXPECT_EQ(restored->total_tokens(), 5u);
+  EXPECT_EQ(restored->DocFreq("beta"), 2u);
+  EXPECT_EQ(restored->GetPostings("delta"), nullptr);
+  EXPECT_EQ(restored->CheckInvariants(), "");
+  // Keys survive.
+  EXPECT_TRUE(restored->FindByKey("oid:1").ok());
+  EXPECT_FALSE(restored->FindByKey("oid:3").ok());
+  // Positions survive delta-coding.
+  const auto* postings = restored->GetPostings("alpha");
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ((*postings)[0].positions.size(), 2u);
+  EXPECT_EQ((*postings)[0].positions[1], 2u);
+}
+
+TEST(InvertedIndexTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(InvertedIndex::Deserialize("not an index").ok());
+}
+
+TEST(InvertedIndexTest, ApproximateSizeGrows) {
+  InvertedIndex small, big;
+  small.AddDocument("a", Tokens({"one", "two"}));
+  for (int i = 0; i < 50; ++i) {
+    big.AddDocument("doc" + std::to_string(i),
+                    Tokens({"one", "two", "three", "four", "five"}));
+  }
+  EXPECT_GT(big.ApproximateSizeBytes(), small.ApproximateSizeBytes());
+}
+
+// Property sweep: random docs added/removed; invariants always hold and
+// doc counts match a reference model.
+class IndexPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexPropertyTest, RandomOps) {
+  sdms::Rng rng(GetParam());
+  InvertedIndex index;
+  std::vector<DocId> live;
+  const char* vocab[] = {"aa", "bb", "cc", "dd", "ee", "ff"};
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.Bernoulli(0.7)) {
+      std::vector<std::string> tokens;
+      size_t n = 1 + rng.Uniform(8);
+      for (size_t i = 0; i < n; ++i) tokens.push_back(vocab[rng.Uniform(6)]);
+      live.push_back(index.AddDocument("k" + std::to_string(step), tokens));
+    } else {
+      size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(index.RemoveDocument(live[pick]).ok());
+      live.erase(live.begin() + pick);
+    }
+    ASSERT_EQ(index.CheckInvariants(), "") << "step " << step;
+    ASSERT_EQ(index.doc_count(), live.size());
+  }
+  // Serialization of the final state round-trips.
+  auto restored = InvertedIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->doc_count(), index.doc_count());
+  EXPECT_EQ(restored->total_tokens(), index.total_tokens());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         testing::Values(5, 23, 42));
+
+}  // namespace
+}  // namespace sdms::irs

@@ -1,0 +1,158 @@
+#include "irs/collection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "irs/engine.h"
+
+namespace sdms::irs {
+namespace {
+
+std::unique_ptr<IrsCollection> MakeCollection(const std::string& model =
+                                                  "inquery") {
+  auto m = MakeModel(model);
+  EXPECT_TRUE(m.ok());
+  return std::make_unique<IrsCollection>("test", AnalyzerOptions{},
+                                         std::move(*m));
+}
+
+TEST(IrsCollectionTest, AddSearchRemove) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("oid:1", "telnet is a protocol").ok());
+  ASSERT_TRUE(coll->AddDocument("oid:2", "www is the web").ok());
+  EXPECT_TRUE(coll->HasDocument("oid:1"));
+  EXPECT_FALSE(coll->HasDocument("oid:3"));
+
+  auto hits = coll->Search("telnet");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].key, "oid:1");
+  EXPECT_GT((*hits)[0].score, 0.0);
+
+  ASSERT_TRUE(coll->RemoveDocument("oid:1").ok());
+  hits = coll->Search("telnet");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(IrsCollectionTest, DuplicateKeyRejected) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("k", "one").ok());
+  EXPECT_FALSE(coll->AddDocument("k", "two").ok());
+}
+
+TEST(IrsCollectionTest, UpdateReplacesText) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("k", "ancient topic").ok());
+  ASSERT_TRUE(coll->UpdateDocument("k", "modern subject").ok());
+  auto old_hits = coll->Search("ancient");
+  ASSERT_TRUE(old_hits.ok());
+  EXPECT_TRUE(old_hits->empty());
+  auto new_hits = coll->Search("modern");
+  ASSERT_TRUE(new_hits.ok());
+  EXPECT_EQ(new_hits->size(), 1u);
+}
+
+TEST(IrsCollectionTest, RankingDescendingAndDeterministic) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("oid:1", "www www www filler filler").ok());
+  ASSERT_TRUE(coll->AddDocument("oid:2", "www filler filler filler").ok());
+  ASSERT_TRUE(coll->AddDocument("oid:3", "other topics entirely").ok());
+  auto hits = coll->Search("www");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].key, "oid:1");
+  for (size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_GE((*hits)[i - 1].score, (*hits)[i].score);
+  }
+}
+
+TEST(IrsCollectionTest, StatsTracked) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("a", "x").ok());
+  ASSERT_TRUE(coll->Search("x").ok());
+  ASSERT_TRUE(coll->RemoveDocument("a").ok());
+  EXPECT_EQ(coll->stats().docs_indexed, 1u);
+  EXPECT_EQ(coll->stats().queries_executed, 1u);
+  EXPECT_EQ(coll->stats().docs_removed, 1u);
+}
+
+TEST(IrsCollectionTest, ModelSwapKeepsIndex) {
+  auto coll = MakeCollection("inquery");
+  ASSERT_TRUE(coll->AddDocument("a", "www topic").ok());
+  coll->set_model(*MakeModel("boolean"));
+  auto hits = coll->Search("www");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].score, 1.0);  // Boolean scores are 1.
+}
+
+class IrsEngineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/sdms_irs_engine_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(IrsEngineTest, CreateGetDrop) {
+  IrsEngine engine;
+  ASSERT_TRUE(engine.CreateCollection("paras", {}, "inquery").ok());
+  EXPECT_FALSE(engine.CreateCollection("paras", {}, "inquery").ok());
+  EXPECT_TRUE(engine.GetCollection("paras").ok());
+  EXPECT_FALSE(engine.GetCollection("nope").ok());
+  EXPECT_FALSE(engine.CreateCollection("bad", {}, "bogus-model").ok());
+  ASSERT_TRUE(engine.DropCollection("paras").ok());
+  EXPECT_FALSE(engine.GetCollection("paras").ok());
+}
+
+TEST_F(IrsEngineTest, SaveAndLoad) {
+  {
+    IrsEngine engine;
+    auto coll = engine.CreateCollection("docs", {}, "bm25");
+    ASSERT_TRUE(coll.ok());
+    ASSERT_TRUE((*coll)->AddDocument("oid:1", "persistent content here").ok());
+    ASSERT_TRUE(engine.SaveTo(dir_).ok());
+  }
+  {
+    IrsEngine engine;
+    ASSERT_TRUE(engine.LoadFrom(dir_).ok());
+    auto coll = engine.GetCollection("docs");
+    ASSERT_TRUE(coll.ok());
+    EXPECT_EQ((*coll)->model().name(), "bm25");
+    auto hits = (*coll)->Search("persistent");
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), 1u);
+    EXPECT_EQ((*hits)[0].key, "oid:1");
+  }
+}
+
+TEST_F(IrsEngineTest, FileExchangeRoundTrip) {
+  IrsEngine engine;
+  auto coll = engine.CreateCollection("c", {}, "inquery");
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE((*coll)->AddDocument("oid:7", "exchange through files").ok());
+  std::string path = testing::TempDir() + "/sdms_irs_result.txt";
+  ASSERT_TRUE(engine.SearchToFile("c", "exchange", path).ok());
+  auto hits = IrsEngine::ParseResultFile(path);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].key, "oid:7");
+  EXPECT_GT((*hits)[0].score, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IrsEngineTest, ParseResultFileRejectsGarbage) {
+  std::string path = testing::TempDir() + "/sdms_bad_result.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "no-tab-here\n").ok());
+  EXPECT_FALSE(IrsEngine::ParseResultFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdms::irs

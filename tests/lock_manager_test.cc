@@ -1,0 +1,76 @@
+#include "oodb/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::oodb {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, Oid(10), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, Oid(10), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, Oid(10), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, Oid(10), LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithShared) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kShared).ok());
+  Status s = lm.Acquire(2, Oid(10), LockMode::kExclusive);
+  EXPECT_TRUE(s.IsLockConflict());
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithExclusive) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, Oid(10), LockMode::kExclusive).IsLockConflict());
+  EXPECT_TRUE(lm.Acquire(2, Oid(10), LockMode::kShared).IsLockConflict());
+}
+
+TEST(LockManagerTest, ReacquireOwnLock) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, Oid(10), LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, Oid(10), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, Oid(10), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).IsLockConflict());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesLocks) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, Oid(11), LockMode::kShared).ok());
+  EXPECT_EQ(lm.locked_object_count(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, Oid(10), LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ExclusiveImpliesShared) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, Oid(10), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, Oid(10), LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, Oid(10), LockMode::kShared));
+}
+
+TEST(LockManagerTest, DistinctObjectsIndependent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, Oid(10), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, Oid(11), LockMode::kExclusive).ok());
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,84 @@
+#include "coupling/media.h"
+
+#include <gtest/gtest.h>
+
+#include "coupling_test_util.h"
+
+namespace sdms::coupling {
+namespace {
+
+using testutil::MakeCoupledSystem;
+
+class MediaTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = MakeCoupledSystem();
+    ASSERT_TRUE(RegisterMediaTextMode(*sys_->coupling).ok());
+    auto doc = sgml::ParseSgml(
+        "<MMFDOC DOCID=\"m\"><DOCTITLE>Networking</DOCTITLE>"
+        "<SECTION SECNO=\"1\"><SECTITLE>Internet growth</SECTITLE>"
+        "<PARA>The chart below shows exponential traffic growth</PARA>"
+        "<FIGURE SRC=\"traffic.gif\"><CAPTION>WWW traffic over "
+        "time</CAPTION></FIGURE>"
+        "<PARA>Measurements come from backbone statistics</PARA>"
+        "</SECTION></MMFDOC>");
+    ASSERT_TRUE(doc.ok());
+    root_ = *sys_->coupling->StoreDocument(*doc);
+    std::vector<Oid> figures;
+    for (Oid oid : sys_->db->Extent("FIGURE")) figures.push_back(oid);
+    ASSERT_EQ(figures.size(), 1u);
+    figure_ = figures[0];
+  }
+
+  std::unique_ptr<testutil::CoupledSystem> sys_;
+  Oid root_, figure_;
+};
+
+TEST_F(MediaTest, MediaContextTextIncludesCaptionSiblingsAndTitle) {
+  auto text = sys_->coupling->GetText(figure_, kTextModeMediaContext);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("WWW traffic over time"), std::string::npos);  // caption
+  EXPECT_NE(text->find("exponential traffic growth"), std::string::npos);
+  EXPECT_NE(text->find("backbone statistics"), std::string::npos);
+  EXPECT_NE(text->find("Internet growth"), std::string::npos);  // section title
+  // The document title is NOT part of the media context.
+  EXPECT_EQ(text->find("Networking"), std::string::npos);
+}
+
+TEST_F(MediaTest, NonMediaElementsFallBackToSubtreeText) {
+  auto paras = sys_->db->Extent("PARA");
+  ASSERT_FALSE(paras.empty());
+  auto via_media = sys_->coupling->GetText(paras[0], kTextModeMediaContext);
+  auto via_subtree = sys_->coupling->GetText(paras[0], kTextModeSubtree);
+  ASSERT_TRUE(via_media.ok());
+  ASSERT_TRUE(via_subtree.ok());
+  EXPECT_EQ(*via_media, *via_subtree);
+}
+
+TEST_F(MediaTest, ImageRetrievalThroughAssociatedText) {
+  // A collection of FIGURE objects indexed by their media context: the
+  // figure is retrievable by words that only occur in the surrounding
+  // paragraphs, per Section 5.
+  auto coll = sys_->coupling->CreateCollection("figures", "inquery");
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE((*coll)
+                  ->IndexObjects("ACCESS f FROM f IN FIGURE",
+                                 kTextModeMediaContext)
+                  .ok());
+  auto hits = (*coll)->GetIrsResult("backbone");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)->count(figure_), 1u);
+  // With plain subtree text (caption only) the same query misses.
+  auto plain = sys_->coupling->CreateCollection("figures_plain", "inquery");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE((*plain)
+                  ->IndexObjects("ACCESS f FROM f IN FIGURE",
+                                 kTextModeSubtree)
+                  .ok());
+  auto plain_hits = (*plain)->GetIrsResult("backbone");
+  ASSERT_TRUE(plain_hits.ok());
+  EXPECT_EQ((*plain_hits)->count(figure_), 0u);
+}
+
+}  // namespace
+}  // namespace sdms::coupling

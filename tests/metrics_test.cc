@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::eval {
+namespace {
+
+TEST(MetricsTest, PrecisionAtK) {
+  Ranking r = {"a", "b", "c", "d"};
+  RelevantSet rel = {"a", "c", "x"};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, rel, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, rel, 10), 0.5);  // clamped to size
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, rel, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, rel, 0), 0.0);
+}
+
+TEST(MetricsTest, RecallAtK) {
+  Ranking r = {"a", "b", "c", "d"};
+  RelevantSet rel = {"a", "c", "x"};
+  EXPECT_NEAR(RecallAtK(r, rel, 1), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(RecallAtK(r, rel, 4), 2.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(RecallAtK(r, {}, 4), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecision) {
+  Ranking r = {"a", "x", "b"};
+  RelevantSet rel = {"a", "b"};
+  // Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision(r, rel), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision(r, {}), 0.0);
+  // Perfect ranking has AP 1.
+  EXPECT_DOUBLE_EQ(AveragePrecision({"a", "b"}, rel), 1.0);
+}
+
+TEST(MetricsTest, MeanAveragePrecision) {
+  std::vector<Ranking> rankings = {{"a"}, {"x", "b"}};
+  std::vector<RelevantSet> rels = {{"a"}, {"b"}};
+  EXPECT_NEAR(MeanAveragePrecision(rankings, rels), (1.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}, {}), 0.0);
+}
+
+TEST(MetricsTest, Ndcg) {
+  RelevantSet rel = {"a", "b"};
+  // Ideal ordering first.
+  EXPECT_NEAR(NdcgAtK({"a", "b", "x"}, rel, 3), 1.0, 1e-12);
+  // Worst placement scores lower.
+  double worst = NdcgAtK({"x", "y", "a"}, rel, 3);
+  EXPECT_LT(worst, 1.0);
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(MetricsTest, KendallTau) {
+  // Identical order.
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {10, 20, 30}), 1.0, 1e-12);
+  // Reversed.
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {30, 20, 10}), -1.0, 1e-12);
+  // Uncorrelated-ish.
+  double tau = KendallTau({1, 2, 3, 4}, {2, 1, 4, 3});
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(KendallTau({1}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2}, {1}), 0.0);
+  // All ties on one side.
+  EXPECT_DOUBLE_EQ(KendallTau({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MetricsTest, F1) {
+  EXPECT_DOUBLE_EQ(F1(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(F1(1.0, 1.0), 1.0);
+  EXPECT_NEAR(F1(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdms::eval

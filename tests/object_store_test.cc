@@ -1,0 +1,105 @@
+#include "oodb/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::oodb {
+namespace {
+
+TEST(ObjectStoreTest, AllocateMonotonic) {
+  ObjectStore store;
+  Oid a = store.AllocateOid();
+  Oid b = store.AllocateOid();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+}
+
+TEST(ObjectStoreTest, InsertGetRemove) {
+  ObjectStore store;
+  Oid oid = store.AllocateOid();
+  DbObject obj(oid, "PARA");
+  obj.Set("TEXT", Value("hello"));
+  ASSERT_TRUE(store.Insert(std::move(obj)).ok());
+  EXPECT_TRUE(store.Contains(oid));
+  EXPECT_EQ(store.size(), 1u);
+
+  auto got = store.Get(oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->class_name(), "PARA");
+  EXPECT_EQ((*got)->GetOr("TEXT", Value()).as_string(), "hello");
+
+  ASSERT_TRUE(store.Remove(oid).ok());
+  EXPECT_FALSE(store.Contains(oid));
+  EXPECT_FALSE(store.Get(oid).ok());
+  EXPECT_FALSE(store.Remove(oid).ok());
+}
+
+TEST(ObjectStoreTest, DuplicateInsertRejected) {
+  ObjectStore store;
+  Oid oid = store.AllocateOid();
+  ASSERT_TRUE(store.Insert(DbObject(oid, "A")).ok());
+  EXPECT_FALSE(store.Insert(DbObject(oid, "A")).ok());
+}
+
+TEST(ObjectStoreTest, NullOidRejected) {
+  ObjectStore store;
+  EXPECT_FALSE(store.Insert(DbObject(kNullOid, "A")).ok());
+}
+
+TEST(ObjectStoreTest, DirectExtent) {
+  ObjectStore store;
+  Oid a = store.AllocateOid();
+  Oid b = store.AllocateOid();
+  Oid c = store.AllocateOid();
+  ASSERT_TRUE(store.Insert(DbObject(a, "PARA")).ok());
+  ASSERT_TRUE(store.Insert(DbObject(b, "SECTION")).ok());
+  ASSERT_TRUE(store.Insert(DbObject(c, "PARA")).ok());
+  auto extent = store.DirectExtent("PARA");
+  ASSERT_EQ(extent.size(), 2u);
+  EXPECT_EQ(extent[0], a);
+  EXPECT_EQ(extent[1], c);
+  EXPECT_EQ(store.DirectExtentSize("SECTION"), 1u);
+  EXPECT_EQ(store.DirectExtentSize("NONE"), 0u);
+
+  ASSERT_TRUE(store.Remove(a).ok());
+  EXPECT_EQ(store.DirectExtentSize("PARA"), 1u);
+}
+
+TEST(ObjectStoreTest, WatermarkBumpOnInsert) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Insert(DbObject(Oid(100), "A")).ok());
+  Oid next = store.AllocateOid();
+  EXPECT_GT(next.raw(), 100u);
+}
+
+TEST(ObjectStoreTest, ForEachOidOrder) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Insert(DbObject(Oid(5), "A")).ok());
+  ASSERT_TRUE(store.Insert(DbObject(Oid(2), "A")).ok());
+  ASSERT_TRUE(store.Insert(DbObject(Oid(9), "A")).ok());
+  std::vector<uint64_t> seen;
+  store.ForEach([&](const DbObject& o) { seen.push_back(o.oid().raw()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 2u);
+  EXPECT_EQ(seen[1], 5u);
+  EXPECT_EQ(seen[2], 9u);
+}
+
+TEST(ObjectStoreTest, Clear) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Insert(DbObject(store.AllocateOid(), "A")).ok());
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.next_oid(), 1u);
+}
+
+TEST(DbObjectTest, GetMissingAttr) {
+  DbObject obj(Oid(1), "A");
+  EXPECT_FALSE(obj.Get("x").ok());
+  obj.Set("x", Value(1));
+  EXPECT_TRUE(obj.Get("x").ok());
+  obj.Unset("x");
+  EXPECT_FALSE(obj.Has("x"));
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,123 @@
+#include "irs/analysis/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::irs {
+namespace {
+
+struct Case {
+  const char* in;
+  const char* out;
+};
+
+// Reference pairs from Porter's published vocabulary/output lists.
+TEST(PorterTest, Step1aPlurals) {
+  const Case cases[] = {
+      {"caresses", "caress"}, {"ponies", "poni"}, {"ties", "ti"},
+      {"caress", "caress"},   {"cats", "cat"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, Step1bEdIng) {
+  const Case cases[] = {
+      {"feed", "feed"},        {"agreed", "agre"},   {"plastered", "plaster"},
+      {"bled", "bled"},        {"motoring", "motor"}, {"sing", "sing"},
+      {"conflated", "conflat"},{"troubled", "troubl"},{"sized", "size"},
+      {"hopping", "hop"},      {"tanned", "tan"},    {"falling", "fall"},
+      {"hissing", "hiss"},     {"fizzed", "fizz"},   {"failing", "fail"},
+      {"filing", "file"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, Step1cYToI) {
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("sky"), "sky");
+}
+
+TEST(PorterTest, Step2DoubleSuffixes) {
+  const Case cases[] = {
+      {"relational", "relat"},     {"conditional", "condit"},
+      {"rational", "ration"},      {"valenci", "valenc"},
+      {"hesitanci", "hesit"},      {"digitizer", "digit"},
+      {"conformabli", "conform"},  {"radicalli", "radic"},
+      {"differentli", "differ"},   {"vileli", "vile"},
+      {"analogousli", "analog"},   {"vietnamization", "vietnam"},
+      {"predication", "predic"},   {"operator", "oper"},
+      {"feudalism", "feudal"},     {"decisiveness", "decis"},
+      {"hopefulness", "hope"},     {"callousness", "callous"},
+      {"formaliti", "formal"},     {"sensitiviti", "sensit"},
+      {"sensibiliti", "sensibl"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, Step3) {
+  const Case cases[] = {
+      {"triplicate", "triplic"}, {"formative", "form"},
+      {"formalize", "formal"},   {"electriciti", "electr"},
+      {"electrical", "electr"},  {"hopeful", "hope"},
+      {"goodness", "good"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, Step4SingleSuffixes) {
+  const Case cases[] = {
+      {"revival", "reviv"},       {"allowance", "allow"},
+      {"inference", "infer"},     {"airliner", "airlin"},
+      {"gyroscopic", "gyroscop"}, {"adjustable", "adjust"},
+      {"defensible", "defens"},   {"irritant", "irrit"},
+      {"replacement", "replac"},  {"adjustment", "adjust"},
+      {"dependent", "depend"},    {"adoption", "adopt"},
+      {"homologou", "homolog"},   {"communism", "commun"},
+      {"activate", "activ"},      {"angulariti", "angular"},
+      {"homologous", "homolog"},  {"effective", "effect"},
+      {"bowdlerize", "bowdler"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, Step5) {
+  const Case cases[] = {
+      {"probate", "probat"}, {"rate", "rate"},   {"cease", "ceas"},
+      {"controll", "control"}, {"roll", "roll"},
+  };
+  for (const Case& c : cases) EXPECT_EQ(PorterStem(c.in), c.out) << c.in;
+}
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("by"), "by");
+}
+
+TEST(PorterTest, NonAlphaUnchanged) {
+  EXPECT_EQ(PorterStem("1994"), "1994");
+  EXPECT_EQ(PorterStem("www2"), "www2");
+}
+
+TEST(PorterTest, IdempotentOnCommonVocabulary) {
+  // Stemming a stem must not change it for these everyday cases.
+  // (Stems ending in 's' like "databas" are deliberately excluded:
+  // Porter is not idempotent there, step 1a re-strips the 's'.)
+  const char* words[] = {"document", "retriev",  "system",
+                         "inform",   "structur", "object"};
+  for (const char* w : words) {
+    EXPECT_EQ(PorterStem(w), w) << w;
+  }
+}
+
+TEST(PorterTest, IrVocabulary) {
+  // The domain words our corpora use most.
+  EXPECT_EQ(PorterStem("documents"), "document");
+  EXPECT_EQ(PorterStem("retrieval"), "retriev");
+  EXPECT_EQ(PorterStem("queries"), "queri");
+  EXPECT_EQ(PorterStem("databases"), "databas");
+  EXPECT_EQ(PorterStem("indexing"), "index");
+  EXPECT_EQ(PorterStem("hypermedia"), "hypermedia");
+}
+
+}  // namespace
+}  // namespace sdms::irs

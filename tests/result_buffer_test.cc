@@ -1,0 +1,89 @@
+#include "coupling/result_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::coupling {
+namespace {
+
+TEST(ResultBufferTest, MissThenHit) {
+  ResultBuffer buf;
+  EXPECT_EQ(buf.Get("q"), nullptr);
+  EXPECT_EQ(buf.misses(), 1u);
+  buf.Put("q", {{Oid(1), 0.5}});
+  const OidScoreMap* r = buf.Get("q");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(buf.hits(), 1u);
+  EXPECT_DOUBLE_EQ(r->at(Oid(1)), 0.5);
+}
+
+TEST(ResultBufferTest, PutReplaces) {
+  ResultBuffer buf;
+  buf.Put("q", {{Oid(1), 0.5}});
+  buf.Put("q", {{Oid(2), 0.7}});
+  const OidScoreMap* r = buf.Get("q");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->count(Oid(2)), 1u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(ResultBufferTest, InsertValueAugments) {
+  ResultBuffer buf;
+  buf.Put("q", {{Oid(1), 0.5}});
+  buf.InsertValue("q", Oid(9), 0.3);
+  const OidScoreMap* r = buf.Get("q");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->at(Oid(9)), 0.3);
+  // InsertValue on a missing query creates the entry.
+  buf.InsertValue("fresh", Oid(2), 0.1);
+  EXPECT_NE(buf.Get("fresh"), nullptr);
+}
+
+TEST(ResultBufferTest, ClearAndErase) {
+  ResultBuffer buf;
+  buf.Put("a", {{Oid(1), 1.0}});
+  buf.Put("b", {{Oid(2), 1.0}});
+  buf.Erase("a");
+  EXPECT_EQ(buf.Get("a"), nullptr);
+  EXPECT_NE(buf.Get("b"), nullptr);
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.Get("b"), nullptr);
+}
+
+TEST(ResultBufferTest, LruEviction) {
+  ResultBuffer buf(2);
+  buf.Put("a", {{Oid(1), 1.0}});
+  buf.Put("b", {{Oid(2), 1.0}});
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(buf.Get("a"), nullptr);
+  buf.Put("c", {{Oid(3), 1.0}});
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_NE(buf.Get("a"), nullptr);
+  EXPECT_EQ(buf.Get("b"), nullptr);  // evicted
+  EXPECT_NE(buf.Get("c"), nullptr);
+}
+
+TEST(ResultBufferTest, PersistRoundTrip) {
+  ResultBuffer buf;
+  buf.Put("#and(www nii)", {{Oid(1), 0.62}, {Oid(2), 0.41}});
+  buf.Put("telnet", {{Oid(7), 0.9}});
+  std::string blob = buf.Serialize();
+
+  ResultBuffer restored;
+  ASSERT_TRUE(restored.Restore(blob).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  const OidScoreMap* r = restored.Get("#and(www nii)");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->at(Oid(1)), 0.62);
+  EXPECT_DOUBLE_EQ(r->at(Oid(2)), 0.41);
+}
+
+TEST(ResultBufferTest, RestoreGarbageFails) {
+  ResultBuffer buf;
+  EXPECT_FALSE(buf.Restore("xx").ok());
+}
+
+}  // namespace
+}  // namespace sdms::coupling

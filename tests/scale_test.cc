@@ -1,0 +1,151 @@
+// End-to-end scale & durability smoke: a larger corpus flows through
+// store -> index -> query -> checkpoint -> crash-recover -> query, and
+// the EXPLAIN output documents the plans used.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "coupling/coupling.h"
+#include "irs/engine.h"
+#include "oodb/builtins.h"
+#include "oodb/database.h"
+#include "sgml/corpus/generator.h"
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::coupling {
+namespace {
+
+class ScaleTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/sdms_scale_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ScaleTest, FiveHundredDocumentsEndToEnd) {
+  sgml::CorpusOptions copts;
+  copts.num_docs = 500;
+  copts.seed = 77;
+  sgml::Corpus corpus = sgml::CorpusGenerator(copts).Generate();
+
+  size_t object_count = 0;
+  size_t para_count = 0;
+  size_t www_rows = 0;
+  {
+    auto db = oodb::Database::Open({dir_, false});
+    ASSERT_TRUE(db.ok());
+    irs::IrsEngine irs_engine;
+    Coupling coupling(db->get(), &irs_engine);
+    ASSERT_TRUE(coupling.Initialize().ok());
+    auto dtd = sgml::LoadMmfDtd();
+    ASSERT_TRUE(dtd.ok());
+    ASSERT_TRUE(coupling.RegisterDtdClasses(*dtd).ok());
+    for (const sgml::Document& doc : corpus.documents) {
+      ASSERT_TRUE(coupling.StoreDocument(doc).ok());
+    }
+    object_count = db.value()->store().size();
+    para_count = db.value()->Extent("PARA").size();
+    EXPECT_GT(object_count, 5000u);
+    EXPECT_EQ(para_count, corpus.TotalParagraphs());
+
+    auto coll = coupling.CreateCollection("paras", "inquery");
+    ASSERT_TRUE(coll.ok());
+    ASSERT_TRUE((*coll)
+                    ->IndexObjects("ACCESS p FROM p IN PARA",
+                                   kTextModeSubtree)
+                    .ok());
+    EXPECT_EQ((*coll)->represented_count(), para_count);
+
+    // Index + EXPLAIN sanity.
+    ASSERT_TRUE(db.value()->CreateIndex("MMFDOC", "YEAR").ok());
+    auto plan = coupling.query_engine().Explain(
+        "ACCESS d FROM d IN MMFDOC WHERE d.YEAR >= 1994");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_NE(plan->find("index/injected candidates"), std::string::npos)
+        << *plan;
+
+    auto rows = coupling.query_engine().Run(
+        "ACCESS p FROM p IN PARA "
+        "WHERE p -> getIRSValue('paras', 'www') > 0.45");
+    ASSERT_TRUE(rows.ok());
+    www_rows = rows->rows.size();
+    EXPECT_GT(www_rows, 0u);
+    // One IRS call for the whole sweep.
+    EXPECT_EQ((*coll)->stats().irs_queries, 1u);
+
+    ASSERT_TRUE(db.value()->Checkpoint().ok());
+    ASSERT_TRUE(irs_engine.SaveTo(dir_ + "/irs").ok());
+    // "Crash": leave scope without any further shutdown.
+  }
+  {
+    auto db = oodb::Database::Open({dir_, false});
+    ASSERT_TRUE(db.ok());
+    irs::IrsEngine irs_engine;
+    ASSERT_TRUE(irs_engine.LoadFrom(dir_ + "/irs").ok());
+    Coupling coupling(db->get(), &irs_engine);
+    ASSERT_TRUE(coupling.Initialize().ok());
+    auto dtd = sgml::LoadMmfDtd();
+    ASSERT_TRUE(dtd.ok());
+    ASSERT_TRUE(coupling.RegisterDtdClasses(*dtd).ok());
+
+    // +1: the persisted COLLECTION database object from session 1.
+    EXPECT_EQ(db.value()->store().size(), object_count + 1);
+    EXPECT_EQ(db.value()->Extent("PARA").size(), para_count);
+    auto restored = irs_engine.GetCollection("paras");
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->index().doc_count(), para_count);
+    EXPECT_EQ((*restored)->index().CheckInvariants(), "");
+
+    // The recovered IRS index answers identically.
+    auto hits = (*restored)->Search("www");
+    ASSERT_TRUE(hits.ok());
+    size_t above = 0;
+    for (const auto& h : *hits) {
+      if (h.score > 0.45) ++above;
+    }
+    EXPECT_EQ(above, www_rows);
+  }
+}
+
+TEST_F(ScaleTest, ManySmallTransactionsRecover) {
+  std::vector<Oid> oids;
+  {
+    auto db = oodb::Database::Open({dir_, false});
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(oodb::RegisterBuiltins(**db).ok());
+    oodb::ClassDef item;
+    item.name = "ITEM";
+    item.super = oodb::kObjectClass;
+    item.attributes = {{"N", oodb::ValueType::kInt, oodb::Value()}};
+    ASSERT_TRUE((*db)->schema().DefineClass(std::move(item)).ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto oid = (*db)->CreateObject("ITEM");
+      ASSERT_TRUE(oid.ok());
+      ASSERT_TRUE((*db)->SetAttribute(*oid, "N", oodb::Value(i)).ok());
+      oids.push_back(*oid);
+    }
+    // Delete every third object.
+    for (size_t i = 0; i < oids.size(); i += 3) {
+      ASSERT_TRUE((*db)->DeleteObject(oids[i]).ok());
+    }
+  }
+  {
+    auto db = oodb::Database::Open({dir_, false});
+    ASSERT_TRUE(db.ok());
+    size_t expected_alive = 1000 - (1000 + 2) / 3;
+    EXPECT_EQ((*db)->store().size(), expected_alive);
+    // Spot-check attribute values.
+    auto n = (*db)->GetObject(oids[1]);
+    ASSERT_TRUE(n.ok());
+    EXPECT_TRUE((*n)->GetOr("N", oodb::Value()).Equals(oodb::Value(1)));
+    EXPECT_FALSE((*db)->GetObject(oids[0]).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sdms::coupling

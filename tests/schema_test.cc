@@ -1,0 +1,110 @@
+#include "oodb/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::oodb {
+namespace {
+
+ClassDef Cls(std::string name, std::string super = "",
+             std::vector<AttributeDef> attrs = {}) {
+  ClassDef def;
+  def.name = std::move(name);
+  def.super = std::move(super);
+  def.attributes = std::move(attrs);
+  return def;
+}
+
+TEST(SchemaTest, DefineAndGet) {
+  Schema s;
+  ASSERT_TRUE(s.DefineClass(Cls("Object")).ok());
+  ASSERT_TRUE(s.HasClass("Object"));
+  auto cd = s.GetClass("Object");
+  ASSERT_TRUE(cd.ok());
+  EXPECT_EQ((*cd)->name, "Object");
+  EXPECT_FALSE(s.GetClass("Nope").ok());
+}
+
+TEST(SchemaTest, DuplicateClassRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DefineClass(Cls("A")).ok());
+  EXPECT_FALSE(s.DefineClass(Cls("A")).ok());
+}
+
+TEST(SchemaTest, UnknownSuperclassRejected) {
+  Schema s;
+  EXPECT_FALSE(s.DefineClass(Cls("B", "Missing")).ok());
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  Schema s;
+  EXPECT_FALSE(s.DefineClass(Cls("")).ok());
+}
+
+TEST(SchemaTest, IsSubclassOf) {
+  Schema s;
+  ASSERT_TRUE(s.DefineClass(Cls("Object")).ok());
+  ASSERT_TRUE(s.DefineClass(Cls("IRSObject", "Object")).ok());
+  ASSERT_TRUE(s.DefineClass(Cls("PARA", "IRSObject")).ok());
+  EXPECT_TRUE(s.IsSubclassOf("PARA", "PARA"));
+  EXPECT_TRUE(s.IsSubclassOf("PARA", "IRSObject"));
+  EXPECT_TRUE(s.IsSubclassOf("PARA", "Object"));
+  EXPECT_FALSE(s.IsSubclassOf("Object", "PARA"));
+  EXPECT_FALSE(s.IsSubclassOf("Nope", "Object"));
+}
+
+TEST(SchemaTest, InheritedAttributes) {
+  Schema s;
+  ASSERT_TRUE(s.DefineClass(
+                   Cls("Base", "", {AttributeDef{"x", ValueType::kInt, Value()}}))
+                  .ok());
+  ASSERT_TRUE(
+      s.DefineClass(
+           Cls("Derived", "Base",
+               {AttributeDef{"y", ValueType::kString, Value()}}))
+          .ok());
+  auto attrs = s.AllAttributes("Derived");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 2u);
+  EXPECT_EQ((*attrs)[0].name, "x");  // Inherited first.
+  EXPECT_EQ((*attrs)[1].name, "y");
+
+  auto x = s.FindAttribute("Derived", "x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ((*x)->type, ValueType::kInt);
+  EXPECT_FALSE(s.FindAttribute("Base", "y").ok());
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  Schema s;
+  EXPECT_FALSE(s.DefineClass(Cls("A", "",
+                                 {AttributeDef{"x", ValueType::kInt, Value()},
+                                  AttributeDef{"x", ValueType::kInt, Value()}}))
+                   .ok());
+}
+
+TEST(SchemaTest, ShadowingInheritedAttributeRejected) {
+  Schema s;
+  ASSERT_TRUE(
+      s.DefineClass(Cls("A", "", {AttributeDef{"x", ValueType::kInt, Value()}}))
+          .ok());
+  EXPECT_FALSE(
+      s.DefineClass(
+           Cls("B", "A", {AttributeDef{"x", ValueType::kString, Value()}}))
+          .ok());
+}
+
+TEST(SchemaTest, SubclassesOf) {
+  Schema s;
+  ASSERT_TRUE(s.DefineClass(Cls("Object")).ok());
+  ASSERT_TRUE(s.DefineClass(Cls("A", "Object")).ok());
+  ASSERT_TRUE(s.DefineClass(Cls("B", "A")).ok());
+  ASSERT_TRUE(s.DefineClass(Cls("C", "Object")).ok());
+  auto subs = s.SubclassesOf("A");
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0], "A");
+  EXPECT_EQ(subs[1], "B");
+  EXPECT_EQ(s.SubclassesOf("Object").size(), 4u);
+}
+
+}  // namespace
+}  // namespace sdms::oodb

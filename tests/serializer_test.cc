@@ -1,0 +1,118 @@
+#include "oodb/storage/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace sdms::oodb {
+namespace {
+
+TEST(SerializerTest, VarintRoundTrip) {
+  Encoder enc;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) enc.PutU64(v);
+  Decoder dec(enc.data());
+  for (uint64_t v : values) {
+    auto got = dec.GetU64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(SerializerTest, SignedRoundTrip) {
+  Encoder enc;
+  std::vector<int64_t> values = {0, 1, -1, 63, -64, 1000000, -1000000,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) enc.PutI64(v);
+  Decoder dec(enc.data());
+  for (int64_t v : values) {
+    auto got = dec.GetI64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerializerTest, DoubleRoundTrip) {
+  Encoder enc;
+  std::vector<double> values = {0.0, 1.5, -2.25, 1e300, -1e-300};
+  for (double v : values) enc.PutDouble(v);
+  Decoder dec(enc.data());
+  for (double v : values) {
+    auto got = dec.GetDouble();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerializerTest, StringRoundTrip) {
+  Encoder enc;
+  enc.PutString("");
+  enc.PutString("hello");
+  enc.PutString(std::string("bin\0ary", 7));
+  Decoder dec(enc.data());
+  EXPECT_EQ(*dec.GetString(), "");
+  EXPECT_EQ(*dec.GetString(), "hello");
+  EXPECT_EQ(*dec.GetString(), std::string("bin\0ary", 7));
+}
+
+TEST(SerializerTest, ValueRoundTripAllTypes) {
+  ValueList list = {Value(1), Value("x"), Value(Oid(3))};
+  ValueDict dict = {{"a", Value(1.5)}, {"b", Value(ValueList{Value(true)})}};
+  std::vector<Value> values = {
+      Value(),       Value(true),    Value(false),       Value(42),
+      Value(-7),     Value(3.125),   Value("text here"), Value(Oid(99)),
+      Value(list),   Value(dict),
+  };
+  Encoder enc;
+  for (const Value& v : values) enc.PutValue(v);
+  Decoder dec(enc.data());
+  for (const Value& v : values) {
+    auto got = dec.GetValue();
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->Equals(v)) << "expected " << v.ToString() << " got "
+                                << got->ToString();
+  }
+}
+
+TEST(SerializerTest, ObjectRoundTrip) {
+  DbObject obj(Oid(17), "PARA");
+  obj.Set("TEXT", Value("telnet is a protocol"));
+  obj.Set("ORD", Value(3));
+  obj.Set("PARENT", Value(Oid(5)));
+  Encoder enc;
+  enc.PutObject(obj);
+  Decoder dec(enc.data());
+  auto got = dec.GetObject();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->oid(), Oid(17));
+  EXPECT_EQ(got->class_name(), "PARA");
+  EXPECT_TRUE(got->GetOr("TEXT", Value()).Equals(Value("telnet is a protocol")));
+  EXPECT_TRUE(got->GetOr("ORD", Value()).Equals(Value(3)));
+}
+
+TEST(SerializerTest, TruncatedDataFails) {
+  Encoder enc;
+  enc.PutString("hello world");
+  std::string data = enc.Release();
+  Decoder dec(std::string_view(data).substr(0, 4));
+  EXPECT_FALSE(dec.GetString().ok());
+}
+
+TEST(SerializerTest, BadTagFails) {
+  std::string data = "\xff";
+  Decoder dec(data);
+  EXPECT_FALSE(dec.GetValue().ok());
+}
+
+TEST(Crc32Test, KnownValues) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,188 @@
+#include "sgml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sdms::sgml {
+namespace {
+
+TEST(SgmlParserTest, PaperFragment) {
+  // The MMF fragment from Section 4.3 of the paper.
+  auto doc = ParseSgml(
+      "<MMFDOC>\n"
+      "<LOGBOOK>log</LOGBOOK>\n"
+      "<DOCTITLE>Telnet</DOCTITLE>\n"
+      "<ABSTRACT></ABSTRACT>\n"
+      "<PARA>Telnet is a protocol for remote access</PARA>\n"
+      "<PARA>Telnet enables terminal sessions</PARA>\n"
+      "</MMFDOC>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->gi(), "MMFDOC");
+  auto children = doc->root->ChildElements();
+  ASSERT_EQ(children.size(), 5u);
+  EXPECT_EQ(children[1]->gi(), "DOCTITLE");
+  EXPECT_EQ(children[1]->SubtreeText(), "Telnet");
+  EXPECT_EQ(children[2]->SubtreeText(), "");
+
+  std::vector<const ElementNode*> paras;
+  doc->root->FindAll("PARA", false, paras);
+  ASSERT_EQ(paras.size(), 2u);
+  EXPECT_EQ(paras[0]->DirectText(), "Telnet is a protocol for remote access");
+}
+
+TEST(SgmlParserTest, Attributes) {
+  auto doc = ParseSgml(
+      "<MMFDOC YEAR=\"1994\" CATEGORY='travel' DOCID=abc></MMFDOC>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->GetAttribute("YEAR"), "1994");
+  EXPECT_EQ(*doc->root->GetAttribute("CATEGORY"), "travel");
+  EXPECT_EQ(*doc->root->GetAttribute("DOCID"), "abc");
+  EXPECT_FALSE(doc->root->GetAttribute("NOPE").ok());
+}
+
+TEST(SgmlParserTest, NestedStructure) {
+  auto doc = ParseSgml(
+      "<A><B><C>deep</C></B><B>two</B></A>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->SubtreeElementCount(), 4u);
+  EXPECT_EQ(doc->root->SubtreeText(), "deep two");
+}
+
+TEST(SgmlParserTest, DoctypePreamble) {
+  auto doc = ParseSgml(
+      "<!DOCTYPE MMFDOC SYSTEM \"mmf.dtd\">\n<MMFDOC></MMFDOC>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->doctype, "MMFDOC");
+}
+
+TEST(SgmlParserTest, CommentsIgnored) {
+  auto doc = ParseSgml("<!-- head --><A>x<!-- inner -->y</A><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->SubtreeText(), "xy");
+}
+
+TEST(SgmlParserTest, Entities) {
+  auto doc = ParseSgml("<A>a &amp; b &lt;c&gt;</A>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->DirectText(), "a & b <c>");
+}
+
+TEST(SgmlParserTest, CaseInsensitiveTags) {
+  auto doc = ParseSgml("<para>Text</PARA>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->gi(), "PARA");
+}
+
+TEST(SgmlParserTest, EmptyElementSyntax) {
+  auto doc = ParseSgml("<A><IMG SRC=\"x\"/>after</A>");
+  ASSERT_TRUE(doc.ok());
+  auto children = doc->root->ChildElements();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0]->gi(), "IMG");
+  EXPECT_EQ(doc->root->DirectText(), "after");
+}
+
+TEST(SgmlParserTest, MismatchedEndTagFails) {
+  EXPECT_FALSE(ParseSgml("<A><B>x</A></B>").ok());
+}
+
+TEST(SgmlParserTest, MissingEndTagFails) {
+  EXPECT_FALSE(ParseSgml("<A><B>x</B>").ok());
+}
+
+TEST(SgmlParserTest, TrailingContentFails) {
+  EXPECT_FALSE(ParseSgml("<A></A><B></B>").ok());
+}
+
+TEST(SgmlParserTest, NoRootFails) {
+  EXPECT_FALSE(ParseSgml("just text").ok());
+  EXPECT_FALSE(ParseSgml("").ok());
+}
+
+TEST(SgmlParserTest, RoundTripThroughToSgml) {
+  auto doc = ParseSgml(
+      "<MMFDOC YEAR=\"1994\"><DOCTITLE>T &amp; A</DOCTITLE>"
+      "<PARA>body text</PARA></MMFDOC>");
+  ASSERT_TRUE(doc.ok());
+  std::string rendered = doc->root->ToSgml();
+  auto doc2 = ParseSgml(rendered);
+  ASSERT_TRUE(doc2.ok()) << rendered;
+  EXPECT_EQ(doc2->root->SubtreeText(), doc->root->SubtreeText());
+  EXPECT_EQ(*doc2->root->GetAttribute("YEAR"), "1994");
+}
+
+TEST(ElementNodeTest, BuildProgrammatically) {
+  ElementNode root("MMFDOC");
+  ElementNode* para = root.AddElement("PARA");
+  para->AddText("hello world");
+  root.AddText("tail");
+  EXPECT_EQ(root.SubtreeText(), "hello world tail");
+  EXPECT_EQ(root.DirectText(), "tail");
+  EXPECT_EQ(root.SubtreeElementCount(), 2u);
+}
+
+TEST(EscapeSgmlTest, Escapes) {
+  EXPECT_EQ(EscapeSgml("a<b>&c"), "a&lt;b&gt;&amp;c");
+}
+
+// Property test: random element trees survive ToSgml -> ParseSgml with
+// structure, attributes and text intact.
+class SgmlRoundTripTest : public testing::TestWithParam<uint64_t> {};
+
+namespace detail {
+
+void BuildRandomTree(sdms::Rng& rng, ElementNode* node, int depth,
+                     int* budget) {
+  int children = depth >= 4 ? 0 : static_cast<int>(rng.Uniform(4));
+  bool last_was_text = false;
+  for (int i = 0; i < children && *budget > 0; ++i) {
+    --*budget;
+    // Adjacent text nodes merge on reparse, so never emit two in a row.
+    if (!last_was_text && rng.Bernoulli(0.4)) {
+      node->AddText("text & <" + std::to_string(rng.Uniform(1000)) + ">");
+      last_was_text = true;
+    } else {
+      last_was_text = false;
+      ElementNode* child =
+          node->AddElement("E" + std::to_string(rng.Uniform(8)));
+      if (rng.Bernoulli(0.5)) {
+        child->SetAttribute("A" + std::to_string(rng.Uniform(3)),
+                            "v&" + std::to_string(rng.Uniform(100)));
+      }
+      BuildRandomTree(rng, child, depth + 1, budget);
+    }
+  }
+}
+
+void ExpectSameTree(const ElementNode& a, const ElementNode& b) {
+  ASSERT_EQ(a.gi(), b.gi());
+  EXPECT_EQ(a.attributes(), b.attributes());
+  EXPECT_EQ(a.SubtreeText(), b.SubtreeText());
+  auto ca = a.ChildElements();
+  auto cb = b.ChildElements();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) ExpectSameTree(*ca[i], *cb[i]);
+}
+
+}  // namespace detail
+
+TEST_P(SgmlRoundTripTest, RandomTreesRoundTrip) {
+  sdms::Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    ElementNode root("ROOT");
+    int budget = 60;
+    detail::BuildRandomTree(rng, &root, 0, &budget);
+    std::string rendered = root.ToSgml();
+    auto parsed = ParseSgml(rendered);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n"
+                             << rendered;
+    detail::ExpectSameTree(root, *parsed->root);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SgmlRoundTripTest,
+                         testing::Values(3, 1234, 777777));
+
+}  // namespace
+}  // namespace sdms::sgml

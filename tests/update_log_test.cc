@@ -1,0 +1,97 @@
+#include "coupling/update_log.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::coupling {
+namespace {
+
+using oodb::UpdateKind;
+
+TEST(UpdateLogTest, RecordsNetOps) {
+  UpdateLog log;
+  log.Record(UpdateKind::kInsert, Oid(1));
+  log.Record(UpdateKind::kModify, Oid(2));
+  log.Record(UpdateKind::kDelete, Oid(3));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log.Has(Oid(1)));
+  auto ops = log.Drain();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(ops[1].kind, UpdateKind::kModify);
+  EXPECT_EQ(ops[2].kind, UpdateKind::kDelete);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UpdateLogTest, InsertDeleteCancels) {
+  // The paper's example: "deletion of a text object that has just been
+  // generated" must not reach the IRS at all.
+  UpdateLog log;
+  log.Record(UpdateKind::kInsert, Oid(1));
+  log.Record(UpdateKind::kDelete, Oid(1));
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.cancelled(), 2u);
+}
+
+TEST(UpdateLogTest, InsertModifyStaysInsert) {
+  UpdateLog log;
+  log.Record(UpdateKind::kInsert, Oid(1));
+  log.Record(UpdateKind::kModify, Oid(1));
+  log.Record(UpdateKind::kModify, Oid(1));
+  auto ops = log.Drain();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(log.cancelled(), 2u);
+}
+
+TEST(UpdateLogTest, ModifyModifyCollapses) {
+  UpdateLog log;
+  log.Record(UpdateKind::kModify, Oid(1));
+  log.Record(UpdateKind::kModify, Oid(1));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.cancelled(), 1u);
+}
+
+TEST(UpdateLogTest, ModifyDeleteBecomesDelete) {
+  UpdateLog log;
+  log.Record(UpdateKind::kModify, Oid(1));
+  log.Record(UpdateKind::kDelete, Oid(1));
+  auto ops = log.Drain();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, UpdateKind::kDelete);
+}
+
+TEST(UpdateLogTest, DeleteInsertBecomesModify) {
+  UpdateLog log;
+  log.Record(UpdateKind::kDelete, Oid(1));
+  log.Record(UpdateKind::kInsert, Oid(1));
+  auto ops = log.Drain();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, UpdateKind::kModify);
+}
+
+TEST(UpdateLogTest, DrainPreservesFirstTouchOrder) {
+  UpdateLog log;
+  log.Record(UpdateKind::kModify, Oid(5));
+  log.Record(UpdateKind::kModify, Oid(2));
+  log.Record(UpdateKind::kModify, Oid(5));  // does not reorder
+  log.Record(UpdateKind::kModify, Oid(9));
+  auto ops = log.Drain();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].oid, Oid(5));
+  EXPECT_EQ(ops[1].oid, Oid(2));
+  EXPECT_EQ(ops[2].oid, Oid(9));
+}
+
+TEST(UpdateLogTest, CountersSurviveDrain) {
+  UpdateLog log;
+  log.Record(UpdateKind::kInsert, Oid(1));
+  log.Record(UpdateKind::kDelete, Oid(1));
+  (void)log.Drain();
+  log.Record(UpdateKind::kModify, Oid(2));
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.cancelled(), 2u);
+}
+
+}  // namespace
+}  // namespace sdms::coupling

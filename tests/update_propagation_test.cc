@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "coupling_test_util.h"
+
+namespace sdms::coupling {
+namespace {
+
+using testutil::MakeFigure4System;
+
+/// Adds a new www-bearing paragraph to document `root`; returns its OID.
+Oid AddParagraph(testutil::CoupledSystem& sys, Oid root,
+                 const std::string& text) {
+  oodb::Database& db = *sys.db;
+  oodb::TxnId txn = db.Begin();
+  Oid para = *db.CreateObject("PARA", txn);
+  EXPECT_TRUE(db.SetAttribute(para, "GI", oodb::Value("PARA"), txn).ok());
+  EXPECT_TRUE(db.SetAttribute(para, "TEXT", oodb::Value(text), txn).ok());
+  EXPECT_TRUE(db.SetAttribute(para, "PARENT", oodb::Value(root), txn).ok());
+  EXPECT_TRUE(
+      db.SetAttribute(para, "CHILDREN", oodb::Value(oodb::ValueList{}), txn)
+          .ok());
+  auto children = db.GetAttribute(root, "CHILDREN");
+  EXPECT_TRUE(children.ok());
+  oodb::ValueList list = children->as_list();
+  list.push_back(oodb::Value(para));
+  EXPECT_TRUE(
+      db.SetAttribute(root, "CHILDREN", oodb::Value(std::move(list)), txn)
+          .ok());
+  EXPECT_TRUE(db.Commit(txn).ok());
+  return para;
+}
+
+TEST(UpdatePropagationTest, OnQueryPolicyDefersUntilQuery) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kOnQuery);
+
+  Oid fresh = AddParagraph(*sys, sys->roots[0], "zebra topic paragraph");
+  EXPECT_GT(coll->pending_updates(), 0u);
+  EXPECT_FALSE(coll->Represents(fresh));
+
+  // The query enforces propagation first (Section 4.6).
+  auto result = coll->GetIrsResult("zebra");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(coll->Represents(fresh));
+  EXPECT_EQ(coll->pending_updates(), 0u);
+  EXPECT_EQ((*result)->count(fresh), 1u);
+}
+
+TEST(UpdatePropagationTest, EagerPolicyIndexesImmediately) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kEager);
+
+  Oid fresh = AddParagraph(*sys, sys->roots[0], "yonder topic paragraph");
+  EXPECT_TRUE(coll->Represents(fresh));
+  EXPECT_EQ(coll->pending_updates(), 0u);
+}
+
+TEST(UpdatePropagationTest, ManualPolicyServesStaleResults) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kManual);
+
+  Oid fresh = AddParagraph(*sys, sys->roots[0], "quokka topic paragraph");
+  auto result = coll->GetIrsResult("quokka");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(fresh), 0u);  // Stale: not propagated.
+  EXPECT_GT(coll->pending_updates(), 0u);
+
+  // Explicit propagation (e.g. in a low-load period) catches up.
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  result = coll->GetIrsResult("quokka");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(fresh), 1u);
+}
+
+TEST(UpdatePropagationTest, ModifyReindexesText) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("xylophone solo")).ok());
+  auto result = coll->GetIrsResult("xylophone");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(para), 1u);
+  EXPECT_GT(coll->stats().reindex_ops, 0u);
+}
+
+TEST(UpdatePropagationTest, DeleteRemovesFromIrs) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  // P1 carries www.
+  auto www_before = coll->GetIrsResult("www");
+  ASSERT_TRUE(www_before.ok());
+  size_t before = (*www_before)->size();
+  ASSERT_GT(before, 0u);
+  Oid victim = www_before.value()->begin()->first;
+
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(victim).ok());
+  auto www_after = coll->GetIrsResult("www");
+  ASSERT_TRUE(www_after.ok());
+  EXPECT_EQ((*www_after)->size(), before - 1);
+  EXPECT_FALSE(coll->Represents(victim));
+}
+
+TEST(UpdatePropagationTest, InsertThenDeleteCancelsOut) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kOnQuery);
+
+  Oid fresh = AddParagraph(*sys, sys->roots[0], "ephemeral content");
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(fresh).ok());
+  // The net update log holds only the root-document modifies (ancestor
+  // text changes), not the insert/delete pair.
+  EXPECT_FALSE(coll->update_log().Has(fresh));
+  uint64_t reindex_before = coll->stats().reindex_ops;
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  // The fresh paragraph never reached the IRS.
+  EXPECT_FALSE(coll->Represents(fresh));
+  auto result = coll->GetIrsResult("ephemeral");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->empty());
+  EXPECT_EQ(coll->stats().reindex_ops, reindex_before);
+}
+
+TEST(UpdatePropagationTest, AncestorCollectionsSeeDescendantEdits) {
+  auto sys = MakeFigure4System();
+  // Add a document-level collection too.
+  auto docs = sys->coupling->CreateCollection("docs", "inquery");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_TRUE(
+      (*docs)
+          ->IndexObjects("ACCESS d FROM d IN MMFDOC", kTextModeSubtree)
+          .ok());
+
+  // Edit a paragraph of M1: the MMFDOC's subtree text changes too.
+  auto paras = sys->coupling->ChildrenOf(sys->roots[0]);
+  ASSERT_TRUE(paras.ok());
+  Oid p1 = (*paras)[1];
+  ASSERT_TRUE(
+      sys->db->SetAttribute(p1, "TEXT", oodb::Value("wombat research")).ok());
+
+  auto hits = (*docs)->GetIrsResult("wombat");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)->count(sys->roots[0]), 1u);
+}
+
+TEST(UpdatePropagationTest, PropagationInvalidatesBuffer) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  ASSERT_TRUE(coll->GetIrsResult("www").ok());
+  EXPECT_GT(coll->buffer().size(), 0u);
+
+  Oid para = *coll->represented().begin();
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("fresh www text"))
+          .ok());
+  // Next query propagates and must not reuse the stale buffer.
+  auto result = coll->GetIrsResult("www");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(para), 1u);
+}
+
+TEST(UpdatePropagationTest, SpecFilterRespectedOnInsert) {
+  auto sys = MakeFigure4System();
+  // Collection of paragraphs longer than 100 tokens: nothing initially.
+  auto big = sys->coupling->CreateCollection("big_paras", "inquery");
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE((*big)
+                  ->IndexObjects(
+                      "ACCESS p FROM p IN PARA WHERE p -> length() > 100",
+                      kTextModeSubtree)
+                  .ok());
+  EXPECT_EQ((*big)->represented_count(), 0u);
+
+  // A short insert does not qualify.
+  Oid small = AddParagraph(*sys, sys->roots[0], "tiny");
+  ASSERT_TRUE((*big)->PropagateUpdates().ok());
+  EXPECT_FALSE((*big)->Represents(small));
+
+  // A long one does.
+  std::string long_text;
+  for (int i = 0; i < 120; ++i) long_text += "verylongword" + std::to_string(i) + " ";
+  Oid large = AddParagraph(*sys, sys->roots[0], long_text);
+  ASSERT_TRUE((*big)->PropagateUpdates().ok());
+  EXPECT_TRUE((*big)->Represents(large));
+}
+
+}  // namespace
+}  // namespace sdms::coupling

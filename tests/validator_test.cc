@@ -1,0 +1,150 @@
+#include "sgml/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/mmf_dtd.h"
+
+namespace sdms::sgml {
+namespace {
+
+class ValidatorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = ParseDtd(
+        "<!DOCTYPE DOC>"
+        "<!ELEMENT DOC - - (TITLE, AUTHOR*, (SECTION | PARA)+)>"
+        "<!ELEMENT TITLE - - (#PCDATA)>"
+        "<!ELEMENT AUTHOR - - (#PCDATA)>"
+        "<!ELEMENT SECTION - - (TITLE?, PARA*)>"
+        "<!ELEMENT PARA - - (#PCDATA | REF)*>"
+        "<!ELEMENT REF - O EMPTY>"
+        "<!ATTLIST DOC YEAR NUMBER #IMPLIED ID CDATA #REQUIRED>"
+        "<!ATTLIST REF TARGET CDATA #REQUIRED>");
+    ASSERT_TRUE(dtd.ok());
+    dtd_ = std::move(*dtd);
+  }
+
+  Status Validate(const std::string& text) {
+    auto doc = ParseSgml(text);
+    if (!doc.ok()) return doc.status();
+    Validator v(&dtd_);
+    return v.Validate(*doc);
+  }
+
+  Dtd dtd_;
+};
+
+TEST_F(ValidatorTest, ValidDocument) {
+  EXPECT_TRUE(Validate("<DOC ID=\"d1\"><TITLE>t</TITLE>"
+                       "<AUTHOR>a</AUTHOR><AUTHOR>b</AUTHOR>"
+                       "<SECTION><TITLE>s</TITLE><PARA>p</PARA></SECTION>"
+                       "<PARA>q</PARA></DOC>")
+                  .ok());
+}
+
+TEST_F(ValidatorTest, MissingRequiredChildFails) {
+  // No TITLE.
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><PARA>p</PARA></DOC>").ok());
+}
+
+TEST_F(ValidatorTest, PlusRequiresAtLeastOne) {
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE></DOC>").ok());
+}
+
+TEST_F(ValidatorTest, WrongOrderFails) {
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><PARA>p</PARA><TITLE>t</TITLE></DOC>")
+                   .ok());
+}
+
+TEST_F(ValidatorTest, UndeclaredElementFails) {
+  EXPECT_FALSE(
+      Validate("<DOC ID=\"d\"><TITLE>t</TITLE><WEIRD></WEIRD></DOC>").ok());
+}
+
+TEST_F(ValidatorTest, MixedContentAcceptsTextAndRefs) {
+  EXPECT_TRUE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE>"
+                       "<PARA>text <REF TARGET=\"x\"></REF> more</PARA></DOC>")
+                  .ok());
+}
+
+TEST_F(ValidatorTest, MixedContentRejectsOtherElements) {
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE>"
+                        "<PARA><TITLE>no</TITLE></PARA></DOC>")
+                   .ok());
+}
+
+TEST_F(ValidatorTest, TextInElementContentFails) {
+  EXPECT_FALSE(
+      Validate("<DOC ID=\"d\">stray text<TITLE>t</TITLE><PARA>p</PARA></DOC>")
+          .ok());
+}
+
+TEST_F(ValidatorTest, EmptyElementMustBeEmpty) {
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE>"
+                        "<PARA><REF TARGET=\"x\">not empty</REF></PARA></DOC>")
+                   .ok());
+}
+
+TEST_F(ValidatorTest, MissingRequiredAttributeFails) {
+  EXPECT_FALSE(
+      Validate("<DOC><TITLE>t</TITLE><PARA>p</PARA></DOC>").ok());  // no ID
+}
+
+TEST_F(ValidatorTest, UndeclaredAttributeFails) {
+  EXPECT_FALSE(Validate("<DOC ID=\"d\" BOGUS=\"x\"><TITLE>t</TITLE>"
+                        "<PARA>p</PARA></DOC>")
+                   .ok());
+}
+
+TEST_F(ValidatorTest, NumberAttributeChecked) {
+  EXPECT_TRUE(Validate("<DOC ID=\"d\" YEAR=\"1994\"><TITLE>t</TITLE>"
+                       "<PARA>p</PARA></DOC>")
+                  .ok());
+  EXPECT_FALSE(Validate("<DOC ID=\"d\" YEAR=\"nine\"><TITLE>t</TITLE>"
+                        "<PARA>p</PARA></DOC>")
+                   .ok());
+}
+
+TEST_F(ValidatorTest, WrongRootFails) {
+  EXPECT_FALSE(Validate("<PARA>p</PARA>").ok());
+}
+
+TEST_F(ValidatorTest, ValidateAllCollectsMultipleErrors) {
+  auto doc = ParseSgml(
+      "<DOC YEAR=\"bad\"><PARA>p</PARA><WEIRD></WEIRD></DOC>");
+  ASSERT_TRUE(doc.ok());
+  Validator v(&dtd_);
+  auto errors = v.ValidateAll(*doc);
+  EXPECT_GE(errors.size(), 3u);  // missing ID, bad YEAR, WEIRD, content
+}
+
+TEST_F(ValidatorTest, DeepNestingValidated) {
+  EXPECT_TRUE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE>"
+                       "<SECTION><PARA>a</PARA><PARA>b</PARA></SECTION>"
+                       "</DOC>")
+                  .ok());
+  // Error deep inside a section is found.
+  EXPECT_FALSE(Validate("<DOC ID=\"d\"><TITLE>t</TITLE>"
+                        "<SECTION><PARA><TITLE>x</TITLE></PARA></SECTION>"
+                        "</DOC>")
+                   .ok());
+}
+
+TEST(ValidatorMmfTest, GeneratedFragmentConforms) {
+  auto dtd = LoadMmfDtd();
+  ASSERT_TRUE(dtd.ok());
+  auto doc = ParseSgml(
+      "<MMFDOC YEAR=\"1994\" DOCID=\"m1\">"
+      "<LOGBOOK>log</LOGBOOK><DOCTITLE>Telnet</DOCTITLE>"
+      "<ABSTRACT>short</ABSTRACT>"
+      "<SECTION SECNO=\"1\"><SECTITLE>intro</SECTITLE>"
+      "<PARA>Telnet is a protocol</PARA></SECTION>"
+      "<PARA>Telnet enables</PARA></MMFDOC>");
+  ASSERT_TRUE(doc.ok());
+  Validator v(&*dtd);
+  Status s = v.Validate(*doc);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace sdms::sgml

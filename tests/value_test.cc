@@ -1,0 +1,110 @@
+#include "oodb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sdms::oodb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_FALSE(v.Truthy());
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(0.5).is_real());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(std::string("y")).is_string());
+  EXPECT_TRUE(Value(Oid(3)).is_oid());
+  EXPECT_TRUE(Value(ValueList{Value(1)}).is_list());
+  EXPECT_TRUE(Value(ValueDict{{"k", Value(1)}}).is_dict());
+}
+
+TEST(ValueTest, NumericEqualityCrossType) {
+  EXPECT_TRUE(Value(1).Equals(Value(1.0)));
+  EXPECT_FALSE(Value(1).Equals(Value(1.5)));
+  EXPECT_TRUE(Value(0).Equals(Value(0.0)));
+}
+
+TEST(ValueTest, EqualityByType) {
+  EXPECT_TRUE(Value("a") == Value("a"));
+  EXPECT_FALSE(Value("a") == Value("b"));
+  EXPECT_FALSE(Value("1") == Value(1));
+  EXPECT_TRUE(Value(Oid(7)) == Value(Oid(7)));
+  EXPECT_TRUE(Value() == Value());
+}
+
+TEST(ValueTest, ListEquality) {
+  Value a(ValueList{Value(1), Value("x")});
+  Value b(ValueList{Value(1), Value("x")});
+  Value c(ValueList{Value(1)});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, DictEquality) {
+  Value a(ValueDict{{"k", Value(1)}, {"m", Value(2)}});
+  Value b(ValueDict{{"m", Value(2)}, {"k", Value(1)}});
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_EQ(*Value(1).Compare(Value(2)), -1);
+  EXPECT_EQ(*Value(2.5).Compare(Value(2)), 1);
+  EXPECT_EQ(*Value("a").Compare(Value("b")), -1);
+  EXPECT_EQ(*Value(Oid(1)).Compare(Value(Oid(2))), -1);
+  EXPECT_FALSE(Value("a").Compare(Value(1)).ok());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_TRUE(Value(-1).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_FALSE(Value(kNullOid).Truthy());
+  EXPECT_TRUE(Value(Oid(1)).Truthy());
+  EXPECT_FALSE(Value(ValueList{}).Truthy());
+  EXPECT_TRUE(Value(ValueList{Value(0)}).Truthy());
+}
+
+TEST(ValueTest, AsNumber) {
+  EXPECT_EQ(*Value(3).AsNumber(), 3.0);
+  EXPECT_EQ(*Value(2.5).AsNumber(), 2.5);
+  EXPECT_FALSE(Value("3").AsNumber().ok());
+  EXPECT_FALSE(Value().AsNumber().ok());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value("s").ToString(), "'s'");
+  EXPECT_EQ(Value(Oid(9)).ToString(), "oid:9");
+  EXPECT_EQ(Value(ValueList{Value(1), Value(2)}).ToString(), "[1, 2]");
+}
+
+TEST(ValueTest, ListSharing) {
+  // Lists use shared_ptr semantics: copies observe mutations. This is
+  // intentional (cheap attribute copies); deep isolation happens at
+  // serialization boundaries.
+  Value a(ValueList{Value(1)});
+  Value b = a;
+  b.mutable_list().push_back(Value(2));
+  EXPECT_EQ(a.as_list().size(), 2u);
+}
+
+TEST(ValueTypeNameTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "INT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeName(ValueType::kOid), "OID");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDict), "DICT");
+}
+
+}  // namespace
+}  // namespace sdms::oodb

@@ -1,0 +1,284 @@
+#include "oodb/query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "oodb/builtins.h"
+#include "oodb/query/parser.h"
+
+namespace sdms::oodb::vql {
+namespace {
+
+class VqlExecutorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(Database::Options{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(RegisterBuiltins(*db_).ok());
+
+    ClassDef doc;
+    doc.name = "DOC";
+    doc.super = kObjectClass;
+    doc.attributes = {
+        AttributeDef{"YEAR", ValueType::kInt, Value()},
+        AttributeDef{"TITLE", ValueType::kString, Value()},
+    };
+    ASSERT_TRUE(db_->schema().DefineClass(std::move(doc)).ok());
+
+    ClassDef para;
+    para.name = "PARA";
+    para.super = kObjectClass;
+    para.attributes = {
+        AttributeDef{"DOC", ValueType::kOid, Value()},
+        AttributeDef{"LEN", ValueType::kInt, Value()},
+    };
+    ASSERT_TRUE(db_->schema().DefineClass(std::move(para)).ok());
+
+    // Three docs with years 1993..1995, each with 2 paragraphs.
+    for (int d = 0; d < 3; ++d) {
+      Oid doc_oid = *db_->CreateObject("DOC");
+      docs_.push_back(doc_oid);
+      ASSERT_TRUE(db_->SetAttribute(doc_oid, "YEAR", Value(1993 + d)).ok());
+      ASSERT_TRUE(
+          db_->SetAttribute(doc_oid, "TITLE", Value("doc" + std::to_string(d)))
+              .ok());
+      for (int p = 0; p < 2; ++p) {
+        Oid para_oid = *db_->CreateObject("PARA");
+        ASSERT_TRUE(db_->SetAttribute(para_oid, "DOC", Value(doc_oid)).ok());
+        ASSERT_TRUE(
+            db_->SetAttribute(para_oid, "LEN", Value(10 * d + p)).ok());
+      }
+    }
+    engine_ = std::make_unique<QueryEngine>(db_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::vector<Oid> docs_;
+};
+
+TEST_F(VqlExecutorTest, ScanAll) {
+  auto r = engine_->Run("ACCESS d FROM d IN DOC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(engine_->last_stats().rows_emitted, 3u);
+}
+
+TEST_F(VqlExecutorTest, WhereFilter) {
+  auto r = engine_->Run("ACCESS d FROM d IN DOC WHERE d.YEAR >= 1994");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(VqlExecutorTest, SelectExpressions) {
+  auto r = engine_->Run(
+      "ACCESS d.TITLE, d.YEAR + 1 FROM d IN DOC WHERE d.YEAR == 1993");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "doc0");
+  EXPECT_TRUE(r->rows[0][1].Equals(Value(1994)));
+}
+
+TEST_F(VqlExecutorTest, MethodCallInQuery) {
+  auto r = engine_->Run(
+      "ACCESS d -> getAttributeValue('TITLE') FROM d IN DOC "
+      "WHERE d -> getAttributeValue('YEAR') == 1995");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "doc2");
+}
+
+TEST_F(VqlExecutorTest, Join) {
+  auto r = engine_->Run(
+      "ACCESS d.TITLE, p.LEN FROM d IN DOC, p IN PARA WHERE p.DOC == d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 6u);
+}
+
+TEST_F(VqlExecutorTest, JoinWithFilter) {
+  auto r = engine_->Run(
+      "ACCESS p FROM d IN DOC, p IN PARA "
+      "WHERE p.DOC == d AND d.YEAR == 1994 AND p.LEN > 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);  // LEN 11 only.
+}
+
+TEST_F(VqlExecutorTest, OrderByDescAndLimit) {
+  auto r = engine_->Run(
+      "ACCESS d.YEAR FROM d IN DOC ORDER BY d.YEAR DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_TRUE(r->rows[0][0].Equals(Value(1995)));
+  EXPECT_TRUE(r->rows[1][0].Equals(Value(1994)));
+  // Hidden sort key is stripped.
+  EXPECT_EQ(r->rows[0].size(), 1u);
+}
+
+TEST_F(VqlExecutorTest, OrderByAscending) {
+  auto r = engine_->Run("ACCESS p.LEN FROM p IN PARA ORDER BY p.LEN");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 6u);
+  for (size_t i = 1; i < r->rows.size(); ++i) {
+    EXPECT_LE(r->rows[i - 1][0].as_int(), r->rows[i][0].as_int());
+  }
+}
+
+TEST_F(VqlExecutorTest, IndexUsedWhenAvailable) {
+  ASSERT_TRUE(db_->CreateIndex("DOC", "YEAR").ok());
+  auto r = engine_->Run("ACCESS d FROM d IN DOC WHERE d.YEAR == 1994");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine_->last_stats().index_lookups, 1u);
+  // Only the single indexed candidate is scanned.
+  EXPECT_EQ(engine_->last_stats().bindings_scanned, 1u);
+
+  engine_->options().use_indexes = false;
+  r = engine_->Run("ACCESS d FROM d IN DOC WHERE d.YEAR == 1994");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine_->last_stats().index_lookups, 0u);
+  EXPECT_EQ(engine_->last_stats().bindings_scanned, 3u);
+}
+
+TEST_F(VqlExecutorTest, IndexViaGetAttributeValueForm) {
+  ASSERT_TRUE(db_->CreateIndex("DOC", "YEAR").ok());
+  auto r = engine_->Run(
+      "ACCESS d FROM d IN DOC WHERE d -> getAttributeValue('YEAR') == 1995");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine_->last_stats().index_lookups, 1u);
+}
+
+TEST_F(VqlExecutorTest, BindingReorderPrefersSmallExtent) {
+  // PARA extent (6) larger than DOC (3): with reorder, DOC is outer.
+  auto r = engine_->Run(
+      "ACCESS d, p FROM p IN PARA, d IN DOC WHERE p.DOC == d");
+  ASSERT_TRUE(r.ok());
+  uint64_t with_reorder = engine_->last_stats().tuples_considered;
+  engine_->options().reorder_bindings = false;
+  r = engine_->Run("ACCESS d, p FROM p IN PARA, d IN DOC WHERE p.DOC == d");
+  ASSERT_TRUE(r.ok());
+  uint64_t without = engine_->last_stats().tuples_considered;
+  EXPECT_LE(with_reorder, without);
+}
+
+TEST_F(VqlExecutorTest, CandidateOverrideRestrictsScan) {
+  engine_->SetCandidateOverride("d", {docs_[1]});
+  auto r = engine_->Run("ACCESS d FROM d IN DOC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  // Override is consumed by the run.
+  r = engine_->Run("ACCESS d FROM d IN DOC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+}
+
+TEST_F(VqlExecutorTest, PrepareHookRuns) {
+  int calls = 0;
+  engine_->AddPrepareHook([&](Database&, const ParsedQuery&) {
+    ++calls;
+    return Status::OK();
+  });
+  ASSERT_TRUE(engine_->Run("ACCESS d FROM d IN DOC").ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(VqlExecutorTest, UnknownClassFails) {
+  EXPECT_FALSE(engine_->Run("ACCESS x FROM x IN NOPE").ok());
+}
+
+TEST_F(VqlExecutorTest, UnboundVariableFails) {
+  EXPECT_FALSE(
+      engine_->Run("ACCESS d FROM d IN DOC WHERE q.YEAR == 1").ok());
+}
+
+TEST_F(VqlExecutorTest, ArithmeticAndLogic) {
+  auto r = engine_->Run(
+      "ACCESS 2 + 3 * 4, 10 / 4, 'a' + 'b', NOT FALSE, 1 < 2 OR FALSE "
+      "FROM d IN DOC LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->rows[0][0].Equals(Value(14)));
+  EXPECT_TRUE(r->rows[0][1].Equals(Value(2.5)));
+  EXPECT_EQ(r->rows[0][2].as_string(), "ab");
+  EXPECT_TRUE(r->rows[0][3].Equals(Value(true)));
+  EXPECT_TRUE(r->rows[0][4].Equals(Value(true)));
+}
+
+TEST_F(VqlExecutorTest, DivisionByZeroFails) {
+  EXPECT_FALSE(engine_->Run("ACCESS 1 / 0 FROM d IN DOC").ok());
+}
+
+TEST_F(VqlExecutorTest, NullComparisonsAreFalse) {
+  // TITLE of a fresh object is null; ordering comparisons are false.
+  Oid fresh = *db_->CreateObject("DOC");
+  (void)fresh;
+  auto r = engine_->Run("ACCESS d FROM d IN DOC WHERE d.YEAR > 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);  // The fresh object has null YEAR.
+}
+
+TEST_F(VqlExecutorTest, DistinctRemovesDuplicateRows) {
+  // Joining DOC with its paragraphs duplicates the title per paragraph.
+  auto dup = engine_->Run(
+      "ACCESS d.TITLE FROM d IN DOC, p IN PARA WHERE p.DOC == d");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->rows.size(), 6u);
+  auto distinct = engine_->Run(
+      "ACCESS DISTINCT d.TITLE FROM d IN DOC, p IN PARA WHERE p.DOC == d");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->rows.size(), 3u);
+}
+
+TEST_F(VqlExecutorTest, DistinctWithOrderByAndLimit) {
+  auto r = engine_->Run(
+      "ACCESS DISTINCT d.YEAR FROM d IN DOC, p IN PARA "
+      "WHERE p.DOC == d ORDER BY d.YEAR DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_TRUE(r->rows[0][0].Equals(Value(1995)));
+  EXPECT_TRUE(r->rows[1][0].Equals(Value(1994)));
+}
+
+TEST_F(VqlExecutorTest, DistinctRoundTripsThroughToString) {
+  auto q = ParseQuery("ACCESS DISTINCT d FROM d IN DOC");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->distinct);
+}
+
+TEST_F(VqlExecutorTest, ExplainShowsPlan) {
+  ASSERT_TRUE(db_->CreateIndex("DOC", "YEAR").ok());
+  auto plan = engine_->Explain(
+      "ACCESS d, p FROM p IN PARA, d IN DOC "
+      "WHERE d.YEAR == 1994 AND p.DOC == d AND p.LEN > 5 "
+      "ORDER BY p.LEN LIMIT 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("index/injected candidates"), std::string::npos)
+      << *plan;
+  EXPECT_NE(plan->find("filter: (p.LEN > 5)"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("join:   (p.DOC == d)"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("sort: p.LEN ASC"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("limit: 3"), std::string::npos) << *plan;
+}
+
+TEST_F(VqlExecutorTest, ResultTableRendering) {
+  auto r = engine_->Run("ACCESS d.YEAR FROM d IN DOC ORDER BY d.YEAR");
+  ASSERT_TRUE(r.ok());
+  std::string table = r->ToTable();
+  EXPECT_NE(table.find("d.YEAR"), std::string::npos);
+  EXPECT_NE(table.find("1993"), std::string::npos);
+}
+
+TEST_F(VqlExecutorTest, ResultTableTruncation) {
+  auto r = engine_->Run("ACCESS p FROM p IN PARA");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 6u);
+  std::string table = r->ToTable(/*max_rows=*/2);
+  EXPECT_NE(table.find("(4 more rows)"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace sdms::oodb::vql

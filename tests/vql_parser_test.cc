@@ -1,0 +1,177 @@
+#include "oodb/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "oodb/query/executor.h"
+#include "oodb/query/lexer.h"
+
+namespace sdms::oodb::vql {
+namespace {
+
+TEST(LexerTest, Tokens) {
+  auto tokens = Tokenize("p -> getIRSValue(coll, 'WWW') > 0.6");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kArrow);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLParen);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kComma);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[6].text, "WWW");
+  EXPECT_EQ((*tokens)[8].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[9].type, TokenType::kReal);
+  EXPECT_DOUBLE_EQ((*tokens)[9].real_value, 0.6);
+}
+
+TEST(LexerTest, EscapedQuote) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("a ยง b").ok());
+}
+
+TEST(LexerTest, ComparisonVariants) {
+  auto tokens = Tokenize("= == != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kLt);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kGe);
+}
+
+TEST(ParserTest, SimpleQuery) {
+  auto q = ParseQuery("ACCESS p FROM p IN PARA");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0]->kind, ExprKind::kVarRef);
+  ASSERT_EQ(q->bindings.size(), 1u);
+  EXPECT_EQ(q->bindings[0].var, "p");
+  EXPECT_EQ(q->bindings[0].class_name, "PARA");
+  EXPECT_EQ(q->where, nullptr);
+}
+
+TEST(ParserTest, PaperQueryOne) {
+  // First sample query of Section 4.4.
+  auto q = ParseQuery(
+      "ACCESS p, p -> length() FROM p IN PARA "
+      "WHERE p -> getIRSValue('collPara', 'WWW') > 0.6;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select.size(), 2u);
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->kind, ExprKind::kBinary);
+  EXPECT_EQ(q->where->bin_op, BinOp::kGt);
+  const Expr& call = *q->where->child;
+  EXPECT_EQ(call.kind, ExprKind::kMethodCall);
+  EXPECT_EQ(call.name, "getIRSValue");
+  ASSERT_EQ(call.args.size(), 2u);
+}
+
+TEST(ParserTest, PaperQueryTwo) {
+  // Second sample query of Section 4.4 (trailing comma removed).
+  auto q = ParseQuery(
+      "ACCESS d -> getAttributeValue('TITLE') "
+      "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+      "WHERE d -> getAttributeValue('YEAR') = 1994 AND "
+      "p1 -> getNext() == p2 AND "
+      "p1 -> getContaining('MMFDOC') == d AND "
+      "p1 -> getIRSValue('collPara', 'WWW') > 0.4 AND "
+      "p2 -> getIRSValue('collPara', 'NII') > 0.4;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->bindings.size(), 3u);
+  // The WHERE splits into five conjuncts.
+  std::vector<const Expr*> conjuncts = SplitConjuncts(q->where.get());
+  EXPECT_EQ(conjuncts.size(), 5u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 == 7 AND NOT FALSE");
+  ASSERT_TRUE(e.ok());
+  // Top: AND
+  EXPECT_EQ((*e)->bin_op, BinOp::kAnd);
+  // Left: (1 + (2*3)) == 7
+  const Expr& eq = *(*e)->child;
+  EXPECT_EQ(eq.bin_op, BinOp::kEq);
+  EXPECT_EQ(eq.child->bin_op, BinOp::kAdd);
+  EXPECT_EQ(eq.child->rhs->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, Parentheses) {
+  auto e = ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bin_op, BinOp::kMul);
+  EXPECT_EQ((*e)->child->bin_op, BinOp::kAdd);
+}
+
+TEST(ParserTest, ChainedMethodCalls) {
+  auto e = ParseExpression("p -> getParent() -> getParent() -> length()");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kMethodCall);
+  EXPECT_EQ((*e)->name, "length");
+  EXPECT_EQ((*e)->child->name, "getParent");
+}
+
+TEST(ParserTest, AttrAccess) {
+  auto e = ParseExpression("p.YEAR == 1994");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->child->kind, ExprKind::kAttrAccess);
+  EXPECT_EQ((*e)->child->name, "YEAR");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto q = ParseQuery(
+      "ACCESS p FROM p IN PARA ORDER BY p -> length() DESC LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q->order_by, nullptr);
+  EXPECT_TRUE(q->order_by->descending);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(ParserTest, Literals) {
+  auto q = ParseQuery("ACCESS TRUE, FALSE, NULL, 1, 2.5, 'x' FROM p IN PARA");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select.size(), 6u);
+  EXPECT_TRUE(q->select[0]->literal.is_bool());
+  EXPECT_TRUE(q->select[2]->literal.is_null());
+  EXPECT_TRUE(q->select[4]->literal.is_real());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("FROM p IN PARA").ok());            // no ACCESS
+  EXPECT_FALSE(ParseQuery("ACCESS p").ok());                  // no FROM
+  EXPECT_FALSE(ParseQuery("ACCESS p FROM p PARA").ok());      // no IN
+  EXPECT_FALSE(ParseQuery("ACCESS p FROM p IN PARA x").ok()); // trailing
+  EXPECT_FALSE(ParseExpression("p ->").ok());
+  EXPECT_FALSE(ParseExpression("(1 + 2").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto q = ParseQuery(
+      "ACCESS p FROM p IN PARA WHERE p -> getIRSValue('c', 'WWW') > 0.6");
+  ASSERT_TRUE(q.ok());
+  std::string rendered = q->ToString();
+  // The rendering must itself re-parse.
+  auto q2 = ParseQuery(rendered);
+  ASSERT_TRUE(q2.ok()) << rendered;
+  EXPECT_EQ(q2->ToString(), rendered);
+}
+
+TEST(ExprTest, Clone) {
+  auto e = ParseExpression("a -> m(1, 'x') AND NOT b.attr");
+  ASSERT_TRUE(e.ok());
+  auto copy = (*e)->Clone();
+  EXPECT_EQ(copy->ToString(), (*e)->ToString());
+}
+
+}  // namespace
+}  // namespace sdms::oodb::vql
