@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_sample_queries.dir/bench_e10_sample_queries.cc.o"
+  "CMakeFiles/bench_e10_sample_queries.dir/bench_e10_sample_queries.cc.o.d"
+  "bench_e10_sample_queries"
+  "bench_e10_sample_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_sample_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

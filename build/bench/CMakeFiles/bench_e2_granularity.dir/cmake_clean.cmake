@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_granularity.dir/bench_e2_granularity.cc.o"
+  "CMakeFiles/bench_e2_granularity.dir/bench_e2_granularity.cc.o.d"
+  "bench_e2_granularity"
+  "bench_e2_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

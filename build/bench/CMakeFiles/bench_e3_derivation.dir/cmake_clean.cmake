@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_derivation.dir/bench_e3_derivation.cc.o"
+  "CMakeFiles/bench_e3_derivation.dir/bench_e3_derivation.cc.o.d"
+  "bench_e3_derivation"
+  "bench_e3_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

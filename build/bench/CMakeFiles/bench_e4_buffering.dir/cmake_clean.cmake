@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_buffering.dir/bench_e4_buffering.cc.o"
+  "CMakeFiles/bench_e4_buffering.dir/bench_e4_buffering.cc.o.d"
+  "bench_e4_buffering"
+  "bench_e4_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_mixed_eval.dir/bench_e5_mixed_eval.cc.o"
+  "CMakeFiles/bench_e5_mixed_eval.dir/bench_e5_mixed_eval.cc.o.d"
+  "bench_e5_mixed_eval"
+  "bench_e5_mixed_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_mixed_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_updates.dir/bench_e7_updates.cc.o"
+  "CMakeFiles/bench_e7_updates.dir/bench_e7_updates.cc.o.d"
+  "bench_e7_updates"
+  "bench_e7_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

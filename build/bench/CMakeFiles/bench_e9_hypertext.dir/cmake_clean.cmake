@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_hypertext.dir/bench_e9_hypertext.cc.o"
+  "CMakeFiles/bench_e9_hypertext.dir/bench_e9_hypertext.cc.o.d"
+  "bench_e9_hypertext"
+  "bench_e9_hypertext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_hypertext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypermedia_links.dir/hypermedia_links.cpp.o"
+  "CMakeFiles/hypermedia_links.dir/hypermedia_links.cpp.o.d"
+  "hypermedia_links"
+  "hypermedia_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypermedia_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

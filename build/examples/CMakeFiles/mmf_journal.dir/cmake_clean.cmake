@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmf_journal.dir/mmf_journal.cpp.o"
+  "CMakeFiles/mmf_journal.dir/mmf_journal.cpp.o.d"
+  "mmf_journal"
+  "mmf_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmf_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

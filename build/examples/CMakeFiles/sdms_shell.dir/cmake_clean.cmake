@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_shell.dir/sdms_shell.cpp.o"
+  "CMakeFiles/sdms_shell.dir/sdms_shell.cpp.o.d"
+  "sdms_shell"
+  "sdms_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

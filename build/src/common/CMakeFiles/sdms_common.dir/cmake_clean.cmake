@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_common.dir/file_util.cc.o"
+  "CMakeFiles/sdms_common.dir/file_util.cc.o.d"
+  "CMakeFiles/sdms_common.dir/status.cc.o"
+  "CMakeFiles/sdms_common.dir/status.cc.o.d"
+  "CMakeFiles/sdms_common.dir/string_util.cc.o"
+  "CMakeFiles/sdms_common.dir/string_util.cc.o.d"
+  "libsdms_common.a"
+  "libsdms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

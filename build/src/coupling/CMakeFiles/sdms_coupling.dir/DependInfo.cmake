@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coupling/architecture/control_module.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/architecture/control_module.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/architecture/control_module.cc.o.d"
+  "/root/repo/src/coupling/collection_class.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/collection_class.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/collection_class.cc.o.d"
+  "/root/repo/src/coupling/coupling.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/coupling.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/coupling.cc.o.d"
+  "/root/repo/src/coupling/derivation.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/derivation.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/derivation.cc.o.d"
+  "/root/repo/src/coupling/hypertext.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/hypertext.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/hypertext.cc.o.d"
+  "/root/repo/src/coupling/media.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/media.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/media.cc.o.d"
+  "/root/repo/src/coupling/mixed_query.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/mixed_query.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/mixed_query.cc.o.d"
+  "/root/repo/src/coupling/result_buffer.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/result_buffer.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/result_buffer.cc.o.d"
+  "/root/repo/src/coupling/update_log.cc" "src/coupling/CMakeFiles/sdms_coupling.dir/update_log.cc.o" "gcc" "src/coupling/CMakeFiles/sdms_coupling.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oodb/CMakeFiles/sdms_oodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/irs/CMakeFiles/sdms_irs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgml/CMakeFiles/sdms_sgml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_coupling.dir/architecture/control_module.cc.o"
+  "CMakeFiles/sdms_coupling.dir/architecture/control_module.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/collection_class.cc.o"
+  "CMakeFiles/sdms_coupling.dir/collection_class.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/coupling.cc.o"
+  "CMakeFiles/sdms_coupling.dir/coupling.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/derivation.cc.o"
+  "CMakeFiles/sdms_coupling.dir/derivation.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/hypertext.cc.o"
+  "CMakeFiles/sdms_coupling.dir/hypertext.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/media.cc.o"
+  "CMakeFiles/sdms_coupling.dir/media.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/mixed_query.cc.o"
+  "CMakeFiles/sdms_coupling.dir/mixed_query.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/result_buffer.cc.o"
+  "CMakeFiles/sdms_coupling.dir/result_buffer.cc.o.d"
+  "CMakeFiles/sdms_coupling.dir/update_log.cc.o"
+  "CMakeFiles/sdms_coupling.dir/update_log.cc.o.d"
+  "libsdms_coupling.a"
+  "libsdms_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

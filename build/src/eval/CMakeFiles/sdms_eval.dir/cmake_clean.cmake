@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_eval.dir/metrics.cc.o"
+  "CMakeFiles/sdms_eval.dir/metrics.cc.o.d"
+  "libsdms_eval.a"
+  "libsdms_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdms_eval.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irs/analysis/analyzer.cc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/analyzer.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/analyzer.cc.o.d"
+  "/root/repo/src/irs/analysis/porter_stemmer.cc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/porter_stemmer.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/porter_stemmer.cc.o.d"
+  "/root/repo/src/irs/analysis/stopwords.cc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/stopwords.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/stopwords.cc.o.d"
+  "/root/repo/src/irs/analysis/tokenizer.cc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/tokenizer.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/analysis/tokenizer.cc.o.d"
+  "/root/repo/src/irs/collection.cc" "src/irs/CMakeFiles/sdms_irs.dir/collection.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/collection.cc.o.d"
+  "/root/repo/src/irs/engine.cc" "src/irs/CMakeFiles/sdms_irs.dir/engine.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/engine.cc.o.d"
+  "/root/repo/src/irs/feedback/rocchio.cc" "src/irs/CMakeFiles/sdms_irs.dir/feedback/rocchio.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/feedback/rocchio.cc.o.d"
+  "/root/repo/src/irs/index/inverted_index.cc" "src/irs/CMakeFiles/sdms_irs.dir/index/inverted_index.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/irs/index/proximity.cc" "src/irs/CMakeFiles/sdms_irs.dir/index/proximity.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/index/proximity.cc.o.d"
+  "/root/repo/src/irs/model/bm25_model.cc" "src/irs/CMakeFiles/sdms_irs.dir/model/bm25_model.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/model/bm25_model.cc.o.d"
+  "/root/repo/src/irs/model/boolean_model.cc" "src/irs/CMakeFiles/sdms_irs.dir/model/boolean_model.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/model/boolean_model.cc.o.d"
+  "/root/repo/src/irs/model/inference_net_model.cc" "src/irs/CMakeFiles/sdms_irs.dir/model/inference_net_model.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/model/inference_net_model.cc.o.d"
+  "/root/repo/src/irs/model/vector_space_model.cc" "src/irs/CMakeFiles/sdms_irs.dir/model/vector_space_model.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/model/vector_space_model.cc.o.d"
+  "/root/repo/src/irs/query/query_node.cc" "src/irs/CMakeFiles/sdms_irs.dir/query/query_node.cc.o" "gcc" "src/irs/CMakeFiles/sdms_irs.dir/query/query_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oodb/CMakeFiles/sdms_oodb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

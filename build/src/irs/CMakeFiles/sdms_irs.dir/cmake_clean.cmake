@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_irs.dir/analysis/analyzer.cc.o"
+  "CMakeFiles/sdms_irs.dir/analysis/analyzer.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/analysis/porter_stemmer.cc.o"
+  "CMakeFiles/sdms_irs.dir/analysis/porter_stemmer.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/analysis/stopwords.cc.o"
+  "CMakeFiles/sdms_irs.dir/analysis/stopwords.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/analysis/tokenizer.cc.o"
+  "CMakeFiles/sdms_irs.dir/analysis/tokenizer.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/collection.cc.o"
+  "CMakeFiles/sdms_irs.dir/collection.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/engine.cc.o"
+  "CMakeFiles/sdms_irs.dir/engine.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/feedback/rocchio.cc.o"
+  "CMakeFiles/sdms_irs.dir/feedback/rocchio.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/index/inverted_index.cc.o"
+  "CMakeFiles/sdms_irs.dir/index/inverted_index.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/index/proximity.cc.o"
+  "CMakeFiles/sdms_irs.dir/index/proximity.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/model/bm25_model.cc.o"
+  "CMakeFiles/sdms_irs.dir/model/bm25_model.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/model/boolean_model.cc.o"
+  "CMakeFiles/sdms_irs.dir/model/boolean_model.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/model/inference_net_model.cc.o"
+  "CMakeFiles/sdms_irs.dir/model/inference_net_model.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/model/vector_space_model.cc.o"
+  "CMakeFiles/sdms_irs.dir/model/vector_space_model.cc.o.d"
+  "CMakeFiles/sdms_irs.dir/query/query_node.cc.o"
+  "CMakeFiles/sdms_irs.dir/query/query_node.cc.o.d"
+  "libsdms_irs.a"
+  "libsdms_irs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_irs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

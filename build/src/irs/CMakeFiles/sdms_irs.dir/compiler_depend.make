@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdms_irs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oodb/builtins.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/builtins.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/builtins.cc.o.d"
+  "/root/repo/src/oodb/database.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/database.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/database.cc.o.d"
+  "/root/repo/src/oodb/index/btree.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/index/btree.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/index/btree.cc.o.d"
+  "/root/repo/src/oodb/lock_manager.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/lock_manager.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/lock_manager.cc.o.d"
+  "/root/repo/src/oodb/method_registry.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/method_registry.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/method_registry.cc.o.d"
+  "/root/repo/src/oodb/object.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/object.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/object.cc.o.d"
+  "/root/repo/src/oodb/object_store.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/object_store.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/object_store.cc.o.d"
+  "/root/repo/src/oodb/query/ast.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/ast.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/ast.cc.o.d"
+  "/root/repo/src/oodb/query/executor.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/executor.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/executor.cc.o.d"
+  "/root/repo/src/oodb/query/lexer.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/lexer.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/lexer.cc.o.d"
+  "/root/repo/src/oodb/query/parser.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/parser.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/query/parser.cc.o.d"
+  "/root/repo/src/oodb/schema.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/schema.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/schema.cc.o.d"
+  "/root/repo/src/oodb/storage/serializer.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/storage/serializer.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/oodb/storage/wal.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/storage/wal.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/storage/wal.cc.o.d"
+  "/root/repo/src/oodb/value.cc" "src/oodb/CMakeFiles/sdms_oodb.dir/value.cc.o" "gcc" "src/oodb/CMakeFiles/sdms_oodb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

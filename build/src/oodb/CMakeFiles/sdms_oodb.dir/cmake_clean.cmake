@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_oodb.dir/builtins.cc.o"
+  "CMakeFiles/sdms_oodb.dir/builtins.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/database.cc.o"
+  "CMakeFiles/sdms_oodb.dir/database.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/index/btree.cc.o"
+  "CMakeFiles/sdms_oodb.dir/index/btree.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/lock_manager.cc.o"
+  "CMakeFiles/sdms_oodb.dir/lock_manager.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/method_registry.cc.o"
+  "CMakeFiles/sdms_oodb.dir/method_registry.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/object.cc.o"
+  "CMakeFiles/sdms_oodb.dir/object.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/object_store.cc.o"
+  "CMakeFiles/sdms_oodb.dir/object_store.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/query/ast.cc.o"
+  "CMakeFiles/sdms_oodb.dir/query/ast.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/query/executor.cc.o"
+  "CMakeFiles/sdms_oodb.dir/query/executor.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/query/lexer.cc.o"
+  "CMakeFiles/sdms_oodb.dir/query/lexer.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/query/parser.cc.o"
+  "CMakeFiles/sdms_oodb.dir/query/parser.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/schema.cc.o"
+  "CMakeFiles/sdms_oodb.dir/schema.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/storage/serializer.cc.o"
+  "CMakeFiles/sdms_oodb.dir/storage/serializer.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/storage/wal.cc.o"
+  "CMakeFiles/sdms_oodb.dir/storage/wal.cc.o.d"
+  "CMakeFiles/sdms_oodb.dir/value.cc.o"
+  "CMakeFiles/sdms_oodb.dir/value.cc.o.d"
+  "libsdms_oodb.a"
+  "libsdms_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sdms_oodb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgml/corpus/generator.cc" "src/sgml/CMakeFiles/sdms_sgml.dir/corpus/generator.cc.o" "gcc" "src/sgml/CMakeFiles/sdms_sgml.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/sgml/document.cc" "src/sgml/CMakeFiles/sdms_sgml.dir/document.cc.o" "gcc" "src/sgml/CMakeFiles/sdms_sgml.dir/document.cc.o.d"
+  "/root/repo/src/sgml/dtd.cc" "src/sgml/CMakeFiles/sdms_sgml.dir/dtd.cc.o" "gcc" "src/sgml/CMakeFiles/sdms_sgml.dir/dtd.cc.o.d"
+  "/root/repo/src/sgml/mmf_dtd.cc" "src/sgml/CMakeFiles/sdms_sgml.dir/mmf_dtd.cc.o" "gcc" "src/sgml/CMakeFiles/sdms_sgml.dir/mmf_dtd.cc.o.d"
+  "/root/repo/src/sgml/validator.cc" "src/sgml/CMakeFiles/sdms_sgml.dir/validator.cc.o" "gcc" "src/sgml/CMakeFiles/sdms_sgml.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdms_sgml.dir/corpus/generator.cc.o"
+  "CMakeFiles/sdms_sgml.dir/corpus/generator.cc.o.d"
+  "CMakeFiles/sdms_sgml.dir/document.cc.o"
+  "CMakeFiles/sdms_sgml.dir/document.cc.o.d"
+  "CMakeFiles/sdms_sgml.dir/dtd.cc.o"
+  "CMakeFiles/sdms_sgml.dir/dtd.cc.o.d"
+  "CMakeFiles/sdms_sgml.dir/mmf_dtd.cc.o"
+  "CMakeFiles/sdms_sgml.dir/mmf_dtd.cc.o.d"
+  "CMakeFiles/sdms_sgml.dir/validator.cc.o"
+  "CMakeFiles/sdms_sgml.dir/validator.cc.o.d"
+  "libsdms_sgml.a"
+  "libsdms_sgml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdms_sgml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

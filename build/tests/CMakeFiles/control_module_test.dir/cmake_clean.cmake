@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_module_test.dir/control_module_test.cc.o"
+  "CMakeFiles/control_module_test.dir/control_module_test.cc.o.d"
+  "control_module_test"
+  "control_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

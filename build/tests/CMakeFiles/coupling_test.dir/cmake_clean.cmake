@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_test.dir/coupling_test.cc.o"
+  "CMakeFiles/coupling_test.dir/coupling_test.cc.o.d"
+  "coupling_test"
+  "coupling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertext_test.dir/hypertext_test.cc.o"
+  "CMakeFiles/hypertext_test.dir/hypertext_test.cc.o.d"
+  "hypertext_test"
+  "hypertext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_collection_test.dir/irs_collection_test.cc.o"
+  "CMakeFiles/irs_collection_test.dir/irs_collection_test.cc.o.d"
+  "irs_collection_test"
+  "irs_collection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_models_test.dir/irs_models_test.cc.o"
+  "CMakeFiles/irs_models_test.dir/irs_models_test.cc.o.d"
+  "irs_models_test"
+  "irs_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

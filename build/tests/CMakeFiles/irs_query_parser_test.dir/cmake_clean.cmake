@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_query_parser_test.dir/irs_query_parser_test.cc.o"
+  "CMakeFiles/irs_query_parser_test.dir/irs_query_parser_test.cc.o.d"
+  "irs_query_parser_test"
+  "irs_query_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_query_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for irs_query_parser_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/object_store_test.cc" "tests/CMakeFiles/object_store_test.dir/object_store_test.cc.o" "gcc" "tests/CMakeFiles/object_store_test.dir/object_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coupling/CMakeFiles/sdms_coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdms_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgml/CMakeFiles/sdms_sgml.dir/DependInfo.cmake"
+  "/root/repo/build/src/irs/CMakeFiles/sdms_irs.dir/DependInfo.cmake"
+  "/root/repo/build/src/oodb/CMakeFiles/sdms_oodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter_test.dir/porter_test.cc.o"
+  "CMakeFiles/porter_test.dir/porter_test.cc.o.d"
+  "porter_test"
+  "porter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_buffer_test.dir/result_buffer_test.cc.o"
+  "CMakeFiles/result_buffer_test.dir/result_buffer_test.cc.o.d"
+  "result_buffer_test"
+  "result_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgml_parser_test.dir/sgml_parser_test.cc.o"
+  "CMakeFiles/sgml_parser_test.dir/sgml_parser_test.cc.o.d"
+  "sgml_parser_test"
+  "sgml_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgml_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_log_test.dir/update_log_test.cc.o"
+  "CMakeFiles/update_log_test.dir/update_log_test.cc.o.d"
+  "update_log_test"
+  "update_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_propagation_test.dir/update_propagation_test.cc.o"
+  "CMakeFiles/update_propagation_test.dir/update_propagation_test.cc.o.d"
+  "update_propagation_test"
+  "update_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vql_executor_test.dir/vql_executor_test.cc.o"
+  "CMakeFiles/vql_executor_test.dir/vql_executor_test.cc.o.d"
+  "vql_executor_test"
+  "vql_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vql_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vql_parser_test.dir/vql_parser_test.cc.o"
+  "CMakeFiles/vql_parser_test.dir/vql_parser_test.cc.o.d"
+  "vql_parser_test"
+  "vql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
