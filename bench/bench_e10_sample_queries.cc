@@ -98,5 +98,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e10_sample_queries");
   return 0;
 }

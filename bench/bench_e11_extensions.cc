@@ -152,5 +152,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e11_extensions");
   return 0;
 }

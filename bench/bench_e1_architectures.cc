@@ -138,5 +138,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e1_architectures");
   return 0;
 }

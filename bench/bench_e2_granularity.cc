@@ -127,5 +127,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e2_granularity");
   return 0;
 }

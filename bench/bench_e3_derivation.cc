@@ -261,5 +261,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e3_derivation");
   return 0;
 }

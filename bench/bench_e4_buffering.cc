@@ -139,5 +139,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e4_buffering");
   return 0;
 }

@@ -123,5 +123,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e5_mixed_eval");
   return 0;
 }

@@ -103,5 +103,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e6_operators");
   return 0;
 }

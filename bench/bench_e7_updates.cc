@@ -175,5 +175,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e7_updates");
   return 0;
 }

@@ -94,5 +94,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e8_redundancy");
   return 0;
 }

@@ -151,5 +151,6 @@ void Run() {
 
 int main() {
   sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("e9_hypertext");
   return 0;
 }

@@ -153,4 +153,11 @@ BENCHMARK(BM_MixedQueryEndToEnd);
 }  // namespace
 }  // namespace sdms::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdms::bench::EmitMetricsJson("micro");
+  return 0;
+}

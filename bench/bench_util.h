@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/file_util.h"
+#include "common/obs/metrics.h"
 #include "common/timer.h"
 #include "coupling/coupling.h"
 #include "irs/engine.h"
@@ -123,6 +125,20 @@ inline std::string Fmt(const char* fmt, double v) {
 }
 
 inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+/// Dumps the global metrics registry: a delimited JSON block on stdout
+/// (so bench logs carry counter context next to the timing tables) and
+/// a `BENCH_<name>_metrics.json` file in the working directory. Call
+/// once at the end of each harness's main.
+inline void EmitMetricsJson(const std::string& bench_name) {
+  std::string json = obs::MetricsRegistry::Instance().DumpJson();
+  std::printf("\n=== metrics json (%s) ===\n%s\n=== end metrics ===\n",
+              bench_name.c_str(), json.c_str());
+  std::string path = "BENCH_" + bench_name + "_metrics.json";
+  if (Status s = WriteFileAtomic(path, json); !s.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());
+  }
+}
 
 }  // namespace sdms::bench
 

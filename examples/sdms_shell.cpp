@@ -16,6 +16,9 @@
 #include <string>
 
 #include "common/file_util.h"
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/string_util.h"
 #include "coupling/coupling.h"
 #include "coupling/hypertext.h"
@@ -42,8 +45,10 @@ void PrintHelp() {
       "  .value <name> <oid> <IRS query>    findIRSValue for one object\n"
       "  .scheme <name> <scheme>            set derivation scheme\n"
       "  .explain <VQL query>               show the evaluation plan\n"
-      "  .stats                             coupling counters\n"
+      "  .stats                             coupling counters + metrics registry\n"
       "  .classes                           schema classes\n"
+      "  .log <debug|info|warn|error|off>   set log verbosity\n"
+      "  .trace <on|off|save <file.json>>   per-query trace spans\n"
       "  .help / .quit\n");
 }
 
@@ -192,6 +197,47 @@ Status Shell::Dispatch(const std::string& line) {
         static_cast<unsigned long long>(s.buffer_misses),
         static_cast<unsigned long long>(s.derive_calls),
         static_cast<unsigned long long>(s.reindex_ops));
+    std::printf("\n%s", obs::MetricsRegistry::Instance().DumpText().c_str());
+  } else if (cmd == ".log") {
+    std::string level;
+    in >> level;
+    obs::LogLevel parsed;
+    if (level == "debug") {
+      parsed = obs::LogLevel::kDebug;
+    } else if (level == "info") {
+      parsed = obs::LogLevel::kInfo;
+    } else if (level == "warn") {
+      parsed = obs::LogLevel::kWarn;
+    } else if (level == "error") {
+      parsed = obs::LogLevel::kError;
+    } else if (level == "off") {
+      parsed = obs::LogLevel::kOff;
+    } else {
+      return Status::InvalidArgument(
+          "usage: .log <debug|info|warn|error|off>");
+    }
+    obs::Logger::Instance().SetLevel(parsed);
+    std::printf("log level set to %s\n", level.c_str());
+  } else if (cmd == ".trace") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on") {
+      obs::EnableTracing(true);
+      std::printf("tracing on\n");
+    } else if (arg == "off") {
+      obs::EnableTracing(false);
+      std::printf("tracing off\n");
+    } else if (arg == "save") {
+      std::string path;
+      in >> path;
+      if (path.empty()) return Status::InvalidArgument("usage: .trace save <file.json>");
+      SDMS_RETURN_IF_ERROR(
+          WriteFileAtomic(path, obs::TraceCollector::ExportChromeTrace()));
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  path.c_str());
+    } else {
+      return Status::InvalidArgument("usage: .trace <on|off|save <file>>");
+    }
   } else if (cmd == ".classes") {
     for (const std::string& name : db->schema().class_names()) {
       std::printf("  %-12s (%zu objects)\n", name.c_str(),

@@ -1,0 +1,249 @@
+#include "common/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace sdms::obs {
+
+namespace {
+
+/// fetch_min/fetch_max for atomic doubles via CAS.
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Formats a double without trailing-zero noise ("12.5", "3", "0.004").
+std::string FmtDouble(double v) {
+  std::string s = StrFormat("%.6g", v);
+  return s;
+}
+
+/// Minimal JSON string escaping (metric names are ASCII identifiers,
+/// but stay safe).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(const Options& options)
+    : buckets_(options.buckets + 1) {
+  bounds_.reserve(options.buckets);
+  double bound = options.base;
+  for (size_t i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+}
+
+void Histogram::Record(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  // First record seeds min/max; subsequent ones CAS toward extremes.
+  if (prev == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    AtomicMin(min_, v);
+    AtomicMax(max_, v);
+  }
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(n);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Interpolate within [lo, hi], clamped to the observed extremes
+      // so sparse edge buckets don't over- or under-shoot.
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max();
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi <= lo) return hi;
+      double fraction =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + fraction * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Histogram::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%-44s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%-44s %lld\n", name.c_str(),
+                     static_cast<long long>(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat(
+        "%-44s count=%llu mean=%s p50=%s p90=%s p99=%s max=%s\n", name.c_str(),
+        static_cast<unsigned long long>(h->count()),
+        FmtDouble(h->mean()).c_str(), FmtDouble(h->Percentile(50)).c_str(),
+        FmtDouble(h->Percentile(90)).c_str(),
+        FmtDouble(h->Percentile(99)).c_str(), FmtDouble(h->max()).c_str());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + FmtDouble(h->sum());
+    out += ",\"mean\":" + FmtDouble(h->mean());
+    out += ",\"min\":" + FmtDouble(h->min());
+    out += ",\"max\":" + FmtDouble(h->max());
+    out += ",\"p50\":" + FmtDouble(h->Percentile(50));
+    out += ",\"p90\":" + FmtDouble(h->Percentile(90));
+    out += ",\"p99\":" + FmtDouble(h->Percentile(99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTest();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->ResetForTest();
+}
+
+Counter& GetCounter(const std::string& name) {
+  return MetricsRegistry::Instance().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return MetricsRegistry::Instance().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name,
+                        const Histogram::Options& options) {
+  return MetricsRegistry::Instance().GetHistogram(name, options);
+}
+
+}  // namespace sdms::obs

@@ -1,0 +1,147 @@
+#include "common/obs/trace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sdms::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Trace timestamps are relative to this epoch so they stay small and
+/// a single trace file is internally consistent.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int64_t MicrosSinceEpoch(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(t - TraceEpoch())
+      .count();
+}
+
+/// Registry of every thread's collector. Collectors are heap-allocated
+/// and intentionally leaked (a handful per process) so GatherAll never
+/// races thread teardown.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<TraceCollector*>& Registry() {
+  static std::vector<TraceCollector*>* collectors =
+      new std::vector<TraceCollector*>();
+  return *collectors;
+}
+
+std::atomic<uint32_t> g_next_tid{1};
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool enabled) {
+  TraceEpoch();  // Pin the epoch no later than the first enable.
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceCollector::TraceCollector()
+    : tid_(g_next_tid.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceCollector& TraceCollector::ForCurrentThread() {
+  thread_local TraceCollector* collector = [] {
+    auto* c = new TraceCollector();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Registry().push_back(c);
+    return c;
+  }();
+  return *collector;
+}
+
+void TraceCollector::Record(const TraceEvent& event) {
+  TraceEvent e = event;
+  e.tid = tid_;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> TraceCollector::GatherAll() {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (TraceCollector* c : Registry()) {
+    std::vector<TraceEvent> events = c->events();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  // Order by start time; on a microsecond tie an enclosing span (which
+  // lasted at least as long and has the smaller depth) sorts first, so
+  // parents always precede their children.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.depth < b.depth;
+                   });
+  return all;
+}
+
+std::string TraceCollector::ExportChromeTrace() {
+  std::vector<TraceEvent> all = GatherAll();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%d}}",
+        e.name, static_cast<long long>(e.start_us),
+        static_cast<long long>(e.duration_us), e.tid, e.depth);
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceCollector::ClearAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (TraceCollector* c : Registry()) {
+    std::lock_guard<std::mutex> event_lock(c->mu_);
+    c->events_.clear();
+  }
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), enabled_(TracingEnabled()) {
+  start_ = std::chrono::steady_clock::now();
+  if (!enabled_) return;
+  start_us_ = MicrosSinceEpoch(start_);
+  TraceCollector::ForCurrentThread().PushDepth();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  TraceCollector& collector = TraceCollector::ForCurrentThread();
+  collector.PopDepth();
+  TraceEvent e;
+  e.name = name_;
+  e.start_us = start_us_;
+  e.duration_us = ElapsedMicros();
+  e.depth = collector.depth();
+  collector.Record(e);
+}
+
+int64_t TraceSpan::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace sdms::obs

@@ -1,0 +1,91 @@
+#ifndef SDMS_COMMON_OBS_TRACE_H_
+#define SDMS_COMMON_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdms::obs {
+
+/// One completed span, Chrome trace_event "X" (complete) semantics.
+struct TraceEvent {
+  const char* name = "";
+  /// Microseconds since the process-wide trace epoch.
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  /// Nesting depth at the time the span was open (0 = top level).
+  int depth = 0;
+  uint32_t tid = 0;
+};
+
+/// Global tracing switch. Spans constructed while tracing is disabled
+/// cost two relaxed atomic loads and record nothing.
+bool TracingEnabled();
+void EnableTracing(bool enabled);
+
+/// Per-thread collector of completed spans. Collectors register
+/// themselves in a global list on first use; Export/Clear walk that
+/// list, so spans from every thread end up in one trace.
+class TraceCollector {
+ public:
+  /// The calling thread's collector (created on first use).
+  static TraceCollector& ForCurrentThread();
+
+  void Record(const TraceEvent& event);
+
+  /// Snapshot of this thread's events.
+  std::vector<TraceEvent> events() const;
+
+  int depth() const { return depth_; }
+  void PushDepth() { ++depth_; }
+  void PopDepth() { --depth_; }
+
+  /// All threads' events merged, ordered by start time.
+  static std::vector<TraceEvent> GatherAll();
+
+  /// Chrome about://tracing (trace_event) JSON for all threads.
+  static std::string ExportChromeTrace();
+
+  /// Drops recorded events on every thread's collector.
+  static void ClearAll();
+
+ private:
+  TraceCollector();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  int depth_ = 0;
+  uint32_t tid_ = 0;
+};
+
+/// RAII span: times a scope and records it into the current thread's
+/// collector. `name` must outlive the span (string literals).
+///
+///   void QueryEngine::Run(...) {
+///     TraceSpan span("vql.run");
+///     ...
+///   }
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Elapsed microseconds so far (usable before destruction).
+  int64_t ElapsedMicros() const;
+
+ private:
+  const char* name_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace sdms::obs
+
+#endif  // SDMS_COMMON_OBS_TRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/file_util.h"
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/string_util.h"
 #include "coupling/coupling.h"
 #include "irs/query/query_node.h"
@@ -12,6 +15,30 @@ namespace sdms::coupling {
 
 using oodb::UpdateKind;
 using oodb::vql::ParsedQuery;
+
+namespace {
+
+struct CollectionMetrics {
+  obs::Counter& irs_queries = obs::GetCounter("coupling.collection.irs_queries");
+  obs::Counter& derive_calls =
+      obs::GetCounter("coupling.collection.derive_calls");
+  obs::Counter& reindex_ops = obs::GetCounter("coupling.collection.reindex_ops");
+  obs::Counter& bytes_exchanged =
+      obs::GetCounter("coupling.collection.bytes_exchanged");
+  obs::Histogram& index_objects_us =
+      obs::GetHistogram("coupling.collection.index_objects_micros");
+  obs::Histogram& irs_query_us =
+      obs::GetHistogram("coupling.collection.irs_query_micros");
+  obs::Histogram& derive_us =
+      obs::GetHistogram("coupling.collection.derive_micros");
+};
+
+CollectionMetrics& Metrics() {
+  static CollectionMetrics* m = new CollectionMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Collection::Collection(Coupling* coupling, Oid self,
                        std::string irs_collection_name, double missing_value)
@@ -32,6 +59,7 @@ Collection::~Collection() = default;
 // ---------------------------------------------------------------------------
 
 Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
+  obs::TraceSpan span("coupling.index_objects");
   SDMS_ASSIGN_OR_RETURN(ParsedQuery parsed,
                         oodb::vql::ParseQuery(spec_query));
   if (parsed.select.size() != 1) {
@@ -66,6 +94,9 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
     SDMS_RETURN_IF_ERROR(coll->AddDocument(oid.ToString(), text));
     represented_.insert(oid);
   }
+  Metrics().index_objects_us.Record(static_cast<double>(span.ElapsedMicros()));
+  SDMS_LOG(DEBUG) << "indexObjects(" << irs_name_ << "): " << spec_query
+                  << " -> " << represented_.size() << " represented objects";
   return Status::OK();
 }
 
@@ -113,7 +144,9 @@ StatusOr<bool> Collection::SatisfiesSpec(Oid oid) {
 // ---------------------------------------------------------------------------
 
 StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
+  obs::TraceSpan span("coupling.irs_query");
   ++stats_.irs_queries;
+  Metrics().irs_queries.Increment();
   std::vector<irs::SearchHit> hits;
   if (coupling_->options().file_exchange) {
     // The paper's original mechanism: "the IRS writes the result to a
@@ -126,7 +159,10 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
         coupling_->irs().SearchToFile(irs_name_, irs_query, path));
     SDMS_ASSIGN_OR_RETURN(hits, irs::IrsEngine::ParseResultFile(path));
     auto size = FileSize(path);
-    if (size.ok()) stats_.bytes_exchanged += static_cast<uint64_t>(*size);
+    if (size.ok()) {
+      stats_.bytes_exchanged += static_cast<uint64_t>(*size);
+      Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
+    }
     ++stats_.files_exchanged;
     (void)RemoveFile(path);
   } else {
@@ -148,6 +184,7 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
     }
     out.emplace(Oid(raw), h.score);
   }
+  Metrics().irs_query_us.Record(static_cast<double>(span.ElapsedMicros()));
   return out;
 }
 
@@ -201,7 +238,9 @@ StatusOr<double> Collection::DeriveIrsValue(const std::string& irs_query,
   // than recursing forever.
   auto key = std::make_pair(irs_query, obj.raw());
   if (derive_in_progress_.count(key) > 0) return NullScore(irs_query);
+  obs::TraceSpan span("coupling.derive");
   ++stats_.derive_calls;
+  Metrics().derive_calls.Increment();
   DerivationContext ctx;
   ctx.object = obj;
   ctx.irs_query = irs_query;
@@ -230,6 +269,7 @@ StatusOr<double> Collection::DeriveIrsValue(const std::string& irs_query,
   auto result = scheme_->Derive(ctx);
   derive_in_progress_.erase(key);
   --derive_depth_;
+  Metrics().derive_us.Record(static_cast<double>(span.ElapsedMicros()));
   return result;
 }
 
@@ -355,6 +395,7 @@ Status Collection::MaybePropagate() {
 }
 
 Status Collection::PropagateUpdates() {
+  obs::TraceSpan span("coupling.propagate");
   std::vector<PendingOp> ops = update_log_.Drain();
   stats_.cancelled_ops = update_log_.cancelled();
   if (ops.empty()) return Status::OK();
@@ -368,6 +409,8 @@ Status Collection::PropagateUpdates() {
     // IRS index structures changed: buffered results are stale.
     buffer_.Clear();
   }
+  SDMS_LOG(DEBUG) << "propagated " << ops.size() << " net update(s) into '"
+                  << irs_name_ << "'";
   return Status::OK();
 }
 
@@ -384,6 +427,7 @@ Status Collection::ApplyOp(const PendingOp& op) {
       SDMS_RETURN_IF_ERROR(coll->AddDocument(op.oid.ToString(), text));
       represented_.insert(op.oid);
       ++stats_.reindex_ops;
+      Metrics().reindex_ops.Increment();
       break;
     }
     case UpdateKind::kModify: {
@@ -393,12 +437,14 @@ Status Collection::ApplyOp(const PendingOp& op) {
         SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
         represented_.erase(op.oid);
         ++stats_.reindex_ops;
+        Metrics().reindex_ops.Increment();
         break;
       }
       SDMS_ASSIGN_OR_RETURN(std::string text,
                             coupling_->GetText(op.oid, text_mode_));
       SDMS_RETURN_IF_ERROR(coll->UpdateDocument(op.oid.ToString(), text));
       ++stats_.reindex_ops;
+      Metrics().reindex_ops.Increment();
       break;
     }
     case UpdateKind::kDelete: {
@@ -406,6 +452,7 @@ Status Collection::ApplyOp(const PendingOp& op) {
       SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
       represented_.erase(op.oid);
       ++stats_.reindex_ops;
+      Metrics().reindex_ops.Increment();
       break;
     }
   }

@@ -7,13 +7,42 @@ namespace sdms::coupling {
 using oodb::Decoder;
 using oodb::Encoder;
 
+namespace {
+
+// Process-wide aggregates over every buffer instance (each Collection
+// owns one); the per-instance counters back the hits()/misses()
+// accessors that tests and benches read per collection.
+obs::Counter& GlobalHits() {
+  static obs::Counter& c = obs::GetCounter("coupling.result_buffer.hits");
+  return c;
+}
+
+obs::Counter& GlobalMisses() {
+  static obs::Counter& c = obs::GetCounter("coupling.result_buffer.misses");
+  return c;
+}
+
+obs::Counter& GlobalEvictions() {
+  static obs::Counter& c = obs::GetCounter("coupling.result_buffer.evictions");
+  return c;
+}
+
+obs::Gauge& GlobalEntries() {
+  static obs::Gauge& g = obs::GetGauge("coupling.result_buffer.entries");
+  return g;
+}
+
+}  // namespace
+
 const OidScoreMap* ResultBuffer::Get(const std::string& query) {
   auto it = entries_.find(query);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_.Increment();
+    GlobalMisses().Increment();
     return nullptr;
   }
-  ++hits_;
+  hits_.Increment();
+  GlobalHits().Increment();
   Touch(query, it->second);
   return &it->second.result;
 }
@@ -30,10 +59,14 @@ void ResultBuffer::Put(const std::string& query, OidScoreMap result) {
   e.result = std::move(result);
   e.lru_it = lru_.begin();
   entries_.emplace(query, std::move(e));
+  GlobalEntries().Add(1);
   if (capacity_ > 0 && entries_.size() > capacity_) {
     const std::string& victim = lru_.back();
     entries_.erase(victim);
     lru_.pop_back();
+    evictions_.Increment();
+    GlobalEvictions().Increment();
+    GlobalEntries().Add(-1);
   }
 }
 
@@ -54,6 +87,7 @@ void ResultBuffer::Touch(const std::string& query, Entry& e) {
 }
 
 void ResultBuffer::Clear() {
+  GlobalEntries().Add(-static_cast<int64_t>(entries_.size()));
   entries_.clear();
   lru_.clear();
 }
@@ -63,6 +97,7 @@ void ResultBuffer::Erase(const std::string& query) {
   if (it == entries_.end()) return;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
+  GlobalEntries().Add(-1);
 }
 
 std::string ResultBuffer::Serialize() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/obs/metrics.h"
 #include "common/status.h"
 #include "coupling/types.h"
 
@@ -21,6 +22,9 @@ class ResultBuffer {
   /// `capacity` bounds the number of buffered queries (LRU eviction);
   /// 0 = unbounded.
   explicit ResultBuffer(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Clear() keeps the global entries gauge honest on teardown.
+  ~ResultBuffer() { Clear(); }
 
   /// Returns the buffered result for `query`, or nullptr. Refreshes
   /// LRU order.
@@ -41,8 +45,9 @@ class ResultBuffer {
   void Erase(const std::string& query);
 
   size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
 
   /// Serializes the buffer (persistence across sessions — the paper
   /// buffers results "persistently").
@@ -61,8 +66,11 @@ class ResultBuffer {
   std::unordered_map<std::string, Entry> entries_;
   /// Most-recent first.
   std::list<std::string> lru_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  /// Per-instance counters; every increment is mirrored into the
+  /// process-wide `coupling.result_buffer.*` registry metrics.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
 };
 
 }  // namespace sdms::coupling

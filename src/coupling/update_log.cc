@@ -2,12 +2,34 @@
 
 #include <algorithm>
 
+#include "common/obs/metrics.h"
+
 namespace sdms::coupling {
 
 using oodb::UpdateKind;
 
+namespace {
+
+struct UpdateLogMetrics {
+  obs::Counter& recorded = obs::GetCounter("coupling.update_log.recorded");
+  obs::Counter& cancelled = obs::GetCounter("coupling.update_log.cancelled");
+  /// Net operations handed to propagation per Drain. Linear-ish bucket
+  /// growth keeps small batches distinguishable.
+  obs::Histogram& batch_size = obs::GetHistogram(
+      "coupling.update_log.batch_size",
+      obs::Histogram::Options{1.0, 1.5, 24});
+};
+
+UpdateLogMetrics& Metrics() {
+  static UpdateLogMetrics* m = new UpdateLogMetrics();
+  return *m;
+}
+
+}  // namespace
+
 void UpdateLog::Record(UpdateKind kind, Oid oid) {
   ++recorded_;
+  Metrics().recorded.Increment();
   auto it = net_.find(oid);
   if (it == net_.end()) {
     NetState s = kind == UpdateKind::kInsert   ? NetState::kInsert
@@ -17,6 +39,7 @@ void UpdateLog::Record(UpdateKind kind, Oid oid) {
     order_.push_back(oid);
     return;
   }
+  uint64_t cancelled_before = cancelled_;
   switch (it->second) {
     case NetState::kInsert:
       if (kind == UpdateKind::kDelete) {
@@ -48,6 +71,7 @@ void UpdateLog::Record(UpdateKind kind, Oid oid) {
       }
       break;
   }
+  Metrics().cancelled.Add(cancelled_ - cancelled_before);
 }
 
 std::vector<PendingOp> UpdateLog::Drain() {
@@ -60,6 +84,9 @@ std::vector<PendingOp> UpdateLog::Drain() {
                       : it->second == NetState::kModify ? UpdateKind::kModify
                                                         : UpdateKind::kDelete;
     out.push_back(PendingOp{kind, oid});
+  }
+  if (!out.empty()) {
+    Metrics().batch_size.Record(static_cast<double>(out.size()));
   }
   Clear();
   return out;

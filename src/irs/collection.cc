@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+
 namespace sdms::irs {
+
+namespace {
+
+struct IrsMetrics {
+  obs::Counter& searches = obs::GetCounter("irs.index.searches");
+  obs::Counter& docs_indexed = obs::GetCounter("irs.index.docs_indexed");
+  obs::Counter& docs_removed = obs::GetCounter("irs.index.docs_removed");
+  obs::Histogram& build_us = obs::GetHistogram("irs.index.build_micros");
+  obs::Histogram& search_us = obs::GetHistogram("irs.index.search_micros");
+};
+
+IrsMetrics& Metrics() {
+  static IrsMetrics* m = new IrsMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Status IrsCollection::AddDocument(const std::string& key,
                                   const std::string& text) {
@@ -10,9 +30,12 @@ Status IrsCollection::AddDocument(const std::string& key,
     return Status::AlreadyExists("document already in collection " + name_ +
                                  ": " + key);
   }
+  obs::TraceSpan span("irs.add_document");
   std::vector<std::string> tokens = analyzer_.Analyze(text);
   index_.AddDocument(key, tokens);
   ++stats_.docs_indexed;
+  Metrics().docs_indexed.Increment();
+  Metrics().build_us.Record(static_cast<double>(span.ElapsedMicros()));
   return Status::OK();
 }
 
@@ -26,15 +49,19 @@ Status IrsCollection::RemoveDocument(const std::string& key) {
   SDMS_ASSIGN_OR_RETURN(DocId id, index_.FindByKey(key));
   SDMS_RETURN_IF_ERROR(index_.RemoveDocument(id));
   ++stats_.docs_removed;
+  Metrics().docs_removed.Increment();
   return Status::OK();
 }
 
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     const std::string& query) {
+  obs::TraceSpan span("irs.search");
+  Metrics().searches.Increment();
   SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
                         ParseIrsQuery(query, analyzer_));
   SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
   ++stats_.queries_executed;
+  Metrics().search_us.Record(static_cast<double>(span.ElapsedMicros()));
   std::vector<SearchHit> hits;
   hits.reserve(scores.size());
   for (const auto& [doc, score] : scores) {

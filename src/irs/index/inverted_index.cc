@@ -2,12 +2,27 @@
 
 #include <algorithm>
 
+#include "common/obs/metrics.h"
 #include "oodb/storage/serializer.h"
 
 namespace sdms::irs {
 
 using oodb::Decoder;
 using oodb::Encoder;
+
+namespace {
+
+obs::Counter& TermLookups() {
+  static obs::Counter& c = obs::GetCounter("irs.index.term_lookups");
+  return c;
+}
+
+obs::Counter& PostingsScanned() {
+  static obs::Counter& c = obs::GetCounter("irs.index.postings_scanned");
+  return c;
+}
+
+}  // namespace
 
 DocId InvertedIndex::AddDocument(const std::string& key,
                                  const std::vector<std::string>& tokens) {
@@ -72,8 +87,13 @@ StatusOr<DocId> InvertedIndex::FindByKey(const std::string& key) const {
 
 const std::vector<Posting>* InvertedIndex::GetPostings(
     const std::string& term) const {
+  TermLookups().Increment();
   auto it = dictionary_.find(term);
-  return it == dictionary_.end() ? nullptr : &it->second;
+  if (it == dictionary_.end()) return nullptr;
+  // Callers walk the returned list in full, so its length is the
+  // number of postings this lookup puts in play.
+  PostingsScanned().Add(it->second.size());
+  return &it->second;
 }
 
 uint32_t InvertedIndex::DocFreq(const std::string& term) const {

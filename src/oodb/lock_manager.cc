@@ -1,35 +1,65 @@
 #include "oodb/lock_manager.h"
 
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+
 namespace sdms::oodb {
 
+namespace {
+
+struct LockMetrics {
+  obs::Counter& acquisitions = obs::GetCounter("oodb.lock.acquisitions");
+  obs::Counter& conflicts = obs::GetCounter("oodb.lock.conflicts");
+  obs::Gauge& held = obs::GetGauge("oodb.lock.held_objects");
+  /// Time spent inside Acquire (table-mutex wait + grant); under the
+  /// no-wait policy a conflict returns instead of blocking, so this
+  /// measures contention on the lock table itself.
+  obs::Histogram& acquire_us = obs::GetHistogram("oodb.lock.acquire_micros");
+};
+
+LockMetrics& Metrics() {
+  static LockMetrics* m = new LockMetrics();
+  return *m;
+}
+
+}  // namespace
+
 Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
+  obs::TraceSpan span("lock.acquire");
+  auto conflict = [](std::string message) {
+    Metrics().conflicts.Increment();
+    return Status::LockConflict(std::move(message));
+  };
   std::lock_guard<std::mutex> guard(mu_);
   Entry& e = table_[oid];
   if (mode == LockMode::kShared) {
     if (e.exclusive != 0 && e.exclusive != txn) {
-      return Status::LockConflict("S-lock on " + oid.ToString() +
-                                  " blocked by X-lock of txn " +
-                                  std::to_string(e.exclusive));
+      return conflict("S-lock on " + oid.ToString() +
+                      " blocked by X-lock of txn " +
+                      std::to_string(e.exclusive));
     }
     if (e.exclusive != txn) e.shared.insert(txn);
   } else {
     if (e.exclusive != 0 && e.exclusive != txn) {
-      return Status::LockConflict("X-lock on " + oid.ToString() +
-                                  " blocked by X-lock of txn " +
-                                  std::to_string(e.exclusive));
+      return conflict("X-lock on " + oid.ToString() +
+                      " blocked by X-lock of txn " +
+                      std::to_string(e.exclusive));
     }
     // Upgrade allowed only when this txn is the sole shared holder.
     for (TxnId holder : e.shared) {
       if (holder != txn) {
-        return Status::LockConflict("X-lock on " + oid.ToString() +
-                                    " blocked by S-lock of txn " +
-                                    std::to_string(holder));
+        return conflict("X-lock on " + oid.ToString() +
+                        " blocked by S-lock of txn " +
+                        std::to_string(holder));
       }
     }
     e.shared.erase(txn);
     e.exclusive = txn;
   }
   by_txn_[txn].insert(oid);
+  Metrics().acquisitions.Increment();
+  Metrics().held.Set(static_cast<int64_t>(table_.size()));
+  Metrics().acquire_us.Record(static_cast<double>(span.ElapsedMicros()));
   return Status::OK();
 }
 
@@ -47,6 +77,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   by_txn_.erase(it);
+  Metrics().held.Set(static_cast<int64_t>(table_.size()));
 }
 
 bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {

@@ -4,12 +4,31 @@
 #include <optional>
 #include <set>
 
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/string_util.h"
 #include "oodb/query/parser.h"
 
 namespace sdms::oodb::vql {
 
 namespace {
+
+struct QueryMetrics {
+  obs::Counter& runs = obs::GetCounter("oodb.query.runs");
+  obs::Counter& errors = obs::GetCounter("oodb.query.errors");
+  obs::Counter& rows = obs::GetCounter("oodb.query.rows_emitted");
+  obs::Counter& bindings = obs::GetCounter("oodb.query.bindings_scanned");
+  obs::Counter& index_lookups = obs::GetCounter("oodb.query.index_lookups");
+  obs::Histogram& parse_us = obs::GetHistogram("oodb.query.parse_micros");
+  obs::Histogram& plan_us = obs::GetHistogram("oodb.query.plan_micros");
+  obs::Histogram& join_us = obs::GetHistogram("oodb.query.join_micros");
+  obs::Histogram& run_us = obs::GetHistogram("oodb.query.run_micros");
+};
+
+QueryMetrics& Metrics() {
+  static QueryMetrics* m = new QueryMetrics();
+  return *m;
+}
 
 /// An index-usable equality: `var.attr == literal` (or the method form
 /// `var -> getAttributeValue('attr') == literal`, and mirrored sides).
@@ -186,6 +205,7 @@ struct QueryEngine::BindingPlan {
 
 StatusOr<std::vector<QueryEngine::BindingPlan>> QueryEngine::BuildPlan(
     const ParsedQuery& query) {
+  obs::TraceSpan span("vql.plan");
   std::vector<BindingPlan> plan;
   for (const Binding& b : query.bindings) {
     if (!db_->schema().HasClass(b.class_name)) {
@@ -304,6 +324,7 @@ StatusOr<std::vector<QueryEngine::BindingPlan>> QueryEngine::BuildPlan(
     return Status::InvalidArgument("WHERE references unbound variable(s) in " +
                                    join_conjuncts.front()->ToString());
   }
+  Metrics().plan_us.Record(static_cast<double>(span.ElapsedMicros()));
   return plan;
 }
 
@@ -436,8 +457,14 @@ StatusOr<Value> QueryEngine::Eval(const Expr& expr,
 }
 
 StatusOr<QueryResult> QueryEngine::Run(const std::string& vql) {
-  SDMS_ASSIGN_OR_RETURN(ParsedQuery q, ParseQuery(vql));
-  return Run(q);
+  obs::TraceSpan span("vql.parse");
+  auto parsed = ParseQuery(vql);
+  Metrics().parse_us.Record(static_cast<double>(span.ElapsedMicros()));
+  if (!parsed.ok()) {
+    Metrics().errors.Increment();
+    return parsed.status();
+  }
+  return Run(*parsed);
 }
 
 StatusOr<std::string> QueryEngine::Explain(const std::string& vql) {
@@ -475,24 +502,39 @@ StatusOr<std::string> QueryEngine::Explain(const std::string& vql) {
 }
 
 StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
+  obs::TraceSpan run_span("vql.run");
+  QueryMetrics& metrics = Metrics();
+  metrics.runs.Increment();
   stats_ = QueryStats{};
   for (const PrepareHook& hook : prepare_hooks_) {
     Status hook_status = hook(*db_, query);
     if (!hook_status.ok()) {
       candidate_overrides_.clear();
+      metrics.errors.Increment();
       return hook_status;
     }
   }
   auto plan_or = BuildPlan(query);
   candidate_overrides_.clear();  // Overrides apply to this Run only.
-  if (!plan_or.ok()) return plan_or.status();
+  if (!plan_or.ok()) {
+    metrics.errors.Increment();
+    return plan_or.status();
+  }
   std::vector<BindingPlan> plan = std::move(plan_or).value();
 
   QueryResult result;
   for (const auto& e : query.select) result.columns.push_back(e->ToString());
 
   std::map<std::string, Value> env;
-  SDMS_RETURN_IF_ERROR(RunJoin(query, plan, 0, env, result));
+  {
+    obs::TraceSpan join_span("vql.join");
+    Status join_status = RunJoin(query, plan, 0, env, result);
+    metrics.join_us.Record(static_cast<double>(join_span.ElapsedMicros()));
+    if (!join_status.ok()) {
+      metrics.errors.Increment();
+      return join_status;
+    }
+  }
 
   // DISTINCT: keep the first row per distinct select-column tuple
   // (the hidden sort key, when present, follows the first occurrence).
@@ -536,6 +578,10 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
     result.rows.resize(static_cast<size_t>(query.limit));
   }
   stats_.rows_emitted = result.rows.size();
+  metrics.rows.Add(stats_.rows_emitted);
+  metrics.bindings.Add(stats_.bindings_scanned);
+  metrics.index_lookups.Add(stats_.index_lookups);
+  metrics.run_us.Record(static_cast<double>(run_span.ElapsedMicros()));
   return result;
 }
 

@@ -4,11 +4,25 @@
 #include <cstring>
 #include <vector>
 
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "oodb/storage/serializer.h"
 
 namespace sdms::oodb {
 
 namespace {
+
+struct WalMetrics {
+  obs::Counter& appends = obs::GetCounter("oodb.wal.appends");
+  obs::Counter& bytes = obs::GetCounter("oodb.wal.bytes");
+  obs::Counter& syncs = obs::GetCounter("oodb.wal.syncs");
+  obs::Histogram& sync_us = obs::GetHistogram("oodb.wal.sync_micros");
+};
+
+WalMetrics& Metrics() {
+  static WalMetrics* m = new WalMetrics();
+  return *m;
+}
 
 void PutFixed32(std::string& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -49,12 +63,17 @@ Status Wal::Append(std::string_view payload) {
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IoError("WAL write failed");
   }
+  Metrics().appends.Increment();
+  Metrics().bytes.Add(frame.size());
   return Status::OK();
 }
 
 Status Wal::Sync() {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  obs::TraceSpan span("wal.sync");
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  Metrics().syncs.Increment();
+  Metrics().sync_us.Record(static_cast<double>(span.ElapsedMicros()));
   return Status::OK();
 }
 

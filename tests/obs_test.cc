@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+
+namespace sdms::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.ResetForTest();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, ConcurrentAddsCancel) {
+  Gauge g;
+  std::thread up([&g] {
+    for (int i = 0; i < 100000; ++i) g.Add(3);
+  });
+  std::thread down([&g] {
+    for (int i = 0; i < 100000; ++i) g.Add(-3);
+  });
+  up.join();
+  down.join();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, AggregatesTrackExactly) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(10.0);
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 111.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformDistribution) {
+  // 1..1000 uniformly: p50 ≈ 500, p90 ≈ 900, p99 ≈ 990. The exponential
+  // buckets give interpolation error bounded by the bucket width, so we
+  // allow a generous ±20% relative tolerance.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(50), 500.0, 100.0);
+  EXPECT_NEAR(h.Percentile(90), 900.0, 180.0);
+  EXPECT_NEAR(h.Percentile(99), 990.0, 198.0);
+  // Percentiles are clamped to the observed range.
+  EXPECT_GE(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 500; ++i) h.Record(static_cast<double>(i * 7 % 400 + 1));
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 37.0);
+  EXPECT_DOUBLE_EQ(h.min(), 37.0);
+  EXPECT_DOUBLE_EQ(h.max(), 37.0);
+}
+
+TEST(HistogramTest, OverflowBucketStillCounts) {
+  Histogram h(Histogram::Options{1.0, 2.0, 4});  // bounds 1,2,4,8
+  h.Record(1e9);
+  h.Record(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1e9);  // Clamped to observed max.
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>((t * kPerThread + i) % 1000 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(h.min(), 1.0);
+  EXPECT_LE(h.max(), 1000.0);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistryTest, StableReferences) {
+  Counter& a = GetCounter("test.obs.stable");
+  Counter& b = GetCounter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlace) {
+  Counter& c = GetCounter("test.obs.reset");
+  Gauge& g = GetGauge("test.obs.reset_gauge");
+  Histogram& h = GetHistogram("test.obs.reset_hist");
+  c.Add(5);
+  g.Set(-3);
+  h.Record(10.0);
+  MetricsRegistry::Instance().ResetForTest();
+  // References stay valid and read zero.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(MetricsRegistryTest, DumpTextContainsMetrics) {
+  GetCounter("test.obs.dump_counter").Add(7);
+  GetGauge("test.obs.dump_gauge").Set(11);
+  GetHistogram("test.obs.dump_hist").Record(3.0);
+  std::string text = MetricsRegistry::Instance().DumpText();
+  EXPECT_NE(text.find("test.obs.dump_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.obs.dump_gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.obs.dump_hist"), std::string::npos);
+}
+
+// Minimal structural JSON check: balanced braces, expected keys, and a
+// round-trip of a few values via string search. (No JSON library in the
+// repo; this validates the exporter's shape without one.)
+TEST(MetricsRegistryTest, DumpJsonWellFormed) {
+  MetricsRegistry::Instance().ResetForTest();
+  GetCounter("test.obs.json_counter").Add(123);
+  GetGauge("test.obs.json_gauge").Set(-45);
+  Histogram& h = GetHistogram("test.obs.json_hist");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  std::string json = MetricsRegistry::Instance().DumpJson();
+
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+    } else if (ch == '"') {
+      in_string = !in_string;
+    } else if (!in_string && ch == '{') {
+      ++depth;
+    } else if (!in_string && ch == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_counter\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_gauge\":-45"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(TraceTest, SpanTimesWithoutTracing) {
+  EnableTracing(false);
+  TraceSpan span("test.untraced");
+  EXPECT_GE(span.ElapsedMicros(), 0);
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndOrder) {
+  TraceCollector::ClearAll();
+  EnableTracing(true);
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan inner("test.inner");
+    }
+    {
+      TraceSpan inner2("test.inner2");
+    }
+  }
+  EnableTracing(false);
+
+  std::vector<TraceEvent> events = TraceCollector::GatherAll();
+  ASSERT_EQ(events.size(), 3u);
+  // GatherAll orders by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_STREQ(events[2].name, "test.inner2");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+  // The parent encloses both children (±1µs: start and duration are
+  // truncated to microseconds independently).
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].duration_us + 1,
+            events[2].start_us + events[2].duration_us);
+  TraceCollector::ClearAll();
+}
+
+TEST(TraceTest, ExportChromeTraceShape) {
+  TraceCollector::ClearAll();
+  EnableTracing(true);
+  {
+    TraceSpan span("test.export");
+  }
+  EnableTracing(false);
+  std::string json = TraceCollector::ExportChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  TraceCollector::ClearAll();
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceCollector::ClearAll();
+  EnableTracing(false);
+  {
+    TraceSpan span("test.invisible");
+  }
+  EXPECT_TRUE(TraceCollector::GatherAll().empty());
+}
+
+// -------------------------------------------------------------------- Log
+
+// Captures records into a caller-owned vector (the logger owns the
+// sink itself, so the test keeps only the storage).
+class CaptureSink : public LogSink {
+ public:
+  explicit CaptureSink(std::vector<LogRecord>* out) : out_(out) {}
+  void Write(const LogRecord& record) override { out_->push_back(record); }
+
+ private:
+  std::vector<LogRecord>* out_;
+};
+
+TEST(LogTest, LevelFiltering) {
+  std::vector<LogRecord> records;
+  Logger& logger = Logger::Instance();
+  logger.SetSink(std::make_unique<CaptureSink>(&records));
+  logger.SetLevel(LogLevel::kWarn);
+  SDMS_LOG(INFO) << "dropped";
+  SDMS_LOG(WARN) << "kept " << 42;
+  SDMS_LOG(ERROR) << "also kept";
+  logger.SetLevel(LogLevel::kInfo);
+  logger.SetSink(MakeStderrSink());
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kWarn);
+  EXPECT_EQ(records[0].message, "kept 42");
+  EXPECT_EQ(records[1].level, LogLevel::kError);
+  EXPECT_EQ(records[1].message, "also kept");
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  std::vector<LogRecord> records;
+  Logger& logger = Logger::Instance();
+  logger.SetSink(std::make_unique<CaptureSink>(&records));
+  logger.SetLevel(LogLevel::kOff);
+  SDMS_LOG(ERROR) << "nope";
+  logger.SetLevel(LogLevel::kInfo);
+  logger.SetSink(MakeStderrSink());
+  EXPECT_TRUE(records.empty());
+}
+
+}  // namespace
+}  // namespace sdms::obs
