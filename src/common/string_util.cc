@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 
@@ -110,6 +111,22 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) {
+    return Status::InvalidArgument("empty floating-point literal");
+  }
+  // std::from_chars does not accept a leading '+'.
+  if (t.front() == '+') t.remove_prefix(1);
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    return Status::InvalidArgument("bad floating-point literal: " +
+                                   std::string(s));
+  }
+  return value;
 }
 
 }  // namespace sdms

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace sdms {
 
 /// Returns a lowercase copy of `s` (ASCII only).
@@ -41,6 +43,13 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Parses a floating-point literal, locale-independent ("." is always
+/// the decimal separator regardless of the process locale). The whole
+/// of `s` (after trimming ASCII whitespace) must be consumed;
+/// InvalidArgument otherwise. Round-trips any double printed with
+/// "%.17g" exactly.
+StatusOr<double> ParseDouble(std::string_view s);
 
 }  // namespace sdms
 

@@ -81,6 +81,12 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
 
   SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
                         coupling_->irs().GetCollection(irs_name_));
+  // Bulk representation: gather the objects' texts, then hand the whole
+  // batch to the IRS so analysis and postings construction can fan out
+  // across the thread pool.
+  std::vector<irs::BatchDocument> batch;
+  std::set<Oid> batch_oids;
+  batch.reserve(result.rows.size());
   for (const auto& row : result.rows) {
     if (!row[0].is_oid()) {
       return Status::TypeError(
@@ -89,11 +95,13 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
     }
     Oid oid = row[0].as_oid();
     if (Represents(oid)) continue;
+    if (!batch_oids.insert(oid).second) continue;  // spec yielded it twice
     SDMS_ASSIGN_OR_RETURN(std::string text,
                           coupling_->GetText(oid, text_mode_));
-    SDMS_RETURN_IF_ERROR(coll->AddDocument(oid.ToString(), text));
-    represented_.insert(oid);
+    batch.push_back(irs::BatchDocument{oid.ToString(), std::move(text)});
   }
+  SDMS_RETURN_IF_ERROR(coll->AddDocumentsBatch(batch));
+  represented_.insert(batch_oids.begin(), batch_oids.end());
   Metrics().index_objects_us.Record(static_cast<double>(span.ElapsedMicros()));
   SDMS_LOG(DEBUG) << "indexObjects(" << irs_name_ << "): " << spec_query
                   << " -> " << represented_.size() << " represented objects";
@@ -399,10 +407,43 @@ Status Collection::PropagateUpdates() {
   std::vector<PendingOp> ops = update_log_.Drain();
   stats_.cancelled_ops = update_log_.cancelled();
   if (ops.empty()) return Status::OK();
+  // Net operations are per-object independent, so replay is free to
+  // group them: deletes and modifies apply individually, while inserts
+  // are collected and fed to the batch indexing pipeline in one call.
+  std::vector<PendingOp> inserts;
   bool changed = false;
   for (const PendingOp& op : ops) {
+    if (op.kind == UpdateKind::kInsert) {
+      inserts.push_back(op);
+      continue;
+    }
     Status s = ApplyOp(op);
     if (!s.ok()) return s;
+    changed = true;
+  }
+  if (!inserts.empty()) {
+    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                          coupling_->irs().GetCollection(irs_name_));
+    std::vector<irs::BatchDocument> batch;
+    std::vector<Oid> batch_oids;
+    batch.reserve(inserts.size());
+    for (const PendingOp& op : inserts) {
+      if (Represents(op.oid)) continue;
+      SDMS_ASSIGN_OR_RETURN(bool ok, SatisfiesSpec(op.oid));
+      if (!ok) continue;
+      SDMS_ASSIGN_OR_RETURN(std::string text,
+                            coupling_->GetText(op.oid, text_mode_));
+      batch.push_back(irs::BatchDocument{op.oid.ToString(), std::move(text)});
+      batch_oids.push_back(op.oid);
+    }
+    if (!batch.empty()) {
+      SDMS_RETURN_IF_ERROR(coll->AddDocumentsBatch(batch));
+      represented_.insert(batch_oids.begin(), batch_oids.end());
+      stats_.reindex_ops += batch.size();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Metrics().reindex_ops.Increment();
+      }
+    }
     changed = true;
   }
   if (changed) {

@@ -35,6 +35,7 @@ obs::Gauge& GlobalEntries() {
 }  // namespace
 
 const OidScoreMap* ResultBuffer::Get(const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(query);
   if (it == entries_.end()) {
     misses_.Increment();
@@ -48,6 +49,11 @@ const OidScoreMap* ResultBuffer::Get(const std::string& query) {
 }
 
 void ResultBuffer::Put(const std::string& query, OidScoreMap result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(query, std::move(result));
+}
+
+void ResultBuffer::PutLocked(const std::string& query, OidScoreMap result) {
   auto it = entries_.find(query);
   if (it != entries_.end()) {
     it->second.result = std::move(result);
@@ -72,9 +78,10 @@ void ResultBuffer::Put(const std::string& query, OidScoreMap result) {
 
 void ResultBuffer::InsertValue(const std::string& query, Oid oid,
                                double score) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(query);
   if (it == entries_.end()) {
-    Put(query, OidScoreMap{{oid, score}});
+    PutLocked(query, OidScoreMap{{oid, score}});
     return;
   }
   it->second.result[oid] = score;
@@ -87,12 +94,18 @@ void ResultBuffer::Touch(const std::string& query, Entry& e) {
 }
 
 void ResultBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
+void ResultBuffer::ClearLocked() {
   GlobalEntries().Add(-static_cast<int64_t>(entries_.size()));
   entries_.clear();
   lru_.clear();
 }
 
 void ResultBuffer::Erase(const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(query);
   if (it == entries_.end()) return;
   lru_.erase(it->second.lru_it);
@@ -101,6 +114,7 @@ void ResultBuffer::Erase(const std::string& query) {
 }
 
 std::string ResultBuffer::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Encoder enc;
   enc.PutU64(entries_.size());
   // Persist in LRU order so the order is restored too.
@@ -117,7 +131,8 @@ std::string ResultBuffer::Serialize() const {
 }
 
 Status ResultBuffer::Restore(std::string_view data) {
-  Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
   Decoder dec(data);
   SDMS_ASSIGN_OR_RETURN(uint64_t n, dec.GetU64());
   for (uint64_t i = 0; i < n; ++i) {
@@ -129,7 +144,7 @@ Status ResultBuffer::Restore(std::string_view data) {
       SDMS_ASSIGN_OR_RETURN(double score, dec.GetDouble());
       result.emplace(Oid(raw), score);
     }
-    Put(query, std::move(result));
+    PutLocked(query, std::move(result));
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define SDMS_COUPLING_RESULT_BUFFER_H_
 
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -17,6 +18,15 @@ namespace sdms::coupling {
 /// one query during a single VQL evaluation) and inter-query
 /// optimization (the same IRS query across separate VQL queries). The
 /// buffer is invalidated when update propagation changes the IRS index.
+///
+/// Thread safety: all operations (Get/Put/InsertValue/Clear/Erase/
+/// Serialize/Restore/size) are internally synchronized by a single
+/// mutex, so concurrent callers — e.g. query evaluation on one thread
+/// while update propagation invalidates on another — never corrupt the
+/// LRU structures. The pointer returned by Get() aliases buffer-owned
+/// storage and is only guaranteed valid until the next mutating call
+/// (Put/InsertValue/Clear/Erase/Restore) on this buffer; callers that
+/// hold results across mutations must copy the map.
 class ResultBuffer {
  public:
   /// `capacity` bounds the number of buffered queries (LRU eviction);
@@ -44,7 +54,10 @@ class ResultBuffer {
   /// Drops only `query`.
   void Erase(const std::string& query);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   uint64_t hits() const { return hits_.value(); }
   uint64_t misses() const { return misses_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
@@ -61,7 +74,12 @@ class ResultBuffer {
   };
 
   void Touch(const std::string& query, Entry& e);
+  /// Lock-free bodies shared by the public methods (Restore composes
+  /// them under one critical section).
+  void PutLocked(const std::string& query, OidScoreMap result);
+  void ClearLocked();
 
+  mutable std::mutex mu_;
   size_t capacity_;
   std::unordered_map<std::string, Entry> entries_;
   /// Most-recent first.

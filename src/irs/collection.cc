@@ -4,6 +4,7 @@
 
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
+#include "common/thread_pool.h"
 
 namespace sdms::irs {
 
@@ -15,6 +16,7 @@ struct IrsMetrics {
   obs::Counter& docs_removed = obs::GetCounter("irs.index.docs_removed");
   obs::Histogram& build_us = obs::GetHistogram("irs.index.build_micros");
   obs::Histogram& search_us = obs::GetHistogram("irs.index.search_micros");
+  obs::Histogram& batch_us = obs::GetHistogram("irs.index.batch_micros");
 };
 
 IrsMetrics& Metrics() {
@@ -39,6 +41,42 @@ Status IrsCollection::AddDocument(const std::string& key,
   return Status::OK();
 }
 
+Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
+                                        ThreadPool* pool) {
+  if (docs.empty()) return Status::OK();
+  for (const BatchDocument& d : docs) {
+    if (HasDocument(d.key)) {
+      return Status::AlreadyExists("document already in collection " + name_ +
+                                   ": " + d.key);
+    }
+  }
+  obs::TraceSpan span("irs.add_documents_batch");
+  if (pool == nullptr) pool = DefaultThreadPool();
+
+  // Fan the analysis pipeline (tokenize/stop/stem — the dominant cost)
+  // out across the pool; the Analyzer is stateless and shared.
+  std::vector<DocTokens> analyzed(docs.size());
+  auto analyze_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      analyzed[i].key = docs[i].key;
+      analyzed[i].tokens = analyzer_.Analyze(docs[i].text);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(docs.size(), analyze_range);
+  } else {
+    analyze_range(0, docs.size());
+  }
+
+  SDMS_ASSIGN_OR_RETURN(std::vector<DocId> ids,
+                        index_.AddDocumentsBatch(analyzed, pool));
+  (void)ids;
+  stats_.docs_indexed += docs.size();
+  Metrics().docs_indexed.Add(docs.size());
+  Metrics().batch_us.Record(static_cast<double>(span.ElapsedMicros()));
+  return Status::OK();
+}
+
 Status IrsCollection::UpdateDocument(const std::string& key,
                                      const std::string& text) {
   SDMS_RETURN_IF_ERROR(RemoveDocument(key));
@@ -55,6 +93,11 @@ Status IrsCollection::RemoveDocument(const std::string& key) {
 
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     const std::string& query) {
+  return Search(query, 0);
+}
+
+StatusOr<std::vector<SearchHit>> IrsCollection::Search(
+    const std::string& query, size_t k) {
   obs::TraceSpan span("irs.search");
   Metrics().searches.Increment();
   SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
@@ -62,18 +105,43 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
   SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
   ++stats_.queries_executed;
   Metrics().search_us.Record(static_cast<double>(span.ElapsedMicros()));
-  std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
-    auto info = index_.GetDoc(doc);
-    if (!info.ok() || !(*info)->alive) continue;
-    hits.push_back(SearchHit{(*info)->key, score});
-  }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
-                                         const SearchHit& b) {
+
+  // Hit ordering: descending score, ties broken by key.
+  auto better = [](const SearchHit& a, const SearchHit& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.key < b.key;
-  });
+  };
+
+  std::vector<SearchHit> hits;
+  if (k > 0 && scores.size() > k) {
+    // Bounded top-k: a k-sized min-heap whose root is the weakest
+    // retained hit; better candidates displace it.
+    hits.reserve(k + 1);
+    auto heap_cmp = [&better](const SearchHit& a, const SearchHit& b) {
+      return better(a, b);  // makes the *worst* hit the heap root
+    };
+    for (const auto& [doc, score] : scores) {
+      auto info = index_.GetDoc(doc);
+      if (!info.ok() || !(*info)->alive) continue;
+      SearchHit h{(*info)->key, score};
+      if (hits.size() < k) {
+        hits.push_back(std::move(h));
+        std::push_heap(hits.begin(), hits.end(), heap_cmp);
+      } else if (better(h, hits.front())) {
+        std::pop_heap(hits.begin(), hits.end(), heap_cmp);
+        hits.back() = std::move(h);
+        std::push_heap(hits.begin(), hits.end(), heap_cmp);
+      }
+    }
+  } else {
+    hits.reserve(scores.size());
+    for (const auto& [doc, score] : scores) {
+      auto info = index_.GetDoc(doc);
+      if (!info.ok() || !(*info)->alive) continue;
+      hits.push_back(SearchHit{(*info)->key, score});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), better);
   return hits;
 }
 
@@ -81,7 +149,9 @@ std::string IrsCollection::Serialize() const { return index_.Serialize(); }
 
 Status IrsCollection::RestoreIndex(std::string_view data) {
   SDMS_ASSIGN_OR_RETURN(InvertedIndex index, InvertedIndex::Deserialize(data));
+  bool eager = index_.eager_delete();
   index_ = std::move(index);
+  index_.set_eager_delete(eager);
   return Status::OK();
 }
 

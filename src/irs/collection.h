@@ -10,7 +10,17 @@
 #include "irs/index/inverted_index.h"
 #include "irs/model/retrieval_model.h"
 
+namespace sdms {
+class ThreadPool;
+}
+
 namespace sdms::irs {
+
+/// One document of a batch indexing call.
+struct BatchDocument {
+  std::string key;
+  std::string text;
+};
 
 /// One ranked search hit: external document key (the OID string) and
 /// its IRS value.
@@ -52,6 +62,22 @@ class IrsCollection {
   /// Indexes `text` under `key`. Fails if the key is present.
   Status AddDocument(const std::string& key, const std::string& text);
 
+  /// Bulk indexing: analysis fans out across `pool` (DefaultThreadPool()
+  /// when omitted, sequential when that is null), then the postings are
+  /// built via InvertedIndex::AddDocumentsBatch. Produces an index
+  /// identical to adding the documents one by one in `docs` order.
+  /// Fails without side effects if a key is already present or occurs
+  /// twice in the batch.
+  Status AddDocumentsBatch(const std::vector<BatchDocument>& docs,
+                           ThreadPool* pool = nullptr);
+
+  /// Switches the index between tombstone deletes with threshold
+  /// compaction (default) and the paper's eager dictionary-scan delete.
+  void set_eager_delete(bool eager) { index_.set_eager_delete(eager); }
+
+  /// Prunes tombstoned postings now; returns tombstones cleared.
+  size_t CompactIndex() { return index_.Compact(); }
+
   /// Replaces the document under `key` (remove + re-add).
   Status UpdateDocument(const std::string& key, const std::string& text);
 
@@ -65,6 +91,12 @@ class IrsCollection {
   /// Evaluates an IRS query, returning hits ranked by descending score
   /// (ties broken by key for determinism).
   StatusOr<std::vector<SearchHit>> Search(const std::string& query);
+
+  /// Top-k variant: keeps only the `k` best hits with a bounded heap
+  /// instead of materializing and fully sorting every scored document.
+  /// The result equals the first k entries of Search(query); k == 0
+  /// means unbounded.
+  StatusOr<std::vector<SearchHit>> Search(const std::string& query, size_t k);
 
   /// Serializes index + stats (analyzer/model are configuration and are
   /// re-supplied at load).

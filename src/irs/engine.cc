@@ -87,7 +87,9 @@ Status IrsEngine::SearchToFile(const std::string& collection,
   SDMS_ASSIGN_OR_RETURN(std::vector<SearchHit> hits, coll->Search(query));
   std::string out;
   for (const SearchHit& h : hits) {
-    out += h.key + "\t" + StrFormat("%.9f", h.score) + "\n";
+    // %.17g survives the text round-trip exactly for any double, so the
+    // exchange-file detour never perturbs scores or ranking.
+    out += h.key + "\t" + StrFormat("%.17g", h.score) + "\n";
   }
   return WriteFileAtomic(path, out);
 }
@@ -104,11 +106,11 @@ StatusOr<std::vector<SearchHit>> IrsEngine::ParseResultFile(
     }
     SearchHit h;
     h.key = parts[0];
-    try {
-      h.score = std::stod(parts[1]);
-    } catch (...) {
+    StatusOr<double> score = ParseDouble(parts[1]);
+    if (!score.ok()) {
       return Status::Corruption("bad IRS score: " + parts[1]);
     }
+    h.score = *score;
     hits.push_back(std::move(h));
   }
   return hits;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/obs/metrics.h"
+#include "common/thread_pool.h"
 #include "oodb/storage/serializer.h"
 
 namespace sdms::irs {
@@ -22,22 +23,29 @@ obs::Counter& PostingsScanned() {
   return c;
 }
 
+obs::Counter& BatchDocs() {
+  static obs::Counter& c = obs::GetCounter("irs.index.batch_docs");
+  return c;
+}
+
+obs::Counter& BatchCalls() {
+  static obs::Counter& c = obs::GetCounter("irs.index.batch_calls");
+  return c;
+}
+
+obs::Counter& Compactions() {
+  static obs::Counter& c = obs::GetCounter("irs.index.compactions");
+  return c;
+}
+
 }  // namespace
 
-DocId InvertedIndex::AddDocument(const std::string& key,
-                                 const std::vector<std::string>& tokens) {
-  DocId id = static_cast<DocId>(docs_.size());
-  DocInfo info;
-  info.key = key;
-  info.length = static_cast<uint32_t>(tokens.size());
-  info.alive = true;
-  docs_.push_back(std::move(info));
-  by_key_[key] = id;
-  ++live_docs_;
-  total_tokens_ += tokens.size();
-
+void InvertedIndex::AccumulatePostings(
+    DocId id, const std::vector<std::string>& tokens,
+    std::unordered_map<std::string, std::vector<Posting>>& dict) {
   // Group positions per term for this document.
-  std::map<std::string, std::vector<uint32_t>> grouped;
+  std::unordered_map<std::string, std::vector<uint32_t>> grouped;
+  grouped.reserve(tokens.size());
   for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
     grouped[tokens[pos]].push_back(pos);
   }
@@ -48,9 +56,100 @@ DocId InvertedIndex::AddDocument(const std::string& key,
     p.positions = std::move(positions);
     // Doc ids are monotonically increasing, so appending keeps the
     // postings sorted.
-    dictionary_[term].push_back(std::move(p));
+    dict[term].push_back(std::move(p));
   }
+}
+
+DocId InvertedIndex::AddDocument(const std::string& key,
+                                 const std::vector<std::string>& tokens) {
+  DocId id = static_cast<DocId>(docs_.size());
+  DocInfo info;
+  info.key = key;
+  info.length = static_cast<uint32_t>(tokens.size());
+  info.alive = true;
+  docs_.push_back(std::move(info));
+  pending_prune_.push_back(false);
+  by_key_[key] = id;
+  ++live_docs_;
+  total_tokens_ += tokens.size();
+  AccumulatePostings(id, tokens, dictionary_);
   return id;
+}
+
+StatusOr<std::vector<DocId>> InvertedIndex::AddDocumentsBatch(
+    const std::vector<DocTokens>& docs, ThreadPool* pool) {
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  if (docs.empty()) return ids;
+
+  // Phase 1 (sequential, cheap): assign consecutive ids and register
+  // the documents, so shard workers only touch disjoint postings state.
+  const DocId base = static_cast<DocId>(docs_.size());
+  docs_.reserve(docs_.size() + docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    auto [it, inserted] =
+        by_key_.emplace(docs[i].key, base + static_cast<DocId>(i));
+    if (!inserted) {
+      // Roll back the keys registered so far; the index is unchanged.
+      for (size_t k = 0; k < i; ++k) by_key_.erase(docs[k].key);
+      return Status::AlreadyExists("duplicate IRS document key in batch: " +
+                                   docs[i].key);
+    }
+  }
+  for (const DocTokens& d : docs) {
+    DocInfo info;
+    info.key = d.key;
+    info.length = static_cast<uint32_t>(d.tokens.size());
+    info.alive = true;
+    docs_.push_back(std::move(info));
+    pending_prune_.push_back(false);
+    ++live_docs_;
+    total_tokens_ += d.tokens.size();
+    ids.push_back(base + static_cast<DocId>(ids.size()));
+  }
+
+  // Phase 2 (parallel): contiguous shards of the batch each build a
+  // local term -> postings map. Within a shard postings are generated
+  // in ascending doc-id order.
+  size_t shards = pool != nullptr ? std::min(pool->size(), docs.size()) : 1;
+  std::vector<std::unordered_map<std::string, std::vector<Posting>>> local(
+      shards);
+  if (shards <= 1) {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      AccumulatePostings(base + static_cast<DocId>(i), docs[i].tokens,
+                         local[0]);
+    }
+  } else {
+    size_t chunk = (docs.size() + shards - 1) / shards;
+    pool->ParallelFor(shards, [&](size_t sbegin, size_t send) {
+      for (size_t s = sbegin; s < send; ++s) {
+        size_t lo = s * chunk;
+        size_t hi = std::min(lo + chunk, docs.size());
+        for (size_t i = lo; i < hi; ++i) {
+          AccumulatePostings(base + static_cast<DocId>(i), docs[i].tokens,
+                             local[s]);
+        }
+      }
+    });
+  }
+
+  // Phase 3 (sequential): merge shard maps in shard order. Shards cover
+  // ascending doc-id ranges, so per-term concatenation keeps postings
+  // sorted — the merged dictionary is identical to the sequential path.
+  for (auto& shard : local) {
+    for (auto& [term, postings] : shard) {
+      auto& dst = dictionary_[term];
+      if (dst.empty()) {
+        dst = std::move(postings);
+      } else {
+        dst.insert(dst.end(), std::make_move_iterator(postings.begin()),
+                   std::make_move_iterator(postings.end()));
+      }
+    }
+  }
+  BatchDocs().Add(docs.size());
+  BatchCalls().Increment();
+  return ids;
 }
 
 Status InvertedIndex::RemoveDocument(DocId id) {
@@ -61,20 +160,53 @@ Status InvertedIndex::RemoveDocument(DocId id) {
   by_key_.erase(docs_[id].key);
   --live_docs_;
   total_tokens_ -= docs_[id].length;
-  // Physical prune: this full-dictionary scan is the "deleting IRS
-  // documents is costly" behaviour the paper discusses (4.3.1 (3)).
+  if (eager_delete_) {
+    // Physical prune: this full-dictionary scan is the "deleting IRS
+    // documents is costly" behaviour the paper discusses (4.3.1 (3)).
+    pending_prune_[id] = true;
+    ++tombstones_;
+    PrunePostingsOfDeadDocs();
+  } else {
+    pending_prune_[id] = true;
+    ++tombstones_;
+    MaybeCompact();
+  }
+  return Status::OK();
+}
+
+void InvertedIndex::PrunePostingsOfDeadDocs() {
   for (auto it = dictionary_.begin(); it != dictionary_.end();) {
     auto& postings = it->second;
-    postings.erase(std::remove_if(postings.begin(), postings.end(),
-                                  [id](const Posting& p) { return p.doc == id; }),
-                   postings.end());
+    postings.erase(
+        std::remove_if(postings.begin(), postings.end(),
+                       [this](const Posting& p) {
+                         return pending_prune_[p.doc];
+                       }),
+        postings.end());
     if (postings.empty()) {
       it = dictionary_.erase(it);
     } else {
       ++it;
     }
   }
-  return Status::OK();
+  std::fill(pending_prune_.begin(), pending_prune_.end(), false);
+  tombstones_ = 0;
+}
+
+size_t InvertedIndex::Compact() {
+  size_t cleared = tombstones_;
+  if (cleared == 0) return 0;
+  PrunePostingsOfDeadDocs();
+  Compactions().Increment();
+  return cleared;
+}
+
+void InvertedIndex::MaybeCompact() {
+  if (tombstones_ == 0) return;
+  if (static_cast<double>(tombstones_) >=
+      kCompactionRatio * static_cast<double>(docs_.size())) {
+    Compact();
+  }
 }
 
 StatusOr<DocId> InvertedIndex::FindByKey(const std::string& key) const {
@@ -127,6 +259,18 @@ size_t InvertedIndex::ApproximateSizeBytes() const {
   return bytes;
 }
 
+std::vector<const InvertedIndex::DictEntry*> InvertedIndex::SortedTerms()
+    const {
+  std::vector<const DictEntry*> entries;
+  entries.reserve(dictionary_.size());
+  for (const auto& entry : dictionary_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const DictEntry* a, const DictEntry* b) {
+              return a->first < b->first;
+            });
+  return entries;
+}
+
 std::string InvertedIndex::Serialize() const {
   Encoder enc;
   enc.PutU64(docs_.size());
@@ -135,11 +279,28 @@ std::string InvertedIndex::Serialize() const {
     enc.PutU32(d.length);
     enc.PutU8(d.alive ? 1 : 0);
   }
-  enc.PutU64(dictionary_.size());
-  for (const auto& [term, postings] : dictionary_) {
-    enc.PutString(term);
-    enc.PutU64(postings.size());
+  // Serialize in compacted form: tombstoned postings are dropped, and
+  // terms they empty out are not written at all.
+  auto live_postings = [this](const std::vector<Posting>& postings) {
+    size_t n = 0;
     for (const Posting& p : postings) {
+      if (!pending_prune_[p.doc]) ++n;
+    }
+    return n;
+  };
+  std::vector<const DictEntry*> terms = SortedTerms();
+  uint64_t live_terms = 0;
+  for (const DictEntry* entry : terms) {
+    if (live_postings(entry->second) > 0) ++live_terms;
+  }
+  enc.PutU64(live_terms);
+  for (const DictEntry* entry : terms) {
+    size_t nposts = live_postings(entry->second);
+    if (nposts == 0) continue;
+    enc.PutString(entry->first);
+    enc.PutU64(nposts);
+    for (const Posting& p : entry->second) {
+      if (pending_prune_[p.doc]) continue;
       enc.PutU32(p.doc);
       enc.PutU32(p.tf);
       // Delta-encode positions (classic postings compression).
@@ -170,6 +331,7 @@ StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
       index.total_tokens_ += d.length;
     }
     index.docs_.push_back(std::move(d));
+    index.pending_prune_.push_back(false);
   }
   SDMS_ASSIGN_OR_RETURN(uint64_t nterms, dec.GetU64());
   for (uint64_t t = 0; t < nterms; ++t) {
@@ -197,6 +359,8 @@ StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
 
 std::string InvertedIndex::CheckInvariants() const {
   std::vector<uint64_t> doc_token_counts(docs_.size(), 0);
+  size_t seen_tombstones = 0;
+  std::vector<bool> counted(docs_.size(), false);
   for (const auto& [term, postings] : dictionary_) {
     if (postings.empty()) return "empty postings list for term " + term;
     DocId prev = 0;
@@ -206,7 +370,15 @@ std::string InvertedIndex::CheckInvariants() const {
       first = false;
       prev = p.doc;
       if (p.doc >= docs_.size()) return "posting references unknown doc";
-      if (!docs_[p.doc].alive) return "posting references dead doc";
+      if (!docs_[p.doc].alive) {
+        // Dead postings are legal only while the doc awaits compaction.
+        if (!pending_prune_[p.doc]) return "posting references dead doc";
+        if (!counted[p.doc]) {
+          counted[p.doc] = true;
+          ++seen_tombstones;
+        }
+        continue;
+      }
       if (p.tf != p.positions.size()) return "tf != positions.size()";
       for (size_t i = 1; i < p.positions.size(); ++i) {
         if (p.positions[i] <= p.positions[i - 1]) {
@@ -216,6 +388,7 @@ std::string InvertedIndex::CheckInvariants() const {
       doc_token_counts[p.doc] += p.tf;
     }
   }
+  if (seen_tombstones > tombstones_) return "tombstone count mismatch";
   uint64_t tokens = 0;
   uint32_t live = 0;
   for (DocId id = 0; id < docs_.size(); ++id) {

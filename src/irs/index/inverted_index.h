@@ -2,12 +2,16 @@
 #define SDMS_IRS_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+
+namespace sdms {
+class ThreadPool;
+}
 
 namespace sdms::irs {
 
@@ -33,30 +37,79 @@ struct DocInfo {
   bool alive = false;
 };
 
+/// One document of a batch insert: external key plus analyzed tokens.
+struct DocTokens {
+  std::string key;
+  std::vector<std::string> tokens;
+};
+
 /// A positional inverted index over analyzed token streams. Documents
 /// are added as token vectors (analysis happens in IrsCollection).
-/// Deletion is physical (postings are pruned), mirroring the cost the
-/// paper attributes to IRS document removal (Section 4.3.1, option 3).
+///
+/// Deletion strategies (Section 4.3.1, option 3 — "deleting IRS
+/// documents is costly"):
+///   * eager (set_eager_delete(true)): the paper's architecture — every
+///     removal scans the whole dictionary pruning the document's
+///     postings immediately;
+///   * tombstone (default): removal only marks the document dead;
+///     postings are pruned by Compact(), triggered automatically when
+///     tombstoned documents exceed kCompactionRatio of the doc table.
+/// Between a tombstone delete and the next compaction, GetPostings /
+/// DocFreq still see the dead document's postings; result-producing
+/// callers (IrsCollection::Search and the retrieval models) filter dead
+/// documents, so hit sets are exact while corpus statistics (df) may
+/// briefly include tombstones.
 class InvertedIndex {
  public:
+  /// Fraction of the doc table that may be tombstoned before an
+  /// automatic Compact() (checked after each tombstone delete).
+  static constexpr double kCompactionRatio = 0.25;
+
   /// Adds a document; returns its internal id.
   DocId AddDocument(const std::string& key,
                     const std::vector<std::string>& tokens);
 
-  /// Removes document `id`; scans the dictionary pruning its postings.
+  /// Bulk insert: assigns consecutive doc ids in `docs` order, builds
+  /// per-shard postings maps on `pool` (sequentially when null) and
+  /// merges them in doc-id order, so the result is bit-identical to
+  /// adding the documents one by one. Keys must be distinct and absent
+  /// from the index. Returns the ids in input order.
+  StatusOr<std::vector<DocId>> AddDocumentsBatch(
+      const std::vector<DocTokens>& docs, ThreadPool* pool = nullptr);
+
+  /// Removes document `id` — tombstone or eager prune depending on
+  /// set_eager_delete().
   Status RemoveDocument(DocId id);
+
+  /// Prunes the postings of every tombstoned document now. Returns the
+  /// number of tombstones cleared.
+  size_t Compact();
+
+  /// Switches between the paper's eager dictionary-scan delete and
+  /// tombstone + threshold compaction (the default).
+  void set_eager_delete(bool eager) { eager_delete_ = eager; }
+  bool eager_delete() const { return eager_delete_; }
+
+  /// Dead documents whose postings are not yet pruned.
+  size_t tombstone_count() const { return tombstones_; }
 
   /// Looks up the internal id of an external key.
   StatusOr<DocId> FindByKey(const std::string& key) const;
 
-  /// Postings list for `term` (nullptr if unknown).
+  /// Postings list for `term` (nullptr if unknown). May include
+  /// tombstoned documents until the next Compact().
   const std::vector<Posting>* GetPostings(const std::string& term) const;
 
-  /// Document frequency of `term`.
+  /// Document frequency of `term` (including tombstones, see above).
   uint32_t DocFreq(const std::string& term) const;
 
   /// Info for document `id`.
   StatusOr<const DocInfo*> GetDoc(DocId id) const;
+
+  /// True when `id` names a live document.
+  bool IsAlive(DocId id) const {
+    return id < docs_.size() && docs_[id].alive;
+  }
 
   /// Number of live documents.
   uint32_t doc_count() const { return live_docs_; }
@@ -64,7 +117,8 @@ class InvertedIndex {
   /// Average live-document length in tokens.
   double avg_doc_length() const;
 
-  /// Number of distinct terms.
+  /// Number of distinct terms (including terms whose only postings are
+  /// tombstoned; converges after Compact()).
   size_t term_count() const { return dictionary_.size(); }
 
   /// Total token occurrences indexed (live docs).
@@ -84,27 +138,52 @@ class InvertedIndex {
   }
 
   /// Iterates the dictionary in term order (persistence, tests).
+  /// Postings passed to `fn` may include tombstoned documents.
   template <typename Fn>
   void ForEachTerm(Fn&& fn) const {
-    for (const auto& [term, postings] : dictionary_) fn(term, postings);
+    for (const auto* entry : SortedTerms()) fn(entry->first, entry->second);
   }
 
-  /// Serializes to a binary blob / restores from one.
+  /// Serializes to a binary blob / restores from one. The serialized
+  /// form is always compacted (tombstoned postings are skipped), so
+  /// tombstone and eager indexes over the same documents serialize
+  /// identically.
   std::string Serialize() const;
   static StatusOr<InvertedIndex> Deserialize(std::string_view data);
 
   /// Structural invariants (sorted postings, tf == positions.size(),
-  /// doc lengths consistent). Empty string when consistent.
+  /// doc lengths consistent, dead postings only for pending
+  /// tombstones). Empty string when consistent.
   std::string CheckInvariants() const;
 
  private:
-  // Term -> postings sorted by doc id. std::map keeps deterministic
-  // iteration for serialization and tests.
-  std::map<std::string, std::vector<Posting>> dictionary_;
+  using DictEntry = std::pair<const std::string, std::vector<Posting>>;
+
+  /// Dictionary entries ordered by term (built on demand; the
+  /// dictionary itself is hashed for O(1) lookups on the query path).
+  std::vector<const DictEntry*> SortedTerms() const;
+
+  /// Appends `tokens` of document `id` into `dict`, positions grouped
+  /// per term. Shared by the single and batch insert paths.
+  static void AccumulatePostings(
+      DocId id, const std::vector<std::string>& tokens,
+      std::unordered_map<std::string, std::vector<Posting>>& dict);
+
+  void PrunePostingsOfDeadDocs();
+  void MaybeCompact();
+
+  // Term -> postings sorted by doc id; hashed for the query hot path,
+  // with SortedTerms() providing the deterministic iteration order that
+  // serialization and tests need.
+  std::unordered_map<std::string, std::vector<Posting>> dictionary_;
   std::vector<DocInfo> docs_;
   std::unordered_map<std::string, DocId> by_key_;
+  /// Dead docs whose postings still sit in the dictionary.
+  std::vector<bool> pending_prune_;
   uint32_t live_docs_ = 0;
   uint64_t total_tokens_ = 0;
+  size_t tombstones_ = 0;
+  bool eager_delete_ = false;
 };
 
 }  // namespace sdms::irs

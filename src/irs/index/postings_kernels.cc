@@ -1,0 +1,124 @@
+#include "irs/index/postings_kernels.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sdms::irs {
+
+size_t GallopTo(const std::vector<Posting>& postings, size_t lo,
+                DocId target) {
+  size_t n = postings.size();
+  if (lo >= n || postings[lo].doc >= target) return lo;
+  // Exponential probe: double the step until we overshoot.
+  size_t step = 1;
+  size_t prev = lo;
+  size_t probe = lo + 1;
+  while (probe < n && postings[probe].doc < target) {
+    prev = probe;
+    step <<= 1;
+    probe = lo + step;
+  }
+  size_t hi = std::min(probe + 1, n);
+  auto it = std::lower_bound(
+      postings.begin() + static_cast<ptrdiff_t>(prev + 1),
+      postings.begin() + static_cast<ptrdiff_t>(hi), target,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  return static_cast<size_t>(it - postings.begin());
+}
+
+std::vector<DocId> IntersectPostings(
+    std::vector<const std::vector<Posting>*> lists) {
+  std::vector<DocId> out;
+  if (lists.empty()) return out;
+  for (const auto* l : lists) {
+    if (l == nullptr || l->empty()) return out;
+  }
+  // Rarest first: the smallest list drives, the others confirm.
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<Posting>* a, const std::vector<Posting>* b) {
+              return a->size() < b->size();
+            });
+  const std::vector<Posting>& driver = *lists[0];
+  out.reserve(driver.size());
+  std::vector<size_t> cursors(lists.size(), 0);
+  for (const Posting& p : driver) {
+    DocId doc = p.doc;
+    bool in_all = true;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      size_t pos = GallopTo(*lists[i], cursors[i], doc);
+      cursors[i] = pos;
+      if (pos >= lists[i]->size() || (*lists[i])[pos].doc != doc) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out.push_back(doc);
+  }
+  return out;
+}
+
+std::vector<DocId> UnionPostings(
+    const std::vector<const std::vector<Posting>*>& lists) {
+  // (doc at cursor, list index) min-heap for the k-way merge.
+  using HeapItem = std::pair<DocId, size_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  std::vector<size_t> cursors(lists.size(), 0);
+  size_t total = 0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i] != nullptr && !lists[i]->empty()) {
+      heap.emplace((*lists[i])[0].doc, i);
+      total += lists[i]->size();
+    }
+  }
+  std::vector<DocId> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    auto [doc, i] = heap.top();
+    heap.pop();
+    if (out.empty() || out.back() != doc) out.push_back(doc);
+    size_t next = ++cursors[i];
+    if (next < lists[i]->size()) heap.emplace((*lists[i])[next].doc, i);
+  }
+  return out;
+}
+
+std::vector<std::pair<DocId, double>> TopK(
+    const std::vector<std::pair<DocId, double>>& scored, size_t k) {
+  // "Worse" = lower score, then higher doc id; the heap keeps the worst
+  // retained entry on top so a better candidate can displace it.
+  auto worse = [](const std::pair<DocId, double>& a,
+                  const std::pair<DocId, double>& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first > b.first;
+  };
+  std::vector<std::pair<DocId, double>> out;
+  if (k == 0 || scored.size() <= k) {
+    out = scored;
+  } else {
+    out.reserve(k + 1);
+    // Min-heap on `worse`: out.front() is the weakest retained hit.
+    auto heap_cmp = [&worse](const std::pair<DocId, double>& a,
+                             const std::pair<DocId, double>& b) {
+      return worse(b, a);
+    };
+    for (const auto& s : scored) {
+      if (out.size() < k) {
+        out.push_back(s);
+        std::push_heap(out.begin(), out.end(), heap_cmp);
+      } else if (worse(out.front(), s)) {
+        std::pop_heap(out.begin(), out.end(), heap_cmp);
+        out.back() = s;
+        std::push_heap(out.begin(), out.end(), heap_cmp);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [&worse](const std::pair<DocId, double>& a,
+                     const std::pair<DocId, double>& b) {
+              return worse(b, a);
+            });
+  return out;
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,43 @@
+#ifndef SDMS_IRS_INDEX_POSTINGS_KERNELS_H_
+#define SDMS_IRS_INDEX_POSTINGS_KERNELS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "irs/index/inverted_index.h"
+
+namespace sdms::irs {
+
+/// Doc-at-a-time kernels over sorted postings lists. These back the
+/// conjunctive operators (#and in the boolean model, candidate
+/// generation for #odN/#uwN windows) and replace set-based merges with
+/// galloping (exponential search) intersection: cost is
+/// O(k · |smallest| · log(|largest| / |smallest|)) instead of a full
+/// scan-and-sort of every list.
+
+/// Smallest index i in [lo, postings.size()) with postings[i].doc >=
+/// target, found by exponential probing followed by binary search.
+/// Returns postings.size() when no such element exists.
+size_t GallopTo(const std::vector<Posting>& postings, size_t lo, DocId target);
+
+/// Documents present in *every* list (ascending). Lists are processed
+/// rarest-first; candidates from the smallest list are confirmed by
+/// galloping through the others. Empty input yields an empty result.
+std::vector<DocId> IntersectPostings(
+    std::vector<const std::vector<Posting>*> lists);
+
+/// Documents present in *any* list (ascending, deduplicated) — a k-way
+/// merge producing a sorted candidate vector without a std::set.
+std::vector<DocId> UnionPostings(
+    const std::vector<const std::vector<Posting>*>& lists);
+
+/// Keeps the k best (score, doc) pairs with a bounded min-heap instead
+/// of materializing and fully sorting every scored document. Orders by
+/// descending score, ties broken by ascending doc id. k == 0 returns
+/// everything sorted.
+std::vector<std::pair<DocId, double>> TopK(
+    const std::vector<std::pair<DocId, double>>& scored, size_t k);
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_INDEX_POSTINGS_KERNELS_H_

@@ -1,7 +1,8 @@
 #include "irs/index/proximity.h"
 
 #include <algorithm>
-#include <set>
+
+#include "irs/index/postings_kernels.h"
 
 namespace sdms::irs {
 
@@ -19,19 +20,10 @@ const std::vector<uint32_t>* PositionsOf(const InvertedIndex& index,
   return &it->positions;
 }
 
-}  // namespace
-
-uint32_t CountOrderedMatches(const InvertedIndex& index,
-                             const std::vector<std::string>& terms, DocId doc,
-                             uint32_t max_gap) {
-  if (terms.size() < 2) return 0;
-  std::vector<const std::vector<uint32_t>*> positions;
-  positions.reserve(terms.size());
-  for (const std::string& t : terms) {
-    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
-    if (p == nullptr || p->empty()) return 0;
-    positions.push_back(p);
-  }
+/// Core ordered matcher over per-term position lists (one doc).
+uint32_t OrderedMatchesIn(
+    const std::vector<const std::vector<uint32_t>*>& positions,
+    uint32_t max_gap) {
   uint32_t matches = 0;
   // Greedy non-overlapping matching: for each start occurrence of the
   // first term (after the previous match), chain through the remaining
@@ -66,28 +58,27 @@ uint32_t CountOrderedMatches(const InvertedIndex& index,
   return matches;
 }
 
-uint32_t CountUnorderedMatches(const InvertedIndex& index,
-                               const std::vector<std::string>& terms,
-                               DocId doc, uint32_t span) {
-  if (terms.size() < 2) return 0;
+/// Core unordered matcher over per-term position lists (one doc).
+uint32_t UnorderedMatchesIn(
+    const std::vector<const std::vector<uint32_t>*>& positions,
+    uint32_t span) {
+  size_t nterms = positions.size();
   // Merge all positions tagged by term id.
   std::vector<std::pair<uint32_t, size_t>> merged;  // (position, term idx)
-  for (size_t t = 0; t < terms.size(); ++t) {
-    const std::vector<uint32_t>* p = PositionsOf(index, terms[t], doc);
-    if (p == nullptr || p->empty()) return 0;
-    for (uint32_t pos : *p) merged.emplace_back(pos, t);
+  for (size_t t = 0; t < nterms; ++t) {
+    for (uint32_t pos : *positions[t]) merged.emplace_back(pos, t);
   }
   std::sort(merged.begin(), merged.end());
   // Sliding window: find minimal windows covering all terms, count
   // them non-overlapping (advance left past the window after a match).
-  std::vector<size_t> in_window(terms.size(), 0);
+  std::vector<size_t> in_window(nterms, 0);
   size_t covered = 0;
   uint32_t matches = 0;
   size_t left = 0;
   for (size_t right = 0; right < merged.size(); ++right) {
     if (in_window[merged[right].second]++ == 0) ++covered;
     // Shrink from the left while still covering.
-    while (covered == terms.size()) {
+    while (covered == nterms) {
       uint32_t window_span = merged[right].first - merged[left].first + 1;
       if (window_span <= span) {
         ++matches;
@@ -105,23 +96,66 @@ uint32_t CountUnorderedMatches(const InvertedIndex& index,
   return matches;
 }
 
+}  // namespace
+
+uint32_t CountOrderedMatches(const InvertedIndex& index,
+                             const std::vector<std::string>& terms, DocId doc,
+                             uint32_t max_gap) {
+  if (terms.size() < 2) return 0;
+  std::vector<const std::vector<uint32_t>*> positions;
+  positions.reserve(terms.size());
+  for (const std::string& t : terms) {
+    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
+    if (p == nullptr || p->empty()) return 0;
+    positions.push_back(p);
+  }
+  return OrderedMatchesIn(positions, max_gap);
+}
+
+uint32_t CountUnorderedMatches(const InvertedIndex& index,
+                               const std::vector<std::string>& terms,
+                               DocId doc, uint32_t span) {
+  if (terms.size() < 2) return 0;
+  std::vector<const std::vector<uint32_t>*> positions;
+  positions.reserve(terms.size());
+  for (const std::string& t : terms) {
+    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
+    if (p == nullptr || p->empty()) return 0;
+    positions.push_back(p);
+  }
+  return UnorderedMatchesIn(positions, span);
+}
+
 std::map<DocId, uint32_t> WindowMatchFrequencies(
     const InvertedIndex& index, const std::vector<std::string>& terms,
     bool ordered, uint32_t window) {
   std::map<DocId, uint32_t> out;
-  if (terms.empty()) return out;
-  // Candidates: documents containing the rarest term.
-  const std::string* rarest = &terms[0];
+  if (terms.size() < 2) return out;
+  // Candidate generation: a window match needs every term, so the
+  // candidate set is the galloping intersection of all postings lists
+  // (doc-at-a-time, rarest list driving) instead of a scan of the
+  // rarest term's postings with per-doc binary searches.
+  std::vector<const std::vector<Posting>*> lists;
+  lists.reserve(terms.size());
   for (const std::string& t : terms) {
-    if (index.DocFreq(t) < index.DocFreq(*rarest)) rarest = &t;
+    const std::vector<Posting>* p = index.GetPostings(t);
+    if (p == nullptr || p->empty()) return out;
+    lists.push_back(p);
   }
-  const std::vector<Posting>* postings = index.GetPostings(*rarest);
-  if (postings == nullptr) return out;
-  for (const Posting& p : *postings) {
-    uint32_t tf = ordered
-                      ? CountOrderedMatches(index, terms, p.doc, window)
-                      : CountUnorderedMatches(index, terms, p.doc, window);
-    if (tf > 0) out[p.doc] = tf;
+  std::vector<DocId> candidates = IntersectPostings(lists);
+  // Ascending candidates: advance a cursor per term instead of a fresh
+  // binary search per (term, doc) pair.
+  std::vector<size_t> cursors(terms.size(), 0);
+  std::vector<const std::vector<uint32_t>*> positions(terms.size());
+  for (DocId doc : candidates) {
+    for (size_t t = 0; t < lists.size(); ++t) {
+      cursors[t] = GallopTo(*lists[t], cursors[t], doc);
+      // Intersection guarantees presence.
+      positions[t] = &(*lists[t])[cursors[t]].positions;
+    }
+    uint32_t tf = ordered ? OrderedMatchesIn(positions, window)
+                          : UnorderedMatchesIn(positions, window);
+    if (tf > 0) out[doc] = tf;
   }
   return out;
 }

@@ -1,6 +1,6 @@
 #include <algorithm>
-#include <set>
 
+#include "irs/index/postings_kernels.h"
 #include "irs/index/proximity.h"
 #include "irs/model/retrieval_model.h"
 
@@ -10,44 +10,81 @@ namespace {
 
 /// Set-based Boolean retrieval: a document either matches (score 1.0)
 /// or does not. #sum/#max/#wsum degrade to OR; #and intersects; #not
-/// complements against the live-document set.
+/// complements against the live-document set. Sets are sorted DocId
+/// vectors; all-term #and conjunctions use the galloping intersection
+/// kernel directly on the postings lists.
 class BooleanModel : public RetrievalModel {
  public:
   std::string name() const override { return "boolean"; }
 
   StatusOr<ScoreMap> Score(const InvertedIndex& index,
                            const QueryNode& query) const override {
-    SDMS_ASSIGN_OR_RETURN(std::set<DocId> docs, EvalSet(index, query));
+    SDMS_ASSIGN_OR_RETURN(std::vector<DocId> docs, EvalSet(index, query));
     ScoreMap out;
-    for (DocId d : docs) out[d] = 1.0;
+    for (DocId d : docs) {
+      if (index.IsAlive(d)) out[d] = 1.0;
+    }
     return out;
   }
 
  private:
-  StatusOr<std::set<DocId>> EvalSet(const InvertedIndex& index,
-                                    const QueryNode& node) const {
+  using DocSet = std::vector<DocId>;  // sorted ascending, unique
+
+  static DocSet Intersect(const DocSet& a, const DocSet& b) {
+    DocSet out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+  }
+
+  static DocSet Union(const DocSet& a, const DocSet& b) {
+    DocSet out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+  }
+
+  StatusOr<DocSet> EvalSet(const InvertedIndex& index,
+                           const QueryNode& node) const {
     switch (node.op) {
       case QueryOp::kTerm: {
-        std::set<DocId> out;
+        DocSet out;
         const std::vector<Posting>* postings = index.GetPostings(node.term);
         if (postings != nullptr) {
-          for (const Posting& p : *postings) out.insert(p.doc);
+          out.reserve(postings->size());
+          for (const Posting& p : *postings) out.push_back(p.doc);
         }
         return out;
       }
       case QueryOp::kAnd: {
-        std::set<DocId> acc;
+        // All-term conjunction: doc-at-a-time galloping intersection
+        // straight over the postings lists, no per-child sets.
+        bool all_terms = !node.children.empty();
+        for (const auto& c : node.children) {
+          if (c->op != QueryOp::kTerm) {
+            all_terms = false;
+            break;
+          }
+        }
+        if (all_terms) {
+          std::vector<const std::vector<Posting>*> lists;
+          lists.reserve(node.children.size());
+          for (const auto& c : node.children) {
+            lists.push_back(index.GetPostings(c->term));
+          }
+          return IntersectPostings(std::move(lists));
+        }
+        DocSet acc;
         bool first = true;
         for (const auto& c : node.children) {
-          SDMS_ASSIGN_OR_RETURN(std::set<DocId> s, EvalSet(index, *c));
+          SDMS_ASSIGN_OR_RETURN(DocSet s, EvalSet(index, *c));
           if (first) {
             acc = std::move(s);
             first = false;
           } else {
-            std::set<DocId> merged;
-            std::set_intersection(acc.begin(), acc.end(), s.begin(), s.end(),
-                                  std::inserter(merged, merged.begin()));
-            acc = std::move(merged);
+            acc = Intersect(acc, s);
           }
           if (acc.empty()) break;
         }
@@ -57,10 +94,10 @@ class BooleanModel : public RetrievalModel {
       case QueryOp::kSum:
       case QueryOp::kWsum:
       case QueryOp::kMax: {
-        std::set<DocId> acc;
+        DocSet acc;
         for (const auto& c : node.children) {
-          SDMS_ASSIGN_OR_RETURN(std::set<DocId> s, EvalSet(index, *c));
-          acc.insert(s.begin(), s.end());
+          SDMS_ASSIGN_OR_RETURN(DocSet s, EvalSet(index, *c));
+          acc = acc.empty() ? std::move(s) : Union(acc, s);
         }
         return acc;
       }
@@ -68,10 +105,10 @@ class BooleanModel : public RetrievalModel {
       case QueryOp::kUwn: {
         std::vector<std::string> terms;
         node.CollectTerms(terms);
-        std::set<DocId> out;
+        DocSet out;
         for (const auto& [doc, tf] : WindowMatchFrequencies(
                  index, terms, node.op == QueryOp::kOdn, node.window)) {
-          out.insert(doc);
+          out.push_back(doc);  // map iteration is already ascending
         }
         return out;
       }
@@ -79,11 +116,12 @@ class BooleanModel : public RetrievalModel {
         if (node.children.size() != 1) {
           return Status::InvalidArgument("#not takes exactly one argument");
         }
-        SDMS_ASSIGN_OR_RETURN(std::set<DocId> inner,
-                              EvalSet(index, *node.children[0]));
-        std::set<DocId> out;
+        SDMS_ASSIGN_OR_RETURN(DocSet inner, EvalSet(index, *node.children[0]));
+        DocSet out;
         index.ForEachDoc([&](DocId id, const DocInfo&) {
-          if (inner.count(id) == 0) out.insert(id);
+          if (!std::binary_search(inner.begin(), inner.end(), id)) {
+            out.push_back(id);
+          }
         });
         return out;
       }

@@ -1,8 +1,9 @@
+#include <algorithm>
 #include <cmath>
 #include <map>
-#include <set>
 #include <unordered_map>
 
+#include "irs/index/postings_kernels.h"
 #include "irs/index/proximity.h"
 #include "irs/model/retrieval_model.h"
 
@@ -36,16 +37,32 @@ class InferenceNetModel : public RetrievalModel {
     // Candidate generation: every document providing evidence for some
     // evidence node — containing a plain query term, or matching a
     // window expression. Other documents keep the all-default belief,
-    // which is constant across documents and rank-irrelevant.
-    std::set<DocId> candidates;
-    std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>
-        tf_cache;
-    CollectCandidates(index, query, window_cache, candidates, tf_cache);
+    // which is constant across documents and rank-irrelevant. The
+    // candidate set is a sorted-vector k-way union of the evidence
+    // postings (doc-at-a-time), not a std::set accumulation.
+    TfCache tf_cache;
+    std::vector<const std::vector<Posting>*> term_lists;
+    std::vector<DocId> window_docs;
+    CollectEvidence(index, query, window_cache, term_lists, window_docs,
+                    tf_cache);
+    std::vector<DocId> candidates = UnionPostings(term_lists);
+    if (!window_docs.empty()) {
+      std::sort(window_docs.begin(), window_docs.end());
+      window_docs.erase(std::unique(window_docs.begin(), window_docs.end()),
+                        window_docs.end());
+      std::vector<DocId> merged;
+      merged.reserve(candidates.size() + window_docs.size());
+      std::set_union(candidates.begin(), candidates.end(), window_docs.begin(),
+                     window_docs.end(), std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
 
     ScoreMap out;
+    out.reserve(candidates.size());
     const double n = std::max<double>(index.doc_count(), 1.0);
     const double avgdl = std::max(index.avg_doc_length(), 1e-9);
     for (DocId d : candidates) {
+      if (!index.IsAlive(d)) continue;  // tombstoned, awaiting compaction
       auto info = index.GetDoc(d);
       double dl = info.ok() ? static_cast<double>((*info)->length) : avgdl;
       out[d] = Belief(index, query, d, dl, n, avgdl, tf_cache, window_cache);
@@ -58,30 +75,31 @@ class InferenceNetModel : public RetrievalModel {
       std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>;
   using WindowCache = std::map<const QueryNode*, std::map<DocId, uint32_t>>;
 
-  static void CollectCandidates(const InvertedIndex& index,
-                                const QueryNode& node,
-                                const WindowCache& window_cache,
-                                std::set<DocId>& candidates,
-                                TfCache& tf_cache) {
+  static void CollectEvidence(const InvertedIndex& index,
+                              const QueryNode& node,
+                              const WindowCache& window_cache,
+                              std::vector<const std::vector<Posting>*>& lists,
+                              std::vector<DocId>& window_docs,
+                              TfCache& tf_cache) {
     if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
       auto it = window_cache.find(&node);
       if (it != window_cache.end()) {
-        for (const auto& [doc, tf] : it->second) candidates.insert(doc);
+        for (const auto& [doc, tf] : it->second) window_docs.push_back(doc);
       }
       return;  // Terms inside a window contribute only via matches.
     }
     if (node.op == QueryOp::kTerm) {
       const std::vector<Posting>* postings = index.GetPostings(node.term);
       if (postings == nullptr) return;
+      if (tf_cache.count(node.term) > 0) return;  // repeated query term
       auto& per_doc = tf_cache[node.term];
-      for (const Posting& p : *postings) {
-        candidates.insert(p.doc);
-        per_doc[p.doc] = p.tf;
-      }
+      per_doc.reserve(postings->size());
+      for (const Posting& p : *postings) per_doc[p.doc] = p.tf;
+      lists.push_back(postings);
       return;
     }
     for (const auto& c : node.children) {
-      CollectCandidates(index, *c, window_cache, candidates, tf_cache);
+      CollectEvidence(index, *c, window_cache, lists, window_docs, tf_cache);
     }
   }
 

@@ -118,6 +118,31 @@ TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
 }
 
+TEST(StringUtilTest, ParseDouble) {
+  auto v = ParseDouble("3.25");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e-3"), -0.001);
+  EXPECT_DOUBLE_EQ(*ParseDouble("+2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7 "), 7.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());  // trailing junk
+  EXPECT_FALSE(ParseDouble("1,5").ok());   // no locale separators
+}
+
+TEST(StringUtilTest, ParseDoubleRoundTripsPrinted17g) {
+  // %.17g must reproduce any double exactly through the text detour —
+  // the contract SearchToFile/ParseResultFile relies on.
+  const double values[] = {0.4, 1.0 / 3.0, 0.1 + 0.2, 3.141592653589793,
+                           123456.789012345678, 4e-17};
+  for (double d : values) {
+    auto back = ParseDouble(StrFormat("%.17g", d));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, d);
+  }
+}
+
 // --- Rng / Zipf ------------------------------------------------------------
 
 TEST(RngTest, Deterministic) {

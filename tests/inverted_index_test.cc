@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace sdms::irs {
 namespace {
@@ -92,6 +93,123 @@ TEST(InvertedIndexTest, ApproximateSizeGrows) {
                     Tokens({"one", "two", "three", "four", "five"}));
   }
   EXPECT_GT(big.ApproximateSizeBytes(), small.ApproximateSizeBytes());
+}
+
+std::vector<DocTokens> RandomBatch(sdms::Rng& rng, size_t count) {
+  const char* vocab[] = {"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"};
+  std::vector<DocTokens> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DocTokens d;
+    d.key = "doc" + std::to_string(i);
+    size_t n = 1 + rng.Uniform(12);
+    for (size_t t = 0; t < n; ++t) d.tokens.push_back(vocab[rng.Uniform(8)]);
+    batch.push_back(std::move(d));
+  }
+  return batch;
+}
+
+TEST(InvertedIndexBatchTest, BatchMatchesSequentialBitForBit) {
+  sdms::Rng rng(99);
+  std::vector<DocTokens> batch = RandomBatch(rng, 120);
+
+  InvertedIndex sequential;
+  for (const DocTokens& d : batch) sequential.AddDocument(d.key, d.tokens);
+
+  InvertedIndex batched;
+  auto ids = batched.AddDocumentsBatch(batch, /*pool=*/nullptr);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), batch.size());
+  for (size_t i = 0; i < ids->size(); ++i) {
+    EXPECT_EQ((*ids)[i], static_cast<DocId>(i));
+  }
+  EXPECT_EQ(batched.CheckInvariants(), "");
+  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+}
+
+TEST(InvertedIndexBatchTest, ParallelBatchMatchesSequentialBitForBit) {
+  sdms::Rng rng(7);
+  std::vector<DocTokens> batch = RandomBatch(rng, 257);
+
+  InvertedIndex sequential;
+  for (const DocTokens& d : batch) sequential.AddDocument(d.key, d.tokens);
+
+  ThreadPool pool(4);
+  InvertedIndex parallel;
+  auto ids = parallel.AddDocumentsBatch(batch, &pool);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(parallel.CheckInvariants(), "");
+  EXPECT_EQ(parallel.Serialize(), sequential.Serialize());
+}
+
+TEST(InvertedIndexBatchTest, DuplicateKeyInBatchFailsWithoutSideEffects) {
+  InvertedIndex index;
+  index.AddDocument("pre", Tokens({"x"}));
+  std::string before = index.Serialize();
+
+  std::vector<DocTokens> dup = {{"a", Tokens({"x"})}, {"a", Tokens({"y"})}};
+  EXPECT_FALSE(index.AddDocumentsBatch(dup).ok());
+  std::vector<DocTokens> existing = {{"b", Tokens({"x"})},
+                                     {"pre", Tokens({"y"})}};
+  EXPECT_FALSE(index.AddDocumentsBatch(existing).ok());
+
+  EXPECT_EQ(index.Serialize(), before);
+  EXPECT_EQ(index.CheckInvariants(), "");
+}
+
+TEST(InvertedIndexBatchTest, EmptyBatchIsNoOp) {
+  InvertedIndex index;
+  auto ids = index.AddDocumentsBatch({});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids->empty());
+  EXPECT_EQ(index.doc_count(), 0u);
+}
+
+TEST(InvertedIndexDeleteTest, TombstoneThenCompactMatchesEager) {
+  sdms::Rng rng(1234);
+  std::vector<DocTokens> batch = RandomBatch(rng, 60);
+
+  InvertedIndex eager;
+  eager.set_eager_delete(true);
+  InvertedIndex lazy;  // tombstone + compaction (default)
+  for (const DocTokens& d : batch) {
+    eager.AddDocument(d.key, d.tokens);
+    lazy.AddDocument(d.key, d.tokens);
+  }
+  // Remove every third document from both.
+  for (DocId id = 0; id < batch.size(); id += 3) {
+    ASSERT_TRUE(eager.RemoveDocument(id).ok());
+    ASSERT_TRUE(lazy.RemoveDocument(id).ok());
+    ASSERT_EQ(eager.CheckInvariants(), "");
+    ASSERT_EQ(lazy.CheckInvariants(), "");
+    ASSERT_EQ(eager.doc_count(), lazy.doc_count());
+  }
+  EXPECT_EQ(eager.tombstone_count(), 0u);
+  lazy.Compact();
+  EXPECT_EQ(lazy.tombstone_count(), 0u);
+  // After compaction the two deletion architectures are observationally
+  // identical: same serialized form, same df, same postings.
+  EXPECT_EQ(lazy.Serialize(), eager.Serialize());
+  EXPECT_EQ(lazy.DocFreq("aa"), eager.DocFreq("aa"));
+}
+
+TEST(InvertedIndexDeleteTest, ThresholdTriggersAutoCompaction) {
+  InvertedIndex index;
+  for (int i = 0; i < 100; ++i) {
+    index.AddDocument("k" + std::to_string(i), Tokens({"t"}));
+  }
+  // Each delete tombstones; once tombstones exceed kCompactionRatio of
+  // the doc table, compaction fires on its own.
+  size_t max_tombstones = 0;
+  for (DocId id = 0; id < 40; ++id) {
+    ASSERT_TRUE(index.RemoveDocument(id).ok());
+    max_tombstones = std::max(max_tombstones, index.tombstone_count());
+    ASSERT_EQ(index.CheckInvariants(), "");
+  }
+  EXPECT_LE(max_tombstones,
+            static_cast<size_t>(InvertedIndex::kCompactionRatio * 100) + 1);
+  EXPECT_EQ(index.doc_count(), 60u);
+  EXPECT_EQ(index.DocFreq("t"), index.tombstone_count() + 60u);
 }
 
 // Property sweep: random docs added/removed; invariants always hold and

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/file_util.h"
+#include "common/thread_pool.h"
 #include "irs/engine.h"
 
 namespace sdms::irs {
@@ -89,6 +90,64 @@ TEST(IrsCollectionTest, ModelSwapKeepsIndex) {
   EXPECT_EQ((*hits)[0].score, 1.0);  // Boolean scores are 1.
 }
 
+TEST(IrsCollectionTest, BatchAddMatchesSequentialSearch) {
+  std::vector<BatchDocument> docs = {
+      {"oid:1", "telnet is a remote terminal protocol"},
+      {"oid:2", "www is the hypertext web protocol"},
+      {"oid:3", "gopher predates the web"},
+      {"oid:4", "telnet and gopher are older protocols"},
+  };
+  auto one_by_one = MakeCollection();
+  for (const auto& d : docs) {
+    ASSERT_TRUE(one_by_one->AddDocument(d.key, d.text).ok());
+  }
+  auto batched = MakeCollection();
+  ThreadPool pool(3);
+  ASSERT_TRUE(batched->AddDocumentsBatch(docs, &pool).ok());
+
+  EXPECT_EQ(batched->Serialize(), one_by_one->Serialize());
+  for (const char* q : {"telnet", "protocol", "#and(telnet gopher)"}) {
+    auto a = one_by_one->Search(q);
+    auto b = batched->Search(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size()) << q;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].key, (*b)[i].key) << q;
+      EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score) << q;
+    }
+  }
+  EXPECT_EQ(batched->stats().docs_indexed, docs.size());
+}
+
+TEST(IrsCollectionTest, BatchRejectsDuplicateWithoutSideEffects) {
+  auto coll = MakeCollection();
+  ASSERT_TRUE(coll->AddDocument("oid:1", "existing text").ok());
+  std::string before = coll->Serialize();
+  std::vector<BatchDocument> docs = {{"oid:2", "fresh"}, {"oid:1", "dup"}};
+  EXPECT_FALSE(coll->AddDocumentsBatch(docs).ok());
+  EXPECT_EQ(coll->Serialize(), before);
+}
+
+TEST(IrsCollectionTest, TopKSearchEqualsPrefixOfFullSearch) {
+  auto coll = MakeCollection();
+  for (int i = 0; i < 30; ++i) {
+    std::string text = "filler common words";
+    for (int j = 0; j <= i % 7; ++j) text += " target";
+    ASSERT_TRUE(coll->AddDocument("oid:" + std::to_string(i), text).ok());
+  }
+  auto full = coll->Search("target common");
+  ASSERT_TRUE(full.ok());
+  for (size_t k : {1u, 5u, 12u, 100u}) {
+    auto top = coll->Search("target common", k);
+    ASSERT_TRUE(top.ok());
+    ASSERT_EQ(top->size(), std::min(k, full->size())) << "k=" << k;
+    for (size_t i = 0; i < top->size(); ++i) {
+      EXPECT_EQ((*top)[i].key, (*full)[i].key) << "k=" << k;
+      EXPECT_DOUBLE_EQ((*top)[i].score, (*full)[i].score) << "k=" << k;
+    }
+  }
+}
+
 class IrsEngineTest : public testing::Test {
  protected:
   void SetUp() override {
@@ -144,6 +203,33 @@ TEST_F(IrsEngineTest, FileExchangeRoundTrip) {
   ASSERT_EQ(hits->size(), 1u);
   EXPECT_EQ((*hits)[0].key, "oid:7");
   EXPECT_GT((*hits)[0].score, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IrsEngineTest, ScoresSurviveFileRoundTripExactly) {
+  IrsEngine engine;
+  auto coll = engine.CreateCollection("c", {}, "inquery");
+  ASSERT_TRUE(coll.ok());
+  for (int i = 0; i < 12; ++i) {
+    std::string text = "shared corpus vocabulary";
+    for (int j = 0; j <= i % 5; ++j) text += " signal";
+    ASSERT_TRUE(
+        (*coll)->AddDocument("oid:" + std::to_string(i), text).ok());
+  }
+  auto direct = (*coll)->Search("signal corpus");
+  ASSERT_TRUE(direct.ok());
+
+  std::string path = testing::TempDir() + "/sdms_irs_roundtrip.txt";
+  ASSERT_TRUE(engine.SearchToFile("c", "signal corpus", path).ok());
+  auto parsed = IrsEngine::ParseResultFile(path);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].key, (*direct)[i].key);
+    // %.17g + ParseDouble must reproduce the double bit-for-bit; the
+    // exchange-file detour must not perturb ranking-relevant values.
+    EXPECT_EQ((*parsed)[i].score, (*direct)[i].score);
+  }
   std::remove(path.c_str());
 }
 
