@@ -1,0 +1,252 @@
+#include "common/fault/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+#include "common/string_util.h"
+
+namespace sdms::fault {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& checks = obs::GetCounter("fault.checks");
+  obs::Counter& injected = obs::GetCounter("fault.injected");
+};
+
+FaultMetrics& Metrics() {
+  static FaultMetrics* m = new FaultMetrics();
+  return *m;
+}
+
+uint64_t SplitMix64(uint64_t& z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  uint64_t t = z;
+  t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+  return t ^ (t >> 31);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIoError: return "io_error";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+FaultRegistry::FaultRegistry() {
+  uint64_t seed = 42;
+  if (const char* env = std::getenv("SDMS_FAULT_SEED")) {
+    char* end = nullptr;
+    uint64_t parsed = std::strtoull(env, &end, 10);
+    if (end != env) seed = parsed;
+  }
+  SetSeed(seed);
+  if (const char* env = std::getenv("SDMS_FAULTS")) {
+    Status s = Configure(env);
+    if (!s.ok()) {
+      SDMS_LOG(WARN) << "ignoring bad SDMS_FAULTS: " << s.ToString();
+    }
+  }
+}
+
+void FaultRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t z = seed;
+  rng_state_[0] = SplitMix64(z);
+  rng_state_[1] = SplitMix64(z);
+  if (rng_state_[0] == 0 && rng_state_[1] == 0) rng_state_[0] = 1;
+}
+
+Status FaultRegistry::Configure(const std::string& spec) {
+  for (const std::string& raw_rule : Split(spec, ';')) {
+    std::string_view rule_str = Trim(raw_rule);
+    if (rule_str.empty()) continue;
+    size_t eq = rule_str.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::ParseError("fault rule needs point=kind: " +
+                                std::string(rule_str));
+    }
+    std::string point(Trim(rule_str.substr(0, eq)));
+    std::vector<std::string> parts =
+        Split(rule_str.substr(eq + 1), ',');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::ParseError("fault rule without kind: " +
+                                std::string(rule_str));
+    }
+    FaultRule rule;
+    std::string kind(Trim(parts[0]));
+    if (kind == "io_error") {
+      rule.kind = FaultKind::kIoError;
+    } else if (kind == "latency") {
+      rule.kind = FaultKind::kLatency;
+    } else if (kind == "corrupt") {
+      rule.kind = FaultKind::kCorrupt;
+    } else if (kind == "crash") {
+      rule.kind = FaultKind::kCrash;
+    } else {
+      return Status::ParseError("unknown fault kind: " + kind);
+    }
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string_view param = Trim(parts[i]);
+      size_t peq = param.find('=');
+      if (peq == std::string_view::npos) {
+        return Status::ParseError("fault param needs key=value: " +
+                                  std::string(param));
+      }
+      std::string key(param.substr(0, peq));
+      std::string value(param.substr(peq + 1));
+      try {
+        if (key == "p") {
+          rule.probability = std::stod(value);
+          if (rule.probability < 0.0 || rule.probability > 1.0) {
+            return Status::ParseError("fault probability out of [0,1]: " +
+                                      value);
+          }
+        } else if (key == "n") {
+          rule.max_fires = std::stoull(value);
+        } else if (key == "after") {
+          rule.skip = std::stoull(value);
+        } else if (key == "us") {
+          rule.latency_micros = std::stoull(value);
+        } else {
+          return Status::ParseError("unknown fault param: " + key);
+        }
+      } catch (...) {
+        return Status::ParseError("bad fault param value: " +
+                                  std::string(param));
+      }
+    }
+    Arm(point, rule);
+  }
+  return Status::OK();
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[point].push_back(ArmedRule{rule, 0, 0});
+  enabled_.store(true, std::memory_order_relaxed);
+  SDMS_LOG(DEBUG) << "fault armed: " << point << "="
+                  << FaultKindName(rule.kind) << " p=" << rule.probability;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase(point);
+  if (rules_.empty()) enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::Fire(ArmedRule& armed) {
+  ++armed.checks;
+  Metrics().checks.Increment();
+  if (armed.checks <= armed.rule.skip) return false;
+  if (armed.rule.max_fires > 0 && armed.fires >= armed.rule.max_fires) {
+    return false;
+  }
+  if (armed.rule.probability < 1.0) {
+    // xorshift128+ draw under the registry mutex (callers hold it).
+    uint64_t s1 = rng_state_[0];
+    const uint64_t s0 = rng_state_[1];
+    rng_state_[0] = s0;
+    s1 ^= s1 << 23;
+    rng_state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    double u = static_cast<double>((rng_state_[1] + s0) >> 11) *
+               (1.0 / 9007199254740992.0);
+    if (u >= armed.rule.probability) return false;
+  }
+  ++armed.fires;
+  Metrics().injected.Increment();
+  return true;
+}
+
+Status FaultRegistry::Check(const std::string& point) {
+  uint64_t sleep_micros = 0;
+  Status result = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rules_.find(point);
+    if (it == rules_.end()) return Status::OK();
+    for (ArmedRule& armed : it->second) {
+      if (armed.rule.kind == FaultKind::kCorrupt) continue;
+      if (!Fire(armed)) continue;
+      switch (armed.rule.kind) {
+        case FaultKind::kLatency:
+          sleep_micros += armed.rule.latency_micros;
+          break;
+        case FaultKind::kIoError:
+          result = Status::IoError("injected fault at " + point);
+          break;
+        case FaultKind::kCrash:
+          result = Status::Aborted("injected crash at " + point);
+          break;
+        case FaultKind::kCorrupt:
+          break;
+      }
+      if (!result.ok()) break;
+    }
+  }
+  // Sleep outside the lock so latency faults don't serialize threads.
+  if (sleep_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+  }
+  if (!result.ok()) {
+    SDMS_LOG(DEBUG) << "fault fired at " << point << ": " << result.ToString();
+  }
+  return result;
+}
+
+bool FaultRegistry::ShouldCorrupt(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(point);
+  if (it == rules_.end()) return false;
+  bool corrupt = false;
+  for (ArmedRule& armed : it->second) {
+    if (armed.rule.kind != FaultKind::kCorrupt) continue;
+    if (Fire(armed)) corrupt = true;
+  }
+  return corrupt;
+}
+
+uint64_t FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(point);
+  if (it == rules_.end()) return 0;
+  uint64_t total = 0;
+  for (const ArmedRule& armed : it->second) total += armed.fires;
+  return total;
+}
+
+uint64_t FaultRegistry::checks(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(point);
+  if (it == rules_.end()) return 0;
+  uint64_t total = 0;
+  for (const ArmedRule& armed : it->second) total += armed.checks;
+  return total;
+}
+
+void CorruptInPlace(std::string& data) {
+  if (data.empty()) return;
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+}
+
+}  // namespace sdms::fault

@@ -1,0 +1,126 @@
+#ifndef SDMS_COMMON_FAULT_FAULT_H_
+#define SDMS_COMMON_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::fault {
+
+/// What an armed fault does when it fires at an injection point:
+///   kIoError — the point returns Status::IoError;
+///   kLatency — the point sleeps `latency_micros`, then proceeds;
+///   kCorrupt — the point's data is corrupted (one byte flipped) but
+///              the operation "succeeds", exercising checksum paths;
+///   kCrash   — the point returns Status::Aborted and the call site
+///              stops *without cleanup*, simulating process death at
+///              exactly that instruction (e.g. between writing a temp
+///              file and renaming it into place).
+enum class FaultKind { kIoError, kLatency, kCorrupt, kCrash };
+
+const char* FaultKindName(FaultKind kind);
+
+/// One armed fault at one injection point.
+struct FaultRule {
+  FaultKind kind = FaultKind::kIoError;
+  /// Chance of firing per check, in [0, 1].
+  double probability = 1.0;
+  /// Fires at most this many times; 0 = unlimited.
+  uint64_t max_fires = 0;
+  /// The first `skip` checks never fire (deterministic positioning of
+  /// a fault "the Nth time this point is reached").
+  uint64_t skip = 0;
+  /// Sleep duration for kLatency.
+  uint64_t latency_micros = 1000;
+};
+
+/// Process-wide registry of armed faults, keyed by injection-point
+/// name (e.g. "coupling.irs_call", "file.atomic_write.before_rename").
+/// Fault draws come from one seeded PRNG, so a given (spec, seed,
+/// workload) triple reproduces the exact same failure sequence.
+///
+/// Configuration: programmatically via Arm()/Configure(), or from the
+/// environment — `SDMS_FAULTS` holds a spec string (parsed on first
+/// use), `SDMS_FAULT_SEED` the PRNG seed. Spec syntax (see
+/// docs/robustness.md):
+///
+///   spec  := rule (';' rule)*
+///   rule  := point '=' kind (',' param)*
+///   kind  := 'io_error' | 'latency' | 'corrupt' | 'crash'
+///   param := 'p=' float | 'n=' int | 'after=' int | 'us=' int
+///
+/// e.g. SDMS_FAULTS="coupling.irs_call=io_error,p=0.3;wal.sync=latency,us=2000"
+///
+/// Thread safety: all methods are internally synchronized; `enabled()`
+/// is one relaxed atomic load so un-instrumented runs pay nothing.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Parses a spec string and arms every rule in it (additive).
+  Status Configure(const std::string& spec);
+
+  void Arm(const std::string& point, FaultRule rule);
+  void Disarm(const std::string& point);
+  void Clear();
+  void SetSeed(uint64_t seed);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the rules armed at `point`: kLatency sleeps, kIoError /
+  /// kCrash return their non-OK status; kCorrupt rules are ignored
+  /// here (see ShouldCorrupt).
+  Status Check(const std::string& point);
+
+  /// True when a kCorrupt rule at `point` fires; the caller is
+  /// expected to corrupt its payload (CorruptInPlace).
+  bool ShouldCorrupt(const std::string& point);
+
+  /// Times any rule at `point` has fired / been evaluated.
+  uint64_t fires(const std::string& point) const;
+  uint64_t checks(const std::string& point) const;
+
+ private:
+  FaultRegistry();
+
+  struct ArmedRule {
+    FaultRule rule;
+    uint64_t checks = 0;
+    uint64_t fires = 0;
+  };
+
+  /// Returns the kind fired, if any, advancing per-rule counters.
+  bool Fire(ArmedRule& armed);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<ArmedRule>> rules_;
+  std::atomic<bool> enabled_{false};
+  uint64_t rng_state_[2];
+};
+
+/// Flips one byte near the middle of `data` (no-op when empty) — the
+/// canonical corruption applied when a kCorrupt fault fires.
+void CorruptInPlace(std::string& data);
+
+/// Fast-path injection check: a single relaxed load when no faults are
+/// armed. Call sites do `SDMS_RETURN_IF_ERROR(fault::InjectFault("x"))`.
+inline Status InjectFault(const char* point) {
+  FaultRegistry& r = FaultRegistry::Instance();
+  if (!r.enabled()) return Status::OK();
+  return r.Check(point);
+}
+
+inline bool InjectCorrupt(const char* point) {
+  FaultRegistry& r = FaultRegistry::Instance();
+  if (!r.enabled()) return false;
+  return r.ShouldCorrupt(point);
+}
+
+}  // namespace sdms::fault
+
+#endif  // SDMS_COMMON_FAULT_FAULT_H_

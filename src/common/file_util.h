@@ -1,6 +1,7 @@
 #ifndef SDMS_COMMON_FILE_UTIL_H_
 #define SDMS_COMMON_FILE_UTIL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -10,7 +11,10 @@ namespace sdms {
 /// Reads the whole file at `path` into a string.
 StatusOr<std::string> ReadFile(const std::string& path);
 
-/// Writes `data` to `path` atomically (write temp + rename).
+/// Writes `data` to `path` atomically (write temp + fsync + rename +
+/// directory fsync). The temp file is removed on every error path;
+/// only an injected crash fault (simulated process death) leaves it
+/// behind, which is exactly what crash-recovery tests exercise.
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 /// True if a file or directory exists at `path`.
@@ -24,6 +28,25 @@ Status RemoveFile(const std::string& path);
 
 /// Size in bytes of the file at `path`, or NotFound.
 StatusOr<int64_t> FileSize(const std::string& path);
+
+/// fsyncs the directory containing `path` so a completed rename is
+/// durable. No-op when fsync is disabled (SDMS_NO_FSYNC).
+Status SyncParentDir(const std::string& path);
+
+/// False when SDMS_NO_FSYNC is set (bench escape hatch): fsync calls
+/// in WriteFileAtomic and the WAL are skipped.
+bool FsyncEnabled();
+
+/// Wraps `payload` in a checksum envelope:
+///   "SDMSCHK1\n<crc32 hex>\n<payload size>\n" + payload
+/// so torn or bit-flipped files are detected as kCorruption instead of
+/// being parsed as silent bad state.
+std::string WithChecksumEnvelope(std::string_view payload);
+
+/// Verifies and strips a checksum envelope, returning the payload;
+/// kCorruption on size or CRC mismatch. Data without the envelope
+/// magic is returned unchanged (legacy files).
+StatusOr<std::string> StripChecksumEnvelope(std::string data);
 
 }  // namespace sdms
 

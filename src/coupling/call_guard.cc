@@ -1,0 +1,220 @@
+#include "coupling/call_guard.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+
+namespace sdms::coupling {
+
+namespace {
+
+struct GuardMetrics {
+  obs::Counter& calls = obs::GetCounter("coupling.irs.calls");
+  obs::Counter& retries = obs::GetCounter("coupling.irs.retries");
+  obs::Counter& failures = obs::GetCounter("coupling.irs.failures");
+  obs::Counter& deadline_exceeded =
+      obs::GetCounter("coupling.irs.deadline_exceeded");
+  obs::Counter& breaker_opens = obs::GetCounter("coupling.irs.breaker_opens");
+  obs::Counter& breaker_rejections =
+      obs::GetCounter("coupling.irs.breaker_rejections");
+  obs::Gauge& breaker_state = obs::GetGauge("coupling.irs.breaker_state");
+};
+
+GuardMetrics& Metrics() {
+  static GuardMetrics* m = new GuardMetrics();
+  return *m;
+}
+
+uint64_t SplitMix64(uint64_t& z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  uint64_t t = z;
+  t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+  return t ^ (t >> 31);
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half-open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+bool IsRetriable(const Status& s) {
+  return s.code() == StatusCode::kIoError || s.code() == StatusCode::kAborted;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, std::string name)
+    : options_(options), name_(std::move(name)) {}
+
+void CircuitBreaker::SetState(BreakerState next) {
+  if (state_ == next) return;
+  SDMS_LOG(DEBUG) << "breaker '" << name_ << "': " << BreakerStateName(state_)
+                  << " -> " << BreakerStateName(next);
+  state_ = next;
+  Metrics().breaker_state.Set(static_cast<int64_t>(next));
+  obs::GetGauge("coupling.irs.breaker_state." + name_)
+      .Set(static_cast<int64_t>(next));
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe is already in flight this window; further calls wait
+      // for its verdict.
+      return false;
+    case BreakerState::kOpen:
+      if (std::chrono::steady_clock::now() >= open_until_) {
+        SetState(BreakerState::kHalfOpen);
+        return true;  // This caller is the probe.
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  SetState(BreakerState::kClosed);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen ||
+      (state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    SetState(BreakerState::kOpen);
+    open_until_ = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(options_.open_micros);
+    ++opens_;
+    Metrics().breaker_opens.Increment();
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  SetState(BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// CallGuard
+// ---------------------------------------------------------------------------
+
+CallGuard::CallGuard(CallGuardOptions options, std::string name)
+    : options_(options),
+      name_(std::move(name)),
+      breaker_(options.breaker, name_) {
+  uint64_t z = options_.jitter_seed;
+  rng_state_[0] = SplitMix64(z);
+  rng_state_[1] = SplitMix64(z);
+  if (rng_state_[0] == 0 && rng_state_[1] == 0) rng_state_[0] = 1;
+}
+
+uint64_t CallGuard::NextBackoffMicros(int attempt) {
+  double backoff = static_cast<double>(options_.retry.initial_backoff_micros);
+  for (int i = 1; i < attempt; ++i) backoff *= options_.retry.backoff_multiplier;
+  backoff = std::min(backoff,
+                     static_cast<double>(options_.retry.max_backoff_micros));
+  if (options_.retry.jitter > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    uint64_t s1 = rng_state_[0];
+    const uint64_t s0 = rng_state_[1];
+    rng_state_[0] = s0;
+    s1 ^= s1 << 23;
+    rng_state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    double u = static_cast<double>((rng_state_[1] + s0) >> 11) *
+               (1.0 / 9007199254740992.0);
+    // Uniform in [1 - jitter, 1 + jitter].
+    backoff *= 1.0 + options_.retry.jitter * (2.0 * u - 1.0);
+  }
+  return backoff < 1.0 ? 1 : static_cast<uint64_t>(backoff);
+}
+
+Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
+  ++stats_.calls;
+  Metrics().calls.Increment();
+  if (!breaker_.Allow()) {
+    ++stats_.breaker_rejections;
+    Metrics().breaker_rejections.Increment();
+    return Status::Aborted("circuit open for '" + name_ + "' (" + op + ")");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_micros = [&start]() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++stats_.attempts;
+    last = fn();
+    if (last.ok()) {
+      breaker_.RecordSuccess();
+      return last;
+    }
+    if (!IsRetriable(last)) {
+      // Logic errors (NotFound, InvalidArgument, Corruption, ...) are
+      // not the dependency's flakiness: report them without retry and
+      // without tripping the breaker.
+      return last;
+    }
+    const uint64_t deadline = options_.retry.deadline_micros;
+    if (deadline > 0 && elapsed_micros() >= deadline) {
+      ++stats_.deadline_exceeded;
+      Metrics().deadline_exceeded.Increment();
+      ++stats_.failures;
+      Metrics().failures.Increment();
+      breaker_.RecordFailure();
+      return Status::Aborted("deadline exceeded after " +
+                             std::to_string(elapsed_micros()) + "us in '" +
+                             std::string(op) + "' on '" + name_ +
+                             "': " + last.message());
+    }
+    if (attempt == max_attempts) break;
+    uint64_t backoff = NextBackoffMicros(attempt);
+    if (deadline > 0) {
+      uint64_t left = deadline - elapsed_micros();
+      backoff = std::min(backoff, left);
+    }
+    ++stats_.retries;
+    Metrics().retries.Increment();
+    SDMS_LOG(DEBUG) << "retry " << attempt << "/" << max_attempts - 1
+                    << " of '" << op << "' on '" << name_ << "' in "
+                    << backoff << "us: " << last.ToString();
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  }
+  ++stats_.failures;
+  Metrics().failures.Increment();
+  breaker_.RecordFailure();
+  return last;
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,130 @@
+#ifndef SDMS_COUPLING_CALL_GUARD_H_
+#define SDMS_COUPLING_CALL_GUARD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sdms::coupling {
+
+/// Retry/backoff/deadline policy for one guarded call.
+struct RetryOptions {
+  /// Total attempts (first try + retries). 1 disables retries.
+  int max_attempts = 3;
+  /// Backoff before retry k is initial * multiplier^(k-1), capped at
+  /// max, then jittered by ±jitter (fraction of the backoff).
+  uint64_t initial_backoff_micros = 500;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_micros = 50000;
+  double jitter = 0.5;
+  /// Per-call budget across all attempts; once exceeded, a failing
+  /// call returns kAborted("deadline exceeded...") instead of
+  /// retrying. 0 = no deadline. A *successful* attempt that finishes
+  /// late is still used — the result is in hand and correct.
+  uint64_t deadline_micros = 0;
+};
+
+/// Circuit-breaker policy: closed -> open after `failure_threshold`
+/// consecutive failures; open rejects calls instantly for
+/// `open_micros`; then one half-open probe decides (success -> closed,
+/// failure -> open again).
+struct BreakerOptions {
+  int failure_threshold = 5;
+  uint64_t open_micros = 200000;
+};
+
+struct CallGuardOptions {
+  RetryOptions retry;
+  BreakerOptions breaker;
+  /// Seed for backoff jitter (deterministic tests).
+  uint64_t jitter_seed = 42;
+};
+
+enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+const char* BreakerStateName(BreakerState state);
+
+/// Per-dependency circuit breaker. Thread-safe.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(BreakerOptions options, std::string name);
+
+  /// True if a call may proceed; transitions open -> half-open once
+  /// the open window has elapsed (the caller becomes the probe).
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  int consecutive_failures() const;
+  uint64_t opens() const { return opens_; }
+
+  /// Back to closed with counters cleared (post-repair).
+  void Reset();
+
+ private:
+  void SetState(BreakerState next);
+
+  BreakerOptions options_;
+  std::string name_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t opens_ = 0;
+  std::chrono::steady_clock::time_point open_until_{};
+};
+
+/// Counters of one guard instance (tests and stats aggregation read
+/// these; the process-wide `coupling.irs.*` metrics mirror them).
+struct CallGuardStats {
+  uint64_t calls = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t failures = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t breaker_rejections = 0;
+};
+
+/// Wraps every OODBMS -> IRS call with a per-call deadline, bounded
+/// retry with exponential backoff + jitter (only kIoError / kAborted
+/// are retried — the transient classes the fault framework and a
+/// flaky external IRS produce), and a shared circuit breaker.
+class CallGuard {
+ public:
+  CallGuard(CallGuardOptions options, std::string name);
+
+  /// Runs `fn` under the policy. `op` labels logs/metrics. The
+  /// returned status is `fn`'s last status, kAborted("circuit open...")
+  /// on breaker rejection, or kAborted("deadline exceeded...") when the
+  /// call budget ran out on a failing call.
+  Status Run(const char* op, const std::function<Status()>& fn);
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CallGuardStats& stats() const { return stats_; }
+
+ private:
+  uint64_t NextBackoffMicros(int attempt);
+
+  CallGuardOptions options_;
+  std::string name_;
+  CircuitBreaker breaker_;
+  CallGuardStats stats_;
+  std::mutex rng_mu_;
+  uint64_t rng_state_[2];
+};
+
+/// Transient, degradable failure classes: injected/real I/O errors,
+/// crashes, deadline overruns, and breaker rejections all surface as
+/// kIoError or kAborted. Degraded serving (stale buffer, derivation
+/// fallback) triggers only for these — logic errors still propagate.
+bool IsRetriable(const Status& s);
+inline bool IsUnavailable(const Status& s) { return IsRetriable(s); }
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_CALL_GUARD_H_

@@ -1,7 +1,9 @@
 #include "coupling/collection_class.h"
 
 #include <algorithm>
+#include <iterator>
 
+#include "common/fault/fault.h"
 #include "common/file_util.h"
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
@@ -31,6 +33,10 @@ struct CollectionMetrics {
       obs::GetHistogram("coupling.collection.irs_query_micros");
   obs::Histogram& derive_us =
       obs::GetHistogram("coupling.collection.derive_micros");
+  obs::Counter& stale_serves = obs::GetCounter("coupling.result.stale_serves");
+  obs::Counter& degraded_reads =
+      obs::GetCounter("coupling.result.degraded_reads");
+  obs::Counter& repairs = obs::GetCounter("coupling.collection.repairs");
 };
 
 CollectionMetrics& Metrics() {
@@ -47,6 +53,7 @@ Collection::Collection(Coupling* coupling, Oid self,
       irs_name_(std::move(irs_collection_name)),
       missing_value_(missing_value),
       buffer_(coupling->options().buffer_capacity),
+      guard_(coupling->options().call_guard, irs_name_),
       // The paper's own tests used the component-maximum derivation
       // ("iterating through the elements components and determining the
       // maximal IRS value", Section 4.5.2).
@@ -100,7 +107,10 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
                           coupling_->GetText(oid, text_mode_));
     batch.push_back(irs::BatchDocument{oid.ToString(), std::move(text)});
   }
-  SDMS_RETURN_IF_ERROR(coll->AddDocumentsBatch(batch));
+  SDMS_RETURN_IF_ERROR(guard_.Run("index_objects", [&]() -> Status {
+    SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+    return coll->AddDocumentsBatch(batch);
+  }));
   represented_.insert(batch_oids.begin(), batch_oids.end());
   Metrics().index_objects_us.Record(static_cast<double>(span.ElapsedMicros()));
   SDMS_LOG(DEBUG) << "indexObjects(" << irs_name_ << "): " << spec_query
@@ -155,50 +165,84 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
   obs::TraceSpan span("coupling.irs_query");
   ++stats_.irs_queries;
   Metrics().irs_queries.Increment();
-  std::vector<irs::SearchHit> hits;
-  if (coupling_->options().file_exchange) {
-    // The paper's original mechanism: "the IRS writes the result to a
-    // file which is parsed afterwards".
-    std::string path = coupling_->options().exchange_dir + "/irs_result_" +
-                       irs_name_ + "_" +
-                       std::to_string(coupling_->exchange_file_counter_++) +
-                       ".txt";
-    SDMS_RETURN_IF_ERROR(
-        coupling_->irs().SearchToFile(irs_name_, irs_query, path));
-    SDMS_ASSIGN_OR_RETURN(hits, irs::IrsEngine::ParseResultFile(path));
-    auto size = FileSize(path);
-    if (size.ok()) {
-      stats_.bytes_exchanged += static_cast<uint64_t>(*size);
-      Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
-    }
-    ++stats_.files_exchanged;
-    (void)RemoveFile(path);
-  } else {
-    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
-                          coupling_->irs().GetCollection(irs_name_));
-    SDMS_ASSIGN_OR_RETURN(hits, coll->Search(irs_query));
-  }
   OidScoreMap out;
-  for (const irs::SearchHit& h : hits) {
-    // Keys are "oid:<n>" (the OID stored as IRS document meta data).
-    if (!StartsWith(h.key, "oid:")) {
-      return Status::Corruption("IRS document key without OID: " + h.key);
+  // The whole submit (including the exchange-file round trip) runs
+  // under the guard: a transient failure is retried from scratch, so a
+  // retry always parses a freshly written result file.
+  Status submit = guard_.Run("irs_query", [&]() -> Status {
+    out.clear();
+    SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+    std::vector<irs::SearchHit> hits;
+    if (coupling_->options().file_exchange) {
+      // The paper's original mechanism: "the IRS writes the result to a
+      // file which is parsed afterwards".
+      std::string path = coupling_->options().exchange_dir + "/irs_result_" +
+                         irs_name_ + "_" +
+                         std::to_string(coupling_->exchange_file_counter_++) +
+                         ".txt";
+      SDMS_RETURN_IF_ERROR(
+          coupling_->irs().SearchToFile(irs_name_, irs_query, path));
+      SDMS_ASSIGN_OR_RETURN(hits, irs::IrsEngine::ParseResultFile(path));
+      auto size = FileSize(path);
+      if (size.ok()) {
+        stats_.bytes_exchanged += static_cast<uint64_t>(*size);
+        Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
+      }
+      ++stats_.files_exchanged;
+      (void)RemoveFile(path);
+    } else {
+      SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                            coupling_->irs().GetCollection(irs_name_));
+      SDMS_ASSIGN_OR_RETURN(hits, coll->Search(irs_query));
     }
-    uint64_t raw = 0;
-    try {
-      raw = std::stoull(h.key.substr(4));
-    } catch (...) {
-      return Status::Corruption("malformed OID key: " + h.key);
+    for (const irs::SearchHit& h : hits) {
+      // Keys are "oid:<n>" (the OID stored as IRS document meta data).
+      if (!StartsWith(h.key, "oid:")) {
+        return Status::Corruption("IRS document key without OID: " + h.key);
+      }
+      uint64_t raw = 0;
+      try {
+        raw = std::stoull(h.key.substr(4));
+      } catch (...) {
+        return Status::Corruption("malformed OID key: " + h.key);
+      }
+      out.emplace(Oid(raw), h.score);
     }
-    out.emplace(Oid(raw), h.score);
-  }
+    return Status::OK();
+  });
+  SDMS_RETURN_IF_ERROR(submit);
   Metrics().irs_query_us.Record(static_cast<double>(span.ElapsedMicros()));
   return out;
 }
 
 StatusOr<const OidScoreMap*> Collection::GetIrsResult(
-    const std::string& irs_query) {
-  SDMS_RETURN_IF_ERROR(MaybePropagate());
+    const std::string& irs_query, bool* served_stale) {
+  if (served_stale != nullptr) *served_stale = false;
+  // Serves the buffered result when the IRS is unavailable: pending
+  // updates stay queued, the caller sees an explicitly flagged stale
+  // answer instead of an error. Only transient failures degrade this
+  // way — logic errors propagate.
+  auto maybe_serve_stale =
+      [&](const Status& failure) -> const OidScoreMap* {
+    if (!IsUnavailable(failure)) return nullptr;
+    if (!coupling_->options().serve_stale ||
+        coupling_->options().disable_buffering) {
+      return nullptr;
+    }
+    const OidScoreMap* buffered = buffer_.Get(irs_query);
+    if (buffered == nullptr) return nullptr;
+    ++stats_.stale_serves;
+    Metrics().stale_serves.Increment();
+    if (served_stale != nullptr) *served_stale = true;
+    SDMS_LOG(WARN) << "serving stale buffered result for '" << irs_query
+                   << "' on '" << irs_name_ << "': " << failure.ToString();
+    return buffered;
+  };
+  Status propagated = MaybePropagate();
+  if (!propagated.ok()) {
+    if (const OidScoreMap* stale = maybe_serve_stale(propagated)) return stale;
+    return propagated;
+  }
   if (!coupling_->options().disable_buffering) {
     const OidScoreMap* buffered = buffer_.Get(irs_query);
     if (buffered != nullptr) {
@@ -216,22 +260,45 @@ StatusOr<const OidScoreMap*> Collection::GetIrsResult(
 }
 
 StatusOr<double> Collection::FindIrsValue(const std::string& irs_query,
-                                          Oid obj) {
-  SDMS_ASSIGN_OR_RETURN(const OidScoreMap* result, GetIrsResult(irs_query));
-  auto it = result->find(obj);
-  if (it != result->end()) return it->second;
-  if (Represents(obj)) {
-    // Represented but not retrieved: the IRS assigned no evidence; the
-    // object scores the query's null belief.
-    return NullScore(irs_query);
+                                          Oid obj, bool* degraded) {
+  if (degraded != nullptr) *degraded = false;
+  bool stale = false;
+  StatusOr<const OidScoreMap*> result_or = GetIrsResult(irs_query, &stale);
+  if (result_or.ok()) {
+    if (stale && degraded != nullptr) *degraded = true;
+    const OidScoreMap* result = *result_or;
+    auto it = result->find(obj);
+    if (it != result->end()) return it->second;
+    if (Represents(obj)) {
+      // Represented but not retrieved: the IRS assigned no evidence;
+      // the object scores the query's null belief.
+      return NullScore(irs_query);
+    }
+    // Not represented: force the object to derive its value and insert
+    // the result into the buffer (Figure 3). Stale results are left
+    // untouched — they are invalidated wholesale once the IRS is back.
+    SDMS_ASSIGN_OR_RETURN(double derived, DeriveIrsValue(irs_query, obj));
+    if (!coupling_->options().disable_buffering && !stale) {
+      buffer_.InsertValue(irs_query, obj, derived);
+    }
+    return derived;
   }
-  // Not represented: force the object to derive its value and insert
-  // the result into the buffer (Figure 3).
-  SDMS_ASSIGN_OR_RETURN(double derived, DeriveIrsValue(irs_query, obj));
-  if (!coupling_->options().disable_buffering) {
-    buffer_.InsertValue(irs_query, obj, derived);
-  }
-  return derived;
+  if (!IsUnavailable(result_or.status())) return result_or.status();
+  // IRS unavailable with nothing buffered: fall back to local
+  // knowledge. NullScore and derivation evaluate the query tree inside
+  // the DBMS, so represented objects get the query's null belief and
+  // unrepresented ones aggregate their components' (equally degraded)
+  // values — never a wrong score presented as fresh.
+  ++stats_.degraded_reads;
+  Metrics().degraded_reads.Increment();
+  if (degraded != nullptr) *degraded = true;
+  SDMS_LOG(WARN) << "findIRSValue degraded for '" << irs_query << "' on '"
+                 << irs_name_ << "': " << result_or.status().ToString();
+  if (Represents(obj)) return NullScore(irs_query);
+  StatusOr<double> derived = DeriveIrsValue(irs_query, obj);
+  if (derived.ok()) return derived;
+  if (IsUnavailable(derived.status())) return NullScore(irs_query);
+  return derived.status();
 }
 
 StatusOr<double> Collection::DeriveIrsValue(const std::string& irs_query,
@@ -410,45 +477,91 @@ Status Collection::PropagateUpdates() {
   // Net operations are per-object independent, so replay is free to
   // group them: deletes and modifies apply individually, while inserts
   // are collected and fed to the batch indexing pipeline in one call.
+  //
+  // Failure contract: on the first error every unapplied operation —
+  // the deferred inserts plus the failed op and everything after it —
+  // goes back into the update log, so the drained batch is never lost
+  // and the next propagation replays exactly the remaining work.
   std::vector<PendingOp> inserts;
   bool changed = false;
-  for (const PendingOp& op : ops) {
+  Status failure = Status::OK();
+  size_t failed_at = ops.size();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const PendingOp& op = ops[i];
     if (op.kind == UpdateKind::kInsert) {
       inserts.push_back(op);
       continue;
     }
-    Status s = ApplyOp(op);
-    if (!s.ok()) return s;
+    Status s = guard_.Run(
+        op.kind == UpdateKind::kDelete ? "remove_document" : "update_document",
+        [&]() -> Status {
+          SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+          return ApplyOp(op);
+        });
+    if (!s.ok()) {
+      failure = s;
+      failed_at = i;
+      break;
+    }
     changed = true;
   }
-  if (!inserts.empty()) {
-    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
-                          coupling_->irs().GetCollection(irs_name_));
-    std::vector<irs::BatchDocument> batch;
-    std::vector<Oid> batch_oids;
-    batch.reserve(inserts.size());
-    for (const PendingOp& op : inserts) {
-      if (Represents(op.oid)) continue;
-      SDMS_ASSIGN_OR_RETURN(bool ok, SatisfiesSpec(op.oid));
-      if (!ok) continue;
-      SDMS_ASSIGN_OR_RETURN(std::string text,
-                            coupling_->GetText(op.oid, text_mode_));
-      batch.push_back(irs::BatchDocument{op.oid.ToString(), std::move(text)});
-      batch_oids.push_back(op.oid);
-    }
-    if (!batch.empty()) {
-      SDMS_RETURN_IF_ERROR(coll->AddDocumentsBatch(batch));
-      represented_.insert(batch_oids.begin(), batch_oids.end());
-      stats_.reindex_ops += batch.size();
-      for (size_t i = 0; i < batch.size(); ++i) {
-        Metrics().reindex_ops.Increment();
+  if (failure.ok() && !inserts.empty()) {
+    auto coll_or = coupling_->irs().GetCollection(irs_name_);
+    if (!coll_or.ok()) {
+      failure = coll_or.status();
+    } else {
+      irs::IrsCollection* coll = *coll_or;
+      std::vector<irs::BatchDocument> batch;
+      std::vector<Oid> batch_oids;
+      batch.reserve(inserts.size());
+      for (const PendingOp& op : inserts) {
+        if (Represents(op.oid)) continue;
+        StatusOr<bool> ok = SatisfiesSpec(op.oid);
+        if (!ok.ok()) {
+          failure = ok.status();
+          break;
+        }
+        if (!*ok) continue;
+        StatusOr<std::string> text = coupling_->GetText(op.oid, text_mode_);
+        if (!text.ok()) {
+          failure = text.status();
+          break;
+        }
+        batch.push_back(
+            irs::BatchDocument{op.oid.ToString(), std::move(*text)});
+        batch_oids.push_back(op.oid);
+      }
+      if (failure.ok() && !batch.empty()) {
+        failure = guard_.Run("batch_add", [&]() -> Status {
+          SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+          // AddDocumentsBatch fails without side effects, so a failed
+          // batch can be requeued and replayed wholesale.
+          return coll->AddDocumentsBatch(batch);
+        });
+        if (failure.ok()) {
+          represented_.insert(batch_oids.begin(), batch_oids.end());
+          stats_.reindex_ops += batch.size();
+          Metrics().reindex_ops.Add(batch.size());
+          changed = true;
+        }
       }
     }
-    changed = true;
   }
   if (changed) {
-    // IRS index structures changed: buffered results are stale.
-    buffer_.Clear();
+    // IRS index structures changed: buffered results are stale. On a
+    // partial failure the buffer intentionally survives — degraded
+    // reads serve it flagged stale until propagation succeeds.
+    if (failure.ok()) buffer_.Clear();
+  }
+  if (!failure.ok()) {
+    for (const PendingOp& op : inserts) update_log_.Requeue(op);
+    for (size_t j = failed_at; j < ops.size(); ++j) {
+      update_log_.Requeue(ops[j]);
+    }
+    SDMS_LOG(WARN) << "propagation into '" << irs_name_ << "' failed, "
+                   << update_log_.size() << " net update(s) requeued: "
+                   << failure.ToString();
+    return failure;
   }
   SDMS_LOG(DEBUG) << "propagated " << ops.size() << " net update(s) into '"
                   << irs_name_ << "'";
@@ -483,7 +596,13 @@ Status Collection::ApplyOp(const PendingOp& op) {
       }
       SDMS_ASSIGN_OR_RETURN(std::string text,
                             coupling_->GetText(op.oid, text_mode_));
-      SDMS_RETURN_IF_ERROR(coll->UpdateDocument(op.oid.ToString(), text));
+      if (!coll->HasDocument(op.oid.ToString())) {
+        // A previous update faulted between its remove and its re-add:
+        // the replayed modify degenerates to a plain add.
+        SDMS_RETURN_IF_ERROR(coll->AddDocument(op.oid.ToString(), text));
+      } else {
+        SDMS_RETURN_IF_ERROR(coll->UpdateDocument(op.oid.ToString(), text));
+      }
       ++stats_.reindex_ops;
       Metrics().reindex_ops.Increment();
       break;
@@ -497,6 +616,100 @@ Status Collection::ApplyOp(const PendingOp& op) {
       break;
     }
   }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Consistency verification and repair
+// ---------------------------------------------------------------------------
+
+StatusOr<ConsistencyReport> Collection::VerifyConsistency() {
+  if (!parsed_spec_.has_value()) {
+    return Status::FailedPrecondition(
+        "collection '" + irs_name_ +
+        "' has no specification query; run IndexObjects first");
+  }
+  if (!update_log_.empty()) {
+    return Status::FailedPrecondition(
+        "collection '" + irs_name_ + "' has " +
+        std::to_string(update_log_.size()) +
+        " pending update(s); call PropagateUpdates() first");
+  }
+  // Ground truth: the specification query evaluated now.
+  SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
+                        coupling_->query_engine().Run(*parsed_spec_));
+  std::set<Oid> expected;
+  for (const auto& row : result.rows) {
+    if (row[0].is_oid()) expected.insert(row[0].as_oid());
+  }
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  std::set<Oid> indexed;
+  std::string bad_key;
+  coll->index().ForEachDoc([&](irs::DocId, const irs::DocInfo& info) {
+    if (!StartsWith(info.key, "oid:")) {
+      bad_key = info.key;
+      return;
+    }
+    try {
+      indexed.insert(Oid(std::stoull(info.key.substr(4))));
+    } catch (...) {
+      bad_key = info.key;
+    }
+  });
+  if (!bad_key.empty()) {
+    return Status::Corruption("IRS document key without OID: " + bad_key);
+  }
+  ConsistencyReport report;
+  std::set_difference(expected.begin(), expected.end(), indexed.begin(),
+                      indexed.end(),
+                      std::back_inserter(report.missing_in_irs));
+  std::set_difference(indexed.begin(), indexed.end(), expected.begin(),
+                      expected.end(),
+                      std::back_inserter(report.orphaned_in_irs));
+  return report;
+}
+
+Status Collection::Repair() {
+  // Queued work first: most post-fault divergence is just unapplied
+  // updates, and replaying them may already restore consistency.
+  SDMS_RETURN_IF_ERROR(PropagateUpdates());
+  SDMS_ASSIGN_OR_RETURN(ConsistencyReport report, VerifyConsistency());
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  for (Oid oid : report.missing_in_irs) {
+    SDMS_ASSIGN_OR_RETURN(std::string text,
+                          coupling_->GetText(oid, text_mode_));
+    SDMS_RETURN_IF_ERROR(coll->AddDocument(oid.ToString(), text));
+    represented_.insert(oid);
+    ++stats_.reindex_ops;
+    Metrics().reindex_ops.Increment();
+  }
+  for (Oid oid : report.orphaned_in_irs) {
+    SDMS_RETURN_IF_ERROR(coll->RemoveDocument(oid.ToString()));
+    represented_.erase(oid);
+    ++stats_.reindex_ops;
+    Metrics().reindex_ops.Increment();
+  }
+  // Resync the represented set with what the IRS index now holds (it
+  // can drift when a crash interrupted IndexObjects or a batch).
+  represented_.clear();
+  coll->index().ForEachDoc([&](irs::DocId, const irs::DocInfo& info) {
+    if (!StartsWith(info.key, "oid:")) return;
+    try {
+      represented_.insert(Oid(std::stoull(info.key.substr(4))));
+    } catch (...) {
+    }
+  });
+  if (!report.consistent()) {
+    buffer_.Clear();
+    Metrics().repairs.Increment();
+    SDMS_LOG(INFO) << "repaired '" << irs_name_ << "': "
+                   << report.missing_in_irs.size() << " re-indexed, "
+                   << report.orphaned_in_irs.size() << " orphan(s) removed";
+  }
+  // A successful repair is positive proof the IRS is reachable again.
+  guard_.breaker().Reset();
   return Status::OK();
 }
 

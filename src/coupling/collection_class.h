@@ -9,6 +9,7 @@
 
 #include "common/oid.h"
 #include "common/status.h"
+#include "coupling/call_guard.h"
 #include "coupling/derivation.h"
 #include "coupling/result_buffer.h"
 #include "coupling/types.h"
@@ -18,6 +19,22 @@
 namespace sdms::coupling {
 
 class Coupling;
+
+/// Outcome of Collection::VerifyConsistency: spec-query membership
+/// reconciled against the IRS index after a crash or failed
+/// propagation.
+struct ConsistencyReport {
+  /// Objects that satisfy the specification query but have no IRS
+  /// document (lost inserts/updates).
+  std::vector<Oid> missing_in_irs;
+  /// IRS documents whose object vanished or no longer satisfies the
+  /// specification query (lost deletes).
+  std::vector<Oid> orphaned_in_irs;
+
+  bool consistent() const {
+    return missing_in_irs.empty() && orphaned_in_irs.empty();
+  }
+};
 
 /// The database class COLLECTION (paper Section 4.2): encapsulates
 /// exactly one IRS collection. Holds the specification query and text
@@ -51,13 +68,27 @@ class Collection {
   /// getIRSResult(IRSQuery): submits the query to the IRS (unless
   /// buffered) and returns the dictionary ||IRSObject --> REAL||.
   /// Pending updates are propagated first unless the policy is kManual.
-  StatusOr<const OidScoreMap*> GetIrsResult(const std::string& irs_query);
+  ///
+  /// Degraded mode: when the IRS is unavailable (guarded call failed,
+  /// breaker open) and the buffer still holds the query, the buffered
+  /// result is served with `*served_stale = true` — pending updates
+  /// stay queued in the update log for later replay. Without a
+  /// buffered result the unavailability status is returned.
+  StatusOr<const OidScoreMap*> GetIrsResult(const std::string& irs_query,
+                                            bool* served_stale = nullptr);
 
   /// findIRSValue(IRSQuery, obj): the Figure 3 flow — buffered result
   /// lookup, then the object's value; objects not represented derive
   /// their value (deriveIRSValue) and the derived value is inserted
   /// into the buffer.
-  StatusOr<double> FindIrsValue(const std::string& irs_query, Oid obj);
+  ///
+  /// Degraded mode: when the IRS is unavailable and nothing is
+  /// buffered, represented objects fall back to the query's null score
+  /// and unrepresented ones to derivation over components (whose own
+  /// lookups degrade the same way); `*degraded = true` flags the value
+  /// as not IRS-fresh.
+  StatusOr<double> FindIrsValue(const std::string& irs_query, Oid obj,
+                                bool* degraded = nullptr);
 
   /// The three update methods (Section 4.2): invoked when a relevant
   /// database update occurred. Under kEager the IRS index is
@@ -68,8 +99,27 @@ class Collection {
   Status OnDelete(Oid oid);
 
   /// Applies all pending net operations to the IRS index and
-  /// invalidates the result buffer when the index changed.
+  /// invalidates the result buffer when the index changed. On a
+  /// mid-batch failure every unapplied operation (including the one
+  /// that failed) is re-recorded in the update log and the error is
+  /// returned, so no update is ever silently lost — a later call
+  /// replays exactly the remaining work.
   Status PropagateUpdates();
+
+  // --- Consistency (crash/fault recovery) -------------------------------
+
+  /// Reconciles specification-query membership against the IRS index:
+  /// which spec-satisfying objects lack an IRS document, which IRS
+  /// documents lost their object. Requires an indexed collection
+  /// (spec query set) and an empty update log — call
+  /// PropagateUpdates() first.
+  StatusOr<ConsistencyReport> VerifyConsistency();
+
+  /// Restores exact consistency after faults: propagates pending
+  /// updates, re-indexes objects missing from the IRS, removes
+  /// orphaned IRS documents, resyncs the represented set, clears the
+  /// (now stale) result buffer, and closes the circuit breaker.
+  Status Repair();
 
   // --- deriveIRSValue ---------------------------------------------------
 
@@ -108,6 +158,9 @@ class Collection {
   const UpdateLog& update_log() const { return update_log_; }
 
   ResultBuffer& buffer() { return buffer_; }
+  /// The retry/deadline/circuit-breaker guard around every IRS call
+  /// this collection makes.
+  CallGuard& guard() { return guard_; }
   const CouplingStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CouplingStats{}; }
 
@@ -158,6 +211,7 @@ class Collection {
 
   std::set<Oid> represented_;
   ResultBuffer buffer_;
+  CallGuard guard_;
   /// Result storage when buffering is disabled (ablation mode).
   OidScoreMap unbuffered_result_;
   UpdateLog update_log_;

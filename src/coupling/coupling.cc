@@ -780,6 +780,8 @@ CouplingStats Coupling::AggregateStats() const {
     total.cancelled_ops += s.cancelled_ops;
     total.bytes_exchanged += s.bytes_exchanged;
     total.files_exchanged += s.files_exchanged;
+    total.stale_serves += s.stale_serves;
+    total.degraded_reads += s.degraded_reads;
   }
   return total;
 }

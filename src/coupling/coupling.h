@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "coupling/call_guard.h"
 #include "coupling/collection_class.h"
 #include "coupling/types.h"
 #include "irs/engine.h"
@@ -43,6 +44,12 @@ struct CouplingOptions {
   size_t buffer_capacity = 0;
   /// Disables the persistent result buffer (ablation).
   bool disable_buffering = false;
+  /// Retry/deadline/circuit-breaker policy for every IRS call a
+  /// Collection makes on behalf of the database.
+  CallGuardOptions call_guard;
+  /// When the IRS is unavailable, getIRSResult may answer from the
+  /// (possibly stale) persistent result buffer, flagging the result.
+  bool serve_stale = true;
 };
 
 /// The loose OODBMS-IRS coupling with the DBMS as control component

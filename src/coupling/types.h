@@ -30,6 +30,12 @@ struct CouplingStats {
   uint64_t bytes_exchanged = 0;
   /// Result files written/parsed (file-exchange mode).
   uint64_t files_exchanged = 0;
+  /// getIRSResult calls answered from the buffer while the IRS was
+  /// unavailable (result flagged stale).
+  uint64_t stale_serves = 0;
+  /// findIRSValue calls that fell back to derivation/missing_value
+  /// because the IRS was unavailable.
+  uint64_t degraded_reads = 0;
 };
 
 }  // namespace sdms::coupling

@@ -30,6 +30,12 @@ UpdateLogMetrics& Metrics() {
 void UpdateLog::Record(UpdateKind kind, Oid oid) {
   ++recorded_;
   Metrics().recorded.Increment();
+  Fold(kind, oid);
+}
+
+void UpdateLog::Requeue(const PendingOp& op) { Fold(op.kind, op.oid); }
+
+void UpdateLog::Fold(UpdateKind kind, Oid oid) {
   auto it = net_.find(oid);
   if (it == net_.end()) {
     NetState s = kind == UpdateKind::kInsert   ? NetState::kInsert

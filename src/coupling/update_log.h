@@ -41,6 +41,12 @@ class UpdateLog {
   /// Records one operation, folding it into the object's net effect.
   void Record(oodb::UpdateKind kind, Oid oid);
 
+  /// Puts a drained-but-unapplied operation back (propagation failed
+  /// mid-batch). Folds like Record but does not count as a newly
+  /// recorded operation, so recorded()/cancelled() stay meaningful
+  /// across retries.
+  void Requeue(const PendingOp& op);
+
   /// Returns the net operations (in first-touched order) and empties
   /// the log.
   std::vector<PendingOp> Drain();
@@ -61,6 +67,9 @@ class UpdateLog {
 
  private:
   enum class NetState { kInsert, kModify, kDelete };
+
+  /// Shared folding core of Record/Requeue.
+  void Fold(oodb::UpdateKind kind, Oid oid);
 
   // Net effect per object plus arrival order for deterministic drains.
   std::map<Oid, NetState> net_;

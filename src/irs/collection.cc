@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault/fault.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/thread_pool.h"
@@ -28,6 +29,9 @@ IrsMetrics& Metrics() {
 
 Status IrsCollection::AddDocument(const std::string& key,
                                   const std::string& text) {
+  // All fault points sit before any mutation, so an injected failure
+  // never leaves the index half-updated.
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.add"));
   if (HasDocument(key)) {
     return Status::AlreadyExists("document already in collection " + name_ +
                                  ": " + key);
@@ -44,6 +48,7 @@ Status IrsCollection::AddDocument(const std::string& key,
 Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
                                         ThreadPool* pool) {
   if (docs.empty()) return Status::OK();
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.batch_add"));
   for (const BatchDocument& d : docs) {
     if (HasDocument(d.key)) {
       return Status::AlreadyExists("document already in collection " + name_ +
@@ -79,11 +84,13 @@ Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
 
 Status IrsCollection::UpdateDocument(const std::string& key,
                                      const std::string& text) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.update"));
   SDMS_RETURN_IF_ERROR(RemoveDocument(key));
   return AddDocument(key, text);
 }
 
 Status IrsCollection::RemoveDocument(const std::string& key) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.remove"));
   SDMS_ASSIGN_OR_RETURN(DocId id, index_.FindByKey(key));
   SDMS_RETURN_IF_ERROR(index_.RemoveDocument(id));
   ++stats_.docs_removed;
@@ -98,6 +105,7 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
 
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     const std::string& query, size_t k) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.search"));
   obs::TraceSpan span("irs.search");
   Metrics().searches.Increment();
   SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/fault/fault.h"
 #include "common/file_util.h"
 #include "common/string_util.h"
 
@@ -47,6 +48,7 @@ std::vector<std::string> IrsEngine::CollectionNames() const {
 }
 
 Status IrsEngine::SaveTo(const std::string& dir) const {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.save"));
   SDMS_RETURN_IF_ERROR(MakeDirs(dir));
   std::string manifest;
   for (const auto& [name, coll] : collections_) {
@@ -55,15 +57,21 @@ Status IrsEngine::SaveTo(const std::string& dir) const {
                 (model_it != model_names_.end() ? model_it->second
                                                 : std::string("inquery")) +
                 "\n";
-    SDMS_RETURN_IF_ERROR(
-        WriteFileAtomic(dir + "/" + name + ".idx", coll->Serialize()));
+    // The checksum envelope turns a torn or bit-flipped index file
+    // into a clean kCorruption at load instead of silent bad state.
+    SDMS_RETURN_IF_ERROR(WriteFileAtomic(
+        dir + "/" + name + ".idx", WithChecksumEnvelope(coll->Serialize())));
   }
-  return WriteFileAtomic(dir + "/collections.manifest", manifest);
+  return WriteFileAtomic(dir + "/collections.manifest",
+                         WithChecksumEnvelope(manifest));
 }
 
 Status IrsEngine::LoadFrom(const std::string& dir) {
-  SDMS_ASSIGN_OR_RETURN(std::string manifest,
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.load"));
+  SDMS_ASSIGN_OR_RETURN(std::string manifest_raw,
                         ReadFile(dir + "/collections.manifest"));
+  SDMS_ASSIGN_OR_RETURN(std::string manifest,
+                        StripChecksumEnvelope(std::move(manifest_raw)));
   for (const std::string& line : Split(manifest, '\n')) {
     if (line.empty()) continue;
     std::vector<std::string> parts = Split(line, '\t');
@@ -74,7 +82,9 @@ Status IrsEngine::LoadFrom(const std::string& dir) {
     const std::string& model_name = parts[1];
     SDMS_ASSIGN_OR_RETURN(IrsCollection * coll,
                           CreateCollection(name, AnalyzerOptions{}, model_name));
-    SDMS_ASSIGN_OR_RETURN(std::string data, ReadFile(dir + "/" + name + ".idx"));
+    SDMS_ASSIGN_OR_RETURN(std::string raw, ReadFile(dir + "/" + name + ".idx"));
+    SDMS_ASSIGN_OR_RETURN(std::string data,
+                          StripChecksumEnvelope(std::move(raw)));
     SDMS_RETURN_IF_ERROR(coll->RestoreIndex(data));
   }
   return Status::OK();
@@ -83,6 +93,7 @@ Status IrsEngine::LoadFrom(const std::string& dir) {
 Status IrsEngine::SearchToFile(const std::string& collection,
                                const std::string& query,
                                const std::string& path) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.exchange.write"));
   SDMS_ASSIGN_OR_RETURN(IrsCollection * coll, GetCollection(collection));
   SDMS_ASSIGN_OR_RETURN(std::vector<SearchHit> hits, coll->Search(query));
   std::string out;
@@ -91,12 +102,17 @@ Status IrsEngine::SearchToFile(const std::string& collection,
     // exchange-file detour never perturbs scores or ranking.
     out += h.key + "\t" + StrFormat("%.17g", h.score) + "\n";
   }
-  return WriteFileAtomic(path, out);
+  // Checksummed so a torn exchange file surfaces as kCorruption when
+  // parsed, never as a truncated-but-plausible result list.
+  return WriteFileAtomic(path, WithChecksumEnvelope(out));
 }
 
 StatusOr<std::vector<SearchHit>> IrsEngine::ParseResultFile(
     const std::string& path) {
-  SDMS_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.exchange.read"));
+  SDMS_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (fault::InjectCorrupt("irs.exchange.read")) fault::CorruptInPlace(raw);
+  SDMS_ASSIGN_OR_RETURN(std::string data, StripChecksumEnvelope(std::move(raw)));
   std::vector<SearchHit> hits;
   for (const std::string& line : Split(data, '\n')) {
     if (line.empty()) continue;

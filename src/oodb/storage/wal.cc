@@ -1,9 +1,13 @@
 #include "oodb/storage/wal.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <vector>
 
+#include "common/fault/fault.h"
+#include "common/file_util.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "oodb/storage/serializer.h"
@@ -55,6 +59,7 @@ Status Wal::Open(const std::string& path) {
 
 Status Wal::Append(std::string_view payload) {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("wal.append"));
   std::string frame;
   frame.reserve(payload.size() + 8);
   PutFixed32(frame, static_cast<uint32_t>(payload.size()));
@@ -71,7 +76,15 @@ Status Wal::Append(std::string_view payload) {
 Status Wal::Sync() {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   obs::TraceSpan span("wal.sync");
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("wal.sync"));
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  // Durability: fflush only hands the frames to the OS; a power cut
+  // can still lose them. fsync on every commit unless the bench
+  // escape hatch SDMS_NO_FSYNC is set.
+  if (FsyncEnabled() && ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed: " +
+                           std::string(std::strerror(errno)));
+  }
   Metrics().syncs.Increment();
   Metrics().sync_us.Record(static_cast<double>(span.ElapsedMicros()));
   return Status::OK();

@@ -40,7 +40,9 @@ class Wal {
   /// Appends one framed record. Not flushed until Sync().
   Status Append(std::string_view payload);
 
-  /// Flushes buffered records to the OS and fsyncs.
+  /// Flushes buffered records to the OS and fsyncs the log file so a
+  /// committed transaction survives power loss (fsync is skipped when
+  /// SDMS_NO_FSYNC is set — bench escape hatch).
   Status Sync();
 
   /// Closes the file (implicit in destructor).

@@ -1,0 +1,181 @@
+#include "coupling/call_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sdms::coupling {
+namespace {
+
+CallGuardOptions FastOptions() {
+  CallGuardOptions opts;
+  opts.retry.initial_backoff_micros = 1;
+  opts.retry.max_backoff_micros = 10;
+  opts.breaker.open_micros = 5000;
+  return opts;
+}
+
+TEST(CallGuardTest, SuccessFirstTry) {
+  CallGuard guard(FastOptions(), "irs");
+  int calls = 0;
+  Status s = guard.Run("op", [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(guard.stats().retries, 0u);
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kClosed);
+}
+
+TEST(CallGuardTest, RetriesTransientFailuresUntilSuccess) {
+  CallGuard guard(FastOptions(), "irs");
+  int calls = 0;
+  Status s = guard.Run("op", [&] {
+    return ++calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(guard.stats().retries, 2u);
+  EXPECT_EQ(guard.stats().failures, 0u);
+  EXPECT_EQ(guard.breaker().consecutive_failures(), 0);
+}
+
+TEST(CallGuardTest, NonRetriableReturnsImmediately) {
+  CallGuard guard(FastOptions(), "irs");
+  int calls = 0;
+  Status s = guard.Run("op", [&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  // Logic errors neither retry nor penalize the breaker.
+  EXPECT_EQ(guard.stats().retries, 0u);
+  EXPECT_EQ(guard.breaker().consecutive_failures(), 0);
+}
+
+TEST(CallGuardTest, ExhaustedRetriesReturnLastError) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 3;
+  CallGuard guard(opts, "irs");
+  int calls = 0;
+  Status s = guard.Run("op", [&] {
+    ++calls;
+    return Status::IoError("down " + std::to_string(calls));
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("down 3"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(guard.stats().retries, 2u);
+  EXPECT_EQ(guard.stats().failures, 1u);
+  EXPECT_EQ(guard.breaker().consecutive_failures(), 1);
+}
+
+TEST(CallGuardTest, DeadlineStopsRetrying) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 1000;
+  opts.retry.deadline_micros = 2000;
+  CallGuard guard(opts, "irs");
+  Status s = guard.Run("op", [&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(1500));
+    return Status::IoError("slow and broken");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_NE(s.message().find("deadline exceeded"), std::string::npos);
+  EXPECT_EQ(guard.stats().deadline_exceeded, 1u);
+  // Far fewer than 1000 attempts: the deadline cut the loop.
+  EXPECT_LT(guard.stats().attempts, 10u);
+}
+
+TEST(CallGuardTest, LateSuccessIsStillUsed) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.deadline_micros = 100;
+  CallGuard guard(opts, "irs");
+  Status s = guard.Run("op", [&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    return Status::OK();  // blew the deadline but succeeded
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(guard.stats().deadline_exceeded, 0u);
+}
+
+TEST(CallGuardTest, BreakerOpensAfterThresholdAndRejects) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.open_micros = 60 * 1000 * 1000;  // stays open for the test
+  CallGuard guard(opts, "irs");
+  int calls = 0;
+  auto fail = [&] {
+    ++calls;
+    return Status::IoError("down");
+  };
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(guard.Run("op", fail).ok());
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(guard.breaker().opens(), 1u);
+
+  // Open: the dependency is no longer called at all.
+  Status s = guard.Run("op", fail);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_NE(s.message().find("circuit open"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(guard.stats().breaker_rejections, 1u);
+}
+
+TEST(CallGuardTest, HalfOpenProbeClosesOnSuccess) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_micros = 1000;
+  CallGuard guard(opts, "irs");
+  EXPECT_FALSE(guard.Run("op", [] { return Status::IoError("x"); }).ok());
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  // The first call after the window is the half-open probe.
+  EXPECT_TRUE(guard.Run("op", [] { return Status::OK(); }).ok());
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kClosed);
+}
+
+TEST(CallGuardTest, HalfOpenProbeFailureReopens) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_micros = 1000;
+  CallGuard guard(opts, "irs");
+  EXPECT_FALSE(guard.Run("op", [] { return Status::IoError("x"); }).ok());
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  EXPECT_FALSE(guard.Run("op", [] { return Status::IoError("x"); }).ok());
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(guard.breaker().opens(), 2u);
+}
+
+TEST(CallGuardTest, BreakerResetCloses) {
+  CallGuardOptions opts = FastOptions();
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_micros = 60 * 1000 * 1000;
+  CallGuard guard(opts, "irs");
+  EXPECT_FALSE(guard.Run("op", [] { return Status::IoError("x"); }).ok());
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kOpen);
+  guard.breaker().Reset();
+  EXPECT_EQ(guard.breaker().state(), BreakerState::kClosed);
+  EXPECT_TRUE(guard.Run("op", [] { return Status::OK(); }).ok());
+}
+
+TEST(CallGuardTest, RetriableClassification) {
+  EXPECT_TRUE(IsRetriable(Status::IoError("x")));
+  EXPECT_TRUE(IsRetriable(Status::Aborted("x")));
+  EXPECT_FALSE(IsRetriable(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetriable(Status::Corruption("x")));
+  EXPECT_FALSE(IsRetriable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetriable(Status::OK()));
+  // Unavailability (degraded serving trigger) is the same class.
+  EXPECT_TRUE(IsUnavailable(Status::Aborted("circuit open")));
+  EXPECT_FALSE(IsUnavailable(Status::Corruption("torn file")));
+}
+
+}  // namespace
+}  // namespace sdms::coupling

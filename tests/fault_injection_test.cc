@@ -1,0 +1,145 @@
+#include "common/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/status.h"
+
+namespace sdms::fault {
+namespace {
+
+/// The registry is process-wide; every test starts and ends clean with
+/// the default deterministic seed.
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Instance().Clear();
+    FaultRegistry::Instance().SetSeed(42);
+  }
+  void TearDown() override { FaultRegistry::Instance().Clear(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(FaultRegistry::Instance().enabled());
+  EXPECT_TRUE(InjectFault("anything").ok());
+  EXPECT_FALSE(InjectCorrupt("anything"));
+}
+
+TEST_F(FaultInjectionTest, IoErrorFires) {
+  FaultRule rule;
+  rule.kind = FaultKind::kIoError;
+  FaultRegistry::Instance().Arm("p", rule);
+  Status s = InjectFault("p");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("p"), std::string::npos);
+  // Other points are untouched.
+  EXPECT_TRUE(InjectFault("q").ok());
+}
+
+TEST_F(FaultInjectionTest, CrashReturnsAborted) {
+  FaultRule rule;
+  rule.kind = FaultKind::kCrash;
+  FaultRegistry::Instance().Arm("p", rule);
+  EXPECT_EQ(InjectFault("p").code(), StatusCode::kAborted);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresAndSkip) {
+  FaultRule rule;
+  rule.kind = FaultKind::kIoError;
+  rule.skip = 2;
+  rule.max_fires = 1;
+  FaultRegistry::Instance().Arm("p", rule);
+  EXPECT_TRUE(InjectFault("p").ok());   // check 1 (skipped)
+  EXPECT_TRUE(InjectFault("p").ok());   // check 2 (skipped)
+  EXPECT_FALSE(InjectFault("p").ok());  // check 3 fires
+  EXPECT_TRUE(InjectFault("p").ok());   // exhausted
+  EXPECT_EQ(FaultRegistry::Instance().fires("p"), 1u);
+  EXPECT_EQ(FaultRegistry::Instance().checks("p"), 4u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsSeededAndDeterministic) {
+  auto run_once = [](uint64_t seed) {
+    FaultRegistry& r = FaultRegistry::Instance();
+    r.Clear();
+    r.SetSeed(seed);
+    FaultRule rule;
+    rule.kind = FaultKind::kIoError;
+    rule.probability = 0.3;
+    r.Arm("p", rule);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += InjectFault("p").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  std::string a = run_once(7);
+  std::string b = run_once(7);
+  std::string c = run_once(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, LatencySleeps) {
+  FaultRule rule;
+  rule.kind = FaultKind::kLatency;
+  rule.latency_micros = 20000;
+  FaultRegistry::Instance().Arm("p", rule);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(InjectFault("p").ok());  // latency does not fail the call
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 20000);
+}
+
+TEST_F(FaultInjectionTest, CorruptFlagAndCorruptInPlace) {
+  FaultRule rule;
+  rule.kind = FaultKind::kCorrupt;
+  FaultRegistry::Instance().Arm("p", rule);
+  // Corrupt rules never fail the Check path...
+  EXPECT_TRUE(InjectFault("p").ok());
+  // ...they flag the data path instead.
+  EXPECT_TRUE(InjectCorrupt("p"));
+  std::string data = "abcdef";
+  CorruptInPlace(data);
+  EXPECT_NE(data, "abcdef");
+  EXPECT_EQ(data.size(), 6u);
+}
+
+TEST_F(FaultInjectionTest, ConfigureParsesSpecString) {
+  FaultRegistry& r = FaultRegistry::Instance();
+  ASSERT_TRUE(
+      r.Configure("a=io_error,p=0.5,n=3;b=latency,us=10;c=crash,after=1")
+          .ok());
+  EXPECT_TRUE(r.enabled());
+  EXPECT_TRUE(InjectFault("c").ok());   // after=1 skips the first check
+  EXPECT_FALSE(InjectFault("c").ok());  // second check fires
+}
+
+TEST_F(FaultInjectionTest, ConfigureRejectsBadSpecs) {
+  FaultRegistry& r = FaultRegistry::Instance();
+  EXPECT_EQ(r.Configure("noequals").code(), StatusCode::kParseError);
+  EXPECT_EQ(r.Configure("p=badkind").code(), StatusCode::kParseError);
+  EXPECT_EQ(r.Configure("p=io_error,p=1.5").code(), StatusCode::kParseError);
+  EXPECT_EQ(r.Configure("p=io_error,bogus=1").code(), StatusCode::kParseError);
+  EXPECT_EQ(r.Configure("p=io_error,p=xyz").code(), StatusCode::kParseError);
+}
+
+TEST_F(FaultInjectionTest, DisarmAndClear) {
+  FaultRule rule;
+  rule.kind = FaultKind::kIoError;
+  FaultRegistry::Instance().Arm("p", rule);
+  FaultRegistry::Instance().Arm("q", rule);
+  FaultRegistry::Instance().Disarm("p");
+  EXPECT_TRUE(InjectFault("p").ok());
+  EXPECT_FALSE(InjectFault("q").ok());
+  FaultRegistry::Instance().Clear();
+  EXPECT_FALSE(FaultRegistry::Instance().enabled());
+  EXPECT_TRUE(InjectFault("q").ok());
+}
+
+}  // namespace
+}  // namespace sdms::fault

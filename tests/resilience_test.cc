@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault/fault.h"
+#include "coupling_test_util.h"
+
+namespace sdms::coupling {
+namespace {
+
+using testutil::CoupledSystem;
+using testutil::MakeFigure4System;
+
+/// Adds a new paragraph under `root`; returns its OID. Identical
+/// mutations on identically built systems yield identical OIDs.
+Oid AddParagraph(CoupledSystem& sys, Oid root, const std::string& text) {
+  oodb::Database& db = *sys.db;
+  oodb::TxnId txn = db.Begin();
+  Oid para = *db.CreateObject("PARA", txn);
+  EXPECT_TRUE(db.SetAttribute(para, "GI", oodb::Value("PARA"), txn).ok());
+  EXPECT_TRUE(db.SetAttribute(para, "TEXT", oodb::Value(text), txn).ok());
+  EXPECT_TRUE(db.SetAttribute(para, "PARENT", oodb::Value(root), txn).ok());
+  EXPECT_TRUE(
+      db.SetAttribute(para, "CHILDREN", oodb::Value(oodb::ValueList{}), txn)
+          .ok());
+  auto children = db.GetAttribute(root, "CHILDREN");
+  EXPECT_TRUE(children.ok());
+  oodb::ValueList list = children->as_list();
+  list.push_back(oodb::Value(para));
+  EXPECT_TRUE(
+      db.SetAttribute(root, "CHILDREN", oodb::Value(std::move(list)), txn)
+          .ok());
+  EXPECT_TRUE(db.Commit(txn).ok());
+  return para;
+}
+
+/// Guard options tuned for fast deterministic tests.
+CouplingOptions ResilientOptions() {
+  CouplingOptions options;
+  options.call_guard.retry.max_attempts = 2;
+  options.call_guard.retry.initial_backoff_micros = 1;
+  options.call_guard.retry.max_backoff_micros = 10;
+  options.call_guard.breaker.failure_threshold = 4;
+  options.call_guard.breaker.open_micros = 2000;
+  return options;
+}
+
+class ResilienceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FaultRegistry::Instance().Clear();
+    fault::FaultRegistry::Instance().SetSeed(42);
+  }
+  void TearDown() override { fault::FaultRegistry::Instance().Clear(); }
+};
+
+/// The acceptance scenario: a scripted index -> query -> update -> query
+/// workload with a 30% I/O-error rate on every OODBMS->IRS call must
+/// produce zero incorrect results — every query either returns the
+/// correct (ground-truth) scores, an explicitly flagged stale buffered
+/// result, or a clean non-OK status. After the faults lift, Repair()
+/// restores exact consistency and a re-query is bit-identical to an
+/// identical system that never saw a fault.
+TEST_F(ResilienceTest, FaultyWorkloadNeverReturnsWrongResults) {
+  const std::vector<std::string> queries = {"www", "nii", "telnet",
+                                            "#or(www telnet)"};
+  // Primary runs with faults; the shadow is the identically built,
+  // identically updated ground truth (same creation order => same OIDs).
+  auto primary = MakeFigure4System(ResilientOptions());
+  auto shadow = MakeFigure4System();
+  Collection* coll = *primary->coupling->GetCollectionByName("paras");
+  Collection* truth_coll = *shadow->coupling->GetCollectionByName("paras");
+
+  // Phase A (healthy): warm the buffer with every workload query.
+  std::map<std::string, OidScoreMap> pre_update;
+  for (const std::string& q : queries) {
+    auto r = coll->GetIrsResult(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    pre_update[q] = **r;
+  }
+
+  // Phase B (healthy): identical updates queued on both systems, not
+  // yet propagated on either. The shadow is only ever propagated when
+  // the primary's own propagation succeeded, so both sides apply the
+  // identical IRS operation sequence and stay bit-comparable.
+  Oid added_p = AddParagraph(*primary, primary->roots[0],
+                             "telnet gateway discussion www");
+  Oid added_s =
+      AddParagraph(*shadow, shadow->roots[0], "telnet gateway discussion www");
+  ASSERT_EQ(added_p, added_s);
+  Oid modified = *coll->represented().begin();
+  ASSERT_TRUE(
+      primary->db->SetAttribute(modified, "TEXT", oodb::Value("nii archive"))
+          .ok());
+  ASSERT_TRUE(
+      shadow->db->SetAttribute(modified, "TEXT", oodb::Value("nii archive"))
+          .ok());
+  Oid deleted = pre_update["www"].begin()->first;
+  ASSERT_TRUE(primary->coupling->DeleteSubtree(deleted).ok());
+  ASSERT_TRUE(shadow->coupling->DeleteSubtree(deleted).ok());
+
+  // truth[q]: the correct fresh answer (tracks what the primary has
+  // actually applied). last_good[q]: what a stale serve must return —
+  // the last result the primary served fresh.
+  std::map<std::string, OidScoreMap> truth;
+  std::map<std::string, OidScoreMap> last_good = pre_update;
+  auto sync_shadow_and_truth = [&] {
+    ASSERT_TRUE(truth_coll->PropagateUpdates().ok());
+    for (const std::string& q : queries) {
+      auto r = truth_coll->GetIrsResult(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      truth[q] = **r;
+    }
+  };
+  auto arm_faults = [] {
+    fault::FaultRule rule;
+    rule.kind = fault::FaultKind::kIoError;
+    rule.probability = 0.3;
+    fault::FaultRegistry::Instance().Arm("coupling.irs_call", rule);
+  };
+
+  // Phase C: 30% I/O-error rate on every guarded IRS call, with a new
+  // paragraph queued each round so every query must propagate first.
+  arm_faults();
+  int fresh_ok = 0, stale = 0, failed = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::string text = "churn telnet www round" + std::to_string(round);
+    ASSERT_EQ(AddParagraph(*primary, primary->roots[0], text),
+              AddParagraph(*shadow, shadow->roots[0], text));
+    for (const std::string& q : queries) {
+      bool served_stale = false;
+      auto r = coll->GetIrsResult(q, &served_stale);
+      if (coll->pending_updates() == 0 &&
+          truth_coll->pending_updates() > 0) {
+        // The primary just caught up: mirror the applied state on the
+        // shadow (faults off) and refresh the ground truth.
+        fault::FaultRegistry::Instance().Disarm("coupling.irs_call");
+        sync_shadow_and_truth();
+        arm_faults();
+      }
+      if (!r.ok()) {
+        // A clean, classified error — never a wrong answer.
+        EXPECT_TRUE(IsUnavailable(r.status())) << r.status().ToString();
+        ++failed;
+        continue;
+      }
+      if (served_stale) {
+        // Explicitly flagged: exactly the last fresh answer for this
+        // query, never a half-updated one.
+        EXPECT_EQ(**r, last_good[q]) << "stale mismatch for " << q;
+        ++stale;
+        continue;
+      }
+      // Unflagged success: must be the exact current ground truth.
+      ASSERT_EQ((*r)->size(), truth[q].size()) << "fresh mismatch for " << q;
+      auto ti = truth[q].begin();
+      for (const auto& [oid, score] : **r) {
+        EXPECT_EQ(oid, ti->first);
+        EXPECT_EQ(score, ti->second) << "score drift for " << q;
+        ++ti;
+      }
+      last_good[q] = **r;
+      ++fresh_ok;
+    }
+  }
+  // The seeded fault stream exercises both healthy and degraded paths.
+  EXPECT_GT(fresh_ok, 0);
+  EXPECT_GT(stale + failed, 0);
+  EXPECT_GT(coll->guard().stats().retries, 0u);
+
+  // Phase D: faults lift; repair restores exact consistency.
+  fault::FaultRegistry::Instance().Clear();
+  ASSERT_TRUE(coll->Repair().ok());
+  sync_shadow_and_truth();
+  auto report = coll->VerifyConsistency();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent());
+  EXPECT_EQ(coll->represented_count(), truth_coll->represented_count());
+  for (const std::string& q : queries) {
+    bool served_stale = true;
+    auto r = coll->GetIrsResult(q, &served_stale);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(served_stale);
+    // Bit-identical to the never-faulted system.
+    ASSERT_EQ((*r)->size(), truth[q].size()) << q;
+    auto ti = truth[q].begin();
+    for (const auto& [oid, score] : **r) {
+      EXPECT_EQ(oid, ti->first) << q;
+      EXPECT_EQ(score, ti->second) << q;
+      ++ti;
+    }
+  }
+}
+
+TEST_F(ResilienceTest, BreakerOpensUnderSustainedFailureAndRecovers) {
+  CouplingOptions options = ResilientOptions();
+  options.call_guard.breaker.failure_threshold = 2;
+  options.call_guard.breaker.open_micros = 60ull * 1000 * 1000;
+  auto sys = MakeFigure4System(options);
+  Collection* coll = *sys->coupling->GetCollectionByName("paras");
+
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kIoError;
+  fault::FaultRegistry::Instance().Arm("coupling.irs_call", rule);
+  // Unbuffered query against a hard-down IRS: failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(coll->GetIrsResult("unbufferedterm").ok());
+  }
+  EXPECT_EQ(coll->guard().breaker().state(), BreakerState::kOpen);
+  EXPECT_GT(coll->guard().stats().retries, 0u);
+  // While open the IRS is not called at all.
+  uint64_t fires_before = fault::FaultRegistry::Instance().fires(
+      "coupling.irs_call");
+  EXPECT_FALSE(coll->GetIrsResult("unbufferedterm").ok());
+  EXPECT_EQ(fault::FaultRegistry::Instance().fires("coupling.irs_call"),
+            fires_before);
+
+  // Repair closes the breaker once the faults are gone.
+  fault::FaultRegistry::Instance().Clear();
+  ASSERT_TRUE(coll->Repair().ok());
+  EXPECT_EQ(coll->guard().breaker().state(), BreakerState::kClosed);
+  EXPECT_TRUE(coll->GetIrsResult("unbufferedterm").ok());
+}
+
+TEST_F(ResilienceTest, FileExchangeFaultsAreRetriedTransparently) {
+  CouplingOptions options = ResilientOptions();
+  options.file_exchange = true;
+  options.exchange_dir = testing::TempDir();
+  options.call_guard.retry.max_attempts = 5;
+  auto sys = MakeFigure4System(options);
+  Collection* coll = *sys->coupling->GetCollectionByName("paras");
+
+  // Every other exchange write fails: retries still deliver the result.
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kIoError;
+  rule.probability = 0.5;
+  fault::FaultRegistry::Instance().Arm("irs.exchange.write", rule);
+  int ok_count = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = coll->GetIrsResult("www");
+    if (r.ok()) ++ok_count;
+    coll->buffer().Clear();  // force a real IRS call every round
+  }
+  EXPECT_GT(ok_count, 5);
+  EXPECT_GT(coll->guard().stats().retries, 0u);
+}
+
+TEST_F(ResilienceTest, RepairRestoresConsistencyAfterLostDelete) {
+  auto sys = MakeFigure4System(ResilientOptions());
+  Collection* coll = *sys->coupling->GetCollectionByName("paras");
+  ASSERT_TRUE(coll->GetIrsResult("www").ok());
+
+  // Delete an object while the IRS is hard-down: the delete stays
+  // queued, the IRS keeps the orphan.
+  Oid victim = *coll->represented().begin();
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kIoError;
+  fault::FaultRegistry::Instance().Arm("coupling.irs_call", rule);
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(victim).ok());
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+  EXPECT_GT(coll->pending_updates(), 0u);
+  EXPECT_TRUE(coll->Represents(victim));
+
+  // VerifyConsistency refuses while work is pending.
+  EXPECT_EQ(coll->VerifyConsistency().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  fault::FaultRegistry::Instance().Clear();
+  ASSERT_TRUE(coll->Repair().ok());
+  EXPECT_FALSE(coll->Represents(victim));
+  auto report = coll->VerifyConsistency();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent());
+  auto r = coll->GetIrsResult("www");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->count(victim), 0u);
+}
+
+}  // namespace
+}  // namespace sdms::coupling

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/fault/fault.h"
 #include "coupling_test_util.h"
 
 namespace sdms::coupling {
@@ -186,6 +187,127 @@ TEST(UpdatePropagationTest, SpecFilterRespectedOnInsert) {
   Oid large = AddParagraph(*sys, sys->roots[0], long_text);
   ASSERT_TRUE((*big)->PropagateUpdates().ok());
   EXPECT_TRUE((*big)->Represents(large));
+}
+
+/// Fixture for propagation-under-fault tests: clears the process-wide
+/// fault registry around each test and provides no-retry guard options
+/// so a single armed fault deterministically fails one propagation.
+class PropagationFaultTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FaultRegistry::Instance().Clear();
+    fault::FaultRegistry::Instance().SetSeed(42);
+  }
+  void TearDown() override { fault::FaultRegistry::Instance().Clear(); }
+
+  static CouplingOptions NoRetryOptions() {
+    CouplingOptions options;
+    options.call_guard.retry.max_attempts = 1;
+    options.call_guard.breaker.failure_threshold = 1000;
+    return options;
+  }
+
+  static void ArmIoError(const std::string& point, uint64_t max_fires) {
+    fault::FaultRule rule;
+    rule.kind = fault::FaultKind::kIoError;
+    rule.max_fires = max_fires;
+    fault::FaultRegistry::Instance().Arm(point, rule);
+  }
+};
+
+TEST_F(PropagationFaultTest, LostUpdateRequeuedOnFailure) {
+  auto sys = MakeFigure4System(NoRetryOptions());
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("requeued edit")).ok());
+  ASSERT_EQ(coll->pending_updates(), 1u);
+
+  // The IRS fails exactly once: the drained modify must go back into
+  // the log instead of vanishing (the lost-update bug).
+  ArmIoError("coupling.irs_call", 1);
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+  EXPECT_EQ(coll->pending_updates(), 1u);
+  EXPECT_TRUE(coll->update_log().Has(para));
+
+  // Fault exhausted: the replay applies the edit exactly once.
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  EXPECT_EQ(coll->pending_updates(), 0u);
+  auto result = coll->GetIrsResult("requeued");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(para), 1u);
+}
+
+TEST_F(PropagationFaultTest, InsertBatchFailureRequeuesInserts) {
+  auto sys = MakeFigure4System(NoRetryOptions());
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kManual);
+  Oid a = AddParagraph(*sys, sys->roots[0], "gadfly one");
+  Oid b = AddParagraph(*sys, sys->roots[0], "gadfly two");
+  ASSERT_EQ(coll->pending_updates(), 2u);
+
+  // The batch add fails without side effects; both inserts requeue.
+  ArmIoError("irs.batch_add", 1);
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+  EXPECT_EQ(coll->pending_updates(), 2u);
+  EXPECT_FALSE(coll->Represents(a));
+  EXPECT_FALSE(coll->Represents(b));
+
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  EXPECT_TRUE(coll->Represents(a));
+  EXPECT_TRUE(coll->Represents(b));
+  auto result = coll->GetIrsResult("gadfly");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->size(), 2u);
+}
+
+TEST_F(PropagationFaultTest, MidBatchFailureKeepsUnappliedOpsOnly) {
+  auto sys = MakeFigure4System(NoRetryOptions());
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  coll->set_propagation_policy(PropagationPolicy::kManual);
+  // Two deletes: the first applies, the second faults and requeues.
+  auto it = coll->represented().begin();
+  Oid first = *it++;
+  Oid second = *it;
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(first).ok());
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(second).ok());
+  ASSERT_EQ(coll->pending_updates(), 2u);
+
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kIoError;
+  rule.skip = 1;  // first guarded call succeeds, second faults
+  rule.max_fires = 1;
+  fault::FaultRegistry::Instance().Arm("coupling.irs_call", rule);
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+  // Exactly the unapplied delete remains; the applied one is gone for
+  // good (exactly-once, not at-least-once-with-duplicates).
+  EXPECT_EQ(coll->pending_updates(), 1u);
+  EXPECT_FALSE(coll->Represents(first));
+  EXPECT_TRUE(coll->Represents(second));
+
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  EXPECT_FALSE(coll->Represents(second));
+  EXPECT_EQ(coll->pending_updates(), 0u);
+}
+
+TEST_F(PropagationFaultTest, FaultedModifyRecoversViaAddFallback) {
+  auto sys = MakeFigure4System(NoRetryOptions());
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("phoenix text")).ok());
+
+  // The update's internal re-add faults after its remove succeeded:
+  // the document is momentarily gone from the index.
+  ArmIoError("irs.add", 1);
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+  EXPECT_EQ(coll->pending_updates(), 1u);
+
+  // The replayed modify degenerates to a plain add and recovers.
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  auto result = coll->GetIrsResult("phoenix");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->count(para), 1u);
 }
 
 }  // namespace
