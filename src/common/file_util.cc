@@ -133,6 +133,28 @@ StatusOr<int64_t> FileSize(const std::string& path) {
   return static_cast<int64_t>(size);
 }
 
+StatusOr<size_t> RemoveMatchingFiles(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::string& suffix) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return static_cast<size_t>(0);  // Missing dir: nothing to sweep.
+  size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    std::string name = entry.path().filename().string();
+    if (!prefix.empty() && !StartsWith(name, prefix)) continue;
+    if (!suffix.empty() &&
+        (name.size() < suffix.size() ||
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+             0)) {
+      continue;
+    }
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
 Status SyncParentDir(const std::string& path) {
   if (!FsyncEnabled()) return Status::OK();
   fs::path dir = fs::path(path).parent_path();

@@ -29,6 +29,15 @@ Status RemoveFile(const std::string& path);
 /// Size in bytes of the file at `path`, or NotFound.
 StatusOr<int64_t> FileSize(const std::string& path);
 
+/// Removes every regular file directly in `dir` whose name starts with
+/// `prefix` and ends with `suffix` (an empty pattern matches
+/// anything). Returns the number removed; a missing directory removes
+/// nothing. Used by crash recovery to sweep temp/exchange files a
+/// failed run left behind.
+StatusOr<size_t> RemoveMatchingFiles(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::string& suffix);
+
 /// fsyncs the directory containing `path` so a completed rename is
 /// durable. No-op when fsync is disabled (SDMS_NO_FSYNC).
 Status SyncParentDir(const std::string& path);

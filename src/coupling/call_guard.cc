@@ -62,9 +62,13 @@ void CircuitBreaker::SetState(BreakerState next) {
   SDMS_LOG(DEBUG) << "breaker '" << name_ << "': " << BreakerStateName(state_)
                   << " -> " << BreakerStateName(next);
   state_ = next;
-  Metrics().breaker_state.Set(static_cast<int64_t>(next));
+  PublishState();
+}
+
+void CircuitBreaker::PublishState() {
+  Metrics().breaker_state.Set(static_cast<int64_t>(state_));
   obs::GetGauge("coupling.irs.breaker_state." + name_)
-      .Set(static_cast<int64_t>(next));
+      .Set(static_cast<int64_t>(state_));
 }
 
 bool CircuitBreaker::Allow() {
@@ -120,6 +124,11 @@ void CircuitBreaker::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   SetState(BreakerState::kClosed);
+  // SetState is a no-op when the state did not change, but a reset
+  // must refresh the gauges regardless: a breaker recreated after a
+  // restart starts closed while the gauges may still show the previous
+  // incarnation's "open".
+  PublishState();
 }
 
 // ---------------------------------------------------------------------------

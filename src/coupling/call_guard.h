@@ -69,6 +69,9 @@ class CircuitBreaker {
 
  private:
   void SetState(BreakerState next);
+  /// Rewrites the state gauges unconditionally (SetState skips them
+  /// when the state is unchanged; Reset must not).
+  void PublishState();
 
   BreakerOptions options_;
   std::string name_;

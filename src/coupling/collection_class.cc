@@ -37,6 +37,19 @@ struct CollectionMetrics {
   obs::Counter& degraded_reads =
       obs::GetCounter("coupling.result.degraded_reads");
   obs::Counter& repairs = obs::GetCounter("coupling.collection.repairs");
+  // Exactly-once propagation bookkeeping.
+  obs::Counter& propagate_batches =
+      obs::GetCounter("coupling.propagate.batches");
+  obs::Counter& propagate_ops =
+      obs::GetCounter("coupling.propagate.ops_applied");
+  obs::Counter& duplicates_skipped =
+      obs::GetCounter("coupling.propagate.duplicates_skipped");
+  obs::Counter& requeued = obs::GetCounter("coupling.propagate.requeued");
+  obs::Gauge& requeued_pending =
+      obs::GetGauge("coupling.propagate.requeued_pending");
+  obs::Gauge& high_water = obs::GetGauge("coupling.propagate.high_water");
+  obs::Counter& exchange_cleaned =
+      obs::GetCounter("coupling.files.exchange_cleaned");
 };
 
 CollectionMetrics& Metrics() {
@@ -112,6 +125,15 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
     return coll->AddDocumentsBatch(batch);
   }));
   represented_.insert(batch_oids.begin(), batch_oids.end());
+  // The index now reflects the database state as of the latest
+  // committed update event, so the exactly-once high-water mark jumps
+  // there — unless updates are still queued, in which case their
+  // propagation will advance it.
+  if (update_log_.empty()) {
+    uint64_t seq = coupling_->db().last_update_seq();
+    NoteRoutedSeq(seq);
+    coll->set_applied_seq(seq);
+  }
   Metrics().index_objects_us.Record(static_cast<double>(span.ElapsedMicros()));
   SDMS_LOG(DEBUG) << "indexObjects(" << irs_name_ << "): " << spec_query
                   << " -> " << represented_.size() << " represented objects";
@@ -182,14 +204,19 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
                          ".txt";
       SDMS_RETURN_IF_ERROR(
           coupling_->irs().SearchToFile(irs_name_, irs_query, path));
-      SDMS_ASSIGN_OR_RETURN(hits, irs::IrsEngine::ParseResultFile(path));
+      // The result file is transient: remove it whether or not it
+      // parses, so a corrupt result (or an injected fault) doesn't
+      // strand exchange files in the directory.
+      StatusOr<std::vector<irs::SearchHit>> hits_or =
+          irs::IrsEngine::ParseResultFile(path);
       auto size = FileSize(path);
       if (size.ok()) {
         stats_.bytes_exchanged += static_cast<uint64_t>(*size);
         Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
       }
       ++stats_.files_exchanged;
-      (void)RemoveFile(path);
+      if (RemoveFile(path).ok()) Metrics().exchange_cleaned.Increment();
+      SDMS_ASSIGN_OR_RETURN(hits, std::move(hits_or));
     } else {
       SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
                             coupling_->irs().GetCollection(irs_name_));
@@ -432,19 +459,19 @@ void Collection::SetDerivationScheme(std::unique_ptr<DerivationScheme> scheme) {
 // Update propagation (Section 4.6)
 // ---------------------------------------------------------------------------
 
-Status Collection::OnInsert(Oid oid) {
+Status Collection::OnInsert(Oid oid, uint64_t seq) {
   if (!parsed_spec_.has_value() || !IsSpecCandidate(oid)) return Status::OK();
-  update_log_.Record(UpdateKind::kInsert, oid);
+  update_log_.Record(UpdateKind::kInsert, oid, seq);
   if (policy_ == PropagationPolicy::kEager) return PropagateUpdates();
   return Status::OK();
 }
 
-Status Collection::OnModify(Oid oid) {
+Status Collection::OnModify(Oid oid, uint64_t seq) {
   if (Represents(oid)) {
-    update_log_.Record(UpdateKind::kModify, oid);
+    update_log_.Record(UpdateKind::kModify, oid, seq);
   } else if (parsed_spec_.has_value() && IsSpecCandidate(oid)) {
     // A modification may have made the object satisfy the spec query.
-    update_log_.Record(UpdateKind::kInsert, oid);
+    update_log_.Record(UpdateKind::kInsert, oid, seq);
   } else {
     return Status::OK();
   }
@@ -452,11 +479,11 @@ Status Collection::OnModify(Oid oid) {
   return Status::OK();
 }
 
-Status Collection::OnDelete(Oid oid) {
+Status Collection::OnDelete(Oid oid, uint64_t seq) {
   // Relevant only for represented objects or ones with a pending
   // insert (which the log then cancels out).
   if (!Represents(oid) && !update_log_.Has(oid)) return Status::OK();
-  update_log_.Record(UpdateKind::kDelete, oid);
+  update_log_.Record(UpdateKind::kDelete, oid, seq);
   if (policy_ == PropagationPolicy::kEager) return PropagateUpdates();
   return Status::OK();
 }
@@ -471,9 +498,33 @@ Status Collection::MaybePropagate() {
 
 Status Collection::PropagateUpdates() {
   obs::TraceSpan span("coupling.propagate");
+  // High-water mark this batch advances the index to: every sequenced
+  // event routed so far is either already applied, cancelled out in
+  // the log, or part of this drain. Snapshot it before draining —
+  // last_seq() survives the drain, but the invariant is what holds
+  // *now*.
+  uint64_t high = std::max(last_routed_seq_, update_log_.last_seq());
   std::vector<PendingOp> ops = update_log_.Drain();
   stats_.cancelled_ops = update_log_.cancelled();
   if (ops.empty()) return Status::OK();
+  Metrics().propagate_batches.Increment();
+  // Phase 1: force a prepare record (collection, high-water, drained
+  // ops) to the propagation journal before the first IRS call. A
+  // crash anywhere past this point leaves a journaled batch that
+  // recovery requeues; a journal failure here has touched nothing, so
+  // the batch simply goes back into the log.
+  Status prepared = coupling_->JournalPrepare(self_, high, ops);
+  if (!prepared.ok()) {
+    for (const PendingOp& op : ops) update_log_.Requeue(op);
+    stats_.requeued_ops += ops.size();
+    Metrics().requeued.Add(ops.size());
+    Metrics().requeued_pending.Set(
+        static_cast<int64_t>(update_log_.size()));
+    SDMS_LOG(WARN) << "propagation journal prepare for '" << irs_name_
+                   << "' failed, " << update_log_.size()
+                   << " net update(s) requeued: " << prepared.ToString();
+    return prepared;
+  }
   // Net operations are per-object independent, so replay is free to
   // group them: deletes and modifies apply individually, while inserts
   // are collected and fed to the batch indexing pipeline in one call.
@@ -515,7 +566,12 @@ Status Collection::PropagateUpdates() {
       std::vector<Oid> batch_oids;
       batch.reserve(inserts.size());
       for (const PendingOp& op : inserts) {
-        if (Represents(op.oid)) continue;
+        if (Represents(op.oid)) {
+          // Redelivered insert whose document already exists — the
+          // usual shape of a duplicate delivery after crash recovery.
+          if (op.seq != 0) Metrics().duplicates_skipped.Increment();
+          continue;
+        }
         StatusOr<bool> ok = SatisfiesSpec(op.oid);
         if (!ok.ok()) {
           failure = ok.status();
@@ -527,6 +583,8 @@ Status Collection::PropagateUpdates() {
           failure = text.status();
           break;
         }
+        SDMS_LOG(DEBUG) << "batch insert " << op.oid.ToString() << " seq "
+                        << op.seq << " text '" << *text << "'";
         batch.push_back(
             irs::BatchDocument{op.oid.ToString(), std::move(*text)});
         batch_oids.push_back(op.oid);
@@ -554,30 +612,67 @@ Status Collection::PropagateUpdates() {
     if (failure.ok()) buffer_.Clear();
   }
   if (!failure.ok()) {
+    size_t requeued = inserts.size() + (ops.size() - failed_at);
     for (const PendingOp& op : inserts) update_log_.Requeue(op);
     for (size_t j = failed_at; j < ops.size(); ++j) {
       update_log_.Requeue(ops[j]);
     }
+    stats_.requeued_ops += requeued;
+    Metrics().requeued.Add(requeued);
+    Metrics().requeued_pending.Set(
+        static_cast<int64_t>(update_log_.size()));
     SDMS_LOG(WARN) << "propagation into '" << irs_name_ << "' failed, "
                    << update_log_.size() << " net update(s) requeued: "
                    << failure.ToString();
     return failure;
   }
+  // The whole batch applied: the index now reflects every sequenced
+  // event up to `high`. Advance the IRS snapshot's high-water mark
+  // only here — never per op — so a crash mid-batch replays the full
+  // remaining work instead of skipping requeued lower-seq ops.
+  auto coll_or = coupling_->irs().GetCollection(irs_name_);
+  if (coll_or.ok()) (*coll_or)->set_applied_seq(high);
+  Metrics().propagate_ops.Add(ops.size());
+  Metrics().high_water.Set(static_cast<int64_t>(high));
+  Metrics().requeued_pending.Set(static_cast<int64_t>(update_log_.size()));
+  // Phase 2: the commit record marks the batch complete in memory.
+  // Recovery treats it as advisory (only the persisted snapshot's
+  // high-water mark proves durability) and the reconciling replay is
+  // idempotent, so failing to write it only warns.
+  Status committed = coupling_->JournalCommit(self_, high);
+  if (!committed.ok()) {
+    SDMS_LOG(WARN) << "propagation journal commit for '" << irs_name_
+                   << "' failed (batch stays replayable): "
+                   << committed.ToString();
+  }
   SDMS_LOG(DEBUG) << "propagated " << ops.size() << " net update(s) into '"
-                  << irs_name_ << "'";
+                  << irs_name_ << "' (high-water " << high << ")";
   return Status::OK();
 }
 
 Status Collection::ApplyOp(const PendingOp& op) {
+  // Replay is *reconciling*, which makes it idempotent: inserts whose
+  // document already exists and deletes whose document is already gone
+  // are skipped, and modifies re-derive the text from the current
+  // database state, so applying the same sequenced op twice (duplicate
+  // delivery after a crash) converges to the same index.
   SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
                         coupling_->irs().GetCollection(irs_name_));
   switch (op.kind) {
     case UpdateKind::kInsert: {
-      if (Represents(op.oid)) break;
+      if (Represents(op.oid)) {
+        if (op.seq != 0) Metrics().duplicates_skipped.Increment();
+        break;
+      }
+      // A replayed insert whose object was deleted later is a no-op:
+      // the delete either folded with it or is pending behind it.
+      if (!coupling_->db().store().Contains(op.oid)) break;
       SDMS_ASSIGN_OR_RETURN(bool ok, SatisfiesSpec(op.oid));
       if (!ok) break;
       SDMS_ASSIGN_OR_RETURN(std::string text,
                             coupling_->GetText(op.oid, text_mode_));
+      SDMS_LOG(DEBUG) << "apply insert " << op.oid.ToString() << " seq "
+                      << op.seq << " text '" << text << "'";
       SDMS_RETURN_IF_ERROR(coll->AddDocument(op.oid.ToString(), text));
       represented_.insert(op.oid);
       ++stats_.reindex_ops;
@@ -585,17 +680,40 @@ Status Collection::ApplyOp(const PendingOp& op) {
       break;
     }
     case UpdateKind::kModify: {
-      if (!Represents(op.oid)) break;
       if (!coupling_->db().store().Contains(op.oid)) {
         // Vanished since recording: treat as a delete.
-        SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
-        represented_.erase(op.oid);
+        if (Represents(op.oid)) {
+          SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
+          represented_.erase(op.oid);
+          ++stats_.reindex_ops;
+          Metrics().reindex_ops.Increment();
+        }
+        break;
+      }
+      if (!Represents(op.oid)) {
+        // Crash recovery can fold a journal-requeued modify with the
+        // re-routed insert of the same object into one modify while
+        // the restored index predates both (its snapshot was taken
+        // before the insert was ever applied). The net op then has to
+        // *create* the document, not update it: reconcile against the
+        // database ground truth and degenerate to an insert.
+        SDMS_ASSIGN_OR_RETURN(bool ok, SatisfiesSpec(op.oid));
+        if (!ok) break;
+        SDMS_ASSIGN_OR_RETURN(std::string added_text,
+                              coupling_->GetText(op.oid, text_mode_));
+        SDMS_LOG(DEBUG) << "apply modify-as-insert " << op.oid.ToString()
+                        << " seq " << op.seq << " text '" << added_text << "'";
+        SDMS_RETURN_IF_ERROR(
+            coll->AddDocument(op.oid.ToString(), added_text));
+        represented_.insert(op.oid);
         ++stats_.reindex_ops;
         Metrics().reindex_ops.Increment();
         break;
       }
       SDMS_ASSIGN_OR_RETURN(std::string text,
                             coupling_->GetText(op.oid, text_mode_));
+      SDMS_LOG(DEBUG) << "apply modify " << op.oid.ToString() << " seq "
+                      << op.seq << " text '" << text << "'";
       if (!coll->HasDocument(op.oid.ToString())) {
         // A previous update faulted between its remove and its re-add:
         // the replayed modify degenerates to a plain add.
@@ -608,8 +726,18 @@ Status Collection::ApplyOp(const PendingOp& op) {
       break;
     }
     case UpdateKind::kDelete: {
-      if (!Represents(op.oid)) break;
-      SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
+      if (!Represents(op.oid)) {
+        if (op.seq != 0) Metrics().duplicates_skipped.Increment();
+        break;
+      }
+      SDMS_LOG(DEBUG) << "apply delete " << op.oid.ToString() << " seq "
+                      << op.seq;
+      if (coll->HasDocument(op.oid.ToString())) {
+        SDMS_RETURN_IF_ERROR(coll->RemoveDocument(op.oid.ToString()));
+      }
+      // else: a previous update faulted between its remove and its
+      // re-add — the document is already gone, which is exactly this
+      // delete's goal state.
       represented_.erase(op.oid);
       ++stats_.reindex_ops;
       Metrics().reindex_ops.Increment();
@@ -708,6 +836,14 @@ Status Collection::Repair() {
                    << report.missing_in_irs.size() << " re-indexed, "
                    << report.orphaned_in_irs.size() << " orphan(s) removed";
   }
+  // Consistency is restored, so the failure bookkeeping that led here
+  // must not linger: the requeued-op counter and gauge go back to
+  // zero, and the breaker reset force-publishes its state gauges (a
+  // breaker recreated after a restart starts closed, so without the
+  // forced publish the previous incarnation's "open" gauge would
+  // survive the repair).
+  stats_.requeued_ops = 0;
+  Metrics().requeued_pending.Set(0);
   // A successful repair is positive proof the IRS is reachable again.
   guard_.breaker().Reset();
   return Status::OK();

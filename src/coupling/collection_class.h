@@ -93,18 +93,36 @@ class Collection {
   /// The three update methods (Section 4.2): invoked when a relevant
   /// database update occurred. Under kEager the IRS index is
   /// maintained immediately; otherwise the operation is recorded in
-  /// the cancelling update log.
-  Status OnInsert(Oid oid);
-  Status OnModify(Oid oid);
-  Status OnDelete(Oid oid);
+  /// the cancelling update log. `seq` is the database update-event
+  /// sequence number driving the exactly-once bookkeeping (0 for
+  /// direct calls outside the sequenced listener path).
+  Status OnInsert(Oid oid, uint64_t seq = 0);
+  Status OnModify(Oid oid, uint64_t seq = 0);
+  Status OnDelete(Oid oid, uint64_t seq = 0);
 
   /// Applies all pending net operations to the IRS index and
-  /// invalidates the result buffer when the index changed. On a
-  /// mid-batch failure every unapplied operation (including the one
-  /// that failed) is re-recorded in the update log and the error is
-  /// returned, so no update is ever silently lost — a later call
-  /// replays exactly the remaining work.
+  /// invalidates the result buffer when the index changed. The batch
+  /// runs as a mini two-phase commit against the coupling's
+  /// propagation journal: a prepare record (collection, high-water
+  /// seq, the drained ops) is forced to the journal before the first
+  /// IRS call, and a commit record after the last — so a crash at any
+  /// point leaves either a journaled batch to replay or a resolved
+  /// one to skip. On a mid-batch failure every unapplied operation
+  /// (including the one that failed) is re-recorded in the update log
+  /// and the error is returned, so no update is ever silently lost —
+  /// a later call replays exactly the remaining work.
   Status PropagateUpdates();
+
+  /// Highest update-event seq this collection has seen routed to it.
+  /// Restored from the IRS snapshot's high-water mark after a crash;
+  /// the coupling's dispatcher skips re-routing events at or below it.
+  uint64_t last_routed_seq() const { return last_routed_seq_; }
+
+  /// Called by the dispatcher after an event (direct effect plus
+  /// ancestor modifies, which share its seq) is fully routed.
+  void NoteRoutedSeq(uint64_t seq) {
+    if (seq > last_routed_seq_) last_routed_seq_ = seq;
+  }
 
   // --- Consistency (crash/fault recovery) -------------------------------
 
@@ -218,6 +236,12 @@ class Collection {
   PropagationPolicy policy_ = PropagationPolicy::kOnQuery;
   std::unique_ptr<DerivationScheme> scheme_;
   CouplingStats stats_;
+  /// Exactly-once routing floor: highest event seq fully dispatched to
+  /// this collection. Survives restarts via the IRS snapshot's
+  /// applied_seq (RestoreCollections copies it back), so recovery can
+  /// tell replayed WAL events already covered by the persisted index
+  /// from genuinely undelivered ones.
+  uint64_t last_routed_seq_ = 0;
   int derive_depth_ = 0;
   /// (query, object) derivations currently on the stack; re-entry
   /// (cyclic structures, e.g. implies-link cycles) returns the null

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "common/file_util.h"
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
 #include "common/string_util.h"
 #include "oodb/builtins.h"
 #include "oodb/query/parser.h"
+#include "oodb/storage/serializer.h"
 
 namespace sdms::coupling {
 
@@ -33,6 +37,20 @@ constexpr char kAttrChildren[] = "CHILDREN";
 constexpr char kAttrParent[] = "PARENT";
 constexpr char kAttrOrd[] = "ORD";
 
+/// Events the dispatcher dropped because the target collection's
+/// routed high-water mark already covered them (recovery re-delivery).
+obs::Counter& RouteDuplicates() {
+  static obs::Counter& c =
+      obs::GetCounter("coupling.propagate.duplicates_skipped");
+  return c;
+}
+
+obs::Counter& RecoveredInflight() {
+  static obs::Counter& c =
+      obs::GetCounter("coupling.propagate.recovered_inflight");
+  return c;
+}
+
 }  // namespace
 
 Coupling::Coupling(Database* db, irs::IrsEngine* engine, Options options)
@@ -40,7 +58,10 @@ Coupling::Coupling(Database* db, irs::IrsEngine* engine, Options options)
       query_engine_(db) {}
 
 Coupling::~Coupling() {
-  if (initialized_) db_->RemoveUpdateListener(this);
+  if (initialized_) {
+    db_->RemoveUpdateListener(this);
+    if (!options_.irs_snapshot_dir.empty()) db_->SetCheckpointHook(nullptr);
+  }
 }
 
 Status Coupling::Initialize() {
@@ -50,6 +71,16 @@ Status Coupling::Initialize() {
   SDMS_RETURN_IF_ERROR(RegisterIrsObjectMethods());
   SDMS_RETURN_IF_ERROR(RegisterCollectionMethods());
   SDMS_RETURN_IF_ERROR(RegisterBuiltinTextModes());
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<oodb::Wal>();
+    SDMS_RETURN_IF_ERROR(journal_->Open(options_.journal_path));
+  }
+  if (!options_.irs_snapshot_dir.empty()) {
+    // The checkpoint hook persists the IRS (and parks pending ops in
+    // the journal) before the database WAL is truncated, so no update
+    // event disappears while its effect exists only in memory.
+    db_->SetCheckpointHook([this]() { return PersistIrs(); });
+  }
   db_->AddUpdateListener(this);
   db_->set_coupling_context(this);
   query_engine_.AddPrepareHook(
@@ -193,6 +224,10 @@ StatusOr<size_t> Coupling::RestoreCollections() {
             }
           }
         });
+    // Exactly-once floor: every sequenced event at or below the
+    // snapshot's high-water mark is already reflected in (or cancelled
+    // out of) the restored index, so recovery must not re-route it.
+    collection->last_routed_seq_ = (*irs_coll)->applied_seq();
     collections_by_name_.emplace(name->as_string(), oid);
     collections_.emplace(oid, std::move(collection));
     ++restored;
@@ -489,39 +524,235 @@ Status Coupling::DeleteSubtree(Oid oid) {
 
 void Coupling::OnUpdate(UpdateKind kind, Oid oid,
                         const std::string& class_name,
-                        const std::string& attr) {
+                        const std::string& attr, uint64_t seq) {
   (void)attr;
+  RouteUpdate(kind, oid, class_name, seq);
+}
+
+void Coupling::RouteUpdate(UpdateKind kind, Oid oid,
+                           const std::string& class_name, uint64_t seq) {
   if (class_name == kCollectionClass || collections_.empty()) return;
-  // Direct effect on the object itself.
-  for (auto& [coid, collection] : collections_) {
-    Status s = Status::OK();
-    switch (kind) {
-      case UpdateKind::kInsert:
-        s = collection->OnInsert(oid);
-        break;
-      case UpdateKind::kModify:
-        s = collection->OnModify(oid);
-        break;
-      case UpdateKind::kDelete:
-        s = collection->OnDelete(oid);
-        break;
-    }
-    (void)s;  // Propagation errors surface on the next query.
-  }
   // Indirect effect: the text of every ancestor changed as well (its
-  // getText covers the subtree).
+  // getText covers the subtree). The ancestors are collected once;
+  // their modifies share the event's seq, so a collection's routed
+  // high-water mark only advances after the direct effect *and* every
+  // ancestor modify are recorded — never in between.
+  std::vector<Oid> ancestors;
   if (kind != UpdateKind::kDelete) {
     auto parent_or = ParentOf(oid);
     while (parent_or.ok() && parent_or->valid()) {
-      Oid ancestor = *parent_or;
-      for (auto& [coid, collection] : collections_) {
-        if (collection->Represents(ancestor)) {
-          (void)collection->OnModify(ancestor);
-        }
-      }
-      parent_or = ParentOf(ancestor);
+      ancestors.push_back(*parent_or);
+      parent_or = ParentOf(*parent_or);
     }
   }
+  for (auto& [coid, collection] : collections_) {
+    // Exactly-once guard: recovery re-delivers WAL events from the
+    // last checkpoint on; those already covered by this collection's
+    // restored high-water mark are duplicates.
+    if (seq != 0 && seq <= collection->last_routed_seq()) {
+      RouteDuplicates().Increment();
+      continue;
+    }
+    Status s = Status::OK();
+    switch (kind) {
+      case UpdateKind::kInsert:
+        s = collection->OnInsert(oid, seq);
+        break;
+      case UpdateKind::kModify:
+        s = collection->OnModify(oid, seq);
+        break;
+      case UpdateKind::kDelete:
+        s = collection->OnDelete(oid, seq);
+        break;
+    }
+    (void)s;  // Propagation errors surface on the next query.
+    for (Oid ancestor : ancestors) {
+      if (collection->Represents(ancestor)) {
+        (void)collection->OnModify(ancestor, seq);
+      }
+    }
+    collection->NoteRoutedSeq(seq);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once propagation: journal, recovery, persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string EncodePrepare(Oid collection, uint64_t high,
+                          const std::vector<PendingOp>& ops) {
+  oodb::Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(oodb::WalRecordType::kPropagatePrepare));
+  enc.PutU64(collection.raw());
+  enc.PutU64(high);
+  enc.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const PendingOp& op : ops) {
+    enc.PutU8(static_cast<uint8_t>(op.kind));
+    enc.PutU64(op.oid.raw());
+    enc.PutU64(op.seq);
+  }
+  return std::string(enc.data());
+}
+
+}  // namespace
+
+Status Coupling::JournalPrepare(Oid collection, uint64_t high,
+                                const std::vector<PendingOp>& ops) {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->AppendDurable(EncodePrepare(collection, high, ops));
+}
+
+Status Coupling::JournalCommit(Oid collection, uint64_t high) {
+  if (journal_ == nullptr) return Status::OK();
+  oodb::Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(oodb::WalRecordType::kPropagateCommit));
+  enc.PutU64(collection.raw());
+  enc.PutU64(high);
+  return journal_->AppendDurable(enc.data());
+}
+
+Status Coupling::RecoverPropagation() {
+  // (1) Journal replay. A commit record only proves the batch was
+  // applied to the *in-memory* index — if the process died before the
+  // next SaveTo, those effects are gone, and for ops whose database
+  // WAL events a checkpoint already truncated (the parked prepares)
+  // the journal is the only durable record left. So commits are NOT
+  // trusted to resolve prepares here; the one durable truth is the
+  // restored snapshot's high-water mark, and every journaled batch
+  // above that floor is folded back into the collection's update log.
+  // The reconciling ApplyOp makes replay idempotent, so this
+  // over-approximation (re-delivering batches that did apply and
+  // commit but were never persisted) is safe — duplicates reconcile
+  // to no-ops.
+  struct PreparedBatch {
+    uint64_t high = 0;
+    std::vector<PendingOp> ops;
+  };
+  if (!options_.journal_path.empty()) {
+    std::map<Oid, std::vector<PreparedBatch>> prepared;
+    SDMS_RETURN_IF_ERROR(oodb::Wal::Replay(
+        options_.journal_path, [&](std::string_view payload) -> Status {
+          oodb::Decoder dec(payload);
+          SDMS_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+          if (type ==
+              static_cast<uint8_t>(oodb::WalRecordType::kPropagatePrepare)) {
+            SDMS_ASSIGN_OR_RETURN(uint64_t coll_raw, dec.GetU64());
+            PreparedBatch batch;
+            SDMS_ASSIGN_OR_RETURN(batch.high, dec.GetU64());
+            SDMS_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+            for (uint32_t i = 0; i < count; ++i) {
+              SDMS_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+              if (kind > static_cast<uint8_t>(UpdateKind::kDelete)) {
+                return Status::Corruption("bad op kind in prepare record");
+              }
+              SDMS_ASSIGN_OR_RETURN(uint64_t oid_raw, dec.GetU64());
+              SDMS_ASSIGN_OR_RETURN(uint64_t seq, dec.GetU64());
+              batch.ops.push_back(PendingOp{static_cast<UpdateKind>(kind),
+                                            Oid(oid_raw), seq});
+            }
+            prepared[Oid(coll_raw)].push_back(std::move(batch));
+          } else if (type == static_cast<uint8_t>(
+                                 oodb::WalRecordType::kPropagateCommit)) {
+            // Advisory only (see above): the batch completed in memory
+            // at the time, which says nothing about durability.
+            SDMS_ASSIGN_OR_RETURN(uint64_t coll_raw, dec.GetU64());
+            SDMS_ASSIGN_OR_RETURN(uint64_t high, dec.GetU64());
+            (void)coll_raw;
+            (void)high;
+          } else {
+            return Status::Corruption("unknown propagation-journal record");
+          }
+          return Status::OK();
+        }));
+    for (auto& [coid, batches] : prepared) {
+      auto it = collections_.find(coid);
+      if (it == collections_.end()) continue;
+      // The durable floor: every sequenced effect at or below it is in
+      // the restored index (the floor only ever advances on a fully
+      // applied batch, and the snapshot persisted that index). Ops at
+      // or below the floor must NOT be requeued — not just as an
+      // optimization: re-delivering an already-durable insert would
+      // fold with a later re-routed delete of the same object and
+      // annihilate in the update log, silently dropping the delete.
+      // Unsequenced ops (seq 0, direct API calls) are requeued
+      // conservatively; their replay reconciles to a no-op.
+      uint64_t floor = it->second->last_routed_seq();
+      size_t requeued = 0;
+      for (const PreparedBatch& batch : batches) {
+        if (batch.high < floor) continue;
+        for (const PendingOp& op : batch.ops) {
+          if (op.seq != 0 && op.seq <= floor) continue;
+          it->second->update_log_.Requeue(op);
+          ++requeued;
+        }
+      }
+      if (requeued > 0) {
+        RecoveredInflight().Add(requeued);
+        SDMS_LOG(INFO) << "recovery: requeued " << requeued
+                       << " in-flight op(s) for '"
+                       << it->second->irs_collection_name()
+                       << "' from the propagation journal";
+      }
+    }
+  }
+  // (2) Re-route the committed update events the database WAL
+  // re-delivered. Per collection, the routing guard drops the ones its
+  // restored high-water mark already covers.
+  for (const oodb::RecoveredUpdate& ev : db_->TakeRecoveredUpdates()) {
+    RouteUpdate(ev.kind, ev.oid, ev.cls, ev.seq);
+  }
+  // (3) Sweep stray files a crashed run left behind: half-written
+  // snapshot temps, and (when this coupling owns a private exchange
+  // directory) abandoned IRS result files. The shared /tmp default is
+  // deliberately not swept — a concurrent process may be mid-exchange.
+  size_t swept = 0;
+  if (!options_.irs_snapshot_dir.empty()) {
+    auto n = RemoveMatchingFiles(options_.irs_snapshot_dir, "", ".tmp");
+    if (n.ok()) swept += *n;
+  }
+  if (options_.file_exchange && options_.exchange_dir != "/tmp") {
+    auto n = RemoveMatchingFiles(options_.exchange_dir, "irs_result_", "");
+    if (n.ok()) swept += *n;
+  }
+  obs::GetGauge("coupling.recovery.swept_files")
+      .Set(static_cast<int64_t>(swept));
+  if (swept > 0) {
+    SDMS_LOG(INFO) << "recovery: swept " << swept << " stray file(s)";
+  }
+  return Status::OK();
+}
+
+Status Coupling::PersistIrs() {
+  if (options_.irs_snapshot_dir.empty()) {
+    return Status::FailedPrecondition("no irs_snapshot_dir configured");
+  }
+  SDMS_RETURN_IF_ERROR(engine_->SaveTo(options_.irs_snapshot_dir));
+  if (journal_ != nullptr) {
+    // Everything applied is now durable (the snapshots carry their
+    // high-water marks), so the journal's history is obsolete — except
+    // for still-pending ops: once the database checkpoint this persist
+    // precedes truncates the WAL, their update events are gone, making
+    // the journal their only durable record. Park them as uncommitted
+    // prepares; recovery requeues those unconditionally.
+    //
+    // The swap to parks-only MUST be atomic. A previous checkpoint may
+    // have parked these same ops and truncated their WAL events, so if
+    // the journal were truncated first and the parks appended after, a
+    // crash between the two would destroy the ops' only durable copy —
+    // a permanently lost update the reconciling replay cannot repair.
+    std::vector<std::string> parked;
+    for (auto& [coid, collection] : collections_) {
+      std::vector<PendingOp> pending = collection->update_log_.Peek();
+      if (pending.empty()) continue;
+      uint64_t high = std::max(collection->last_routed_seq(),
+                               collection->update_log_.last_seq());
+      parked.push_back(EncodePrepare(coid, high, pending));
+    }
+    SDMS_RETURN_IF_ERROR(journal_->ReplaceAtomic(parked));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include "irs/engine.h"
 #include "oodb/database.h"
 #include "oodb/query/executor.h"
+#include "oodb/storage/wal.h"
 #include "sgml/document.h"
 #include "sgml/dtd.h"
 
@@ -50,6 +51,14 @@ struct CouplingOptions {
   /// When the IRS is unavailable, getIRSResult may answer from the
   /// (possibly stale) persistent result buffer, flagging the result.
   bool serve_stale = true;
+  /// Path of the propagation journal — the coupling-owned WAL holding
+  /// the prepare/commit records of the exactly-once protocol. Empty
+  /// disables journaling (propagation still works; crash recovery then
+  /// relies on the database WAL alone).
+  std::string journal_path;
+  /// Directory the IRS indexes are persisted to by PersistIrs() and
+  /// the database checkpoint hook. Empty disables both.
+  std::string irs_snapshot_dir;
 };
 
 /// The loose OODBMS-IRS coupling with the DBMS as control component
@@ -90,11 +99,36 @@ class Coupling : public oodb::UpdateListener {
   /// Rebuilds the Collection handles after a restart: for every
   /// persisted COLLECTION database object whose IRS collection was
   /// restored (IrsEngine::LoadFrom), reattaches name, model,
-  /// specification query, text mode, and the represented set (taken
-  /// from the restored IRS index's document keys). Returns the number
+  /// specification query, text mode, the represented set (taken from
+  /// the restored IRS index's document keys), and the exactly-once
+  /// routing floor (the snapshot's applied_seq). Returns the number
   /// of collections restored; COLLECTION objects without a matching
   /// IRS collection are skipped.
   StatusOr<size_t> RestoreCollections();
+
+  // --- Exactly-once propagation (crash recovery) --------------------------
+
+  /// Completes the exactly-once protocol after a restart. Call after
+  /// RestoreCollections(). Three steps: (1) replays the propagation
+  /// journal and requeues the ops of every prepared batch not covered
+  /// by the restored index snapshot's high-water mark (commit records
+  /// are advisory — they prove in-memory completion, not durability);
+  /// (2) re-routes the committed update events the database WAL
+  /// re-delivered (Database::TakeRecoveredUpdates), skipping per
+  /// collection those at or below its restored high-water mark;
+  /// (3) sweeps stray temp/exchange files a crashed run left behind.
+  /// Replay is idempotent (ApplyOp reconciles against the current
+  /// database state), so any crash point recovers to exactly-once.
+  Status RecoverPropagation();
+
+  /// Persists the IRS indexes (with their high-water marks) to
+  /// options().irs_snapshot_dir, then truncates the propagation
+  /// journal and re-parks any still-pending update-log ops in it — so
+  /// the journal stays bounded while nothing pending ever exists only
+  /// in memory once the database WAL is truncated. Installed as the
+  /// database checkpoint hook (runs before WAL truncation; its failure
+  /// aborts the checkpoint).
+  Status PersistIrs();
 
   Status DropCollection(const std::string& name);
 
@@ -168,11 +202,24 @@ class Coupling : public oodb::UpdateListener {
   /// Dispatches committed database updates to the collections'
   /// update methods, including text-bearing ancestors of the changed
   /// object (a paragraph edit changes the document's getText too).
+  /// `seq` is the event's global sequence number; per collection,
+  /// events at or below the routed high-water mark are dropped as
+  /// duplicates (exactly-once re-delivery guard).
   void OnUpdate(oodb::UpdateKind kind, Oid oid, const std::string& class_name,
-                const std::string& attr) override;
+                const std::string& attr, uint64_t seq) override;
 
  private:
   friend class Collection;
+
+  /// Shared routing core of OnUpdate and recovery re-delivery.
+  void RouteUpdate(oodb::UpdateKind kind, Oid oid,
+                   const std::string& class_name, uint64_t seq);
+
+  /// Writes a prepare/commit record of the mini two-phase commit to
+  /// the propagation journal (durably). No-ops without a journal.
+  Status JournalPrepare(Oid collection, uint64_t high,
+                        const std::vector<PendingOp>& ops);
+  Status JournalCommit(Oid collection, uint64_t high);
 
   /// Semantic query optimization [AbF95]: before evaluating a VQL
   /// query, warm the result buffer of every collection referenced by a
@@ -204,6 +251,8 @@ class Coupling : public oodb::UpdateListener {
   std::map<std::string, std::string> class_collections_;
   bool initialized_ = false;
   uint64_t exchange_file_counter_ = 0;
+  /// The propagation journal (see CouplingOptions::journal_path).
+  std::unique_ptr<oodb::Wal> journal_;
 };
 
 }  // namespace sdms::coupling

@@ -36,6 +36,9 @@ struct CouplingStats {
   /// findIRSValue calls that fell back to derivation/missing_value
   /// because the IRS was unavailable.
   uint64_t degraded_reads = 0;
+  /// Net operations put back into the update log by failed
+  /// propagations. Repair() resets this once consistency is restored.
+  uint64_t requeued_ops = 0;
 };
 
 }  // namespace sdms::coupling

@@ -27,26 +27,28 @@ UpdateLogMetrics& Metrics() {
 
 }  // namespace
 
-void UpdateLog::Record(UpdateKind kind, Oid oid) {
+void UpdateLog::Record(UpdateKind kind, Oid oid, uint64_t seq) {
   ++recorded_;
   Metrics().recorded.Increment();
-  Fold(kind, oid);
+  Fold(kind, oid, seq);
 }
 
-void UpdateLog::Requeue(const PendingOp& op) { Fold(op.kind, op.oid); }
+void UpdateLog::Requeue(const PendingOp& op) { Fold(op.kind, op.oid, op.seq); }
 
-void UpdateLog::Fold(UpdateKind kind, Oid oid) {
+void UpdateLog::Fold(UpdateKind kind, Oid oid, uint64_t seq) {
+  last_seq_ = std::max(last_seq_, seq);
   auto it = net_.find(oid);
   if (it == net_.end()) {
     NetState s = kind == UpdateKind::kInsert   ? NetState::kInsert
                  : kind == UpdateKind::kModify ? NetState::kModify
                                                : NetState::kDelete;
-    net_.emplace(oid, s);
+    net_.emplace(oid, Entry{s, seq});
     order_.push_back(oid);
     return;
   }
+  it->second.seq = std::max(it->second.seq, seq);
   uint64_t cancelled_before = cancelled_;
-  switch (it->second) {
+  switch (it->second.state) {
     case NetState::kInsert:
       if (kind == UpdateKind::kDelete) {
         // insert + delete annihilate: both operations vanish.
@@ -60,7 +62,7 @@ void UpdateLog::Fold(UpdateKind kind, Oid oid) {
       break;
     case NetState::kModify:
       if (kind == UpdateKind::kDelete) {
-        it->second = NetState::kDelete;
+        it->second.state = NetState::kDelete;
         ++cancelled_;  // The modify became unnecessary.
       } else {
         // modify + modify collapse to one modify.
@@ -72,7 +74,7 @@ void UpdateLog::Fold(UpdateKind kind, Oid oid) {
         // OIDs are never reused by the database, but a caller may
         // re-register the same document key: treat conservatively as a
         // modify (remove + add in the IRS).
-        it->second = NetState::kModify;
+        it->second.state = NetState::kModify;
         ++cancelled_;
       }
       break;
@@ -80,17 +82,24 @@ void UpdateLog::Fold(UpdateKind kind, Oid oid) {
   Metrics().cancelled.Add(cancelled_ - cancelled_before);
 }
 
-std::vector<PendingOp> UpdateLog::Drain() {
+std::vector<PendingOp> UpdateLog::Peek() const {
   std::vector<PendingOp> out;
   out.reserve(net_.size());
   for (Oid oid : order_) {
     auto it = net_.find(oid);
     if (it == net_.end()) continue;
-    UpdateKind kind = it->second == NetState::kInsert   ? UpdateKind::kInsert
-                      : it->second == NetState::kModify ? UpdateKind::kModify
-                                                        : UpdateKind::kDelete;
-    out.push_back(PendingOp{kind, oid});
+    UpdateKind kind = it->second.state == NetState::kInsert
+                          ? UpdateKind::kInsert
+                      : it->second.state == NetState::kModify
+                          ? UpdateKind::kModify
+                          : UpdateKind::kDelete;
+    out.push_back(PendingOp{kind, oid, it->second.seq});
   }
+  return out;
+}
+
+std::vector<PendingOp> UpdateLog::Drain() {
+  std::vector<PendingOp> out = Peek();
   if (!out.empty()) {
     Metrics().batch_size.Record(static_cast<double>(out.size()));
   }

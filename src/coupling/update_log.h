@@ -20,10 +20,15 @@ namespace sdms::coupling {
 ///              update bench can quantify the trade-off.
 enum class PropagationPolicy { kEager, kOnQuery, kManual };
 
-/// One net effect to apply to the IRS.
+/// One net effect to apply to the IRS. `seq` is the highest database
+/// update-event sequence number folded into this net op (0 for ops
+/// recorded outside the sequenced listener path); the exactly-once
+/// replay guard compares it against the IRS snapshot's high-water
+/// mark.
 struct PendingOp {
   oodb::UpdateKind kind;
   Oid oid;
+  uint64_t seq = 0;
 };
 
 /// Records database operations relevant to a collection, cancelling
@@ -39,7 +44,8 @@ struct PendingOp {
 class UpdateLog {
  public:
   /// Records one operation, folding it into the object's net effect.
-  void Record(oodb::UpdateKind kind, Oid oid);
+  /// The net op keeps the highest seq folded into it.
+  void Record(oodb::UpdateKind kind, Oid oid, uint64_t seq = 0);
 
   /// Puts a drained-but-unapplied operation back (propagation failed
   /// mid-batch). Folds like Record but does not count as a newly
@@ -50,6 +56,11 @@ class UpdateLog {
   /// Returns the net operations (in first-touched order) and empties
   /// the log.
   std::vector<PendingOp> Drain();
+
+  /// Copies the net operations without draining. Used to park pending
+  /// work in the propagation journal before a checkpoint truncates the
+  /// WAL that would otherwise re-deliver the underlying events.
+  std::vector<PendingOp> Peek() const;
 
   size_t size() const { return net_.size(); }
   bool empty() const { return net_.empty(); }
@@ -63,19 +74,30 @@ class UpdateLog {
   /// still pending or drained).
   uint64_t cancelled() const { return cancelled_; }
 
+  /// Highest sequence number ever recorded (survives Drain/Clear —
+  /// cancelled ops count toward the high-water mark: their effects are
+  /// resolved, so an IRS snapshot taken after the drain covers them).
+  uint64_t last_seq() const { return last_seq_; }
+
   void Clear();
 
  private:
   enum class NetState { kInsert, kModify, kDelete };
 
+  struct Entry {
+    NetState state;
+    uint64_t seq = 0;
+  };
+
   /// Shared folding core of Record/Requeue.
-  void Fold(oodb::UpdateKind kind, Oid oid);
+  void Fold(oodb::UpdateKind kind, Oid oid, uint64_t seq);
 
   // Net effect per object plus arrival order for deterministic drains.
-  std::map<Oid, NetState> net_;
+  std::map<Oid, Entry> net_;
   std::vector<Oid> order_;
   uint64_t recorded_ = 0;
   uint64_t cancelled_ = 0;
+  uint64_t last_seq_ = 0;
 };
 
 }  // namespace sdms::coupling

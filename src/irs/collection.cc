@@ -6,6 +6,7 @@
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/thread_pool.h"
+#include "oodb/storage/serializer.h"
 
 namespace sdms::irs {
 
@@ -153,13 +154,39 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
   return hits;
 }
 
-std::string IrsCollection::Serialize() const { return index_.Serialize(); }
+namespace {
+
+/// Envelope prefix for sequence-number-carrying collection blobs. A
+/// legacy blob (raw InvertedIndex bytes) starts with the u64 document
+/// count, whose low word can never plausibly reach this value.
+constexpr uint32_t kCollectionMagic = 0x53435156;  // "VQCS"
+
+}  // namespace
+
+std::string IrsCollection::Serialize() const {
+  oodb::Encoder enc;
+  enc.PutU32(kCollectionMagic);
+  enc.PutU64(applied_seq_);
+  std::string out = enc.Release();
+  out += index_.Serialize();
+  return out;
+}
 
 Status IrsCollection::RestoreIndex(std::string_view data) {
+  uint64_t applied_seq = 0;
+  {
+    oodb::Decoder probe(data);
+    auto magic = probe.GetU32();
+    if (magic.ok() && *magic == kCollectionMagic) {
+      SDMS_ASSIGN_OR_RETURN(applied_seq, probe.GetU64());
+      data = data.substr(probe.position());
+    }
+  }
   SDMS_ASSIGN_OR_RETURN(InvertedIndex index, InvertedIndex::Deserialize(data));
   bool eager = index_.eager_delete();
   index_ = std::move(index);
   index_.set_eager_delete(eager);
+  applied_seq_ = applied_seq;
   return Status::OK();
 }
 

@@ -98,8 +98,24 @@ class IrsCollection {
   /// means unbounded.
   StatusOr<std::vector<SearchHit>> Search(const std::string& query, size_t k);
 
-  /// Serializes index + stats (analyzer/model are configuration and are
-  /// re-supplied at load).
+  /// Highest database update-event sequence number whose effect is
+  /// known to be reflected in this index (the exactly-once high-water
+  /// mark). Persisted with the index so crash recovery can tell which
+  /// update events are already applied. 0 = nothing sequenced yet.
+  uint64_t applied_seq() const { return applied_seq_; }
+
+  /// Monotonic bump — the mark never moves backwards.
+  void set_applied_seq(uint64_t seq) {
+    if (seq > applied_seq_) applied_seq_ = seq;
+  }
+
+  /// Content digest of the index, independent of DocId assignment and
+  /// build history (see InvertedIndex::CanonicalDigest).
+  std::string CanonicalDigest() const { return index_.CanonicalDigest(); }
+
+  /// Serializes applied_seq + index (analyzer/model are configuration
+  /// and are re-supplied at load). Pre-sequence-number blobs (raw index
+  /// bytes without the envelope) restore with applied_seq == 0.
   std::string Serialize() const;
   Status RestoreIndex(std::string_view data);
 
@@ -109,6 +125,7 @@ class IrsCollection {
   std::unique_ptr<RetrievalModel> model_;
   InvertedIndex index_;
   CollectionStats stats_;
+  uint64_t applied_seq_ = 0;
 };
 
 }  // namespace sdms::irs

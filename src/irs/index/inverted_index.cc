@@ -1,6 +1,7 @@
 #include "irs/index/inverted_index.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/obs/metrics.h"
 #include "common/thread_pool.h"
@@ -355,6 +356,44 @@ StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
     index.dictionary_.emplace(std::move(term), std::move(postings));
   }
   return index;
+}
+
+std::string InvertedIndex::CanonicalDigest() const {
+  // Canonical serialization: documents sorted by external key, then
+  // every live posting sorted by (term, key) with its positions —
+  // nothing here depends on DocId values, insertion order, or whether
+  // tombstones have been compacted yet.
+  std::string canon;
+  std::vector<std::pair<std::string, uint32_t>> live;
+  ForEachDoc([&](DocId, const DocInfo& d) {
+    live.emplace_back(d.key, d.length);
+  });
+  std::sort(live.begin(), live.end());
+  for (const auto& [key, length] : live) {
+    canon += "d " + key + " " + std::to_string(length) + "\n";
+  }
+  size_t posting_count = 0;
+  ForEachTerm([&](const std::string& term,
+                  const std::vector<Posting>& postings) {
+    std::vector<std::pair<std::string, const Posting*>> alive;
+    for (const Posting& p : postings) {
+      if (IsAlive(p.doc)) alive.emplace_back(docs_[p.doc].key, &p);
+    }
+    std::sort(alive.begin(), alive.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, p] : alive) {
+      canon += "t " + term + " " + key + " " + std::to_string(p->tf);
+      for (uint32_t pos : p->positions) {
+        canon += " " + std::to_string(pos);
+      }
+      canon += "\n";
+      ++posting_count;
+    }
+  });
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "crc32:%08x;docs:%zu;postings:%zu",
+                oodb::Crc32(canon), live.size(), posting_count);
+  return buf;
 }
 
 std::string InvertedIndex::CheckInvariants() const {

@@ -156,6 +156,15 @@ class InvertedIndex {
   /// tombstones). Empty string when consistent.
   std::string CheckInvariants() const;
 
+  /// Content digest independent of internal DocId assignment and
+  /// insertion/compaction history: live documents and their postings
+  /// are canonicalized by external key and term before hashing. Two
+  /// indexes holding the same documents with the same token streams
+  /// digest identically, no matter in which order (or through how many
+  /// remove/re-add cycles) they were built. This is the "bit-identical
+  /// to the fault-free oracle" comparison of the simulation harness.
+  std::string CanonicalDigest() const;
+
  private:
   using DictEntry = std::pair<const std::string, std::vector<Posting>>;
 

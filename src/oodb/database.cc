@@ -10,7 +10,8 @@ namespace sdms::oodb {
 
 namespace {
 
-constexpr uint32_t kSnapshotMagic = 0x53444d53;  // "SDMS"
+constexpr uint32_t kSnapshotMagic = 0x53444d53;    // "SDMS" (v1, no seq)
+constexpr uint32_t kSnapshotMagicV2 = 0x53444d54;  // v1 + next_update_seq
 
 std::string SnapshotPath(const std::string& dir) { return dir + "/snapshot.db"; }
 std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
@@ -44,6 +45,11 @@ struct Database::TxnState {
   std::vector<PendingUpdate> updates;
 };
 
+struct Database::ReplayBuffer {
+  std::vector<std::string> redo;
+  std::vector<RecoveredUpdate> events;
+};
+
 // ---------------------------------------------------------------------------
 // Open / recovery
 // ---------------------------------------------------------------------------
@@ -69,26 +75,37 @@ Status Database::Recover() {
   // Replay committed transactions from the WAL. Records are buffered
   // per transaction and applied only when the commit record is seen, so
   // a crash mid-transaction leaves no partial effects.
-  std::map<TxnId, std::vector<std::string>> pending;
+  std::map<TxnId, ReplayBuffer> pending;
   return Wal::Replay(WalPath(options_.data_dir),
                      [&](std::string_view payload) {
                        return ApplyWalRecord(payload, pending);
                      });
 }
 
-Status Database::ApplyWalRecord(
-    std::string_view payload, std::map<TxnId, std::vector<std::string>>& pending) {
+Status Database::ApplyWalRecord(std::string_view payload,
+                                std::map<TxnId, ReplayBuffer>& pending) {
   Decoder dec(payload);
   SDMS_ASSIGN_OR_RETURN(uint8_t type_raw, dec.GetU8());
   auto type = static_cast<WalRecordType>(type_raw);
   if (type == WalRecordType::kCheckpoint) return Status::OK();
   SDMS_ASSIGN_OR_RETURN(uint64_t txn, dec.GetU64());
+  // Retire every transaction id seen in the log — committed or not. A
+  // crash mid-commit leaves the transaction's already-appended redo
+  // records physically in the WAL with no commit record; if a later
+  // incarnation reused the id, its own commit record would adopt those
+  // orphaned records on the next replay and resurrect effects of a
+  // transaction that never committed.
+  next_txn_ = std::max<TxnId>(next_txn_, txn + 1);
   switch (type) {
     case WalRecordType::kCommit: {
       auto it = pending.find(txn);
       if (it != pending.end()) {
-        for (const std::string& p : it->second) {
+        for (const std::string& p : it->second.redo) {
           SDMS_RETURN_IF_ERROR(ApplyRedoPayload(p));
+        }
+        for (RecoveredUpdate& ev : it->second.events) {
+          next_update_seq_ = std::max(next_update_seq_, ev.seq + 1);
+          recovered_updates_.push_back(std::move(ev));
         }
         pending.erase(it);
       }
@@ -97,12 +114,36 @@ Status Database::ApplyWalRecord(
     case WalRecordType::kAbort:
       pending.erase(txn);
       return Status::OK();
+    case WalRecordType::kUpdateEvent: {
+      RecoveredUpdate ev;
+      SDMS_ASSIGN_OR_RETURN(ev.seq, dec.GetU64());
+      SDMS_ASSIGN_OR_RETURN(uint8_t kind_raw, dec.GetU8());
+      if (kind_raw > static_cast<uint8_t>(UpdateKind::kDelete)) {
+        return Status::Corruption("bad update-event kind");
+      }
+      ev.kind = static_cast<UpdateKind>(kind_raw);
+      SDMS_ASSIGN_OR_RETURN(uint64_t oid_raw, dec.GetU64());
+      ev.oid = Oid(oid_raw);
+      SDMS_ASSIGN_OR_RETURN(ev.cls, dec.GetString());
+      SDMS_ASSIGN_OR_RETURN(ev.attr, dec.GetString());
+      pending[txn].events.push_back(std::move(ev));
+      return Status::OK();
+    }
     default:
-      pending[txn].emplace_back(payload);
+      pending[txn].redo.emplace_back(payload);
       return Status::OK();
   }
 }
 
+// Redo is idempotent (the ARIES principle): a crash between the
+// checkpoint's snapshot rename and its WAL truncation leaves a WAL
+// whose every record is already reflected in the snapshot. Replaying
+// that WAL re-applies a full prefix of history, which converges to the
+// snapshot state as long as each record reconciles against the current
+// store instead of asserting preconditions: a create of an existing
+// object resets it (its attribute sets follow later in the log), a set
+// or delete of a missing object is a no-op (the object was deleted
+// later in the same replayed prefix).
 Status Database::ApplyRedoPayload(std::string_view payload) {
   Decoder dec(payload);
   SDMS_ASSIGN_OR_RETURN(uint8_t type_raw, dec.GetU8());
@@ -113,18 +154,23 @@ Status Database::ApplyRedoPayload(std::string_view payload) {
     case WalRecordType::kCreateObject: {
       SDMS_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
       SDMS_ASSIGN_OR_RETURN(std::string cls, dec.GetString());
+      if (store_.Contains(Oid(raw))) {
+        SDMS_RETURN_IF_ERROR(store_.Remove(Oid(raw)));
+      }
       return store_.Insert(DbObject(Oid(raw), std::move(cls)));
     }
     case WalRecordType::kSetAttribute: {
       SDMS_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
       SDMS_ASSIGN_OR_RETURN(std::string attr, dec.GetString());
       SDMS_ASSIGN_OR_RETURN(Value value, dec.GetValue());
+      if (!store_.Contains(Oid(raw))) return Status::OK();
       SDMS_ASSIGN_OR_RETURN(DbObject * obj, store_.Get(Oid(raw)));
       obj->Set(attr, std::move(value));
       return Status::OK();
     }
     case WalRecordType::kDeleteObject: {
       SDMS_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+      if (!store_.Contains(Oid(raw))) return Status::OK();
       return store_.Remove(Oid(raw));
     }
     default:
@@ -146,8 +192,14 @@ Status Database::LoadSnapshot(const std::string& path) {
   }
   Decoder dec(body);
   SDMS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
-  if (magic != kSnapshotMagic) return Status::Corruption("bad snapshot magic");
+  if (magic != kSnapshotMagic && magic != kSnapshotMagicV2) {
+    return Status::Corruption("bad snapshot magic");
+  }
   SDMS_ASSIGN_OR_RETURN(uint64_t next_oid, dec.GetU64());
+  if (magic == kSnapshotMagicV2) {
+    SDMS_ASSIGN_OR_RETURN(uint64_t next_seq, dec.GetU64());
+    next_update_seq_ = std::max(next_update_seq_, next_seq);
+  }
   SDMS_ASSIGN_OR_RETURN(uint64_t count, dec.GetU64());
   store_.Clear();
   for (uint64_t i = 0; i < count; ++i) {
@@ -162,9 +214,16 @@ Status Database::Checkpoint() {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("in-memory database: no checkpointing");
   }
+  // Truncating the WAL below discards its kUpdateEvent records; the
+  // hook lets the coupling flush those events into the IRS snapshots
+  // first. A failing hook keeps the WAL (and the events) intact.
+  if (checkpoint_hook_) {
+    SDMS_RETURN_IF_ERROR(checkpoint_hook_());
+  }
   Encoder enc;
-  enc.PutU32(kSnapshotMagic);
+  enc.PutU32(kSnapshotMagicV2);
   enc.PutU64(store_.next_oid());
+  enc.PutU64(next_update_seq_);
   enc.PutU64(store_.size());
   store_.ForEach([&](const DbObject& obj) { enc.PutObject(obj); });
   std::string body = enc.Release();
@@ -221,9 +280,31 @@ Status Database::Commit(TxnId txn) {
     return Status::InvalidArgument("unknown transaction " +
                                    std::to_string(txn));
   }
+  // Assign global sequence numbers to this transaction's update
+  // events. Gaps (from commits that later fail at the WAL) are fine:
+  // consumers rely on monotonicity, not density.
+  std::vector<uint64_t> seqs;
+  seqs.reserve(state->updates.size());
+  for (size_t i = 0; i < state->updates.size(); ++i) {
+    seqs.push_back(next_update_seq_++);
+  }
   if (wal_.is_open()) {
     for (const std::string& payload : state->redo) {
       SDMS_RETURN_IF_ERROR(wal_.Append(payload));
+    }
+    // Event records ride inside the transaction (before its commit
+    // record), so replay surfaces exactly the committed events.
+    for (size_t i = 0; i < state->updates.size(); ++i) {
+      const PendingUpdate& u = state->updates[i];
+      Encoder ev;
+      ev.PutU8(static_cast<uint8_t>(WalRecordType::kUpdateEvent));
+      ev.PutU64(txn);
+      ev.PutU64(seqs[i]);
+      ev.PutU8(static_cast<uint8_t>(u.kind));
+      ev.PutU64(u.oid.raw());
+      ev.PutString(u.cls);
+      ev.PutString(u.attr);
+      SDMS_RETURN_IF_ERROR(wal_.Append(ev.data()));
     }
     Encoder commit_rec;
     commit_rec.PutU8(static_cast<uint8_t>(WalRecordType::kCommit));
@@ -235,10 +316,11 @@ Status Database::Commit(TxnId txn) {
   }
   // Fire listeners for the net effects, post-commit (paper 4.6: the
   // coupling's update methods are invoked for every relevant update).
-  for (const PendingUpdate& u : state->updates) {
+  for (size_t i = 0; i < state->updates.size(); ++i) {
+    const PendingUpdate& u = state->updates[i];
     ++update_events_fired_;
     for (UpdateListener* l : listeners_) {
-      l->OnUpdate(u.kind, u.oid, u.cls, u.attr);
+      l->OnUpdate(u.kind, u.oid, u.cls, u.attr, seqs[i]);
     }
   }
   locks_.ReleaseAll(txn);

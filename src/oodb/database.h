@@ -1,6 +1,7 @@
 #ifndef SDMS_OODB_DATABASE_H_
 #define SDMS_OODB_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -30,9 +31,24 @@ class UpdateListener {
  public:
   virtual ~UpdateListener() = default;
   /// `attr` is the modified attribute for kModify, empty otherwise.
+  /// `seq` is the event's global monotonic sequence number — assigned
+  /// at commit, persisted in the WAL (kUpdateEvent), and the unit of
+  /// the coupling's exactly-once accounting.
   virtual void OnUpdate(UpdateKind kind, Oid oid,
                         const std::string& class_name,
-                        const std::string& attr) = 0;
+                        const std::string& attr, uint64_t seq) = 0;
+};
+
+/// One committed update event reconstructed from the WAL during
+/// recovery. The coupling re-routes these (filtered by each IRS
+/// snapshot's high-water sequence number) to rebuild exactly the
+/// update-log state a crash destroyed.
+struct RecoveredUpdate {
+  uint64_t seq = 0;
+  UpdateKind kind = UpdateKind::kInsert;
+  Oid oid;
+  std::string cls;
+  std::string attr;
 };
 
 /// Special transaction handle: each call runs in its own transaction
@@ -140,8 +156,31 @@ class Database {
 
   // --- Durability ----------------------------------------------------
 
-  /// Writes a full snapshot and truncates the WAL.
+  /// Writes a full snapshot and truncates the WAL. When a checkpoint
+  /// hook is installed it runs first; a failing hook aborts the
+  /// checkpoint (the WAL — including its update events — survives).
   Status Checkpoint();
+
+  /// Installs a pre-checkpoint hook. Truncating the WAL discards the
+  /// kUpdateEvent records the coupling needs for exactly-once replay,
+  /// so the coupling registers a hook that propagates and persists the
+  /// IRS indexes (advancing their high-water marks) before the events
+  /// are dropped.
+  void SetCheckpointHook(std::function<Status()> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Sequence number of the most recent committed update event (0 when
+  /// none). Monotonic across restarts: recovered from the snapshot and
+  /// replayed WAL events.
+  uint64_t last_update_seq() const { return next_update_seq_ - 1; }
+
+  /// Committed update events replayed from the WAL by Open(), in
+  /// commit order. Ownership moves to the caller; a second call
+  /// returns an empty vector.
+  std::vector<RecoveredUpdate> TakeRecoveredUpdates() {
+    return std::move(recovered_updates_);
+  }
 
   // --- Update listeners ----------------------------------------------
 
@@ -157,13 +196,16 @@ class Database {
   struct UndoRecord;
   struct PendingUpdate;
   struct TxnState;
+  /// Per-transaction replay buffers: redo payloads plus update events,
+  /// both applied/surfaced only once the commit record is seen.
+  struct ReplayBuffer;
 
   explicit Database(Options options);
 
   Status Recover();
   Status LoadSnapshot(const std::string& path);
   Status ApplyWalRecord(std::string_view payload,
-                        std::map<TxnId, std::vector<std::string>>& pending);
+                        std::map<TxnId, ReplayBuffer>& pending);
   Status ApplyRedoPayload(std::string_view payload);
 
   TxnState* GetTxn(TxnId txn);
@@ -191,6 +233,12 @@ class Database {
 
   std::vector<UpdateListener*> listeners_;
   uint64_t update_events_fired_ = 0;
+
+  /// Next global update-event sequence number (1-based; gaps are
+  /// allowed, order is what matters).
+  uint64_t next_update_seq_ = 1;
+  std::vector<RecoveredUpdate> recovered_updates_;
+  std::function<Status()> checkpoint_hook_;
 };
 
 }  // namespace sdms::oodb

@@ -90,6 +90,11 @@ Status Wal::Sync() {
   return Status::OK();
 }
 
+Status Wal::AppendDurable(std::string_view payload) {
+  SDMS_RETURN_IF_ERROR(Append(payload));
+  return Sync();
+}
+
 void Wal::Close() {
   if (file_ != nullptr) {
     std::fclose(file_);
@@ -105,6 +110,30 @@ Status Wal::Truncate() {
     return Status::IoError("cannot truncate WAL " + path_);
   }
   return Status::OK();
+}
+
+Status Wal::ReplaceAtomic(const std::vector<std::string>& payloads) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  std::string content;
+  for (const std::string& payload : payloads) {
+    PutFixed32(content, static_cast<uint32_t>(payload.size()));
+    PutFixed32(content, Crc32(payload));
+    content.append(payload);
+  }
+  // Close before the rename so the stale handle never writes past it;
+  // on any failure reopen in append mode to restore the class
+  // invariant (the old file if the rename did not happen, the new one
+  // if it did).
+  std::fclose(file_);
+  file_ = nullptr;
+  Status status = WriteFileAtomic(path_, content);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot reopen WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  Metrics().bytes.Add(content.size());
+  return status;
 }
 
 Status Wal::Replay(const std::string& path,

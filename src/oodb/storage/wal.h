@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -17,6 +18,15 @@ enum class WalRecordType : uint8_t {
   kCommit = 4,
   kAbort = 5,
   kCheckpoint = 6,
+  /// One committed update event with its global sequence number
+  /// (exactly-once propagation: replay re-delivers events above the
+  /// IRS snapshot's high-water mark, and only those).
+  kUpdateEvent = 7,
+  /// Propagation-journal records (written by the coupling into its own
+  /// Wal instance, never into the database WAL): a prepare names the
+  /// net ops about to be applied to the IRS, the commit confirms them.
+  kPropagatePrepare = 8,
+  kPropagateCommit = 9,
 };
 
 /// An append-only, CRC-protected write-ahead log. Records are grouped
@@ -45,11 +55,25 @@ class Wal {
   /// SDMS_NO_FSYNC is set — bench escape hatch).
   Status Sync();
 
+  /// Append + Sync in one call: the record is durable when this
+  /// returns OK. Used for propagation-journal records, which must hit
+  /// disk before the mutation they describe is attempted.
+  Status AppendDurable(std::string_view payload);
+
   /// Closes the file (implicit in destructor).
   void Close();
 
   /// Truncates the log after a successful checkpoint/snapshot.
   Status Truncate();
+
+  /// Atomically replaces the whole log with exactly `payloads` (each
+  /// framed as one record): the new content is staged in a temp file
+  /// and renamed over the log, so at every instant the on-disk log is
+  /// either the complete old history or the complete new one. This is
+  /// the crash-safe form of "truncate, then re-append the records
+  /// still needed" — done as two steps, a crash in between destroys
+  /// the only durable copy of those records.
+  Status ReplaceAtomic(const std::vector<std::string>& payloads);
 
   /// Reads all well-formed records of the log at `path`, invoking `fn`
   /// for each payload in order. Stops cleanly at the first corrupt or

@@ -212,10 +212,11 @@ class RecordingListener : public UpdateListener {
     Oid oid;
     std::string cls;
     std::string attr;
+    uint64_t seq;
   };
   void OnUpdate(UpdateKind kind, Oid oid, const std::string& cls,
-                const std::string& attr) override {
-    events.push_back(Event{kind, oid, cls, attr});
+                const std::string& attr, uint64_t seq) override {
+    events.push_back(Event{kind, oid, cls, attr, seq});
   }
   std::vector<Event> events;
 };
@@ -236,6 +237,9 @@ TEST(DatabaseTest, ListenersFireOnCommitOnly) {
   EXPECT_EQ(listener.events[0].kind, UpdateKind::kInsert);
   EXPECT_EQ(listener.events[1].kind, UpdateKind::kModify);
   EXPECT_EQ(listener.events[1].attr, "TEXT");
+  // Commit assigns a strictly increasing global sequence number.
+  EXPECT_GT(listener.events[0].seq, 0u);
+  EXPECT_GT(listener.events[1].seq, listener.events[0].seq);
 
   // Aborted transactions fire nothing.
   listener.events.clear();

@@ -290,6 +290,90 @@ TEST_F(PropagationFaultTest, MidBatchFailureKeepsUnappliedOpsOnly) {
   EXPECT_EQ(coll->pending_updates(), 0u);
 }
 
+// --- Duplicate delivery ------------------------------------------------
+//
+// Crash recovery re-delivers WAL update events and journaled batches;
+// exactly-once means a second delivery of the same effect must be a
+// no-op at every layer: the route guard drops events at or below the
+// routed high-water mark, and ops that legitimately re-enter the log
+// (journal requeue) reconcile against the index instead of failing or
+// double-applying.
+
+TEST(DuplicateDeliveryTest, RouteGuardDropsReplayedEvents) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  uint64_t high = coll->last_routed_seq();
+  ASSERT_GT(high, 0u);
+
+  // Recovery re-delivering already-covered events: all dropped, no
+  // pending work appears.
+  sys->coupling->OnUpdate(oodb::UpdateKind::kInsert, para, "PARA", "", high);
+  sys->coupling->OnUpdate(oodb::UpdateKind::kModify, para, "PARA", "TEXT",
+                          high);
+  sys->coupling->OnUpdate(oodb::UpdateKind::kDelete, para, "PARA", "", high);
+  EXPECT_EQ(coll->pending_updates(), 0u);
+  EXPECT_TRUE(coll->Represents(para));
+  EXPECT_EQ(coll->last_routed_seq(), high);
+}
+
+TEST(DuplicateDeliveryTest, RequeuedInsertOfRepresentedObjectIsNoOp) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  uint64_t before = coll->stats().reindex_ops;
+
+  // A journal requeue can re-deliver an insert whose document already
+  // sits in the restored index; the batch path must skip it.
+  sys->coupling->OnUpdate(oodb::UpdateKind::kInsert, para, "PARA", "",
+                          coll->last_routed_seq() + 1);
+  ASSERT_EQ(coll->pending_updates(), 1u);
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  EXPECT_EQ(coll->pending_updates(), 0u);
+  EXPECT_TRUE(coll->Represents(para));
+  EXPECT_EQ(coll->stats().reindex_ops, before);
+}
+
+TEST(DuplicateDeliveryTest, ReplayedModifyConvergesToSameIndex) {
+  auto sys = MakeFigure4System();
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("walrus prose")).ok());
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+
+  // Re-delivering the modify re-derives the text from the database, so
+  // applying it a second time converges to the identical document.
+  sys->coupling->OnUpdate(oodb::UpdateKind::kModify, para, "PARA", "TEXT",
+                          coll->last_routed_seq() + 1);
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  auto result = coll->GetIrsResult("walrus");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->size(), 1u);
+  EXPECT_EQ((*result)->count(para), 1u);
+}
+
+TEST_F(PropagationFaultTest, FaultedModifyThenDeleteReconciles) {
+  auto sys = MakeFigure4System(NoRetryOptions());
+  auto coll = *sys->coupling->GetCollectionByName("paras");
+  Oid para = *coll->represented().begin();
+  ASSERT_TRUE(
+      sys->db->SetAttribute(para, "TEXT", oodb::Value("doomed text")).ok());
+
+  // The update's re-add faults after its remove: the document is gone
+  // from the index while the object still counts as represented.
+  ArmIoError("irs.add", 1);
+  EXPECT_FALSE(coll->PropagateUpdates().ok());
+
+  // The object is then deleted; the requeued modify folds into the
+  // delete, whose replay must treat the already-missing document as
+  // its goal state instead of failing with NotFound.
+  ASSERT_TRUE(sys->coupling->DeleteSubtree(para).ok());
+  ASSERT_TRUE(coll->PropagateUpdates().ok());
+  EXPECT_FALSE(coll->Represents(para));
+  EXPECT_EQ(coll->pending_updates(), 0u);
+}
+
 TEST_F(PropagationFaultTest, FaultedModifyRecoversViaAddFallback) {
   auto sys = MakeFigure4System(NoRetryOptions());
   auto coll = *sys->coupling->GetCollectionByName("paras");
