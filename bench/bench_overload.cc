@@ -1,0 +1,163 @@
+// Overload benchmark: mixed queries pushed through the admission
+// controller at 1x / 4x / 16x its concurrency capacity. Reports p50 /
+// p99 end-to-end latency (arrival -> result, queue wait included) and
+// the shed rate at each offered load, demonstrating that overload
+// degrades into fast rejections instead of unbounded queueing.
+//
+// Thread model: the AdmissionController is the only shared state; each
+// worker owns its coupled system (Database/QueryEngine are not
+// internally synchronized).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/query_context.h"
+#include "coupling/admission.h"
+#include "coupling/mixed_query.h"
+
+namespace sdms::bench {
+namespace {
+
+constexpr size_t kCapacity = 2;
+constexpr int kQueriesPerThread = 25;
+constexpr int64_t kDeadlineMs = 200;
+
+const char kMixedQuery[] =
+    "ACCESS p FROM p IN PARA "
+    "WHERE p -> getIRSValue('paras', 'www') > 0.3";
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * double(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+struct LevelResult {
+  size_t threads = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LevelResult RunLevel(size_t multiplier) {
+  LevelResult out;
+  out.threads = kCapacity * multiplier;
+
+  coupling::AdmissionOptions admission;
+  admission.max_concurrent = kCapacity;
+  admission.max_queue = kCapacity * 2;
+  admission.max_queue_wait_micros = kDeadlineMs * 1000;
+  coupling::AdmissionController controller(admission);
+
+  // Build every system before the clock starts; disable buffering so
+  // each query pays the real IRS cost instead of a buffer hit.
+  sgml::CorpusOptions corpus;
+  corpus.num_docs = 12;
+  coupling::CouplingOptions options;
+  options.disable_buffering = true;
+  std::vector<std::unique_ptr<System>> systems;
+  for (size_t t = 0; t < out.threads; ++t) {
+    corpus.seed = 42 + t;
+    systems.push_back(MakeSystem(corpus, options));
+    MakeIndexedCollection(*systems.back(), "paras",
+                          "ACCESS p FROM p IN PARA",
+                          coupling::kTextModeSubtree);
+  }
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::vector<double>> latencies(out.threads);
+  obs::Histogram& latency_hist = obs::GetHistogram(
+      "bench.overload.latency_us.x" + std::to_string(multiplier));
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < out.threads; ++t) {
+    threads.emplace_back([&, t] {
+      coupling::MixedQueryEvaluator eval(systems[t]->coupling.get());
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        QueryContext ctx;
+        ctx.SetDeadlineAfterMs(kDeadlineMs);
+        QueryContext::Scope scope(&ctx);
+        auto arrival = std::chrono::steady_clock::now();
+        auto record = [&] {
+          double us = double(std::chrono::duration_cast<
+                                 std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - arrival)
+                                 .count());
+          latencies[t].push_back(us);
+          latency_hist.Record(us);
+        };
+        auto ticket = controller.Admit(&ctx);
+        if (!ticket.ok()) {
+          shed.fetch_add(1);
+          record();
+          continue;
+        }
+        auto result = eval.Run(
+            kMixedQuery,
+            coupling::MixedQueryEvaluator::Strategy::kIndependent);
+        record();
+        if (!result.ok()) {
+          shed.fetch_add(1);
+        } else if (result->degraded) {
+          degraded.fetch_add(1);
+        } else {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  out.ok = ok.load();
+  out.degraded = degraded.load();
+  out.shed = shed.load();
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p50_us = Percentile(all, 0.50);
+  out.p99_us = Percentile(all, 0.99);
+
+  obs::GetCounter("bench.overload.ok.x" + std::to_string(multiplier))
+      .Add(out.ok);
+  obs::GetCounter("bench.overload.degraded.x" + std::to_string(multiplier))
+      .Add(out.degraded);
+  obs::GetCounter("bench.overload.shed.x" + std::to_string(multiplier))
+      .Add(out.shed);
+  return out;
+}
+
+void Run() {
+  std::printf("overload: capacity=%zu, %d queries/thread, deadline=%lldms\n\n",
+              kCapacity, kQueriesPerThread,
+              static_cast<long long>(kDeadlineMs));
+  Table table({"load", "threads", "ok", "degraded", "shed", "shed-rate",
+               "p50-us", "p99-us"});
+  for (size_t multiplier : {1u, 4u, 16u}) {
+    LevelResult r = RunLevel(multiplier);
+    uint64_t total = r.ok + r.degraded + r.shed;
+    table.AddRow({std::to_string(multiplier) + "x",
+                  FmtInt(r.threads), FmtInt(r.ok), FmtInt(r.degraded),
+                  FmtInt(r.shed),
+                  Fmt("%.3f", total ? double(r.shed) / double(total) : 0.0),
+                  Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("overload");
+  return 0;
+}

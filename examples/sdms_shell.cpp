@@ -10,6 +10,7 @@
 //   sdms> .irs paras #and(www nii)
 //   sdms> .explain ACCESS d FROM d IN MMFDOC WHERE d.YEAR >= 1994
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
+#include "common/query_context.h"
 #include "common/string_util.h"
 #include "coupling/coupling.h"
 #include "coupling/hypertext.h"
@@ -46,16 +48,28 @@ void PrintHelp() {
       "  .scheme <name> <scheme>            set derivation scheme\n"
       "  .explain <VQL query>               show the evaluation plan\n"
       "  .stats                             coupling counters + metrics registry\n"
+      "  .deadline <ms>                     per-query deadline (0 = off)\n"
       "  .classes                           schema classes\n"
       "  .log <debug|info|warn|error|off>   set log verbosity\n"
       "  .trace <on|off|save <file.json>>   per-query trace spans\n"
-      "  .help / .quit\n");
+      "  .help / .quit\n"
+      "Ctrl-C cancels the in-flight query (kCancelled) instead of\n"
+      "killing the shell.\n");
 }
+
+/// Ctrl-C cancellation: the handler performs a single atomic store
+/// (async-signal-safe); the query path observes it at its next
+/// cooperative poll. The token is reset before each command.
+CancelToken g_sigint_cancel;
+
+void HandleSigint(int) { g_sigint_cancel.Cancel(); }
 
 struct Shell {
   std::unique_ptr<oodb::Database> db;
   irs::IrsEngine irs_engine;
   std::unique_ptr<coupling::Coupling> coupling;
+  /// Deadline applied to every command (.deadline sets it; 0 = off).
+  int64_t deadline_ms = 0;
 
   Status Init() {
     SDMS_ASSIGN_OR_RETURN(db, oodb::Database::Open({}));
@@ -94,6 +108,9 @@ Status Shell::Dispatch(const std::string& line) {
                           coupling->query_engine().Run(line));
     std::printf("%s(%zu rows)\n", result.ToTable(25).c_str(),
                 result.rows.size());
+    if (result.degraded) {
+      std::printf("(degraded: %s)\n", result.degraded_reason.c_str());
+    }
     return Status::OK();
   }
   std::istringstream in(line);
@@ -198,6 +215,17 @@ Status Shell::Dispatch(const std::string& line) {
         static_cast<unsigned long long>(s.derive_calls),
         static_cast<unsigned long long>(s.reindex_ops));
     std::printf("\n%s", obs::MetricsRegistry::Instance().DumpText().c_str());
+  } else if (cmd == ".deadline") {
+    int64_t ms = -1;
+    in >> ms;
+    if (ms < 0) return Status::InvalidArgument("usage: .deadline <ms>");
+    deadline_ms = ms;
+    if (ms == 0) {
+      std::printf("deadline off\n");
+    } else {
+      std::printf("deadline %lld ms per query\n",
+                  static_cast<long long>(ms));
+    }
   } else if (cmd == ".log") {
     std::string level;
     in >> level;
@@ -259,6 +287,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("sdms shell — OODBMS-IRS coupling (.help for commands)\n");
+  {
+    // SA_RESTART keeps getline() below from failing when Ctrl-C
+    // arrives while the shell is idle at the prompt.
+    struct sigaction sa = {};
+    sa.sa_handler = HandleSigint;
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--demo") {
       if (Status s = shell.LoadDemo(); !s.ok()) {
@@ -274,6 +310,13 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(Trim(line));
     if (trimmed == ".quit" || trimmed == ".exit") break;
+    // Fresh context per command: the stop latch is sticky, so a
+    // cancelled/expired context must not leak into the next query.
+    QueryContext ctx;
+    g_sigint_cancel.Reset();
+    ctx.set_cancel_token(&g_sigint_cancel);
+    if (shell.deadline_ms > 0) ctx.SetDeadlineAfterMs(shell.deadline_ms);
+    QueryContext::Scope scope(&ctx);
     Status s = shell.Dispatch(trimmed);
     if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
   }

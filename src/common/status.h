@@ -25,6 +25,9 @@ enum class StatusCode {
   kLockConflict,
   kAborted,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +77,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +101,13 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
   bool IsLockConflict() const { return code_ == StatusCode::kLockConflict; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
  private:
   Status(StatusCode code, std::string msg)

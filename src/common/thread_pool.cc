@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/query_context.h"
+
 namespace sdms {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -60,12 +62,18 @@ void ThreadPool::ParallelFor(size_t n,
     body(0, n);
     return;
   }
+  // Workers inherit the caller's QueryContext so fanned-out shards
+  // observe the same deadline/cancellation as the issuing thread.
+  QueryContext* ctx = QueryContext::Current();
   std::vector<std::future<void>> futures;
   futures.reserve(shards);
   size_t chunk = (n + shards - 1) / shards;
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(begin + chunk, n);
-    futures.push_back(Submit([&body, begin, end] { body(begin, end); }));
+    futures.push_back(Submit([&body, ctx, begin, end] {
+      QueryContext::Scope scope(ctx);
+      body(begin, end);
+    }));
   }
   for (auto& f : futures) f.get();  // rethrows task exceptions
 }

@@ -1,0 +1,163 @@
+#include "coupling/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+
+#include "common/obs/metrics.h"
+
+namespace sdms::coupling {
+
+namespace {
+
+struct AdmissionMetrics {
+  obs::Counter& admitted = obs::GetCounter("coupling.admission.admitted");
+  obs::Counter& shed = obs::GetCounter("coupling.admission.shed");
+  obs::Counter& expired_in_queue =
+      obs::GetCounter("coupling.admission.expired_in_queue");
+  obs::Gauge& running = obs::GetGauge("coupling.admission.running");
+  obs::Gauge& queue_depth = obs::GetGauge("coupling.admission.queue_depth");
+  obs::Histogram& queue_wait_us =
+      obs::GetHistogram("coupling.admission.queue_wait_micros");
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics* m = new AdmissionMetrics();
+  return *m;
+}
+
+}  // namespace
+
+AdmissionOptions AdmissionOptionsFromEnv() {
+  AdmissionOptions o;
+  if (const char* env = std::getenv("SDMS_MAX_CONCURRENT_QUERIES")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) o.max_concurrent = static_cast<size_t>(v);
+  }
+  if (const char* env = std::getenv("SDMS_DEFAULT_DEADLINE_MS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) o.default_deadline_micros = v * 1000;
+  }
+  return o;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    QueryContext* ctx) {
+  if (ctx != nullptr && options_.default_deadline_micros > 0 &&
+      !ctx->has_deadline()) {
+    ctx->set_deadline_micros(QueryContext::NowMicros() +
+                             options_.default_deadline_micros);
+  }
+  if (options_.max_concurrent == 0) {
+    Metrics().admitted.Increment();
+    return Ticket(this);
+  }
+
+  const int64_t arrived = QueryContext::NowMicros();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    Metrics().running.Set(static_cast<int64_t>(running_));
+    Metrics().admitted.Increment();
+    Metrics().queue_wait_us.Record(0.0);
+    return Ticket(this);
+  }
+
+  // No free slot. Shed instead of queueing when the queue is full or
+  // the caller's deadline cannot survive any wait at all.
+  if (queued_ >= options_.max_queue) {
+    Metrics().shed.Increment();
+    return Status::ResourceExhausted("admission queue full (" +
+                                     std::to_string(queued_) + " waiting)");
+  }
+  if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
+    Metrics().shed.Increment();
+    return Status::ResourceExhausted(
+        "deadline already expired at admission; not queueing");
+  }
+
+  ++queued_;
+  Metrics().queue_depth.Set(static_cast<int64_t>(queued_));
+  for (;;) {
+    // Wake-up horizon: the caller's deadline and the queue-wait bound,
+    // whichever comes first.
+    int64_t wait_us = options_.max_queue_wait_micros > 0
+                          ? options_.max_queue_wait_micros
+                          : std::numeric_limits<int64_t>::max();
+    if (ctx != nullptr && ctx->has_deadline()) {
+      wait_us = std::min(wait_us, ctx->RemainingMicros());
+    }
+    if (wait_us <= 0) break;  // nothing left to wait with — shed below
+    // Bounded slices so cancellation is noticed even when no slot
+    // frees up (cv notifications only fire on Release).
+    cv_.wait_for(lock,
+                 std::chrono::microseconds(std::min<int64_t>(wait_us, 100'000)),
+                 [this] { return running_ < options_.max_concurrent; });
+    if (ctx != nullptr && ctx->cancel_token().cancelled()) break;
+    if (running_ < options_.max_concurrent) {
+      --queued_;
+      ++running_;
+      Metrics().queue_depth.Set(static_cast<int64_t>(queued_));
+      Metrics().running.Set(static_cast<int64_t>(running_));
+      Metrics().admitted.Increment();
+      Metrics().queue_wait_us.Record(
+          static_cast<double>(QueryContext::NowMicros() - arrived));
+      return Ticket(this);
+    }
+    if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
+      break;  // deadline expired while queued
+    }
+    if (options_.max_queue_wait_micros > 0 &&
+        QueryContext::NowMicros() - arrived >= options_.max_queue_wait_micros) {
+      break;  // queue-wait bound elapsed
+    }
+  }
+
+  --queued_;
+  Metrics().queue_depth.Set(static_cast<int64_t>(queued_));
+  Metrics().queue_wait_us.Record(
+      static_cast<double>(QueryContext::NowMicros() - arrived));
+  if (ctx != nullptr && ctx->cancel_token().cancelled()) {
+    return ctx->CheckStatus();  // kCancelled, not a shed
+  }
+  Metrics().shed.Increment();
+  if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
+    Metrics().expired_in_queue.Increment();
+    return Status::ResourceExhausted("deadline expired waiting for admission");
+  }
+  return Status::ResourceExhausted("queue-wait bound exceeded for admission");
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release();
+  controller_ = nullptr;
+}
+
+void AdmissionController::Release() {
+  if (options_.max_concurrent == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ > 0) --running_;
+    Metrics().running.Set(static_cast<int64_t>(running_));
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace sdms::coupling

@@ -1,0 +1,99 @@
+#ifndef SDMS_COUPLING_ADMISSION_H_
+#define SDMS_COUPLING_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/query_context.h"
+#include "common/status.h"
+
+namespace sdms::coupling {
+
+/// Configuration of the coupling-layer admission controller.
+struct AdmissionOptions {
+  /// Queries allowed to execute concurrently (0 = unlimited, which
+  /// also disables queueing and shedding).
+  size_t max_concurrent = 0;
+  /// Queries allowed to wait for a slot before new arrivals are shed
+  /// with kResourceExhausted.
+  size_t max_queue = 64;
+  /// Upper bound on the time a query may wait for a slot even without
+  /// a deadline of its own (0 = wait forever).
+  int64_t max_queue_wait_micros = 5'000'000;
+  /// Deadline applied to admitted queries that carry none of their own
+  /// (0 = none). Milliseconds in the knob, micros here.
+  int64_t default_deadline_micros = 0;
+};
+
+/// Reads AdmissionOptions overrides from the environment:
+/// SDMS_MAX_CONCURRENT_QUERIES and SDMS_DEFAULT_DEADLINE_MS.
+AdmissionOptions AdmissionOptionsFromEnv();
+
+/// Bounded-concurrency gate for the coupled query path. At most
+/// `max_concurrent` queries run at once; up to `max_queue` more wait on
+/// a condition variable. Arrivals beyond that — or waiters whose
+/// QueryContext deadline would expire in the queue — are *shed* with
+/// Status::kResourceExhausted instead of queueing past the deadline
+/// (rejecting early is cheaper than timing out late).
+///
+/// Metrics: coupling.admission.{admitted,shed,expired_in_queue}
+/// counters, coupling.admission.{running,queue_depth} gauges and the
+/// coupling.admission.queue_wait_micros histogram.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot; releasing it wakes the next waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+
+    void Release();
+    bool held() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* c) : controller_(c) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Blocks until a slot is free, then returns the held Ticket.
+  /// Sheds with kResourceExhausted when the queue is full, when `ctx`'s
+  /// deadline expires (or provably cannot be met) while queued, or when
+  /// the queue-wait bound elapses. `ctx` may be null. On admission,
+  /// applies options().default_deadline_micros to a deadline-less ctx.
+  StatusOr<Ticket> Admit(QueryContext* ctx);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  size_t running() const;
+  size_t queued() const;
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  size_t queued_ = 0;
+};
+
+}  // namespace sdms::coupling
+
+#endif  // SDMS_COUPLING_ADMISSION_H_

@@ -5,6 +5,7 @@
 
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
+#include "common/query_context.h"
 
 namespace sdms::coupling {
 
@@ -168,6 +169,21 @@ uint64_t CallGuard::NextBackoffMicros(int attempt) {
 Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
   ++stats_.calls;
   Metrics().calls.Increment();
+  QueryContext* ctx = QueryContext::Current();
+  if (ctx != nullptr) {
+    Status caller = ctx->CheckStatus();
+    if (!caller.ok()) {
+      // The caller's own deadline/cancellation already fired: fail
+      // fast before the first attempt instead of starting a fresh
+      // retry/backoff cycle. No breaker penalty — the dependency is
+      // not at fault for the caller's expired budget.
+      if (caller.IsDeadlineExceeded()) {
+        ++stats_.deadline_exceeded;
+        Metrics().deadline_exceeded.Increment();
+      }
+      return caller;
+    }
+  }
   if (!breaker_.Allow()) {
     ++stats_.breaker_rejections;
     Metrics().breaker_rejections.Increment();
@@ -207,11 +223,31 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
                              std::string(op) + "' on '" + name_ +
                              "': " + last.message());
     }
+    if (ctx != nullptr && !ctx->CheckStatus().ok()) {
+      // The caller's deadline expired (or it was cancelled) while this
+      // attempt failed: report that instead of burning the remaining
+      // retries. The attempt itself did fail, so the breaker learns.
+      Status caller = ctx->StopStatus();
+      if (caller.IsDeadlineExceeded()) {
+        ++stats_.deadline_exceeded;
+        Metrics().deadline_exceeded.Increment();
+      }
+      ++stats_.failures;
+      Metrics().failures.Increment();
+      breaker_.RecordFailure();
+      return caller;
+    }
     if (attempt == max_attempts) break;
     uint64_t backoff = NextBackoffMicros(attempt);
     if (deadline > 0) {
       uint64_t left = deadline - elapsed_micros();
       backoff = std::min(backoff, left);
+    }
+    if (ctx != nullptr && ctx->has_deadline()) {
+      // Never sleep past the caller's deadline.
+      int64_t left = ctx->RemainingMicros();
+      backoff = std::min<uint64_t>(
+          backoff, left > 1 ? static_cast<uint64_t>(left) : 1);
     }
     ++stats_.retries;
     Metrics().retries.Increment();

@@ -121,12 +121,19 @@ class CallGuard {
   uint64_t rng_state_[2];
 };
 
-/// Transient, degradable failure classes: injected/real I/O errors,
-/// crashes, deadline overruns, and breaker rejections all surface as
-/// kIoError or kAborted. Degraded serving (stale buffer, derivation
-/// fallback) triggers only for these — logic errors still propagate.
+/// Transient failure classes: injected/real I/O errors, crashes,
+/// per-call deadline overruns, and breaker rejections all surface as
+/// kIoError or kAborted. Only these are retried.
 bool IsRetriable(const Status& s);
-inline bool IsUnavailable(const Status& s) { return IsRetriable(s); }
+
+/// Degradable failure classes: the retriable set plus kDeadlineExceeded
+/// (a caller whose QueryContext deadline fired wants a cheap fallback —
+/// stale buffer, null score, derivation — never another attempt).
+/// Degraded serving triggers only for these; logic errors and explicit
+/// cancellation (kCancelled) still propagate.
+inline bool IsUnavailable(const Status& s) {
+  return IsRetriable(s) || s.IsDeadlineExceeded();
+}
 
 }  // namespace sdms::coupling
 

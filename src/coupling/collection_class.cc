@@ -8,6 +8,7 @@
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
+#include "common/query_context.h"
 #include "common/string_util.h"
 #include "coupling/coupling.h"
 #include "irs/query/query_node.h"
@@ -65,7 +66,8 @@ Collection::Collection(Coupling* coupling, Oid self,
       self_(self),
       irs_name_(std::move(irs_collection_name)),
       missing_value_(missing_value),
-      buffer_(coupling->options().buffer_capacity),
+      buffer_(coupling->options().buffer_capacity,
+              coupling->options().buffer_max_bytes),
       guard_(coupling->options().call_guard, irs_name_),
       // The paper's own tests used the component-maximum derivation
       // ("iterating through the elements components and determining the
@@ -245,6 +247,15 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
 StatusOr<const OidScoreMap*> Collection::GetIrsResult(
     const std::string& irs_query, bool* served_stale) {
   if (served_stale != nullptr) *served_stale = false;
+  // Explicit cancellation stops the query outright — no buffer hit, no
+  // stale serve. (An expired deadline is NOT short-circuited here: the
+  // guarded IRS call fails fast with kDeadlineExceeded and the
+  // degradation paths below turn that into a stale/derived answer.)
+  if (QueryContext* qctx = QueryContext::Current();
+      qctx != nullptr && qctx->ShouldStop() &&
+      qctx->stop_reason() == QueryContext::StopReason::kCancelled) {
+    return qctx->StopStatus();
+  }
   // Serves the buffered result when the IRS is unavailable: pending
   // updates stay queued, the caller sees an explicitly flagged stale
   // answer instead of an error. Only transient failures degrade this

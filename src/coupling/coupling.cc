@@ -55,7 +55,7 @@ obs::Counter& RecoveredInflight() {
 
 Coupling::Coupling(Database* db, irs::IrsEngine* engine, Options options)
     : db_(db), engine_(engine), options_(std::move(options)),
-      query_engine_(db) {}
+      query_engine_(db), admission_(options_.admission) {}
 
 Coupling::~Coupling() {
   if (initialized_) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "coupling/admission.h"
 #include "coupling/call_guard.h"
 #include "coupling/collection_class.h"
 #include "coupling/types.h"
@@ -41,8 +42,11 @@ struct CouplingOptions {
   bool file_exchange = false;
   /// Directory for exchange files.
   std::string exchange_dir = "/tmp";
-  /// Result-buffer capacity per collection (0 = unbounded).
+  /// Result-buffer capacity per collection, in entries (0 = unbounded).
   size_t buffer_capacity = 0;
+  /// Result-buffer byte budget per collection (approximate accounting
+  /// of query strings + score maps; 0 = unbounded).
+  size_t buffer_max_bytes = 0;
   /// Disables the persistent result buffer (ablation).
   bool disable_buffering = false;
   /// Retry/deadline/circuit-breaker policy for every IRS call a
@@ -59,6 +63,10 @@ struct CouplingOptions {
   /// Directory the IRS indexes are persisted to by PersistIrs() and
   /// the database checkpoint hook. Empty disables both.
   std::string irs_snapshot_dir;
+  /// Overload protection for the coupled query path: every mixed query
+  /// passes through the coupling's AdmissionController. Defaults honor
+  /// SDMS_MAX_CONCURRENT_QUERIES and SDMS_DEFAULT_DEADLINE_MS.
+  AdmissionOptions admission = AdmissionOptionsFromEnv();
 };
 
 /// The loose OODBMS-IRS coupling with the DBMS as control component
@@ -192,6 +200,7 @@ class Coupling : public oodb::UpdateListener {
   oodb::Database& db() { return *db_; }
   irs::IrsEngine& irs() { return *engine_; }
   oodb::vql::QueryEngine& query_engine() { return query_engine_; }
+  AdmissionController& admission() { return admission_; }
   Options& options() { return options_; }
 
   /// Aggregated stats across all collections.
@@ -242,6 +251,7 @@ class Coupling : public oodb::UpdateListener {
   irs::IrsEngine* engine_;
   Options options_;
   oodb::vql::QueryEngine query_engine_;
+  AdmissionController admission_;
 
   std::map<Oid, std::unique_ptr<Collection>> collections_;
   std::map<std::string, Oid> collections_by_name_;

@@ -1,5 +1,8 @@
 #include "coupling/mixed_query.h"
 
+#include <optional>
+
+#include "common/query_context.h"
 #include "oodb/query/parser.h"
 
 namespace sdms::coupling {
@@ -85,11 +88,42 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
                                                Strategy strategy) {
   info_ = RunInfo{};
   info_.strategy = strategy;
+
+  // Adopt the caller's QueryContext (shell, bench, service layer) or
+  // install a fresh one, so admission and degradation always have a
+  // context to consult.
+  QueryContext* ctx = QueryContext::Current();
+  std::optional<QueryContext> local_ctx;
+  std::optional<QueryContext::Scope> scope;
+  if (ctx == nullptr) {
+    local_ctx.emplace();
+    ctx = &*local_ctx;
+    scope.emplace(ctx);
+  }
+  // Mixed queries degrade to partial results on deadline/budget expiry
+  // instead of failing the whole VQL statement (restored on exit).
+  struct AllowPartialGuard {
+    QueryContext* ctx;
+    bool prev;
+    ~AllowPartialGuard() { ctx->set_allow_partial(prev); }
+  } partial_guard{ctx, ctx->allow_partial()};
+  ctx->set_allow_partial(true);
+
+  SDMS_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                        coupling_->admission().Admit(ctx));
+
   SDMS_ASSIGN_OR_RETURN(ParsedQuery query, oodb::vql::ParseQuery(vql));
   if (strategy == Strategy::kIrsFirst) {
     SDMS_RETURN_IF_ERROR(ApplyIrsFirst(query));
   }
-  return coupling_->query_engine().Run(query);
+  SDMS_ASSIGN_OR_RETURN(QueryResult result,
+                        coupling_->query_engine().Run(query));
+  if (info_.degraded && !result.degraded) {
+    result.degraded = true;
+    result.degraded_reason = "content restrictions degraded (IRS deadline)";
+  }
+  info_.degraded = result.degraded;
+  return result;
 }
 
 Status MixedQueryEvaluator::ApplyIrsFirst(const ParsedQuery& query) {
@@ -112,8 +146,20 @@ Status MixedQueryEvaluator::ApplyIrsFirst(const ParsedQuery& query) {
         (r.inclusive && null_score >= r.threshold)) {
       continue;
     }
-    SDMS_ASSIGN_OR_RETURN(const OidScoreMap* result,
-                          coll->GetIrsResult(r.irs_query));
+    auto result_or = coll->GetIrsResult(r.irs_query);
+    if (!result_or.ok()) {
+      // The IRS side missed the deadline (or is unavailable): leave
+      // this conjunct to independent evaluation, whose per-object
+      // getIRSValue has its own degraded fallbacks. Cancellation is
+      // not degradable and propagates.
+      if (IsUnavailable(result_or.status())) {
+        info_.degraded = true;
+        if (QueryContext* ctx = QueryContext::Current()) ctx->NoteDegraded();
+        continue;
+      }
+      return result_or.status();
+    }
+    const OidScoreMap* result = *result_or;
     std::set<Oid> qualifying;
     for (const auto& [oid, score] : *result) {
       if (score > r.threshold || (r.inclusive && score >= r.threshold)) {

@@ -43,12 +43,24 @@ class MixedQueryEvaluator {
     size_t irs_restrictions = 0;
     /// Total candidates injected by the IRS-first step.
     size_t irs_candidates = 0;
+    /// True when the answer is degraded: the IRS side missed the
+    /// query's deadline (or was unavailable) and the statement fell
+    /// back to partial/derived evidence instead of failing (mirrors
+    /// QueryResult::degraded).
+    bool degraded = false;
   };
 
   explicit MixedQueryEvaluator(Coupling* coupling) : coupling_(coupling) {}
 
   /// Parses and runs `vql` under `strategy`. Both strategies return
   /// identical rows; they differ in evaluation cost.
+  ///
+  /// Overload behavior: the run is admitted through the coupling's
+  /// AdmissionController (kResourceExhausted when shed) and executes
+  /// under the caller's QueryContext (or a fresh one) with
+  /// allow_partial set — an IRS-side deadline expiry degrades the
+  /// statement to a partial result flagged QueryResult::degraded
+  /// rather than failing it. Explicit cancellation still errors.
   StatusOr<oodb::vql::QueryResult> Run(const std::string& vql,
                                        Strategy strategy);
 

@@ -32,6 +32,11 @@ obs::Gauge& GlobalEntries() {
   return g;
 }
 
+obs::Gauge& GlobalBytes() {
+  static obs::Gauge& g = obs::GetGauge("coupling.result_buffer.bytes");
+  return g;
+}
+
 }  // namespace
 
 const OidScoreMap* ResultBuffer::Get(const std::string& query) {
@@ -54,21 +59,42 @@ void ResultBuffer::Put(const std::string& query, OidScoreMap result) {
 }
 
 void ResultBuffer::PutLocked(const std::string& query, OidScoreMap result) {
+  size_t new_bytes = ApproxEntryBytes(query, result);
   auto it = entries_.find(query);
   if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    bytes_ += new_bytes;
+    GlobalBytes().Add(static_cast<int64_t>(new_bytes) -
+                      static_cast<int64_t>(it->second.bytes));
     it->second.result = std::move(result);
+    it->second.bytes = new_bytes;
     Touch(query, it->second);
+    EnforceBudgetLocked();
     return;
   }
   lru_.push_front(query);
   Entry e;
   e.result = std::move(result);
   e.lru_it = lru_.begin();
+  e.bytes = new_bytes;
   entries_.emplace(query, std::move(e));
+  bytes_ += new_bytes;
   GlobalEntries().Add(1);
-  if (capacity_ > 0 && entries_.size() > capacity_) {
+  GlobalBytes().Add(static_cast<int64_t>(new_bytes));
+  EnforceBudgetLocked();
+}
+
+void ResultBuffer::EnforceBudgetLocked() {
+  // The MRU head (the entry just stored/refreshed) is never evicted:
+  // shedding what the current query needs would only force a re-fetch.
+  while (entries_.size() > 1 &&
+         ((capacity_ > 0 && entries_.size() > capacity_) ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
     const std::string& victim = lru_.back();
-    entries_.erase(victim);
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    GlobalBytes().Add(-static_cast<int64_t>(it->second.bytes));
+    entries_.erase(it);
     lru_.pop_back();
     evictions_.Increment();
     GlobalEvictions().Increment();
@@ -84,7 +110,14 @@ void ResultBuffer::InsertValue(const std::string& query, Oid oid,
     PutLocked(query, OidScoreMap{{oid, score}});
     return;
   }
+  size_t before = it->second.result.size();
   it->second.result[oid] = score;
+  if (it->second.result.size() != before) {
+    it->second.bytes += kBytesPerScore;
+    bytes_ += kBytesPerScore;
+    GlobalBytes().Add(static_cast<int64_t>(kBytesPerScore));
+    EnforceBudgetLocked();
+  }
 }
 
 void ResultBuffer::Touch(const std::string& query, Entry& e) {
@@ -100,6 +133,8 @@ void ResultBuffer::Clear() {
 
 void ResultBuffer::ClearLocked() {
   GlobalEntries().Add(-static_cast<int64_t>(entries_.size()));
+  GlobalBytes().Add(-static_cast<int64_t>(bytes_));
+  bytes_ = 0;
   entries_.clear();
   lru_.clear();
 }
@@ -108,6 +143,8 @@ void ResultBuffer::Erase(const std::string& query) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(query);
   if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  GlobalBytes().Add(-static_cast<int64_t>(it->second.bytes));
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
   GlobalEntries().Add(-1);

@@ -29,9 +29,13 @@ namespace sdms::coupling {
 /// hold results across mutations must copy the map.
 class ResultBuffer {
  public:
-  /// `capacity` bounds the number of buffered queries (LRU eviction);
-  /// 0 = unbounded.
-  explicit ResultBuffer(size_t capacity = 0) : capacity_(capacity) {}
+  /// `capacity` bounds the number of buffered queries and `max_bytes`
+  /// their (approximate) memory footprint; exceeding either evicts in
+  /// LRU order. 0 = unbounded. The most recently stored entry is never
+  /// evicted, so one oversized result may transiently exceed
+  /// `max_bytes` — the budget is a soft cap, not an allocator limit.
+  explicit ResultBuffer(size_t capacity = 0, size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   /// Clear() keeps the global entries gauge honest on teardown.
   ~ResultBuffer() { Clear(); }
@@ -58,6 +62,19 @@ class ResultBuffer {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
   }
+  /// Approximate bytes held (see ApproxEntryBytes).
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  /// The accounting model of the byte budget: query string + map nodes
+  /// + LRU/hash bookkeeping, in rough allocator terms.
+  static size_t ApproxEntryBytes(const std::string& query,
+                                 const OidScoreMap& result) {
+    return query.size() + result.size() * kBytesPerScore + kEntryOverhead;
+  }
+
   uint64_t hits() const { return hits_.value(); }
   uint64_t misses() const { return misses_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
@@ -68,9 +85,17 @@ class ResultBuffer {
   Status Restore(std::string_view data);
 
  private:
+  /// Rough cost of one (Oid, double) map node incl. allocator overhead.
+  static constexpr size_t kBytesPerScore = 64;
+  /// Rough fixed cost per buffered query (hash node + LRU node).
+  static constexpr size_t kEntryOverhead = 96;
+
   struct Entry {
     OidScoreMap result;
     std::list<std::string>::iterator lru_it;
+    /// Cached ApproxEntryBytes of this entry (kept in sync by every
+    /// mutation so bytes_ stays an O(1) aggregate).
+    size_t bytes = 0;
   };
 
   void Touch(const std::string& query, Entry& e);
@@ -78,9 +103,13 @@ class ResultBuffer {
   /// them under one critical section).
   void PutLocked(const std::string& query, OidScoreMap result);
   void ClearLocked();
+  /// Evicts LRU entries (never the MRU head) while over either budget.
+  void EnforceBudgetLocked();
 
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
   std::unordered_map<std::string, Entry> entries_;
   /// Most-recent first.
   std::list<std::string> lru_;

@@ -5,6 +5,7 @@
 #include "common/fault/fault.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
+#include "common/query_context.h"
 #include "common/thread_pool.h"
 #include "oodb/storage/serializer.h"
 
@@ -64,6 +65,7 @@ Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
   std::vector<DocTokens> analyzed(docs.size());
   auto analyze_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      if (QueryShouldStop()) return;  // abandoned below, pre-mutation
       analyzed[i].key = docs[i].key;
       analyzed[i].tokens = analyzer_.Analyze(docs[i].text);
     }
@@ -73,6 +75,9 @@ Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
   } else {
     analyze_range(0, docs.size());
   }
+  // Analysis precedes any index mutation, so a deadline/cancellation
+  // here aborts the batch cleanly (no half-indexed documents).
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
 
   SDMS_ASSIGN_OR_RETURN(std::vector<DocId> ids,
                         index_.AddDocumentsBatch(analyzed, pool));
@@ -107,11 +112,15 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     const std::string& query, size_t k) {
   SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.search"));
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
   obs::TraceSpan span("irs.search");
   Metrics().searches.Increment();
   SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
                         ParseIrsQuery(query, analyzer_));
   SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
+  // The kernels exit early (with partial output) on cancellation; make
+  // that an authoritative error before hits are materialized.
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
   ++stats_.queries_executed;
   Metrics().search_us.Record(static_cast<double>(span.ElapsedMicros()));
 

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/obs/metrics.h"
+#include "common/query_context.h"
+
 namespace sdms::irs {
+
+namespace {
+
+/// Cooperative-cancellation poll cadence inside postings loops: cheap
+/// enough to be invisible, frequent enough that a cancelled query stops
+/// burning CPU within microseconds.
+constexpr size_t kCancelCheckStride = 1024;
+
+/// Bumped whenever a kernel abandons its loop because the current
+/// QueryContext asked it to stop — the proof that cancellation is
+/// observed *inside* the postings kernels, not just at call boundaries.
+obs::Counter& EarlyExits() {
+  static obs::Counter& c = obs::GetCounter("irs.kernel.early_exits");
+  return c;
+}
+
+}  // namespace
 
 size_t GallopTo(const std::vector<Posting>& postings, size_t lo,
                 DocId target) {
@@ -41,7 +61,12 @@ std::vector<DocId> IntersectPostings(
   const std::vector<Posting>& driver = *lists[0];
   out.reserve(driver.size());
   std::vector<size_t> cursors(lists.size(), 0);
+  size_t steps = 0;
   for (const Posting& p : driver) {
+    if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
+      EarlyExits().Increment();
+      return out;  // partial; the caller re-checks the context's status
+    }
     DocId doc = p.doc;
     bool in_all = true;
     for (size_t i = 1; i < lists.size(); ++i) {
@@ -73,7 +98,12 @@ std::vector<DocId> UnionPostings(
   }
   std::vector<DocId> out;
   out.reserve(total);
+  size_t steps = 0;
   while (!heap.empty()) {
+    if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
+      EarlyExits().Increment();
+      return out;  // partial; the caller re-checks the context's status
+    }
     auto [doc, i] = heap.top();
     heap.pop();
     if (out.empty() || out.back() != doc) out.push_back(doc);
@@ -102,7 +132,12 @@ std::vector<std::pair<DocId, double>> TopK(
                              const std::pair<DocId, double>& b) {
       return worse(b, a);
     };
+    size_t steps = 0;
     for (const auto& s : scored) {
+      if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
+        EarlyExits().Increment();
+        break;  // partial; the caller re-checks the context's status
+      }
       if (out.size() < k) {
         out.push_back(s);
         std::push_heap(out.begin(), out.end(), heap_cmp);

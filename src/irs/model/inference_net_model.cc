@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/query_context.h"
 #include "irs/index/postings_kernels.h"
 #include "irs/index/proximity.h"
 #include "irs/model/retrieval_model.h"
@@ -61,7 +62,13 @@ class InferenceNetModel : public RetrievalModel {
     out.reserve(candidates.size());
     const double n = std::max<double>(index.doc_count(), 1.0);
     const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    size_t steps = 0;
     for (DocId d : candidates) {
+      // The per-candidate belief walk is the scoring hot loop; stop
+      // promptly once the query's deadline/cancellation fires.
+      if (++steps % 256 == 0 && QueryShouldStop()) {
+        return CurrentQueryStatus();
+      }
       if (!index.IsAlive(d)) continue;  // tombstoned, awaiting compaction
       auto info = index.GetDoc(d);
       double dl = info.ok() ? static_cast<double>((*info)->length) : avgdl;

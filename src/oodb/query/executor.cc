@@ -6,6 +6,7 @@
 
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
+#include "common/query_context.h"
 #include "common/string_util.h"
 #include "oodb/query/parser.h"
 
@@ -19,6 +20,7 @@ struct QueryMetrics {
   obs::Counter& rows = obs::GetCounter("oodb.query.rows_emitted");
   obs::Counter& bindings = obs::GetCounter("oodb.query.bindings_scanned");
   obs::Counter& index_lookups = obs::GetCounter("oodb.query.index_lookups");
+  obs::Counter& partial_results = obs::GetCounter("oodb.query.partial_results");
   obs::Histogram& parse_us = obs::GetHistogram("oodb.query.parse_micros");
   obs::Histogram& plan_us = obs::GetHistogram("oodb.query.plan_micros");
   obs::Histogram& join_us = obs::GetHistogram("oodb.query.join_micros");
@@ -506,9 +508,30 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
   QueryMetrics& metrics = Metrics();
   metrics.runs.Increment();
   stats_ = QueryStats{};
+  QueryContext* ctx = QueryContext::Current();
+  if (ctx != nullptr) {
+    // A query whose deadline already passed (or that was cancelled
+    // before starting) never reaches the prepare hooks or the join.
+    Status pre = ctx->CheckStatus();
+    if (!pre.ok() && !(ctx->allow_partial() && !pre.IsCancelled())) {
+      candidate_overrides_.clear();
+      metrics.errors.Increment();
+      return pre;
+    }
+  }
+  bool prepare_degraded = false;
   for (const PrepareHook& hook : prepare_hooks_) {
     Status hook_status = hook(*db_, query);
     if (!hook_status.ok()) {
+      // Prepare hooks are optimizations (buffer warmups); when the
+      // deadline fires inside one and the query tolerates partial
+      // answers, skip the warmup instead of failing the statement.
+      if (ctx != nullptr && ctx->allow_partial() &&
+          (hook_status.IsDeadlineExceeded() ||
+           hook_status.IsResourceExhausted())) {
+        prepare_degraded = true;
+        break;
+      }
       candidate_overrides_.clear();
       metrics.errors.Increment();
       return hook_status;
@@ -526,14 +549,24 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
   for (const auto& e : query.select) result.columns.push_back(e->ToString());
 
   std::map<std::string, Value> env;
+  bool partial_stop = prepare_degraded;
   {
     obs::TraceSpan join_span("vql.join");
-    Status join_status = RunJoin(query, plan, 0, env, result);
+    Status join_status = RunJoin(query, plan, 0, env, result, &partial_stop);
     metrics.join_us.Record(static_cast<double>(join_span.ElapsedMicros()));
     if (!join_status.ok()) {
       metrics.errors.Increment();
       return join_status;
     }
+  }
+  if (partial_stop) {
+    result.degraded = true;
+    result.degraded_reason =
+        ctx != nullptr && !ctx->StopStatus().ok()
+            ? ctx->StopStatus().ToString()
+            : "DeadlineExceeded: prepare-stage deadline";
+    if (ctx != nullptr) ctx->NoteDegraded();
+    metrics.partial_results.Increment();
   }
 
   // DISTINCT: keep the first row per distinct select-column tuple
@@ -588,8 +621,10 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
 Status QueryEngine::RunJoin(const ParsedQuery& query,
                             const std::vector<BindingPlan>& plan, size_t depth,
                             std::map<std::string, Value>& env,
-                            QueryResult& result) {
+                            QueryResult& result, bool* partial_stop) {
   if (depth == plan.size()) {
+    QueryContext* row_ctx = QueryContext::Current();
+    if (row_ctx != nullptr) row_ctx->ChargeRows(1);
     return EmitRow(query, env, result);
   }
   const BindingPlan& bp = plan[depth];
@@ -597,7 +632,20 @@ Status QueryEngine::RunJoin(const ParsedQuery& query,
       bp.candidates.has_value()
           ? *bp.candidates
           : db_->Extent(bp.binding.class_name, /*include_subclasses=*/true);
+  QueryContext* ctx = QueryContext::Current();
   for (Oid oid : candidates) {
+    if (*partial_stop) break;
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      // Cancellation always errors; deadline/budget stops degrade to a
+      // partial result when the context allows it (mixed queries).
+      if (ctx->allow_partial() &&
+          ctx->stop_reason() != QueryContext::StopReason::kCancelled) {
+        *partial_stop = true;
+        break;
+      }
+      env.erase(bp.binding.var);
+      return ctx->StopStatus();
+    }
     if (!db_->store().Contains(oid)) continue;
     ++stats_.bindings_scanned;
     env[bp.binding.var] = Value(oid);
@@ -620,7 +668,8 @@ Status QueryEngine::RunJoin(const ParsedQuery& query,
     }
     if (pass) {
       ++stats_.tuples_considered;
-      SDMS_RETURN_IF_ERROR(RunJoin(query, plan, depth + 1, env, result));
+      SDMS_RETURN_IF_ERROR(
+          RunJoin(query, plan, depth + 1, env, result, partial_stop));
     }
   }
   env.erase(bp.binding.var);

@@ -18,6 +18,14 @@ struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<Value>> rows;
 
+  /// True when the rows are a *partial* answer: the query's
+  /// QueryContext allowed partial results (allow_partial) and its
+  /// deadline or budget fired mid-join. Extends the coupling's
+  /// stale-read flag convention (docs/robustness.md) to the VQL layer.
+  bool degraded = false;
+  /// Why the result is partial ("DeadlineExceeded: ...", ...).
+  std::string degraded_reason;
+
   /// Pretty-prints as an aligned ASCII table (examples/benches).
   std::string ToTable(size_t max_rows = 50) const;
 };
@@ -92,9 +100,14 @@ class QueryEngine {
   struct BindingPlan;
 
   StatusOr<std::vector<BindingPlan>> BuildPlan(const ParsedQuery& query);
+  /// `partial_stop` is per-Run join state (not a member: the engine is
+  /// externally synchronized but keeps no per-call mutable state beyond
+  /// stats): set when the current QueryContext demands a stop that
+  /// degrades to a partial result instead of an error.
   Status RunJoin(const ParsedQuery& query,
                  const std::vector<BindingPlan>& plan, size_t depth,
-                 std::map<std::string, Value>& env, QueryResult& result);
+                 std::map<std::string, Value>& env, QueryResult& result,
+                 bool* partial_stop);
   Status EmitRow(const ParsedQuery& query,
                  std::map<std::string, Value>& env, QueryResult& result);
 
