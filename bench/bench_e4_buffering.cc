@@ -10,7 +10,12 @@
 //  (c) persistence: a serialized buffer restored in a fresh session
 //      answers without touching the IRS at all.
 
+#include <memory>
+
 #include "bench_util.h"
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
+#include "common/query_context.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -42,7 +47,8 @@ void Run() {
   // ---------- (a) intra-query ----------
   std::printf("--- (a) intra-query optimization ---\n");
   {
-    Table table({"configuration", "IRS calls", "buffer hits", "ms"});
+    Table table({"configuration", "IRS calls", "buffer hits", "ms",
+                 "prof-hits", "postings"});
     for (bool buffered : {true, false}) {
       coupling::CouplingOptions opts;
       opts.disable_buffering = !buffered;
@@ -50,15 +56,29 @@ void Run() {
       auto* coll = MakeIndexedCollection(*sys, "paras",
                                          "ACCESS p FROM p IN PARA",
                                          coupling::kTextModeSubtree);
+      // Profile the query so the table can show where the work went.
+      QueryContext ctx;
+      auto profile = std::make_shared<obs::QueryProfile>(ctx.query_id());
+      ctx.set_profile(profile);
+      QueryContext::Scope scope(&ctx);
       Timer timer;
       auto result = sys->coupling->query_engine().Run(
           "ACCESS p FROM p IN PARA "
           "WHERE p -> getIRSValue('paras', 'www') > 0.45");
       if (!result.ok()) std::abort();
+      profile->Finish();
       table.AddRow({buffered ? "buffer + prepare hook" : "no buffer",
                     FmtInt(coll->stats().irs_queries),
                     FmtInt(coll->stats().buffer_hits),
-                    Fmt("%.2f", timer.ElapsedMillis())});
+                    Fmt("%.2f", timer.ElapsedMillis()),
+                    FmtInt(profile->TotalCounter("buffer_hits")),
+                    FmtInt(profile->TotalCounter("postings_scanned"))});
+      obs::GetCounter(std::string("bench.e4.profile.buffer_hits.") +
+                      (buffered ? "buffered" : "bufferless"))
+          .Add(profile->TotalCounter("buffer_hits"));
+      obs::GetCounter(std::string("bench.e4.profile.postings_scanned.") +
+                      (buffered ? "buffered" : "bufferless"))
+          .Add(profile->TotalCounter("postings_scanned"));
     }
     table.Print();
     std::printf(
@@ -101,8 +121,10 @@ void Run() {
                     Fmt("%.1f", ms * 1000.0 / kCalls)});
     }
     table.Print();
-    std::printf("%d getIRSValue calls, %d distinct IRS queries (Zipf 1.2)\n\n",
+    std::printf("%d getIRSValue calls, %d distinct IRS queries (Zipf 1.2)\n",
                 kCalls, kQueryPool);
+    std::printf("statistics service EWMA hit rate for 'paras': %.3f\n\n",
+                obs::StatisticsService::Instance().BufferHitRate("paras"));
   }
 
   // ---------- (c) persistence across sessions ----------

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/obs/profile.h"
 #include "common/query_context.h"
 #include "coupling/admission.h"
 #include "coupling/mixed_query.h"
@@ -44,6 +45,10 @@ struct LevelResult {
   uint64_t shed = 0;
   double p50_us = 0;
   double p99_us = 0;
+  /// From the per-query profiles: total inner queue wait and postings
+  /// scanned across every run at this load level.
+  uint64_t queue_wait_us = 0;
+  uint64_t postings_scanned = 0;
 };
 
 LevelResult RunLevel(size_t multiplier) {
@@ -74,6 +79,8 @@ LevelResult RunLevel(size_t multiplier) {
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> degraded{0};
   std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> queue_wait_us{0};
+  std::atomic<uint64_t> postings_scanned{0};
   std::vector<std::vector<double>> latencies(out.threads);
   obs::Histogram& latency_hist = obs::GetHistogram(
       "bench.overload.latency_us.x" + std::to_string(multiplier));
@@ -101,10 +108,21 @@ LevelResult RunLevel(size_t multiplier) {
           record();
           continue;
         }
+        // The bench's own controller is where queries actually queue;
+        // the evaluator's inner admission below is uncontended.
+        queue_wait_us.fetch_add(static_cast<uint64_t>(
+            std::max<int64_t>((*ticket).wait_micros(), 0)));
         auto result = eval.Run(
             kMixedQuery,
             coupling::MixedQueryEvaluator::Strategy::kIndependent);
         record();
+        const auto& info = eval.last_run();
+        queue_wait_us.fetch_add(static_cast<uint64_t>(
+            std::max<int64_t>(info.queue_wait_micros, 0)));
+        if (info.profile != nullptr) {
+          postings_scanned.fetch_add(
+              info.profile->TotalCounter("postings_scanned"));
+        }
         if (!result.ok()) {
           shed.fetch_add(1);
         } else if (result->degraded) {
@@ -126,21 +144,32 @@ LevelResult RunLevel(size_t multiplier) {
   out.p50_us = Percentile(all, 0.50);
   out.p99_us = Percentile(all, 0.99);
 
+  out.queue_wait_us = queue_wait_us.load();
+  out.postings_scanned = postings_scanned.load();
+
   obs::GetCounter("bench.overload.ok.x" + std::to_string(multiplier))
       .Add(out.ok);
   obs::GetCounter("bench.overload.degraded.x" + std::to_string(multiplier))
       .Add(out.degraded);
   obs::GetCounter("bench.overload.shed.x" + std::to_string(multiplier))
       .Add(out.shed);
+  obs::GetCounter("bench.overload.queue_wait_us.x" +
+                  std::to_string(multiplier))
+      .Add(out.queue_wait_us);
+  obs::GetCounter("bench.overload.postings_scanned.x" +
+                  std::to_string(multiplier))
+      .Add(out.postings_scanned);
   return out;
 }
 
 void Run() {
+  // Per-query profiles feed the queue-wait / postings columns.
+  obs::SetProfilingEnabled(true);
   std::printf("overload: capacity=%zu, %d queries/thread, deadline=%lldms\n\n",
               kCapacity, kQueriesPerThread,
               static_cast<long long>(kDeadlineMs));
   Table table({"load", "threads", "ok", "degraded", "shed", "shed-rate",
-               "p50-us", "p99-us"});
+               "p50-us", "p99-us", "q-wait-us", "postings"});
   for (size_t multiplier : {1u, 4u, 16u}) {
     LevelResult r = RunLevel(multiplier);
     uint64_t total = r.ok + r.degraded + r.shed;
@@ -148,7 +177,10 @@ void Run() {
                   FmtInt(r.threads), FmtInt(r.ok), FmtInt(r.degraded),
                   FmtInt(r.shed),
                   Fmt("%.3f", total ? double(r.shed) / double(total) : 0.0),
-                  Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us)});
+                  Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us),
+                  Fmt("%.0f", total ? double(r.queue_wait_us) / double(total)
+                                    : 0.0),
+                  FmtInt(r.postings_scanned)});
   }
   table.Print();
 }

@@ -5,6 +5,7 @@
 // system construction, corpus loading, and fixed-width table printing.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -126,15 +127,32 @@ inline std::string Fmt(const char* fmt, double v) {
 
 inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
 
+/// Root of the repository checkout, located by walking up from the
+/// working directory until ROADMAP.md appears (benches run from build/
+/// or build/bench/ depending on invocation). SDMS_BENCH_OUT overrides;
+/// falls back to the working directory when nothing matches.
+inline std::string BenchArtifactDir() {
+  if (const char* env = std::getenv("SDMS_BENCH_OUT")) {
+    if (*env != '\0') return env;
+  }
+  std::string dir = ".";
+  for (int depth = 0; depth < 6; ++depth) {
+    if (FileSize(dir + "/ROADMAP.md").ok()) return dir;
+    dir += "/..";
+  }
+  return ".";
+}
+
 /// Dumps the global metrics registry: a delimited JSON block on stdout
 /// (so bench logs carry counter context next to the timing tables) and
-/// a `BENCH_<name>_metrics.json` file in the working directory. Call
-/// once at the end of each harness's main.
+/// a `BENCH_<name>.json` file at the repo root — one canonical artifact
+/// name and location for every harness, no matter which directory it
+/// ran from. Call once at the end of each harness's main.
 inline void EmitMetricsJson(const std::string& bench_name) {
   std::string json = obs::MetricsRegistry::Instance().DumpJson();
   std::printf("\n=== metrics json (%s) ===\n%s\n=== end metrics ===\n",
               bench_name.c_str(), json.c_str());
-  std::string path = "BENCH_" + bench_name + "_metrics.json";
+  std::string path = BenchArtifactDir() + "/BENCH_" + bench_name + ".json";
   if (Status s = WriteFileAtomic(path, json); !s.ok()) {
     std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());
   }

@@ -10,21 +10,26 @@
 //   sdms> .irs paras #and(www nii)
 //   sdms> .explain ACCESS d FROM d IN MMFDOC WHERE d.YEAR >= 1994
 
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/file_util.h"
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/string_util.h"
 #include "coupling/coupling.h"
 #include "coupling/hypertext.h"
 #include "coupling/media.h"
+#include "coupling/mixed_query.h"
 #include "irs/engine.h"
 #include "oodb/database.h"
 #include "sgml/corpus/generator.h"
@@ -47,7 +52,11 @@ void PrintHelp() {
       "  .value <name> <oid> <IRS query>    findIRSValue for one object\n"
       "  .scheme <name> <scheme>            set derivation scheme\n"
       "  .explain <VQL query>               show the evaluation plan\n"
+      "  EXPLAIN ANALYZE <VQL query>        run and print the stage profile\n"
+      "  .profile <on|off|save <file>>      per-query profiling / last profile JSON\n"
       "  .stats                             coupling counters + metrics registry\n"
+      "  .stats queries                     statistics service (DF, cardinalities, latencies)\n"
+      "  .stats save <file>                 statistics service as JSON\n"
       "  .deadline <ms>                     per-query deadline (0 = off)\n"
       "  .classes                           schema classes\n"
       "  .log <debug|info|warn|error|off>   set log verbosity\n"
@@ -70,6 +79,10 @@ struct Shell {
   std::unique_ptr<coupling::Coupling> coupling;
   /// Deadline applied to every command (.deadline sets it; 0 = off).
   int64_t deadline_ms = 0;
+  /// Most recent command's profile (.profile save writes its JSON).
+  std::shared_ptr<obs::QueryProfile> last_profile;
+  /// Set by EXPLAIN ANALYZE so the main loop doesn't render twice.
+  bool profile_rendered_inline = false;
 
   Status Init() {
     SDMS_ASSIGN_OR_RETURN(db, oodb::Database::Open({}));
@@ -98,11 +111,63 @@ struct Shell {
   }
 
   Status Dispatch(const std::string& line);
+  Status ExplainAnalyze(const std::string& vql);
 };
+
+/// Strips a leading "EXPLAIN ANALYZE" (case-insensitive); returns true
+/// when the line carried one, leaving the bare VQL in `line`.
+bool ConsumeExplainAnalyze(std::string& line) {
+  std::istringstream in(line);
+  std::string w1, w2;
+  if (!(in >> w1 >> w2)) return false;
+  auto lower = [](std::string s) {
+    for (char& c : s) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return s;
+  };
+  if (lower(w1) != "explain" || lower(w2) != "analyze") return false;
+  std::string rest;
+  std::getline(in, rest);
+  line = std::string(Trim(rest));
+  return true;
+}
+
+Status Shell::ExplainAnalyze(const std::string& vql) {
+  if (vql.empty()) {
+    return Status::InvalidArgument("usage: EXPLAIN ANALYZE <VQL query>");
+  }
+  // Force a profile for this run even when .profile is off.
+  QueryContext* ctx = QueryContext::Current();
+  if (ctx != nullptr && ctx->profile() == nullptr) {
+    ctx->set_profile(std::make_shared<obs::QueryProfile>(ctx->query_id()));
+  }
+  coupling::MixedQueryEvaluator eval(coupling.get());
+  SDMS_ASSIGN_OR_RETURN(
+      oodb::vql::QueryResult result,
+      eval.Run(vql, coupling::MixedQueryEvaluator::Strategy::kIndependent));
+  const coupling::MixedQueryEvaluator::RunInfo& info = eval.last_run();
+  std::printf("%s(%zu rows)\n", result.ToTable(25).c_str(),
+              result.rows.size());
+  if (result.degraded) {
+    std::printf("(degraded: %s)\n", result.degraded_reason.c_str());
+  }
+  if (info.profile != nullptr) {
+    std::printf("%s", info.profile->Render().c_str());
+    last_profile = info.profile;
+    profile_rendered_inline = true;
+  }
+  std::printf("queue wait %lld us, total %lld us\n",
+              static_cast<long long>(info.queue_wait_micros),
+              static_cast<long long>(info.total_micros));
+  return Status::OK();
+}
 
 Status Shell::Dispatch(const std::string& line) {
   if (line.empty()) return Status::OK();
   if (line[0] != '.') {
+    std::string vql = line;
+    if (ConsumeExplainAnalyze(vql)) return ExplainAnalyze(vql);
     // A VQL query.
     SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
                           coupling->query_engine().Run(line));
@@ -204,7 +269,50 @@ Status Shell::Dispatch(const std::string& line) {
         std::string plan,
         coupling->query_engine().Explain(std::string(Trim(query))));
     std::printf("%s", plan.c_str());
+  } else if (cmd == ".profile") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on") {
+      obs::SetProfilingEnabled(true);
+      std::printf("profiling on\n");
+    } else if (arg == "off") {
+      obs::SetProfilingEnabled(false);
+      std::printf("profiling off\n");
+    } else if (arg == "save") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        return Status::InvalidArgument("usage: .profile save <file>");
+      }
+      if (last_profile == nullptr) {
+        return Status::InvalidArgument(
+            "no profiled query yet (run EXPLAIN ANALYZE or .profile on)");
+      }
+      SDMS_RETURN_IF_ERROR(
+          WriteFileAtomic(path, last_profile->ToJson() + "\n"));
+      std::printf("profile written to %s\n", path.c_str());
+    } else {
+      return Status::InvalidArgument("usage: .profile <on|off|save <file>>");
+    }
   } else if (cmd == ".stats") {
+    std::string arg;
+    in >> arg;
+    if (arg == "queries") {
+      std::printf("%s",
+                  obs::StatisticsService::Instance().DumpText().c_str());
+      return Status::OK();
+    }
+    if (arg == "save") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        return Status::InvalidArgument("usage: .stats save <file>");
+      }
+      SDMS_RETURN_IF_ERROR(WriteFileAtomic(
+          path, obs::StatisticsService::Instance().DumpJson() + "\n"));
+      std::printf("statistics written to %s\n", path.c_str());
+      return Status::OK();
+    }
     coupling::CouplingStats s = coupling->AggregateStats();
     std::printf(
         "objects=%zu  IRS queries=%llu  buffer hits=%llu  misses=%llu  "
@@ -316,9 +424,20 @@ int main(int argc, char** argv) {
     g_sigint_cancel.Reset();
     ctx.set_cancel_token(&g_sigint_cancel);
     if (shell.deadline_ms > 0) ctx.SetDeadlineAfterMs(shell.deadline_ms);
+    if (obs::ProfilingEnabled()) {
+      ctx.set_profile(std::make_shared<obs::QueryProfile>(ctx.query_id()));
+    }
     QueryContext::Scope scope(&ctx);
+    shell.profile_rendered_inline = false;
     Status s = shell.Dispatch(trimmed);
     if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    if (ctx.profile() != nullptr) {
+      shell.last_profile = ctx.profile();
+      if (!shell.profile_rendered_inline && obs::ProfilingEnabled()) {
+        ctx.profile()->Finish();
+        std::printf("%s", ctx.profile()->Render().c_str());
+      }
+    }
   }
   std::printf("bye\n");
   return 0;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "common/obs/profile.h"
 #include "common/string_util.h"
 
 namespace sdms::obs {
@@ -27,7 +28,8 @@ const char* LogLevelName(LogLevel level) {
 
 namespace {
 
-/// "2026-08-05 12:34:56.123456 INFO file.cc:42] message\n"
+/// "2026-08-05 12:34:56.123456 INFO file.cc:42] [q42] message\n"
+/// (the [qN] correlation stamp appears only inside a query).
 std::string FormatRecord(const LogRecord& record) {
   auto now = std::chrono::system_clock::now();
   std::time_t secs = std::chrono::system_clock::to_time_t(now);
@@ -41,10 +43,15 @@ std::string FormatRecord(const LogRecord& record) {
   std::strftime(ts, sizeof(ts), "%Y-%m-%d %H:%M:%S", &tm_buf);
   const char* base = std::strrchr(record.file, '/');
   base = base != nullptr ? base + 1 : record.file;
+  std::string qid =
+      record.query_id != 0
+          ? StrFormat("[q%llu] ",
+                      static_cast<unsigned long long>(record.query_id))
+          : "";
   return StrFormat("%s.%06lld %-5s %s:%d] ", ts,
                    static_cast<long long>(micros), LogLevelName(record.level),
                    base, record.line) +
-         record.message + "\n";
+         qid + record.message + "\n";
 }
 
 class StderrSink : public LogSink {
@@ -133,6 +140,7 @@ LogMessage::~LogMessage() {
   record.level = level_;
   record.file = file_;
   record.line = line_;
+  record.query_id = CurrentQueryId();
   record.message = stream_.str();
   Logger::Instance().Write(record);
 }

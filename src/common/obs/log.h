@@ -2,6 +2,7 @@
 #define SDMS_COMMON_OBS_LOG_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -25,6 +26,9 @@ struct LogRecord {
   LogLevel level = LogLevel::kInfo;
   const char* file = "";
   int line = 0;
+  /// Id of the query the emitting thread was working for; 0 when the
+  /// line was emitted outside any query.
+  uint64_t query_id = 0;
   std::string message;
 };
 

@@ -1,0 +1,364 @@
+#include "common/obs/profile.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/obs/metrics.h"
+#include "common/string_util.h"
+
+namespace sdms::obs {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local ProfileBinding tls_binding;
+
+std::atomic<uint64_t> g_next_query_id{1};
+
+std::atomic<bool> g_profiling_enabled{false};
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+obs::Counter& SlowQueriesRecorded() {
+  static obs::Counter& c = obs::GetCounter("obs.slow_query.recorded");
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryProfile
+// ---------------------------------------------------------------------------
+
+QueryProfile::QueryProfile(uint64_t query_id, std::string label)
+    : query_id_(query_id), epoch_us_(SteadyNowMicros()) {
+  root_.name = std::move(label);
+  root_.invocations = 1;
+}
+
+QueryProfile::Stage* QueryProfile::BeginStage(Stage* parent,
+                                              const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parent == nullptr) parent = &root_;
+  for (auto& child : parent->children) {
+    if (child->name == name) {
+      ++child->invocations;
+      return child.get();
+    }
+  }
+  auto stage = std::make_unique<Stage>();
+  stage->name = name;
+  stage->start_us = SteadyNowMicros() - epoch_us_;
+  stage->invocations = 1;
+  stage->parent = parent;
+  Stage* raw = stage.get();
+  parent->children.push_back(std::move(stage));
+  return raw;
+}
+
+void QueryProfile::EndStage(Stage* stage, int64_t elapsed_us) {
+  if (stage == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  stage->total_us += elapsed_us;
+}
+
+void QueryProfile::Count(Stage* stage, const std::string& name,
+                         uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stage == nullptr) stage = &root_;
+  stage->counters[name] += delta;
+}
+
+void QueryProfile::Annotate(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  annotations_[key] = value;
+}
+
+void QueryProfile::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  total_us_ = SteadyNowMicros() - epoch_us_;
+  root_.total_us = total_us_;
+}
+
+int64_t QueryProfile::total_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_ ? total_us_ : SteadyNowMicros() - epoch_us_;
+}
+
+uint64_t QueryProfile::SumCounterLocked(const Stage& s,
+                                        const std::string& name) const {
+  uint64_t total = 0;
+  auto it = s.counters.find(name);
+  if (it != s.counters.end()) total += it->second;
+  for (const auto& child : s.children) {
+    total += SumCounterLocked(*child, name);
+  }
+  return total;
+}
+
+uint64_t QueryProfile::TotalCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SumCounterLocked(root_, name);
+}
+
+namespace {
+
+void RenderStage(const QueryProfile::Stage& s, int depth, std::string& out) {
+  out += std::string(static_cast<size_t>(depth) * 2, ' ');
+  out += StrFormat("%s  %lld us", s.name.c_str(),
+                   static_cast<long long>(s.total_us));
+  if (s.invocations > 1) {
+    out += StrFormat(" (x%llu)", static_cast<unsigned long long>(s.invocations));
+  }
+  if (!s.counters.empty()) {
+    out += "  [";
+    bool first = true;
+    for (const auto& [name, v] : s.counters) {
+      if (!first) out += " ";
+      first = false;
+      out += StrFormat("%s=%llu", name.c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+    out += "]";
+  }
+  out += "\n";
+  for (const auto& child : s.children) RenderStage(*child, depth + 1, out);
+}
+
+void StageJson(const QueryProfile::Stage& s, std::string& out) {
+  out += StrFormat(
+      "{\"name\":\"%s\",\"total_us\":%lld,\"invocations\":%llu",
+      EscapeJson(s.name).c_str(), static_cast<long long>(s.total_us),
+      static_cast<unsigned long long>(s.invocations));
+  if (!s.counters.empty()) {
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : s.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat("\"%s\":%llu", EscapeJson(name).c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+    out += "}";
+  }
+  if (!s.children.empty()) {
+    out += ",\"stages\":[";
+    bool first = true;
+    for (const auto& child : s.children) {
+      if (!first) out += ",";
+      first = false;
+      StageJson(*child, out);
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string QueryProfile::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat("query %llu: %lld us total\n",
+                              static_cast<unsigned long long>(query_id_),
+                              static_cast<long long>(root_.total_us));
+  for (const auto& [key, value] : annotations_) {
+    out += "  " + key + ": " + value + "\n";
+  }
+  for (const auto& child : root_.children) RenderStage(*child, 1, out);
+  if (!root_.counters.empty()) {
+    out += "  (unscoped counters) [";
+    bool first = true;
+    for (const auto& [name, v] : root_.counters) {
+      if (!first) out += " ";
+      first = false;
+      out += StrFormat("%s=%llu", name.c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat("{\"query_id\":%llu,\"total_us\":%lld",
+                              static_cast<unsigned long long>(query_id_),
+                              static_cast<long long>(root_.total_us));
+  if (!annotations_.empty()) {
+    out += ",\"annotations\":{";
+    bool first = true;
+    for (const auto& [key, value] : annotations_) {
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat("\"%s\":\"%s\"", EscapeJson(key).c_str(),
+                       EscapeJson(value).c_str());
+    }
+    out += "}";
+  }
+  out += ",\"profile\":";
+  StageJson(root_, out);
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local binding
+// ---------------------------------------------------------------------------
+
+uint64_t NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SetProfilingEnabled(bool enabled) {
+  g_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfilingEnabled() {
+  return g_profiling_enabled.load(std::memory_order_relaxed);
+}
+
+ProfileBinding CurrentProfileBinding() { return tls_binding; }
+
+uint64_t CurrentQueryId() { return tls_binding.query_id; }
+
+ProfileBinding ExchangeProfileBinding(const ProfileBinding& b) {
+  ProfileBinding prev = tls_binding;
+  tls_binding = b;
+  return prev;
+}
+
+ProfileStageScope::ProfileStageScope(const char* name) {
+  profile_ = tls_binding.profile;
+  if (profile_ == nullptr) return;
+  prev_stage_ = tls_binding.stage;
+  opened_ = profile_->BeginStage(prev_stage_, name);
+  tls_binding.stage = opened_;
+  start_us_ = SteadyNowMicros();
+}
+
+ProfileStageScope::~ProfileStageScope() {
+  if (profile_ == nullptr) return;
+  profile_->EndStage(opened_, SteadyNowMicros() - start_us_);
+  tls_binding.stage = prev_stage_;
+}
+
+void ProfileCount(const char* name, uint64_t delta) {
+  if (tls_binding.profile == nullptr) return;
+  tls_binding.profile->Count(tls_binding.stage, name, delta);
+}
+
+void ProfileAnnotate(const char* key, const std::string& value) {
+  if (tls_binding.profile == nullptr) return;
+  tls_binding.profile->Annotate(key, value);
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog
+// ---------------------------------------------------------------------------
+
+SlowQueryLog::SlowQueryLog() : path_("slow_queries.jsonl") {
+  if (const char* env = std::getenv("SDMS_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) threshold_ms_ = v;
+  }
+  if (const char* env = std::getenv("SDMS_SLOW_QUERY_LOG")) {
+    if (*env != '\0') path_ = env;
+  }
+}
+
+SlowQueryLog& SlowQueryLog::Instance() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+void SlowQueryLog::set_threshold_ms(int64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ms_ = ms;
+}
+
+int64_t SlowQueryLog::threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ms_;
+}
+
+void SlowQueryLog::set_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+}
+
+std::string SlowQueryLog::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+bool SlowQueryLog::MaybeRecord(uint64_t query_id,
+                               const std::string& query_text,
+                               int64_t elapsed_us,
+                               const QueryProfile* profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (threshold_ms_ < 0) return false;
+  // Fires at exactly the threshold: a query whose elapsed time equals
+  // it is already slow.
+  if (elapsed_us / 1000 < threshold_ms_) return false;
+  std::string line = StrFormat(
+      "{\"query_id\":%llu,\"elapsed_us\":%lld,\"query\":\"%s\"",
+      static_cast<unsigned long long>(query_id),
+      static_cast<long long>(elapsed_us), EscapeJson(query_text).c_str());
+  if (profile != nullptr) {
+    line += ",\"detail\":" + profile->ToJson();
+  }
+  line += "}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) return false;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+  ++recorded_;
+  SlowQueriesRecorded().Increment();
+  return true;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace sdms::obs

@@ -1,0 +1,181 @@
+#ifndef SDMS_COMMON_OBS_PROFILE_H_
+#define SDMS_COMMON_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdms::obs {
+
+/// Per-query profile: a tree of timed stages (parse, plan, admission
+/// wait, IRS fan-out, postings kernels, join, derivation, buffer
+/// lookups), each carrying named resource counters (postings_scanned,
+/// rows, buffer_hits, early_exits, ...). The profile is attached to a
+/// QueryContext and installed thread-locally by QueryContext::Scope, so
+/// deep layers charge the active query without signature changes —
+/// including ThreadPool::ParallelFor workers, which inherit the issuing
+/// thread's binding.
+///
+/// Concurrency model: the tree is mutex-protected, so any thread may
+/// open stages or charge counters. Each thread keeps its *own* current
+/// stage (thread-local, part of the binding), so concurrent workers
+/// nest their stages under the stage that was active at fan-out time
+/// without racing on a shared stack. Stages opened repeatedly under the
+/// same parent with the same name merge (invocations accumulate, like
+/// EXPLAIN ANALYZE's loops=N) to keep trees bounded.
+class QueryProfile {
+ public:
+  struct Stage {
+    std::string name;
+    /// Micros since the profile's construction at first open.
+    int64_t start_us = 0;
+    /// Accumulated wall time across all invocations.
+    int64_t total_us = 0;
+    /// How many times this (parent, name) stage was opened.
+    uint64_t invocations = 0;
+    std::map<std::string, uint64_t> counters;
+    std::vector<std::unique_ptr<Stage>> children;
+    Stage* parent = nullptr;
+  };
+
+  explicit QueryProfile(uint64_t query_id, std::string label = "query");
+
+  uint64_t query_id() const { return query_id_; }
+  Stage* root() { return &root_; }
+
+  /// Opens (or merges into) the child stage `name` under `parent`.
+  /// Null parent means the root. Thread-safe.
+  Stage* BeginStage(Stage* parent, const std::string& name);
+
+  /// Closes one invocation of `stage`, accumulating `elapsed_us`.
+  void EndStage(Stage* stage, int64_t elapsed_us);
+
+  /// Charges `delta` to `stage`'s counter `name` (root when null).
+  void Count(Stage* stage, const std::string& name, uint64_t delta);
+
+  /// Attaches a string annotation to the profile (strategy, degradation
+  /// reason, query text); later writes to the same key overwrite.
+  void Annotate(const std::string& key, const std::string& value);
+
+  /// Closes the root stage; total_micros() is stable afterwards.
+  void Finish();
+  int64_t total_micros() const;
+
+  /// Sum of counter `name` over the whole stage tree (tests compare
+  /// this against process-wide metric deltas).
+  uint64_t TotalCounter(const std::string& name) const;
+
+  /// ASCII stage tree with times, invocation counts and counters — the
+  /// EXPLAIN ANALYZE rendering.
+  std::string Render() const;
+
+  /// Single-line JSON object (query_id, total_us, annotations, nested
+  /// stage tree) — the slow-query log record body.
+  std::string ToJson() const;
+
+ private:
+  uint64_t SumCounterLocked(const Stage& s, const std::string& name) const;
+
+  const uint64_t query_id_;
+  const int64_t epoch_us_;  // steady-clock micros at construction
+  mutable std::mutex mu_;
+  Stage root_;
+  std::map<std::string, std::string> annotations_;
+  int64_t total_us_ = 0;
+  bool finished_ = false;
+};
+
+/// Allocates a process-unique query id (never 0).
+uint64_t NextQueryId();
+
+/// Global profiling switch (the shell's `.profile on|off`). Query
+/// surfaces (MixedQueryEvaluator) create and attach a QueryProfile to
+/// their context when this is on or the slow-query log is armed.
+void SetProfilingEnabled(bool enabled);
+bool ProfilingEnabled();
+
+/// Thread-local correlation state: which query this thread is working
+/// for (query_id stamps log lines and trace spans) and where profile
+/// charges land (profile + this thread's current stage). Installed by
+/// QueryContext::Scope; ThreadPool::ParallelFor re-installs the issuing
+/// thread's exact binding in its workers.
+struct ProfileBinding {
+  uint64_t query_id = 0;
+  QueryProfile* profile = nullptr;
+  QueryProfile::Stage* stage = nullptr;
+};
+
+/// The calling thread's binding (all-zero when none is installed).
+ProfileBinding CurrentProfileBinding();
+
+/// The calling thread's query id, 0 when none (log/trace stamping).
+uint64_t CurrentQueryId();
+
+/// Installs `b` for the calling thread, returning the previous binding
+/// (restore it when done). QueryContext::Scope and ProfileStageScope
+/// use this; it is exposed for ParallelFor-style fan-out.
+ProfileBinding ExchangeProfileBinding(const ProfileBinding& b);
+
+/// RAII stage: opens `name` under the thread's current stage on
+/// construction, accumulates elapsed time and pops back on destruction.
+/// A no-op (two thread-local reads) when no profile is installed.
+class ProfileStageScope {
+ public:
+  explicit ProfileStageScope(const char* name);
+  ~ProfileStageScope();
+  ProfileStageScope(const ProfileStageScope&) = delete;
+  ProfileStageScope& operator=(const ProfileStageScope&) = delete;
+
+ private:
+  QueryProfile* profile_ = nullptr;
+  QueryProfile::Stage* opened_ = nullptr;
+  QueryProfile::Stage* prev_stage_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+/// Charges `delta` to counter `name` of the calling thread's current
+/// stage. No-op without an installed profile.
+void ProfileCount(const char* name, uint64_t delta = 1);
+
+/// Annotates the calling thread's profile. No-op without one.
+void ProfileAnnotate(const char* key, const std::string& value);
+
+/// Append-only JSON-lines log of queries whose wall time reached a
+/// threshold. Armed via SDMS_SLOW_QUERY_MS (unset or negative =
+/// disabled; 0 logs every profiled query — elapsed_ms >= threshold) and
+/// SDMS_SLOW_QUERY_LOG (path, default "slow_queries.jsonl").
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Instance();
+
+  /// Threshold in ms; < 0 disables.
+  void set_threshold_ms(int64_t ms);
+  int64_t threshold_ms() const;
+  bool enabled() const { return threshold_ms() >= 0; }
+
+  void set_path(const std::string& path);
+  std::string path() const;
+
+  /// Appends one JSON line when elapsed_us / 1000 >= threshold_ms.
+  /// `profile` may be null (the line then carries no stage tree).
+  /// Returns true when a record was written.
+  bool MaybeRecord(uint64_t query_id, const std::string& query_text,
+                   int64_t elapsed_us, const QueryProfile* profile);
+
+  uint64_t recorded() const;
+
+ private:
+  SlowQueryLog();
+
+  mutable std::mutex mu_;
+  int64_t threshold_ms_ = -1;
+  std::string path_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace sdms::obs
+
+#endif  // SDMS_COMMON_OBS_PROFILE_H_

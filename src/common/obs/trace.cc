@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/obs/profile.h"
 #include "common/string_util.h"
 
 namespace sdms::obs {
@@ -102,9 +103,10 @@ std::string TraceCollector::ExportChromeTrace() {
     first = false;
     out += StrFormat(
         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
-        "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%d}}",
+        "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%d,\"query_id\":%llu}}",
         e.name, static_cast<long long>(e.start_us),
-        static_cast<long long>(e.duration_us), e.tid, e.depth);
+        static_cast<long long>(e.duration_us), e.tid, e.depth,
+        static_cast<unsigned long long>(e.query_id));
   }
   out += "]}";
   return out;
@@ -135,6 +137,7 @@ TraceSpan::~TraceSpan() {
   e.start_us = start_us_;
   e.duration_us = ElapsedMicros();
   e.depth = collector.depth();
+  e.query_id = CurrentQueryId();
   collector.Record(e);
 }
 

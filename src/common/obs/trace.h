@@ -19,6 +19,8 @@ struct TraceEvent {
   /// Nesting depth at the time the span was open (0 = top level).
   int depth = 0;
   uint32_t tid = 0;
+  /// Id of the query the span belonged to; 0 outside any query.
+  uint64_t query_id = 0;
 };
 
 /// Global tracing switch. Spans constructed while tracing is disabled

@@ -118,8 +118,20 @@ QueryContext* QueryContext::Current() { return tls_query_context; }
 
 QueryContext::Scope::Scope(QueryContext* ctx) : prev_(tls_query_context) {
   tls_query_context = ctx;
+  obs::ProfileBinding binding;
+  if (ctx != nullptr) {
+    binding.query_id = ctx->query_id();
+    if (ctx->profile() != nullptr) {
+      binding.profile = ctx->profile().get();
+      binding.stage = binding.profile->root();
+    }
+  }
+  prev_binding_ = obs::ExchangeProfileBinding(binding);
 }
 
-QueryContext::Scope::~Scope() { tls_query_context = prev_; }
+QueryContext::Scope::~Scope() {
+  obs::ExchangeProfileBinding(prev_binding_);
+  tls_query_context = prev_;
+}
 
 }  // namespace sdms

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
+#include "common/obs/profile.h"
 #include "common/status.h"
 
 namespace sdms {
@@ -41,9 +43,24 @@ class QueryContext {
  public:
   enum class StopReason : int { kNone = 0, kCancelled, kDeadline, kBudget };
 
-  QueryContext() = default;
+  QueryContext() : query_id_(obs::NextQueryId()) {}
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
+
+  // --- Identity / profiling -----------------------------------------------
+
+  /// Process-unique id (never 0); stamped into log lines and trace
+  /// spans emitted while this context is installed.
+  uint64_t query_id() const { return query_id_; }
+
+  /// Attaches a profile; while this context is installed, charges from
+  /// ProfileCount / ProfileStageScope land in it (null detaches).
+  void set_profile(std::shared_ptr<obs::QueryProfile> profile) {
+    profile_ = std::move(profile);
+  }
+  const std::shared_ptr<obs::QueryProfile>& profile() const {
+    return profile_;
+  }
 
   /// Microseconds on the steady clock (the time base of deadlines).
   static int64_t NowMicros() {
@@ -159,6 +176,7 @@ class QueryContext {
 
    private:
     QueryContext* prev_;
+    obs::ProfileBinding prev_binding_;
   };
 
   /// Clock reads happen once per this many ShouldStop() calls.
@@ -168,6 +186,8 @@ class QueryContext {
   /// Latches `reason` (first writer wins) and bumps its obs counter.
   void LatchStop(StopReason reason);
 
+  const uint64_t query_id_;
+  std::shared_ptr<obs::QueryProfile> profile_;
   std::atomic<int64_t> deadline_micros_{0};
   std::atomic<CancelToken*> external_cancel_{nullptr};
   CancelToken internal_cancel_;

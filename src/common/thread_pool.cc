@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/obs/profile.h"
 #include "common/query_context.h"
 
 namespace sdms {
@@ -63,16 +64,24 @@ void ThreadPool::ParallelFor(size_t n,
     return;
   }
   // Workers inherit the caller's QueryContext so fanned-out shards
-  // observe the same deadline/cancellation as the issuing thread.
+  // observe the same deadline/cancellation as the issuing thread. The
+  // caller's exact profile binding (including its *current stage*) is
+  // re-installed on top of the Scope's root-stage default so worker
+  // charges land at the fan-out point of the owning query's tree; the
+  // issuing thread blocks in f.get() below, so its stage cannot move
+  // while workers run.
   QueryContext* ctx = QueryContext::Current();
+  obs::ProfileBinding binding = obs::CurrentProfileBinding();
   std::vector<std::future<void>> futures;
   futures.reserve(shards);
   size_t chunk = (n + shards - 1) / shards;
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(begin + chunk, n);
-    futures.push_back(Submit([&body, ctx, begin, end] {
+    futures.push_back(Submit([&body, ctx, binding, begin, end] {
       QueryContext::Scope scope(ctx);
+      obs::ProfileBinding prev = obs::ExchangeProfileBinding(binding);
       body(begin, end);
+      obs::ExchangeProfileBinding(prev);
     }));
   }
   for (auto& f : futures) f.get();  // rethrows task exceptions

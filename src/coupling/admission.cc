@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
 
 namespace sdms::coupling {
 
@@ -106,9 +107,11 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
       Metrics().queue_depth.Set(static_cast<int64_t>(queued_));
       Metrics().running.Set(static_cast<int64_t>(running_));
       Metrics().admitted.Increment();
-      Metrics().queue_wait_us.Record(
-          static_cast<double>(QueryContext::NowMicros() - arrived));
-      return Ticket(this);
+      int64_t waited = QueryContext::NowMicros() - arrived;
+      Metrics().queue_wait_us.Record(static_cast<double>(waited));
+      obs::ProfileCount("admission_wait_micros",
+                        static_cast<uint64_t>(std::max<int64_t>(waited, 0)));
+      return Ticket(this, waited);
     }
     if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
       break;  // deadline expired while queued
@@ -121,8 +124,12 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
 
   --queued_;
   Metrics().queue_depth.Set(static_cast<int64_t>(queued_));
-  Metrics().queue_wait_us.Record(
-      static_cast<double>(QueryContext::NowMicros() - arrived));
+  int64_t shed_wait = QueryContext::NowMicros() - arrived;
+  Metrics().queue_wait_us.Record(static_cast<double>(shed_wait));
+  // A shed query's wait is still attributable cost — charge it so a
+  // shed-adjacent slow query shows where its time went.
+  obs::ProfileCount("admission_wait_micros",
+                    static_cast<uint64_t>(std::max<int64_t>(shed_wait, 0)));
   if (ctx != nullptr && ctx->cancel_token().cancelled()) {
     return ctx->CheckStatus();  // kCancelled, not a shed
   }

@@ -58,6 +58,7 @@ class AdmissionController {
       if (this != &other) {
         Release();
         controller_ = other.controller_;
+        wait_micros_ = other.wait_micros_;
         other.controller_ = nullptr;
       }
       return *this;
@@ -65,11 +66,15 @@ class AdmissionController {
 
     void Release();
     bool held() const { return controller_ != nullptr; }
+    /// Time this admission spent queued waiting for a slot.
+    int64_t wait_micros() const { return wait_micros_; }
 
    private:
     friend class AdmissionController;
-    explicit Ticket(AdmissionController* c) : controller_(c) {}
+    explicit Ticket(AdmissionController* c, int64_t wait_micros = 0)
+        : controller_(c), wait_micros_(wait_micros) {}
     AdmissionController* controller_ = nullptr;
+    int64_t wait_micros_ = 0;
   };
 
   /// Blocks until a slot is free, then returns the held Ticket.

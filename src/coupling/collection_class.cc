@@ -7,6 +7,8 @@
 #include "common/file_util.h"
 #include "common/obs/log.h"
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/string_util.h"
@@ -187,6 +189,7 @@ StatusOr<bool> Collection::SatisfiesSpec(Oid oid) {
 
 StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
   obs::TraceSpan span("coupling.irs_query");
+  obs::ProfileStageScope stage("irs_query");
   ++stats_.irs_queries;
   Metrics().irs_queries.Increment();
   OidScoreMap out;
@@ -271,6 +274,9 @@ StatusOr<const OidScoreMap*> Collection::GetIrsResult(
     if (buffered == nullptr) return nullptr;
     ++stats_.stale_serves;
     Metrics().stale_serves.Increment();
+    obs::ProfileCount("stale_serves");
+    obs::ProfileAnnotate("degradation_reason",
+                         "stale buffer serve: " + failure.ToString());
     if (served_stale != nullptr) *served_stale = true;
     SDMS_LOG(WARN) << "serving stale buffered result for '" << irs_query
                    << "' on '" << irs_name_ << "': " << failure.ToString();
@@ -282,17 +288,24 @@ StatusOr<const OidScoreMap*> Collection::GetIrsResult(
     return propagated;
   }
   if (!coupling_->options().disable_buffering) {
+    obs::ProfileStageScope lookup_stage("buffer_lookup");
     const OidScoreMap* buffered = buffer_.Get(irs_query);
     if (buffered != nullptr) {
       ++stats_.buffer_hits;
+      obs::ProfileCount("buffer_hits");
+      obs::StatisticsService::Instance().RecordBufferLookup(irs_name_, true);
       return buffered;
     }
     ++stats_.buffer_misses;
+    obs::ProfileCount("buffer_misses");
+    obs::StatisticsService::Instance().RecordBufferLookup(irs_name_, false);
     SDMS_ASSIGN_OR_RETURN(OidScoreMap result, RunIrsQuery(irs_query));
     buffer_.Put(irs_query, std::move(result));
     return buffer_.Get(irs_query);
   }
   ++stats_.buffer_misses;
+  obs::ProfileCount("buffer_misses");
+  obs::StatisticsService::Instance().RecordBufferLookup(irs_name_, false);
   SDMS_ASSIGN_OR_RETURN(unbuffered_result_, RunIrsQuery(irs_query));
   return &unbuffered_result_;
 }
@@ -329,6 +342,9 @@ StatusOr<double> Collection::FindIrsValue(const std::string& irs_query,
   // values — never a wrong score presented as fresh.
   ++stats_.degraded_reads;
   Metrics().degraded_reads.Increment();
+  obs::ProfileCount("degraded_reads");
+  obs::ProfileAnnotate("degradation_reason",
+                       "IRS unavailable: " + result_or.status().ToString());
   if (degraded != nullptr) *degraded = true;
   SDMS_LOG(WARN) << "findIRSValue degraded for '" << irs_query << "' on '"
                  << irs_name_ << "': " << result_or.status().ToString();
@@ -352,8 +368,10 @@ StatusOr<double> Collection::DeriveIrsValue(const std::string& irs_query,
   auto key = std::make_pair(irs_query, obj.raw());
   if (derive_in_progress_.count(key) > 0) return NullScore(irs_query);
   obs::TraceSpan span("coupling.derive");
+  obs::ProfileStageScope stage("derive");
   ++stats_.derive_calls;
   Metrics().derive_calls.Increment();
+  obs::ProfileCount("derive_calls");
   DerivationContext ctx;
   ctx.object = obj;
   ctx.irs_query = irs_query;

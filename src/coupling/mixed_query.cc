@@ -1,8 +1,12 @@
 #include "coupling/mixed_query.h"
 
+#include <algorithm>
 #include <optional>
 
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
 #include "common/query_context.h"
+#include "common/string_util.h"
 #include "oodb/query/parser.h"
 
 namespace sdms::coupling {
@@ -84,6 +88,26 @@ bool AsContentRestriction(const Expr& e, ContentRestriction* out) {
 
 }  // namespace
 
+namespace {
+
+const char* StrategyName(MixedQueryEvaluator::Strategy s) {
+  return s == MixedQueryEvaluator::Strategy::kIrsFirst ? "irs_first"
+                                                       : "independent";
+}
+
+/// Query-shape key for the statistics service: binding count and
+/// content-conjunct count, e.g. "b2.c1".
+std::string ShapeOf(const ParsedQuery& query) {
+  size_t content = 0;
+  for (const Expr* conjunct : SplitConjuncts(query.where.get())) {
+    ContentRestriction r;
+    if (AsContentRestriction(*conjunct, &r)) ++content;
+  }
+  return StrFormat("b%zu.c%zu", query.bindings.size(), content);
+}
+
+}  // namespace
+
 StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
                                                Strategy strategy) {
   info_ = RunInfo{};
@@ -94,12 +118,25 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
   // context to consult.
   QueryContext* ctx = QueryContext::Current();
   std::optional<QueryContext> local_ctx;
-  std::optional<QueryContext::Scope> scope;
   if (ctx == nullptr) {
     local_ctx.emplace();
     ctx = &*local_ctx;
-    scope.emplace(ctx);
   }
+  // Attach a profile when profiling is on or the slow-query log is
+  // armed (a profile the caller attached is kept).
+  std::shared_ptr<obs::QueryProfile> profile = ctx->profile();
+  if (profile == nullptr &&
+      (obs::ProfilingEnabled() || obs::SlowQueryLog::Instance().enabled())) {
+    profile = std::make_shared<obs::QueryProfile>(ctx->query_id());
+    ctx->set_profile(profile);
+  }
+  // Unconditional nested scope: (re-)installs the thread's binding so
+  // it sees the just-attached profile even when the caller's Scope
+  // predates it.
+  QueryContext::Scope scope(ctx);
+  info_.query_id = ctx->query_id();
+  info_.profile = profile;
+
   // Mixed queries degrade to partial results on deadline/budget expiry
   // instead of failing the whole VQL statement (restored on exit).
   struct AllowPartialGuard {
@@ -109,12 +146,45 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
   } partial_guard{ctx, ctx->allow_partial()};
   ctx->set_allow_partial(true);
 
-  SDMS_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                        coupling_->admission().Admit(ctx));
+  const int64_t run_start = QueryContext::NowMicros();
+  // Finalization runs on every exit path (shed, parse error, success):
+  // close the profile, log the query when it crossed the slow
+  // threshold, and stamp the total into RunInfo.
+  struct Finalizer {
+    MixedQueryEvaluator* self;
+    const std::string& vql;
+    int64_t start;
+    ~Finalizer() {
+      RunInfo& info = self->info_;
+      info.total_micros = QueryContext::NowMicros() - start;
+      if (info.profile != nullptr) {
+        info.profile->Annotate("strategy", StrategyName(info.strategy));
+        info.profile->Finish();
+      }
+      obs::SlowQueryLog::Instance().MaybeRecord(
+          info.query_id, vql, info.total_micros, info.profile.get());
+    }
+  } finalizer{this, vql, run_start};
 
-  SDMS_ASSIGN_OR_RETURN(ParsedQuery query, oodb::vql::ParseQuery(vql));
+  if (profile != nullptr) profile->Annotate("query", vql);
+
+  AdmissionController::Ticket ticket;
+  {
+    obs::ProfileStageScope admission_stage("admission");
+    SDMS_ASSIGN_OR_RETURN(ticket, coupling_->admission().Admit(ctx));
+  }
+  info_.queue_wait_micros = ticket.wait_micros();
+
+  StatusOr<ParsedQuery> parsed = [&] {
+    obs::ProfileStageScope parse_stage("parse");
+    return oodb::vql::ParseQuery(vql);
+  }();
+  SDMS_ASSIGN_OR_RETURN(ParsedQuery query, std::move(parsed));
   if (strategy == Strategy::kIrsFirst) {
+    obs::ProfileStageScope irs_first_stage("irs_first");
     SDMS_RETURN_IF_ERROR(ApplyIrsFirst(query));
+    obs::ProfileCount("irs_restrictions", info_.irs_restrictions);
+    obs::ProfileCount("irs_candidates", info_.irs_candidates);
   }
   SDMS_ASSIGN_OR_RETURN(QueryResult result,
                         coupling_->query_engine().Run(query));
@@ -123,6 +193,15 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
     result.degraded_reason = "content restrictions degraded (IRS deadline)";
   }
   info_.degraded = result.degraded;
+  if (info_.degraded && profile != nullptr) {
+    profile->Annotate("degradation_reason", result.degraded_reason);
+  }
+  // Feed the strategy/shape latency histogram that the cost-based
+  // optimizer will consult when choosing between the two strategies.
+  obs::StatisticsService::Instance().RecordStrategyLatency(
+      ShapeOf(query), StrategyName(strategy),
+      static_cast<uint64_t>(
+          std::max<int64_t>(QueryContext::NowMicros() - run_start, 0)));
   return result;
 }
 

@@ -1,8 +1,11 @@
 #ifndef SDMS_COUPLING_MIXED_QUERY_H_
 #define SDMS_COUPLING_MIXED_QUERY_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/obs/profile.h"
 #include "common/status.h"
 #include "coupling/coupling.h"
 
@@ -48,6 +51,17 @@ class MixedQueryEvaluator {
     /// back to partial/derived evidence instead of failing (mirrors
     /// QueryResult::degraded).
     bool degraded = false;
+    /// Process-unique id of the run's QueryContext — correlates this
+    /// run with its [qN]-stamped log lines and trace spans.
+    uint64_t query_id = 0;
+    /// Time spent queued in the AdmissionController.
+    int64_t queue_wait_micros = 0;
+    /// Wall time of the whole run (admission included).
+    int64_t total_micros = 0;
+    /// The run's stage/counter profile; null when profiling was off and
+    /// the slow-query log unarmed. Shared so EXPLAIN ANALYZE can render
+    /// it after the context is gone.
+    std::shared_ptr<obs::QueryProfile> profile;
   };
 
   explicit MixedQueryEvaluator(Coupling* coupling) : coupling_(coupling) {}

@@ -4,6 +4,8 @@
 
 #include "common/fault/fault.h"
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/thread_pool.h"
@@ -114,10 +116,23 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
   SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.search"));
   SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
   obs::TraceSpan span("irs.search");
+  obs::ProfileStageScope stage("irs_search");
   Metrics().searches.Increment();
   SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
                         ParseIrsQuery(query, analyzer_));
+  {
+    // Snapshot statistics for the cost model: the searched terms' DFs
+    // and the collection's live document count.
+    obs::StatisticsService& stats = obs::StatisticsService::Instance();
+    std::vector<std::string> terms;
+    tree->CollectTerms(terms);
+    for (const std::string& term : terms) {
+      stats.RecordTermDf(name_, term, index_.DocFreq(term));
+    }
+    stats.RecordCollectionDocCount(name_, index_.doc_count());
+  }
   SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
+  obs::ProfileCount("irs_candidates", scores.size());
   // The kernels exit early (with partial output) on cancellation; make
   // that an authoritative error before hits are materialized.
   SDMS_RETURN_IF_ERROR(CurrentQueryStatus());

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
 #include "common/thread_pool.h"
 #include "oodb/storage/serializer.h"
 
@@ -221,11 +222,13 @@ StatusOr<DocId> InvertedIndex::FindByKey(const std::string& key) const {
 const std::vector<Posting>* InvertedIndex::GetPostings(
     const std::string& term) const {
   TermLookups().Increment();
+  obs::ProfileCount("term_lookups");
   auto it = dictionary_.find(term);
   if (it == dictionary_.end()) return nullptr;
   // Callers walk the returned list in full, so its length is the
   // number of postings this lookup puts in play.
   PostingsScanned().Add(it->second.size());
+  obs::ProfileCount("postings_scanned", it->second.size());
   return &it->second;
 }
 

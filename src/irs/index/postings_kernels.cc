@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
 #include "common/query_context.h"
 
 namespace sdms::irs {
@@ -65,6 +66,7 @@ std::vector<DocId> IntersectPostings(
   for (const Posting& p : driver) {
     if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
       EarlyExits().Increment();
+      obs::ProfileCount("early_exits");
       return out;  // partial; the caller re-checks the context's status
     }
     DocId doc = p.doc;
@@ -102,6 +104,7 @@ std::vector<DocId> UnionPostings(
   while (!heap.empty()) {
     if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
       EarlyExits().Increment();
+      obs::ProfileCount("early_exits");
       return out;  // partial; the caller re-checks the context's status
     }
     auto [doc, i] = heap.top();
@@ -136,6 +139,7 @@ std::vector<std::pair<DocId, double>> TopK(
     for (const auto& s : scored) {
       if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
         EarlyExits().Increment();
+        obs::ProfileCount("early_exits");
         break;  // partial; the caller re-checks the context's status
       }
       if (out.size() < k) {

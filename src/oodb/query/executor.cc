@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/obs/metrics.h"
+#include "common/obs/profile.h"
+#include "common/obs/stats.h"
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/string_util.h"
@@ -208,6 +210,7 @@ struct QueryEngine::BindingPlan {
 StatusOr<std::vector<QueryEngine::BindingPlan>> QueryEngine::BuildPlan(
     const ParsedQuery& query) {
   obs::TraceSpan span("vql.plan");
+  obs::ProfileStageScope stage("plan");
   std::vector<BindingPlan> plan;
   for (const Binding& b : query.bindings) {
     if (!db_->schema().HasClass(b.class_name)) {
@@ -223,6 +226,10 @@ StatusOr<std::vector<QueryEngine::BindingPlan>> QueryEngine::BuildPlan(
       bp.estimate = bp.candidates->size();
     } else {
       bp.estimate = db_->Extent(b.class_name).size();
+      // Planner sees the true extent size here — snapshot it for the
+      // cost model.
+      obs::StatisticsService::Instance().RecordExtentCardinality(
+          b.class_name, bp.estimate);
     }
     plan.push_back(std::move(bp));
   }
@@ -460,7 +467,10 @@ StatusOr<Value> QueryEngine::Eval(const Expr& expr,
 
 StatusOr<QueryResult> QueryEngine::Run(const std::string& vql) {
   obs::TraceSpan span("vql.parse");
-  auto parsed = ParseQuery(vql);
+  StatusOr<ParsedQuery> parsed = [&] {
+    obs::ProfileStageScope stage("parse");
+    return ParseQuery(vql);
+  }();
   Metrics().parse_us.Record(static_cast<double>(span.ElapsedMicros()));
   if (!parsed.ok()) {
     Metrics().errors.Increment();
@@ -520,21 +530,24 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
     }
   }
   bool prepare_degraded = false;
-  for (const PrepareHook& hook : prepare_hooks_) {
-    Status hook_status = hook(*db_, query);
-    if (!hook_status.ok()) {
-      // Prepare hooks are optimizations (buffer warmups); when the
-      // deadline fires inside one and the query tolerates partial
-      // answers, skip the warmup instead of failing the statement.
-      if (ctx != nullptr && ctx->allow_partial() &&
-          (hook_status.IsDeadlineExceeded() ||
-           hook_status.IsResourceExhausted())) {
-        prepare_degraded = true;
-        break;
+  {
+    obs::ProfileStageScope prepare_stage("prepare");
+    for (const PrepareHook& hook : prepare_hooks_) {
+      Status hook_status = hook(*db_, query);
+      if (!hook_status.ok()) {
+        // Prepare hooks are optimizations (buffer warmups); when the
+        // deadline fires inside one and the query tolerates partial
+        // answers, skip the warmup instead of failing the statement.
+        if (ctx != nullptr && ctx->allow_partial() &&
+            (hook_status.IsDeadlineExceeded() ||
+             hook_status.IsResourceExhausted())) {
+          prepare_degraded = true;
+          break;
+        }
+        candidate_overrides_.clear();
+        metrics.errors.Increment();
+        return hook_status;
       }
-      candidate_overrides_.clear();
-      metrics.errors.Increment();
-      return hook_status;
     }
   }
   auto plan_or = BuildPlan(query);
@@ -552,8 +565,11 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
   bool partial_stop = prepare_degraded;
   {
     obs::TraceSpan join_span("vql.join");
+    obs::ProfileStageScope join_stage("join");
     Status join_status = RunJoin(query, plan, 0, env, result, &partial_stop);
     metrics.join_us.Record(static_cast<double>(join_span.ElapsedMicros()));
+    obs::ProfileCount("tuples_considered", stats_.tuples_considered);
+    obs::ProfileCount("method_calls", stats_.method_calls);
     if (!join_status.ok()) {
       metrics.errors.Increment();
       return join_status;
@@ -615,6 +631,11 @@ StatusOr<QueryResult> QueryEngine::Run(const ParsedQuery& query) {
   metrics.bindings.Add(stats_.bindings_scanned);
   metrics.index_lookups.Add(stats_.index_lookups);
   metrics.run_us.Record(static_cast<double>(run_span.ElapsedMicros()));
+  // Batch the per-run stats into the active profile so the stage tree
+  // and the process-wide counters above move in lockstep.
+  obs::ProfileCount("rows_emitted", stats_.rows_emitted);
+  obs::ProfileCount("bindings_scanned", stats_.bindings_scanned);
+  obs::ProfileCount("index_lookups", stats_.index_lookups);
   return result;
 }
 
