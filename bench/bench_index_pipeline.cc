@@ -67,7 +67,9 @@ IndexRun TimeSequential(const std::vector<irs::BatchDocument>& docs) {
     if (!coll->AddDocument(d.key, d.text).ok()) std::abort();
   }
   IndexRun run{"sequential AddDocument", t.ElapsedMillis(), {}};
-  run.serialized = coll->Serialize();
+  auto blob = coll->Serialize();
+  if (!blob.ok()) std::abort();
+  run.serialized = std::move(*blob);
   return run;
 }
 
@@ -84,7 +86,9 @@ IndexRun TimeBatch(const std::vector<irs::BatchDocument>& docs,
   IndexRun run{"batch, " + std::to_string(threads) + " thread(s)",
                t.ElapsedMillis(),
                {}};
-  run.serialized = coll->Serialize();
+  auto blob = coll->Serialize();
+  if (!blob.ok()) std::abort();
+  run.serialized = std::move(*blob);
   return run;
 }
 
@@ -179,18 +183,24 @@ int Main(int argc, char** argv) {
   const irs::InvertedIndex& index = coll->index();
 
   // Dictionary terms are post-analysis (stemmed), so run the probe
-  // words through the collection's analyzer first.
-  std::vector<const std::vector<irs::Posting>*> lists;
+  // words through the collection's analyzer first. The flat kernels
+  // being timed want decoded lists; `decoded` owns them.
+  std::vector<std::vector<irs::Posting>> decoded;
   for (const char* word : {"shared", "topic", "rare"}) {
     std::vector<std::string> analyzed = coll->analyzer().Analyze(word);
-    const auto* l =
-        analyzed.empty() ? nullptr : index.GetPostings(analyzed[0]);
-    if (l == nullptr) {
+    if (analyzed.empty()) {
       std::fprintf(stderr, "FATAL: no postings for %s\n", word);
       return 1;
     }
-    lists.push_back(l);
+    auto l = index.DecodePostings(analyzed[0]);
+    if (!l.ok() || l->empty()) {
+      std::fprintf(stderr, "FATAL: no postings for %s\n", word);
+      return 1;
+    }
+    decoded.push_back(std::move(*l));
   }
+  std::vector<const std::vector<irs::Posting>*> lists;
+  for (const auto& l : decoded) lists.push_back(&l);
   constexpr int kKernelIters = 400;
   Timer tg;
   size_t gallop_hits = 0;

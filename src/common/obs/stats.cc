@@ -130,6 +130,22 @@ double StatisticsService::BufferHitRate(const std::string& collection) const {
   return it == buffer_hit_rate_.end() ? -1.0 : it->second.rate;
 }
 
+void StatisticsService::RecordPoolLookup(const std::string& collection,
+                                         bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferEwma& e = pool_hit_rate_[collection];
+  double sample = hit ? 1.0 : 0.0;
+  e.rate = e.lookups == 0 ? sample
+                          : (1.0 - kEwmaAlpha) * e.rate + kEwmaAlpha * sample;
+  ++e.lookups;
+}
+
+double StatisticsService::PoolHitRate(const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pool_hit_rate_.find(collection);
+  return it == pool_hit_rate_.end() ? -1.0 : it->second.rate;
+}
+
 void StatisticsService::RecordStrategyLatency(const std::string& shape,
                                               const std::string& strategy,
                                               uint64_t micros) {
@@ -158,10 +174,17 @@ std::string StatisticsService::DumpText() const {
             ? "n/a"
             : StrFormat("%.3f (%llu lookups)", hr->second.rate,
                         static_cast<unsigned long long>(hr->second.lookups));
+    auto pr = pool_hit_rate_.find(coll);
+    std::string pool_rate =
+        pr == pool_hit_rate_.end() || pr->second.rate < 0.0
+            ? "n/a"
+            : StrFormat("%.3f (%llu fetches)", pr->second.rate,
+                        static_cast<unsigned long long>(pr->second.lookups));
     out += StrFormat(
-        "    %-16s docs=%llu  df snapshots=%zu  buffer hit rate=%s\n",
+        "    %-16s docs=%llu  df snapshots=%zu  buffer hit rate=%s  "
+        "pool hit rate=%s\n",
         coll.c_str(), static_cast<unsigned long long>(docs), terms,
-        rate.c_str());
+        rate.c_str(), pool_rate.c_str());
   }
   out += "  extents:\n";
   for (const auto& [cls, n] : extent_cardinality_) {
@@ -195,11 +218,19 @@ std::string StatisticsService::DumpJson() const {
       rate = it->second.rate;
       lookups = it->second.lookups;
     }
+    double pool_rate = -1.0;
+    uint64_t pool_lookups = 0;
+    if (auto it = pool_hit_rate_.find(coll); it != pool_hit_rate_.end()) {
+      pool_rate = it->second.rate;
+      pool_lookups = it->second.lookups;
+    }
     out += StrFormat(
         "\"%s\":{\"doc_count\":%llu,\"buffer_hit_rate\":%.6f,"
-        "\"buffer_lookups\":%llu,\"term_df\":{",
+        "\"buffer_lookups\":%llu,\"pool_hit_rate\":%.6f,"
+        "\"pool_lookups\":%llu,\"term_df\":{",
         JsonEscape(coll).c_str(), static_cast<unsigned long long>(docs), rate,
-        static_cast<unsigned long long>(lookups));
+        static_cast<unsigned long long>(lookups), pool_rate,
+        static_cast<unsigned long long>(pool_lookups));
     bool tfirst = true;
     for (const auto& [term, df] : terms) {
       if (!tfirst) out += ",";
@@ -220,11 +251,19 @@ std::string StatisticsService::DumpJson() const {
       rate = it->second.rate;
       lookups = it->second.lookups;
     }
+    double pool_rate = -1.0;
+    uint64_t pool_lookups = 0;
+    if (auto it = pool_hit_rate_.find(coll); it != pool_hit_rate_.end()) {
+      pool_rate = it->second.rate;
+      pool_lookups = it->second.lookups;
+    }
     out += StrFormat(
         "\"%s\":{\"doc_count\":%llu,\"buffer_hit_rate\":%.6f,"
-        "\"buffer_lookups\":%llu,\"term_df\":{}}",
+        "\"buffer_lookups\":%llu,\"pool_hit_rate\":%.6f,"
+        "\"pool_lookups\":%llu,\"term_df\":{}}",
         JsonEscape(coll).c_str(), static_cast<unsigned long long>(docs), rate,
-        static_cast<unsigned long long>(lookups));
+        static_cast<unsigned long long>(lookups), pool_rate,
+        static_cast<unsigned long long>(pool_lookups));
   }
   out += "},\"extents\":{";
   first = true;
@@ -272,6 +311,10 @@ Status StatisticsService::SaveToFile(const std::string& path) const {
   }
   for (const auto& [coll, e] : buffer_hit_rate_) {
     out += StrFormat("buffer %s %.9f %llu\n", coll.c_str(), e.rate,
+                     static_cast<unsigned long long>(e.lookups));
+  }
+  for (const auto& [coll, e] : pool_hit_rate_) {
+    out += StrFormat("pool %s %.9f %llu\n", coll.c_str(), e.rate,
                      static_cast<unsigned long long>(e.lookups));
   }
   for (const auto& [key, stat] : strategy_latency_) {
@@ -326,6 +369,16 @@ Status StatisticsService::LoadFromFile(const std::string& path) {
         e.rate = rate;
         e.lookups = lookups;
       }
+    } else if (kind == "pool") {
+      std::string coll;
+      double rate = -1.0;
+      uint64_t lookups = 0;
+      if (!(in >> coll >> rate >> lookups)) break;
+      BufferEwma& e = pool_hit_rate_[coll];
+      if (e.lookups == 0) {
+        e.rate = rate;
+        e.lookups = lookups;
+      }
     } else if (kind == "latency") {
       std::string key;
       LatencyStat stat;
@@ -353,6 +406,7 @@ void StatisticsService::ResetForTest() {
   collection_docs_.clear();
   extent_cardinality_.clear();
   buffer_hit_rate_.clear();
+  pool_hit_rate_.clear();
   strategy_latency_.clear();
 }
 

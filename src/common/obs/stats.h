@@ -72,6 +72,16 @@ class StatisticsService {
   /// EWMA hit rate in [0, 1]; negative when no lookup was recorded.
   double BufferHitRate(const std::string& collection) const;
 
+  // --- Postings buffer-pool hit rate ---------------------------------------
+
+  /// Folds one buffer-pool page fetch into the collection's pool
+  /// hit-rate EWMA (same smoothing as the result buffer). This is the
+  /// I/O-cost signal the cost-based optimizer prices IRS access with:
+  /// a cold pool means a content conjunct costs real page reads.
+  void RecordPoolLookup(const std::string& collection, bool hit);
+  /// EWMA pool hit rate in [0, 1]; negative when no fetch was recorded.
+  double PoolHitRate(const std::string& collection) const;
+
   // --- Strategy latencies --------------------------------------------------
 
   /// Records one mixed-query run: `shape` describes the query (binding
@@ -112,6 +122,7 @@ class StatisticsService {
   std::map<std::string, uint64_t> collection_docs_;
   std::map<std::string, uint64_t> extent_cardinality_;
   std::map<std::string, BufferEwma> buffer_hit_rate_;
+  std::map<std::string, BufferEwma> pool_hit_rate_;
   /// "shape|strategy" -> latency summary.
   std::map<std::string, LatencyStat> strategy_latency_;
 };

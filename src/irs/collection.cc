@@ -131,7 +131,12 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     }
     stats.RecordCollectionDocCount(name_, index_.doc_count());
   }
-  SDMS_ASSIGN_OR_RETURN(ScoreMap scores, model_->Score(index_, *tree));
+  // k > 0 lets the model prune: ScoreTopK returns a map guaranteed to
+  // contain every live doc that can appear in the final top k, with
+  // scores bit-identical to Score() — the selection below is unchanged.
+  SDMS_ASSIGN_OR_RETURN(ScoreMap scores,
+                        k > 0 ? model_->ScoreTopK(index_, *tree, k)
+                              : model_->Score(index_, *tree));
   obs::ProfileCount("irs_candidates", scores.size());
   // The kernels exit early (with partial output) on cancellation; make
   // that an authoritative error before hits are materialized.
@@ -187,12 +192,13 @@ constexpr uint32_t kCollectionMagic = 0x53435156;  // "VQCS"
 
 }  // namespace
 
-std::string IrsCollection::Serialize() const {
+StatusOr<std::string> IrsCollection::Serialize() const {
   oodb::Encoder enc;
   enc.PutU32(kCollectionMagic);
   enc.PutU64(applied_seq_);
   std::string out = enc.Release();
-  out += index_.Serialize();
+  SDMS_ASSIGN_OR_RETURN(std::string index_bytes, index_.Serialize());
+  out += index_bytes;
   return out;
 }
 

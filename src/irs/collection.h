@@ -115,9 +115,16 @@ class IrsCollection {
 
   /// Serializes applied_seq + index (analyzer/model are configuration
   /// and are re-supplied at load). Pre-sequence-number blobs (raw index
-  /// bytes without the envelope) restore with applied_seq == 0.
-  std::string Serialize() const;
+  /// bytes without the envelope) restore with applied_seq == 0. Fails
+  /// when a sealed postings block cannot be decoded.
+  StatusOr<std::string> Serialize() const;
   Status RestoreIndex(std::string_view data);
+
+  /// Seals the block postings into a paged store at `path` served
+  /// through a buffer pool (see InvertedIndex::SealToStore).
+  Status SealPostings(const std::string& path, int pool_pages = 0) {
+    return index_.SealToStore(path, name_, pool_pages);
+  }
 
  private:
   std::string name_;

@@ -34,21 +34,30 @@ StatusOr<std::string> ExpandQueryRocchio(
   std::set<std::string> original_set(original_terms.begin(),
                                      original_terms.end());
 
-  // Rocchio centroid over the relevant documents: summed tf·idf.
+  // Rocchio centroid over the relevant documents: summed tf·idf. A
+  // cursor probes each term's list for just the relevant documents
+  // (ascending set iteration), so only blocks that can contain a
+  // relevant doc are decoded.
   const double n = std::max<double>(index.doc_count(), 1.0);
   std::map<std::string, double> weight;
+  Status decode_error;
   index.ForEachTerm([&](const std::string& term,
-                        const std::vector<Posting>& postings) {
+                        const BlockPostingsList& list) {
+    if (!decode_error.ok()) return;
     if (original_set.count(term) > 0) return;
-    double idf = std::log(n / static_cast<double>(postings.size()));
+    double idf = std::log(n / static_cast<double>(list.size()));
     if (idf <= 0.0) return;  // Terms in (almost) every document carry
                              // no feedback signal.
-    for (const Posting& p : postings) {
-      if (relevant.count(p.doc) > 0) {
-        weight[term] += static_cast<double>(p.tf) * idf;
+    PostingsCursor cursor(&list);
+    for (DocId d : relevant) {
+      if (!cursor.SkipTo(d)) break;
+      if (cursor.doc() == d) {
+        weight[term] += static_cast<double>(cursor.tf()) * idf;
       }
     }
+    if (!cursor.status().ok()) decode_error = cursor.status();
   });
+  SDMS_RETURN_IF_ERROR(decode_error);
 
   std::vector<std::pair<double, std::string>> ranked;
   ranked.reserve(weight.size());

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/fault/fault.h"
 #include "common/obs/metrics.h"
 #include "common/obs/profile.h"
 #include "common/thread_pool.h"
+#include "irs/storage/postings_store.h"
 #include "oodb/storage/serializer.h"
 
 namespace sdms::irs {
@@ -17,11 +19,6 @@ namespace {
 
 obs::Counter& TermLookups() {
   static obs::Counter& c = obs::GetCounter("irs.index.term_lookups");
-  return c;
-}
-
-obs::Counter& PostingsScanned() {
-  static obs::Counter& c = obs::GetCounter("irs.index.postings_scanned");
   return c;
 }
 
@@ -40,25 +37,69 @@ obs::Counter& Compactions() {
   return c;
 }
 
+obs::Counter& CompactionDecodeFailures() {
+  static obs::Counter& c =
+      obs::GetCounter("irs.index.compaction_decode_failures");
+  return c;
+}
+
+obs::Gauge& IndexMemoryBytes() {
+  static obs::Gauge& g = obs::GetGauge("irs.index.memory_bytes");
+  return g;
+}
+
 }  // namespace
+
+InvertedIndex::InvertedIndex() = default;
+
+InvertedIndex::~InvertedIndex() {
+  IndexMemoryBytes().Add(-reported_memory_bytes_);
+}
+
+InvertedIndex::InvertedIndex(InvertedIndex&& other) noexcept {
+  *this = std::move(other);
+}
+
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
+  if (this == &other) return *this;
+  IndexMemoryBytes().Add(-reported_memory_bytes_);
+  dictionary_ = std::move(other.dictionary_);
+  docs_ = std::move(other.docs_);
+  by_key_ = std::move(other.by_key_);
+  pending_prune_ = std::move(other.pending_prune_);
+  live_docs_ = other.live_docs_;
+  total_tokens_ = other.total_tokens_;
+  tombstones_ = other.tombstones_;
+  eager_delete_ = other.eager_delete_;
+  store_ = std::move(other.store_);
+  // The cached sorted view holds pointers into the moved-from map's
+  // nodes; unordered_map move preserves nodes, but rebuild lazily
+  // anyway — the mutex member is why these operators are hand-written.
+  sorted_terms_.clear();
+  sorted_terms_dirty_ = true;
+  reported_memory_bytes_ = other.reported_memory_bytes_;
+  other.reported_memory_bytes_ = 0;
+  other.live_docs_ = 0;
+  other.total_tokens_ = 0;
+  other.tombstones_ = 0;
+  return *this;
+}
 
 void InvertedIndex::AccumulatePostings(
     DocId id, const std::vector<std::string>& tokens,
-    std::unordered_map<std::string, std::vector<Posting>>& dict) {
+    std::unordered_map<std::string, BlockPostingsList>& dict) {
   // Group positions per term for this document.
   std::unordered_map<std::string, std::vector<uint32_t>> grouped;
   grouped.reserve(tokens.size());
   for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
     grouped[tokens[pos]].push_back(pos);
   }
+  uint32_t doc_len = static_cast<uint32_t>(tokens.size());
   for (auto& [term, positions] : grouped) {
-    Posting p;
-    p.doc = id;
-    p.tf = static_cast<uint32_t>(positions.size());
-    p.positions = std::move(positions);
     // Doc ids are monotonically increasing, so appending keeps the
-    // postings sorted.
-    dict[term].push_back(std::move(p));
+    // block sequence sorted.
+    dict[term].Append(id, static_cast<uint32_t>(positions.size()), positions,
+                      doc_len);
   }
 }
 
@@ -75,6 +116,7 @@ DocId InvertedIndex::AddDocument(const std::string& key,
   ++live_docs_;
   total_tokens_ += tokens.size();
   AccumulatePostings(id, tokens, dictionary_);
+  InvalidateSortedTerms();
   return id;
 }
 
@@ -114,7 +156,7 @@ StatusOr<std::vector<DocId>> InvertedIndex::AddDocumentsBatch(
   // local term -> postings map. Within a shard postings are generated
   // in ascending doc-id order.
   size_t shards = pool != nullptr ? std::min(pool->size(), docs.size()) : 1;
-  std::vector<std::unordered_map<std::string, std::vector<Posting>>> local(
+  std::vector<std::unordered_map<std::string, BlockPostingsList>> local(
       shards);
   if (shards <= 1) {
     for (size_t i = 0; i < docs.size(); ++i) {
@@ -135,20 +177,21 @@ StatusOr<std::vector<DocId>> InvertedIndex::AddDocumentsBatch(
     });
   }
 
-  // Phase 3 (sequential): merge shard maps in shard order. Shards cover
-  // ascending doc-id ranges, so per-term concatenation keeps postings
-  // sorted — the merged dictionary is identical to the sequential path.
+  // Phase 3 (sequential): splice shard lists in shard order. Shards
+  // cover ascending doc-id ranges, so per-term concatenation keeps the
+  // block sequence sorted — decoded postings are identical to the
+  // sequential path (a shard boundary may just leave a short block).
   for (auto& shard : local) {
-    for (auto& [term, postings] : shard) {
-      auto& dst = dictionary_[term];
-      if (dst.empty()) {
-        dst = std::move(postings);
+    for (auto& [term, list] : shard) {
+      auto it = dictionary_.find(term);
+      if (it == dictionary_.end()) {
+        dictionary_.emplace(term, std::move(list));
       } else {
-        dst.insert(dst.end(), std::make_move_iterator(postings.begin()),
-                   std::make_move_iterator(postings.end()));
+        it->second.AppendList(std::move(list));
       }
     }
   }
+  InvalidateSortedTerms();
   BatchDocs().Add(docs.size());
   BatchCalls().Increment();
   return ids;
@@ -162,43 +205,53 @@ Status InvertedIndex::RemoveDocument(DocId id) {
   by_key_.erase(docs_[id].key);
   --live_docs_;
   total_tokens_ -= docs_[id].length;
+  pending_prune_[id] = true;
+  ++tombstones_;
   if (eager_delete_) {
-    // Physical prune: this full-dictionary scan is the "deleting IRS
-    // documents is costly" behaviour the paper discusses (4.3.1 (3)).
-    pending_prune_[id] = true;
-    ++tombstones_;
+    // Physical prune: rewriting every affected list on each delete is
+    // the "deleting IRS documents is costly" behaviour the paper
+    // discusses (4.3.1 (3)).
     PrunePostingsOfDeadDocs();
   } else {
-    pending_prune_[id] = true;
-    ++tombstones_;
     MaybeCompact();
   }
   return Status::OK();
 }
 
-void InvertedIndex::PrunePostingsOfDeadDocs() {
-  for (auto it = dictionary_.begin(); it != dictionary_.end();) {
-    auto& postings = it->second;
-    postings.erase(
-        std::remove_if(postings.begin(), postings.end(),
-                       [this](const Posting& p) {
-                         return pending_prune_[p.doc];
-                       }),
-        postings.end());
-    if (postings.empty()) {
-      it = dictionary_.erase(it);
-    } else {
-      ++it;
+bool InvertedIndex::PrunePostingsOfDeadDocs() {
+  // Rebuild every list without the tombstoned docs. All decodes happen
+  // before the dictionary is touched, so a corrupt sealed block aborts
+  // the prune with the index unchanged (tombstones stay pending and a
+  // later Compact retries).
+  std::unordered_map<std::string, BlockPostingsList> rebuilt;
+  rebuilt.reserve(dictionary_.size());
+  for (const auto& [term, list] : dictionary_) {
+    auto postings = list.DecodeAll();
+    if (!postings.ok()) {
+      CompactionDecodeFailures().Increment();
+      return false;
     }
+    BlockPostingsList pruned;
+    for (const Posting& p : *postings) {
+      if (pending_prune_[p.doc]) continue;
+      pruned.Append(p.doc, p.tf, p.positions, docs_[p.doc].length);
+    }
+    if (!pruned.empty()) rebuilt.emplace(term, std::move(pruned));
   }
+  dictionary_ = std::move(rebuilt);
+  // Every block is memory-resident again; the sealed store (if any) no
+  // longer backs anything. The next seal rewrites the postings file.
+  store_.reset();
   std::fill(pending_prune_.begin(), pending_prune_.end(), false);
   tombstones_ = 0;
+  InvalidateSortedTerms();
+  return true;
 }
 
 size_t InvertedIndex::Compact() {
   size_t cleared = tombstones_;
   if (cleared == 0) return 0;
-  PrunePostingsOfDeadDocs();
+  if (!PrunePostingsOfDeadDocs()) return 0;
   Compactions().Increment();
   return cleared;
 }
@@ -219,22 +272,30 @@ StatusOr<DocId> InvertedIndex::FindByKey(const std::string& key) const {
   return it->second;
 }
 
-const std::vector<Posting>* InvertedIndex::GetPostings(
+const BlockPostingsList* InvertedIndex::GetPostingsList(
     const std::string& term) const {
   TermLookups().Increment();
   obs::ProfileCount("term_lookups");
   auto it = dictionary_.find(term);
-  if (it == dictionary_.end()) return nullptr;
-  // Callers walk the returned list in full, so its length is the
-  // number of postings this lookup puts in play.
-  PostingsScanned().Add(it->second.size());
-  obs::ProfileCount("postings_scanned", it->second.size());
-  return &it->second;
+  return it == dictionary_.end() ? nullptr : &it->second;
+}
+
+PostingsCursor InvertedIndex::OpenCursor(const std::string& term) const {
+  return PostingsCursor(GetPostingsList(term));
+}
+
+StatusOr<std::vector<Posting>> InvertedIndex::DecodePostings(
+    const std::string& term) const {
+  const BlockPostingsList* list = GetPostingsList(term);
+  if (list == nullptr) return std::vector<Posting>{};
+  return list->DecodeAll();
 }
 
 uint32_t InvertedIndex::DocFreq(const std::string& term) const {
-  const std::vector<Posting>* p = GetPostings(term);
-  return p == nullptr ? 0 : static_cast<uint32_t>(p->size());
+  // Metadata-only: the old flat index walked (and charged) the whole
+  // list here; block metadata answers df without decoding anything.
+  const BlockPostingsList* list = GetPostingsList(term);
+  return list == nullptr ? 0 : static_cast<uint32_t>(list->size());
 }
 
 StatusOr<const DocInfo*> InvertedIndex::GetDoc(DocId id) const {
@@ -251,31 +312,80 @@ double InvertedIndex::avg_doc_length() const {
 
 size_t InvertedIndex::ApproximateSizeBytes() const {
   size_t bytes = 0;
-  for (const auto& [term, postings] : dictionary_) {
+  for (const auto& [term, list] : dictionary_) {
     bytes += term.size() + sizeof(void*) * 4;  // dictionary entry overhead
-    for (const Posting& p : postings) {
-      bytes += sizeof(Posting) + p.positions.size() * sizeof(uint32_t);
-    }
+    bytes += list.ApproxMemoryBytes();
   }
   for (const DocInfo& d : docs_) {
     bytes += sizeof(DocInfo) + d.key.size();
   }
+  if (store_ != nullptr) bytes += store_->ApproxMemoryBytes();
+  IndexMemoryBytes().Add(static_cast<int64_t>(bytes) -
+                         reported_memory_bytes_);
+  reported_memory_bytes_ = static_cast<int64_t>(bytes);
   return bytes;
 }
 
-std::vector<const InvertedIndex::DictEntry*> InvertedIndex::SortedTerms()
-    const {
-  std::vector<const DictEntry*> entries;
-  entries.reserve(dictionary_.size());
-  for (const auto& entry : dictionary_) entries.push_back(&entry);
-  std::sort(entries.begin(), entries.end(),
-            [](const DictEntry* a, const DictEntry* b) {
-              return a->first < b->first;
-            });
-  return entries;
+Status InvertedIndex::SealToStore(const std::string& path,
+                                  const std::string& collection,
+                                  int pool_pages) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.seal"));
+  // Lay the file out in term order (deterministic image for identical
+  // content). Handles are only applied after the new file and store
+  // are in place, so any failure leaves the index serving as before.
+  const std::vector<const DictEntry*>& terms = SortedTerms();
+  PostingsStore::Writer writer;
+  std::vector<std::vector<BlockHandle>> handles(terms.size());
+  for (size_t t = 0; t < terms.size(); ++t) {
+    const BlockPostingsList& list = terms[t]->second;
+    handles[t].reserve(list.block_count());
+    for (size_t i = 0; i < list.block_count(); ++i) {
+      const PostingsBlockMeta& b = list.block(i);
+      if (b.sealed) {
+        // Re-seal: pull the encoded payload back out of the old store.
+        if (store_ == nullptr) {
+          return Status::Internal("sealed postings block without a store");
+        }
+        SDMS_ASSIGN_OR_RETURN(std::string bytes, store_->ReadBlock(b.handle));
+        handles[t].push_back(writer.AppendBlock(bytes));
+      } else {
+        handles[t].push_back(writer.AppendBlock(b.bytes));
+      }
+    }
+  }
+  SDMS_RETURN_IF_ERROR(writer.Finish(path));
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<PostingsStore> store,
+                        PostingsStore::Open(path, collection, pool_pages));
+  store_ = std::move(store);
+  for (size_t t = 0; t < terms.size(); ++t) {
+    // The sorted view holds const pointers into the dictionary; the
+    // underlying entries are ours to mutate.
+    auto& list = const_cast<BlockPostingsList&>(terms[t]->second);
+    for (size_t i = 0; i < handles[t].size(); ++i) {
+      list.MarkSealed(i, handles[t][i]);
+    }
+    list.set_store(store_.get());
+  }
+  return Status::OK();
 }
 
-std::string InvertedIndex::Serialize() const {
+const std::vector<const InvertedIndex::DictEntry*>&
+InvertedIndex::SortedTerms() const {
+  std::lock_guard<std::mutex> lock(sorted_terms_mu_);
+  if (sorted_terms_dirty_) {
+    sorted_terms_.clear();
+    sorted_terms_.reserve(dictionary_.size());
+    for (const auto& entry : dictionary_) sorted_terms_.push_back(&entry);
+    std::sort(sorted_terms_.begin(), sorted_terms_.end(),
+              [](const DictEntry* a, const DictEntry* b) {
+                return a->first < b->first;
+              });
+    sorted_terms_dirty_ = false;
+  }
+  return sorted_terms_;
+}
+
+StatusOr<std::string> InvertedIndex::Serialize() const {
   Encoder enc;
   enc.PutU64(docs_.size());
   for (const DocInfo& d : docs_) {
@@ -284,27 +394,28 @@ std::string InvertedIndex::Serialize() const {
     enc.PutU8(d.alive ? 1 : 0);
   }
   // Serialize in compacted form: tombstoned postings are dropped, and
-  // terms they empty out are not written at all.
-  auto live_postings = [this](const std::vector<Posting>& postings) {
-    size_t n = 0;
-    for (const Posting& p : postings) {
-      if (!pending_prune_[p.doc]) ++n;
-    }
-    return n;
-  };
-  std::vector<const DictEntry*> terms = SortedTerms();
+  // terms they empty out are not written at all. The per-posting
+  // layout is the pre-block-storage snapshot format, unchanged.
+  const std::vector<const DictEntry*>& terms = SortedTerms();
+  std::vector<std::vector<Posting>> decoded(terms.size());
   uint64_t live_terms = 0;
-  for (const DictEntry* entry : terms) {
-    if (live_postings(entry->second) > 0) ++live_terms;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    SDMS_ASSIGN_OR_RETURN(decoded[t], terms[t]->second.DecodeAll());
+    auto& postings = decoded[t];
+    postings.erase(std::remove_if(postings.begin(), postings.end(),
+                                  [this](const Posting& p) {
+                                    return pending_prune_[p.doc];
+                                  }),
+                   postings.end());
+    if (!postings.empty()) ++live_terms;
   }
   enc.PutU64(live_terms);
-  for (const DictEntry* entry : terms) {
-    size_t nposts = live_postings(entry->second);
-    if (nposts == 0) continue;
-    enc.PutString(entry->first);
-    enc.PutU64(nposts);
-    for (const Posting& p : entry->second) {
-      if (pending_prune_[p.doc]) continue;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    const auto& postings = decoded[t];
+    if (postings.empty()) continue;
+    enc.PutString(terms[t]->first);
+    enc.PutU64(postings.size());
+    for (const Posting& p : postings) {
       enc.PutU32(p.doc);
       enc.PutU32(p.tf);
       // Delta-encode positions (classic postings compression).
@@ -341,23 +452,27 @@ StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
   for (uint64_t t = 0; t < nterms; ++t) {
     SDMS_ASSIGN_OR_RETURN(std::string term, dec.GetString());
     SDMS_ASSIGN_OR_RETURN(uint64_t nposts, dec.GetU64());
-    std::vector<Posting> postings;
-    postings.reserve(nposts);
+    BlockPostingsList list;
+    std::vector<uint32_t> positions;
     for (uint64_t i = 0; i < nposts; ++i) {
-      Posting p;
-      SDMS_ASSIGN_OR_RETURN(p.doc, dec.GetU32());
-      SDMS_ASSIGN_OR_RETURN(p.tf, dec.GetU32());
+      uint32_t doc = 0, tf = 0;
+      SDMS_ASSIGN_OR_RETURN(doc, dec.GetU32());
+      SDMS_ASSIGN_OR_RETURN(tf, dec.GetU32());
       SDMS_ASSIGN_OR_RETURN(uint64_t npos, dec.GetU64());
+      positions.clear();
       uint32_t cur = 0;
       for (uint64_t k = 0; k < npos; ++k) {
         SDMS_ASSIGN_OR_RETURN(uint32_t delta, dec.GetU32());
         cur += delta;
-        p.positions.push_back(cur);
+        positions.push_back(cur);
       }
-      postings.push_back(std::move(p));
+      uint32_t doc_len =
+          doc < index.docs_.size() ? index.docs_[doc].length : 0;
+      list.Append(doc, tf, positions, doc_len);
     }
-    index.dictionary_.emplace(std::move(term), std::move(postings));
+    index.dictionary_.emplace(std::move(term), std::move(list));
   }
+  index.InvalidateSortedTerms();
   return index;
 }
 
@@ -376,10 +491,15 @@ std::string InvertedIndex::CanonicalDigest() const {
     canon += "d " + key + " " + std::to_string(length) + "\n";
   }
   size_t posting_count = 0;
-  ForEachTerm([&](const std::string& term,
-                  const std::vector<Posting>& postings) {
+  Status decode_error;
+  ForEachTerm([&](const std::string& term, const BlockPostingsList& list) {
+    auto postings = list.DecodeAll();
+    if (!postings.ok()) {
+      if (decode_error.ok()) decode_error = postings.status();
+      return;
+    }
     std::vector<std::pair<std::string, const Posting*>> alive;
-    for (const Posting& p : postings) {
+    for (const Posting& p : *postings) {
       if (IsAlive(p.doc)) alive.emplace_back(docs_[p.doc].key, &p);
     }
     std::sort(alive.begin(), alive.end(),
@@ -393,6 +513,11 @@ std::string InvertedIndex::CanonicalDigest() const {
       ++posting_count;
     }
   });
+  if (!decode_error.ok()) {
+    // A digest must always be produced; a corrupt block yields one
+    // that can never match a healthy index.
+    return "decode-error:" + decode_error.ToString();
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "crc32:%08x;docs:%zu;postings:%zu",
                 oodb::Crc32(canon), live.size(), posting_count);
@@ -403,8 +528,36 @@ std::string InvertedIndex::CheckInvariants() const {
   std::vector<uint64_t> doc_token_counts(docs_.size(), 0);
   size_t seen_tombstones = 0;
   std::vector<bool> counted(docs_.size(), false);
-  for (const auto& [term, postings] : dictionary_) {
-    if (postings.empty()) return "empty postings list for term " + term;
+  for (const auto& [term, list] : dictionary_) {
+    if (list.empty()) return "empty postings list for term " + term;
+    auto decoded = list.DecodeAll();
+    if (!decoded.ok()) {
+      return "undecodable postings for " + term + ": " +
+             decoded.status().ToString();
+    }
+    const std::vector<Posting>& postings = *decoded;
+    if (postings.size() != list.size()) {
+      return "block metadata count mismatch for " + term;
+    }
+    // Block metadata must agree with decoded content — the skipping
+    // kernels trust it blindly.
+    size_t off = 0;
+    for (size_t b = 0; b < list.block_count(); ++b) {
+      const PostingsBlockMeta& meta = list.block(b);
+      if (meta.count == 0) return "empty block for term " + term;
+      if (postings[off].doc != meta.first_doc ||
+          postings[off + meta.count - 1].doc != meta.last_doc) {
+        return "block doc-range metadata mismatch for " + term;
+      }
+      uint32_t max_tf = 0;
+      for (size_t i = 0; i < meta.count; ++i) {
+        max_tf = std::max(max_tf, postings[off + i].tf);
+      }
+      if (max_tf != meta.max_tf) {
+        return "block max_tf metadata mismatch for " + term;
+      }
+      off += meta.count;
+    }
     DocId prev = 0;
     bool first = true;
     for (const Posting& p : postings) {

@@ -2,12 +2,15 @@
 #define SDMS_IRS_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "irs/index/block_postings.h"
 
 namespace sdms {
 class ThreadPool;
@@ -15,17 +18,7 @@ class ThreadPool;
 
 namespace sdms::irs {
 
-/// Internal document identifier within one index.
-using DocId = uint32_t;
-
-/// One posting: a document and the term's occurrences in it.
-struct Posting {
-  DocId doc = 0;
-  uint32_t tf = 0;
-  /// Word positions (0-based, post-analysis); enables phrase/proximity
-  /// extensions and makes the on-disk format realistic.
-  std::vector<uint32_t> positions;
-};
+class PostingsStore;
 
 /// Per-document bookkeeping.
 struct DocInfo {
@@ -46,15 +39,25 @@ struct DocTokens {
 /// A positional inverted index over analyzed token streams. Documents
 /// are added as token vectors (analysis happens in IrsCollection).
 ///
+/// Postings are held as block-compressed lists (BlockPostingsList):
+/// ~128 postings per block, delta+varbyte encoded, with per-block
+/// last_doc / max_tf / min_doc_len metadata so the query kernels can
+/// skip whole blocks without decoding them. Freshly appended blocks
+/// are memory-resident; SealToStore() moves them into a paged postings
+/// file served through a buffer pool, after which decodes go through
+/// the pool (and its hit/miss accounting). The checksum-envelope `.idx`
+/// snapshot produced by Serialize() remains the durable truth — the
+/// postings file is a derived cache rebuilt at every seal.
+///
 /// Deletion strategies (Section 4.3.1, option 3 — "deleting IRS
 /// documents is costly"):
 ///   * eager (set_eager_delete(true)): the paper's architecture — every
-///     removal scans the whole dictionary pruning the document's
-///     postings immediately;
+///     removal rewrites all postings lists pruning the document
+///     immediately;
 ///   * tombstone (default): removal only marks the document dead;
 ///     postings are pruned by Compact(), triggered automatically when
 ///     tombstoned documents exceed kCompactionRatio of the doc table.
-/// Between a tombstone delete and the next compaction, GetPostings /
+/// Between a tombstone delete and the next compaction, cursors and
 /// DocFreq still see the dead document's postings; result-producing
 /// callers (IrsCollection::Search and the retrieval models) filter dead
 /// documents, so hit sets are exact while corpus statistics (df) may
@@ -65,15 +68,23 @@ class InvertedIndex {
   /// automatic Compact() (checked after each tombstone delete).
   static constexpr double kCompactionRatio = 0.25;
 
+  InvertedIndex();
+  ~InvertedIndex();
+  InvertedIndex(InvertedIndex&& other) noexcept;
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
   /// Adds a document; returns its internal id.
   DocId AddDocument(const std::string& key,
                     const std::vector<std::string>& tokens);
 
   /// Bulk insert: assigns consecutive doc ids in `docs` order, builds
-  /// per-shard postings maps on `pool` (sequentially when null) and
-  /// merges them in doc-id order, so the result is bit-identical to
-  /// adding the documents one by one. Keys must be distinct and absent
-  /// from the index. Returns the ids in input order.
+  /// per-shard postings lists on `pool` (sequentially when null) and
+  /// splices them in doc-id order, so the decoded postings are
+  /// identical to adding the documents one by one. Keys must be
+  /// distinct and absent from the index. Returns the ids in input
+  /// order.
   StatusOr<std::vector<DocId>> AddDocumentsBatch(
       const std::vector<DocTokens>& docs, ThreadPool* pool = nullptr);
 
@@ -82,10 +93,12 @@ class InvertedIndex {
   Status RemoveDocument(DocId id);
 
   /// Prunes the postings of every tombstoned document now. Returns the
-  /// number of tombstones cleared.
+  /// number of tombstones cleared; 0 (tombstones retained, index
+  /// unchanged) when a postings block fails to decode — the prune is
+  /// retried by a later Compact().
   size_t Compact();
 
-  /// Switches between the paper's eager dictionary-scan delete and
+  /// Switches between the paper's eager rewrite-on-delete and
   /// tombstone + threshold compaction (the default).
   void set_eager_delete(bool eager) { eager_delete_ = eager; }
   bool eager_delete() const { return eager_delete_; }
@@ -96,11 +109,20 @@ class InvertedIndex {
   /// Looks up the internal id of an external key.
   StatusOr<DocId> FindByKey(const std::string& key) const;
 
-  /// Postings list for `term` (nullptr if unknown). May include
-  /// tombstoned documents until the next Compact().
-  const std::vector<Posting>* GetPostings(const std::string& term) const;
+  /// Block-compressed postings list for `term` (nullptr if unknown).
+  /// Metadata access only — nothing is decoded. May include tombstoned
+  /// documents until the next Compact().
+  const BlockPostingsList* GetPostingsList(const std::string& term) const;
+
+  /// Lazy cursor over `term`'s postings (empty cursor if unknown).
+  PostingsCursor OpenCursor(const std::string& term) const;
+
+  /// Fully decodes `term`'s postings (tf caches, feedback, tests).
+  /// An empty vector when the term is unknown.
+  StatusOr<std::vector<Posting>> DecodePostings(const std::string& term) const;
 
   /// Document frequency of `term` (including tombstones, see above).
+  /// Served from list metadata — no block is decoded.
   uint32_t DocFreq(const std::string& term) const;
 
   /// Info for document `id`.
@@ -124,10 +146,23 @@ class InvertedIndex {
   /// Total token occurrences indexed (live docs).
   uint64_t total_tokens() const { return total_tokens_; }
 
-  /// Approximate main-memory footprint of the index structures, in
-  /// bytes (dictionary + postings + doc table). Used by the redundancy
-  /// experiment (E8).
+  /// Approximate main-memory footprint in bytes: dictionary + resident
+  /// block payloads + block metadata + doc table + buffer-pool frames
+  /// of the sealed store. Also refreshes the process-wide
+  /// irs.index.memory_bytes gauge (delta-tracked per index). Used by
+  /// the redundancy experiment (E8).
   size_t ApproximateSizeBytes() const;
+
+  /// Seals every memory-resident block into a paged postings file at
+  /// `path`, served through a buffer pool of `pool_pages` frames
+  /// (<= 0: SDMS_BUFFER_POOL_PAGES or the default). Atomic: on error
+  /// the index keeps serving from memory. Subsequent appends start new
+  /// resident blocks; re-sealing folds them into a fresh file.
+  Status SealToStore(const std::string& path, const std::string& collection,
+                     int pool_pages = 0);
+
+  /// The sealed postings store, if any (diagnostics, benches).
+  const PostingsStore* store() const { return store_.get(); }
 
   /// Iterates all live documents.
   template <typename Fn>
@@ -137,8 +172,9 @@ class InvertedIndex {
     }
   }
 
-  /// Iterates the dictionary in term order (persistence, tests).
-  /// Postings passed to `fn` may include tombstoned documents.
+  /// Iterates the dictionary in term order (persistence, tests),
+  /// passing each term's BlockPostingsList. Postings may include
+  /// tombstoned documents.
   template <typename Fn>
   void ForEachTerm(Fn&& fn) const {
     for (const auto* entry : SortedTerms()) fn(entry->first, entry->second);
@@ -147,13 +183,16 @@ class InvertedIndex {
   /// Serializes to a binary blob / restores from one. The serialized
   /// form is always compacted (tombstoned postings are skipped), so
   /// tombstone and eager indexes over the same documents serialize
-  /// identically.
-  std::string Serialize() const;
+  /// identically. The format predates block storage and is unchanged:
+  /// snapshots round-trip across versions. Fails when a sealed block
+  /// cannot be decoded.
+  StatusOr<std::string> Serialize() const;
   static StatusOr<InvertedIndex> Deserialize(std::string_view data);
 
   /// Structural invariants (sorted postings, tf == positions.size(),
   /// doc lengths consistent, dead postings only for pending
-  /// tombstones). Empty string when consistent.
+  /// tombstones, block metadata matching decoded content). Empty
+  /// string when consistent.
   std::string CheckInvariants() const;
 
   /// Content digest independent of internal DocId assignment and
@@ -166,25 +205,33 @@ class InvertedIndex {
   std::string CanonicalDigest() const;
 
  private:
-  using DictEntry = std::pair<const std::string, std::vector<Posting>>;
+  using DictEntry = std::pair<const std::string, BlockPostingsList>;
 
-  /// Dictionary entries ordered by term (built on demand; the
-  /// dictionary itself is hashed for O(1) lookups on the query path).
-  std::vector<const DictEntry*> SortedTerms() const;
+  /// Dictionary entries ordered by term, cached with a dirty flag —
+  /// mutations invalidate, the next call rebuilds once (persistence
+  /// and digest paths call this repeatedly).
+  const std::vector<const DictEntry*>& SortedTerms() const;
+  void InvalidateSortedTerms() {
+    std::lock_guard<std::mutex> lock(sorted_terms_mu_);
+    sorted_terms_dirty_ = true;
+  }
 
-  /// Appends `tokens` of document `id` into `dict`, positions grouped
-  /// per term. Shared by the single and batch insert paths.
+  /// Appends `tokens` of document `id` (of length `doc_len`) into
+  /// `dict`, positions grouped per term. Shared by the single and
+  /// batch insert paths.
   static void AccumulatePostings(
       DocId id, const std::vector<std::string>& tokens,
-      std::unordered_map<std::string, std::vector<Posting>>& dict);
+      std::unordered_map<std::string, BlockPostingsList>& dict);
 
-  void PrunePostingsOfDeadDocs();
+  /// Rebuilds every list without the tombstoned docs. False (index
+  /// unchanged, tombstones kept) when any block fails to decode.
+  bool PrunePostingsOfDeadDocs();
   void MaybeCompact();
 
-  // Term -> postings sorted by doc id; hashed for the query hot path,
+  // Term -> block-compressed postings; hashed for the query hot path,
   // with SortedTerms() providing the deterministic iteration order that
   // serialization and tests need.
-  std::unordered_map<std::string, std::vector<Posting>> dictionary_;
+  std::unordered_map<std::string, BlockPostingsList> dictionary_;
   std::vector<DocInfo> docs_;
   std::unordered_map<std::string, DocId> by_key_;
   /// Dead docs whose postings still sit in the dictionary.
@@ -193,6 +240,20 @@ class InvertedIndex {
   uint64_t total_tokens_ = 0;
   size_t tombstones_ = 0;
   bool eager_delete_ = false;
+
+  /// Sealed paged postings file + buffer pool; null while fully
+  /// memory-resident. Lists hold a borrowed pointer to this store.
+  std::unique_ptr<PostingsStore> store_;
+
+  /// SortedTerms() cache (satellite: persistence profiles showed the
+  /// sort rebuilt on every snapshot). Guarded so concurrent readers can
+  /// fill it; mutations happen under writer exclusivity.
+  mutable std::mutex sorted_terms_mu_;
+  mutable std::vector<const DictEntry*> sorted_terms_;
+  mutable bool sorted_terms_dirty_ = true;
+
+  /// Last footprint reported into the irs.index.memory_bytes gauge.
+  mutable int64_t reported_memory_bytes_ = 0;
 };
 
 }  // namespace sdms::irs

@@ -1,0 +1,74 @@
+#include "irs/index/postings_codec.h"
+
+namespace sdms::irs::codec {
+
+void PutVarU32(std::string& out, uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool GetVarU32(const char*& p, const char* end, uint32_t& v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift <= 28) {
+    uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (result > 0xffffffffull) return false;
+      v = static_cast<uint32_t>(result);
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or more than 5 bytes
+}
+
+void AppendPosting(std::string& out, DocId prev_doc, DocId doc, uint32_t tf,
+                   const std::vector<uint32_t>& positions) {
+  PutVarU32(out, doc - prev_doc);
+  PutVarU32(out, tf);
+  PutVarU32(out, static_cast<uint32_t>(positions.size()));
+  uint32_t prev = 0;
+  for (uint32_t pos : positions) {
+    PutVarU32(out, pos - prev);
+    prev = pos;
+  }
+}
+
+Status DecodeBlock(std::string_view payload, DocId first_doc, uint32_t count,
+                   std::vector<Posting>& out) {
+  const char* p = payload.data();
+  const char* end = p + payload.size();
+  DocId doc = first_doc;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t gap = 0, tf = 0, npos = 0;
+    if (!GetVarU32(p, end, gap) || !GetVarU32(p, end, tf) ||
+        !GetVarU32(p, end, npos)) {
+      return Status::Corruption("truncated postings block");
+    }
+    doc += gap;
+    Posting posting;
+    posting.doc = doc;
+    posting.tf = tf;
+    posting.positions.reserve(npos);
+    uint32_t pos = 0;
+    for (uint32_t k = 0; k < npos; ++k) {
+      uint32_t pgap = 0;
+      if (!GetVarU32(p, end, pgap)) {
+        return Status::Corruption("truncated position list in postings block");
+      }
+      pos += pgap;
+      posting.positions.push_back(pos);
+    }
+    out.push_back(std::move(posting));
+  }
+  if (p != end) {
+    return Status::Corruption("trailing bytes after postings block");
+  }
+  return Status::OK();
+}
+
+}  // namespace sdms::irs::codec

@@ -1,0 +1,39 @@
+#ifndef SDMS_IRS_INDEX_POSTINGS_CODEC_H_
+#define SDMS_IRS_INDEX_POSTINGS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "irs/index/block_postings.h"
+
+namespace sdms::irs::codec {
+
+/// Variable-byte (LEB128) integer coding — the classic postings
+/// compression primitive: 7 value bits per byte, high bit set on every
+/// byte except the last. Small deltas (the common case after
+/// gap-encoding sorted doc ids and positions) cost one byte.
+void PutVarU32(std::string& out, uint32_t v);
+
+/// Decodes one varint at `*p`, advancing it. False on truncation or a
+/// value that overflows 32 bits (treated as corruption by callers).
+bool GetVarU32(const char*& p, const char* end, uint32_t& v);
+
+/// Appends one posting to a block payload. `prev_doc` is the doc id of
+/// the previous posting in the block (== `doc` for the first posting,
+/// which therefore encodes gap 0 — the absolute id lives in the block's
+/// metadata, never in the payload). Positions are gap-encoded within
+/// the posting. Layout per posting:
+///   doc_gap, tf, npos, pos_0, pos_gap...
+void AppendPosting(std::string& out, DocId prev_doc, DocId doc, uint32_t tf,
+                   const std::vector<uint32_t>& positions);
+
+/// Decodes a block payload produced by EncodeBlock back into `count`
+/// postings appended to `out`. `first_doc` seeds the gap decoding.
+Status DecodeBlock(std::string_view payload, DocId first_doc, uint32_t count,
+                   std::vector<Posting>& out);
+
+}  // namespace sdms::irs::codec
+
+#endif  // SDMS_IRS_INDEX_POSTINGS_CODEC_H_

@@ -116,6 +116,99 @@ std::vector<DocId> UnionPostings(
   return out;
 }
 
+Status IntersectCursorsVisit(std::vector<PostingsCursor>& cursors,
+                             const std::function<void(DocId)>& visit) {
+  if (cursors.empty()) return Status::OK();
+  for (PostingsCursor& c : cursors) {
+    if (c.AtEnd()) return c.status();  // empty list → empty intersection
+  }
+  // Rarest first: the smallest list drives, the others confirm. The
+  // caller's cursor order is preserved (proximity reads positions in
+  // term order); only this pointer view is reordered.
+  std::vector<PostingsCursor*> ordered;
+  ordered.reserve(cursors.size());
+  for (PostingsCursor& c : cursors) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PostingsCursor* a, const PostingsCursor* b) {
+              return a->size() < b->size();
+            });
+  PostingsCursor* driver = ordered[0];
+  size_t steps = 0;
+  while (!driver->AtEnd()) {
+    if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
+      EarlyExits().Increment();
+      obs::ProfileCount("early_exits");
+      return Status::OK();  // partial; the caller re-checks the context
+    }
+    DocId doc = driver->doc();
+    if (driver->AtEnd()) break;  // decode failure latched by doc()
+    bool in_all = true;
+    for (size_t i = 1; i < ordered.size(); ++i) {
+      if (!ordered[i]->SkipTo(doc)) {
+        // Exhausted (no further matches possible) or decode failure.
+        SDMS_RETURN_IF_ERROR(ordered[i]->status());
+        return driver->status();
+      }
+      if (ordered[i]->doc() != doc) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) visit(doc);
+    driver->Next();
+  }
+  return driver->status();
+}
+
+StatusOr<std::vector<DocId>> IntersectCursors(
+    std::vector<PostingsCursor> cursors) {
+  std::vector<DocId> out;
+  SDMS_RETURN_IF_ERROR(IntersectCursorsVisit(
+      cursors, [&out](DocId doc) { out.push_back(doc); }));
+  return out;
+}
+
+StatusOr<std::vector<DocId>> UnionCursors(
+    std::vector<PostingsCursor> cursors) {
+  // (doc at cursor, cursor index) min-heap for the k-way merge.
+  using HeapItem = std::pair<DocId, size_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  size_t total = 0;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].AtEnd()) {
+      SDMS_RETURN_IF_ERROR(cursors[i].status());
+      continue;
+    }
+    DocId d = cursors[i].doc();
+    if (cursors[i].AtEnd()) return cursors[i].status();
+    heap.emplace(d, i);
+    total += cursors[i].size();
+  }
+  std::vector<DocId> out;
+  out.reserve(total);
+  size_t steps = 0;
+  while (!heap.empty()) {
+    if (++steps % kCancelCheckStride == 0 && QueryShouldStop()) {
+      EarlyExits().Increment();
+      obs::ProfileCount("early_exits");
+      return out;  // partial; the caller re-checks the context's status
+    }
+    auto [doc, i] = heap.top();
+    heap.pop();
+    if (out.empty() || out.back() != doc) out.push_back(doc);
+    cursors[i].Next();
+    if (!cursors[i].AtEnd()) {
+      DocId d = cursors[i].doc();
+      if (cursors[i].AtEnd()) return cursors[i].status();
+      heap.emplace(d, i);
+    } else {
+      SDMS_RETURN_IF_ERROR(cursors[i].status());
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<DocId, double>> TopK(
     const std::vector<std::pair<DocId, double>>& scored, size_t k) {
   // "Worse" = lower score, then higher doc id; the heap keeps the worst

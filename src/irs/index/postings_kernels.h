@@ -2,8 +2,10 @@
 #define SDMS_IRS_INDEX_POSTINGS_KERNELS_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "irs/index/inverted_index.h"
 
 namespace sdms::irs {
@@ -14,6 +16,17 @@ namespace sdms::irs {
 /// galloping (exponential search) intersection: cost is
 /// O(k · |smallest| · log(|largest| / |smallest|)) instead of a full
 /// scan-and-sort of every list.
+///
+/// Two tiers exist:
+///   * cursor kernels (IntersectCursors / UnionCursors / …) operate on
+///     block-compressed lists through PostingsCursor, skipping whole
+///     blocks via last_doc metadata without decoding them — the
+///     production query path;
+///   * flat kernels (GallopTo / IntersectPostings / UnionPostings)
+///     operate on decoded `std::vector<Posting>` and are retained as
+///     the reference implementation — the oracle the block path is
+///     tested bit-identical against — and for callers that already
+///     hold decoded lists.
 
 /// Smallest index i in [lo, postings.size()) with postings[i].doc >=
 /// target, found by exponential probing followed by binary search.
@@ -30,6 +43,25 @@ std::vector<DocId> IntersectPostings(
 /// merge producing a sorted candidate vector without a std::set.
 std::vector<DocId> UnionPostings(
     const std::vector<const std::vector<Posting>*>& lists);
+
+/// Conjunction over block cursors, driving a visitor: `visit(doc)` is
+/// invoked for every doc present in all lists, with every cursor in
+/// `cursors` positioned on that doc — so the visitor can read tf() /
+/// positions() directly (the proximity operators do). The rarest list
+/// drives; the others SkipTo over it, skipping undecoded blocks.
+/// Cancellation returns OK with a partial visit sequence (the caller
+/// re-checks its QueryContext); a block decode failure returns that
+/// error. Empty `cursors` visits nothing.
+Status IntersectCursorsVisit(std::vector<PostingsCursor>& cursors,
+                             const std::function<void(DocId)>& visit);
+
+/// Documents present in *every* cursor's list (ascending).
+StatusOr<std::vector<DocId>> IntersectCursors(
+    std::vector<PostingsCursor> cursors);
+
+/// Documents present in *any* cursor's list (ascending, deduplicated)
+/// — the k-way merge over lazily decoded blocks.
+StatusOr<std::vector<DocId>> UnionCursors(std::vector<PostingsCursor> cursors);
 
 /// Keeps the k best (score, doc) pairs with a bounded min-heap instead
 /// of materializing and fully sorting every scored document. Orders by

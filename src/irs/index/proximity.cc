@@ -8,18 +8,6 @@ namespace sdms::irs {
 
 namespace {
 
-/// Positions of `term` in `doc`, or nullptr when absent.
-const std::vector<uint32_t>* PositionsOf(const InvertedIndex& index,
-                                         const std::string& term, DocId doc) {
-  const std::vector<Posting>* postings = index.GetPostings(term);
-  if (postings == nullptr) return nullptr;
-  auto it = std::lower_bound(
-      postings->begin(), postings->end(), doc,
-      [](const Posting& p, DocId d) { return p.doc < d; });
-  if (it == postings->end() || it->doc != doc) return nullptr;
-  return &it->positions;
-}
-
 /// Core ordered matcher over per-term position lists (one doc).
 uint32_t OrderedMatchesIn(
     const std::vector<const std::vector<uint32_t>*>& positions,
@@ -96,67 +84,78 @@ uint32_t UnorderedMatchesIn(
   return matches;
 }
 
+/// One cursor per term, or an empty vector when any term is absent
+/// (no window can match then).
+std::vector<PostingsCursor> OpenCursors(const InvertedIndex& index,
+                                        const std::vector<std::string>& terms) {
+  std::vector<PostingsCursor> cursors;
+  cursors.reserve(terms.size());
+  for (const std::string& t : terms) {
+    PostingsCursor c = index.OpenCursor(t);
+    if (c.AtEnd()) return {};
+    cursors.push_back(std::move(c));
+  }
+  return cursors;
+}
+
+/// Places every cursor on `doc`; false when any term misses it.
+bool PlaceOn(std::vector<PostingsCursor>& cursors, DocId doc) {
+  for (PostingsCursor& c : cursors) {
+    if (!c.SkipTo(doc) || c.doc() != doc) return false;
+  }
+  return true;
+}
+
+/// Position-list pointers for cursors already placed on one document.
+/// The references stay valid until a cursor moves again, so they are
+/// collected only after *all* cursors are placed.
+std::vector<const std::vector<uint32_t>*> PositionsView(
+    std::vector<PostingsCursor>& cursors) {
+  std::vector<const std::vector<uint32_t>*> positions;
+  positions.reserve(cursors.size());
+  for (PostingsCursor& c : cursors) positions.push_back(&c.positions());
+  return positions;
+}
+
 }  // namespace
 
 uint32_t CountOrderedMatches(const InvertedIndex& index,
                              const std::vector<std::string>& terms, DocId doc,
                              uint32_t max_gap) {
   if (terms.size() < 2) return 0;
-  std::vector<const std::vector<uint32_t>*> positions;
-  positions.reserve(terms.size());
-  for (const std::string& t : terms) {
-    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
-    if (p == nullptr || p->empty()) return 0;
-    positions.push_back(p);
-  }
-  return OrderedMatchesIn(positions, max_gap);
+  std::vector<PostingsCursor> cursors = OpenCursors(index, terms);
+  if (cursors.empty() || !PlaceOn(cursors, doc)) return 0;
+  return OrderedMatchesIn(PositionsView(cursors), max_gap);
 }
 
 uint32_t CountUnorderedMatches(const InvertedIndex& index,
                                const std::vector<std::string>& terms,
                                DocId doc, uint32_t span) {
   if (terms.size() < 2) return 0;
-  std::vector<const std::vector<uint32_t>*> positions;
-  positions.reserve(terms.size());
-  for (const std::string& t : terms) {
-    const std::vector<uint32_t>* p = PositionsOf(index, t, doc);
-    if (p == nullptr || p->empty()) return 0;
-    positions.push_back(p);
-  }
-  return UnorderedMatchesIn(positions, span);
+  std::vector<PostingsCursor> cursors = OpenCursors(index, terms);
+  if (cursors.empty() || !PlaceOn(cursors, doc)) return 0;
+  return UnorderedMatchesIn(PositionsView(cursors), span);
 }
 
-std::map<DocId, uint32_t> WindowMatchFrequencies(
+StatusOr<std::map<DocId, uint32_t>> WindowMatchFrequencies(
     const InvertedIndex& index, const std::vector<std::string>& terms,
     bool ordered, uint32_t window) {
   std::map<DocId, uint32_t> out;
   if (terms.size() < 2) return out;
   // Candidate generation: a window match needs every term, so the
-  // candidate set is the galloping intersection of all postings lists
-  // (doc-at-a-time, rarest list driving) instead of a scan of the
-  // rarest term's postings with per-doc binary searches.
-  std::vector<const std::vector<Posting>*> lists;
-  lists.reserve(terms.size());
-  for (const std::string& t : terms) {
-    const std::vector<Posting>* p = index.GetPostings(t);
-    if (p == nullptr || p->empty()) return out;
-    lists.push_back(p);
-  }
-  std::vector<DocId> candidates = IntersectPostings(lists);
-  // Ascending candidates: advance a cursor per term instead of a fresh
-  // binary search per (term, doc) pair.
-  std::vector<size_t> cursors(terms.size(), 0);
-  std::vector<const std::vector<uint32_t>*> positions(terms.size());
-  for (DocId doc : candidates) {
-    for (size_t t = 0; t < lists.size(); ++t) {
-      cursors[t] = GallopTo(*lists[t], cursors[t], doc);
-      // Intersection guarantees presence.
-      positions[t] = &(*lists[t])[cursors[t]].positions;
-    }
+  // candidates are exactly the cursor intersection — whole blocks that
+  // cannot contain a common document are skipped without decoding.
+  // The visitor fires with every cursor positioned on the candidate,
+  // so the position lists are read straight out of the cursors.
+  std::vector<PostingsCursor> cursors = OpenCursors(index, terms);
+  if (cursors.empty()) return out;
+  SDMS_RETURN_IF_ERROR(IntersectCursorsVisit(cursors, [&](DocId doc) {
+    std::vector<const std::vector<uint32_t>*> positions =
+        PositionsView(cursors);
     uint32_t tf = ordered ? OrderedMatchesIn(positions, window)
                           : UnorderedMatchesIn(positions, window);
     if (tf > 0) out[doc] = tf;
-  }
+  }));
   return out;
 }
 

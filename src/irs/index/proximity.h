@@ -12,11 +12,15 @@ namespace sdms::irs {
 
 /// Proximity matching over the positional postings. These back the
 /// #odN/#phrase/#uwN operators: an extension the positional index was
-/// built for (INQUERY shipped equivalent operators).
+/// built for (INQUERY shipped equivalent operators). All matching runs
+/// over block cursors, so only the blocks containing candidate
+/// documents are ever decoded.
 
 /// Counts non-overlapping *ordered* window matches of `terms` in `doc`:
 /// the terms appear in the given order with at most `max_gap` positions
 /// between adjacent terms (#phrase == max_gap 1, i.e. adjacent).
+/// Returns 0 when any term is absent from the document (including on a
+/// block decode failure — single-doc probes have no error channel).
 uint32_t CountOrderedMatches(const InvertedIndex& index,
                              const std::vector<std::string>& terms, DocId doc,
                              uint32_t max_gap);
@@ -27,10 +31,12 @@ uint32_t CountUnorderedMatches(const InvertedIndex& index,
                                const std::vector<std::string>& terms,
                                DocId doc, uint32_t span);
 
-/// Match frequencies for every live document with at least one match.
+/// Match frequencies for every document with at least one match.
 /// `ordered` selects ordered vs unordered matching; `window` is the
-/// max gap (ordered) or span (unordered).
-std::map<DocId, uint32_t> WindowMatchFrequencies(
+/// max gap (ordered) or span (unordered). Candidates come from the
+/// block-skipping cursor intersection; a block decode failure surfaces
+/// as an error status.
+StatusOr<std::map<DocId, uint32_t>> WindowMatchFrequencies(
     const InvertedIndex& index, const std::vector<std::string>& terms,
     bool ordered, uint32_t window);
 

@@ -11,8 +11,9 @@ namespace {
 /// Set-based Boolean retrieval: a document either matches (score 1.0)
 /// or does not. #sum/#max/#wsum degrade to OR; #and intersects; #not
 /// complements against the live-document set. Sets are sorted DocId
-/// vectors; all-term #and conjunctions use the galloping intersection
-/// kernel directly on the postings lists.
+/// vectors; all-term #and conjunctions run the block-cursor
+/// intersection kernel directly over the compressed lists, skipping
+/// blocks that cannot contain a common document.
 class BooleanModel : public RetrievalModel {
  public:
   std::string name() const override { return "boolean"; }
@@ -50,12 +51,11 @@ class BooleanModel : public RetrievalModel {
                            const QueryNode& node) const {
     switch (node.op) {
       case QueryOp::kTerm: {
+        SDMS_ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                              index.DecodePostings(node.term));
         DocSet out;
-        const std::vector<Posting>* postings = index.GetPostings(node.term);
-        if (postings != nullptr) {
-          out.reserve(postings->size());
-          for (const Posting& p : *postings) out.push_back(p.doc);
-        }
+        out.reserve(postings.size());
+        for (const Posting& p : postings) out.push_back(p.doc);
         return out;
       }
       case QueryOp::kAnd: {
@@ -69,12 +69,12 @@ class BooleanModel : public RetrievalModel {
           }
         }
         if (all_terms) {
-          std::vector<const std::vector<Posting>*> lists;
-          lists.reserve(node.children.size());
+          std::vector<PostingsCursor> cursors;
+          cursors.reserve(node.children.size());
           for (const auto& c : node.children) {
-            lists.push_back(index.GetPostings(c->term));
+            cursors.push_back(index.OpenCursor(c->term));
           }
-          return IntersectPostings(std::move(lists));
+          return IntersectCursors(std::move(cursors));
         }
         DocSet acc;
         bool first = true;
@@ -105,9 +105,12 @@ class BooleanModel : public RetrievalModel {
       case QueryOp::kUwn: {
         std::vector<std::string> terms;
         node.CollectTerms(terms);
+        SDMS_ASSIGN_OR_RETURN(
+            auto freqs, WindowMatchFrequencies(index, terms,
+                                               node.op == QueryOp::kOdn,
+                                               node.window));
         DocSet out;
-        for (const auto& [doc, tf] : WindowMatchFrequencies(
-                 index, terms, node.op == QueryOp::kOdn, node.window)) {
+        for (const auto& [doc, tf] : freqs) {
           out.push_back(doc);  // map iteration is already ascending
         }
         return out;

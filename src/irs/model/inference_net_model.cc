@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -33,19 +34,23 @@ class InferenceNetModel : public RetrievalModel {
                            const QueryNode& query) const override {
     // Window (#odN/#uwN) nodes: precompute match frequencies once.
     WindowCache window_cache;
-    CollectWindows(index, query, window_cache);
+    SDMS_RETURN_IF_ERROR(CollectWindows(index, query, window_cache));
 
     // Candidate generation: every document providing evidence for some
     // evidence node — containing a plain query term, or matching a
     // window expression. Other documents keep the all-default belief,
     // which is constant across documents and rank-irrelevant. The
     // candidate set is a sorted-vector k-way union of the evidence
-    // postings (doc-at-a-time), not a std::set accumulation.
+    // postings (doc-at-a-time), not a std::set accumulation. Each
+    // unique query term is decoded exactly once; `decoded` owns the
+    // lists (deque: growth never invalidates the pointers in
+    // `term_lists`).
     TfCache tf_cache;
+    std::deque<std::vector<Posting>> decoded;
     std::vector<const std::vector<Posting>*> term_lists;
     std::vector<DocId> window_docs;
-    CollectEvidence(index, query, window_cache, term_lists, window_docs,
-                    tf_cache);
+    SDMS_RETURN_IF_ERROR(CollectEvidence(index, query, window_cache, decoded,
+                                         term_lists, window_docs, tf_cache));
     std::vector<DocId> candidates = UnionPostings(term_lists);
     if (!window_docs.empty()) {
       std::sort(window_docs.begin(), window_docs.end());
@@ -82,44 +87,56 @@ class InferenceNetModel : public RetrievalModel {
       std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>;
   using WindowCache = std::map<const QueryNode*, std::map<DocId, uint32_t>>;
 
-  static void CollectEvidence(const InvertedIndex& index,
-                              const QueryNode& node,
-                              const WindowCache& window_cache,
-                              std::vector<const std::vector<Posting>*>& lists,
-                              std::vector<DocId>& window_docs,
-                              TfCache& tf_cache) {
+  static Status CollectEvidence(const InvertedIndex& index,
+                                const QueryNode& node,
+                                const WindowCache& window_cache,
+                                std::deque<std::vector<Posting>>& decoded,
+                                std::vector<const std::vector<Posting>*>& lists,
+                                std::vector<DocId>& window_docs,
+                                TfCache& tf_cache) {
     if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
       auto it = window_cache.find(&node);
       if (it != window_cache.end()) {
         for (const auto& [doc, tf] : it->second) window_docs.push_back(doc);
       }
-      return;  // Terms inside a window contribute only via matches.
+      return Status::OK();  // Terms in a window contribute via matches.
     }
     if (node.op == QueryOp::kTerm) {
-      const std::vector<Posting>* postings = index.GetPostings(node.term);
-      if (postings == nullptr) return;
-      if (tf_cache.count(node.term) > 0) return;  // repeated query term
+      if (tf_cache.count(node.term) > 0) {
+        return Status::OK();  // repeated query term, already decoded
+      }
+      SDMS_ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                            index.DecodePostings(node.term));
+      if (postings.empty()) return Status::OK();
       auto& per_doc = tf_cache[node.term];
-      per_doc.reserve(postings->size());
-      for (const Posting& p : *postings) per_doc[p.doc] = p.tf;
-      lists.push_back(postings);
-      return;
+      per_doc.reserve(postings.size());
+      for (const Posting& p : postings) per_doc[p.doc] = p.tf;
+      decoded.push_back(std::move(postings));
+      lists.push_back(&decoded.back());
+      return Status::OK();
     }
     for (const auto& c : node.children) {
-      CollectEvidence(index, *c, window_cache, lists, window_docs, tf_cache);
+      SDMS_RETURN_IF_ERROR(CollectEvidence(index, *c, window_cache, decoded,
+                                           lists, window_docs, tf_cache));
     }
+    return Status::OK();
   }
 
-  static void CollectWindows(const InvertedIndex& index, const QueryNode& node,
-                             WindowCache& cache) {
+  static Status CollectWindows(const InvertedIndex& index,
+                               const QueryNode& node, WindowCache& cache) {
     if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
       std::vector<std::string> terms;
       node.CollectTerms(terms);
-      cache[&node] = WindowMatchFrequencies(
-          index, terms, node.op == QueryOp::kOdn, node.window);
-      return;
+      SDMS_ASSIGN_OR_RETURN(
+          cache[&node],
+          WindowMatchFrequencies(index, terms, node.op == QueryOp::kOdn,
+                                 node.window));
+      return Status::OK();
     }
-    for (const auto& c : node.children) CollectWindows(index, *c, cache);
+    for (const auto& c : node.children) {
+      SDMS_RETURN_IF_ERROR(CollectWindows(index, *c, cache));
+    }
+    return Status::OK();
   }
 
   double TermBelief(const InvertedIndex& index, const std::string& term,

@@ -31,6 +31,21 @@ class RetrievalModel {
   /// BM25 scores are positive but unbounded).
   virtual StatusOr<ScoreMap> Score(const InvertedIndex& index,
                                    const QueryNode& query) const = 0;
+
+  /// Top-k-aware scoring: returns a *pruned* score map guaranteed to
+  /// contain every live document that can appear in the final top `k`
+  /// (ties included), each with exactly the score Score() would have
+  /// produced — so the caller's (score desc, key asc) selection over
+  /// the map yields rankings bit-identical to the exhaustive path.
+  /// Models that can exploit block metadata (Block-Max-WAND-style
+  /// skipping) override this; the default simply scores everything.
+  /// `k` == 0 means unbounded (identical to Score()).
+  virtual StatusOr<ScoreMap> ScoreTopK(const InvertedIndex& index,
+                                       const QueryNode& query,
+                                       size_t k) const {
+    (void)k;
+    return Score(index, query);
+  }
 };
 
 /// Factories for the built-in models.

@@ -32,8 +32,9 @@ class VectorSpaceModel : public RetrievalModel {
       double idf = std::log(n / static_cast<double>(df)) + 1.0;
       double wq = static_cast<double>(tf_q) * idf;
       query_norm_sq += wq * wq;
-      const std::vector<Posting>* postings = index.GetPostings(term);
-      for (const Posting& p : *postings) {
+      SDMS_ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                            index.DecodePostings(term));
+      for (const Posting& p : postings) {
         double wd = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
         scores[p.doc] += wq * wd;
       }

@@ -1,0 +1,162 @@
+#include "irs/storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/obs/metrics.h"
+#include "common/string_util.h"
+
+namespace sdms::irs {
+
+namespace {
+
+obs::Counter& PoolHits() {
+  static obs::Counter& c = obs::GetCounter("irs.bufferpool.hits");
+  return c;
+}
+
+obs::Counter& PoolMisses() {
+  static obs::Counter& c = obs::GetCounter("irs.bufferpool.misses");
+  return c;
+}
+
+obs::Counter& PoolEvictions() {
+  static obs::Counter& c = obs::GetCounter("irs.bufferpool.evictions");
+  return c;
+}
+
+obs::Gauge& ResidentPages() {
+  static obs::Gauge& g = obs::GetGauge("irs.bufferpool.resident_pages");
+  return g;
+}
+
+}  // namespace
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    hit_ = other.hit_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+std::string_view PageRef::data() const {
+  // The frame vector is sized once in the constructor and the frame is
+  // pinned, so the payload cannot move or be evicted under us.
+  return pool_->frames_[frame_].payload;
+}
+
+BufferPool::BufferPool(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  frames_.resize(capacity_);
+}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResidentPages().Add(-static_cast<int64_t>(page_to_frame_.size()));
+}
+
+StatusOr<PageRef> BufferPool::Fetch(uint64_t page_id,
+                                    const PageLoader& loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    f.tick = tick_;
+    ++f.pins;
+    ++hits_;
+    PoolHits().Increment();
+    return PageRef(this, it->second, /*hit=*/true);
+  }
+
+  // Miss: pick a victim frame — first an empty one, else the
+  // least-recently-used unpinned one.
+  size_t victim = capacity_;
+  uint64_t best_tick = 0;
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) {
+      victim = i;
+      break;
+    }
+    if (f.pins == 0 && (victim == capacity_ || f.tick < best_tick)) {
+      victim = i;
+      best_tick = f.tick;
+    }
+  }
+  if (victim == capacity_) {
+    return Status::ResourceExhausted(StrFormat(
+        "buffer pool exhausted: all %zu frames pinned", capacity_));
+  }
+
+  ++misses_;
+  PoolMisses().Increment();
+  SDMS_ASSIGN_OR_RETURN(std::string payload, loader(page_id));
+
+  Frame& f = frames_[victim];
+  if (f.valid) {
+    page_to_frame_.erase(f.page_id);
+    ++evictions_;
+    PoolEvictions().Increment();
+  } else {
+    ResidentPages().Add(1);
+  }
+  f.page_id = page_id;
+  f.payload = std::move(payload);
+  f.pins = 1;
+  f.tick = tick_;
+  f.valid = true;
+  page_to_frame_[page_id] = victim;
+  return PageRef(this, victim, /*hit=*/false);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  if (f.pins > 0) --f.pins;
+}
+
+size_t BufferPool::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_to_frame_.size();
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t BufferPool::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t BufferPool::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.valid && f.pins > 0) ++n;
+  }
+  return n;
+}
+
+size_t BufferPool::ApproxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = sizeof(BufferPool) + capacity_ * sizeof(Frame);
+  for (const Frame& f : frames_) bytes += f.payload.capacity();
+  return bytes;
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,104 @@
+#ifndef SDMS_IRS_STORAGE_BUFFER_POOL_H_
+#define SDMS_IRS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::irs {
+
+class BufferPool;
+
+/// RAII pin on one buffer-pool frame. While alive, the frame cannot be
+/// evicted and data() stays valid. Move-only; the destructor unpins.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  std::string_view data() const;
+  /// True when this fetch was served from the pool without touching disk.
+  bool hit() const { return hit_; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, bool hit)
+      : pool_(pool), frame_(frame), hit_(hit) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  bool hit_ = false;
+};
+
+/// Fixed-capacity page cache in front of the paged postings file:
+/// `capacity` frames, pin/unpin via PageRef, LRU eviction of unpinned
+/// frames. When every frame is pinned a fetch fails with
+/// kResourceExhausted rather than growing — memory pressure is a real
+/// error the caller must see (mirrors the paper's E4 point that the
+/// buffering budget, not the algorithm, bounds coupled-query cost).
+///
+/// Exposes obs counters irs.bufferpool.{hits,misses,evictions} and the
+/// gauge irs.bufferpool.resident_pages (process-wide totals across
+/// pools).
+class BufferPool {
+ public:
+  using PageLoader = std::function<StatusOr<std::string>(uint64_t)>;
+
+  explicit BufferPool(size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned reference to `page_id`, invoking `loader` on a
+  /// miss. The loader runs under the pool lock (loads are serialized;
+  /// correctness first — the page file read is one seek+read anyway).
+  StatusOr<PageRef> Fetch(uint64_t page_id, const PageLoader& loader);
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  /// Number of currently pinned frames (test/diagnostic aid).
+  size_t pinned() const;
+
+  /// Bytes held by resident frame payloads plus frame bookkeeping.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    uint64_t page_id = 0;
+    std::string payload;
+    uint32_t pins = 0;
+    uint64_t tick = 0;
+    bool valid = false;
+  };
+
+  void Unpin(size_t frame);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> page_to_frame_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_STORAGE_BUFFER_POOL_H_

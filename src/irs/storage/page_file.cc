@@ -1,0 +1,149 @@
+#include "irs/storage/page_file.h"
+
+#include <cstring>
+
+#include "common/fault/fault.h"
+#include "common/string_util.h"
+#include "oodb/storage/serializer.h"
+
+namespace sdms::irs {
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+uint64_t PageFileWriter::Append(std::string_view bytes) {
+  uint64_t offset = payload_.size();
+  payload_.append(bytes.data(), bytes.size());
+  return offset;
+}
+
+std::string PageFileWriter::Finish() const {
+  // Header page: magic, page size, payload size, CRC over those fields.
+  std::string header(kPageFileMagic, sizeof(kPageFileMagic));
+  PutU32(header, static_cast<uint32_t>(kPageSize));
+  PutU64(header, payload_.size());
+  PutU32(header, oodb::Crc32(header));
+  header.resize(kPageSize, '\0');
+
+  std::string image = std::move(header);
+  uint64_t pages =
+      (payload_.size() + kPagePayloadBytes - 1) / kPagePayloadBytes;
+  image.reserve(kPageSize * (1 + pages));
+  for (uint64_t p = 0; p < pages; ++p) {
+    uint64_t begin = p * kPagePayloadBytes;
+    uint64_t len = std::min<uint64_t>(kPagePayloadBytes,
+                                      payload_.size() - begin);
+    std::string_view chunk(payload_.data() + begin, len);
+    std::string page;
+    page.reserve(kPageSize);
+    PutU32(page, oodb::Crc32(chunk));
+    PutU32(page, static_cast<uint32_t>(len));
+    page.append(chunk);
+    page.resize(kPageSize, '\0');
+    image += page;
+  }
+  return image;
+}
+
+StatusOr<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.pagefile.open"));
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    return Status::NotFound(StrFormat("postings file missing: %s",
+                                      path.c_str()));
+  }
+  char header[kPageSize];
+  if (std::fread(header, 1, kPageSize, fp) != kPageSize) {
+    std::fclose(fp);
+    return Status::Corruption(
+        StrFormat("postings file header truncated: %s", path.c_str()));
+  }
+  if (std::memcmp(header, kPageFileMagic, sizeof(kPageFileMagic)) != 0) {
+    std::fclose(fp);
+    return Status::Corruption(
+        StrFormat("postings file bad magic: %s", path.c_str()));
+  }
+  const size_t kHeaderLen = sizeof(kPageFileMagic) + 4 + 8;
+  uint32_t page_size = ReadU32(header + sizeof(kPageFileMagic));
+  uint64_t payload_size = ReadU64(header + sizeof(kPageFileMagic) + 4);
+  uint32_t crc = ReadU32(header + kHeaderLen);
+  if (crc != oodb::Crc32(std::string_view(header, kHeaderLen))) {
+    std::fclose(fp);
+    return Status::Corruption(
+        StrFormat("postings file header checksum mismatch: %s", path.c_str()));
+  }
+  if (page_size != kPageSize) {
+    std::fclose(fp);
+    return Status::Corruption(
+        StrFormat("postings file page size %u != %zu: %s", page_size,
+                  kPageSize, path.c_str()));
+  }
+  return std::unique_ptr<PageFile>(new PageFile(fp, payload_size, path));
+}
+
+PageFile::~PageFile() {
+  if (fp_ != nullptr) std::fclose(fp_);
+}
+
+StatusOr<std::string> PageFile::ReadPage(uint64_t page) const {
+  if (page >= page_count()) {
+    return Status::InvalidArgument(
+        StrFormat("page %llu out of range (%llu data pages): %s",
+                  static_cast<unsigned long long>(page),
+                  static_cast<unsigned long long>(page_count()),
+                  path_.c_str()));
+  }
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.pagefile.read"));
+  char buf[kPageSize];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    long off = static_cast<long>((page + 1) * kPageSize);
+    if (std::fseek(fp_, off, SEEK_SET) != 0 ||
+        std::fread(buf, 1, kPageSize, fp_) != kPageSize) {
+      return Status::IoError(
+          StrFormat("short read of page %llu: %s",
+                    static_cast<unsigned long long>(page), path_.c_str()));
+    }
+  }
+  uint32_t crc = ReadU32(buf);
+  uint32_t len = ReadU32(buf + 4);
+  if (len > kPagePayloadBytes) {
+    return Status::Corruption(
+        StrFormat("page %llu payload length %u exceeds page capacity: %s",
+                  static_cast<unsigned long long>(page), len, path_.c_str()));
+  }
+  std::string_view payload(buf + kPageHeaderBytes, len);
+  if (crc != oodb::Crc32(payload)) {
+    return Status::Corruption(
+        StrFormat("page %llu checksum mismatch: %s",
+                  static_cast<unsigned long long>(page), path_.c_str()));
+  }
+  return std::string(payload);
+}
+
+}  // namespace sdms::irs

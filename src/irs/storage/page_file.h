@@ -1,0 +1,80 @@
+#ifndef SDMS_IRS_STORAGE_PAGE_FILE_H_
+#define SDMS_IRS_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sdms::irs {
+
+/// Fixed page geometry of the paged postings file. Every page is
+/// kPageSize bytes; data pages carry an 8-byte header
+/// {u32 crc32(payload), u32 payload_len} followed by up to
+/// kPagePayloadBytes of payload. Page 0 is the file header (magic,
+/// geometry, total payload size — checksummed like everything else).
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderBytes = 8;
+inline constexpr size_t kPagePayloadBytes = kPageSize - kPageHeaderBytes;
+
+inline constexpr char kPageFileMagic[8] = {'S', 'D', 'M', 'S',
+                                           'P', 'S', 'T', '1'};
+
+/// Builds a paged postings file image in memory. Payload bytes are
+/// appended as one logical stream; Finish() slices the stream into
+/// checksummed pages behind a header page. The caller publishes the
+/// image with WriteFileAtomic, so a half-written file can never be
+/// observed (crash leaves only a ".tmp", which recovery sweeps).
+class PageFileWriter {
+ public:
+  /// Appends payload bytes; returns the logical offset they start at.
+  uint64_t Append(std::string_view bytes);
+
+  uint64_t payload_size() const { return payload_.size(); }
+
+  /// Assembles the final paged image (header page + data pages).
+  std::string Finish() const;
+
+ private:
+  std::string payload_;
+};
+
+/// Read side of the paged postings file. Pages are read on demand and
+/// CRC-verified individually, so one flipped bit surfaces as
+/// kCorruption on exactly the queries that touch that page. Reads are
+/// serialized on an internal mutex (one seek+read critical section);
+/// callers cache decoded pages in the buffer pool above this layer.
+class PageFile {
+ public:
+  static StatusOr<std::unique_ptr<PageFile>> Open(const std::string& path);
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  uint64_t payload_size() const { return payload_size_; }
+  /// Number of data pages (excluding the header page).
+  uint64_t page_count() const {
+    return (payload_size_ + kPagePayloadBytes - 1) / kPagePayloadBytes;
+  }
+
+  /// Reads data page `page` (0-based, header page excluded), verifying
+  /// its CRC, and returns the payload bytes stored in it.
+  StatusOr<std::string> ReadPage(uint64_t page) const;
+
+ private:
+  PageFile(std::FILE* fp, uint64_t payload_size, std::string path)
+      : fp_(fp), payload_size_(payload_size), path_(std::move(path)) {}
+
+  mutable std::mutex mu_;
+  std::FILE* fp_ = nullptr;
+  uint64_t payload_size_ = 0;
+  std::string path_;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,76 @@
+#include "irs/storage/postings_store.h"
+
+#include <cstdlib>
+
+#include "common/file_util.h"
+#include "common/obs/stats.h"
+#include "common/string_util.h"
+
+namespace sdms::irs {
+
+size_t ResolveBufferPoolPages(int pool_pages) {
+  if (pool_pages > 0) return static_cast<size_t>(pool_pages);
+  if (const char* env = std::getenv("SDMS_BUFFER_POOL_PAGES")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return kDefaultBufferPoolPages;
+}
+
+BlockHandle PostingsStore::Writer::AppendBlock(std::string_view encoded) {
+  BlockHandle handle;
+  handle.offset = file_.Append(encoded);
+  handle.length = static_cast<uint32_t>(encoded.size());
+  return handle;
+}
+
+Status PostingsStore::Writer::Finish(const std::string& path) {
+  return WriteFileAtomic(path, file_.Finish());
+}
+
+StatusOr<std::unique_ptr<PostingsStore>> PostingsStore::Open(
+    const std::string& path, const std::string& collection, int pool_pages) {
+  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file, PageFile::Open(path));
+  return std::unique_ptr<PostingsStore>(
+      new PostingsStore(std::move(file), collection, path,
+                        ResolveBufferPoolPages(pool_pages)));
+}
+
+StatusOr<std::string> PostingsStore::ReadBlock(const BlockHandle& handle) const {
+  if (handle.offset + handle.length > file_->payload_size()) {
+    return Status::Corruption(StrFormat(
+        "block handle [%llu, +%u) outside postings payload (%llu bytes): %s",
+        static_cast<unsigned long long>(handle.offset), handle.length,
+        static_cast<unsigned long long>(file_->payload_size()),
+        path_.c_str()));
+  }
+  auto& stats = obs::StatisticsService::Instance();
+  std::string block;
+  block.reserve(handle.length);
+  uint64_t remaining = handle.length;
+  uint64_t offset = handle.offset;
+  while (remaining > 0) {
+    uint64_t page = offset / kPagePayloadBytes;
+    uint64_t in_page = offset % kPagePayloadBytes;
+    auto ref = pool_.Fetch(
+        page, [this](uint64_t p) { return file_->ReadPage(p); });
+    if (!ref.ok()) {
+      stats.RecordPoolLookup(collection_, /*hit=*/false);
+      return ref.status();
+    }
+    stats.RecordPoolLookup(collection_, ref->hit());
+    std::string_view payload = ref->data();
+    if (in_page >= payload.size()) {
+      return Status::Corruption(StrFormat(
+          "block handle points past payload of page %llu: %s",
+          static_cast<unsigned long long>(page), path_.c_str()));
+    }
+    uint64_t take = std::min<uint64_t>(remaining, payload.size() - in_page);
+    block.append(payload.data() + in_page, take);
+    offset += take;
+    remaining -= take;
+  }
+  return block;
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,76 @@
+#ifndef SDMS_IRS_STORAGE_POSTINGS_STORE_H_
+#define SDMS_IRS_STORAGE_POSTINGS_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "irs/index/block_postings.h"
+#include "irs/storage/buffer_pool.h"
+#include "irs/storage/page_file.h"
+
+namespace sdms::irs {
+
+/// Default buffer-pool size in pages when SDMS_BUFFER_POOL_PAGES is
+/// unset (256 × 4 KiB ≈ 1 MiB per open postings store).
+inline constexpr size_t kDefaultBufferPoolPages = 256;
+
+/// Resolves the buffer-pool capacity: an explicit `pool_pages` > 0
+/// wins, then the SDMS_BUFFER_POOL_PAGES environment knob, then the
+/// default. Always at least 1.
+size_t ResolveBufferPoolPages(int pool_pages);
+
+/// A sealed, read-only postings file: encoded blocks addressed by
+/// BlockHandle (logical payload offset + length), served through a
+/// fixed-size buffer pool over the paged file. Each page fetch is
+/// recorded into the StatisticsService pool-hit EWMA for `collection`
+/// so the cost model can price IRS-side I/O.
+class PostingsStore {
+ public:
+  /// Builds the paged image for one seal. AppendBlock hands back the
+  /// handle the index stores in its block metadata; Finish publishes
+  /// the file atomically.
+  class Writer {
+   public:
+    BlockHandle AppendBlock(std::string_view encoded);
+    Status Finish(const std::string& path);
+
+   private:
+    PageFileWriter file_;
+  };
+
+  /// Opens the postings file at `path`. `pool_pages` <= 0 defers to
+  /// SDMS_BUFFER_POOL_PAGES / the default.
+  static StatusOr<std::unique_ptr<PostingsStore>> Open(
+      const std::string& path, const std::string& collection,
+      int pool_pages = 0);
+
+  /// Reassembles one encoded block, fetching each spanned page through
+  /// the buffer pool.
+  StatusOr<std::string> ReadBlock(const BlockHandle& handle) const;
+
+  uint64_t payload_size() const { return file_->payload_size(); }
+  const BufferPool& pool() const { return pool_; }
+  const std::string& path() const { return path_; }
+
+  /// Buffer-pool frame memory (resident payloads + bookkeeping).
+  size_t ApproxMemoryBytes() const { return pool_.ApproxMemoryBytes(); }
+
+ private:
+  PostingsStore(std::unique_ptr<PageFile> file, std::string collection,
+                std::string path, size_t pool_pages)
+      : file_(std::move(file)),
+        collection_(std::move(collection)),
+        path_(std::move(path)),
+        pool_(pool_pages) {}
+
+  std::unique_ptr<PageFile> file_;
+  std::string collection_;
+  std::string path_;
+  mutable BufferPool pool_;
+};
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_STORAGE_POSTINGS_STORE_H_

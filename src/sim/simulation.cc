@@ -458,8 +458,10 @@ std::string Simulation::IndexDiff(const irs::InvertedIndex& index) {
     idx.ForEachDoc(
         [&](irs::DocId, const irs::DocInfo& info) { by_key[info.key]; });
     idx.ForEachTerm([&](const std::string& term,
-                        const std::vector<irs::Posting>& postings) {
-      for (const irs::Posting& p : postings) {
+                        const irs::BlockPostingsList& list) {
+      auto postings = list.DecodeAll();
+      if (!postings.ok()) return;  // best-effort post-mortem detail
+      for (const irs::Posting& p : *postings) {
         if (!idx.IsAlive(p.doc)) continue;
         auto doc = idx.GetDoc(p.doc);
         if (doc.ok()) by_key[(*doc)->key][term] = p.tf;

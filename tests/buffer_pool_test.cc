@@ -1,0 +1,225 @@
+#include "irs/storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "irs/storage/page_file.h"
+#include "irs/storage/postings_store.h"
+
+namespace sdms::irs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/sdms_pool_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+/// Loader serving synthetic pages, counting how often disk is "hit".
+struct CountingLoader {
+  int loads = 0;
+  BufferPool::PageLoader fn() {
+    return [this](uint64_t page_id) -> StatusOr<std::string> {
+      ++loads;
+      return "page-" + std::to_string(page_id);
+    };
+  }
+};
+
+TEST(BufferPoolTest, HitAfterMiss) {
+  BufferPool pool(4);
+  CountingLoader loader;
+  {
+    auto ref = pool.Fetch(7, loader.fn());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_FALSE(ref->hit());
+    EXPECT_EQ(ref->data(), "page-7");
+  }
+  {
+    auto ref = pool.Fetch(7, loader.fn());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(ref->hit());
+    EXPECT_EQ(ref->data(), "page-7");
+  }
+  EXPECT_EQ(loader.loads, 1);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.resident(), 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  CountingLoader loader;
+  (void)pool.Fetch(1, loader.fn());
+  (void)pool.Fetch(2, loader.fn());
+  // Touch 1 so 2 becomes least-recently-used.
+  (void)pool.Fetch(1, loader.fn());
+  // 3 must evict 2 (the LRU unpinned frame), not 1.
+  (void)pool.Fetch(3, loader.fn());
+  EXPECT_EQ(pool.evictions(), 1u);
+  auto one = pool.Fetch(1, loader.fn());
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->hit());  // survived
+  auto two = pool.Fetch(2, loader.fn());
+  ASSERT_TRUE(two.ok());
+  EXPECT_FALSE(two->hit());  // was evicted, reloaded
+}
+
+TEST(BufferPoolTest, PinnedFramesAreNotEvicted) {
+  BufferPool pool(2);
+  CountingLoader loader;
+  auto a = pool.Fetch(1, loader.fn());
+  ASSERT_TRUE(a.ok());
+  {
+    auto b = pool.Fetch(2, loader.fn());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(pool.pinned(), 2u);
+    // Every frame pinned: a third page cannot be admitted.
+    auto c = pool.Fetch(3, loader.fn());
+    ASSERT_FALSE(c.ok());
+    EXPECT_TRUE(c.status().IsResourceExhausted());
+  }
+  // b unpinned; now page 3 fits and must not displace pinned page 1.
+  EXPECT_EQ(pool.pinned(), 1u);
+  auto c = pool.Fetch(3, loader.fn());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->data(), "page-1");  // pin kept the frame intact
+}
+
+TEST(BufferPoolTest, FailedLoadLeavesPoolIntact) {
+  BufferPool pool(2);
+  CountingLoader loader;
+  (void)pool.Fetch(1, loader.fn());
+  size_t resident_before = pool.resident();
+  auto bad = pool.Fetch(9, [](uint64_t) -> StatusOr<std::string> {
+    return Status::Corruption("injected");
+  });
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(pool.resident(), resident_before);
+  auto again = pool.Fetch(1, loader.fn());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->hit());
+}
+
+// --- paged file -------------------------------------------------------
+
+TEST(PageFileTest, MultiPageRoundTrip) {
+  PageFileWriter writer;
+  // Three distinct payload chunks spanning multiple pages.
+  std::string big(kPagePayloadBytes + 123, 'a');
+  std::string small = "hello";
+  uint64_t off_big = writer.Append(big);
+  uint64_t off_small = writer.Append(small);
+  EXPECT_EQ(off_big, 0u);
+  EXPECT_EQ(off_small, big.size());
+
+  std::string path = TempPath("roundtrip.pst");
+  ASSERT_TRUE(WriteFileAtomic(path, writer.Finish()).ok());
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->payload_size(), big.size() + small.size());
+  EXPECT_EQ((*file)->page_count(), 2u);
+
+  auto page0 = (*file)->ReadPage(0);
+  auto page1 = (*file)->ReadPage(1);
+  ASSERT_TRUE(page0.ok() && page1.ok());
+  std::string reassembled = *page0 + *page1;
+  EXPECT_EQ(reassembled, big + small);
+  std::filesystem::remove(path);
+}
+
+TEST(PageFileTest, CorruptPageFailsCrc) {
+  PageFileWriter writer;
+  writer.Append(std::string(3 * kPagePayloadBytes, 'x'));
+  std::string image = writer.Finish();
+  // Flip one payload byte in the middle data page (page index 1 → file
+  // page 2, past its 8-byte header).
+  image[2 * kPageSize + kPageHeaderBytes + 100] ^= 0x40;
+  std::string path = TempPath("corrupt.pst");
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->ReadPage(0).ok());
+  auto bad = (*file)->ReadPage(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE((*file)->ReadPage(2).ok());  // damage is page-local
+  std::filesystem::remove(path);
+}
+
+TEST(PageFileTest, GarbageHeaderRejected) {
+  std::string path = TempPath("garbage.pst");
+  ASSERT_TRUE(WriteFileAtomic(path, "definitely not a page file").ok());
+  EXPECT_FALSE(PageFile::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+// --- postings store ---------------------------------------------------
+
+TEST(PostingsStoreTest, BlocksSpanPages) {
+  PostingsStore::Writer writer;
+  std::string block_a(kPagePayloadBytes - 10, 'a');  // ends near page edge
+  std::string block_b(300, 'b');                     // straddles the boundary
+  BlockHandle ha = writer.AppendBlock(block_a);
+  BlockHandle hb = writer.AppendBlock(block_b);
+  std::string path = TempPath("store.pst");
+  ASSERT_TRUE(writer.Finish(path).ok());
+
+  auto store = PostingsStore::Open(path, "test-coll", /*pool_pages=*/4);
+  ASSERT_TRUE(store.ok());
+  auto got_a = (*store)->ReadBlock(ha);
+  auto got_b = (*store)->ReadBlock(hb);
+  ASSERT_TRUE(got_a.ok() && got_b.ok());
+  EXPECT_EQ(*got_a, block_a);
+  EXPECT_EQ(*got_b, block_b);
+
+  // Out-of-range handles are rejected, not read as garbage.
+  BlockHandle bogus{(*store)->payload_size(), 16};
+  EXPECT_FALSE((*store)->ReadBlock(bogus).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PostingsStoreTest, PoolSmallerThanFileStillServesAllBlocks) {
+  PostingsStore::Writer writer;
+  std::vector<BlockHandle> handles;
+  std::vector<std::string> blocks;
+  for (int i = 0; i < 40; ++i) {
+    blocks.push_back(std::string(1500, static_cast<char>('a' + i % 26)));
+    handles.push_back(writer.AppendBlock(blocks.back()));
+  }
+  std::string path = TempPath("small_pool.pst");
+  ASSERT_TRUE(writer.Finish(path).ok());
+  // 40 × 1500 B ≈ 15 pages of payload; a 2-frame pool forces eviction
+  // traffic on every pass.
+  auto store = PostingsStore::Open(path, "test-coll", /*pool_pages=*/2);
+  ASSERT_TRUE(store.ok());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t i = 0; i < handles.size(); ++i) {
+      auto got = (*store)->ReadBlock(handles[i]);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, blocks[i]);
+    }
+  }
+  EXPECT_GT((*store)->pool().evictions(), 0u);
+  EXPECT_LE((*store)->pool().resident(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(PostingsStoreTest, ResolvePoolPagesPrecedence) {
+  ::unsetenv("SDMS_BUFFER_POOL_PAGES");
+  EXPECT_EQ(ResolveBufferPoolPages(0), kDefaultBufferPoolPages);
+  EXPECT_EQ(ResolveBufferPoolPages(7), 7u);
+  ::setenv("SDMS_BUFFER_POOL_PAGES", "33", 1);
+  EXPECT_EQ(ResolveBufferPoolPages(0), 33u);
+  EXPECT_EQ(ResolveBufferPoolPages(7), 7u);  // explicit beats env
+  ::setenv("SDMS_BUFFER_POOL_PAGES", "garbage", 1);
+  EXPECT_EQ(ResolveBufferPoolPages(0), kDefaultBufferPoolPages);
+  ::unsetenv("SDMS_BUFFER_POOL_PAGES");
+}
+
+}  // namespace
+}  // namespace sdms::irs

@@ -12,6 +12,14 @@ std::vector<std::string> Tokens(std::initializer_list<const char*> words) {
   return std::vector<std::string>(words.begin(), words.end());
 }
 
+/// Serialize() or fail the test (block decode errors cannot happen on
+/// the memory-resident indexes these tests build).
+std::string Ser(const InvertedIndex& index) {
+  auto blob = index.Serialize();
+  EXPECT_TRUE(blob.ok()) << blob.status().ToString();
+  return blob.ok() ? *blob : std::string();
+}
+
 TEST(InvertedIndexTest, AddAndLookup) {
   InvertedIndex index;
   DocId a = index.AddDocument("oid:1", Tokens({"www", "protocol", "www"}));
@@ -20,8 +28,8 @@ TEST(InvertedIndexTest, AddAndLookup) {
   EXPECT_EQ(index.total_tokens(), 5u);
   EXPECT_EQ(index.term_count(), 3u);
 
-  const auto* postings = index.GetPostings("www");
-  ASSERT_NE(postings, nullptr);
+  auto postings = index.DecodePostings("www");
+  ASSERT_TRUE(postings.ok());
   ASSERT_EQ(postings->size(), 1u);
   EXPECT_EQ((*postings)[0].doc, a);
   EXPECT_EQ((*postings)[0].tf, 2u);
@@ -50,7 +58,7 @@ TEST(InvertedIndexTest, RemovePrunesPostings) {
   ASSERT_TRUE(index.RemoveDocument(a).ok());
   EXPECT_EQ(index.doc_count(), 1u);
   EXPECT_EQ(index.DocFreq("x"), 1u);
-  EXPECT_EQ(index.GetPostings("unique"), nullptr);  // Term vanished.
+  EXPECT_EQ(index.GetPostingsList("unique"), nullptr);  // Term vanished.
   EXPECT_FALSE(index.FindByKey("a").ok());
   EXPECT_FALSE(index.RemoveDocument(a).ok());  // Double remove fails.
   EXPECT_EQ(index.CheckInvariants(), "");
@@ -63,20 +71,20 @@ TEST(InvertedIndexTest, SerializeRoundTrip) {
   DocId dead = index.AddDocument("oid:3", Tokens({"delta"}));
   ASSERT_TRUE(index.RemoveDocument(dead).ok());
 
-  std::string blob = index.Serialize();
+  std::string blob = Ser(index);
   auto restored = InvertedIndex::Deserialize(blob);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->doc_count(), 2u);
   EXPECT_EQ(restored->total_tokens(), 5u);
   EXPECT_EQ(restored->DocFreq("beta"), 2u);
-  EXPECT_EQ(restored->GetPostings("delta"), nullptr);
+  EXPECT_EQ(restored->GetPostingsList("delta"), nullptr);
   EXPECT_EQ(restored->CheckInvariants(), "");
   // Keys survive.
   EXPECT_TRUE(restored->FindByKey("oid:1").ok());
   EXPECT_FALSE(restored->FindByKey("oid:3").ok());
   // Positions survive delta-coding.
-  const auto* postings = restored->GetPostings("alpha");
-  ASSERT_NE(postings, nullptr);
+  auto postings = restored->DecodePostings("alpha");
+  ASSERT_TRUE(postings.ok());
   ASSERT_EQ((*postings)[0].positions.size(), 2u);
   EXPECT_EQ((*postings)[0].positions[1], 2u);
 }
@@ -124,7 +132,7 @@ TEST(InvertedIndexBatchTest, BatchMatchesSequentialBitForBit) {
     EXPECT_EQ((*ids)[i], static_cast<DocId>(i));
   }
   EXPECT_EQ(batched.CheckInvariants(), "");
-  EXPECT_EQ(batched.Serialize(), sequential.Serialize());
+  EXPECT_EQ(Ser(batched), Ser(sequential));
 }
 
 TEST(InvertedIndexBatchTest, ParallelBatchMatchesSequentialBitForBit) {
@@ -139,13 +147,13 @@ TEST(InvertedIndexBatchTest, ParallelBatchMatchesSequentialBitForBit) {
   auto ids = parallel.AddDocumentsBatch(batch, &pool);
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(parallel.CheckInvariants(), "");
-  EXPECT_EQ(parallel.Serialize(), sequential.Serialize());
+  EXPECT_EQ(Ser(parallel), Ser(sequential));
 }
 
 TEST(InvertedIndexBatchTest, DuplicateKeyInBatchFailsWithoutSideEffects) {
   InvertedIndex index;
   index.AddDocument("pre", Tokens({"x"}));
-  std::string before = index.Serialize();
+  std::string before = Ser(index);
 
   std::vector<DocTokens> dup = {{"a", Tokens({"x"})}, {"a", Tokens({"y"})}};
   EXPECT_FALSE(index.AddDocumentsBatch(dup).ok());
@@ -153,7 +161,7 @@ TEST(InvertedIndexBatchTest, DuplicateKeyInBatchFailsWithoutSideEffects) {
                                      {"pre", Tokens({"y"})}};
   EXPECT_FALSE(index.AddDocumentsBatch(existing).ok());
 
-  EXPECT_EQ(index.Serialize(), before);
+  EXPECT_EQ(Ser(index), before);
   EXPECT_EQ(index.CheckInvariants(), "");
 }
 
@@ -189,7 +197,7 @@ TEST(InvertedIndexDeleteTest, TombstoneThenCompactMatchesEager) {
   EXPECT_EQ(lazy.tombstone_count(), 0u);
   // After compaction the two deletion architectures are observationally
   // identical: same serialized form, same df, same postings.
-  EXPECT_EQ(lazy.Serialize(), eager.Serialize());
+  EXPECT_EQ(Ser(lazy), Ser(eager));
   EXPECT_EQ(lazy.DocFreq("aa"), eager.DocFreq("aa"));
 }
 
@@ -236,7 +244,7 @@ TEST_P(IndexPropertyTest, RandomOps) {
     ASSERT_EQ(index.doc_count(), live.size());
   }
   // Serialization of the final state round-trips.
-  auto restored = InvertedIndex::Deserialize(index.Serialize());
+  auto restored = InvertedIndex::Deserialize(Ser(index));
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->doc_count(), index.doc_count());
   EXPECT_EQ(restored->total_tokens(), index.total_tokens());

@@ -105,7 +105,10 @@ TEST(IrsCollectionTest, BatchAddMatchesSequentialSearch) {
   ThreadPool pool(3);
   ASSERT_TRUE(batched->AddDocumentsBatch(docs, &pool).ok());
 
-  EXPECT_EQ(batched->Serialize(), one_by_one->Serialize());
+  auto batched_blob = batched->Serialize();
+  auto one_by_one_blob = one_by_one->Serialize();
+  ASSERT_TRUE(batched_blob.ok() && one_by_one_blob.ok());
+  EXPECT_EQ(*batched_blob, *one_by_one_blob);
   for (const char* q : {"telnet", "protocol", "#and(telnet gopher)"}) {
     auto a = one_by_one->Search(q);
     auto b = batched->Search(q);
@@ -122,10 +125,13 @@ TEST(IrsCollectionTest, BatchAddMatchesSequentialSearch) {
 TEST(IrsCollectionTest, BatchRejectsDuplicateWithoutSideEffects) {
   auto coll = MakeCollection();
   ASSERT_TRUE(coll->AddDocument("oid:1", "existing text").ok());
-  std::string before = coll->Serialize();
+  auto before = coll->Serialize();
+  ASSERT_TRUE(before.ok());
   std::vector<BatchDocument> docs = {{"oid:2", "fresh"}, {"oid:1", "dup"}};
   EXPECT_FALSE(coll->AddDocumentsBatch(docs).ok());
-  EXPECT_EQ(coll->Serialize(), before);
+  auto after = coll->Serialize();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
 }
 
 TEST(IrsCollectionTest, TopKSearchEqualsPrefixOfFullSearch) {

@@ -1,0 +1,259 @@
+#include "irs/index/postings_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "irs/index/block_postings.h"
+
+namespace sdms::irs {
+namespace {
+
+// --- varbyte primitive ------------------------------------------------
+
+TEST(VarByteTest, RoundTripBoundaryValues) {
+  const uint32_t values[] = {0u,       1u,         127u,       128u,
+                             16383u,   16384u,     2097151u,   2097152u,
+                             268435455u, 268435456u, std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : values) {
+    std::string buf;
+    codec::PutVarU32(buf, v);
+    const char* p = buf.data();
+    uint32_t decoded = 0;
+    ASSERT_TRUE(codec::GetVarU32(p, buf.data() + buf.size(), decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(p, buf.data() + buf.size()) << "trailing bytes for " << v;
+  }
+}
+
+TEST(VarByteTest, RejectsTruncation) {
+  std::string buf;
+  codec::PutVarU32(buf, 300000u);  // multi-byte encoding
+  ASSERT_GT(buf.size(), 1u);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const char* p = buf.data();
+    uint32_t v = 0;
+    EXPECT_FALSE(codec::GetVarU32(p, buf.data() + cut, v)) << "cut " << cut;
+  }
+}
+
+TEST(VarByteTest, RejectsOverlongEncoding) {
+  // Six continuation bytes can only describe a value beyond 32 bits.
+  std::string buf = "\x80\x80\x80\x80\x80\x01";
+  const char* p = buf.data();
+  uint32_t v = 0;
+  EXPECT_FALSE(codec::GetVarU32(p, buf.data() + buf.size(), v));
+}
+
+// --- posting block codec ----------------------------------------------
+
+std::vector<Posting> RoundTrip(const std::vector<Posting>& postings) {
+  std::string payload;
+  DocId prev = postings.empty() ? 0 : postings[0].doc;
+  for (const Posting& p : postings) {
+    codec::AppendPosting(payload, prev, p.doc, p.tf, p.positions);
+    prev = p.doc;
+  }
+  std::vector<Posting> out;
+  Status s = codec::DecodeBlock(payload, postings.empty() ? 0 : postings[0].doc,
+                                static_cast<uint32_t>(postings.size()), out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+void ExpectSame(const std::vector<Posting>& a, const std::vector<Posting>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << i;
+    EXPECT_EQ(a[i].tf, b[i].tf) << i;
+    EXPECT_EQ(a[i].positions, b[i].positions) << i;
+  }
+}
+
+TEST(PostingsCodecTest, EmptyBlock) {
+  std::vector<Posting> out;
+  EXPECT_TRUE(codec::DecodeBlock("", 0, 0, out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PostingsCodecTest, SinglePosting) {
+  Posting p;
+  p.doc = 42;
+  p.tf = 3;
+  p.positions = {0, 7, 19};
+  ExpectSame(RoundTrip({p}), {p});
+}
+
+TEST(PostingsCodecTest, MaxDocId) {
+  Posting lo;
+  lo.doc = 0;
+  lo.tf = 1;
+  lo.positions = {5};
+  Posting hi;
+  hi.doc = std::numeric_limits<DocId>::max();
+  hi.tf = 1;
+  hi.positions = {std::numeric_limits<uint32_t>::max()};
+  std::vector<Posting> postings = {lo, hi};
+  ExpectSame(RoundTrip(postings), postings);
+}
+
+TEST(PostingsCodecTest, LongPositionList) {
+  Posting p;
+  p.doc = 9;
+  p.tf = 5000;
+  for (uint32_t i = 0; i < 5000; ++i) p.positions.push_back(i * 3 + (i % 2));
+  ExpectSame(RoundTrip({p}), {p});
+}
+
+TEST(PostingsCodecTest, TruncatedPayloadFails) {
+  Posting p;
+  p.doc = 10;
+  p.tf = 2;
+  p.positions = {100, 90000};
+  std::string payload;
+  codec::AppendPosting(payload, p.doc, p.doc, p.tf, p.positions);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<Posting> out;
+    EXPECT_FALSE(
+        codec::DecodeBlock(payload.substr(0, cut), p.doc, 1, out).ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(PostingsCodecTest, TrailingBytesFail) {
+  Posting p;
+  p.doc = 10;
+  p.tf = 1;
+  p.positions = {4};
+  std::string payload;
+  codec::AppendPosting(payload, p.doc, p.doc, p.tf, p.positions);
+  payload.push_back('\x01');
+  std::vector<Posting> out;
+  EXPECT_FALSE(codec::DecodeBlock(payload, p.doc, 1, out).ok());
+}
+
+// Property sweep: random lists round-trip exactly through the codec and
+// through BlockPostingsList (which adds block splitting on top).
+class CodecPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+std::vector<Posting> RandomList(sdms::Rng& rng, size_t count) {
+  std::vector<Posting> postings;
+  DocId doc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    doc += 1 + static_cast<DocId>(rng.Uniform(1000));
+    Posting p;
+    p.doc = doc;
+    size_t npos = rng.Uniform(8);  // empty position lists are legal
+    uint32_t pos = 0;
+    for (size_t j = 0; j < npos; ++j) {
+      pos += static_cast<uint32_t>(rng.Uniform(50));
+      p.positions.push_back(pos);
+      ++pos;
+    }
+    p.tf = std::max<uint32_t>(1, static_cast<uint32_t>(p.positions.size()));
+    postings.push_back(std::move(p));
+  }
+  return postings;
+}
+
+TEST_P(CodecPropertyTest, RandomRoundTrip) {
+  sdms::Rng rng(GetParam());
+  for (size_t count : {0u, 1u, 5u, 127u, 128u, 129u, 400u}) {
+    std::vector<Posting> postings = RandomList(rng, count);
+    if (!postings.empty()) {
+      ExpectSame(RoundTrip(postings), postings);
+    }
+
+    BlockPostingsList list;
+    for (const Posting& p : postings) {
+      list.Append(p.doc, p.tf, p.positions, /*doc_len=*/p.tf);
+    }
+    EXPECT_EQ(list.size(), postings.size());
+    EXPECT_EQ(list.block_count(),
+              (count + BlockPostingsList::kBlockPostings - 1) /
+                  BlockPostingsList::kBlockPostings);
+    auto decoded = list.DecodeAll();
+    ASSERT_TRUE(decoded.ok());
+    ExpectSame(*decoded, postings);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest, testing::Values(3, 17, 99));
+
+// --- block metadata + cursor ------------------------------------------
+
+TEST(BlockPostingsListTest, BlockMetadataTracksContent) {
+  BlockPostingsList list;
+  for (DocId d = 0; d < 300; ++d) {
+    list.Append(d * 2, /*tf=*/1 + d % 5, {d}, /*doc_len=*/10 + d);
+  }
+  ASSERT_EQ(list.block_count(), 3u);
+  const PostingsBlockMeta& b0 = list.block(0);
+  EXPECT_EQ(b0.first_doc, 0u);
+  EXPECT_EQ(b0.last_doc, 254u);  // doc 127*2
+  EXPECT_EQ(b0.count, 128u);
+  EXPECT_EQ(b0.max_tf, 5u);
+  EXPECT_EQ(b0.min_doc_len, 10u);
+  EXPECT_EQ(list.last_doc(), 598u);
+  EXPECT_EQ(list.max_tf(), 5u);
+  EXPECT_EQ(list.min_doc_len(), 10u);
+}
+
+TEST(PostingsCursorTest, IterateAndSkip) {
+  BlockPostingsList list;
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 1000; d += 3) {
+    list.Append(d, 1, {0}, 5);
+    docs.push_back(d);
+  }
+
+  // Full iteration matches.
+  PostingsCursor it(&list);
+  for (DocId d : docs) {
+    ASSERT_FALSE(it.AtEnd());
+    EXPECT_EQ(it.doc(), d);
+    it.Next();
+  }
+  EXPECT_TRUE(it.AtEnd());
+  EXPECT_TRUE(it.status().ok());
+
+  // SkipTo lands on the first doc >= target, including block jumps.
+  PostingsCursor skip(&list);
+  ASSERT_TRUE(skip.SkipTo(500));
+  EXPECT_EQ(skip.doc(), 501u);  // 500 is not a multiple of 3
+  ASSERT_TRUE(skip.SkipTo(501));
+  EXPECT_EQ(skip.doc(), 501u);  // idempotent at the target
+  ASSERT_TRUE(skip.SkipTo(998));
+  EXPECT_EQ(skip.doc(), 999u);
+  EXPECT_FALSE(skip.SkipTo(1000));
+  EXPECT_TRUE(skip.AtEnd());
+  EXPECT_TRUE(skip.status().ok());
+}
+
+TEST(PostingsCursorTest, EmptyAndNullLists) {
+  PostingsCursor null_cursor;
+  EXPECT_TRUE(null_cursor.AtEnd());
+  BlockPostingsList empty;
+  PostingsCursor empty_cursor(&empty);
+  EXPECT_TRUE(empty_cursor.AtEnd());
+  EXPECT_FALSE(empty_cursor.SkipTo(0));
+}
+
+TEST(PostingsCursorTest, BlockLevelAdvanceDoesNotDecode) {
+  BlockPostingsList list;
+  for (DocId d = 0; d < 512; ++d) list.Append(d, 1, {0}, 5);
+  ASSERT_EQ(list.block_count(), 4u);
+  PostingsCursor c(&list);
+  // Jump straight to the last block by metadata only.
+  ASSERT_TRUE(c.AdvanceBlocksTo(400));
+  EXPECT_EQ(c.block_first_doc(), 384u);
+  EXPECT_EQ(c.block_last_doc(), 511u);
+  EXPECT_EQ(c.block_max_tf(), 1u);
+  // Decoding afterwards still positions correctly.
+  ASSERT_TRUE(c.SkipTo(400));
+  EXPECT_EQ(c.doc(), 400u);
+}
+
+}  // namespace
+}  // namespace sdms::irs

@@ -77,11 +77,13 @@ TEST_F(ProximityTest, UnorderedWindow) {
 TEST_F(ProximityTest, WindowMatchFrequencies) {
   auto ordered = WindowMatchFrequencies(index_, {"information", "retrieval"},
                                         /*ordered=*/true, 1);
-  ASSERT_EQ(ordered.size(), 1u);
-  EXPECT_EQ(ordered.count(a_), 1u);
+  ASSERT_TRUE(ordered.ok());
+  ASSERT_EQ(ordered->size(), 1u);
+  EXPECT_EQ(ordered->count(a_), 1u);
   auto unordered = WindowMatchFrequencies(index_, {"information", "retrieval"},
                                           /*ordered=*/false, 4);
-  EXPECT_EQ(unordered.size(), 3u);  // a, b, c
+  ASSERT_TRUE(unordered.ok());
+  EXPECT_EQ(unordered->size(), 3u);  // a, b, c
 }
 
 TEST(ProximityQueryTest, PhraseThroughCollection) {
