@@ -43,6 +43,11 @@ struct LevelResult {
   uint64_t ok = 0;
   uint64_t degraded = 0;
   uint64_t shed = 0;
+  /// Per-cause split of `shed` at the bench's own controller (inner
+  /// evaluator sheds land in the remainder).
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_queue_wait = 0;
   double p50_us = 0;
   double p99_us = 0;
   /// From the per-query profiles: total inner queue wait and postings
@@ -79,6 +84,9 @@ LevelResult RunLevel(size_t multiplier) {
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> degraded{0};
   std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_deadline{0};
+  std::atomic<uint64_t> shed_queue_wait{0};
   std::atomic<uint64_t> queue_wait_us{0};
   std::atomic<uint64_t> postings_scanned{0};
   std::vector<std::vector<double>> latencies(out.threads);
@@ -102,9 +110,23 @@ LevelResult RunLevel(size_t multiplier) {
           latencies[t].push_back(us);
           latency_hist.Record(us);
         };
-        auto ticket = controller.Admit(&ctx);
+        coupling::ShedCause cause = coupling::ShedCause::kNone;
+        auto ticket = controller.Admit(&ctx, &cause);
         if (!ticket.ok()) {
           shed.fetch_add(1);
+          switch (cause) {
+            case coupling::ShedCause::kQueueFull:
+              shed_queue_full.fetch_add(1);
+              break;
+            case coupling::ShedCause::kDeadlineExpired:
+              shed_deadline.fetch_add(1);
+              break;
+            case coupling::ShedCause::kQueueWait:
+              shed_queue_wait.fetch_add(1);
+              break;
+            default:
+              break;
+          }
           record();
           continue;
         }
@@ -138,6 +160,9 @@ LevelResult RunLevel(size_t multiplier) {
   out.ok = ok.load();
   out.degraded = degraded.load();
   out.shed = shed.load();
+  out.shed_queue_full = shed_queue_full.load();
+  out.shed_deadline = shed_deadline.load();
+  out.shed_queue_wait = shed_queue_wait.load();
   std::vector<double> all;
   for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
@@ -153,6 +178,15 @@ LevelResult RunLevel(size_t multiplier) {
       .Add(out.degraded);
   obs::GetCounter("bench.overload.shed.x" + std::to_string(multiplier))
       .Add(out.shed);
+  obs::GetCounter("bench.overload.shed_queue_full.x" +
+                  std::to_string(multiplier))
+      .Add(out.shed_queue_full);
+  obs::GetCounter("bench.overload.shed_deadline_expired.x" +
+                  std::to_string(multiplier))
+      .Add(out.shed_deadline);
+  obs::GetCounter("bench.overload.shed_queue_wait.x" +
+                  std::to_string(multiplier))
+      .Add(out.shed_queue_wait);
   obs::GetCounter("bench.overload.queue_wait_us.x" +
                   std::to_string(multiplier))
       .Add(out.queue_wait_us);
@@ -168,14 +202,16 @@ void Run() {
   std::printf("overload: capacity=%zu, %d queries/thread, deadline=%lldms\n\n",
               kCapacity, kQueriesPerThread,
               static_cast<long long>(kDeadlineMs));
-  Table table({"load", "threads", "ok", "degraded", "shed", "shed-rate",
-               "p50-us", "p99-us", "q-wait-us", "postings"});
+  Table table({"load", "threads", "ok", "degraded", "shed", "qfull",
+               "dline", "qwait", "shed-rate", "p50-us", "p99-us",
+               "q-wait-us", "postings"});
   for (size_t multiplier : {1u, 4u, 16u}) {
     LevelResult r = RunLevel(multiplier);
     uint64_t total = r.ok + r.degraded + r.shed;
     table.AddRow({std::to_string(multiplier) + "x",
                   FmtInt(r.threads), FmtInt(r.ok), FmtInt(r.degraded),
-                  FmtInt(r.shed),
+                  FmtInt(r.shed), FmtInt(r.shed_queue_full),
+                  FmtInt(r.shed_deadline), FmtInt(r.shed_queue_wait),
                   Fmt("%.3f", total ? double(r.shed) / double(total) : 0.0),
                   Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us),
                   Fmt("%.0f", total ? double(r.queue_wait_us) / double(total)

@@ -1,0 +1,182 @@
+// Network-service benchmark: a closed-loop multi-connection driver
+// against an in-process sdms_server at 1x / 4x / 16x the admission
+// capacity. Unlike bench_overload (which drives the controller
+// directly), every request here crosses the real wire — framing,
+// session dispatch, admission *before* the exec mutex, response
+// encoding — so the p50/p99 and shed-rate columns price the whole
+// service path. Publishes BENCH_server.json.
+//
+// Thread model: one server (sessions share the exec mutex; the
+// QueryEngine is externally synchronized), N client threads each with
+// its own connection running a closed loop.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/query_context.h"
+#include "coupling/admission.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace sdms::bench {
+namespace {
+
+constexpr size_t kCapacity = 2;
+constexpr int kQueriesPerConn = 25;
+constexpr int64_t kDeadlineMs = 200;
+
+const char kMixedQuery[] =
+    "ACCESS p FROM p IN PARA "
+    "WHERE p -> getIRSValue('paras', 'www') > 0.3";
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * double(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+struct LevelResult {
+  size_t connections = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t transport_errors = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LevelResult RunLevel(server::Server& srv, size_t multiplier) {
+  LevelResult out;
+  out.connections = kCapacity * multiplier;
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> transport{0};
+  std::vector<std::vector<double>> latencies(out.connections);
+  obs::Histogram& latency_hist = obs::GetHistogram(
+      "bench.server.latency_us.x" + std::to_string(multiplier));
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < out.connections; ++t) {
+    threads.emplace_back([&, t] {
+      server::ClientOptions copts;
+      copts.port = srv.port();
+      copts.peer_label = "bench_server";
+      server::SdmsClient client(copts);
+      if (!client.Connect().ok()) {
+        transport.fetch_add(kQueriesPerConn);
+        return;
+      }
+      for (int i = 0; i < kQueriesPerConn; ++i) {
+        server::QueryRequest req;
+        req.vql = kMixedQuery;
+        req.deadline_ms = kDeadlineMs;
+        QueryContext ctx;
+        ctx.SetDeadlineAfterMs(kDeadlineMs);
+        QueryContext::Scope scope(&ctx);
+        auto arrival = std::chrono::steady_clock::now();
+        auto resp = client.Query(req);
+        double us = double(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - arrival)
+                .count());
+        latencies[t].push_back(us);
+        latency_hist.Record(us);
+        if (resp.ok()) {
+          if (resp->result.degraded) {
+            degraded.fetch_add(1);
+          } else {
+            ok.fetch_add(1);
+          }
+        } else if (resp.status().IsResourceExhausted()) {
+          shed.fetch_add(1);
+        } else if (resp.status().IsDeadlineExceeded()) {
+          deadline.fetch_add(1);
+        } else {
+          transport.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  out.ok = ok.load();
+  out.degraded = degraded.load();
+  out.shed = shed.load();
+  out.deadline = deadline.load();
+  out.transport_errors = transport.load();
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p50_us = Percentile(all, 0.50);
+  out.p99_us = Percentile(all, 0.99);
+
+  const std::string x = ".x" + std::to_string(multiplier);
+  obs::GetCounter("bench.server.ok" + x).Add(out.ok);
+  obs::GetCounter("bench.server.degraded" + x).Add(out.degraded);
+  obs::GetCounter("bench.server.shed" + x).Add(out.shed);
+  obs::GetCounter("bench.server.deadline" + x).Add(out.deadline);
+  obs::GetCounter("bench.server.transport_errors" + x)
+      .Add(out.transport_errors);
+  return out;
+}
+
+void Run() {
+  sgml::CorpusOptions corpus;
+  corpus.num_docs = 12;
+  coupling::CouplingOptions options;
+  options.disable_buffering = true;  // pay the real IRS cost per query
+  options.admission.max_concurrent = kCapacity;
+  options.admission.max_queue = kCapacity * 2;
+  options.admission.max_queue_wait_micros = kDeadlineMs * 1000;
+  auto sys = MakeSystem(corpus, options);
+  MakeIndexedCollection(*sys, "paras", "ACCESS p FROM p IN PARA",
+                        coupling::kTextModeSubtree);
+
+  server::ServerOptions sopts;
+  sopts.max_sessions = kCapacity * 16 + 8;
+  server::Server srv(sys->coupling.get(), sopts);
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+
+  std::printf(
+      "server: capacity=%zu, %d queries/connection, deadline=%lldms, "
+      "port=%u\n\n",
+      kCapacity, kQueriesPerConn, static_cast<long long>(kDeadlineMs),
+      srv.port());
+  Table table({"load", "conns", "ok", "degraded", "shed", "dl-err",
+               "net-err", "shed-rate", "p50-us", "p99-us"});
+  for (size_t multiplier : {1u, 4u, 16u}) {
+    LevelResult r = RunLevel(srv, multiplier);
+    uint64_t total =
+        r.ok + r.degraded + r.shed + r.deadline + r.transport_errors;
+    table.AddRow({std::to_string(multiplier) + "x", FmtInt(r.connections),
+                  FmtInt(r.ok), FmtInt(r.degraded), FmtInt(r.shed),
+                  FmtInt(r.deadline), FmtInt(r.transport_errors),
+                  Fmt("%.3f", total ? double(r.shed) / double(total) : 0.0),
+                  Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us)});
+  }
+  table.Print();
+
+  size_t cancelled = srv.Shutdown();
+  std::printf("\nshutdown: %zu cancelled\n", cancelled);
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("server");
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <cctype>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -34,6 +35,7 @@
 #include "oodb/database.h"
 #include "sgml/corpus/generator.h"
 #include "sgml/mmf_dtd.h"
+#include "server/client.h"
 
 using namespace sdms;
 
@@ -58,12 +60,16 @@ void PrintHelp() {
       "  .stats queries                     statistics service (DF, cardinalities, latencies)\n"
       "  .stats save <file>                 statistics service as JSON\n"
       "  .deadline <ms>                     per-query deadline (0 = off)\n"
+      "  .connect <host>:<port>             remote mode: queries go to sdms_server\n"
+      "  .disconnect                        back to the local (in-process) system\n"
       "  .classes                           schema classes\n"
       "  .log <debug|info|warn|error|off>   set log verbosity\n"
       "  .trace <on|off|save <file.json>>   per-query trace spans\n"
       "  .help / .quit\n"
       "Ctrl-C cancels the in-flight query (kCancelled) instead of\n"
-      "killing the shell.\n");
+      "killing the shell; in remote mode the cancel travels over the\n"
+      "wire. SIGTERM exits cleanly, saving a statistics checkpoint\n"
+      "(SDMS_STATS_FILE, default stats_checkpoint.sdms).\n");
 }
 
 /// Ctrl-C cancellation: the handler performs a single atomic store
@@ -72,6 +78,17 @@ void PrintHelp() {
 CancelToken g_sigint_cancel;
 
 void HandleSigint(int) { g_sigint_cancel.Cancel(); }
+
+/// SIGTERM asks for a clean exit: the handler sets a flag (and cancels
+/// the in-flight query); the main loop notices it — installed without
+/// SA_RESTART so a blocking getline() is interrupted — flushes the
+/// statistics checkpoint and slow-query log, and exits 0.
+volatile std::sig_atomic_t g_sigterm = 0;
+
+void HandleSigterm(int) {
+  g_sigterm = 1;
+  g_sigint_cancel.Cancel();
+}
 
 struct Shell {
   std::unique_ptr<oodb::Database> db;
@@ -83,6 +100,13 @@ struct Shell {
   std::shared_ptr<obs::QueryProfile> last_profile;
   /// Set by EXPLAIN ANALYZE so the main loop doesn't render twice.
   bool profile_rendered_inline = false;
+  /// Remote mode: non-null after .connect — bare VQL lines (and
+  /// EXPLAIN ANALYZE) are sent to an sdms_server instead of the
+  /// in-process system. Deadline, Ctrl-C cancellation and degraded
+  /// display all travel over the wire.
+  std::unique_ptr<server::SdmsClient> remote;
+
+  Status RunRemote(const std::string& vql, bool want_profile);
 
   Status Init() {
     SDMS_ASSIGN_OR_RETURN(db, oodb::Database::Open({}));
@@ -163,11 +187,40 @@ Status Shell::ExplainAnalyze(const std::string& vql) {
   return Status::OK();
 }
 
+Status Shell::RunRemote(const std::string& vql, bool want_profile) {
+  server::QueryRequest req;
+  req.vql = vql;
+  req.deadline_ms = deadline_ms;
+  req.want_profile = want_profile;
+  SDMS_ASSIGN_OR_RETURN(server::SdmsClient::Response resp,
+                        remote->Query(std::move(req)));
+  std::printf("%s(%zu rows)\n", resp.result.ToTable(25).c_str(),
+              resp.result.rows.size());
+  if (resp.result.degraded) {
+    std::printf("(degraded: %s)\n", resp.result.degraded_reason.c_str());
+  }
+  if (want_profile && !resp.info.profile_json.empty()) {
+    std::printf("%s\n", resp.info.profile_json.c_str());
+  }
+  std::printf("remote query_id %llu, queue wait %lld us, total %lld us\n",
+              static_cast<unsigned long long>(resp.info.query_id),
+              static_cast<long long>(resp.info.queue_wait_micros),
+              static_cast<long long>(resp.info.total_micros));
+  if (remote->server_draining()) {
+    std::printf("(server is draining: new queries will be shed)\n");
+  }
+  return Status::OK();
+}
+
 Status Shell::Dispatch(const std::string& line) {
   if (line.empty()) return Status::OK();
   if (line[0] != '.') {
     std::string vql = line;
-    if (ConsumeExplainAnalyze(vql)) return ExplainAnalyze(vql);
+    if (ConsumeExplainAnalyze(vql)) {
+      return remote != nullptr ? RunRemote(vql, /*want_profile=*/true)
+                               : ExplainAnalyze(vql);
+    }
+    if (remote != nullptr) return RunRemote(vql, /*want_profile=*/false);
     // A VQL query.
     SDMS_ASSIGN_OR_RETURN(oodb::vql::QueryResult result,
                           coupling->query_engine().Run(line));
@@ -374,6 +427,30 @@ Status Shell::Dispatch(const std::string& line) {
     } else {
       return Status::InvalidArgument("usage: .trace <on|off|save <file>>");
     }
+  } else if (cmd == ".connect") {
+    std::string target;
+    in >> target;
+    auto colon = target.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= target.size()) {
+      return Status::InvalidArgument("usage: .connect <host>:<port>");
+    }
+    server::ClientOptions copts;
+    copts.host = target.substr(0, colon);
+    copts.port = static_cast<uint16_t>(
+        std::atoi(target.c_str() + colon + 1));
+    copts.peer_label = "sdms_shell";
+    auto client = std::make_unique<server::SdmsClient>(copts);
+    SDMS_RETURN_IF_ERROR(client->Connect());
+    remote = std::move(client);
+    std::printf("remote mode: queries go to %s (local data commands "
+                "still act on the in-process system)\n",
+                target.c_str());
+  } else if (cmd == ".disconnect") {
+    if (remote == nullptr) {
+      return Status::InvalidArgument("not in remote mode");
+    }
+    remote.reset();
+    std::printf("back to local mode\n");
   } else if (cmd == ".classes") {
     for (const std::string& name : db->schema().class_names()) {
       std::printf("  %-12s (%zu objects)\n", name.c_str(),
@@ -402,6 +479,12 @@ int main(int argc, char** argv) {
     sa.sa_handler = HandleSigint;
     sa.sa_flags = SA_RESTART;
     sigaction(SIGINT, &sa, nullptr);
+    // SIGTERM: no SA_RESTART — the blocking getline() must return so
+    // the loop can exit and flush durable state.
+    struct sigaction st = {};
+    st.sa_handler = HandleSigterm;
+    st.sa_flags = 0;
+    sigaction(SIGTERM, &st, nullptr);
   }
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--demo") {
@@ -409,13 +492,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", s.ToString().c_str());
         return 1;
       }
+    } else if (std::string(argv[i]) == "--connect" && i + 1 < argc) {
+      if (Status s = shell.Dispatch(std::string(".connect ") + argv[++i]);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
     }
   }
   std::string line;
-  while (true) {
+  while (g_sigterm == 0) {
     std::printf("sdms> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
+    if (g_sigterm != 0) break;
     std::string trimmed(Trim(line));
     if (trimmed == ".quit" || trimmed == ".exit") break;
     // Fresh context per command: the stop latch is sticky, so a
@@ -437,6 +527,32 @@ int main(int argc, char** argv) {
         ctx.profile()->Finish();
         std::printf("%s", ctx.profile()->Render().c_str());
       }
+    }
+  }
+  if (g_sigterm != 0) {
+    // Clean SIGTERM exit: persist what the process learned. The
+    // slow-query log appends at record time, so "flush" here means
+    // confirming nothing is lost; the statistics service (strategy
+    // latencies, DF caches) checkpoints to a file the next session
+    // can load.
+    const char* env = std::getenv("SDMS_STATS_FILE");
+    std::string stats_path =
+        env != nullptr && *env != '\0' ? env : "stats_checkpoint.sdms";
+    Status s = obs::StatisticsService::Instance().SaveToFile(stats_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "sigterm: statistics checkpoint -> %s\n",
+                   stats_path.c_str());
+    } else {
+      std::fprintf(stderr, "sigterm: stats checkpoint failed: %s\n",
+                   s.ToString().c_str());
+    }
+    obs::SlowQueryLog& slow = obs::SlowQueryLog::Instance();
+    if (slow.enabled()) {
+      std::fprintf(stderr,
+                   "sigterm: slow-query log flushed (%llu record(s) in "
+                   "%s)\n",
+                   static_cast<unsigned long long>(slow.recorded()),
+                   slow.path().c_str());
     }
   }
   std::printf("bye\n");

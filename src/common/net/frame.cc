@@ -1,0 +1,150 @@
+#include "common/net/frame.h"
+
+#include <cstring>
+
+#include "common/fault/fault.h"
+#include "common/net/socket.h"
+#include "common/obs/metrics.h"
+
+namespace sdms::net {
+
+namespace {
+
+struct FrameMetrics {
+  obs::Counter& read = obs::GetCounter("net.frames.read");
+  obs::Counter& written = obs::GetCounter("net.frames.written");
+  obs::Counter& bytes_read = obs::GetCounter("net.bytes.read");
+  obs::Counter& bytes_written = obs::GetCounter("net.bytes.written");
+  obs::Counter& protocol_errors = obs::GetCounter("net.frames.protocol_errors");
+};
+
+FrameMetrics& Metrics() {
+  static FrameMetrics* m = new FrameMetrics();
+  return *m;
+}
+
+uint32_t DecodeU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void EncodeU32Le(uint32_t v, char* p) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kQuery: return "query";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kResult: return "result";
+    case FrameType::kError: return "error";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+bool IsKnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kGoodbye);
+}
+
+Status ValidateFrameLength(uint32_t length, uint32_t max_frame_bytes) {
+  if (length == 0) {
+    Metrics().protocol_errors.Increment();
+    return Status::InvalidArgument("empty frame (length 0)");
+  }
+  if (length > max_frame_bytes) {
+    Metrics().protocol_errors.Increment();
+    return Status::InvalidArgument(
+        "oversized frame: " + std::to_string(length) + " bytes exceeds cap " +
+        std::to_string(max_frame_bytes));
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.resize(4 + 1 + payload.size());
+  EncodeU32Le(static_cast<uint32_t>(payload.size() + 1), out.data());
+  out[4] = static_cast<char>(type);
+  std::memcpy(out.data() + 5, payload.data(), payload.size());
+  return out;
+}
+
+Status FrameParser::Feed(std::string_view bytes, std::vector<Frame>* out) {
+  if (!poisoned_.ok()) return poisoned_;
+  buffer_.append(bytes.data(), bytes.size());
+  for (;;) {
+    if (buffer_.size() < 4) return Status::OK();
+    uint32_t length = DecodeU32Le(buffer_.data());
+    if (Status s = ValidateFrameLength(length, max_frame_bytes_); !s.ok()) {
+      poisoned_ = s;
+      return s;
+    }
+    if (buffer_.size() < 4 + static_cast<size_t>(length)) return Status::OK();
+    Frame frame;
+    uint8_t type = static_cast<uint8_t>(buffer_[4]);
+    if (!IsKnownFrameType(type)) {
+      Metrics().protocol_errors.Increment();
+      poisoned_ = Status::InvalidArgument("unknown frame type " +
+                                          std::to_string(type));
+      return poisoned_;
+    }
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(buffer_, 5, length - 1);
+    buffer_.erase(0, 4 + static_cast<size_t>(length));
+    out->push_back(std::move(frame));
+  }
+}
+
+StatusOr<Frame> ReadFrame(int fd, int idle_timeout_ms, int io_timeout_ms,
+                          uint32_t max_frame_bytes) {
+  char header[4];
+  SDMS_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header), idle_timeout_ms));
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("net.frame.read"));
+  uint32_t length = DecodeU32Le(header);
+  SDMS_RETURN_IF_ERROR(ValidateFrameLength(length, max_frame_bytes));
+  std::string body;
+  body.resize(length);
+  SDMS_RETURN_IF_ERROR(RecvAll(fd, body.data(), body.size(), io_timeout_ms));
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  if (!IsKnownFrameType(type)) {
+    Metrics().protocol_errors.Increment();
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = body.substr(1);
+  Metrics().read.Increment();
+  Metrics().bytes_read.Add(4 + length);
+  return frame;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  int io_timeout_ms, uint32_t max_frame_bytes) {
+  if (payload.size() + 1 > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds cap " + std::to_string(max_frame_bytes));
+  }
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("net.write.stall"));
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("net.write"));
+  std::string wire = EncodeFrame(type, payload);
+  SDMS_RETURN_IF_ERROR(SendAll(fd, wire.data(), wire.size(), io_timeout_ms));
+  Metrics().written.Increment();
+  Metrics().bytes_written.Add(wire.size());
+  return Status::OK();
+}
+
+}  // namespace sdms::net

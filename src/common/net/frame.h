@@ -1,0 +1,105 @@
+#ifndef SDMS_COMMON_NET_FRAME_H_
+#define SDMS_COMMON_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdms::net {
+
+/// The wire framing of the sdms protocol (docs/protocol.md):
+///
+///   +----------------+--------+---------------------+
+///   | u32 length (LE)| u8 type| payload (length - 1) |
+///   +----------------+--------+---------------------+
+///
+/// `length` counts the type byte plus the payload, so the smallest
+/// legal frame is length == 1 (a bare type). Frames above the
+/// negotiated maximum are a protocol violation: the receiver cannot
+/// skip them safely (the length word itself is untrusted), so the
+/// session answers a protocol error and closes.
+
+/// Frame types. Values are wire format — append only.
+enum class FrameType : uint8_t {
+  kHello = 1,   // version handshake, both directions
+  kQuery = 2,   // client -> server: VQL + options
+  kCancel = 3,  // client -> server: cancel an in-flight request
+  kResult = 4,  // server -> client: rows + RunInfo
+  kError = 5,   // server -> client: typed Status (+ shed cause)
+  kPing = 6,    // client -> server: health probe
+  kPong = 7,    // server -> client: health answer
+  kGoodbye = 8, // server -> client: drain notice, no new requests
+};
+
+const char* FrameTypeName(FrameType t);
+
+/// True for the types a well-formed peer may send at all (unknown
+/// types are a protocol violation, answered with an error frame).
+bool IsKnownFrameType(uint8_t t);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Default (and server default) frame-size cap: 16 MiB.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Validates a decoded length word against `max_frame_bytes`.
+/// kInvalidArgument on violation (empty or oversized frame).
+Status ValidateFrameLength(uint32_t length, uint32_t max_frame_bytes);
+
+/// Encodes one frame (header + payload) into a contiguous buffer.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser: feed arbitrary byte chunks, collect
+/// complete frames. Once a protocol violation is detected the parser
+/// is poisoned — every later Feed returns the same error, mirroring a
+/// session that answered a protocol error and closed. This is the
+/// exact validation the socket path applies, factored out so fuzz
+/// tests can drive it with arbitrary corpora without sockets.
+class FrameParser {
+ public:
+  explicit FrameParser(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `bytes`, appending every completed frame to `out`.
+  /// Partial frames are buffered for the next Feed.
+  Status Feed(std::string_view bytes, std::vector<Frame>* out);
+
+  /// Bytes buffered toward an incomplete frame (a nonzero value at
+  /// connection close means the peer truncated a frame mid-flight).
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  const uint32_t max_frame_bytes_;
+  std::string buffer_;
+  Status poisoned_ = Status::OK();
+};
+
+/// Reads one frame from `fd`. `idle_timeout_ms` bounds the wait for
+/// the frame header (an idle connection); `io_timeout_ms` bounds every
+/// subsequent chunk (a peer stalling mid-frame). Errors:
+///   kNotFound("connection closed") — clean EOF before a header byte;
+///   kInvalidArgument               — frame-length violation (answer a
+///                                    protocol error, then close);
+///   kDeadlineExceeded / kIoError   — timeout / transport failure.
+/// Fault point: "net.frame.read" (mid-frame connection loss).
+StatusOr<Frame> ReadFrame(int fd, int idle_timeout_ms, int io_timeout_ms,
+                          uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one frame to `fd`; every chunk must progress within
+/// `io_timeout_ms` (the slow-client bound). Refuses oversized payloads
+/// with kInvalidArgument before writing anything.
+/// Fault points: "net.write" (injected failure), "net.write.stall"
+/// (latency before the write — a stalled peer).
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  int io_timeout_ms,
+                  uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace sdms::net
+
+#endif  // SDMS_COMMON_NET_FRAME_H_

@@ -1,0 +1,208 @@
+#include "common/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace sdms::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+StatusOr<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* node = host.empty() ? "0.0.0.0" : host.c_str();
+  if (inet_pton(AF_INET, node, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+/// poll(2) for `events`, retrying on EINTR against the original
+/// deadline. Returns OK when ready, kDeadlineExceeded on timeout.
+Status PollFor(int fd, short events, int timeout_ms, const char* what) {
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    int r = poll(&pfd, 1, timeout_ms);
+    if (r > 0) {
+      // Readable/writable or an error condition the next syscall will
+      // surface precisely (POLLERR/POLLHUP still mean "try the op").
+      return Status::OK();
+    }
+    if (r == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out");
+    }
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  SDMS_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("bind");
+    CloseFd(fd);
+    return s;
+  }
+  if (listen(fd, backlog) < 0) {
+    Status s = Errno("listen");
+    CloseFd(fd);
+    return s;
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<int> AcceptConn(int listen_fd, int timeout_ms) {
+  SDMS_RETURN_IF_ERROR(PollFor(listen_fd, POLLIN, timeout_ms, "accept"));
+  for (;;) {
+    int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                         int timeout_ms) {
+  SDMS_ASSIGN_OR_RETURN(sockaddr_in addr,
+                        ResolveV4(host.empty() ? "127.0.0.1" : host, port));
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  // Non-blocking connect so the timeout is enforceable.
+  if (Status s = SetNonBlocking(fd, true); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int r = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (r < 0 && errno != EINPROGRESS) {
+    Status s = Errno("connect");
+    CloseFd(fd);
+    return s;
+  }
+  if (r < 0) {
+    if (Status s = PollFor(fd, POLLOUT, timeout_ms, "connect"); !s.ok()) {
+      CloseFd(fd);
+      return s;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      CloseFd(fd);
+      return Status::IoError(std::string("connect: ") +
+                             std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (Status s = SetNonBlocking(fd, false); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+Status WaitReadable(int fd, int timeout_ms) {
+  return PollFor(fd, POLLIN, timeout_ms, "read");
+}
+
+Status SendAll(int fd, const void* data, size_t n, int timeout_ms) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    SDMS_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "write"));
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+    // process-killing SIGPIPE.
+    ssize_t w = send(fd, p, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("send");
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t n, int timeout_ms) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    SDMS_RETURN_IF_ERROR(WaitReadable(fd, timeout_ms));
+    ssize_t r = recv(fd, p + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::IoError("connection closed mid-message (" +
+                             std::to_string(got) + "/" + std::to_string(n) +
+                             " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+bool IsConnClosed(const Status& s) {
+  return s.IsNotFound() && s.message() == "connection closed";
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+}  // namespace sdms::net

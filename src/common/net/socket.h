@@ -1,0 +1,64 @@
+#ifndef SDMS_COMMON_NET_SOCKET_H_
+#define SDMS_COMMON_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sdms::net {
+
+/// Thin Status-returning wrappers over POSIX TCP sockets. Every
+/// blocking operation takes an explicit timeout (milliseconds; < 0
+/// waits forever, 0 polls) enforced with poll(2), so no caller can
+/// hang on a dead peer — the building block of the server's idle- and
+/// slow-client bounds.
+///
+/// Error taxonomy (callers branch on these):
+///   kNotFound("connection closed")  — clean EOF at a message boundary;
+///   kIoError                        — syscall failure or mid-message EOF;
+///   kDeadlineExceeded               — the timeout elapsed first.
+
+/// Binds and listens on host:port (port 0 picks an ephemeral port).
+/// Returns the listening fd (CLOEXEC, SO_REUSEADDR).
+StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
+                        int backlog = 64);
+
+/// The port a socket is actually bound to (resolves port-0 binds).
+StatusOr<uint16_t> LocalPort(int fd);
+
+/// Accepts one connection; kDeadlineExceeded when none arrives within
+/// `timeout_ms`. The returned fd has TCP_NODELAY set.
+StatusOr<int> AcceptConn(int listen_fd, int timeout_ms);
+
+/// Connects to host:port within `timeout_ms` (non-blocking connect +
+/// poll). The returned fd has TCP_NODELAY set.
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                         int timeout_ms);
+
+/// Blocks until `fd` is readable; kDeadlineExceeded on timeout.
+Status WaitReadable(int fd, int timeout_ms);
+
+/// Writes all `n` bytes; each *chunk* must make progress within
+/// `timeout_ms` or the call fails with kDeadlineExceeded (the
+/// slow-client write bound — a stalled peer cannot pin the writer).
+Status SendAll(int fd, const void* data, size_t n, int timeout_ms);
+
+/// Reads exactly `n` bytes. EOF before the first byte returns
+/// kNotFound("connection closed"); EOF after a partial read is a
+/// truncation (kIoError). Each chunk is bounded by `timeout_ms`.
+Status RecvAll(int fd, void* data, size_t n, int timeout_ms);
+
+/// True when `s` is the clean-EOF sentinel of RecvAll.
+bool IsConnClosed(const Status& s);
+
+/// shutdown(2) both directions (wakes a peer blocked in poll).
+void ShutdownFd(int fd);
+
+/// close(2), ignoring errors (idempotent on -1).
+void CloseFd(int fd);
+
+}  // namespace sdms::net
+
+#endif  // SDMS_COMMON_NET_SOCKET_H_

@@ -15,6 +15,14 @@ namespace {
 struct AdmissionMetrics {
   obs::Counter& admitted = obs::GetCounter("coupling.admission.admitted");
   obs::Counter& shed = obs::GetCounter("coupling.admission.shed");
+  /// Per-cause split of `shed` (shed == queue_full + deadline_expired +
+  /// queue_wait): the server maps these onto typed shed responses.
+  obs::Counter& shed_queue_full =
+      obs::GetCounter("coupling.admission.shed_queue_full");
+  obs::Counter& shed_deadline_expired =
+      obs::GetCounter("coupling.admission.shed_deadline_expired");
+  obs::Counter& shed_queue_wait =
+      obs::GetCounter("coupling.admission.shed_queue_wait");
   obs::Counter& expired_in_queue =
       obs::GetCounter("coupling.admission.expired_in_queue");
   obs::Gauge& running = obs::GetGauge("coupling.admission.running");
@@ -37,6 +45,11 @@ AdmissionOptions AdmissionOptionsFromEnv() {
     long v = std::strtol(env, &end, 10);
     if (end != env && v >= 0) o.max_concurrent = static_cast<size_t>(v);
   }
+  if (const char* env = std::getenv("SDMS_MAX_QUEUE")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) o.max_queue = static_cast<size_t>(v);
+  }
   if (const char* env = std::getenv("SDMS_DEFAULT_DEADLINE_MS")) {
     char* end = nullptr;
     long v = std::strtol(env, &end, 10);
@@ -45,11 +58,23 @@ AdmissionOptions AdmissionOptionsFromEnv() {
   return o;
 }
 
+const char* ShedCauseName(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kNone: return "none";
+    case ShedCause::kQueueFull: return "queue_full";
+    case ShedCause::kDeadlineExpired: return "deadline_expired";
+    case ShedCause::kQueueWait: return "queue_wait";
+    case ShedCause::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options) {}
 
 StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
-    QueryContext* ctx) {
+    QueryContext* ctx, ShedCause* shed_cause) {
+  if (shed_cause != nullptr) *shed_cause = ShedCause::kNone;
   if (ctx != nullptr && options_.default_deadline_micros > 0 &&
       !ctx->has_deadline()) {
     ctx->set_deadline_micros(QueryContext::NowMicros() +
@@ -74,11 +99,15 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
   // the caller's deadline cannot survive any wait at all.
   if (queued_ >= options_.max_queue) {
     Metrics().shed.Increment();
+    Metrics().shed_queue_full.Increment();
+    if (shed_cause != nullptr) *shed_cause = ShedCause::kQueueFull;
     return Status::ResourceExhausted("admission queue full (" +
                                      std::to_string(queued_) + " waiting)");
   }
   if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
     Metrics().shed.Increment();
+    Metrics().shed_deadline_expired.Increment();
+    if (shed_cause != nullptr) *shed_cause = ShedCause::kDeadlineExpired;
     return Status::ResourceExhausted(
         "deadline already expired at admission; not queueing");
   }
@@ -136,8 +165,12 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
   Metrics().shed.Increment();
   if (ctx != nullptr && ctx->has_deadline() && ctx->RemainingMicros() <= 0) {
     Metrics().expired_in_queue.Increment();
+    Metrics().shed_deadline_expired.Increment();
+    if (shed_cause != nullptr) *shed_cause = ShedCause::kDeadlineExpired;
     return Status::ResourceExhausted("deadline expired waiting for admission");
   }
+  Metrics().shed_queue_wait.Increment();
+  if (shed_cause != nullptr) *shed_cause = ShedCause::kQueueWait;
   return Status::ResourceExhausted("queue-wait bound exceeded for admission");
 }
 

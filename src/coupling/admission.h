@@ -28,8 +28,25 @@ struct AdmissionOptions {
 };
 
 /// Reads AdmissionOptions overrides from the environment:
-/// SDMS_MAX_CONCURRENT_QUERIES and SDMS_DEFAULT_DEADLINE_MS.
+/// SDMS_MAX_CONCURRENT_QUERIES, SDMS_MAX_QUEUE and
+/// SDMS_DEFAULT_DEADLINE_MS.
 AdmissionOptions AdmissionOptionsFromEnv();
+
+/// Why an admission was shed. Reported per-call through Admit's out
+/// parameter so callers (the network service layer) can answer a typed
+/// RESOURCE_EXHAUSTED with the cause attached; also split into the
+/// coupling.admission.shed_* counters. kDraining is never produced by
+/// the controller itself — the server session layer uses it for
+/// requests rejected during graceful drain.
+enum class ShedCause : uint8_t {
+  kNone = 0,
+  kQueueFull = 1,        // arrivals beyond max_queue
+  kDeadlineExpired = 2,  // ctx deadline expired at admission or in queue
+  kQueueWait = 3,        // max_queue_wait bound elapsed
+  kDraining = 4,         // server draining (session layer only)
+};
+
+const char* ShedCauseName(ShedCause cause);
 
 /// Bounded-concurrency gate for the coupled query path. At most
 /// `max_concurrent` queries run at once; up to `max_queue` more wait on
@@ -39,7 +56,9 @@ AdmissionOptions AdmissionOptionsFromEnv();
 /// (rejecting early is cheaper than timing out late).
 ///
 /// Metrics: coupling.admission.{admitted,shed,expired_in_queue}
-/// counters, coupling.admission.{running,queue_depth} gauges and the
+/// counters, the per-cause shed split
+/// coupling.admission.shed_{queue_full,deadline_expired,queue_wait},
+/// coupling.admission.{running,queue_depth} gauges and the
 /// coupling.admission.queue_wait_micros histogram.
 class AdmissionController {
  public:
@@ -82,7 +101,9 @@ class AdmissionController {
   /// deadline expires (or provably cannot be met) while queued, or when
   /// the queue-wait bound elapses. `ctx` may be null. On admission,
   /// applies options().default_deadline_micros to a deadline-less ctx.
-  StatusOr<Ticket> Admit(QueryContext* ctx);
+  /// When `shed_cause` is non-null it receives why the call was shed
+  /// (kNone on admission and on non-shed errors like cancellation).
+  StatusOr<Ticket> Admit(QueryContext* ctx, ShedCause* shed_cause = nullptr);
 
   const AdmissionOptions& options() const { return options_; }
 

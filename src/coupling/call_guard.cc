@@ -1,6 +1,8 @@
 #include "coupling/call_guard.h"
 
 #include <algorithm>
+#include <atomic>
+#include <random>
 #include <thread>
 
 #include "common/obs/log.h"
@@ -141,6 +143,19 @@ CallGuard::CallGuard(CallGuardOptions options, std::string name)
       name_(std::move(name)),
       breaker_(options.breaker, name_) {
   uint64_t z = options_.jitter_seed;
+  if (z == 0) {
+    // Per-instance entropy: guards created with the default seed must
+    // not share a jitter sequence, or every client retries against a
+    // recovering dependency at the same instants (synchronized retry
+    // storms). random_device is mixed with a process-wide counter and
+    // the instance address in case the platform's random_device is
+    // weak or repeats across forks.
+    static std::atomic<uint64_t> instance_counter{0};
+    std::random_device rd;
+    z = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    z ^= instance_counter.fetch_add(0x9e3779b97f4a7c15ULL) + 1;
+    z ^= reinterpret_cast<uintptr_t>(this);
+  }
   rng_state_[0] = SplitMix64(z);
   rng_state_[1] = SplitMix64(z);
   if (rng_state_[0] == 0 && rng_state_[1] == 0) rng_state_[0] = 1;

@@ -40,8 +40,12 @@ struct BreakerOptions {
 struct CallGuardOptions {
   RetryOptions retry;
   BreakerOptions breaker;
-  /// Seed for backoff jitter (deterministic tests).
-  uint64_t jitter_seed = 42;
+  /// Seed for backoff jitter. 0 (the default) derives a per-instance
+  /// seed from process entropy, so independent guards — and therefore
+  /// independent clients hammering a recovering server — draw
+  /// *different* backoff sequences instead of retrying in lockstep.
+  /// A nonzero seed pins the sequence (deterministic tests).
+  uint64_t jitter_seed = 0;
 };
 
 enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
@@ -110,8 +114,12 @@ class CallGuard {
   CircuitBreaker& breaker() { return breaker_; }
   const CallGuardStats& stats() const { return stats_; }
 
- private:
+  /// The backoff (with jitter) the guard would sleep before retry
+  /// `attempt` — public so tests can observe the jitter sequence
+  /// without timing sleeps. Advances the guard's jitter RNG.
   uint64_t NextBackoffMicros(int attempt);
+
+ private:
 
   CallGuardOptions options_;
   std::string name_;

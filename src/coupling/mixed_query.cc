@@ -108,8 +108,9 @@ std::string ShapeOf(const ParsedQuery& query) {
 
 }  // namespace
 
-StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
-                                               Strategy strategy) {
+StatusOr<QueryResult> MixedQueryEvaluator::Run(
+    const std::string& vql, Strategy strategy,
+    AdmissionController::Ticket* preadmitted) {
   info_ = RunInfo{};
   info_.strategy = strategy;
 
@@ -169,7 +170,9 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(const std::string& vql,
   if (profile != nullptr) profile->Annotate("query", vql);
 
   AdmissionController::Ticket ticket;
-  {
+  if (preadmitted != nullptr && preadmitted->held()) {
+    ticket = std::move(*preadmitted);
+  } else {
     obs::ProfileStageScope admission_stage("admission");
     SDMS_ASSIGN_OR_RETURN(ticket, coupling_->admission().Admit(ctx));
   }

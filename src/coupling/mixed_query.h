@@ -75,8 +75,16 @@ class MixedQueryEvaluator {
   /// allow_partial set — an IRS-side deadline expiry degrades the
   /// statement to a partial result flagged QueryResult::degraded
   /// rather than failing it. Explicit cancellation still errors.
-  StatusOr<oodb::vql::QueryResult> Run(const std::string& vql,
-                                       Strategy strategy);
+  ///
+  /// `preadmitted`: a held Ticket from the *same* controller when the
+  /// caller already performed admission (the network service admits on
+  /// the dispatch path so it can answer a typed shed response before
+  /// any parsing). The ticket is adopted — moved into the run and
+  /// released when it finishes — and the internal Admit is skipped;
+  /// admitting twice would consume two concurrency slots per query.
+  StatusOr<oodb::vql::QueryResult> Run(
+      const std::string& vql, Strategy strategy,
+      AdmissionController::Ticket* preadmitted = nullptr);
 
   const RunInfo& last_run() const { return info_; }
 

@@ -1,0 +1,258 @@
+#include "server/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/net/socket.h"
+#include "common/obs/log.h"
+#include "common/query_context.h"
+
+namespace sdms::server {
+
+namespace {
+
+/// Response-wait poll tick: bounds how long a Ctrl-C waits before the
+/// kCancel frame goes out.
+constexpr int kPollTickMs = 50;
+
+/// A transport-level failure: the connection is suspect, the guard may
+/// retry on a fresh one. Typed server answers are not in this class.
+bool IsTransportError(const Status& s) {
+  return s.code() == StatusCode::kIoError || s.IsNotFound();
+}
+
+}  // namespace
+
+SdmsClient::SdmsClient(ClientOptions options)
+    : options_(std::move(options)),
+      guard_(std::make_unique<coupling::CallGuard>(options_.guard,
+                                                   "sdms_client")) {}
+
+SdmsClient::~SdmsClient() { Close(); }
+
+void SdmsClient::Close() {
+  if (fd_ >= 0) {
+    // Best-effort goodbye so the server logs a clean close, not a
+    // truncation.
+    net::WriteFrame(fd_, net::FrameType::kGoodbye, "",
+                    /*io_timeout_ms=*/100, options_.max_frame_bytes)
+        .ok();
+    net::CloseFd(fd_);
+    fd_ = -1;
+  }
+  draining_.store(false, std::memory_order_release);
+}
+
+Status SdmsClient::ConnectOnce() {
+  Close();
+  SDMS_ASSIGN_OR_RETURN(
+      fd_, net::ConnectTcp(options_.host, options_.port,
+                           options_.connect_timeout_ms));
+  Hello hello;
+  hello.peer = options_.peer_label;
+  Status s = net::WriteFrame(fd_, net::FrameType::kHello, EncodeHello(hello),
+                             options_.io_timeout_ms,
+                             options_.max_frame_bytes);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  StatusOr<net::Frame> reply =
+      net::ReadFrame(fd_, options_.io_timeout_ms, options_.io_timeout_ms,
+                     options_.max_frame_bytes);
+  if (!reply.ok()) {
+    Close();
+    // A server that dropped us mid-handshake (accept fault, restart)
+    // reads as an I/O error so the guard retries.
+    return IsTransportError(reply.status())
+               ? Status::IoError("handshake failed: " +
+                                 reply.status().ToString())
+               : reply.status();
+  }
+  if (reply->type == net::FrameType::kError) {
+    Close();
+    StatusOr<ErrorResponse> err = DecodeErrorResponse(reply->payload);
+    return err.ok() ? AsStatus(*err)
+                    : Status::IoError("handshake rejected");
+  }
+  if (reply->type != net::FrameType::kHello) {
+    Close();
+    return Status::IoError(std::string("handshake: expected hello, got ") +
+                           net::FrameTypeName(reply->type));
+  }
+  StatusOr<Hello> server_hello = DecodeHello(reply->payload);
+  if (!server_hello.ok()) {
+    Close();
+    return server_hello.status();
+  }
+  if (server_hello->protocol_version != kProtocolVersion) {
+    Close();
+    return Status::FailedPrecondition(
+        "protocol version mismatch: client speaks " +
+        std::to_string(kProtocolVersion) + ", server sent " +
+        std::to_string(server_hello->protocol_version));
+  }
+  return Status::OK();
+}
+
+Status SdmsClient::Connect() {
+  return guard_->Run("connect", [this] {
+    Status s = ConnectOnce();
+    // Connection refused while the server boots is the prime retry
+    // case; surface it in the retriable class.
+    if (!s.ok() && IsTransportError(s)) {
+      return Status::IoError("connect to " + options_.host + ":" +
+                             std::to_string(options_.port) +
+                             " failed: " + s.ToString());
+    }
+    return s;
+  });
+}
+
+Status SdmsClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  return ConnectOnce();
+}
+
+StatusOr<net::Frame> SdmsClient::AwaitResponse(uint64_t request_id,
+                                               int64_t deadline_ms) {
+  // Overall wait bound: the request's own deadline plus I/O slack
+  // (the server answers an expired deadline with a typed error), else
+  // the configured response bound, else unbounded.
+  int64_t budget_ms = deadline_ms > 0
+                          ? deadline_ms + 2 * options_.io_timeout_ms
+                          : options_.response_timeout_ms;
+  const int64_t start = QueryContext::NowMicros();
+  bool cancel_sent = false;
+  for (;;) {
+    QueryContext* ctx = QueryContext::Current();
+    if (!cancel_sent && ctx != nullptr && ctx->ShouldStop()) {
+      // Forward the local stop (Ctrl-C, deadline) to the server once,
+      // then keep waiting — the server answers with a typed error and
+      // the connection stays usable.
+      cancel_sent = true;
+      CancelRequest cancel;
+      cancel.request_id = request_id;
+      net::WriteFrame(fd_, net::FrameType::kCancel,
+                      EncodeCancelRequest(cancel), options_.io_timeout_ms,
+                      options_.max_frame_bytes)
+          .ok();
+      // The server's cancel answer should be prompt.
+      int64_t elapsed_ms = (QueryContext::NowMicros() - start) / 1000;
+      budget_ms = elapsed_ms + 2 * options_.io_timeout_ms;
+    }
+    Status readable = net::WaitReadable(fd_, kPollTickMs);
+    if (readable.IsDeadlineExceeded()) {
+      if (budget_ms > 0 &&
+          (QueryContext::NowMicros() - start) / 1000 >= budget_ms) {
+        return Status::IoError("no response within " +
+                               std::to_string(budget_ms) + "ms");
+      }
+      continue;
+    }
+    SDMS_RETURN_IF_ERROR(readable);
+    SDMS_ASSIGN_OR_RETURN(
+        net::Frame frame,
+        net::ReadFrame(fd_, options_.io_timeout_ms, options_.io_timeout_ms,
+                       options_.max_frame_bytes));
+    switch (frame.type) {
+      case net::FrameType::kGoodbye:
+        draining_.store(true, std::memory_order_release);
+        continue;  // informational; the in-flight query still answers
+      case net::FrameType::kPong:
+        continue;  // stale ping answer
+      case net::FrameType::kResult:
+      case net::FrameType::kError:
+        return frame;
+      default:
+        return Status::IoError(std::string("unexpected frame ") +
+                               net::FrameTypeName(frame.type) +
+                               " while awaiting response");
+    }
+  }
+}
+
+StatusOr<SdmsClient::Response> SdmsClient::QueryOnce(
+    const QueryRequest& req) {
+  SDMS_RETURN_IF_ERROR(EnsureConnected());
+  SDMS_RETURN_IF_ERROR(net::WriteFrame(
+      fd_, net::FrameType::kQuery, EncodeQueryRequest(req),
+      options_.io_timeout_ms, options_.max_frame_bytes));
+  for (;;) {
+    SDMS_ASSIGN_OR_RETURN(net::Frame frame,
+                          AwaitResponse(req.request_id, req.deadline_ms));
+    if (frame.type == net::FrameType::kError) {
+      SDMS_ASSIGN_OR_RETURN(ErrorResponse err,
+                            DecodeErrorResponse(frame.payload));
+      if (err.request_id != 0 && err.request_id != req.request_id) {
+        continue;  // stale answer to an abandoned request
+      }
+      return AsStatus(err);
+    }
+    SDMS_ASSIGN_OR_RETURN(QueryResponse resp,
+                          DecodeQueryResponse(frame.payload));
+    if (resp.request_id != req.request_id) continue;
+    Response out;
+    out.result = std::move(resp.result);
+    out.info = std::move(resp.info);
+    return out;
+  }
+}
+
+StatusOr<SdmsClient::Response> SdmsClient::Query(QueryRequest req) {
+  if (req.request_id == 0) req.request_id = next_request_id_++;
+  StatusOr<Response> out = Status::Internal("query never attempted");
+  Status s = guard_->Run("query", [&] {
+    out = QueryOnce(req);
+    if (out.ok()) return Status::OK();
+    Status attempt = out.status();
+    if (IsTransportError(attempt)) {
+      // The connection is suspect; the next attempt reconnects.
+      // Replaying is safe — queries are read-only.
+      Close();
+      return Status::IoError(attempt.message());
+    }
+    return attempt;
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status SdmsClient::Ping() {
+  return guard_->Run("ping", [&]() -> Status {
+    Status s = [&]() -> Status {
+      SDMS_RETURN_IF_ERROR(EnsureConnected());
+      SDMS_RETURN_IF_ERROR(net::WriteFrame(
+          fd_, net::FrameType::kPing, "ping", options_.io_timeout_ms,
+          options_.max_frame_bytes));
+      for (;;) {
+        SDMS_ASSIGN_OR_RETURN(
+            net::Frame frame,
+            net::ReadFrame(fd_, options_.io_timeout_ms,
+                           options_.io_timeout_ms,
+                           options_.max_frame_bytes));
+        if (frame.type == net::FrameType::kPong) return Status::OK();
+        if (frame.type == net::FrameType::kGoodbye) {
+          draining_.store(true, std::memory_order_release);
+          continue;
+        }
+        if (frame.type == net::FrameType::kError) {
+          SDMS_ASSIGN_OR_RETURN(ErrorResponse err,
+                                DecodeErrorResponse(frame.payload));
+          return AsStatus(err);
+        }
+        return Status::IoError(std::string("unexpected frame ") +
+                               net::FrameTypeName(frame.type) +
+                               " while awaiting pong");
+      }
+    }();
+    if (!s.ok() && IsTransportError(s)) {
+      Close();
+      return Status::IoError(s.message());
+    }
+    return s;
+  });
+}
+
+}  // namespace sdms::server

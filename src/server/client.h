@@ -1,0 +1,104 @@
+#ifndef SDMS_SERVER_CLIENT_H_
+#define SDMS_SERVER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/net/frame.h"
+#include "common/status.h"
+#include "coupling/call_guard.h"
+#include "server/protocol.h"
+
+namespace sdms::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2'000;
+  /// Per-chunk I/O bound for frame reads/writes.
+  int io_timeout_ms = 5'000;
+  /// Bound on the wait for a response when the request carries no
+  /// deadline (0 = wait until cancelled). Requests with a deadline
+  /// wait deadline + 2 * io_timeout_ms for the server's answer.
+  int response_timeout_ms = 0;
+  uint32_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  /// Retry/backoff policy for connect and request transport failures.
+  /// The default seed (0) is entropy-derived, so a fleet of clients
+  /// retrying against a recovering server desynchronizes; deadlines
+  /// cap the whole retry budget.
+  coupling::CallGuardOptions guard;
+  std::string peer_label = "sdms_client";
+};
+
+/// Synchronous client of the sdms network protocol. Transport
+/// failures (connect refused, connection reset, truncated frame) are
+/// retried through a CallGuard — jittered exponential backoff, budget
+/// capped by the guard's deadline and the calling QueryContext — with
+/// a fresh connection per attempt; queries are read-only, so replaying
+/// one on a new connection is safe. Typed server answers (shed,
+/// deadline, cancelled, parse errors) are returned as-is, not retried.
+///
+/// Cancellation: while waiting for a response, the installed
+/// QueryContext is polled; on cancellation/deadline a kCancel frame is
+/// sent once and the wait continues (briefly) for the server's typed
+/// answer, so the shell's Ctrl-C semantics work over the wire.
+class SdmsClient {
+ public:
+  explicit SdmsClient(ClientOptions options);
+  ~SdmsClient();
+
+  SdmsClient(const SdmsClient&) = delete;
+  SdmsClient& operator=(const SdmsClient&) = delete;
+
+  /// Connects and completes the hello handshake (retried per guard).
+  Status Connect();
+
+  /// Closes the connection (Query()/Ping() reconnect on demand).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  struct Response {
+    oodb::vql::QueryResult result;
+    WireRunInfo info;
+  };
+
+  /// Runs one query. `req.request_id` is assigned internally when 0.
+  StatusOr<Response> Query(QueryRequest req);
+
+  /// Round-trips a kPing.
+  Status Ping();
+
+  /// True once the server announced drain (kGoodbye seen). New queries
+  /// on this connection will be shed; callers should reconnect
+  /// elsewhere or stop.
+  bool server_draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  const coupling::CallGuardStats& guard_stats() const {
+    return guard_->stats();
+  }
+
+ private:
+  Status EnsureConnected();
+  Status ConnectOnce();
+  /// One request/response exchange on the current connection.
+  StatusOr<Response> QueryOnce(const QueryRequest& req);
+  /// Waits for the response to `request_id`, handling pong/goodbye
+  /// frames and QueryContext cancellation along the way.
+  StatusOr<net::Frame> AwaitResponse(uint64_t request_id,
+                                     int64_t deadline_ms);
+
+  const ClientOptions options_;
+  std::unique_ptr<coupling::CallGuard> guard_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace sdms::server
+
+#endif  // SDMS_SERVER_CLIENT_H_

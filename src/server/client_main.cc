@@ -1,0 +1,172 @@
+// sdms_client: one-shot command-line client of sdms_server.
+//
+//   $ ./sdms_client --port 4646 "ACCESS p FROM p IN PARA"
+//
+// Exit codes (scripts/CI branch on them):
+//   0  success (degraded results included — they are answers)
+//   1  transport/internal failure
+//   3  shed (RESOURCE_EXHAUSTED)
+//   4  deadline exceeded
+//   5  cancelled
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/query_context.h"
+#include "server/client.h"
+
+using namespace sdms;
+
+namespace {
+
+/// Ctrl-C cancels the in-flight request over the wire (kCancel frame)
+/// instead of killing the client.
+CancelToken g_sigint_cancel;
+void HandleSigint(int) { g_sigint_cancel.Cancel(); }
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] \"<VQL query>\"\n"
+      "  --host <addr>       server address (default 127.0.0.1)\n"
+      "  --port <n>          server port (required)\n"
+      "  --deadline-ms <n>   per-request deadline\n"
+      "  --strategy <s>      independent | irs_first (default independent)\n"
+      "  --count <n>         repeat the query n times (default 1)\n"
+      "  --profile           request the profile JSON\n"
+      "  --ping              health-check instead of a query\n"
+      "  --quiet             suppress the row table\n",
+      argv0);
+}
+
+int ExitCodeFor(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kResourceExhausted: return 3;
+    case StatusCode::kDeadlineExceeded: return 4;
+    case StatusCode::kCancelled: return 5;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ClientOptions options;
+  server::QueryRequest req;
+  std::string vql;
+  int count = 1;
+  bool ping = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--host") {
+      if (const char* v = next()) options.host = v;
+    } else if (arg == "--port") {
+      if (const char* v = next()) {
+        options.port = static_cast<uint16_t>(std::atoi(v));
+      }
+    } else if (arg == "--deadline-ms") {
+      if (const char* v = next()) req.deadline_ms = std::atoll(v);
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "irs_first") == 0) {
+        req.strategy = 1;
+      } else if (v != nullptr && std::strcmp(v, "independent") == 0) {
+        req.strategy = 0;
+      } else {
+        std::fprintf(stderr, "unknown strategy\n");
+        return 2;
+      }
+    } else if (arg == "--count") {
+      if (const char* v = next()) count = std::atoi(v);
+    } else if (arg == "--profile") {
+      req.want_profile = true;
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    } else {
+      vql = arg;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+  if (!ping && vql.empty()) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server::SdmsClient client(options);
+  if (Status s = client.Connect(); !s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return ExitCodeFor(s);
+  }
+  if (ping) {
+    Status s = client.Ping();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", s.ToString().c_str());
+      return ExitCodeFor(s);
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  req.vql = vql;
+  int rc = 0;
+  for (int i = 0; i < count; ++i) {
+    // Fresh context per request: deadline armed client-side too, and
+    // the SIGINT token is observed while waiting for the response.
+    QueryContext ctx;
+    ctx.set_cancel_token(&g_sigint_cancel);
+    if (req.deadline_ms > 0) ctx.SetDeadlineAfterMs(req.deadline_ms);
+    QueryContext::Scope scope(&ctx);
+    req.request_id = 0;  // reassigned per call
+    StatusOr<server::SdmsClient::Response> resp = client.Query(req);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "error: %s\n", resp.status().ToString().c_str());
+      rc = ExitCodeFor(resp.status());
+      if (g_sigint_cancel.cancelled()) break;
+      continue;
+    }
+    if (!quiet) {
+      std::printf("%s", resp->result.ToTable().c_str());
+    }
+    std::string degraded_note =
+        resp->result.degraded
+            ? " DEGRADED(" + resp->result.degraded_reason + ")"
+            : "";
+    std::printf("rows=%zu strategy=%s%s query_id=%llu wait_us=%lld "
+                "total_us=%lld\n",
+                resp->result.rows.size(),
+                resp->info.strategy == 1 ? "irs_first" : "independent",
+                degraded_note.c_str(),
+                static_cast<unsigned long long>(resp->info.query_id),
+                static_cast<long long>(resp->info.queue_wait_micros),
+                static_cast<long long>(resp->info.total_micros));
+    if (req.want_profile && !resp->info.profile_json.empty()) {
+      std::printf("profile: %s\n", resp->info.profile_json.c_str());
+    }
+    if (client.server_draining()) {
+      std::fprintf(stderr, "server draining\n");
+    }
+  }
+  return rc;
+}

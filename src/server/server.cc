@@ -1,0 +1,248 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fault/fault.h"
+#include "common/net/frame.h"
+#include "common/net/socket.h"
+#include "common/obs/log.h"
+#include "common/obs/metrics.h"
+#include "server/protocol.h"
+
+namespace sdms::server {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& accepted = obs::GetCounter("server.connections_accepted");
+  obs::Counter& rejected = obs::GetCounter("server.connections_rejected");
+  obs::Counter& accept_faults = obs::GetCounter("server.accept_faults");
+  obs::Counter& drains = obs::GetCounter("server.drains");
+  obs::Counter& drain_cancelled =
+      obs::GetCounter("server.drain_cancelled_queries");
+  obs::Gauge& active = obs::GetGauge("server.active_sessions");
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* m = new ServerMetrics();
+  return *m;
+}
+
+bool ParseEnvInt(const char* name, int64_t* out) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+ServerOptions ServerOptionsFromEnv() {
+  ServerOptions opts;
+  if (const char* host = std::getenv("SDMS_HOST");
+      host != nullptr && *host != '\0') {
+    opts.host = host;
+  }
+  int64_t v = 0;
+  if (ParseEnvInt("SDMS_PORT", &v) && v >= 0 && v <= 65535) {
+    opts.port = static_cast<uint16_t>(v);
+  }
+  if (ParseEnvInt("SDMS_MAX_FRAME_BYTES", &v) && v > 0 &&
+      v <= (1ll << 31) - 1) {
+    opts.max_frame_bytes = static_cast<uint32_t>(v);
+  }
+  if (ParseEnvInt("SDMS_IDLE_TIMEOUT_MS", &v) && v > 0) {
+    opts.idle_timeout_ms = static_cast<int>(v);
+  }
+  if (ParseEnvInt("SDMS_IO_TIMEOUT_MS", &v) && v > 0) {
+    opts.io_timeout_ms = static_cast<int>(v);
+  }
+  if (ParseEnvInt("SDMS_DRAIN_DEADLINE_MS", &v) && v >= 0) {
+    opts.drain_deadline_ms = static_cast<int>(v);
+  }
+  if (ParseEnvInt("SDMS_MAX_SESSIONS", &v) && v > 0) {
+    opts.max_sessions = static_cast<size_t>(v);
+  }
+  return opts;
+}
+
+Server::Server(coupling::Coupling* coupling, ServerOptions options)
+    : coupling_(coupling), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  SDMS_ASSIGN_OR_RETURN(listen_fd_, net::ListenTcp(options_.host,
+                                                   options_.port,
+                                                   options_.backlog));
+  SDMS_ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_));
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  SDMS_LOG(INFO) << "server listening on " << options_.host << ":" << port_;
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_accepting_.load(std::memory_order_acquire)) {
+    StatusOr<int> conn = net::AcceptConn(listen_fd_, /*timeout_ms=*/100);
+    if (!conn.ok()) {
+      if (conn.status().IsDeadlineExceeded()) {
+        ReapFinishedSessions();
+        continue;  // poll tick; re-check stop_accepting_
+      }
+      if (stop_accepting_.load(std::memory_order_acquire)) break;
+      SDMS_LOG(WARN) << "accept failed: " << conn.status().ToString();
+      continue;
+    }
+    // Fault point: drop freshly accepted connections at the door
+    // (clients must survive via connect retry with backoff).
+    if (!fault::InjectFault("net.accept").ok()) {
+      Metrics().accept_faults.Increment();
+      net::CloseFd(*conn);
+      continue;
+    }
+    ReapFinishedSessions();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      Metrics().rejected.Increment();
+      // Best-effort typed rejection before close, so the client sees
+      // RESOURCE_EXHAUSTED instead of a bare reset.
+      ErrorResponse err;
+      err.code = StatusCode::kResourceExhausted;
+      err.message = "session limit reached (" +
+                    std::to_string(options_.max_sessions) + ")";
+      net::WriteFrame(*conn, net::FrameType::kError,
+                      EncodeErrorResponse(err), options_.io_timeout_ms,
+                      options_.max_frame_bytes)
+          .ok();
+      net::CloseFd(*conn);
+      continue;
+    }
+    Metrics().accepted.Increment();
+    Session::Host host;
+    host.coupling = coupling_;
+    host.exec_mu = &exec_mu_;
+    host.options = &options_;
+    host.draining = &draining_;
+    auto session =
+        std::make_unique<Session>(*conn, next_session_id_++, host);
+    session->Start();
+    sessions_.push_back(std::move(session));
+    Metrics().active.Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void Server::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished()) {
+      (*it)->Join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Metrics().active.Set(static_cast<int64_t>(sessions_.size()));
+}
+
+size_t Server::active_sessions() {
+  ReapFinishedSessions();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void Server::BeginDrain() {
+  bool was_draining = draining_.exchange(true, std::memory_order_acq_rel);
+  stop_accepting_.store(true, std::memory_order_release);
+  if (!was_draining) {
+    Metrics().drains.Increment();
+    SDMS_LOG(INFO) << "drain started: accepting stopped, "
+                   << active_sessions() << " session(s) alive";
+  }
+}
+
+size_t Server::Shutdown() {
+  if (shut_down_) return 0;
+  shut_down_ = true;
+  BeginDrain();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Phase 1: let in-flight queries finish within the drain deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_deadline_ms);
+  for (;;) {
+    bool any_busy = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& s : sessions_) {
+        if (s->busy()) {
+          any_busy = true;
+          break;
+        }
+      }
+    }
+    if (!any_busy || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Phase 2: cancel stragglers — they answer with a typed kCancelled
+  // error (cancelled, not crashed), then the sessions are stopped and
+  // joined. Cancellation is cooperative, so the join below also waits
+  // for the cancel to take effect.
+  size_t cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& s : sessions_) {
+      if (s->busy()) {
+        ++cancelled;
+        s->CancelInFlight();
+      }
+    }
+  }
+  if (cancelled > 0) {
+    Metrics().drain_cancelled.Add(cancelled);
+    SDMS_LOG(INFO) << "drain deadline reached: cancelled " << cancelled
+                   << " in-flight query(ies)";
+    // Grace for the cancelled workers to emit their error responses
+    // before the sockets are shut down under them.
+    const auto grace = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(500);
+    for (;;) {
+      bool any_busy = false;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        for (const auto& s : sessions_) {
+          if (s->busy()) {
+            any_busy = true;
+            break;
+          }
+        }
+      }
+      if (!any_busy || std::chrono::steady_clock::now() >= grace) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  std::list<std::unique_ptr<Session>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    doomed.swap(sessions_);
+  }
+  for (auto& s : doomed) s->RequestStop();
+  for (auto& s : doomed) s->Join();
+  doomed.clear();
+  Metrics().active.Set(0);
+  SDMS_LOG(INFO) << "server stopped";
+  return cancelled;
+}
+
+}  // namespace sdms::server

@@ -1,0 +1,87 @@
+#ifndef SDMS_SERVER_SERVER_H_
+#define SDMS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "coupling/coupling.h"
+#include "server/server_options.h"
+#include "server/session.h"
+
+namespace sdms::server {
+
+/// The multi-client TCP front-end of the coupled system. Owns the
+/// listening socket, an accept loop, and one Session per connection;
+/// query execution funnels through one exec mutex (the QueryEngine is
+/// externally synchronized) while the coupling's AdmissionController
+/// governs concurrency/queueing/shedding *before* that mutex, so
+/// overload answers stay prompt.
+///
+/// Lifecycle: Start() -> serve -> BeginDrain() -> Shutdown().
+/// Graceful drain (SIGTERM path): stop accepting, notify sessions
+/// (kGoodbye; new queries shed with ShedCause::kDraining), give
+/// in-flight queries drain_deadline_ms to finish, then cancel the
+/// stragglers — every accepted request is answered (result or typed
+/// kCancelled error), nothing crashes, and Shutdown() returns with
+/// all threads joined so the process can exit 0.
+///
+/// Fault point: "net.accept" (accepted connections dropped at the
+/// door, exercising client connect-retry).
+class Server {
+ public:
+  Server(coupling::Coupling* coupling, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop.
+  Status Start();
+
+  /// The bound port (resolves port-0 binds). Valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and sheds new queries; in-flight queries keep
+  /// running. Idempotent; safe from any thread (not a signal handler —
+  /// handlers should set a flag the main loop polls, see server_main).
+  void BeginDrain();
+
+  /// Full graceful stop: BeginDrain, wait for in-flight work up to
+  /// options.drain_deadline_ms, cancel stragglers, join everything.
+  /// Returns the number of queries that had to be cancelled.
+  size_t Shutdown();
+
+  /// Sessions currently alive (draining sessions included).
+  size_t active_sessions();
+
+ private:
+  void AcceptLoop();
+  /// Drops sessions whose reader thread has exited.
+  void ReapFinishedSessions();
+
+  coupling::Coupling* const coupling_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stop_accepting_{false};
+  std::atomic<bool> draining_{false};
+  bool shut_down_ = false;
+
+  /// Serializes all QueryEngine access across sessions.
+  std::mutex exec_mu_;
+
+  std::mutex sessions_mu_;
+  std::list<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace sdms::server
+
+#endif  // SDMS_SERVER_SERVER_H_

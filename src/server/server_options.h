@@ -1,0 +1,44 @@
+#ifndef SDMS_SERVER_SERVER_OPTIONS_H_
+#define SDMS_SERVER_SERVER_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/net/frame.h"
+
+namespace sdms::server {
+
+/// Tunables of the network front-end. Defaults are production-shaped;
+/// tests shrink the timeouts.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (tests); Server::port() reports it.
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Hard cap on a single frame in either direction. An incoming
+  /// length word above this is a protocol violation; an outgoing
+  /// result that would exceed it is answered with kResourceExhausted.
+  uint32_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  /// Drop a connection that sends no frame for this long.
+  int idle_timeout_ms = 60'000;
+  /// Per-chunk I/O bound: a peer that stalls a read or write chunk
+  /// longer than this is dropped (the slow-client bound — a stalled
+  /// reader cannot pin a server thread or grow its write buffer).
+  int io_timeout_ms = 5'000;
+  /// Graceful drain: after SIGTERM, in-flight queries get this long to
+  /// finish before they are cancelled (cancelled, not crashed).
+  int drain_deadline_ms = 5'000;
+  /// Connection cap; accepts beyond it are closed immediately after a
+  /// typed kError(kResourceExhausted) frame.
+  size_t max_sessions = 256;
+};
+
+/// Environment overrides: SDMS_HOST, SDMS_PORT, SDMS_MAX_FRAME_BYTES,
+/// SDMS_IDLE_TIMEOUT_MS, SDMS_IO_TIMEOUT_MS, SDMS_DRAIN_DEADLINE_MS,
+/// SDMS_MAX_SESSIONS. Unset/unparsable values keep the defaults.
+ServerOptions ServerOptionsFromEnv();
+
+}  // namespace sdms::server
+
+#endif  // SDMS_SERVER_SERVER_OPTIONS_H_

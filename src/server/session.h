@@ -1,0 +1,127 @@
+#ifndef SDMS_SERVER_SESSION_H_
+#define SDMS_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/net/frame.h"
+#include "common/query_context.h"
+#include "common/status.h"
+#include "coupling/mixed_query.h"
+#include "server/protocol.h"
+#include "server/server_options.h"
+
+namespace sdms::server {
+
+/// One client connection: a reader thread that enforces the handshake
+/// and frame validation, plus at most one executor thread for the
+/// in-flight query. The hardening contract:
+///
+///  - The first frame must be a compatible kHello; anything else is a
+///    protocol error (typed kError frame, then close). Malformed,
+///    truncated, oversized or unknown frames never crash the session —
+///    they are answered with an error frame where the transport still
+///    allows it, and the connection is closed.
+///  - One query in flight per connection; a second kQuery is refused
+///    with kFailedPrecondition (the response still names the offending
+///    request id, so a pipelining client can tell which call lost).
+///  - The reader keeps reading *while* a query executes, so kCancel
+///    and peer disconnect turn into QueryContext cancellation of the
+///    running query instead of waiting for it.
+///  - Idle connections (no frame within idle_timeout_ms) and slow
+///    clients (a write chunk stalled past io_timeout_ms) are dropped.
+///  - During drain the session sends kGoodbye once and sheds new
+///    queries with kResourceExhausted / ShedCause::kDraining; the
+///    in-flight query keeps running until the server's drain deadline
+///    cancels it.
+class Session {
+ public:
+  /// Server-owned state shared by every session. `exec_mu` serializes
+  /// all QueryEngine access (the engine is externally synchronized);
+  /// admission happens *before* the mutex so shedding stays prompt
+  /// under overload.
+  struct Host {
+    coupling::Coupling* coupling = nullptr;
+    std::mutex* exec_mu = nullptr;
+    const ServerOptions* options = nullptr;
+    std::atomic<bool>* draining = nullptr;
+  };
+
+  Session(int fd, uint64_t id, Host host);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Spawns the reader thread. Call exactly once.
+  void Start();
+
+  /// Asks the session to exit: wakes the reader via socket shutdown.
+  /// The in-flight query (if any) is cancelled. Idempotent.
+  void RequestStop();
+
+  /// Cancels the in-flight query (drain-deadline enforcement); the
+  /// executor answers it with a typed kCancelled error, not a crash.
+  void CancelInFlight();
+
+  /// True when the reader thread has exited (the session can be
+  /// reaped with Join()).
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// True while a query executes on this session.
+  bool busy();
+
+  /// Joins reader and executor threads. Call only after Start().
+  void Join();
+
+  uint64_t id() const { return id_; }
+
+ private:
+  /// One executing query: its context lives here so the reader can
+  /// cancel it while the executor thread runs.
+  struct InFlight {
+    uint64_t request_id = 0;
+    QueryContext ctx;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
+  void ReaderLoop();
+  /// Dispatches one validated frame. Returns false when the session
+  /// must close (goodbye, protocol violation, transport failure).
+  bool HandleFrame(const net::Frame& frame);
+  bool HandleQuery(const std::string& payload);
+  bool HandleCancel(const std::string& payload);
+  /// Executor thread body: admission, evaluation, response.
+  void RunQuery(QueryRequest req, InFlight* in_flight);
+  /// Joins a finished executor; false while one is still running.
+  bool ReapInFlight(bool force_join);
+
+  Status SendFrame(net::FrameType type, std::string_view payload);
+  void SendError(uint64_t request_id, const Status& status,
+                 coupling::ShedCause shed_cause = coupling::ShedCause::kNone);
+
+  const int fd_;
+  const uint64_t id_;
+  const Host host_;
+
+  std::thread reader_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> finished_{false};
+  bool said_goodbye_ = false;
+  bool handshaken_ = false;
+
+  /// Serializes frame writes: the reader (pong, errors, goodbye) and
+  /// the executor (result) share the socket.
+  std::mutex write_mu_;
+
+  std::mutex inflight_mu_;
+  std::unique_ptr<InFlight> inflight_;
+};
+
+}  // namespace sdms::server
+
+#endif  // SDMS_SERVER_SESSION_H_

@@ -177,5 +177,41 @@ TEST(CallGuardTest, RetriableClassification) {
   EXPECT_FALSE(IsUnavailable(Status::Corruption("torn file")));
 }
 
+TEST(CallGuardTest, DefaultSeedDesynchronizesIdenticalGuards) {
+  // Regression: with the old fixed default seed, every guard drew the
+  // same jitter sequence, so N clients created with identical retry
+  // budgets would back off — and re-hit a recovering server — at the
+  // same instants. Two guards with the same (default-seeded) options
+  // must produce different backoff sequences.
+  CallGuardOptions opts;
+  opts.retry.initial_backoff_micros = 100000;
+  opts.retry.max_backoff_micros = 100000000;
+  opts.retry.jitter = 0.5;
+  ASSERT_EQ(opts.jitter_seed, 0u) << "default must be entropy-derived";
+  CallGuard a(opts, "client-a");
+  CallGuard b(opts, "client-b");
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 8 && !diverged; ++attempt) {
+    diverged = a.NextBackoffMicros(attempt) != b.NextBackoffMicros(attempt);
+  }
+  EXPECT_TRUE(diverged)
+      << "identical default-seeded guards drew identical jitter";
+}
+
+TEST(CallGuardTest, ExplicitSeedStaysDeterministic) {
+  // Tests that need reproducible backoff pin the sequence with a
+  // nonzero seed; two guards with the same explicit seed match.
+  CallGuardOptions opts;
+  opts.retry.initial_backoff_micros = 100000;
+  opts.retry.max_backoff_micros = 100000000;
+  opts.retry.jitter = 0.5;
+  opts.jitter_seed = 42;
+  CallGuard a(opts, "a");
+  CallGuard b(opts, "b");
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(a.NextBackoffMicros(attempt), b.NextBackoffMicros(attempt));
+  }
+}
+
 }  // namespace
 }  // namespace sdms::coupling

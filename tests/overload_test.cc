@@ -407,6 +407,82 @@ TEST(AdmissionTest, QueuedDeadlineExpiryShedsPromptly) {
   EXPECT_EQ(ctl.queued(), 0u);
 }
 
+TEST(AdmissionTest, ShedCauseSplitsIntoPerCauseCounters) {
+  obs::Counter& queue_full =
+      obs::GetCounter("coupling.admission.shed_queue_full");
+  obs::Counter& deadline_expired =
+      obs::GetCounter("coupling.admission.shed_deadline_expired");
+  obs::Counter& total = obs::GetCounter("coupling.admission.shed");
+  uint64_t qf_before = queue_full.value();
+  uint64_t de_before = deadline_expired.value();
+  uint64_t total_before = total.value();
+
+  // Cause 1: queue full.
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 0;
+  AdmissionController ctl(opts);
+  auto held = ctl.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+  ShedCause cause = ShedCause::kNone;
+  auto second = ctl.Admit(nullptr, &cause);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(cause, ShedCause::kQueueFull);
+  EXPECT_EQ(queue_full.value(), qf_before + 1);
+  EXPECT_EQ(deadline_expired.value(), de_before);
+
+  // Cause 2: deadline already expired at admission (queue has room).
+  AdmissionOptions q_opts;
+  q_opts.max_concurrent = 1;
+  q_opts.max_queue = 4;
+  AdmissionController q_ctl(q_opts);
+  auto q_held = q_ctl.Admit(nullptr);
+  ASSERT_TRUE(q_held.ok());
+  QueryContext expired_ctx;
+  expired_ctx.set_deadline_micros(QueryContext::NowMicros() - 1'000);
+  cause = ShedCause::kNone;
+  auto expired = q_ctl.Admit(&expired_ctx, &cause);
+  EXPECT_FALSE(expired.ok());
+  EXPECT_EQ(cause, ShedCause::kDeadlineExpired);
+  EXPECT_EQ(deadline_expired.value(), de_before + 1);
+
+  // The per-cause counters partition the total.
+  EXPECT_EQ(total.value(), total_before + 2);
+}
+
+TEST(AdmissionTest, ShedCauseQueueWaitBoundElapsed) {
+  obs::Counter& queue_wait =
+      obs::GetCounter("coupling.admission.shed_queue_wait");
+  uint64_t before = queue_wait.value();
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 4;
+  opts.max_queue_wait_micros = 30'000;  // 30 ms, no ctx deadline
+  AdmissionController ctl(opts);
+  auto held = ctl.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+  ShedCause cause = ShedCause::kNone;
+  auto start = std::chrono::steady_clock::now();
+  auto waited = ctl.Admit(nullptr, &cause);
+  EXPECT_FALSE(waited.ok());
+  EXPECT_TRUE(waited.status().IsResourceExhausted())
+      << waited.status().ToString();
+  EXPECT_EQ(cause, ShedCause::kQueueWait);
+  EXPECT_GE(ElapsedMs(start), 25);
+  EXPECT_LT(ElapsedMs(start), 2000);
+  EXPECT_EQ(queue_wait.value(), before + 1);
+}
+
+TEST(AdmissionTest, AdmittedCallReportsNoShedCause) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 2;
+  AdmissionController ctl(opts);
+  ShedCause cause = ShedCause::kQueueFull;  // stale value must be reset
+  auto t = ctl.Admit(nullptr, &cause);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(cause, ShedCause::kNone);
+}
+
 TEST(AdmissionTest, CancelledWaiterReturnsCancelledNotShed) {
   AdmissionOptions opts;
   opts.max_concurrent = 1;
