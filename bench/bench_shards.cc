@@ -1,0 +1,158 @@
+// Shard fan-out benchmark: the same query mix against collections of
+// 1 / 2 / 4 / 8 shards, healthy and with one shard persistently
+// killed. Reports p50 / p99 query latency and the degraded-answer
+// rate per configuration, demonstrating that a dead shard costs a
+// partial answer (and the guard's retry/breaker latency) instead of
+// failing the whole query — except at one shard, where the failure
+// domain is the entire collection and queries fail outright.
+//
+// Artifacts: BENCH_shards.json carries the per-config latency
+// histograms (p50/p90/p99) under bench.shards.latency_us.n<N>.<mode>
+// and the outcome counters / degraded-rate gauges next to them.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fault/fault.h"
+#include "common/query_context.h"
+#include "irs/collection.h"
+
+namespace sdms::bench {
+namespace {
+
+constexpr int kQueriesPerConfig = 100;
+
+const char* kQueryMix[] = {"www", "document", "#or(www document)"};
+
+struct ConfigResult {
+  uint32_t shards = 0;
+  bool faulted = false;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;  // answered, but with a non-kOk shard
+  uint64_t failed = 0;    // no answer at all
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * double(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+ConfigResult RunConfig(uint32_t shards, bool faulted) {
+  ConfigResult out;
+  out.shards = shards;
+  out.faulted = faulted;
+
+  // The shard map is fixed at collection creation from SDMS_SHARDS.
+  setenv("SDMS_SHARDS", std::to_string(shards).c_str(), 1);
+  sgml::CorpusOptions corpus;
+  corpus.num_docs = 24;
+  corpus.seed = 42;
+  coupling::CouplingOptions options;
+  // Every query pays the real fan-out instead of a buffer hit, and the
+  // guard backs off in microseconds so the bench measures fan-out and
+  // failure-handling cost, not sleep time.
+  options.disable_buffering = true;
+  options.call_guard.retry.max_attempts = 2;
+  options.call_guard.retry.initial_backoff_micros = 50;
+  options.call_guard.retry.max_backoff_micros = 500;
+  auto sys = MakeSystem(corpus, options);
+  coupling::Collection* coll = MakeIndexedCollection(
+      *sys, "paras", "ACCESS p FROM p IN PARA", coupling::kTextModeSubtree);
+
+  auto& registry = fault::FaultRegistry::Instance();
+  registry.Clear();
+  if (faulted) {
+    registry.SetSeed(42);
+    fault::FaultRule rule;
+    rule.kind = fault::FaultKind::kIoError;
+    rule.probability = 1.0;
+    // Kill the last shard: present at every shard count, and for one
+    // shard it is the whole collection — the failure-domain contrast
+    // the table is about.
+    registry.Arm(irs::ShardSearchFaultPoint(shards - 1), rule);
+  }
+
+  const std::string tag =
+      "n" + std::to_string(shards) + (faulted ? ".degraded" : ".healthy");
+  obs::Histogram& latency_hist =
+      obs::GetHistogram("bench.shards.latency_us." + tag);
+  std::vector<double> latencies;
+  latencies.reserve(kQueriesPerConfig);
+
+  for (int i = 0; i < kQueriesPerConfig; ++i) {
+    const char* query = kQueryMix[i % std::size(kQueryMix)];
+    QueryContext ctx;
+    QueryContext::Scope scope(&ctx);
+    auto start = std::chrono::steady_clock::now();
+    auto result = coll->GetIrsResult(query);
+    double us = double(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    latencies.push_back(us);
+    latency_hist.Record(us);
+    if (!result.ok()) {
+      ++out.failed;
+      continue;
+    }
+    bool partial = false;
+    for (const auto& entry : coll->last_shard_report()) {
+      if (entry.state != ShardState::kOk) partial = true;
+    }
+    if (partial) {
+      ++out.degraded;
+    } else {
+      ++out.ok;
+    }
+  }
+  registry.Clear();
+
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_us = Percentile(latencies, 0.50);
+  out.p99_us = Percentile(latencies, 0.99);
+
+  obs::GetCounter("bench.shards.ok." + tag).Add(out.ok);
+  obs::GetCounter("bench.shards.degraded." + tag).Add(out.degraded);
+  obs::GetCounter("bench.shards.failed." + tag).Add(out.failed);
+  uint64_t total = out.ok + out.degraded + out.failed;
+  obs::GetGauge("bench.shards.degraded_rate_pct." + tag)
+      .Set(total ? static_cast<int64_t>(100 * out.degraded / total) : 0);
+  return out;
+}
+
+void Run() {
+  std::printf("shards: %d queries/config, one persistently dead shard in "
+              "degraded runs\n\n",
+              kQueriesPerConfig);
+  Table table({"shards", "mode", "ok", "degraded", "failed", "degr-rate",
+               "p50-us", "p99-us"});
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (bool faulted : {false, true}) {
+      ConfigResult r = RunConfig(shards, faulted);
+      uint64_t total = r.ok + r.degraded + r.failed;
+      table.AddRow({FmtInt(r.shards), faulted ? "degraded" : "healthy",
+                    FmtInt(r.ok), FmtInt(r.degraded), FmtInt(r.failed),
+                    Fmt("%.2f", total ? double(r.degraded) / double(total)
+                                      : 0.0),
+                    Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us)});
+    }
+  }
+  unsetenv("SDMS_SHARDS");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace sdms::bench
+
+int main() {
+  sdms::bench::Run();
+  sdms::bench::EmitMetricsJson("shards");
+  return 0;
+}

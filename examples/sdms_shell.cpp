@@ -157,6 +157,19 @@ bool ConsumeExplainAnalyze(std::string& line) {
   return true;
 }
 
+/// Prints the non-ok entries of a fan-out search's per-shard report:
+/// degraded answers name exactly which collection shard failed, was
+/// skipped by its breaker, or only answered on the hedged retry.
+void PrintShardStatus(const std::vector<ShardStatusEntry>& entries) {
+  for (const ShardStatusEntry& e : entries) {
+    if (e.state == ShardState::kOk) continue;
+    std::printf("(shard %s/%u %s, %lld us%s%s)\n", e.collection.c_str(),
+                e.shard, ShardStateName(e.state),
+                static_cast<long long>(e.micros),
+                e.detail.empty() ? "" : ": ", e.detail.c_str());
+  }
+}
+
 Status Shell::ExplainAnalyze(const std::string& vql) {
   if (vql.empty()) {
     return Status::InvalidArgument("usage: EXPLAIN ANALYZE <VQL query>");
@@ -176,6 +189,7 @@ Status Shell::ExplainAnalyze(const std::string& vql) {
   if (result.degraded) {
     std::printf("(degraded: %s)\n", result.degraded_reason.c_str());
   }
+  PrintShardStatus(info.shard_status);
   if (info.profile != nullptr) {
     std::printf("%s", info.profile->Render().c_str());
     last_profile = info.profile;
@@ -199,6 +213,7 @@ Status Shell::RunRemote(const std::string& vql, bool want_profile) {
   if (resp.result.degraded) {
     std::printf("(degraded: %s)\n", resp.result.degraded_reason.c_str());
   }
+  PrintShardStatus(resp.info.shard_status);
   if (want_profile && !resp.info.profile_json.empty()) {
     std::printf("%s\n", resp.info.profile_json.c_str());
   }
@@ -228,6 +243,12 @@ Status Shell::Dispatch(const std::string& line) {
                 result.rows.size());
     if (result.degraded) {
       std::printf("(degraded: %s)\n", result.degraded_reason.c_str());
+    }
+    // Fan-out searches report per-shard outcomes on the query context;
+    // drain them here so local queries name failed shards like the
+    // remote and EXPLAIN ANALYZE paths do.
+    if (QueryContext* ctx = QueryContext::Current(); ctx != nullptr) {
+      PrintShardStatus(ctx->TakeShardStatus());
     }
     return Status::OK();
   }
@@ -296,6 +317,9 @@ Status Shell::Dispatch(const std::string& line) {
                   ranked[i].first);
     }
     std::printf("(%zu objects)\n", result->size());
+    if (QueryContext* ctx = QueryContext::Current(); ctx != nullptr) {
+      PrintShardStatus(ctx->TakeShardStatus());
+    }
   } else if (cmd == ".value") {
     std::string name;
     uint64_t raw = 0;

@@ -23,6 +23,16 @@ StopMetrics& Metrics() {
 
 }  // namespace
 
+const char* ShardStateName(ShardState state) {
+  switch (state) {
+    case ShardState::kOk: return "ok";
+    case ShardState::kDegraded: return "degraded";
+    case ShardState::kFailed: return "failed";
+    case ShardState::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
 int64_t QueryContext::RemainingMicros() const {
   int64_t dl = deadline_micros();
   if (dl == 0) return std::numeric_limits<int64_t>::max();

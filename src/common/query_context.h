@@ -5,11 +5,37 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/obs/profile.h"
 #include "common/status.h"
 
 namespace sdms {
+
+/// Outcome of one shard of a fan-out IRS search.
+enum class ShardState : uint8_t {
+  kOk = 0,        // answered on the first guarded attempt
+  kDegraded = 1,  // answered, but only via the hedged re-issue
+  kFailed = 2,    // no answer (fault, deadline, corrupt result)
+  kSkipped = 3,   // not attempted — circuit breaker open
+};
+
+const char* ShardStateName(ShardState state);
+
+/// Per-shard diagnostics of a fan-out search, carried from the coupling
+/// through RunInfo and the wire protocol to the client: when a query
+/// degrades, the caller learns *which* shard failed and why.
+struct ShardStatusEntry {
+  std::string collection;
+  uint32_t shard = 0;
+  ShardState state = ShardState::kOk;
+  /// Failure detail (status string); empty when the shard was healthy.
+  std::string detail;
+  /// Wall time of the shard's search, including guard retries.
+  int64_t micros = 0;
+};
 
 /// A cooperative cancellation flag. Cancel() may be called from any
 /// thread (it is a single atomic store, so it is also safe from a
@@ -140,6 +166,22 @@ class QueryContext {
   void NoteDegraded() { degraded_.store(true, std::memory_order_relaxed); }
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
+  // --- Shard status -------------------------------------------------------
+
+  /// Records the per-shard outcomes of one fan-out IRS search (appended
+  /// — a query may touch several collections). Thread-safe.
+  void AddShardStatus(std::vector<ShardStatusEntry> entries) {
+    if (entries.empty()) return;
+    std::lock_guard<std::mutex> lock(shard_status_mu_);
+    for (auto& e : entries) shard_status_.push_back(std::move(e));
+  }
+
+  /// Moves the accumulated shard statuses out (RunInfo assembly).
+  std::vector<ShardStatusEntry> TakeShardStatus() {
+    std::lock_guard<std::mutex> lock(shard_status_mu_);
+    return std::move(shard_status_);
+  }
+
   // --- Polling ------------------------------------------------------------
 
   /// Cheap cooperative check for hot loops: the cancel flag is read on
@@ -199,6 +241,8 @@ class QueryContext {
   std::atomic<bool> degraded_{false};
   std::atomic<int> stop_reason_{static_cast<int>(StopReason::kNone)};
   std::atomic<uint32_t> poll_calls_{0};
+  std::mutex shard_status_mu_;
+  std::vector<ShardStatusEntry> shard_status_;
 };
 
 /// Free-function form of QueryContext::Current()->ShouldStop() for deep

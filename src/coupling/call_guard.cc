@@ -40,6 +40,26 @@ uint64_t SplitMix64(uint64_t& z) {
 
 }  // namespace
 
+/// Per-name labeled mirrors of the process-global counters. With one
+/// guard per shard ("paras/shard3"), these are what make a fault
+/// attributable: `coupling.callguard.failures.paras/shard3` moves while
+/// the other shards' counters stay flat.
+struct CallGuard::NamedMetrics {
+  explicit NamedMetrics(const std::string& name)
+      : calls(obs::GetCounter("coupling.callguard.calls." + name)),
+        retries(obs::GetCounter("coupling.callguard.retries." + name)),
+        failures(obs::GetCounter("coupling.callguard.failures." + name)),
+        deadline_exceeded(
+            obs::GetCounter("coupling.callguard.deadline_exceeded." + name)),
+        breaker_rejections(
+            obs::GetCounter("coupling.callguard.breaker_rejections." + name)) {}
+  obs::Counter& calls;
+  obs::Counter& retries;
+  obs::Counter& failures;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& breaker_rejections;
+};
+
 const char* BreakerStateName(BreakerState state) {
   switch (state) {
     case BreakerState::kClosed: return "closed";
@@ -138,10 +158,13 @@ void CircuitBreaker::Reset() {
 // CallGuard
 // ---------------------------------------------------------------------------
 
+CallGuard::~CallGuard() = default;
+
 CallGuard::CallGuard(CallGuardOptions options, std::string name)
     : options_(options),
       name_(std::move(name)),
-      breaker_(options.breaker, name_) {
+      breaker_(options.breaker, name_),
+      named_(std::make_unique<NamedMetrics>(name_)) {
   uint64_t z = options_.jitter_seed;
   if (z == 0) {
     // Per-instance entropy: guards created with the default seed must
@@ -181,9 +204,12 @@ uint64_t CallGuard::NextBackoffMicros(int attempt) {
   return backoff < 1.0 ? 1 : static_cast<uint64_t>(backoff);
 }
 
-Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
+Status CallGuard::Run(const char* op, const std::function<Status()>& fn,
+                      bool* breaker_rejected) {
+  if (breaker_rejected != nullptr) *breaker_rejected = false;
   ++stats_.calls;
   Metrics().calls.Increment();
+  named_->calls.Increment();
   QueryContext* ctx = QueryContext::Current();
   if (ctx != nullptr) {
     Status caller = ctx->CheckStatus();
@@ -195,6 +221,7 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
       if (caller.IsDeadlineExceeded()) {
         ++stats_.deadline_exceeded;
         Metrics().deadline_exceeded.Increment();
+        named_->deadline_exceeded.Increment();
       }
       return caller;
     }
@@ -202,6 +229,8 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
   if (!breaker_.Allow()) {
     ++stats_.breaker_rejections;
     Metrics().breaker_rejections.Increment();
+    named_->breaker_rejections.Increment();
+    if (breaker_rejected != nullptr) *breaker_rejected = true;
     return Status::Aborted("circuit open for '" + name_ + "' (" + op + ")");
   }
   const auto start = std::chrono::steady_clock::now();
@@ -230,8 +259,10 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
     if (deadline > 0 && elapsed_micros() >= deadline) {
       ++stats_.deadline_exceeded;
       Metrics().deadline_exceeded.Increment();
+      named_->deadline_exceeded.Increment();
       ++stats_.failures;
       Metrics().failures.Increment();
+      named_->failures.Increment();
       breaker_.RecordFailure();
       return Status::Aborted("deadline exceeded after " +
                              std::to_string(elapsed_micros()) + "us in '" +
@@ -246,9 +277,11 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
       if (caller.IsDeadlineExceeded()) {
         ++stats_.deadline_exceeded;
         Metrics().deadline_exceeded.Increment();
+        named_->deadline_exceeded.Increment();
       }
       ++stats_.failures;
       Metrics().failures.Increment();
+      named_->failures.Increment();
       breaker_.RecordFailure();
       return caller;
     }
@@ -266,6 +299,7 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
     }
     ++stats_.retries;
     Metrics().retries.Increment();
+    named_->retries.Increment();
     SDMS_LOG(DEBUG) << "retry " << attempt << "/" << max_attempts - 1
                     << " of '" << op << "' on '" << name_ << "' in "
                     << backoff << "us: " << last.ToString();
@@ -273,6 +307,7 @@ Status CallGuard::Run(const char* op, const std::function<Status()>& fn) {
   }
   ++stats_.failures;
   Metrics().failures.Increment();
+  named_->failures.Increment();
   breaker_.RecordFailure();
   return last;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -104,15 +105,22 @@ struct CallGuardStats {
 class CallGuard {
  public:
   CallGuard(CallGuardOptions options, std::string name);
+  ~CallGuard();
 
   /// Runs `fn` under the policy. `op` labels logs/metrics. The
   /// returned status is `fn`'s last status, kAborted("circuit open...")
   /// on breaker rejection, or kAborted("deadline exceeded...") when the
   /// call budget ran out on a failing call.
-  Status Run(const char* op, const std::function<Status()>& fn);
+  ///
+  /// `breaker_rejected`, when non-null, is set true iff the call was
+  /// refused by the open breaker without any attempt — fan-out callers
+  /// report such shards as "skipped" rather than "failed".
+  Status Run(const char* op, const std::function<Status()>& fn,
+             bool* breaker_rejected = nullptr);
 
   CircuitBreaker& breaker() { return breaker_; }
   const CallGuardStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
 
   /// The backoff (with jitter) the guard would sleep before retry
   /// `attempt` — public so tests can observe the jitter sequence
@@ -120,13 +128,18 @@ class CallGuard {
   uint64_t NextBackoffMicros(int attempt);
 
  private:
-
   CallGuardOptions options_;
   std::string name_;
   CircuitBreaker breaker_;
   CallGuardStats stats_;
   std::mutex rng_mu_;
   uint64_t rng_state_[2];
+  /// Per-name labeled counters (`coupling.callguard.<field>.<name>`),
+  /// so guards of individual shards are attributable in the metrics —
+  /// the process-global `coupling.irs.*` counters aggregate across all
+  /// guards and cannot tell shard 2's failures from shard 5's.
+  struct NamedMetrics;
+  std::unique_ptr<NamedMetrics> named_;
 };
 
 /// Transient failure classes: injected/real I/O errors, crashes,

@@ -12,6 +12,7 @@
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "coupling/coupling.h"
 #include "irs/query/query_node.h"
 #include "oodb/query/parser.h"
@@ -53,6 +54,11 @@ struct CollectionMetrics {
   obs::Gauge& high_water = obs::GetGauge("coupling.propagate.high_water");
   obs::Counter& exchange_cleaned =
       obs::GetCounter("coupling.files.exchange_cleaned");
+  // Fan-out search over shards.
+  obs::Counter& shard_degraded =
+      obs::GetCounter("coupling.shard.degraded_queries");
+  obs::Counter& shard_hedges = obs::GetCounter("coupling.shard.hedges");
+  obs::Counter& shard_failures = obs::GetCounter("coupling.shard.failures");
 };
 
 CollectionMetrics& Metrics() {
@@ -187,11 +193,189 @@ StatusOr<bool> Collection::SatisfiesSpec(Oid oid) {
 // Query path (Figure 3)
 // ---------------------------------------------------------------------------
 
-StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
+namespace {
+
+/// Maps IRS hits (keys "oid:<n>") back to database objects.
+Status HitsToOidMap(const std::vector<irs::SearchHit>& hits,
+                    OidScoreMap* out) {
+  for (const irs::SearchHit& h : hits) {
+    // Keys are "oid:<n>" (the OID stored as IRS document meta data).
+    if (!StartsWith(h.key, "oid:")) {
+      return Status::Corruption("IRS document key without OID: " + h.key);
+    }
+    uint64_t raw = 0;
+    try {
+      raw = std::stoull(h.key.substr(4));
+    } catch (...) {
+      return Status::Corruption("malformed OID key: " + h.key);
+    }
+    out->emplace(Oid(raw), h.score);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Collection::EnsureShardGuards(size_t num_shards) {
+  while (shard_guards_.size() < num_shards) {
+    size_t s = shard_guards_.size();
+    shard_guards_.push_back(std::make_unique<CallGuard>(
+        coupling_->options().call_guard,
+        irs_name_ + "/shard" + std::to_string(s)));
+  }
+}
+
+CallGuard& Collection::shard_guard(size_t s) {
+  EnsureShardGuards(s + 1);
+  return *shard_guards_[s];
+}
+
+StatusOr<OidScoreMap> Collection::RunIrsQuerySharded(
+    irs::IrsCollection* coll, const std::string& irs_query, bool* partial) {
+  // Parse once and snapshot the corpus-wide statistics every shard
+  // scores against — this is what keeps an N-shard merged ranking
+  // bit-identical to the single-shard one.
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection::SearchPlan plan,
+                        coll->PrepareSearch(irs_query, 0));
+  const size_t n = coll->num_shards();
+  EnsureShardGuards(n);
+
+  struct ShardRun {
+    std::vector<irs::SearchHit> hits;
+    Status status = Status::OK();
+    bool breaker_rejected = false;
+    bool hedged = false;
+    int64_t micros = 0;
+  };
+  std::vector<ShardRun> runs(n);
+  // One guarded search per shard. Each shard is its own failure
+  // domain: its guard retries/trips independently, and the
+  // "coupling.irs_call" + "irs.search.shard<i>" fault points fire per
+  // shard, so an injected fault takes out one shard's call, not the
+  // whole query.
+  auto attempt_shard = [&](size_t s) {
+    ShardRun& r = runs[s];
+    const int64_t start = QueryContext::NowMicros();
+    obs::ProfileStageScope shard_stage(irs::ShardSearchStageName(s));
+    r.status = shard_guards_[s]->Run(
+        "irs_query",
+        [&]() -> Status {
+          SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+          SDMS_ASSIGN_OR_RETURN(r.hits, coll->SearchShard(plan, s));
+          return Status::OK();
+        },
+        &r.breaker_rejected);
+    r.micros += QueryContext::NowMicros() - start;
+  };
+  if (n > 1) {
+    if (ThreadPool* pool = DefaultThreadPool()) {
+      pool->ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) attempt_shard(s);
+      });
+    } else {
+      for (size_t s = 0; s < n; ++s) attempt_shard(s);
+    }
+  } else {
+    attempt_shard(0);
+  }
+
+  QueryContext* ctx = QueryContext::Current();
+  // Explicit cancellation is never degradable — propagate it.
+  if (ctx != nullptr &&
+      ctx->stop_reason() == QueryContext::StopReason::kCancelled) {
+    return ctx->StopStatus();
+  }
+  // Hedged re-issue: a shard that failed transiently gets one more
+  // chance while the healthy shards' results are already in hand.
+  // Breaker-rejected shards are not hedged (the breaker said stop),
+  // and neither is anything once the caller's own budget expired.
+  for (size_t s = 0; s < n; ++s) {
+    ShardRun& r = runs[s];
+    if (r.status.ok() || r.breaker_rejected || !IsUnavailable(r.status)) {
+      continue;
+    }
+    if (ctx != nullptr && !ctx->CheckStatus().ok()) break;
+    r.hedged = true;
+    ++stats_.shard_hedges;
+    Metrics().shard_hedges.Increment();
+    attempt_shard(s);
+  }
+
+  std::vector<ShardStatusEntry> report(n);
+  std::vector<std::vector<irs::SearchHit>> per_shard;
+  per_shard.reserve(n);
+  size_t ok_shards = 0;
+  Status first_failure = Status::OK();
+  std::string failed_names;
+  for (size_t s = 0; s < n; ++s) {
+    ShardRun& r = runs[s];
+    ShardStatusEntry& e = report[s];
+    e.collection = irs_name_;
+    e.shard = static_cast<uint32_t>(s);
+    e.micros = r.micros;
+    if (r.status.ok()) {
+      e.state = r.hedged ? ShardState::kDegraded : ShardState::kOk;
+      ++ok_shards;
+      per_shard.push_back(std::move(r.hits));
+    } else {
+      e.state = r.breaker_rejected ? ShardState::kSkipped : ShardState::kFailed;
+      e.detail = r.status.ToString();
+      if (first_failure.ok()) first_failure = r.status;
+      if (!failed_names.empty()) failed_names += ",";
+      failed_names += "shard" + std::to_string(s);
+      Metrics().shard_failures.Increment();
+    }
+  }
+  last_shard_report_ = report;
+  if (ctx != nullptr) ctx->AddShardStatus(report);
+  if (ok_shards == 0) {
+    // Every shard failed: the collection as a whole is unavailable —
+    // the caller's stale-serve / derivation fallbacks take over.
+    return first_failure;
+  }
+  if (ok_shards < n) {
+    // Partial result: merged ranking over the surviving shards,
+    // explicitly flagged. Never buffered (the buffer must only hold
+    // complete answers).
+    if (partial != nullptr) *partial = true;
+    ++stats_.shard_degraded_queries;
+    Metrics().shard_degraded.Increment();
+    obs::ProfileCount("shard_degraded");
+    obs::ProfileAnnotate("degradation_reason",
+                         "shard(s) " + failed_names + " of '" + irs_name_ +
+                             "' unavailable: " + first_failure.ToString());
+    if (ctx != nullptr) ctx->NoteDegraded();
+    SDMS_LOG(WARN) << "degraded fan-out search on '" << irs_name_ << "': "
+                   << failed_names << " failed (" << ok_shards << "/" << n
+                   << " shards answered): " << first_failure.ToString();
+  }
+  OidScoreMap out;
+  SDMS_RETURN_IF_ERROR(HitsToOidMap(
+      irs::IrsCollection::MergeShardHits(std::move(per_shard), plan.k), &out));
+  return out;
+}
+
+StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query,
+                                              bool* partial) {
   obs::TraceSpan span("coupling.irs_query");
   obs::ProfileStageScope stage("irs_query");
+  if (partial != nullptr) *partial = false;
   ++stats_.irs_queries;
   Metrics().irs_queries.Increment();
+  last_shard_report_.clear();
+  if (!coupling_->options().file_exchange) {
+    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                          coupling_->irs().GetCollection(irs_name_));
+    StatusOr<OidScoreMap> out = RunIrsQuerySharded(coll, irs_query, partial);
+    if (out.ok()) {
+      Metrics().irs_query_us.Record(static_cast<double>(span.ElapsedMicros()));
+    }
+    return out;
+  }
+  // File-exchange mode stays a single stream: the result file carries
+  // one merged ranking with no per-shard framing, so shard statuses
+  // are not reported and any failure fails the whole exchange (see
+  // docs/robustness.md, "Shard failure domains").
   OidScoreMap out;
   // The whole submit (including the exchange-file round trip) runs
   // under the guard: a transient failure is retried from scratch, so a
@@ -200,47 +384,28 @@ StatusOr<OidScoreMap> Collection::RunIrsQuery(const std::string& irs_query) {
     out.clear();
     SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
     std::vector<irs::SearchHit> hits;
-    if (coupling_->options().file_exchange) {
-      // The paper's original mechanism: "the IRS writes the result to a
-      // file which is parsed afterwards".
-      std::string path = coupling_->options().exchange_dir + "/irs_result_" +
-                         irs_name_ + "_" +
-                         std::to_string(coupling_->exchange_file_counter_++) +
-                         ".txt";
-      SDMS_RETURN_IF_ERROR(
-          coupling_->irs().SearchToFile(irs_name_, irs_query, path));
-      // The result file is transient: remove it whether or not it
-      // parses, so a corrupt result (or an injected fault) doesn't
-      // strand exchange files in the directory.
-      StatusOr<std::vector<irs::SearchHit>> hits_or =
-          irs::IrsEngine::ParseResultFile(path);
-      auto size = FileSize(path);
-      if (size.ok()) {
-        stats_.bytes_exchanged += static_cast<uint64_t>(*size);
-        Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
-      }
-      ++stats_.files_exchanged;
-      if (RemoveFile(path).ok()) Metrics().exchange_cleaned.Increment();
-      SDMS_ASSIGN_OR_RETURN(hits, std::move(hits_or));
-    } else {
-      SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
-                            coupling_->irs().GetCollection(irs_name_));
-      SDMS_ASSIGN_OR_RETURN(hits, coll->Search(irs_query));
+    // The paper's original mechanism: "the IRS writes the result to a
+    // file which is parsed afterwards".
+    std::string path = coupling_->options().exchange_dir + "/irs_result_" +
+                       irs_name_ + "_" +
+                       std::to_string(coupling_->exchange_file_counter_++) +
+                       ".txt";
+    SDMS_RETURN_IF_ERROR(
+        coupling_->irs().SearchToFile(irs_name_, irs_query, path));
+    // The result file is transient: remove it whether or not it
+    // parses, so a corrupt result (or an injected fault) doesn't
+    // strand exchange files in the directory.
+    StatusOr<std::vector<irs::SearchHit>> hits_or =
+        irs::IrsEngine::ParseResultFile(path);
+    auto size = FileSize(path);
+    if (size.ok()) {
+      stats_.bytes_exchanged += static_cast<uint64_t>(*size);
+      Metrics().bytes_exchanged.Add(static_cast<uint64_t>(*size));
     }
-    for (const irs::SearchHit& h : hits) {
-      // Keys are "oid:<n>" (the OID stored as IRS document meta data).
-      if (!StartsWith(h.key, "oid:")) {
-        return Status::Corruption("IRS document key without OID: " + h.key);
-      }
-      uint64_t raw = 0;
-      try {
-        raw = std::stoull(h.key.substr(4));
-      } catch (...) {
-        return Status::Corruption("malformed OID key: " + h.key);
-      }
-      out.emplace(Oid(raw), h.score);
-    }
-    return Status::OK();
+    ++stats_.files_exchanged;
+    if (RemoveFile(path).ok()) Metrics().exchange_cleaned.Increment();
+    SDMS_ASSIGN_OR_RETURN(hits, std::move(hits_or));
+    return HitsToOidMap(hits, &out);
   });
   SDMS_RETURN_IF_ERROR(submit);
   Metrics().irs_query_us.Record(static_cast<double>(span.ElapsedMicros()));
@@ -299,7 +464,15 @@ StatusOr<const OidScoreMap*> Collection::GetIrsResult(
     ++stats_.buffer_misses;
     obs::ProfileCount("buffer_misses");
     obs::StatisticsService::Instance().RecordBufferLookup(irs_name_, false);
-    SDMS_ASSIGN_OR_RETURN(OidScoreMap result, RunIrsQuery(irs_query));
+    bool partial = false;
+    SDMS_ASSIGN_OR_RETURN(OidScoreMap result, RunIrsQuery(irs_query, &partial));
+    if (partial) {
+      // A degraded partial result never enters the persistent buffer:
+      // once the failed shard recovers, the next query must see the
+      // complete ranking, not a cached partial one presented as fresh.
+      unbuffered_result_ = std::move(result);
+      return &unbuffered_result_;
+    }
     buffer_.Put(irs_query, std::move(result));
     return buffer_.Get(irs_query);
   }
@@ -537,60 +710,98 @@ Status Collection::PropagateUpdates() {
   stats_.cancelled_ops = update_log_.cancelled();
   if (ops.empty()) return Status::OK();
   Metrics().propagate_batches.Increment();
-  // Phase 1: force a prepare record (collection, high-water, drained
-  // ops) to the propagation journal before the first IRS call. A
-  // crash anywhere past this point leaves a journaled batch that
-  // recovery requeues; a journal failure here has touched nothing, so
-  // the batch simply goes back into the log.
-  Status prepared = coupling_->JournalPrepare(self_, high, ops);
-  if (!prepared.ok()) {
-    for (const PendingOp& op : ops) update_log_.Requeue(op);
-    stats_.requeued_ops += ops.size();
-    Metrics().requeued.Add(ops.size());
-    Metrics().requeued_pending.Set(
-        static_cast<int64_t>(update_log_.size()));
-    SDMS_LOG(WARN) << "propagation journal prepare for '" << irs_name_
-                   << "' failed, " << update_log_.size()
-                   << " net update(s) requeued: " << prepared.ToString();
-    return prepared;
+  auto requeue_all = [&](const std::vector<PendingOp>& batch,
+                         const Status& why, const char* what) {
+    for (const PendingOp& op : batch) update_log_.Requeue(op);
+    stats_.requeued_ops += batch.size();
+    Metrics().requeued.Add(batch.size());
+    Metrics().requeued_pending.Set(static_cast<int64_t>(update_log_.size()));
+    SDMS_LOG(WARN) << what << " for '" << irs_name_ << "' failed, "
+                   << update_log_.size()
+                   << " net update(s) requeued: " << why.ToString();
+  };
+  auto coll_or = coupling_->irs().GetCollection(irs_name_);
+  if (!coll_or.ok()) {
+    requeue_all(ops, coll_or.status(), "propagation");
+    return coll_or.status();
   }
-  // Net operations are per-object independent, so replay is free to
-  // group them: deletes and modifies apply individually, while inserts
-  // are collected and fed to the batch indexing pipeline in one call.
+  irs::IrsCollection* coll = *coll_or;
+  // Propagation is shard-isolated: the drained batch is partitioned by
+  // the documents' shards, journaled and applied per shard under that
+  // shard's guard. A faulting shard requeues only its own sub-batch
+  // and leaves its applied_seq floor behind; the healthy shards
+  // commit, advance their floors, and keep serving.
+  const size_t n = coll->num_shards();
+  EnsureShardGuards(n);
+  std::vector<std::vector<PendingOp>> per_shard(n);
+  for (const PendingOp& op : ops) {
+    per_shard[coll->ShardOfKey(op.oid.ToString())].push_back(op);
+  }
+  // Phase 1: force every shard's prepare record (collection, shard,
+  // high-water, sub-batch) to the propagation journal before the first
+  // IRS call. A crash anywhere past this point leaves journaled
+  // batches that recovery requeues against the per-shard floors; a
+  // journal failure here has touched nothing, so the whole batch goes
+  // back into the log.
+  for (size_t s = 0; s < n; ++s) {
+    if (per_shard[s].empty()) continue;
+    Status prepared = coupling_->JournalPrepare(
+        self_, static_cast<uint32_t>(s), high, per_shard[s]);
+    if (!prepared.ok()) {
+      requeue_all(ops, prepared, "propagation journal prepare");
+      return prepared;
+    }
+  }
+  // Phase 2: apply per shard. Net operations are per-object
+  // independent, so replay is free to group them: deletes and modifies
+  // apply individually, while inserts are collected and fed to the
+  // batch indexing pipeline in one call per shard.
   //
-  // Failure contract: on the first error every unapplied operation —
-  // the deferred inserts plus the failed op and everything after it —
-  // goes back into the update log, so the drained batch is never lost
-  // and the next propagation replays exactly the remaining work.
-  std::vector<PendingOp> inserts;
-  bool changed = false;
-  Status failure = Status::OK();
-  size_t failed_at = ops.size();
-  for (size_t i = 0; i < ops.size(); ++i) {
-    const PendingOp& op = ops[i];
-    if (op.kind == UpdateKind::kInsert) {
-      inserts.push_back(op);
+  // Failure contract per shard: on the first error every unapplied
+  // operation of THAT shard — its deferred inserts plus the failed op
+  // and everything after it — goes back into the update log, so the
+  // sub-batch is never lost and the next propagation replays exactly
+  // the remaining work. Other shards are unaffected.
+  Status first_failure = Status::OK();
+  bool any_changed = false;
+  size_t applied_total = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (per_shard[s].empty()) {
+      // No ops routed to this shard in the drain, so it already
+      // reflects every sequenced event up to `high` (pending work
+      // would have drained into this batch). Advancing its floor too
+      // keeps the floors uniform, which keeps the restored routing
+      // dedup tight after a crash.
+      coll->set_shard_applied_seq(s, high);
       continue;
     }
-    Status s = guard_.Run(
-        op.kind == UpdateKind::kDelete ? "remove_document" : "update_document",
-        [&]() -> Status {
-          SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
-          return ApplyOp(op);
-        });
-    if (!s.ok()) {
-      failure = s;
-      failed_at = i;
-      break;
+    const std::vector<PendingOp>& shard_ops = per_shard[s];
+    CallGuard& sguard = *shard_guards_[s];
+    std::vector<PendingOp> inserts;
+    bool changed = false;
+    Status failure = Status::OK();
+    size_t failed_at = shard_ops.size();
+    for (size_t i = 0; i < shard_ops.size(); ++i) {
+      const PendingOp& op = shard_ops[i];
+      if (op.kind == UpdateKind::kInsert) {
+        inserts.push_back(op);
+        continue;
+      }
+      Status st = sguard.Run(
+          op.kind == UpdateKind::kDelete ? "remove_document"
+                                         : "update_document",
+          [&]() -> Status {
+            SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+            return ApplyOp(op);
+          });
+      if (!st.ok()) {
+        failure = st;
+        failed_at = i;
+        break;
+      }
+      changed = true;
     }
-    changed = true;
-  }
-  if (failure.ok() && !inserts.empty()) {
-    auto coll_or = coupling_->irs().GetCollection(irs_name_);
-    if (!coll_or.ok()) {
-      failure = coll_or.status();
-    } else {
-      irs::IrsCollection* coll = *coll_or;
+    if (failure.ok() && !inserts.empty()) {
       std::vector<irs::BatchDocument> batch;
       std::vector<Oid> batch_oids;
       batch.reserve(inserts.size());
@@ -598,7 +809,21 @@ Status Collection::PropagateUpdates() {
         if (Represents(op.oid)) {
           // Redelivered insert whose document already exists — the
           // usual shape of a duplicate delivery after crash recovery.
+          // A net insert can carry a folded modify (insert + modify
+          // collapse to an insert in the update log), so the duplicate
+          // reconciles as an update instead of being dropped: the
+          // re-derived text converges to the current database state
+          // whether or not a content change was folded in.
           if (op.seq != 0) Metrics().duplicates_skipped.Increment();
+          Status st = sguard.Run("update_document", [&]() -> Status {
+            SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+            return ApplyOp(PendingOp{UpdateKind::kModify, op.oid, op.seq});
+          });
+          if (!st.ok()) {
+            failure = st;
+            break;
+          }
+          changed = true;
           continue;
         }
         StatusOr<bool> ok = SatisfiesSpec(op.oid);
@@ -619,7 +844,7 @@ Status Collection::PropagateUpdates() {
         batch_oids.push_back(op.oid);
       }
       if (failure.ok() && !batch.empty()) {
-        failure = guard_.Run("batch_add", [&]() -> Status {
+        failure = sguard.Run("batch_add", [&]() -> Status {
           SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
           // AddDocumentsBatch fails without side effects, so a failed
           // batch can be requeued and replayed wholesale.
@@ -633,47 +858,54 @@ Status Collection::PropagateUpdates() {
         }
       }
     }
-  }
-  if (changed) {
-    // IRS index structures changed: buffered results are stale. On a
-    // partial failure the buffer intentionally survives — degraded
-    // reads serve it flagged stale until propagation succeeds.
-    if (failure.ok()) buffer_.Clear();
-  }
-  if (!failure.ok()) {
-    size_t requeued = inserts.size() + (ops.size() - failed_at);
-    for (const PendingOp& op : inserts) update_log_.Requeue(op);
-    for (size_t j = failed_at; j < ops.size(); ++j) {
-      update_log_.Requeue(ops[j]);
+    any_changed = any_changed || changed;
+    if (!failure.ok()) {
+      if (first_failure.ok()) first_failure = failure;
+      size_t requeued = inserts.size() + (shard_ops.size() - failed_at);
+      for (const PendingOp& op : inserts) update_log_.Requeue(op);
+      for (size_t j = failed_at; j < shard_ops.size(); ++j) {
+        update_log_.Requeue(shard_ops[j]);
+      }
+      stats_.requeued_ops += requeued;
+      Metrics().requeued.Add(requeued);
+      Metrics().requeued_pending.Set(
+          static_cast<int64_t>(update_log_.size()));
+      SDMS_LOG(WARN) << "propagation into '" << irs_name_ << "' shard " << s
+                     << " failed, " << requeued
+                     << " net update(s) requeued: " << failure.ToString();
+      continue;
     }
-    stats_.requeued_ops += requeued;
-    Metrics().requeued.Add(requeued);
-    Metrics().requeued_pending.Set(
-        static_cast<int64_t>(update_log_.size()));
-    SDMS_LOG(WARN) << "propagation into '" << irs_name_ << "' failed, "
-                   << update_log_.size() << " net update(s) requeued: "
-                   << failure.ToString();
-    return failure;
+    // This shard's whole sub-batch applied: it now reflects every
+    // sequenced event routed to it up to `high`. Advance only this
+    // shard's high-water mark — never per op — so a crash mid-batch
+    // replays the full remaining work instead of skipping requeued
+    // lower-seq ops.
+    coll->set_shard_applied_seq(s, high);
+    applied_total += shard_ops.size();
+    // The commit record marks the shard's batch complete in memory.
+    // Recovery treats it as advisory (only the persisted snapshot's
+    // high-water marks prove durability) and the reconciling replay is
+    // idempotent, so failing to write it only warns.
+    Status committed =
+        coupling_->JournalCommit(self_, static_cast<uint32_t>(s), high);
+    if (!committed.ok()) {
+      SDMS_LOG(WARN) << "propagation journal commit for '" << irs_name_
+                     << "' shard " << s
+                     << " failed (batch stays replayable): "
+                     << committed.ToString();
+    }
   }
-  // The whole batch applied: the index now reflects every sequenced
-  // event up to `high`. Advance the IRS snapshot's high-water mark
-  // only here — never per op — so a crash mid-batch replays the full
-  // remaining work instead of skipping requeued lower-seq ops.
-  auto coll_or = coupling_->irs().GetCollection(irs_name_);
-  if (coll_or.ok()) (*coll_or)->set_applied_seq(high);
-  Metrics().propagate_ops.Add(ops.size());
-  Metrics().high_water.Set(static_cast<int64_t>(high));
+  Metrics().high_water.Set(static_cast<int64_t>(coll->applied_seq()));
+  if (!first_failure.ok()) {
+    // IRS index structures may have changed on the healthy shards, but
+    // on a partial failure the buffer intentionally survives —
+    // degraded reads serve it flagged stale until propagation
+    // succeeds end to end.
+    return first_failure;
+  }
+  if (any_changed) buffer_.Clear();
+  Metrics().propagate_ops.Add(applied_total);
   Metrics().requeued_pending.Set(static_cast<int64_t>(update_log_.size()));
-  // Phase 2: the commit record marks the batch complete in memory.
-  // Recovery treats it as advisory (only the persisted snapshot's
-  // high-water mark proves durability) and the reconciling replay is
-  // idempotent, so failing to write it only warns.
-  Status committed = coupling_->JournalCommit(self_, high);
-  if (!committed.ok()) {
-    SDMS_LOG(WARN) << "propagation journal commit for '" << irs_name_
-                   << "' failed (batch stays replayable): "
-                   << committed.ToString();
-  }
   SDMS_LOG(DEBUG) << "propagated " << ops.size() << " net update(s) into '"
                   << irs_name_ << "' (high-water " << high << ")";
   return Status::OK();
@@ -803,7 +1035,7 @@ StatusOr<ConsistencyReport> Collection::VerifyConsistency() {
                         coupling_->irs().GetCollection(irs_name_));
   std::set<Oid> indexed;
   std::string bad_key;
-  coll->index().ForEachDoc([&](irs::DocId, const irs::DocInfo& info) {
+  coll->ForEachDoc([&](size_t, irs::DocId, const irs::DocInfo& info) {
     if (!StartsWith(info.key, "oid:")) {
       bad_key = info.key;
       return;
@@ -851,7 +1083,7 @@ Status Collection::Repair() {
   // Resync the represented set with what the IRS index now holds (it
   // can drift when a crash interrupted IndexObjects or a batch).
   represented_.clear();
-  coll->index().ForEachDoc([&](irs::DocId, const irs::DocInfo& info) {
+  coll->ForEachDoc([&](size_t, irs::DocId, const irs::DocInfo& info) {
     if (!StartsWith(info.key, "oid:")) return;
     try {
       represented_.insert(Oid(std::stoull(info.key.substr(4))));
@@ -873,8 +1105,10 @@ Status Collection::Repair() {
   // survive the repair).
   stats_.requeued_ops = 0;
   Metrics().requeued_pending.Set(0);
-  // A successful repair is positive proof the IRS is reachable again.
+  // A successful repair is positive proof the IRS is reachable again —
+  // for every failure domain, so the per-shard breakers close too.
   guard_.breaker().Reset();
+  for (auto& g : shard_guards_) g->breaker().Reset();
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/oid.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "coupling/call_guard.h"
 #include "coupling/derivation.h"
@@ -15,6 +16,10 @@
 #include "coupling/types.h"
 #include "coupling/update_log.h"
 #include "oodb/query/ast.h"
+
+namespace sdms::irs {
+class IrsCollection;
+}  // namespace sdms::irs
 
 namespace sdms::coupling {
 
@@ -177,8 +182,20 @@ class Collection {
 
   ResultBuffer& buffer() { return buffer_; }
   /// The retry/deadline/circuit-breaker guard around every IRS call
-  /// this collection makes.
+  /// this collection makes that is not scoped to a single shard
+  /// (indexObjects, file exchange, batch inserts).
   CallGuard& guard() { return guard_; }
+  /// The per-shard guard for shard `s` of the fan-out search path —
+  /// one breaker per shard is the failure-domain boundary: shard 3
+  /// faulting trips only shard 3's breaker, the other shards keep
+  /// answering. Guards are (re)created on demand to match the IRS
+  /// collection's current shard count.
+  CallGuard& shard_guard(size_t s);
+  /// Per-shard outcomes of the most recent fan-out search (empty when
+  /// the last search was served from the buffer or file exchange).
+  const std::vector<ShardStatusEntry>& last_shard_report() const {
+    return last_shard_report_;
+  }
   const CouplingStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CouplingStats{}; }
 
@@ -207,8 +224,22 @@ class Collection {
  private:
   friend class Coupling;
 
-  /// Actually submits to the IRS (in-process or file exchange).
-  StatusOr<OidScoreMap> RunIrsQuery(const std::string& irs_query);
+  /// Actually submits to the IRS (in-process or file exchange). The
+  /// in-process path fans the search out across the collection's
+  /// shards, each under its own guard; when some (but not all) shards
+  /// fail, the merged partial result is returned with `*partial` set —
+  /// the caller must not buffer it. `last_shard_report_` and the
+  /// current QueryContext receive the per-shard statuses.
+  StatusOr<OidScoreMap> RunIrsQuery(const std::string& irs_query,
+                                    bool* partial = nullptr);
+
+  /// Fan-out core of RunIrsQuery (in-process mode only).
+  StatusOr<OidScoreMap> RunIrsQuerySharded(irs::IrsCollection* coll,
+                                           const std::string& irs_query,
+                                           bool* partial);
+
+  /// Sizes shard_guards_ to the IRS collection's shard count.
+  void EnsureShardGuards(size_t num_shards);
 
   /// Ensures pending updates are applied according to the policy.
   Status MaybePropagate();
@@ -230,6 +261,11 @@ class Collection {
   std::set<Oid> represented_;
   ResultBuffer buffer_;
   CallGuard guard_;
+  /// One guard per shard (named "<irs_name>/shard<i>"); see
+  /// shard_guard().
+  std::vector<std::unique_ptr<CallGuard>> shard_guards_;
+  /// Per-shard outcomes of the most recent fan-out search.
+  std::vector<ShardStatusEntry> last_shard_report_;
   /// Result storage when buffering is disabled (ablation mode).
   OidScoreMap unbuffered_result_;
   UpdateLog update_log_;

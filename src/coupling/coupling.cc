@@ -227,9 +227,10 @@ StatusOr<size_t> Coupling::RestoreCollections() {
     if (mode.ok() && mode->is_int()) {
       collection->text_mode_ = static_cast<int>(mode->as_int());
     }
-    // The represented set is exactly the restored index's live keys.
-    (*irs_coll)->index().ForEachDoc(
-        [&](irs::DocId, const irs::DocInfo& info) {
+    // The represented set is exactly the restored index's live keys,
+    // gathered across every shard.
+    (*irs_coll)->ForEachDoc(
+        [&](size_t, irs::DocId, const irs::DocInfo& info) {
           if (StartsWith(info.key, "oid:")) {
             try {
               collection->represented_.insert(
@@ -562,9 +563,26 @@ void Coupling::RouteUpdate(UpdateKind kind, Oid oid,
   }
   for (auto& [coid, collection] : collections_) {
     // Exactly-once guard: recovery re-delivers WAL events from the
-    // last checkpoint on; those already covered by this collection's
-    // restored high-water mark are duplicates.
-    if (seq != 0 && seq <= collection->last_routed_seq()) {
+    // last checkpoint on; those already covered are duplicates. The
+    // check is per shard: an event concerns exactly one shard (each
+    // ancestor its own), and that shard's applied floor says exactly
+    // whether the effect survives in the restored index. The
+    // collection-wide routed mark alone undershoots after a restart
+    // (it restores as the minimum across shards), and a re-delivered
+    // durable insert is not merely wasted work — it folds with a
+    // fresh modify of the same object into a net insert the duplicate
+    // check then swallows, or with a fresh delete into annihilation.
+    auto irs_coll = engine_->GetCollection(collection->irs_collection_name());
+    auto floor_for = [&](Oid target) {
+      uint64_t floor = collection->last_routed_seq();
+      if (irs_coll.ok()) {
+        floor = std::max(floor, (*irs_coll)->shard_applied_seq(
+                                    (*irs_coll)->ShardOfKey(
+                                        target.ToString())));
+      }
+      return floor;
+    };
+    if (seq != 0 && seq <= floor_for(oid)) {
       RouteDuplicates().Increment();
       continue;
     }
@@ -582,7 +600,8 @@ void Coupling::RouteUpdate(UpdateKind kind, Oid oid,
     }
     (void)s;  // Propagation errors surface on the next query.
     for (Oid ancestor : ancestors) {
-      if (collection->Represents(ancestor)) {
+      if (collection->Represents(ancestor) &&
+          (seq == 0 || seq > floor_for(ancestor))) {
         (void)collection->OnModify(ancestor, seq);
       }
     }
@@ -596,11 +615,12 @@ void Coupling::RouteUpdate(UpdateKind kind, Oid oid,
 
 namespace {
 
-std::string EncodePrepare(Oid collection, uint64_t high,
+std::string EncodePrepare(Oid collection, uint32_t shard, uint64_t high,
                           const std::vector<PendingOp>& ops) {
   oodb::Encoder enc;
   enc.PutU8(static_cast<uint8_t>(oodb::WalRecordType::kPropagatePrepare));
   enc.PutU64(collection.raw());
+  enc.PutU32(shard);
   enc.PutU64(high);
   enc.PutU32(static_cast<uint32_t>(ops.size()));
   for (const PendingOp& op : ops) {
@@ -613,17 +633,18 @@ std::string EncodePrepare(Oid collection, uint64_t high,
 
 }  // namespace
 
-Status Coupling::JournalPrepare(Oid collection, uint64_t high,
+Status Coupling::JournalPrepare(Oid collection, uint32_t shard, uint64_t high,
                                 const std::vector<PendingOp>& ops) {
   if (journal_ == nullptr) return Status::OK();
-  return journal_->AppendDurable(EncodePrepare(collection, high, ops));
+  return journal_->AppendDurable(EncodePrepare(collection, shard, high, ops));
 }
 
-Status Coupling::JournalCommit(Oid collection, uint64_t high) {
+Status Coupling::JournalCommit(Oid collection, uint32_t shard, uint64_t high) {
   if (journal_ == nullptr) return Status::OK();
   oodb::Encoder enc;
   enc.PutU8(static_cast<uint8_t>(oodb::WalRecordType::kPropagateCommit));
   enc.PutU64(collection.raw());
+  enc.PutU32(shard);
   enc.PutU64(high);
   return journal_->AppendDurable(enc.data());
 }
@@ -642,6 +663,7 @@ Status Coupling::RecoverPropagation() {
   // commit but were never persisted) is safe — duplicates reconcile
   // to no-ops.
   struct PreparedBatch {
+    uint32_t shard = 0;
     uint64_t high = 0;
     std::vector<PendingOp> ops;
   };
@@ -655,6 +677,7 @@ Status Coupling::RecoverPropagation() {
               static_cast<uint8_t>(oodb::WalRecordType::kPropagatePrepare)) {
             SDMS_ASSIGN_OR_RETURN(uint64_t coll_raw, dec.GetU64());
             PreparedBatch batch;
+            SDMS_ASSIGN_OR_RETURN(batch.shard, dec.GetU32());
             SDMS_ASSIGN_OR_RETURN(batch.high, dec.GetU64());
             SDMS_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
             for (uint32_t i = 0; i < count; ++i) {
@@ -673,8 +696,10 @@ Status Coupling::RecoverPropagation() {
             // Advisory only (see above): the batch completed in memory
             // at the time, which says nothing about durability.
             SDMS_ASSIGN_OR_RETURN(uint64_t coll_raw, dec.GetU64());
+            SDMS_ASSIGN_OR_RETURN(uint32_t shard, dec.GetU32());
             SDMS_ASSIGN_OR_RETURN(uint64_t high, dec.GetU64());
             (void)coll_raw;
+            (void)shard;
             (void)high;
           } else {
             return Status::Corruption("unknown propagation-journal record");
@@ -693,9 +718,22 @@ Status Coupling::RecoverPropagation() {
       // annihilate in the update log, silently dropping the delete.
       // Unsequenced ops (seq 0, direct API calls) are requeued
       // conservatively; their replay reconciles to a no-op.
-      uint64_t floor = it->second->last_routed_seq();
+      //
+      // Floors are per shard: a prepare is scoped to one shard, and
+      // that shard's restored applied_seq tells exactly whether its
+      // sub-batch is in the snapshot — shard 2 may have committed high
+      // while shard 0 faulted and stayed behind. When the record's
+      // shard no longer exists (shard count changed across restarts,
+      // e.g. a legacy single-shard snapshot), the collection-wide
+      // minimum is the conservative floor.
+      auto irs_coll = engine_->GetCollection(it->second->irs_collection_name());
+      uint64_t min_floor = it->second->last_routed_seq();
       size_t requeued = 0;
       for (const PreparedBatch& batch : batches) {
+        uint64_t floor = min_floor;
+        if (irs_coll.ok() && batch.shard < (*irs_coll)->num_shards()) {
+          floor = (*irs_coll)->shard_applied_seq(batch.shard);
+        }
         if (batch.high < floor) continue;
         for (const PendingOp& op : batch.ops) {
           if (op.seq != 0 && op.seq <= floor) continue;
@@ -771,7 +809,22 @@ Status Coupling::PersistIrs() {
       if (pending.empty()) continue;
       uint64_t high = std::max(collection->last_routed_seq(),
                                collection->update_log_.last_seq());
-      parked.push_back(EncodePrepare(coid, high, pending));
+      // Park one prepare per (collection, shard) so recovery can apply
+      // its per-shard floors. Without a resolvable IRS collection the
+      // ops park under shard 0; recovery then falls back to the
+      // collection-wide floor, which is merely conservative.
+      auto irs_coll = engine_->GetCollection(collection->irs_collection_name());
+      std::map<uint32_t, std::vector<PendingOp>> by_shard;
+      for (const PendingOp& op : pending) {
+        uint32_t shard =
+            irs_coll.ok() ? static_cast<uint32_t>(
+                                (*irs_coll)->ShardOfKey(op.oid.ToString()))
+                          : 0;
+        by_shard[shard].push_back(op);
+      }
+      for (const auto& [shard, shard_ops] : by_shard) {
+        parked.push_back(EncodePrepare(coid, shard, high, shard_ops));
+      }
     }
     SDMS_RETURN_IF_ERROR(journal_->ReplaceAtomic(parked));
   }
@@ -1036,6 +1089,8 @@ CouplingStats Coupling::AggregateStats() const {
     total.files_exchanged += s.files_exchanged;
     total.stale_serves += s.stale_serves;
     total.degraded_reads += s.degraded_reads;
+    total.shard_degraded_queries += s.shard_degraded_queries;
+    total.shard_hedges += s.shard_hedges;
   }
   return total;
 }

@@ -225,10 +225,12 @@ class Coupling : public oodb::UpdateListener {
                    const std::string& class_name, uint64_t seq);
 
   /// Writes a prepare/commit record of the mini two-phase commit to
-  /// the propagation journal (durably). No-ops without a journal.
-  Status JournalPrepare(Oid collection, uint64_t high,
+  /// the propagation journal (durably). Records carry the target shard
+  /// so recovery can honor per-shard high-water floors — shards fail
+  /// (and replay) independently. No-ops without a journal.
+  Status JournalPrepare(Oid collection, uint32_t shard, uint64_t high,
                         const std::vector<PendingOp>& ops);
-  Status JournalCommit(Oid collection, uint64_t high);
+  Status JournalCommit(Oid collection, uint32_t shard, uint64_t high);
 
   /// Semantic query optimization [AbF95]: before evaluating a VQL
   /// query, warm the result buffer of every collection referenced by a

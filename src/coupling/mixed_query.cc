@@ -196,6 +196,10 @@ StatusOr<QueryResult> MixedQueryEvaluator::Run(
     result.degraded_reason = "content restrictions degraded (IRS deadline)";
   }
   info_.degraded = result.degraded;
+  // Collect the per-shard outcomes every fan-out search parked in the
+  // context, so callers (wire protocol, shell) can name the failure
+  // domain behind a degraded answer.
+  info_.shard_status = ctx->TakeShardStatus();
   if (info_.degraded && profile != nullptr) {
     profile->Annotate("degradation_reason", result.degraded_reason);
   }

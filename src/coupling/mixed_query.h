@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/obs/profile.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "coupling/coupling.h"
 
@@ -62,6 +64,12 @@ class MixedQueryEvaluator {
     /// the slow-query log unarmed. Shared so EXPLAIN ANALYZE can render
     /// it after the context is gone.
     std::shared_ptr<obs::QueryProfile> profile;
+    /// Per-shard outcomes of every fan-out IRS search the run issued
+    /// (one entry per shard per search). Names the failure domain when
+    /// `degraded`: which collection's shard failed, was skipped by its
+    /// breaker, or only answered on the hedged retry. Empty when every
+    /// IRS answer came from the buffer or a single healthy shard path.
+    std::vector<ShardStatusEntry> shard_status;
   };
 
   explicit MixedQueryEvaluator(Coupling* coupling) : coupling_(coupling) {}

@@ -1,6 +1,7 @@
 #include "irs/collection.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/fault/fault.h"
 #include "common/obs/metrics.h"
@@ -9,6 +10,7 @@
 #include "common/obs/trace.h"
 #include "common/query_context.h"
 #include "common/thread_pool.h"
+#include "irs/index/proximity.h"
 #include "oodb/storage/serializer.h"
 
 namespace sdms::irs {
@@ -29,7 +31,133 @@ IrsMetrics& Metrics() {
   return *m;
 }
 
+/// Lazily built, process-stable per-shard name tables. Profile stages
+/// and fault points both keep borrowed const char* pointers, so the
+/// strings must never move or be destroyed.
+const char* StableShardName(size_t shard, const char* prefix,
+                            std::vector<std::unique_ptr<std::string>>& names,
+                            std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  while (names.size() <= shard) {
+    names.push_back(std::make_unique<std::string>(
+        prefix + std::to_string(names.size())));
+  }
+  return names[shard]->c_str();
+}
+
+/// Collects every window (#odN/#uwN) node of a parsed tree.
+void CollectWindowNodes(const QueryNode& node,
+                        std::vector<const QueryNode*>& out) {
+  if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
+    out.push_back(&node);
+    return;
+  }
+  for (const auto& c : node.children) CollectWindowNodes(*c, out);
+}
+
+/// Hit ordering: descending score, ties broken by key.
+bool BetterHit(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.key < b.key;
+}
+
 }  // namespace
+
+const char* ShardSearchStageName(size_t shard) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> names;
+  return StableShardName(shard, "irs_search/shard", names, mu);
+}
+
+const char* ShardSearchFaultPoint(size_t shard) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> names;
+  return StableShardName(shard, "irs.search.shard", names, mu);
+}
+
+IrsCollection::IrsCollection(std::string name,
+                             AnalyzerOptions analyzer_options,
+                             std::unique_ptr<RetrievalModel> model,
+                             uint32_t num_shards)
+    : name_(std::move(name)),
+      analyzer_(analyzer_options),
+      model_(std::move(model)),
+      shard_map_(num_shards) {
+  shards_.reserve(shard_map_.num_shards());
+  for (uint32_t s = 0; s < shard_map_.num_shards(); ++s) {
+    shards_.push_back(NewShard());
+  }
+  applied_seq_.assign(shards_.size(), 0);
+}
+
+std::unique_ptr<InvertedIndex> IrsCollection::NewShard() const {
+  auto shard = std::make_unique<InvertedIndex>();
+  shard->set_eager_delete(eager_delete_);
+  // Threshold compaction is driven collection-wide (MaybeCompactShards)
+  // so that DocFreq — which counts tombstones until the prune — stays
+  // identical across shard layouts.
+  shard->set_auto_compact(false);
+  return shard;
+}
+
+void IrsCollection::MaybeCompactShards() {
+  // The same 25% ratio InvertedIndex applies locally, evaluated over
+  // collection-global counts. Doc ids are never reclaimed, so the doc
+  // tables sum to the unsharded table size and the decision fires at
+  // exactly the same deletes for every shard layout (for one shard it
+  // is the index's own check verbatim). All shards prune together,
+  // keeping the summed corpus statistics bit-identical to an unsharded
+  // index's.
+  size_t tombstones = 0;
+  size_t table = 0;
+  for (const auto& shard : shards_) {
+    tombstones += shard->tombstone_count();
+    table += shard->doc_table_size();
+  }
+  if (tombstones == 0) return;
+  if (static_cast<double>(tombstones) >=
+      InvertedIndex::kCompactionRatio * static_cast<double>(table)) {
+    CompactIndex();
+  }
+}
+
+Status IrsCollection::SetNumShards(uint32_t n) {
+  if (doc_count() != 0) {
+    return Status::FailedPrecondition(
+        "collection " + name_ +
+        " is not empty; the shard map is fixed once documents exist");
+  }
+  shard_map_ = ShardMap(n);
+  shards_.clear();
+  for (uint32_t s = 0; s < shard_map_.num_shards(); ++s) {
+    shards_.push_back(NewShard());
+  }
+  applied_seq_.assign(shards_.size(), 0);
+  return Status::OK();
+}
+
+void IrsCollection::set_eager_delete(bool eager) {
+  eager_delete_ = eager;
+  for (auto& shard : shards_) shard->set_eager_delete(eager);
+}
+
+size_t IrsCollection::CompactIndex() {
+  size_t cleared = 0;
+  for (auto& shard : shards_) cleared += shard->Compact();
+  return cleared;
+}
+
+uint64_t IrsCollection::doc_count() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->doc_count();
+  return n;
+}
+
+size_t IrsCollection::ApproximateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->ApproximateSizeBytes();
+  return bytes;
+}
 
 Status IrsCollection::AddDocument(const std::string& key,
                                   const std::string& text) {
@@ -42,7 +170,7 @@ Status IrsCollection::AddDocument(const std::string& key,
   }
   obs::TraceSpan span("irs.add_document");
   std::vector<std::string> tokens = analyzer_.Analyze(text);
-  index_.AddDocument(key, tokens);
+  shards_[ShardOfKey(key)]->AddDocument(key, tokens);
   ++stats_.docs_indexed;
   Metrics().docs_indexed.Increment();
   Metrics().build_us.Record(static_cast<double>(span.ElapsedMicros()));
@@ -81,9 +209,26 @@ Status IrsCollection::AddDocumentsBatch(const std::vector<BatchDocument>& docs,
   // here aborts the batch cleanly (no half-indexed documents).
   SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
 
-  SDMS_ASSIGN_OR_RETURN(std::vector<DocId> ids,
-                        index_.AddDocumentsBatch(analyzed, pool));
-  (void)ids;
+  // Partition per shard, preserving batch order within each shard. A
+  // within-batch duplicate key lands in one shard and is rejected by
+  // that shard's AddDocumentsBatch — catch it here first so no other
+  // shard has been mutated by the time it surfaces.
+  std::vector<std::vector<DocTokens>> per_shard(shards_.size());
+  for (auto& d : analyzed) {
+    uint32_t s = ShardOfKey(d.key);
+    for (const DocTokens& seen : per_shard[s]) {
+      if (seen.key == d.key) {
+        return Status::AlreadyExists("duplicate IRS document key in batch: " +
+                                     d.key);
+      }
+    }
+    per_shard[s].push_back(std::move(d));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    SDMS_RETURN_IF_ERROR(
+        shards_[s]->AddDocumentsBatch(per_shard[s], pool).status());
+  }
   stats_.docs_indexed += docs.size();
   Metrics().docs_indexed.Add(docs.size());
   Metrics().batch_us.Record(static_cast<double>(span.ElapsedMicros()));
@@ -99,11 +244,137 @@ Status IrsCollection::UpdateDocument(const std::string& key,
 
 Status IrsCollection::RemoveDocument(const std::string& key) {
   SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.remove"));
-  SDMS_ASSIGN_OR_RETURN(DocId id, index_.FindByKey(key));
-  SDMS_RETURN_IF_ERROR(index_.RemoveDocument(id));
+  InvertedIndex& shard = *shards_[ShardOfKey(key)];
+  SDMS_ASSIGN_OR_RETURN(DocId id, shard.FindByKey(key));
+  SDMS_RETURN_IF_ERROR(shard.RemoveDocument(id));
+  if (!eager_delete_) MaybeCompactShards();
   ++stats_.docs_removed;
   Metrics().docs_removed.Increment();
   return Status::OK();
+}
+
+StatusOr<IrsCollection::SearchPlan> IrsCollection::PrepareSearch(
+    const std::string& query, size_t k) {
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
+  Metrics().searches.Increment();
+  SearchPlan plan;
+  plan.k = k;
+  SDMS_ASSIGN_OR_RETURN(plan.tree, ParseIrsQuery(query, analyzer_));
+
+  // Global corpus statistics: integer sums over shards, so every shard
+  // scores against exactly the numbers one unsharded index would hold.
+  for (const auto& shard : shards_) {
+    plan.corpus.doc_count += shard->doc_count();
+    plan.corpus.total_tokens += shard->total_tokens();
+  }
+  std::vector<std::string> terms;
+  plan.tree->CollectTerms(terms);
+  for (const std::string& term : terms) {
+    if (plan.corpus.term_df.count(term) > 0) continue;
+    uint64_t df = 0;
+    for (const auto& shard : shards_) df += shard->DocFreq(term);
+    plan.corpus.term_df[term] = df;
+  }
+  // Window pseudo-term df: matching documents summed over shards. Each
+  // shard's scoring pass recomputes its local matches for tf; only the
+  // df must be global.
+  std::vector<const QueryNode*> windows;
+  CollectWindowNodes(*plan.tree, windows);
+  for (const QueryNode* node : windows) {
+    std::vector<std::string> wterms;
+    node->CollectTerms(wterms);
+    uint64_t df = 0;
+    for (const auto& shard : shards_) {
+      SDMS_ASSIGN_OR_RETURN(
+          auto freqs,
+          WindowMatchFrequencies(*shard, wterms, node->op == QueryOp::kOdn,
+                                 node->window));
+      df += freqs.size();
+    }
+    plan.corpus.window_df[node] = df;
+  }
+
+  {
+    // Snapshot statistics for the cost model: the searched terms' DFs
+    // and the collection's live document count.
+    obs::StatisticsService& stats = obs::StatisticsService::Instance();
+    for (const std::string& term : terms) {
+      stats.RecordTermDf(name_, term,
+                         static_cast<uint32_t>(plan.corpus.Df(term)));
+    }
+    stats.RecordCollectionDocCount(name_,
+                                   static_cast<uint32_t>(plan.corpus.doc_count));
+  }
+  ++stats_.queries_executed;
+  return plan;
+}
+
+StatusOr<std::vector<SearchHit>> IrsCollection::SearchShard(
+    const SearchPlan& plan, size_t shard) {
+  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.search"));
+  SDMS_RETURN_IF_ERROR(fault::InjectFault(ShardSearchFaultPoint(shard)));
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
+  obs::TraceSpan span("irs.search");
+  const InvertedIndex& index = *shards_[shard];
+  const size_t k = plan.k;
+  // k > 0 lets the model prune: ScoreTopK returns a map guaranteed to
+  // contain every live doc that can appear in the final top k, with
+  // scores bit-identical to Score() — the selection below is unchanged.
+  SDMS_ASSIGN_OR_RETURN(
+      ScoreMap scores,
+      k > 0 ? model_->ScoreTopK(index, *plan.tree, k, &plan.corpus)
+            : model_->Score(index, *plan.tree, &plan.corpus));
+  obs::ProfileCount("irs_candidates", scores.size());
+  // The kernels exit early (with partial output) on cancellation; make
+  // that an authoritative error before hits are materialized.
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
+
+  std::vector<SearchHit> hits;
+  if (k > 0 && scores.size() > k) {
+    // Bounded top-k: a k-sized min-heap whose root is the weakest
+    // retained hit; better candidates displace it.
+    hits.reserve(k + 1);
+    auto heap_cmp = [](const SearchHit& a, const SearchHit& b) {
+      return BetterHit(a, b);  // makes the *worst* hit the heap root
+    };
+    for (const auto& [doc, score] : scores) {
+      auto info = index.GetDoc(doc);
+      if (!info.ok() || !(*info)->alive) continue;
+      SearchHit h{(*info)->key, score};
+      if (hits.size() < k) {
+        hits.push_back(std::move(h));
+        std::push_heap(hits.begin(), hits.end(), heap_cmp);
+      } else if (BetterHit(h, hits.front())) {
+        std::pop_heap(hits.begin(), hits.end(), heap_cmp);
+        hits.back() = std::move(h);
+        std::push_heap(hits.begin(), hits.end(), heap_cmp);
+      }
+    }
+  } else {
+    hits.reserve(scores.size());
+    for (const auto& [doc, score] : scores) {
+      auto info = index.GetDoc(doc);
+      if (!info.ok() || !(*info)->alive) continue;
+      hits.push_back(SearchHit{(*info)->key, score});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), BetterHit);
+  return hits;
+}
+
+std::vector<SearchHit> IrsCollection::MergeShardHits(
+    std::vector<std::vector<SearchHit>> per_shard, size_t k) {
+  std::vector<SearchHit> merged;
+  size_t total = 0;
+  for (const auto& hits : per_shard) total += hits.size();
+  merged.reserve(total);
+  for (auto& hits : per_shard) {
+    merged.insert(merged.end(), std::make_move_iterator(hits.begin()),
+                  std::make_move_iterator(hits.end()));
+  }
+  std::sort(merged.begin(), merged.end(), BetterHit);
+  if (k > 0 && merged.size() > k) merged.resize(k);
+  return merged;
 }
 
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
@@ -113,110 +384,162 @@ StatusOr<std::vector<SearchHit>> IrsCollection::Search(
 
 StatusOr<std::vector<SearchHit>> IrsCollection::Search(
     const std::string& query, size_t k) {
-  SDMS_RETURN_IF_ERROR(fault::InjectFault("irs.search"));
-  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
   obs::TraceSpan span("irs.search");
   obs::ProfileStageScope stage("irs_search");
-  Metrics().searches.Increment();
-  SDMS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> tree,
-                        ParseIrsQuery(query, analyzer_));
-  {
-    // Snapshot statistics for the cost model: the searched terms' DFs
-    // and the collection's live document count.
-    obs::StatisticsService& stats = obs::StatisticsService::Instance();
-    std::vector<std::string> terms;
-    tree->CollectTerms(terms);
-    for (const std::string& term : terms) {
-      stats.RecordTermDf(name_, term, index_.DocFreq(term));
-    }
-    stats.RecordCollectionDocCount(name_, index_.doc_count());
-  }
-  // k > 0 lets the model prune: ScoreTopK returns a map guaranteed to
-  // contain every live doc that can appear in the final top k, with
-  // scores bit-identical to Score() — the selection below is unchanged.
-  SDMS_ASSIGN_OR_RETURN(ScoreMap scores,
-                        k > 0 ? model_->ScoreTopK(index_, *tree, k)
-                              : model_->Score(index_, *tree));
-  obs::ProfileCount("irs_candidates", scores.size());
-  // The kernels exit early (with partial output) on cancellation; make
-  // that an authoritative error before hits are materialized.
-  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
-  ++stats_.queries_executed;
-  Metrics().search_us.Record(static_cast<double>(span.ElapsedMicros()));
+  SDMS_ASSIGN_OR_RETURN(SearchPlan plan, PrepareSearch(query, k));
 
-  // Hit ordering: descending score, ties broken by key.
-  auto better = [](const SearchHit& a, const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.key < b.key;
+  const size_t n = shards_.size();
+  std::vector<StatusOr<std::vector<SearchHit>>> results;
+  results.reserve(n);
+  for (size_t s = 0; s < n; ++s) results.emplace_back(std::vector<SearchHit>{});
+  auto run_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      obs::ProfileStageScope shard_stage(ShardSearchStageName(s));
+      results[s] = SearchShard(plan, s);
+    }
   };
-
-  std::vector<SearchHit> hits;
-  if (k > 0 && scores.size() > k) {
-    // Bounded top-k: a k-sized min-heap whose root is the weakest
-    // retained hit; better candidates displace it.
-    hits.reserve(k + 1);
-    auto heap_cmp = [&better](const SearchHit& a, const SearchHit& b) {
-      return better(a, b);  // makes the *worst* hit the heap root
-    };
-    for (const auto& [doc, score] : scores) {
-      auto info = index_.GetDoc(doc);
-      if (!info.ok() || !(*info)->alive) continue;
-      SearchHit h{(*info)->key, score};
-      if (hits.size() < k) {
-        hits.push_back(std::move(h));
-        std::push_heap(hits.begin(), hits.end(), heap_cmp);
-      } else if (better(h, hits.front())) {
-        std::pop_heap(hits.begin(), hits.end(), heap_cmp);
-        hits.back() = std::move(h);
-        std::push_heap(hits.begin(), hits.end(), heap_cmp);
-      }
-    }
+  ThreadPool* pool = n > 1 ? DefaultThreadPool() : nullptr;
+  if (pool != nullptr) {
+    pool->ParallelFor(n, run_range);
   } else {
-    hits.reserve(scores.size());
-    for (const auto& [doc, score] : scores) {
-      auto info = index_.GetDoc(doc);
-      if (!info.ok() || !(*info)->alive) continue;
-      hits.push_back(SearchHit{(*info)->key, score});
-    }
+    run_range(0, n);
   }
-  std::sort(hits.begin(), hits.end(), better);
-  return hits;
+
+  std::vector<std::vector<SearchHit>> per_shard;
+  per_shard.reserve(n);
+  for (auto& r : results) {
+    // All-or-nothing here: a direct Search has no per-shard guard to
+    // absorb the failure, so it surfaces. The coupling's fan-out path
+    // degrades instead.
+    SDMS_RETURN_IF_ERROR(r.status());
+    per_shard.push_back(std::move(*r));
+  }
+  Metrics().search_us.Record(static_cast<double>(span.ElapsedMicros()));
+  return MergeShardHits(std::move(per_shard), k);
+}
+
+uint64_t IrsCollection::applied_seq() const {
+  uint64_t low = applied_seq_.empty() ? 0 : applied_seq_[0];
+  for (uint64_t seq : applied_seq_) low = std::min(low, seq);
+  return low;
+}
+
+void IrsCollection::set_applied_seq(uint64_t seq) {
+  for (size_t s = 0; s < applied_seq_.size(); ++s) {
+    set_shard_applied_seq(s, seq);
+  }
+}
+
+std::string IrsCollection::CanonicalDigest() const {
+  std::vector<std::pair<std::string, uint32_t>> docs;
+  std::vector<InvertedIndex::CanonicalPosting> postings;
+  Status decode_error;
+  for (const auto& shard : shards_) {
+    shard->CollectCanonicalDocs(docs);
+    Status s = shard->CollectCanonicalPostings(postings);
+    if (decode_error.ok()) decode_error = s;
+  }
+  return InvertedIndex::FinishCanonicalDigest(std::move(docs),
+                                              std::move(postings),
+                                              decode_error);
+}
+
+std::string IrsCollection::CheckInvariants() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::string broken = shards_[s]->CheckInvariants();
+    if (!broken.empty()) {
+      return "shard " + std::to_string(s) + ": " + broken;
+    }
+    std::string misrouted;
+    shards_[s]->ForEachDoc([&](DocId, const DocInfo& info) {
+      if (misrouted.empty() && ShardOfKey(info.key) != s) {
+        misrouted = "document " + info.key + " in shard " +
+                    std::to_string(s) + " but routes to shard " +
+                    std::to_string(ShardOfKey(info.key));
+      }
+    });
+    if (!misrouted.empty()) return misrouted;
+  }
+  return "";
 }
 
 namespace {
 
-/// Envelope prefix for sequence-number-carrying collection blobs. A
-/// legacy blob (raw InvertedIndex bytes) starts with the u64 document
-/// count, whose low word can never plausibly reach this value.
+/// Envelope prefix for single-index sequence-number-carrying blobs
+/// (pre-shard format). A legacy blob (raw InvertedIndex bytes) starts
+/// with the u64 document count, whose low word can never plausibly
+/// reach this value.
 constexpr uint32_t kCollectionMagic = 0x53435156;  // "VQCS"
+
+/// Envelope prefix for sharded collection blobs: shard map + per-shard
+/// (applied_seq, index bytes).
+constexpr uint32_t kShardedCollectionMagic = 0x53445156;  // "VQDS"
 
 }  // namespace
 
 StatusOr<std::string> IrsCollection::Serialize() const {
   oodb::Encoder enc;
-  enc.PutU32(kCollectionMagic);
-  enc.PutU64(applied_seq_);
-  std::string out = enc.Release();
-  SDMS_ASSIGN_OR_RETURN(std::string index_bytes, index_.Serialize());
-  out += index_bytes;
-  return out;
+  enc.PutU32(kShardedCollectionMagic);
+  shard_map_.EncodeTo(enc);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    enc.PutU64(applied_seq_[s]);
+    SDMS_ASSIGN_OR_RETURN(std::string index_bytes, shards_[s]->Serialize());
+    enc.PutString(index_bytes);
+  }
+  return enc.Release();
 }
 
 Status IrsCollection::RestoreIndex(std::string_view data) {
-  uint64_t applied_seq = 0;
-  {
-    oodb::Decoder probe(data);
-    auto magic = probe.GetU32();
-    if (magic.ok() && *magic == kCollectionMagic) {
-      SDMS_ASSIGN_OR_RETURN(applied_seq, probe.GetU64());
-      data = data.substr(probe.position());
+  oodb::Decoder probe(data);
+  auto magic = probe.GetU32();
+  if (magic.ok() && *magic == kShardedCollectionMagic) {
+    SDMS_ASSIGN_OR_RETURN(ShardMap map, ShardMap::DecodeFrom(probe));
+    std::vector<std::unique_ptr<InvertedIndex>> shards;
+    std::vector<uint64_t> seqs;
+    for (uint32_t s = 0; s < map.num_shards(); ++s) {
+      SDMS_ASSIGN_OR_RETURN(uint64_t seq, probe.GetU64());
+      SDMS_ASSIGN_OR_RETURN(std::string bytes, probe.GetString());
+      SDMS_ASSIGN_OR_RETURN(InvertedIndex index,
+                            InvertedIndex::Deserialize(bytes));
+      auto shard = std::make_unique<InvertedIndex>(std::move(index));
+      shard->set_eager_delete(eager_delete_);
+      shard->set_auto_compact(false);
+      shards.push_back(std::move(shard));
+      seqs.push_back(seq);
     }
+    // The snapshot's shard layout wins over the current SDMS_SHARDS:
+    // the map is part of the data (re-sharding is a rebuild, not a
+    // restore).
+    shard_map_ = map;
+    shards_ = std::move(shards);
+    applied_seq_ = std::move(seqs);
+    return Status::OK();
+  }
+
+  // Pre-shard formats restore as one shard.
+  uint64_t applied_seq = 0;
+  if (magic.ok() && *magic == kCollectionMagic) {
+    SDMS_ASSIGN_OR_RETURN(applied_seq, probe.GetU64());
+    data = data.substr(probe.position());
   }
   SDMS_ASSIGN_OR_RETURN(InvertedIndex index, InvertedIndex::Deserialize(data));
-  bool eager = index_.eager_delete();
-  index_ = std::move(index);
-  index_.set_eager_delete(eager);
-  applied_seq_ = applied_seq;
+  shard_map_ = ShardMap(1);
+  shards_.clear();
+  auto shard = std::make_unique<InvertedIndex>(std::move(index));
+  shard->set_eager_delete(eager_delete_);
+  shard->set_auto_compact(false);
+  shards_.push_back(std::move(shard));
+  applied_seq_.assign(1, applied_seq);
+  return Status::OK();
+}
+
+Status IrsCollection::SealPostings(const std::string& path, int pool_pages) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::string shard_path =
+        s == 0 ? path : path + ".s" + std::to_string(s);
+    SDMS_RETURN_IF_ERROR(
+        shards_[s]->SealToStore(shard_path, name_, pool_pages));
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include "irs/analysis/analyzer.h"
 #include "irs/index/inverted_index.h"
 #include "irs/model/retrieval_model.h"
+#include "irs/shard_map.h"
 
 namespace sdms {
 class ThreadPool;
@@ -36,23 +37,58 @@ struct CollectionStats {
   uint64_t queries_executed = 0;
 };
 
+/// Profile stage name for one shard's slice of a fan-out search
+/// ("irs_search/shard<i>"); the pointer is stable for the process
+/// lifetime, as ProfileStageScope requires.
+const char* ShardSearchStageName(size_t shard);
+
+/// Fault injection point name for one shard's search
+/// ("irs.search.shard<i>"); stable for the process lifetime.
+const char* ShardSearchFaultPoint(size_t shard);
+
 /// An IRS collection in the paper's sense: an independent set of flat
-/// text documents with its own index, analyzer, and retrieval model.
-/// Each document carries an external key — the OID of the database
-/// object it represents.
+/// text documents with its own analyzer and retrieval model.
+///
+/// Documents are partitioned across N shards (SDMS_SHARDS, default 1)
+/// by a stable hash of their external key (ShardMap). Each shard is a
+/// self-contained InvertedIndex — its own postings, doc table,
+/// tombstones, sealed postings store, and exactly-once high-water mark
+/// — so one shard is an independent failure domain: a caller can
+/// search the surviving shards and merge while one shard is faulted.
+///
+/// Searches split into PrepareSearch (parse once, snapshot *global*
+/// corpus statistics) and per-shard SearchShard calls; because every
+/// retrieval model scores from the injected global statistics, a
+/// document's score is identical no matter which shard holds it, and
+/// the merged N-shard top-k is bit-identical to the unsharded ranking.
 class IrsCollection {
  public:
   IrsCollection(std::string name, AnalyzerOptions analyzer_options,
-                std::unique_ptr<RetrievalModel> model)
-      : name_(std::move(name)),
-        analyzer_(analyzer_options),
-        model_(std::move(model)) {}
+                std::unique_ptr<RetrievalModel> model,
+                uint32_t num_shards = ShardsFromEnv());
 
   const std::string& name() const { return name_; }
   const Analyzer& analyzer() const { return analyzer_; }
   const RetrievalModel& model() const { return *model_; }
-  const InvertedIndex& index() const { return index_; }
   const CollectionStats& stats() const { return stats_; }
+
+  /// Shard-0 view. With one shard (the default) this is the whole
+  /// collection — existing single-index tests and benches read it.
+  const InvertedIndex& index() const { return *shards_[0]; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const InvertedIndex& shard(size_t s) const { return *shards_[s]; }
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  /// Shard owning `key` under the current map.
+  uint32_t ShardOfKey(const std::string& key) const {
+    return shard_map_.ShardOf(key);
+  }
+
+  /// Re-partitions an *empty* collection into `n` shards (tests, the
+  /// simulation harness). Fails once any document has been indexed:
+  /// the shard map is a durable property of the data.
+  Status SetNumShards(uint32_t n);
 
   /// Exchanges the retrieval paradigm (loose-coupling flexibility).
   void set_model(std::unique_ptr<RetrievalModel> model) {
@@ -63,20 +99,21 @@ class IrsCollection {
   Status AddDocument(const std::string& key, const std::string& text);
 
   /// Bulk indexing: analysis fans out across `pool` (DefaultThreadPool()
-  /// when omitted, sequential when that is null), then the postings are
-  /// built via InvertedIndex::AddDocumentsBatch. Produces an index
-  /// identical to adding the documents one by one in `docs` order.
-  /// Fails without side effects if a key is already present or occurs
-  /// twice in the batch.
+  /// when omitted, sequential when that is null), then each shard's
+  /// slice of the batch is built via InvertedIndex::AddDocumentsBatch.
+  /// Per shard the result is identical to adding that shard's documents
+  /// one by one in `docs` order. Fails without side effects if a key is
+  /// already present or occurs twice in the batch.
   Status AddDocumentsBatch(const std::vector<BatchDocument>& docs,
                            ThreadPool* pool = nullptr);
 
-  /// Switches the index between tombstone deletes with threshold
+  /// Switches every shard between tombstone deletes with threshold
   /// compaction (default) and the paper's eager dictionary-scan delete.
-  void set_eager_delete(bool eager) { index_.set_eager_delete(eager); }
+  void set_eager_delete(bool eager);
 
-  /// Prunes tombstoned postings now; returns tombstones cleared.
-  size_t CompactIndex() { return index_.Compact(); }
+  /// Prunes tombstoned postings now; returns tombstones cleared
+  /// (summed over shards).
+  size_t CompactIndex();
 
   /// Replaces the document under `key` (remove + re-add).
   Status UpdateDocument(const std::string& key, const std::string& text);
@@ -85,54 +122,136 @@ class IrsCollection {
   Status RemoveDocument(const std::string& key);
 
   bool HasDocument(const std::string& key) const {
-    return index_.FindByKey(key).ok();
+    return shards_[ShardOfKey(key)]->FindByKey(key).ok();
   }
 
+  /// Live documents across all shards.
+  uint64_t doc_count() const;
+
+  /// Approximate memory footprint summed over shards.
+  size_t ApproximateSizeBytes() const;
+
+  /// Iterates every live document across all shards:
+  /// fn(shard, DocId, DocInfo). DocIds are only meaningful within
+  /// their shard.
+  template <typename Fn>
+  void ForEachDoc(Fn&& fn) const {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->ForEachDoc(
+          [&](DocId id, const DocInfo& info) { fn(s, id, info); });
+    }
+  }
+
+  /// A parsed query plus the global statistics every shard scores
+  /// against. Built once per query; shared (read-only) by all
+  /// per-shard SearchShard calls — window statistics are keyed by
+  /// nodes of this plan's tree.
+  struct SearchPlan {
+    std::unique_ptr<QueryNode> tree;
+    CorpusStats corpus;
+    size_t k = 0;  // 0 = unbounded
+  };
+
+  /// Parses `query` and snapshots corpus-wide statistics (document
+  /// count, token count, per-term df, per-window-node df). Counts the
+  /// query in stats()/metrics.
+  StatusOr<SearchPlan> PrepareSearch(const std::string& query, size_t k);
+
+  /// Evaluates the plan on one shard, returning that shard's hits
+  /// ranked by (score desc, key asc), truncated to plan.k when k > 0.
+  /// Checks the "irs.search" and "irs.search.shard<i>" fault points
+  /// and the current QueryContext. Safe to call concurrently for
+  /// *different* shards of the same plan.
+  StatusOr<std::vector<SearchHit>> SearchShard(const SearchPlan& plan,
+                                               size_t shard);
+
+  /// Merges per-shard ranked hit lists into one ranking — (score desc,
+  /// key asc), truncated to `k` when k > 0. Keys are disjoint across
+  /// shards, so this is a pure merge.
+  static std::vector<SearchHit> MergeShardHits(
+      std::vector<std::vector<SearchHit>> per_shard, size_t k);
+
   /// Evaluates an IRS query, returning hits ranked by descending score
-  /// (ties broken by key for determinism).
+  /// (ties broken by key for determinism). Fans out across all shards
+  /// (through the default thread pool) and merges; any shard failure
+  /// fails the whole search — per-shard degradation is the coupling
+  /// layer's job (it drives SearchShard itself, one guard per shard).
   StatusOr<std::vector<SearchHit>> Search(const std::string& query);
 
-  /// Top-k variant: keeps only the `k` best hits with a bounded heap
-  /// instead of materializing and fully sorting every scored document.
-  /// The result equals the first k entries of Search(query); k == 0
-  /// means unbounded.
+  /// Top-k variant: each shard keeps only its `k` best hits with a
+  /// bounded heap. The merged result equals the first k entries of
+  /// Search(query); k == 0 means unbounded.
   StatusOr<std::vector<SearchHit>> Search(const std::string& query, size_t k);
 
   /// Highest database update-event sequence number whose effect is
-  /// known to be reflected in this index (the exactly-once high-water
-  /// mark). Persisted with the index so crash recovery can tell which
-  /// update events are already applied. 0 = nothing sequenced yet.
-  uint64_t applied_seq() const { return applied_seq_; }
+  /// known to be reflected in *every* shard (the exactly-once
+  /// high-water mark): the minimum over per-shard marks. Persisted
+  /// with the index so crash recovery can tell which update events
+  /// are already applied. 0 = nothing sequenced yet.
+  uint64_t applied_seq() const;
 
-  /// Monotonic bump — the mark never moves backwards.
-  void set_applied_seq(uint64_t seq) {
-    if (seq > applied_seq_) applied_seq_ = seq;
+  /// Per-shard high-water mark.
+  uint64_t shard_applied_seq(size_t shard) const {
+    return applied_seq_[shard];
   }
 
-  /// Content digest of the index, independent of DocId assignment and
-  /// build history (see InvertedIndex::CanonicalDigest).
-  std::string CanonicalDigest() const { return index_.CanonicalDigest(); }
+  /// Monotonic bump of every shard's mark (unsharded callers).
+  void set_applied_seq(uint64_t seq);
 
-  /// Serializes applied_seq + index (analyzer/model are configuration
-  /// and are re-supplied at load). Pre-sequence-number blobs (raw index
-  /// bytes without the envelope) restore with applied_seq == 0. Fails
-  /// when a sealed postings block cannot be decoded.
+  /// Monotonic bump of one shard's mark — shard-isolated propagation
+  /// advances only the shards it actually applied to.
+  void set_shard_applied_seq(size_t shard, uint64_t seq) {
+    if (seq > applied_seq_[shard]) applied_seq_[shard] = seq;
+  }
+
+  /// Content digest of the collection, independent of DocId
+  /// assignment, build history, *and shard count*: canonical doc and
+  /// posting lines are merged across shards before hashing, so an
+  /// N-shard collection digests identically to an unsharded one
+  /// holding the same documents.
+  std::string CanonicalDigest() const;
+
+  /// Structural invariants of every shard plus the routing invariant
+  /// (each document lives in the shard its key hashes to). Empty
+  /// string when consistent.
+  std::string CheckInvariants() const;
+
+  /// Serializes shard map + per-shard applied_seq + per-shard index
+  /// (analyzer/model are configuration and are re-supplied at load).
+  /// Pre-shard blobs (single-index envelope or raw index bytes)
+  /// restore as one shard; the snapshot's shard layout always wins
+  /// over the current SDMS_SHARDS setting. Fails when a sealed
+  /// postings block cannot be decoded.
   StatusOr<std::string> Serialize() const;
   Status RestoreIndex(std::string_view data);
 
-  /// Seals the block postings into a paged store at `path` served
-  /// through a buffer pool (see InvertedIndex::SealToStore).
-  Status SealPostings(const std::string& path, int pool_pages = 0) {
-    return index_.SealToStore(path, name_, pool_pages);
-  }
+  /// Seals each shard's block postings into a paged store served
+  /// through a buffer pool (see InvertedIndex::SealToStore). Shard 0
+  /// seals at `path` (the unsharded layout); shard i > 0 at
+  /// `path + ".s<i>"`.
+  Status SealPostings(const std::string& path, int pool_pages = 0);
 
  private:
+  /// Fresh empty shard respecting the collection's eager-delete mode,
+  /// with per-index threshold compaction disabled — the collection
+  /// drives compaction globally (MaybeCompactShards) so corpus
+  /// statistics stay identical across shard layouts.
+  std::unique_ptr<InvertedIndex> NewShard() const;
+
+  /// Applies InvertedIndex::kCompactionRatio over collection-global
+  /// tombstone/doc-table counts and compacts every shard together when
+  /// it trips. Layout-independent: for one shard this is exactly the
+  /// index's own auto-compaction check.
+  void MaybeCompactShards();
+
   std::string name_;
   Analyzer analyzer_;
   std::unique_ptr<RetrievalModel> model_;
-  InvertedIndex index_;
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<InvertedIndex>> shards_;
+  std::vector<uint64_t> applied_seq_;
   CollectionStats stats_;
-  uint64_t applied_seq_ = 0;
+  bool eager_delete_ = false;
 };
 
 }  // namespace sdms::irs

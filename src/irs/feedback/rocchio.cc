@@ -14,15 +14,18 @@ StatusOr<std::string> ExpandQueryRocchio(
     IrsCollection& collection, const std::string& original_query,
     const std::vector<std::string>& relevant_keys,
     const FeedbackOptions& options) {
-  const InvertedIndex& index = collection.index();
-
-  // Resolve the relevant documents.
-  std::set<DocId> relevant;
+  // Resolve the relevant documents, routed to their shards — DocIds
+  // are only meaningful within a shard.
+  const size_t num_shards = collection.num_shards();
+  std::vector<std::set<DocId>> relevant(num_shards);
+  size_t total_relevant = 0;
   for (const std::string& key : relevant_keys) {
-    SDMS_ASSIGN_OR_RETURN(DocId id, index.FindByKey(key));
-    relevant.insert(id);
+    uint32_t s = collection.ShardOfKey(key);
+    SDMS_ASSIGN_OR_RETURN(DocId id, collection.shard(s).FindByKey(key));
+    relevant[s].insert(id);
+    ++total_relevant;
   }
-  if (relevant.empty()) {
+  if (total_relevant == 0) {
     return Status::InvalidArgument("no relevant documents given");
   }
 
@@ -34,29 +37,45 @@ StatusOr<std::string> ExpandQueryRocchio(
   std::set<std::string> original_set(original_terms.begin(),
                                      original_terms.end());
 
+  // Corpus-wide statistics: idf must be computed from the global df,
+  // not any one shard's list, or expansion weights would depend on the
+  // shard layout.
+  const double n = std::max<double>(collection.doc_count(), 1.0);
+  std::map<std::string, uint64_t> global_df;
+  for (size_t s = 0; s < num_shards; ++s) {
+    collection.shard(s).ForEachTerm(
+        [&](const std::string& term, const BlockPostingsList& list) {
+          if (original_set.count(term) > 0) return;
+          global_df[term] += list.size();
+        });
+  }
+
   // Rocchio centroid over the relevant documents: summed tf·idf. A
-  // cursor probes each term's list for just the relevant documents
-  // (ascending set iteration), so only blocks that can contain a
-  // relevant doc are decoded.
-  const double n = std::max<double>(index.doc_count(), 1.0);
+  // cursor probes each term's list for just the shard's relevant
+  // documents (ascending set iteration), so only blocks that can
+  // contain a relevant doc are decoded.
   std::map<std::string, double> weight;
   Status decode_error;
-  index.ForEachTerm([&](const std::string& term,
-                        const BlockPostingsList& list) {
-    if (!decode_error.ok()) return;
-    if (original_set.count(term) > 0) return;
-    double idf = std::log(n / static_cast<double>(list.size()));
-    if (idf <= 0.0) return;  // Terms in (almost) every document carry
-                             // no feedback signal.
-    PostingsCursor cursor(&list);
-    for (DocId d : relevant) {
-      if (!cursor.SkipTo(d)) break;
-      if (cursor.doc() == d) {
-        weight[term] += static_cast<double>(cursor.tf()) * idf;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (relevant[s].empty()) continue;
+    collection.shard(s).ForEachTerm([&](const std::string& term,
+                                        const BlockPostingsList& list) {
+      if (!decode_error.ok()) return;
+      if (original_set.count(term) > 0) return;
+      double idf =
+          std::log(n / static_cast<double>(global_df[term]));
+      if (idf <= 0.0) return;  // Terms in (almost) every document carry
+                               // no feedback signal.
+      PostingsCursor cursor(&list);
+      for (DocId d : relevant[s]) {
+        if (!cursor.SkipTo(d)) break;
+        if (cursor.doc() == d) {
+          weight[term] += static_cast<double>(cursor.tf()) * idf;
+        }
       }
-    }
-    if (!cursor.status().ok()) decode_error = cursor.status();
-  });
+      if (!cursor.status().ok()) decode_error = cursor.status();
+    });
+  }
   SDMS_RETURN_IF_ERROR(decode_error);
 
   std::vector<std::pair<double, std::string>> ranked;

@@ -71,6 +71,7 @@ InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
   total_tokens_ = other.total_tokens_;
   tombstones_ = other.tombstones_;
   eager_delete_ = other.eager_delete_;
+  auto_compact_ = other.auto_compact_;
   store_ = std::move(other.store_);
   // The cached sorted view holds pointers into the moved-from map's
   // nodes; unordered_map move preserves nodes, but rebuild lazily
@@ -257,7 +258,7 @@ size_t InvertedIndex::Compact() {
 }
 
 void InvertedIndex::MaybeCompact() {
-  if (tombstones_ == 0) return;
+  if (!auto_compact_ || tombstones_ == 0) return;
   if (static_cast<double>(tombstones_) >=
       kCompactionRatio * static_cast<double>(docs_.size())) {
     Compact();
@@ -476,21 +477,14 @@ StatusOr<InvertedIndex> InvertedIndex::Deserialize(std::string_view data) {
   return index;
 }
 
-std::string InvertedIndex::CanonicalDigest() const {
-  // Canonical serialization: documents sorted by external key, then
-  // every live posting sorted by (term, key) with its positions —
-  // nothing here depends on DocId values, insertion order, or whether
-  // tombstones have been compacted yet.
-  std::string canon;
-  std::vector<std::pair<std::string, uint32_t>> live;
-  ForEachDoc([&](DocId, const DocInfo& d) {
-    live.emplace_back(d.key, d.length);
-  });
-  std::sort(live.begin(), live.end());
-  for (const auto& [key, length] : live) {
-    canon += "d " + key + " " + std::to_string(length) + "\n";
-  }
-  size_t posting_count = 0;
+void InvertedIndex::CollectCanonicalDocs(
+    std::vector<std::pair<std::string, uint32_t>>& out) const {
+  ForEachDoc(
+      [&](DocId, const DocInfo& d) { out.emplace_back(d.key, d.length); });
+}
+
+Status InvertedIndex::CollectCanonicalPostings(
+    std::vector<CanonicalPosting>& out) const {
   Status decode_error;
   ForEachTerm([&](const std::string& term, const BlockPostingsList& list) {
     auto postings = list.DecodeAll();
@@ -498,30 +492,59 @@ std::string InvertedIndex::CanonicalDigest() const {
       if (decode_error.ok()) decode_error = postings.status();
       return;
     }
-    std::vector<std::pair<std::string, const Posting*>> alive;
     for (const Posting& p : *postings) {
-      if (IsAlive(p.doc)) alive.emplace_back(docs_[p.doc].key, &p);
-    }
-    std::sort(alive.begin(), alive.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [key, p] : alive) {
-      canon += "t " + term + " " + key + " " + std::to_string(p->tf);
-      for (uint32_t pos : p->positions) {
-        canon += " " + std::to_string(pos);
+      if (!IsAlive(p.doc)) continue;
+      CanonicalPosting entry;
+      entry.term = term;
+      entry.key = docs_[p.doc].key;
+      entry.payload = std::to_string(p.tf);
+      for (uint32_t pos : p.positions) {
+        entry.payload += " " + std::to_string(pos);
       }
-      canon += "\n";
-      ++posting_count;
+      out.push_back(std::move(entry));
     }
   });
+  return decode_error;
+}
+
+std::string InvertedIndex::FinishCanonicalDigest(
+    std::vector<std::pair<std::string, uint32_t>> docs,
+    std::vector<CanonicalPosting> postings, const Status& decode_error) {
   if (!decode_error.ok()) {
     // A digest must always be produced; a corrupt block yields one
     // that can never match a healthy index.
     return "decode-error:" + decode_error.ToString();
   }
+  // Canonical serialization: documents sorted by external key, then
+  // every live posting sorted by (term, key) with its positions —
+  // nothing here depends on DocId values, insertion order, shard
+  // assignment, or whether tombstones have been compacted yet.
+  std::sort(docs.begin(), docs.end());
+  std::sort(postings.begin(), postings.end(),
+            [](const CanonicalPosting& a, const CanonicalPosting& b) {
+              if (a.term != b.term) return a.term < b.term;
+              return a.key < b.key;
+            });
+  std::string canon;
+  for (const auto& [key, length] : docs) {
+    canon += "d " + key + " " + std::to_string(length) + "\n";
+  }
+  for (const CanonicalPosting& p : postings) {
+    canon += "t " + p.term + " " + p.key + " " + p.payload + "\n";
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "crc32:%08x;docs:%zu;postings:%zu",
-                oodb::Crc32(canon), live.size(), posting_count);
+                oodb::Crc32(canon), docs.size(), postings.size());
   return buf;
+}
+
+std::string InvertedIndex::CanonicalDigest() const {
+  std::vector<std::pair<std::string, uint32_t>> docs;
+  std::vector<CanonicalPosting> postings;
+  CollectCanonicalDocs(docs);
+  Status decode_error = CollectCanonicalPostings(postings);
+  return FinishCanonicalDigest(std::move(docs), std::move(postings),
+                               decode_error);
 }
 
 std::string InvertedIndex::CheckInvariants() const {

@@ -103,6 +103,24 @@ class InvertedIndex {
   void set_eager_delete(bool eager) { eager_delete_ = eager; }
   bool eager_delete() const { return eager_delete_; }
 
+  /// Disables the per-index threshold compaction after tombstone
+  /// deletes. A sharded IrsCollection owns the decision instead: the
+  /// 25% ratio evaluated over shard-local counts fires at different
+  /// points for different shard layouts, and DocFreq (which includes
+  /// tombstones until the prune) would then diverge from the unsharded
+  /// corpus statistics. The collection re-applies the same ratio over
+  /// collection-global counts and compacts every shard together, so
+  /// rankings stay layout-independent. Tombstones still prune via
+  /// Compact().
+  void set_auto_compact(bool on) { auto_compact_ = on; }
+  bool auto_compact() const { return auto_compact_; }
+
+  /// Size of the doc table including dead entries — the denominator of
+  /// the compaction ratio. Doc ids are never reclaimed, so this is the
+  /// number of documents ever added and sums across shards to exactly
+  /// the unsharded table size.
+  size_t doc_table_size() const { return docs_.size(); }
+
   /// Dead documents whose postings are not yet pruned.
   size_t tombstone_count() const { return tombstones_; }
 
@@ -204,6 +222,34 @@ class InvertedIndex {
   /// to the fault-free oracle" comparison of the simulation harness.
   std::string CanonicalDigest() const;
 
+  /// One live posting in canonical form: term, owning document's
+  /// external key, and the "tf pos pos..." payload. The canonical
+  /// order is (term, key) — DocId-free, so entries from different
+  /// shards merge into the same canonical stream.
+  struct CanonicalPosting {
+    std::string term;
+    std::string key;
+    std::string payload;
+  };
+
+  /// Appends every live document as (key, length) — the "d" lines of
+  /// the canonical serialization, unsorted.
+  void CollectCanonicalDocs(
+      std::vector<std::pair<std::string, uint32_t>>& out) const;
+
+  /// Appends every live posting in canonical form, unsorted. Returns
+  /// the first decode error (entries from undecodable blocks are
+  /// skipped); the caller must fold it into FinishCanonicalDigest so a
+  /// corrupt index can never digest equal to a healthy one.
+  Status CollectCanonicalPostings(std::vector<CanonicalPosting>& out) const;
+
+  /// Sorts the collected entries, renders the canonical serialization,
+  /// and hashes it — the shared tail of CanonicalDigest() and the
+  /// cross-shard collection digest.
+  static std::string FinishCanonicalDigest(
+      std::vector<std::pair<std::string, uint32_t>> docs,
+      std::vector<CanonicalPosting> postings, const Status& decode_error);
+
  private:
   using DictEntry = std::pair<const std::string, BlockPostingsList>;
 
@@ -240,6 +286,7 @@ class InvertedIndex {
   uint64_t total_tokens_ = 0;
   size_t tombstones_ = 0;
   bool eager_delete_ = false;
+  bool auto_compact_ = true;
 
   /// Sealed paged postings file + buffer pool; null while fully
   /// memory-resident. Lists hold a borrowed pointer to this store.

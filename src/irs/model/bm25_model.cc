@@ -26,16 +26,20 @@ class Bm25Model : public RetrievalModel {
 
   std::string name() const override { return "bm25"; }
 
-  StatusOr<ScoreMap> Score(const InvertedIndex& index,
-                           const QueryNode& query) const override {
+  StatusOr<ScoreMap> Score(const InvertedIndex& index, const QueryNode& query,
+                           const CorpusStats* corpus) const override {
     std::map<std::string, uint32_t> qtf = QueryTermFreqs(query);
-    const double n = std::max<double>(index.doc_count(), 1.0);
-    const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    const double n = std::max<double>(
+        corpus != nullptr ? corpus->doc_count : index.doc_count(), 1.0);
+    const double avgdl = std::max(corpus != nullptr ? corpus->avg_doc_length()
+                                                    : index.avg_doc_length(),
+                                  1e-9);
     ScoreMap scores;
     for (const auto& [term, tf_q] : qtf) {
-      uint32_t df = index.DocFreq(term);
+      uint64_t df =
+          corpus != nullptr ? corpus->Df(term) : index.DocFreq(term);
       if (df == 0) continue;
-      double idf = Idf(n, df);
+      double idf = Idf(n, static_cast<double>(df));
       SDMS_ASSIGN_OR_RETURN(std::vector<Posting> postings,
                             index.DecodePostings(term));
       for (const Posting& p : postings) {
@@ -57,12 +61,15 @@ class Bm25Model : public RetrievalModel {
   /// by the same lexicographic-term-order summation as Score(), so
   /// surviving documents carry bit-identical values.
   StatusOr<ScoreMap> ScoreTopK(const InvertedIndex& index,
-                               const QueryNode& query,
-                               size_t k) const override {
-    if (k == 0) return Score(index, query);
+                               const QueryNode& query, size_t k,
+                               const CorpusStats* corpus) const override {
+    if (k == 0) return Score(index, query, corpus);
     std::map<std::string, uint32_t> qtf = QueryTermFreqs(query);
-    const double n = std::max<double>(index.doc_count(), 1.0);
-    const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    const double n = std::max<double>(
+        corpus != nullptr ? corpus->doc_count : index.doc_count(), 1.0);
+    const double avgdl = std::max(corpus != nullptr ? corpus->avg_doc_length()
+                                                    : index.avg_doc_length(),
+                                  1e-9);
 
     // Term state in lexicographic order — the exact-scoring loop must
     // add contributions in the same order Score() does (std::map).
@@ -79,7 +86,13 @@ class Bm25Model : public RetrievalModel {
       if (list == nullptr || list->empty()) continue;
       TermState ts;
       ts.tf_q = tf_q;
-      ts.idf = Idf(n, static_cast<double>(list->size()));
+      // The idf must match Score()'s: global df under sharded scoring,
+      // this list's df (== DocFreq) otherwise. The block bounds below
+      // stay local — they bound this shard's postings, which is all
+      // this call iterates.
+      ts.idf = Idf(n, corpus != nullptr
+                          ? static_cast<double>(corpus->Df(term))
+                          : static_cast<double>(list->size()));
       ts.list_bound = Bound(ts.tf_q, ts.idf, list->max_tf(),
                             list->min_doc_len(), avgdl);
       ts.cursor = PostingsCursor(list);

@@ -18,8 +18,12 @@ class BooleanModel : public RetrievalModel {
  public:
   std::string name() const override { return "boolean"; }
 
-  StatusOr<ScoreMap> Score(const InvertedIndex& index,
-                           const QueryNode& query) const override {
+  StatusOr<ScoreMap> Score(const InvertedIndex& index, const QueryNode& query,
+                           const CorpusStats* corpus) const override {
+    // Boolean matching is statistics-free; #not against the local live
+    // set is already correct per shard (the shard-union of local
+    // complements is the global complement).
+    (void)corpus;
     SDMS_ASSIGN_OR_RETURN(std::vector<DocId> docs, EvalSet(index, query));
     ScoreMap out;
     for (DocId d : docs) {

@@ -30,8 +30,8 @@ class InferenceNetModel : public RetrievalModel {
 
   std::string name() const override { return "inquery"; }
 
-  StatusOr<ScoreMap> Score(const InvertedIndex& index,
-                           const QueryNode& query) const override {
+  StatusOr<ScoreMap> Score(const InvertedIndex& index, const QueryNode& query,
+                           const CorpusStats* corpus) const override {
     // Window (#odN/#uwN) nodes: precompute match frequencies once.
     WindowCache window_cache;
     SDMS_RETURN_IF_ERROR(CollectWindows(index, query, window_cache));
@@ -65,8 +65,11 @@ class InferenceNetModel : public RetrievalModel {
 
     ScoreMap out;
     out.reserve(candidates.size());
-    const double n = std::max<double>(index.doc_count(), 1.0);
-    const double avgdl = std::max(index.avg_doc_length(), 1e-9);
+    const double n = std::max<double>(
+        corpus != nullptr ? corpus->doc_count : index.doc_count(), 1.0);
+    const double avgdl = std::max(corpus != nullptr ? corpus->avg_doc_length()
+                                                    : index.avg_doc_length(),
+                                  1e-9);
     size_t steps = 0;
     for (DocId d : candidates) {
       // The per-candidate belief walk is the scoring hot loop; stop
@@ -77,7 +80,8 @@ class InferenceNetModel : public RetrievalModel {
       if (!index.IsAlive(d)) continue;  // tombstoned, awaiting compaction
       auto info = index.GetDoc(d);
       double dl = info.ok() ? static_cast<double>((*info)->length) : avgdl;
-      out[d] = Belief(index, query, d, dl, n, avgdl, tf_cache, window_cache);
+      out[d] = Belief(index, query, d, dl, n, avgdl, tf_cache, window_cache,
+                      corpus);
     }
     return out;
   }
@@ -141,7 +145,8 @@ class InferenceNetModel : public RetrievalModel {
 
   double TermBelief(const InvertedIndex& index, const std::string& term,
                     DocId doc, double dl, double n, double avgdl,
-                    const TfCache& tf_cache) const {
+                    const TfCache& tf_cache,
+                    const CorpusStats* corpus) const {
     auto it = tf_cache.find(term);
     uint32_t tf = 0;
     if (it != tf_cache.end()) {
@@ -149,7 +154,7 @@ class InferenceNetModel : public RetrievalModel {
       if (dit != it->second.end()) tf = dit->second;
     }
     if (tf == 0) return default_belief_;
-    uint32_t df = index.DocFreq(term);
+    uint64_t df = corpus != nullptr ? corpus->Df(term) : index.DocFreq(term);
     double ntf = static_cast<double>(tf) /
                  (static_cast<double>(tf) + 0.5 + 1.5 * dl / avgdl);
     double nidf = std::log((n + 0.5) / std::max<double>(df, 1.0)) /
@@ -160,16 +165,21 @@ class InferenceNetModel : public RetrievalModel {
 
   double Belief(const InvertedIndex& index, const QueryNode& node, DocId doc,
                 double dl, double n, double avgdl, const TfCache& tf_cache,
-                const WindowCache& window_cache) const {
+                const WindowCache& window_cache,
+                const CorpusStats* corpus) const {
     if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
       // Window belief: the matches behave like occurrences of a pseudo
-      // term whose df is the number of matching documents.
+      // term whose df is the number of matching documents — summed
+      // over every shard when corpus statistics are injected (the
+      // local cache only sees this shard's matches).
       auto it = window_cache.find(&node);
       if (it == window_cache.end()) return default_belief_;
       auto dit = it->second.find(doc);
       if (dit == it->second.end()) return default_belief_;
       double tf = static_cast<double>(dit->second);
-      double df = static_cast<double>(it->second.size());
+      double df = corpus != nullptr
+                      ? static_cast<double>(corpus->WindowDf(&node))
+                      : static_cast<double>(it->second.size());
       double ntf = tf / (tf + 0.5 + 1.5 * dl / avgdl);
       double nidf =
           std::log((n + 0.5) / std::max(df, 1.0)) / std::log(n + 1.0);
@@ -178,18 +188,21 @@ class InferenceNetModel : public RetrievalModel {
     }
     switch (node.op) {
       case QueryOp::kTerm:
-        return TermBelief(index, node.term, doc, dl, n, avgdl, tf_cache);
+        return TermBelief(index, node.term, doc, dl, n, avgdl, tf_cache,
+                          corpus);
       case QueryOp::kAnd: {
         double b = 1.0;
         for (const auto& c : node.children) {
-          b *= Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+          b *= Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache,
+                      corpus);
         }
         return node.children.empty() ? default_belief_ : b;
       }
       case QueryOp::kOr: {
         double b = 1.0;
         for (const auto& c : node.children) {
-          b *= 1.0 - Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+          b *= 1.0 - Belief(index, *c, doc, dl, n, avgdl, tf_cache,
+                            window_cache, corpus);
         }
         return node.children.empty() ? default_belief_ : 1.0 - b;
       }
@@ -197,12 +210,13 @@ class InferenceNetModel : public RetrievalModel {
         return node.children.empty()
                    ? default_belief_
                    : 1.0 - Belief(index, *node.children[0], doc, dl, n, avgdl,
-                                  tf_cache, window_cache);
+                                  tf_cache, window_cache, corpus);
       case QueryOp::kSum: {
         if (node.children.empty()) return 0.0;
         double sum = 0.0;
         for (const auto& c : node.children) {
-          sum += Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache);
+          sum += Belief(index, *c, doc, dl, n, avgdl, tf_cache, window_cache,
+                        corpus);
         }
         return sum / static_cast<double>(node.children.size());
       }
@@ -213,7 +227,7 @@ class InferenceNetModel : public RetrievalModel {
         for (size_t i = 0; i < node.children.size(); ++i) {
           double w = i < node.weights.size() ? node.weights[i] : 1.0;
           sum += w * Belief(index, *node.children[i], doc, dl, n, avgdl,
-                            tf_cache, window_cache);
+                            tf_cache, window_cache, corpus);
           wsum += w;
         }
         return wsum > 0.0 ? sum / wsum : 0.0;
@@ -222,7 +236,7 @@ class InferenceNetModel : public RetrievalModel {
         double best = 0.0;
         for (const auto& c : node.children) {
           best = std::max(best, Belief(index, *c, doc, dl, n, avgdl, tf_cache,
-                                       window_cache));
+                                       window_cache, corpus));
         }
         return best;
       }

@@ -15,19 +15,24 @@ class VectorSpaceModel : public RetrievalModel {
  public:
   std::string name() const override { return "vsm"; }
 
-  StatusOr<ScoreMap> Score(const InvertedIndex& index,
-                           const QueryNode& query) const override {
+  StatusOr<ScoreMap> Score(const InvertedIndex& index, const QueryNode& query,
+                           const CorpusStats* corpus) const override {
     std::vector<std::string> terms;
     query.CollectTerms(terms);
     // Query term frequencies.
     std::map<std::string, uint32_t> qtf;
     for (const std::string& t : terms) ++qtf[t];
 
-    const double n = std::max<double>(index.doc_count(), 1.0);
+    const double n = std::max<double>(
+        corpus != nullptr ? corpus->doc_count : index.doc_count(), 1.0);
     ScoreMap scores;
     double query_norm_sq = 0.0;
     for (const auto& [term, tf_q] : qtf) {
-      uint32_t df = index.DocFreq(term);
+      // Under sharded scoring the query norm must accumulate over every
+      // term with corpus-wide evidence — even one absent from this
+      // shard — or shards would normalize by different query vectors.
+      uint64_t df =
+          corpus != nullptr ? corpus->Df(term) : index.DocFreq(term);
       if (df == 0) continue;
       double idf = std::log(n / static_cast<double>(df)) + 1.0;
       double wq = static_cast<double>(tf_q) * idf;

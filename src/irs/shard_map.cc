@@ -1,0 +1,61 @@
+#include "irs/shard_map.h"
+
+#include <cstdlib>
+
+#include "oodb/storage/serializer.h"
+
+namespace sdms::irs {
+
+namespace {
+
+/// Routing map encoding version: 1 = modulo-hash over a shard count.
+constexpr uint8_t kShardMapVersion = 1;
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint32_t ShardMap::ShardOf(std::string_view key) const {
+  if (num_shards_ <= 1) return 0;
+  return static_cast<uint32_t>(Fnv1a64(key) % num_shards_);
+}
+
+void ShardMap::EncodeTo(oodb::Encoder& enc) const {
+  enc.PutU8(kShardMapVersion);
+  enc.PutU32(num_shards_);
+}
+
+StatusOr<ShardMap> ShardMap::DecodeFrom(oodb::Decoder& dec) {
+  SDMS_ASSIGN_OR_RETURN(uint8_t version, dec.GetU8());
+  if (version != kShardMapVersion) {
+    return Status::Corruption("unknown shard map version " +
+                              std::to_string(version));
+  }
+  SDMS_ASSIGN_OR_RETURN(uint32_t shards, dec.GetU32());
+  if (shards < 1 || shards > kMaxShards) {
+    return Status::Corruption("shard map count out of range: " +
+                              std::to_string(shards));
+  }
+  return ShardMap(shards);
+}
+
+uint32_t ShardsFromEnv() {
+  const char* raw = std::getenv("SDMS_SHARDS");
+  if (raw == nullptr || *raw == '\0') return 1;
+  char* end = nullptr;
+  long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 1) return 1;
+  if (parsed > static_cast<long>(ShardMap::kMaxShards)) {
+    return ShardMap::kMaxShards;
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+}  // namespace sdms::irs

@@ -1,0 +1,60 @@
+#ifndef SDMS_IRS_SHARD_MAP_H_
+#define SDMS_IRS_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sdms::oodb {
+class Encoder;
+class Decoder;
+}  // namespace sdms::oodb
+
+namespace sdms::irs {
+
+/// Document-wise shard routing for a collection: a stable hash of the
+/// external document key modulo the shard count. The map is persisted
+/// inside the collection snapshot, so the shard a document lives in is
+/// a durable property of the collection — a later move to shards
+/// behind RPC only swaps the transport, not the routing.
+///
+/// The hash is FNV-1a over the key bytes: deterministic across
+/// processes, platforms, and restarts (no std::hash, whose result is
+/// implementation-defined).
+class ShardMap {
+ public:
+  /// Shard counts above this are clamped; fan-out width and metric
+  /// cardinality both scale with it.
+  static constexpr uint32_t kMaxShards = 64;
+
+  explicit ShardMap(uint32_t num_shards = 1)
+      : num_shards_(num_shards < 1          ? 1
+                    : num_shards > kMaxShards ? kMaxShards
+                                              : num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard owning `key`, in [0, num_shards).
+  uint32_t ShardOf(std::string_view key) const;
+
+  /// Snapshot round-trip. The encoding carries a version byte so a
+  /// later range-based or remote map extends it without a new magic.
+  void EncodeTo(oodb::Encoder& enc) const;
+  static StatusOr<ShardMap> DecodeFrom(oodb::Decoder& dec);
+
+  bool operator==(const ShardMap& other) const {
+    return num_shards_ == other.num_shards_;
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+/// Shard count from the environment: SDMS_SHARDS, clamped to
+/// [1, ShardMap::kMaxShards]; 1 (unsharded) when unset or unparsable.
+uint32_t ShardsFromEnv();
+
+}  // namespace sdms::irs
+
+#endif  // SDMS_IRS_SHARD_MAP_H_

@@ -161,6 +161,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(resp->info.query_id),
                 static_cast<long long>(resp->info.queue_wait_micros),
                 static_cast<long long>(resp->info.total_micros));
+    // Per-shard outcomes of the run's fan-out searches. Degraded
+    // answers stay exit code 0 — the failed shard is named here, not
+    // escalated to a failure.
+    for (const ShardStatusEntry& e : resp->info.shard_status) {
+      if (e.state == ShardState::kOk) continue;
+      std::printf("shard %s/%u %s (%lld us)%s%s\n", e.collection.c_str(),
+                  e.shard, ShardStateName(e.state),
+                  static_cast<long long>(e.micros),
+                  e.detail.empty() ? "" : ": ",
+                  e.detail.c_str());
+    }
     if (req.want_profile && !resp->info.profile_json.empty()) {
       std::printf("profile: %s\n", resp->info.profile_json.c_str());
     }

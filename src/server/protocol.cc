@@ -16,6 +16,7 @@ namespace {
 /// level size cap would have caught it.
 constexpr uint64_t kMaxWireRows = 16u << 20;
 constexpr uint64_t kMaxWireColumns = 4096;
+constexpr uint64_t kMaxWireShardEntries = 65536;
 
 StatusCode CodeFromWire(uint8_t raw) {
   if (raw > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
@@ -117,6 +118,7 @@ WireRunInfo ToWire(const coupling::MixedQueryEvaluator::RunInfo& info,
   if (include_profile && info.profile != nullptr) {
     w.profile_json = info.profile->ToJson();
   }
+  w.shard_status = info.shard_status;
   return w;
 }
 
@@ -140,6 +142,14 @@ std::string EncodeQueryResponse(const QueryResponse& r) {
   enc.PutI64(r.info.queue_wait_micros);
   enc.PutI64(r.info.total_micros);
   enc.PutString(r.info.profile_json);
+  enc.PutU32(static_cast<uint32_t>(r.info.shard_status.size()));
+  for (const ShardStatusEntry& e : r.info.shard_status) {
+    enc.PutString(e.collection);
+    enc.PutU32(e.shard);
+    enc.PutU8(static_cast<uint8_t>(e.state));
+    enc.PutString(e.detail);
+    enc.PutI64(e.micros);
+  }
   return enc.Release();
 }
 
@@ -189,6 +199,27 @@ StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload) {
   SDMS_ASSIGN_OR_RETURN(r.info.queue_wait_micros, dec.GetI64());
   SDMS_ASSIGN_OR_RETURN(r.info.total_micros, dec.GetI64());
   SDMS_ASSIGN_OR_RETURN(r.info.profile_json, dec.GetString());
+  SDMS_ASSIGN_OR_RETURN(uint32_t n_shards, dec.GetU32());
+  if (n_shards > kMaxWireShardEntries) {
+    return Status::Corruption("shard-status count " +
+                              std::to_string(n_shards) + " exceeds cap");
+  }
+  r.info.shard_status.reserve(n_shards);
+  for (uint32_t i = 0; i < n_shards; ++i) {
+    ShardStatusEntry e;
+    SDMS_ASSIGN_OR_RETURN(e.collection, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(e.shard, dec.GetU32());
+    SDMS_ASSIGN_OR_RETURN(uint8_t state, dec.GetU8());
+    // Unknown future states degrade to kFailed (the conservative
+    // reading: the shard did not answer normally) instead of failing
+    // the whole frame.
+    e.state = state > static_cast<uint8_t>(ShardState::kSkipped)
+                  ? ShardState::kFailed
+                  : static_cast<ShardState>(state);
+    SDMS_ASSIGN_OR_RETURN(e.detail, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(e.micros, dec.GetI64());
+    r.info.shard_status.push_back(std::move(e));
+  }
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes after query response");
   }

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "coupling/admission.h"
 #include "coupling/mixed_query.h"
@@ -20,7 +22,10 @@ namespace sdms::server {
 /// crashing; the session layer answers those with an error frame.
 
 /// Bumped on every incompatible wire change; exchanged in Hello.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: QueryResponse carries the per-shard status list after the
+/// profile JSON (fault-isolated fan-out searches name their failure
+/// domain on the wire).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // --- Hello ----------------------------------------------------------------
 
@@ -83,6 +88,11 @@ struct WireRunInfo {
   /// not profiled. Opaque to the protocol — compared bit-identically
   /// in round-trip tests.
   std::string profile_json;
+  /// Per-shard outcomes of the run's fan-out IRS searches (one entry
+  /// per shard per search); empty when no fan-out happened. Decoded
+  /// states beyond the known range surface as kFailed rather than
+  /// rejecting the frame, so a newer server can add states.
+  std::vector<ShardStatusEntry> shard_status;
 };
 
 /// Flattens a RunInfo for the wire. Serializes the profile only when

@@ -116,6 +116,10 @@ Status Simulation::RunImpl() {
   coupling_options_.call_guard.breaker.failure_threshold = 1 << 20;
   policy_ = rng_.Bernoulli(0.5) ? coupling::PropagationPolicy::kOnQuery
                                 : coupling::PropagationPolicy::kManual;
+  // Seeded shard count 1..4: schedules exercise the unsharded layout
+  // and real fan-outs alike; the snapshot's layout survives restarts.
+  num_shards_ = 1 + static_cast<uint32_t>(rng_.Uniform(4));
+  report_.num_shards = num_shards_;
   SDMS_RETURN_IF_ERROR(MakeDirs(coupling_options_.exchange_dir));
 
   SDMS_RETURN_IF_ERROR(Boot(/*fresh=*/true));
@@ -123,8 +127,10 @@ Status Simulation::RunImpl() {
   for (size_t step = 0; step < options_.steps; ++step) {
     uint32_t roll = static_cast<uint32_t>(rng_.Uniform(100));
     if (roll >= 90 && options_.enable_faults) {
-      if (roll < 94) {
+      if (roll < 93) {
         SDMS_RETURN_IF_ERROR(DoIoBurst());
+      } else if (roll < 96) {
+        SDMS_RETURN_IF_ERROR(DoShardBurst());
       } else {
         SDMS_RETURN_IF_ERROR(DoCrashBurst());
       }
@@ -160,6 +166,9 @@ Status Simulation::Boot(bool fresh) {
   if (fresh) {
     SDMS_ASSIGN_OR_RETURN(
         collection_, coupling_->CreateCollection(kCollectionName, "inquery"));
+    SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * irs_coll,
+                          engine_->GetCollection(kCollectionName));
+    SDMS_RETURN_IF_ERROR(irs_coll->SetNumShards(num_shards_));
     for (size_t i = 0; i < options_.initial_objects; ++i) {
       SDMS_RETURN_IF_ERROR(DoInsert());
     }
@@ -269,7 +278,11 @@ Status Simulation::DoDelete() {
 Status Simulation::DoQuery() {
   std::string term = kVocab[rng_.Uniform(kVocabSize)];
   bool stale = false;
+  // Distinguish a fresh fan-out from a buffer hit: only a fresh one
+  // refreshed last_shard_report(), so only then is it inspectable.
+  uint64_t searches_before = collection_->stats().irs_queries;
   auto result = collection_->GetIrsResult(term, &stale);
+  bool fresh_search = collection_->stats().irs_queries > searches_before;
   ++report_.queries;
   if (!result.ok()) {
     if (!faults_armed_) {
@@ -288,6 +301,18 @@ Status Simulation::DoQuery() {
     ++report_.stale_serves;
     Trace("S");
     return Status::OK();
+  }
+  if (fresh_search && !faults_armed_) {
+    // Fan-out invariant, healthy half: with no fault armed, a fresh
+    // answer must be complete — no shard may report a non-ok state.
+    for (const ShardStatusEntry& e : collection_->last_shard_report()) {
+      if (e.state != ShardState::kOk) {
+        return SimFailure(
+            "query", "shard " + std::to_string(e.shard) + " reported " +
+                         std::string(ShardStateName(e.state)) +
+                         " with no fault armed: " + e.detail);
+      }
+    }
   }
   Trace("Q");
   return Status::OK();
@@ -385,6 +410,87 @@ Status Simulation::DoCrashBurst() {
   return Status::OK();
 }
 
+Status Simulation::DoShardBurst() {
+  auto coll_or = engine_->GetCollection(kCollectionName);
+  if (!coll_or.ok()) return coll_or.status();
+  const uint32_t shard_count = static_cast<uint32_t>((*coll_or)->num_shards());
+  const uint32_t target = static_cast<uint32_t>(rng_.Uniform(shard_count));
+  const char* point = irs::ShardSearchFaultPoint(target);
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  fault::FaultRule rule;
+  // Kill (IO error) or stall (latency) exactly this shard's search
+  // path. A stalled shard still answers, so its burst exercises the
+  // complete-but-slow side of the invariant.
+  const bool stall = rng_.Bernoulli(0.34);
+  rule.kind = stall ? fault::FaultKind::kLatency : fault::FaultKind::kIoError;
+  rule.latency_micros = 200 + rng_.Uniform(800);
+  rule.probability = 1.0;
+  rule.max_fires = 1 + rng_.Uniform(3);
+  registry.SetSeed(rng_.Next());
+  registry.Arm(point, rule);
+  faults_armed_ = true;
+  ++report_.shard_bursts;
+  Trace("B(" + std::string(point) + (stall ? "~)" : ")"));
+
+  // Fan-out invariant, faulted half: while exactly one shard is down,
+  // every fresh merged answer is either complete (no shard reported
+  // failed — the fault budget ran out or the hedge re-issue landed) or
+  // explicitly degraded with the failed shard named — and the named
+  // shard must be the armed one. A healthy shard reported failed is an
+  // invariant violation, not bad luck.
+  size_t queries = 1 + rng_.Uniform(3);
+  for (size_t i = 0; i < queries; ++i) {
+    std::string term = kVocab[rng_.Uniform(kVocabSize)];
+    bool stale = false;
+    uint64_t searches_before = collection_->stats().irs_queries;
+    auto result = collection_->GetIrsResult(term, &stale);
+    bool fresh_search = collection_->stats().irs_queries > searches_before;
+    ++report_.queries;
+    if (!result.ok()) {
+      // All shards failed (a 1-shard collection under a kill burst)
+      // with nothing buffered: a clean error is the legal outcome.
+      Trace("q");
+      continue;
+    }
+    if (stale) {
+      ++report_.stale_serves;
+      Trace("S");
+      continue;
+    }
+    if (!fresh_search) {
+      Trace("Q");  // buffer hit: a complete earlier answer
+      continue;
+    }
+    bool any_failed = false;
+    for (const ShardStatusEntry& e : collection_->last_shard_report()) {
+      if (e.state != ShardState::kFailed && e.state != ShardState::kSkipped) {
+        continue;
+      }
+      any_failed = true;
+      if (e.shard != target) {
+        return SimFailure(
+            "shard burst @" + std::string(point),
+            "healthy shard " + std::to_string(e.shard) + " reported " +
+                std::string(ShardStateName(e.state)) + " while only shard " +
+                std::to_string(target) + " was faulted: " + e.detail);
+      }
+    }
+    if (any_failed) {
+      ++report_.shard_degraded;
+      Trace("G");
+    } else {
+      Trace("Q");
+    }
+  }
+  report_.faults_fired += registry.fires(point);
+  registry.Clear();
+  faults_armed_ = false;
+  // The shard is back: the next fresh fan-out must be complete again
+  // and the index bit-identical to the oracle (searches never touch
+  // the index, so this doubles as a no-corruption check).
+  return CheckInvariants("after shard burst @" + std::string(point));
+}
+
 Status Simulation::CheckInvariants(const std::string& where) {
   // 1. Fault-free propagation must succeed and drain everything.
   Status propagated = collection_->PropagateUpdates();
@@ -423,11 +529,11 @@ Status Simulation::CheckInvariants(const std::string& where) {
   if (actual != oracle) {
     return SimFailure(where, "index digest " + actual +
                                  " != oracle digest " + oracle +
-                                 IndexDiff((*coll)->index()));
+                                 IndexDiff(**coll));
   }
 
-  // 4. Structural index invariants.
-  std::string broken = (*coll)->index().CheckInvariants();
+  // 4. Structural invariants of every shard plus key-routing.
+  std::string broken = (*coll)->CheckInvariants();
   if (!broken.empty()) {
     return SimFailure(where, "index invariants: " + broken);
   }
@@ -449,24 +555,28 @@ Status Simulation::CheckInvariants(const std::string& where) {
   return Status::OK();
 }
 
-std::string Simulation::IndexDiff(const irs::InvertedIndex& index) {
+std::string Simulation::IndexDiff(const irs::IrsCollection& coll) {
   // Post-mortem detail for a digest mismatch: per-document term/tf
-  // maps of the surviving index vs a freshly built oracle, printed
-  // only for documents whose contents differ.
-  auto term_map = [](const irs::InvertedIndex& idx) {
+  // maps of the surviving collection (all shards merged — keys are
+  // disjoint across shards) vs a freshly built oracle, printed only
+  // for documents whose contents differ.
+  auto term_map = [](const irs::IrsCollection& c) {
     std::map<std::string, std::map<std::string, uint32_t>> by_key;
-    idx.ForEachDoc(
-        [&](irs::DocId, const irs::DocInfo& info) { by_key[info.key]; });
-    idx.ForEachTerm([&](const std::string& term,
-                        const irs::BlockPostingsList& list) {
-      auto postings = list.DecodeAll();
-      if (!postings.ok()) return;  // best-effort post-mortem detail
-      for (const irs::Posting& p : *postings) {
-        if (!idx.IsAlive(p.doc)) continue;
-        auto doc = idx.GetDoc(p.doc);
-        if (doc.ok()) by_key[(*doc)->key][term] = p.tf;
-      }
-    });
+    for (size_t s = 0; s < c.num_shards(); ++s) {
+      const irs::InvertedIndex& idx = c.shard(s);
+      idx.ForEachDoc(
+          [&](irs::DocId, const irs::DocInfo& info) { by_key[info.key]; });
+      idx.ForEachTerm([&](const std::string& term,
+                          const irs::BlockPostingsList& list) {
+        auto postings = list.DecodeAll();
+        if (!postings.ok()) return;  // best-effort post-mortem detail
+        for (const irs::Posting& p : *postings) {
+          if (!idx.IsAlive(p.doc)) continue;
+          auto doc = idx.GetDoc(p.doc);
+          if (doc.ok()) by_key[(*doc)->key][term] = p.tf;
+        }
+      });
+    }
     return by_key;
   };
   auto model = irs::MakeModel("inquery");
@@ -480,8 +590,8 @@ std::string Simulation::IndexDiff(const irs::InvertedIndex& index) {
     if (!text.ok()) return "";
     if (!oracle.AddDocument(oid.ToString(), *text).ok()) return "";
   }
-  auto lhs = term_map(index);
-  auto rhs = term_map(oracle.index());
+  auto lhs = term_map(coll);
+  auto rhs = term_map(oracle);
   std::string out;
   auto describe = [](const std::map<std::string, uint32_t>& terms) {
     std::string s = "{";

@@ -53,6 +53,13 @@ struct SimReport {
   size_t persists = 0;
   size_t checkpoints = 0;
   size_t io_bursts = 0;
+  /// Bursts that killed or stalled exactly one shard's search path.
+  size_t shard_bursts = 0;
+  /// Fresh fan-out answers during a shard burst that were explicitly
+  /// degraded (the armed shard reported failed/skipped).
+  size_t shard_degraded = 0;
+  /// Seeded shard count of the schedule's collection (1..4).
+  uint32_t num_shards = 1;
   size_t crash_restarts = 0;
   /// Fault firings observed across all bursts.
   size_t faults_fired = 0;
@@ -84,7 +91,11 @@ struct SimReport {
 ///   4. InvertedIndex::CheckInvariants reports nothing;
 ///   5. no stray temp/exchange files survive the recovery sweep;
 /// plus, during the live workload: a query result is flagged stale
-/// only while a fault burst has the IRS unreachable.
+/// only while a fault burst has the IRS unreachable, and — the fan-out
+/// invariant — every fresh merged search answer is either complete
+/// (no shard reported failed) or explicitly degraded with the failed
+/// shard named in the per-shard report; a shard that was not faulted
+/// must never be the one reported failed.
 class Simulation {
  public:
   explicit Simulation(SimOptions options);
@@ -127,15 +138,21 @@ class Simulation {
   /// runs actions until it fires (or the burst ends), then restarts
   /// and checks all recovery invariants.
   Status DoCrashBurst();
+  /// Kills (kIoError) or stalls (kLatency) exactly one shard's search
+  /// path ("irs.search.shard<i>") and runs queries against the
+  /// surviving fan-out, checking the fan-out invariant on every fresh
+  /// answer (class comment above).
+  Status DoShardBurst();
 
   /// The post-recovery / final invariant suite (class comment above).
   Status CheckInvariants(const std::string& where);
   /// Digest of a fault-free oracle index built sequentially from the
   /// current database state.
   StatusOr<std::string> OracleDigest();
-  /// Per-document term diff between `index` and a fresh oracle, for
-  /// digest-mismatch post-mortems ("" when it cannot be computed).
-  std::string IndexDiff(const irs::InvertedIndex& index);
+  /// Per-document term diff between `coll` (all shards) and a fresh
+  /// oracle, for digest-mismatch post-mortems ("" when it cannot be
+  /// computed).
+  std::string IndexDiff(const irs::IrsCollection& coll);
 
   std::string RandomText();
   /// A live PARA object drawn from the extent, or kNullOid when empty.
@@ -153,6 +170,9 @@ class Simulation {
   std::unique_ptr<coupling::Coupling> coupling_;
   coupling::Collection* collection_ = nullptr;
   coupling::PropagationPolicy policy_ = coupling::PropagationPolicy::kOnQuery;
+  /// Seeded once per schedule, applied on the fresh boot (a restored
+  /// snapshot's shard layout wins over it, which is the same value).
+  uint32_t num_shards_ = 1;
   /// True while a burst has faults armed — the only time a stale serve
   /// is legal.
   bool faults_armed_ = false;

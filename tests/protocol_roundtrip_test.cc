@@ -111,6 +111,12 @@ TEST(ProtocolRoundTripTest, QueryResponseBitIdentical) {
   r.info.total_micros = 56'789;
   r.info.profile_json =
       R"({"stage":"mixed_query","micros":56789,"children":[{"stage":"irs"}]})";
+  r.info.shard_status = {
+      {"paras", 0, ShardState::kOk, "", 120},
+      {"paras", 1, ShardState::kFailed, "IoError: injected", 34'567},
+      {"paras", 2, ShardState::kDegraded, "answered via hedge", 9'001},
+      {"figures", 0, ShardState::kSkipped, "circuit open", 0},
+  };
 
   std::string wire = EncodeQueryResponse(r);
   auto back = DecodeQueryResponse(wire);
@@ -141,10 +147,53 @@ TEST(ProtocolRoundTripTest, QueryResponseBitIdentical) {
   EXPECT_EQ(back->info.queue_wait_micros, r.info.queue_wait_micros);
   EXPECT_EQ(back->info.total_micros, r.info.total_micros);
   EXPECT_EQ(back->info.profile_json, r.info.profile_json);
+  ASSERT_EQ(back->info.shard_status.size(), r.info.shard_status.size());
+  for (size_t i = 0; i < r.info.shard_status.size(); ++i) {
+    const ShardStatusEntry& want = r.info.shard_status[i];
+    const ShardStatusEntry& got = back->info.shard_status[i];
+    EXPECT_EQ(got.collection, want.collection) << "entry " << i;
+    EXPECT_EQ(got.shard, want.shard) << "entry " << i;
+    EXPECT_EQ(got.state, want.state) << "entry " << i;
+    EXPECT_EQ(got.detail, want.detail) << "entry " << i;
+    EXPECT_EQ(got.micros, want.micros) << "entry " << i;
+  }
 
   // Re-encoding the decoded response reproduces the wire bytes: the
   // serialization is canonical, so equality above is bit equality.
   EXPECT_EQ(EncodeQueryResponse(*back), wire);
+}
+
+TEST(ProtocolRoundTripTest, UnknownShardStateDecodesAsFailed) {
+  // A v2+ server may one day ship shard states this client does not
+  // know. The decoder must map them onto the conservative kFailed, not
+  // reject the frame — the rest of the response is still good.
+  QueryResponse r;
+  r.request_id = 7;
+  r.info.query_id = 7;
+  r.info.shard_status = {{"paras", 3, ShardState::kSkipped, "x", 5}};
+  std::string wire = EncodeQueryResponse(r);
+  // Locate the state byte without assuming the string encoding: the
+  // same response with state kOk differs in exactly that one byte.
+  QueryResponse probe = r;
+  probe.info.shard_status[0].state = ShardState::kOk;
+  std::string wire_ok = EncodeQueryResponse(probe);
+  ASSERT_EQ(wire.size(), wire_ok.size());
+  size_t state_pos = std::string::npos;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i] != wire_ok[i]) {
+      ASSERT_EQ(state_pos, std::string::npos) << "more than one byte differs";
+      state_pos = i;
+    }
+  }
+  ASSERT_NE(state_pos, std::string::npos);
+  ASSERT_EQ(static_cast<uint8_t>(wire[state_pos]),
+            static_cast<uint8_t>(ShardState::kSkipped));
+  wire[state_pos] = static_cast<char>(250);
+  auto back = DecodeQueryResponse(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->info.shard_status.size(), 1u);
+  EXPECT_EQ(back->info.shard_status[0].state, ShardState::kFailed);
+  EXPECT_EQ(back->info.shard_status[0].detail, "x");
 }
 
 TEST(ProtocolRoundTripTest, NanRoundTripsBitIdentically) {

@@ -1,9 +1,11 @@
 // Deterministic simulation soak for the exactly-once DB->IRS update
-// propagation protocol: seeded workloads with injected IO errors and
+// propagation protocol: seeded workloads with injected IO errors,
+// single-shard kill/stall bursts against the fan-out search, and
 // simulated process deaths, each followed by full crash recovery and
 // the invariant suite (no lost updates, no double applies, index
 // bit-identical to a fault-free oracle, VerifyConsistency without
-// Repair, no stray files).
+// Repair, no stray files, and every merged search answer complete or
+// explicitly degraded with the failed shard named).
 //
 // Schedule count: SDMS_SIM_SCHEDULES (default 500). CI's fault-matrix
 // job runs the default; the nightly soak raises it to 2000.
@@ -75,6 +77,9 @@ TEST(SimulationTest, SeededFaultSchedules) {
   const size_t schedules = ScheduleCount();
   size_t crash_restarts = 0;
   size_t io_bursts = 0;
+  size_t shard_bursts = 0;
+  size_t shard_degraded = 0;
+  size_t sharded_schedules = 0;
   size_t faults_fired = 0;
   for (size_t i = 0; i < schedules; ++i) {
     SimOptions options;
@@ -87,13 +92,20 @@ TEST(SimulationTest, SeededFaultSchedules) {
         << " violated an invariant: " << report.status().ToString();
     crash_restarts += report->crash_restarts;
     io_bursts += report->io_bursts;
+    shard_bursts += report->shard_bursts;
+    shard_degraded += report->shard_degraded;
+    if (report->num_shards > 1) ++sharded_schedules;
     faults_fired += report->faults_fired;
   }
   // The soak must actually exercise the failure machinery, not just
   // pass vacuously: across the seed range, a healthy fraction of
-  // schedules crash-restarts and fires faults.
+  // schedules crash-restarts, fires faults, kills single shards, and
+  // actually observes explicitly degraded fan-out answers.
   EXPECT_GT(crash_restarts, schedules / 4);
   EXPECT_GT(io_bursts, schedules / 4);
+  EXPECT_GT(shard_bursts, schedules / 8);
+  EXPECT_GT(shard_degraded, 0u);
+  EXPECT_GT(sharded_schedules, schedules / 2);
   EXPECT_GT(faults_fired, schedules / 4);
 }
 
