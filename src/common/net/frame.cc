@@ -49,13 +49,19 @@ const char* FrameTypeName(FrameType t) {
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
     case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kShardHello: return "shard_hello";
+    case FrameType::kShardSearch: return "shard_search";
+    case FrameType::kShardHits: return "shard_hits";
+    case FrameType::kShardOps: return "shard_ops";
+    case FrameType::kShardInstall: return "shard_install";
+    case FrameType::kShardStatus: return "shard_status";
   }
   return "unknown";
 }
 
 bool IsKnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kGoodbye);
+         t <= static_cast<uint8_t>(FrameType::kShardStatus);
 }
 
 Status ValidateFrameLength(uint32_t length, uint32_t max_frame_bytes) {

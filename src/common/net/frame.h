@@ -32,6 +32,15 @@ enum class FrameType : uint8_t {
   kPing = 6,    // client -> server: health probe
   kPong = 7,    // server -> client: health answer
   kGoodbye = 8, // server -> client: drain notice, no new requests
+  // Protocol v3: shard serving mode (docs/protocol.md, "Shard
+  // messages"). A router drives one sdms_server --shard process per
+  // remote shard with these.
+  kShardHello = 9,    // router -> shard: collection/shard config
+  kShardSearch = 10,  // router -> shard: query + global corpus stats
+  kShardHits = 11,    // shard -> router: ranked (key, score) list
+  kShardOps = 12,     // router -> shard: sequenced update batch
+  kShardInstall = 13, // router -> shard: full shard index image
+  kShardStatus = 14,  // shard -> router: applied_seq/doc_count answer
 };
 
 const char* FrameTypeName(FrameType t);

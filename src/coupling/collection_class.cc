@@ -14,6 +14,8 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "coupling/coupling.h"
+#include "coupling/remote_shard.h"
+#include "coupling/shard_protocol.h"
 #include "irs/query/query_node.h"
 #include "oodb/query/parser.h"
 
@@ -144,6 +146,9 @@ Status Collection::IndexObjects(const std::string& spec_query, int text_mode) {
     NoteRoutedSeq(seq);
     coll->set_applied_seq(seq);
   }
+  // The index was rebuilt outside the propagation path: any remote
+  // serving copies are stale until re-synced (install).
+  MarkRemoteShardsUnsynced();
   Metrics().index_objects_us.Record(static_cast<double>(span.ElapsedMicros()));
   SDMS_LOG(DEBUG) << "indexObjects(" << irs_name_ << "): " << spec_query
                   << " -> " << represented_.size() << " represented objects";
@@ -230,6 +235,109 @@ CallGuard& Collection::shard_guard(size_t s) {
   return *shard_guards_[s];
 }
 
+Status Collection::AttachRemoteShard(size_t shard,
+                                     std::shared_ptr<RemoteShardChannel> channel) {
+  if (channel == nullptr) {
+    return Status::InvalidArgument("null remote shard channel");
+  }
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  if (shard >= coll->num_shards()) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range for " +
+        std::to_string(coll->num_shards()) + " shards");
+  }
+  if (remote_channels_.size() < coll->num_shards()) {
+    remote_channels_.resize(coll->num_shards());
+  }
+  EnsureShardGuards(coll->num_shards());
+  remote_channels_[shard] = std::move(channel);
+  // Initial sync (full install on a fresh server). A failure leaves
+  // the channel attached but unsynced: the shard serves degraded until
+  // the server appears, exactly like any other remote outage.
+  return remote_channels_[shard]->EnsureSynced(coll);
+}
+
+void Collection::DetachRemoteShards() { remote_channels_.clear(); }
+
+RemoteShardChannel* Collection::remote_shard_channel(size_t shard) {
+  return shard < remote_channels_.size() ? remote_channels_[shard].get()
+                                         : nullptr;
+}
+
+bool Collection::has_remote_shards() const {
+  for (const auto& ch : remote_channels_) {
+    if (ch != nullptr) return true;
+  }
+  return false;
+}
+
+Status Collection::ReshardIrs(uint32_t m) {
+  if (has_remote_shards()) {
+    return Status::FailedPrecondition(
+        "collection '" + irs_name_ +
+        "' has remote shard channels attached; rebalancing is detach -> "
+        "reshard -> relaunch shard servers -> reattach");
+  }
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        coupling_->irs().GetCollection(irs_name_));
+  SDMS_RETURN_IF_ERROR(coll->Reshard(m));
+  // Per-shard state keyed by the old layout is stale now.
+  last_shard_report_.clear();
+  EnsureShardGuards(coll->num_shards());
+  SDMS_LOG(INFO) << "resharded '" << irs_name_ << "' to " << m
+                 << " shard(s), " << coll->doc_count() << " documents";
+  return Status::OK();
+}
+
+void Collection::MarkRemoteShardsUnsynced() {
+  for (const auto& ch : remote_channels_) {
+    if (ch != nullptr) ch->MarkUnsynced();
+  }
+}
+
+void Collection::TeeOpsToRemote(irs::IrsCollection* coll, size_t shard,
+                                const std::vector<PendingOp>& shard_ops,
+                                uint64_t high) {
+  RemoteShardChannel* ch = remote_shard_channel(shard);
+  if (ch == nullptr) return;
+  std::vector<ShardOp> ops;
+  ops.reserve(shard_ops.size());
+  for (const PendingOp& op : shard_ops) {
+    ShardOp out;
+    out.key = op.oid.ToString();
+    out.seq = op.seq;
+    // Materialize against the post-apply local index: what the local
+    // shard ended up with is exactly what the server must converge to
+    // (an insert reconciled away — spec miss, later delete in the same
+    // batch — tees as a delete, which the server no-ops if absent).
+    if (op.kind == UpdateKind::kDelete || !coll->HasDocument(out.key)) {
+      out.is_delete = true;
+    } else {
+      StatusOr<std::string> text = coupling_->GetText(op.oid, text_mode_);
+      if (!text.ok()) {
+        ch->MarkUnsynced();
+        SDMS_LOG(WARN) << "remote tee for '" << irs_name_ << "' shard "
+                       << shard << " could not materialize "
+                       << out.key << ": " << text.status().ToString()
+                       << " (channel marked unsynced)";
+        return;
+      }
+      out.text = std::move(*text);
+    }
+    ops.push_back(std::move(out));
+  }
+  Status pushed = ch->PushOps(ops, high, coll);
+  if (!pushed.ok()) {
+    // Local apply already committed — remote catch-up is deferred to
+    // the next search/sync, never a propagation failure.
+    SDMS_LOG(WARN) << "remote tee for '" << irs_name_ << "' shard " << shard
+                   << " failed (" << ops.size()
+                   << " op(s), server will be caught up by replay/install): "
+                   << pushed.ToString();
+  }
+}
+
 StatusOr<OidScoreMap> Collection::RunIrsQuerySharded(
     irs::IrsCollection* coll, const std::string& irs_query, bool* partial) {
   // Parse once and snapshot the corpus-wide statistics every shard
@@ -257,10 +365,24 @@ StatusOr<OidScoreMap> Collection::RunIrsQuerySharded(
     ShardRun& r = runs[s];
     const int64_t start = QueryContext::NowMicros();
     obs::ProfileStageScope shard_stage(irs::ShardSearchStageName(s));
+    // A shard with an attached remote channel is served over the wire
+    // — never silently from the local copy: the remote server is the
+    // serving tier, and masking its outage would hide a dead node
+    // behind bit-identical answers. Remote transport failures surface
+    // as kIoError/kDeadlineExceeded, the same retriable/hedgeable
+    // classes the in-process fault points produce, so the guard,
+    // hedge, and partial-merge machinery below applies unchanged.
+    RemoteShardChannel* remote =
+        s < remote_channels_.size() ? remote_channels_[s].get() : nullptr;
     r.status = shard_guards_[s]->Run(
         "irs_query",
         [&]() -> Status {
           SDMS_RETURN_IF_ERROR(fault::InjectFault("coupling.irs_call"));
+          if (remote != nullptr) {
+            SDMS_ASSIGN_OR_RETURN(r.hits,
+                                  remote->Search(irs_query, plan, coll));
+            return Status::OK();
+          }
           SDMS_ASSIGN_OR_RETURN(r.hits, coll->SearchShard(plan, s));
           return Status::OK();
         },
@@ -773,6 +895,7 @@ Status Collection::PropagateUpdates() {
       // keeps the floors uniform, which keeps the restored routing
       // dedup tight after a crash.
       coll->set_shard_applied_seq(s, high);
+      TeeOpsToRemote(coll, s, {}, high);
       continue;
     }
     const std::vector<PendingOp>& shard_ops = per_shard[s];
@@ -882,6 +1005,7 @@ Status Collection::PropagateUpdates() {
     // lower-seq ops.
     coll->set_shard_applied_seq(s, high);
     applied_total += shard_ops.size();
+    TeeOpsToRemote(coll, s, shard_ops, high);
     // The commit record marks the shard's batch complete in memory.
     // Recovery treats it as advisory (only the persisted snapshot's
     // high-water marks prove durability) and the reconciling replay is
@@ -1109,6 +1233,9 @@ Status Collection::Repair() {
   // for every failure domain, so the per-shard breakers close too.
   guard_.breaker().Reset();
   for (auto& g : shard_guards_) g->breaker().Reset();
+  // Repair may have rewritten index entries outside the propagation
+  // path; remote serving copies must re-sync before the next search.
+  MarkRemoteShardsUnsynced();
   return Status::OK();
 }
 

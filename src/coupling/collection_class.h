@@ -24,6 +24,7 @@ class IrsCollection;
 namespace sdms::coupling {
 
 class Coupling;
+class RemoteShardChannel;
 
 /// Outcome of Collection::VerifyConsistency: spec-query membership
 /// reconciled against the IRS index after a crash or failed
@@ -199,6 +200,36 @@ class Collection {
   const CouplingStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CouplingStats{}; }
 
+  // --- Remote shard serving (protocol v3) -------------------------------
+
+  /// Routes shard `shard`'s fan-out searches through `channel` (a
+  /// `sdms_server --shard` process) instead of the in-process index,
+  /// and tees propagated updates to it. The local collection keeps
+  /// the shard's full index — it is the indexing/durability tier; the
+  /// remote server is the serving tier — so healthy remote rankings
+  /// are bit-identical to local ones, and a dead server is caught up
+  /// (replay or install) rather than rebuilt from source objects.
+  ///
+  /// Performs the initial sync; on failure the channel stays attached
+  /// (searches on that shard degrade visibly until the server comes
+  /// back — there is deliberately no silent local fallback) and the
+  /// error is returned.
+  Status AttachRemoteShard(size_t shard,
+                           std::shared_ptr<RemoteShardChannel> channel);
+
+  /// Detaches every remote channel; searches revert to in-process.
+  void DetachRemoteShards();
+
+  /// The channel attached to `shard`, or null.
+  RemoteShardChannel* remote_shard_channel(size_t shard);
+  bool has_remote_shards() const;
+
+  /// Re-partitions the IRS collection into `m` shards (verify-before-
+  /// swap, see IrsCollection::Reshard). Refused while remote channels
+  /// are attached: the remote topology is one process per shard, so
+  /// rebalancing is detach -> reshard -> relaunch -> reattach.
+  Status ReshardIrs(uint32_t m);
+
   /// Per-*term* belief assigned when a document provides no evidence
   /// (0.4 for the inference-network model, 0.0 otherwise).
   double missing_value() const { return missing_value_; }
@@ -241,6 +272,18 @@ class Collection {
   /// Sizes shard_guards_ to the IRS collection's shard count.
   void EnsureShardGuards(size_t num_shards);
 
+  /// Forwards one applied (or empty floor-advancing) propagation
+  /// sub-batch to shard `shard`'s remote channel, materialized into
+  /// wire ops (key + current text). Failures never fail propagation —
+  /// the local apply already succeeded; the channel marks itself
+  /// unsynced and the next search catches the server up.
+  void TeeOpsToRemote(irs::IrsCollection* coll, size_t shard,
+                      const std::vector<PendingOp>& shard_ops, uint64_t high);
+
+  /// Invalidates every channel's sync mark after an out-of-band index
+  /// rebuild (IndexObjects, Repair).
+  void MarkRemoteShardsUnsynced();
+
   /// Ensures pending updates are applied according to the policy.
   Status MaybePropagate();
 
@@ -264,6 +307,8 @@ class Collection {
   /// One guard per shard (named "<irs_name>/shard<i>"); see
   /// shard_guard().
   std::vector<std::unique_ptr<CallGuard>> shard_guards_;
+  /// Remote serving channels, indexed by shard; null = in-process.
+  std::vector<std::shared_ptr<RemoteShardChannel>> remote_channels_;
   /// Per-shard outcomes of the most recent fan-out search.
   std::vector<ShardStatusEntry> last_shard_report_;
   /// Result storage when buffering is disabled (ablation mode).

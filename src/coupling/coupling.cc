@@ -1,6 +1,9 @@
 #include "coupling/coupling.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "coupling/remote_shard.h"
 
 #include "common/file_util.h"
 #include "common/obs/log.h"
@@ -182,6 +185,54 @@ std::vector<Collection*> Coupling::collections() {
   out.reserve(collections_.size());
   for (auto& [oid, c] : collections_) out.push_back(c.get());
   return out;
+}
+
+Status Coupling::ConnectRemoteShards(const std::string& collection_name,
+                                     const std::string& endpoints) {
+  SDMS_ASSIGN_OR_RETURN(Collection * collection,
+                        GetCollectionByName(collection_name));
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        engine_->GetCollection(collection_name));
+  std::vector<std::string> parts = Split(endpoints, ',');
+  if (parts.size() > coll->num_shards()) {
+    return Status::InvalidArgument(
+        "endpoint list names " + std::to_string(parts.size()) +
+        " shards, collection '" + collection_name + "' has " +
+        std::to_string(coll->num_shards()));
+  }
+  Status first_failure = Status::OK();
+  for (size_t s = 0; s < parts.size(); ++s) {
+    const std::string& ep = parts[s];
+    if (ep.empty()) continue;  // this shard stays in-process
+    size_t colon = ep.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == ep.size()) {
+      return Status::InvalidArgument("malformed shard endpoint '" + ep +
+                                     "' (want host:port)");
+    }
+    char* end = nullptr;
+    unsigned long port = std::strtoul(ep.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+      return Status::InvalidArgument("malformed shard endpoint port in '" +
+                                     ep + "'");
+    }
+    RemoteShardOptions opts;
+    opts.host = ep.substr(0, colon);
+    opts.port = static_cast<uint16_t>(port);
+    opts.collection = collection_name;
+    opts.shard = static_cast<uint32_t>(s);
+    opts.num_shards = static_cast<uint32_t>(coll->num_shards());
+    opts.model_name = coll->model().name();
+    opts.analyzer = coll->analyzer().options();
+    Status attached = collection->AttachRemoteShard(
+        s, std::make_shared<RemoteShardChannel>(opts));
+    if (!attached.ok()) {
+      SDMS_LOG(WARN) << "remote shard " << collection_name << "/" << s
+                     << " at " << ep << " not yet synced: "
+                     << attached.ToString();
+      if (first_failure.ok()) first_failure = attached;
+    }
+  }
+  return first_failure;
 }
 
 Status Coupling::DropCollection(const std::string& name) {

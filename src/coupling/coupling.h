@@ -104,6 +104,19 @@ class Coupling : public oodb::UpdateListener {
   StatusOr<Collection*> GetCollectionByName(const std::string& name);
   std::vector<Collection*> collections();
 
+  /// Attaches remote shard channels for `collection_name` from an
+  /// endpoint list "host:port,host:port,..." — one element per shard
+  /// in shard order; an empty element keeps that shard in-process.
+  /// Fewer elements than shards leave the tail in-process. The
+  /// channel configuration (model, analyzer, shard count) is derived
+  /// from the local collection, so the shard servers build identical
+  /// scorers. `SDMS_SHARD_ENDPOINTS` carries this list to sdms_server
+  /// ("<collection>=<endpoints>"). Channels whose initial sync fails
+  /// stay attached (they serve degraded until the server appears);
+  /// the first such error is returned.
+  Status ConnectRemoteShards(const std::string& collection_name,
+                             const std::string& endpoints);
+
   /// Rebuilds the Collection handles after a restart: for every
   /// persisted COLLECTION database object whose IRS collection was
   /// restored (IrsEngine::LoadFrom), reattaches name, model,

@@ -45,7 +45,14 @@ const char* StableShardName(size_t shard, const char* prefix,
   return names[shard]->c_str();
 }
 
-/// Collects every window (#odN/#uwN) node of a parsed tree.
+/// Hit ordering: descending score, ties broken by key.
+bool BetterHit(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.key < b.key;
+}
+
+}  // namespace
+
 void CollectWindowNodes(const QueryNode& node,
                         std::vector<const QueryNode*>& out) {
   if (node.op == QueryOp::kOdn || node.op == QueryOp::kUwn) {
@@ -54,14 +61,6 @@ void CollectWindowNodes(const QueryNode& node,
   }
   for (const auto& c : node.children) CollectWindowNodes(*c, out);
 }
-
-/// Hit ordering: descending score, ties broken by key.
-bool BetterHit(const SearchHit& a, const SearchHit& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.key < b.key;
-}
-
-}  // namespace
 
 const char* ShardSearchStageName(size_t shard) {
   static std::mutex mu;
@@ -430,11 +429,12 @@ void IrsCollection::set_applied_seq(uint64_t seq) {
   }
 }
 
-std::string IrsCollection::CanonicalDigest() const {
+std::string IrsCollection::DigestShards(
+    const std::vector<std::unique_ptr<InvertedIndex>>& shards) {
   std::vector<std::pair<std::string, uint32_t>> docs;
   std::vector<InvertedIndex::CanonicalPosting> postings;
   Status decode_error;
-  for (const auto& shard : shards_) {
+  for (const auto& shard : shards) {
     shard->CollectCanonicalDocs(docs);
     Status s = shard->CollectCanonicalPostings(postings);
     if (decode_error.ok()) decode_error = s;
@@ -442,6 +442,10 @@ std::string IrsCollection::CanonicalDigest() const {
   return InvertedIndex::FinishCanonicalDigest(std::move(docs),
                                               std::move(postings),
                                               decode_error);
+}
+
+std::string IrsCollection::CanonicalDigest() const {
+  return DigestShards(shards_);
 }
 
 std::string IrsCollection::CheckInvariants() const {
@@ -530,6 +534,189 @@ Status IrsCollection::RestoreIndex(std::string_view data) {
   shard->set_auto_compact(false);
   shards_.push_back(std::move(shard));
   applied_seq_.assign(1, applied_seq);
+  return Status::OK();
+}
+
+std::string IrsCollection::EncodePlanStats(const SearchPlan& plan) {
+  oodb::Encoder enc;
+  enc.PutU64(plan.corpus.doc_count);
+  enc.PutU64(plan.corpus.total_tokens);
+  // Deterministic bytes: terms sorted (the decoder looks them up by
+  // name, so only the encoding order needs pinning).
+  std::vector<std::pair<std::string, uint64_t>> terms(
+      plan.corpus.term_df.begin(), plan.corpus.term_df.end());
+  std::sort(terms.begin(), terms.end());
+  enc.PutU64(terms.size());
+  for (const auto& [term, df] : terms) {
+    enc.PutString(term);
+    enc.PutU64(df);
+  }
+  // Window df travels positionally: both sides parse the same query
+  // with the same analyzer, so CollectWindowNodes yields the windows
+  // in the same order.
+  std::vector<const QueryNode*> windows;
+  CollectWindowNodes(*plan.tree, windows);
+  enc.PutU64(windows.size());
+  for (const QueryNode* node : windows) {
+    enc.PutU64(plan.corpus.WindowDf(node));
+  }
+  return enc.Release();
+}
+
+StatusOr<IrsCollection::SearchPlan> IrsCollection::PrepareSearchWithStats(
+    const std::string& query, size_t k, std::string_view stats) {
+  SDMS_RETURN_IF_ERROR(CurrentQueryStatus());
+  Metrics().searches.Increment();
+  SearchPlan plan;
+  plan.k = k;
+  SDMS_ASSIGN_OR_RETURN(plan.tree, ParseIrsQuery(query, analyzer_));
+  oodb::Decoder dec(stats);
+  SDMS_ASSIGN_OR_RETURN(plan.corpus.doc_count, dec.GetU64());
+  SDMS_ASSIGN_OR_RETURN(plan.corpus.total_tokens, dec.GetU64());
+  SDMS_ASSIGN_OR_RETURN(uint64_t num_terms, dec.GetU64());
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    SDMS_ASSIGN_OR_RETURN(std::string term, dec.GetString());
+    SDMS_ASSIGN_OR_RETURN(uint64_t df, dec.GetU64());
+    plan.corpus.term_df[term] = df;
+  }
+  std::vector<const QueryNode*> windows;
+  CollectWindowNodes(*plan.tree, windows);
+  SDMS_ASSIGN_OR_RETURN(uint64_t num_windows, dec.GetU64());
+  if (num_windows != windows.size()) {
+    return Status::Corruption(
+        "wire statistics carry " + std::to_string(num_windows) +
+        " window df(s) but the query parses to " +
+        std::to_string(windows.size()) +
+        " window node(s); query/analyzer mismatch between router and shard");
+  }
+  for (const QueryNode* node : windows) {
+    SDMS_ASSIGN_OR_RETURN(uint64_t df, dec.GetU64());
+    plan.corpus.window_df[node] = df;
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after wire statistics");
+  }
+  ++stats_.queries_executed;
+  return plan;
+}
+
+StatusOr<std::string> IrsCollection::SerializeShard(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range (collection has " +
+                                   std::to_string(shards_.size()) + ")");
+  }
+  return shards_[shard]->Serialize();
+}
+
+Status IrsCollection::InstallShard(size_t shard, std::string_view index_bytes,
+                                   uint64_t seq) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range (collection has " +
+                                   std::to_string(shards_.size()) + ")");
+  }
+  SDMS_ASSIGN_OR_RETURN(InvertedIndex index,
+                        InvertedIndex::Deserialize(index_bytes));
+  auto replacement = std::make_unique<InvertedIndex>(std::move(index));
+  replacement->set_eager_delete(eager_delete_);
+  replacement->set_auto_compact(false);
+  shards_[shard] = std::move(replacement);
+  // An install is a state replacement, not an incremental apply: the
+  // floor is set to exactly what the image reflects.
+  applied_seq_[shard] = seq;
+  return Status::OK();
+}
+
+Status IrsCollection::Reshard(uint32_t m) {
+  if (m == 0 || m > ShardMap::kMaxShards) {
+    return Status::InvalidArgument("shard count " + std::to_string(m) +
+                                   " out of range [1, " +
+                                   std::to_string(ShardMap::kMaxShards) + "]");
+  }
+  if (m == shards_.size()) return Status::OK();
+
+  // 1. Reconstruct every live document's analyzed token sequence from
+  // its positional postings — exact, with no re-analysis (re-stemming
+  // already-stemmed tokens would not be idempotent).
+  struct Rebuilt {
+    std::string key;
+    std::vector<std::string> tokens;
+  };
+  std::vector<Rebuilt> docs;
+  for (const auto& shard : shards_) {
+    std::unordered_map<DocId, size_t> slot;
+    shard->ForEachDoc([&](DocId id, const DocInfo& info) {
+      slot[id] = docs.size();
+      Rebuilt doc;
+      doc.key = info.key;
+      doc.tokens.resize(info.length);
+      docs.push_back(std::move(doc));
+    });
+    Status decode_error;
+    shard->ForEachTerm(
+        [&](const std::string& term, const BlockPostingsList& list) {
+          auto postings = list.DecodeAll();
+          if (!postings.ok()) {
+            if (decode_error.ok()) decode_error = postings.status();
+            return;
+          }
+          for (const Posting& p : *postings) {
+            auto it = slot.find(p.doc);
+            if (it == slot.end()) continue;  // tombstoned
+            std::vector<std::string>& tokens = docs[it->second].tokens;
+            for (uint32_t pos : p.positions) {
+              if (pos >= tokens.size()) {
+                decode_error = Status::Corruption(
+                    "position " + std::to_string(pos) +
+                    " beyond document length in " + docs[it->second].key);
+                return;
+              }
+              tokens[pos] = term;
+            }
+          }
+        });
+    SDMS_RETURN_IF_ERROR(decode_error);
+  }
+  for (const Rebuilt& doc : docs) {
+    for (const std::string& token : doc.tokens) {
+      if (token.empty()) {
+        return Status::Corruption("position gap reconstructing " + doc.key +
+                                  "; postings do not cover its length");
+      }
+    }
+  }
+  // Deterministic rebuild order, independent of the old layout.
+  std::sort(docs.begin(), docs.end(),
+            [](const Rebuilt& a, const Rebuilt& b) { return a.key < b.key; });
+
+  // 2. Build the m-shard layout off to the side.
+  ShardMap new_map(m);
+  std::vector<std::unique_ptr<InvertedIndex>> new_shards;
+  new_shards.reserve(m);
+  for (uint32_t s = 0; s < m; ++s) new_shards.push_back(NewShard());
+  for (const Rebuilt& doc : docs) {
+    new_shards[new_map.ShardOf(doc.key)]->AddDocument(doc.key, doc.tokens);
+  }
+
+  // 3. Verify before swap: the rebuilt layout must hold exactly the
+  // same documents and postings (CanonicalDigest is layout-independent
+  // and live-only, so the digests must be equal).
+  std::string before = CanonicalDigest();
+  std::string after = DigestShards(new_shards);
+  if (before != after) {
+    return Status::Internal("reshard verification failed: digest " + before +
+                            " != rebuilt " + after +
+                            "; collection left unchanged");
+  }
+
+  // 4. Swap. Every new shard holds documents whose updates were
+  // applied up to at least the collection-wide floor; per-shard floors
+  // above it are discarded conservatively (replay is reconciling).
+  uint64_t floor = applied_seq();
+  shard_map_ = new_map;
+  shards_ = std::move(new_shards);
+  applied_seq_.assign(m, floor);
   return Status::OK();
 }
 

@@ -46,6 +46,14 @@ const char* ShardSearchStageName(size_t shard);
 /// ("irs.search.shard<i>"); stable for the process lifetime.
 const char* ShardSearchFaultPoint(size_t shard);
 
+/// Collects every window (#odN/#uwN) node of a parsed tree in
+/// deterministic pre-order. Both PrepareSearch and the wire-statistics
+/// decoder key window df by this traversal, which is why a remote
+/// shard server that re-parses the same query with the same analyzer
+/// attaches the router's window statistics to the right nodes.
+void CollectWindowNodes(const QueryNode& node,
+                        std::vector<const QueryNode*>& out);
+
 /// An IRS collection in the paper's sense: an independent set of flat
 /// text documents with its own analyzer and retrieval model.
 ///
@@ -171,6 +179,43 @@ class IrsCollection {
   static std::vector<SearchHit> MergeShardHits(
       std::vector<std::vector<SearchHit>> per_shard, size_t k);
 
+  // --- Remote shard serving (protocol v3) -------------------------------
+
+  /// Wire form of a plan's global corpus statistics (doc count, token
+  /// count, per-term df, window df in CollectWindowNodes order).
+  /// Shipped with the query string to remote shard servers, whose
+  /// scoring against these injected statistics is bit-identical to a
+  /// local SearchShard of the same plan.
+  static std::string EncodePlanStats(const SearchPlan& plan);
+
+  /// Rebuilds a SearchPlan from a query string plus wire statistics:
+  /// parses with this collection's analyzer and attaches the decoded
+  /// statistics instead of computing local ones. kCorruption when the
+  /// statistics don't decode or don't match the parsed tree's shape
+  /// (window count) — the two sides must share query and analyzer.
+  StatusOr<SearchPlan> PrepareSearchWithStats(const std::string& query,
+                                              size_t k,
+                                              std::string_view stats);
+
+  /// Serialized image of one shard's index (pair it with
+  /// shard_applied_seq(s)) — the remote catch-up full-install payload.
+  StatusOr<std::string> SerializeShard(size_t shard) const;
+
+  /// Atomically replaces shard `shard` with a deserialized image and
+  /// its applied-seq floor. On a decode error the current shard is
+  /// untouched. Used by shard servers installing router state.
+  Status InstallShard(size_t shard, std::string_view index_bytes,
+                      uint64_t seq);
+
+  /// Rebalances the collection to `m` shards as a rebuild pipeline:
+  /// every live document's analyzed token sequence is reconstructed
+  /// from its positional postings, indexed into a fresh m-shard
+  /// layout, and the new layout's CanonicalDigest is verified equal to
+  /// the current one *before* the swap — a failed verify leaves the
+  /// collection unchanged. Applied-seq floors carry over conservatively
+  /// (every new shard starts at the collection-wide minimum floor).
+  Status Reshard(uint32_t m);
+
   /// Evaluates an IRS query, returning hits ranked by descending score
   /// (ties broken by key for determinism). Fans out across all shards
   /// (through the default thread pool) and merges; any shard failure
@@ -237,6 +282,11 @@ class IrsCollection {
   /// drives compaction globally (MaybeCompactShards) so corpus
   /// statistics stay identical across shard layouts.
   std::unique_ptr<InvertedIndex> NewShard() const;
+
+  /// CanonicalDigest over an arbitrary shard vector (Reshard verifies
+  /// the rebuilt layout before swapping it in).
+  static std::string DigestShards(
+      const std::vector<std::unique_ptr<InvertedIndex>>& shards);
 
   /// Applies InvertedIndex::kCompactionRatio over collection-global
   /// tombstone/doc-table counts and compacts every shard together when

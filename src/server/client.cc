@@ -174,8 +174,12 @@ StatusOr<net::Frame> SdmsClient::AwaitResponse(uint64_t request_id,
 }
 
 StatusOr<SdmsClient::Response> SdmsClient::QueryOnce(
-    const QueryRequest& req) {
+    const QueryRequest& req, bool* request_sent) {
   SDMS_RETURN_IF_ERROR(EnsureConnected());
+  // A failed write may still have delivered bytes (partial write, reset
+  // racing the kernel buffers), so the request counts as sent the
+  // moment the write is attempted on a live connection.
+  *request_sent = true;
   SDMS_RETURN_IF_ERROR(net::WriteFrame(
       fd_, net::FrameType::kQuery, EncodeQueryRequest(req),
       options_.io_timeout_ms, options_.max_frame_bytes));
@@ -200,17 +204,32 @@ StatusOr<SdmsClient::Response> SdmsClient::QueryOnce(
   }
 }
 
-StatusOr<SdmsClient::Response> SdmsClient::Query(QueryRequest req) {
+StatusOr<SdmsClient::Response> SdmsClient::Query(QueryRequest req,
+                                                 bool idempotent) {
   if (req.request_id == 0) req.request_id = next_request_id_++;
   StatusOr<Response> out = Status::Internal("query never attempted");
   Status s = guard_->Run("query", [&] {
-    out = QueryOnce(req);
+    bool request_sent = false;
+    out = QueryOnce(req, &request_sent);
     if (out.ok()) return Status::OK();
     Status attempt = out.status();
     if (IsTransportError(attempt)) {
       // The connection is suspect; the next attempt reconnects.
-      // Replaying is safe — queries are read-only.
       Close();
+      if (request_sent && !idempotent) {
+        // Mid-stream disconnect after the request went out: the server
+        // may have executed it, so a silent re-send could apply it
+        // twice. Surface the ambiguity as a typed, non-retriable error
+        // and let the caller decide.
+        Status typed = Status::FailedPrecondition(
+            "connection lost after request was sent; result unknown — "
+            "not retried (non-idempotent request): " +
+            std::string(attempt.message()));
+        out = typed;
+        return typed;
+      }
+      // Connection refused / handshake drop (request never sent), or a
+      // read-only request: replaying on a fresh connection is safe.
       return Status::IoError(attempt.message());
     }
     return attempt;

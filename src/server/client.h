@@ -36,9 +36,16 @@ struct ClientOptions {
 /// failures (connect refused, connection reset, truncated frame) are
 /// retried through a CallGuard — jittered exponential backoff, budget
 /// capped by the guard's deadline and the calling QueryContext — with
-/// a fresh connection per attempt; queries are read-only, so replaying
-/// one on a new connection is safe. Typed server answers (shed,
-/// deadline, cancelled, parse errors) are returned as-is, not retried.
+/// a fresh connection per attempt. Retry distinguishes *where* the
+/// transport failed: before the request frame went out (connect
+/// refused, handshake drop), replaying is always safe; after it went
+/// out (mid-stream disconnect), replaying is safe only for idempotent
+/// requests — plain queries are read-only, so they re-send, but a
+/// request declared non-idempotent surfaces a typed
+/// kFailedPrecondition ("result unknown") instead of silently
+/// re-sending a request the server may already have executed. Typed
+/// server answers (shed, deadline, cancelled, parse errors) are
+/// returned as-is, not retried.
 ///
 /// Cancellation: while waiting for a response, the installed
 /// QueryContext is polled; on cancellation/deadline a kCancel frame is
@@ -66,7 +73,14 @@ class SdmsClient {
   };
 
   /// Runs one query. `req.request_id` is assigned internally when 0.
-  StatusOr<Response> Query(QueryRequest req);
+  /// `idempotent` declares whether the request may be transparently
+  /// re-sent after a mid-stream disconnect (default: yes — reads).
+  /// Pass false for requests with side effects: a connection that died
+  /// *after* the request frame went out then yields a typed
+  /// kFailedPrecondition (outcome unknown) instead of a silent replay;
+  /// connection-refused and handshake failures still retry either way,
+  /// since the server never saw the request.
+  StatusOr<Response> Query(QueryRequest req, bool idempotent = true);
 
   /// Round-trips a kPing.
   Status Ping();
@@ -86,7 +100,12 @@ class SdmsClient {
   Status EnsureConnected();
   Status ConnectOnce();
   /// One request/response exchange on the current connection.
-  StatusOr<Response> QueryOnce(const QueryRequest& req);
+  /// `*request_sent` is set once the request frame write was
+  /// *attempted* on a live connection — from that point on the server
+  /// may have received (and executed) the request even if the write
+  /// reported an error, so the conservative mark is before the write,
+  /// not after it.
+  StatusOr<Response> QueryOnce(const QueryRequest& req, bool* request_sent);
   /// Waits for the response to `request_id`, handling pong/goodbye
   /// frames and QueryContext cancellation along the way.
   StatusOr<net::Frame> AwaitResponse(uint64_t request_id,

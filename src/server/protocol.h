@@ -25,7 +25,13 @@ namespace sdms::server {
 /// v2: QueryResponse carries the per-shard status list after the
 /// profile JSON (fault-isolated fan-out searches name their failure
 /// domain on the wire).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: shard serving mode — the kShardHello/kShardSearch/kShardOps/
+/// kShardInstall/kShardStatus frames (coupling/shard_protocol.h) let a
+/// router drive per-shard sdms_server processes; kShardSearch carries
+/// router-computed global corpus statistics so remote rankings stay
+/// bit-identical to local ones. A version mismatch in either direction
+/// is answered with a typed kFailedPrecondition, never a parse crash.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 // --- Hello ----------------------------------------------------------------
 

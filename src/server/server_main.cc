@@ -26,6 +26,7 @@
 #include "irs/engine.h"
 #include "oodb/database.h"
 #include "server/server.h"
+#include "server/shard_service.h"
 #include "sgml/corpus/generator.h"
 #include "sgml/mmf_dtd.h"
 
@@ -49,10 +50,22 @@ void PrintUsage(const char* argv0) {
       "  --snapshot-dir <d>   persist IRS indexes + stats there on exit\n"
       "  --drain-ms <n>       graceful-drain deadline (default 5000)\n"
       "  --stats-file <f>     write the statistics service there on exit\n"
+      "  --shard <coll>/<i>   serve as the remote shard server for one\n"
+      "                       shard (protocol v3; no corpus is loaded —\n"
+      "                       the router installs the index)\n"
+      "  --shard-endpoints <coll>=<h:p,h:p,...>\n"
+      "                       route this router's fan-out searches for\n"
+      "                       <coll> to remote shard servers (one\n"
+      "                       endpoint per shard, in shard order; empty\n"
+      "                       element = keep that shard in-process)\n"
       "Environment: SDMS_HOST, SDMS_PORT, SDMS_MAX_FRAME_BYTES,\n"
       "SDMS_IDLE_TIMEOUT_MS, SDMS_IO_TIMEOUT_MS, SDMS_DRAIN_DEADLINE_MS,\n"
       "SDMS_MAX_SESSIONS, SDMS_MAX_CONCURRENT_QUERIES, SDMS_MAX_QUEUE,\n"
-      "SDMS_DEFAULT_DEADLINE_MS, SDMS_FAULTS, SDMS_SLOW_QUERY_MS.\n",
+      "SDMS_DEFAULT_DEADLINE_MS, SDMS_FAULTS, SDMS_SLOW_QUERY_MS,\n"
+      "SDMS_SHARDS, SDMS_SHARD_ENDPOINTS (same syntax as\n"
+      "--shard-endpoints), SDMS_DISABLE_BUFFERING (=1 makes every\n"
+      "query pay a fresh IRS fan-out — smoke tests of the shard\n"
+      "transport need the real search path, not a buffer hit).\n",
       argv0);
 }
 
@@ -91,6 +104,44 @@ Status LoadGenerated(coupling::Coupling& coupling, size_t num_docs,
   return Status::OK();
 }
 
+/// `--shard <coll>/<i>` serving mode: no database, no corpus — just a
+/// ShardServer waiting for a router to install its slice. Shares the
+/// readiness line and signal-driven shutdown with the main mode so
+/// scripts drive both identically.
+int RunShardServer(const std::string& host, uint16_t port,
+                   const std::string& spec) {
+  server::ShardServerOptions options;
+  options.host = host;
+  options.port = port;
+  size_t slash = spec.rfind('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == spec.size()) {
+    std::fprintf(stderr, "malformed --shard spec '%s' (want <coll>/<i>)\n",
+                 spec.c_str());
+    return 2;
+  }
+  options.collection = spec.substr(0, slash);
+  options.shard = std::strtoll(spec.c_str() + slash + 1, nullptr, 10);
+  server::ShardServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "shard server start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutdown signal received\n");
+  server.Shutdown();
+  std::fprintf(stderr, "exit 0\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +151,8 @@ int main(int argc, char** argv) {
   uint64_t gen_seed = 42;
   std::string snapshot_dir;
   std::string stats_file;
+  std::string shard_spec;
+  std::string shard_endpoints;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -128,11 +181,19 @@ int main(int argc, char** argv) {
       if (const char* v = next()) options.drain_deadline_ms = std::atoi(v);
     } else if (arg == "--stats-file") {
       if (const char* v = next()) stats_file = v;
+    } else if (arg == "--shard") {
+      if (const char* v = next()) shard_spec = v;
+    } else if (arg == "--shard-endpoints") {
+      if (const char* v = next()) shard_endpoints = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       PrintUsage(argv[0]);
       return 2;
     }
+  }
+
+  if (!shard_spec.empty()) {
+    return RunShardServer(options.host, options.port, shard_spec);
   }
 
   auto die = [](const Status& s, const char* what) {
@@ -147,6 +208,10 @@ int main(int argc, char** argv) {
   irs::IrsEngine irs_engine;
   coupling::CouplingOptions coupling_options;
   coupling_options.irs_snapshot_dir = snapshot_dir;
+  if (const char* env = std::getenv("SDMS_DISABLE_BUFFERING");
+      env != nullptr && *env != '\0' && *env != '0') {
+    coupling_options.disable_buffering = true;
+  }
   coupling::Coupling coupling(db->get(), &irs_engine, coupling_options);
   die(coupling.Initialize(), "coupling init");
   auto dtd = sgml::LoadMmfDtd();
@@ -154,6 +219,31 @@ int main(int argc, char** argv) {
   die(coupling.RegisterDtdClasses(*dtd), "schema");
   if (demo) die(LoadDemo(coupling), "demo corpus");
   if (gen_docs > 0) die(LoadGenerated(coupling, gen_docs, gen_seed), "corpus");
+
+  if (shard_endpoints.empty()) {
+    if (const char* env = std::getenv("SDMS_SHARD_ENDPOINTS");
+        env != nullptr && *env != '\0') {
+      shard_endpoints = env;
+    }
+  }
+  if (!shard_endpoints.empty()) {
+    // "<collection>=<host:port,host:port,...>" — attach remote shard
+    // channels. A shard server that is not up yet only warns: it gets
+    // caught up by the first search that finds it alive.
+    size_t eq = shard_endpoints.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "malformed shard endpoints '%s' (want <coll>=<h:p,...>)\n",
+                   shard_endpoints.c_str());
+      return 2;
+    }
+    Status connected = coupling.ConnectRemoteShards(
+        shard_endpoints.substr(0, eq), shard_endpoints.substr(eq + 1));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "remote shards not yet synced: %s\n",
+                   connected.ToString().c_str());
+    }
+  }
 
   server::Server server(&coupling, options);
   die(server.Start(), "server start");

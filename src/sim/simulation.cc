@@ -1,15 +1,19 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/fault/fault.h"
 #include "common/file_util.h"
 #include "common/obs/log.h"
+#include "coupling/remote_shard.h"
 #include "irs/model/retrieval_model.h"
+#include "server/shard_service.h"
 
 namespace sdms::sim {
 
@@ -120,6 +124,11 @@ Status Simulation::RunImpl() {
   // and real fan-outs alike; the snapshot's layout survives restarts.
   num_shards_ = 1 + static_cast<uint32_t>(rng_.Uniform(4));
   report_.num_shards = num_shards_;
+  // Remote mode serves every shard of a multi-shard schedule from its
+  // own in-process ShardServer; a 1-shard schedule stays local (there
+  // is no fan-out to distribute).
+  remote_shards_ = options_.enable_remote_shards && num_shards_ > 1;
+  report_.remote_shards = remote_shards_;
   SDMS_RETURN_IF_ERROR(MakeDirs(coupling_options_.exchange_dir));
 
   SDMS_RETURN_IF_ERROR(Boot(/*fresh=*/true));
@@ -146,6 +155,7 @@ Status Simulation::RunImpl() {
   SDMS_RETURN_IF_ERROR(CheckInvariants("end-of-schedule"));
   auto coll = engine_->GetCollection(kCollectionName);
   if (coll.ok()) report_.final_digest = (*coll)->CanonicalDigest();
+  HarvestRemoteStats();
   return Status::OK();
 }
 
@@ -186,7 +196,94 @@ Status Simulation::Boot(bool fresh) {
                           coupling_->GetCollectionByName(kCollectionName));
   }
   collection_->set_propagation_policy(policy_);
+  if (remote_shards_) {
+    SDMS_RETURN_IF_ERROR(AttachRemoteShards());
+  }
   return Status::OK();
+}
+
+Status Simulation::AttachRemoteShards() {
+  SDMS_ASSIGN_OR_RETURN(irs::IrsCollection * coll,
+                        engine_->GetCollection(kCollectionName));
+  for (uint32_t s = 0; s < coll->num_shards(); ++s) {
+    if (shard_servers_.size() <= s) {
+      // First boot: spawn the serving "process" for this shard. It
+      // deliberately outlives router restarts — a simulated router
+      // crash kills the channels, not the servers, so every recovery
+      // exercises the applied-seq catch-up handshake.
+      server::ShardServerOptions so;
+      so.port = 0;  // ephemeral loopback port
+      so.io_timeout_ms = 2000;
+      auto srv = std::make_unique<server::ShardServer>(so);
+      SDMS_RETURN_IF_ERROR(srv->Start());
+      shard_servers_.push_back(std::move(srv));
+    }
+    coupling::RemoteShardOptions ro;
+    ro.port = shard_servers_[s]->port();
+    ro.collection = kCollectionName;
+    ro.shard = s;
+    ro.num_shards = static_cast<uint32_t>(coll->num_shards());
+    ro.model_name = coll->model().name();
+    ro.analyzer = coll->analyzer().options();
+    ro.connect_timeout_ms = 1000;
+    ro.io_timeout_ms = 2000;
+    ro.search_deadline_ms = 2000;
+    // Tight, seeded backoff: bursts clear within the settle loop's
+    // budget, and the jitter draw is a pure function of the schedule.
+    ro.backoff_min_ms = 1;
+    ro.backoff_max_ms = 10;
+    ro.jitter_seed = options_.seed * 1000003ull + s + 1;
+    Status attached = collection_->AttachRemoteShard(
+        s, std::make_shared<coupling::RemoteShardChannel>(ro));
+    if (!attached.ok()) {
+      // Attach runs fault-free (fresh boot or post-crash recovery), so
+      // a failed initial sync is an invariant violation, not weather.
+      return SimFailure("attach remote shard " + std::to_string(s),
+                        attached.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+void Simulation::HarvestRemoteStats() {
+  if (!remote_shards_ || collection_ == nullptr) return;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    coupling::RemoteShardChannel* ch = collection_->remote_shard_channel(s);
+    if (ch == nullptr) continue;
+    coupling::RemoteShardChannelStats stats = ch->stats();
+    report_.remote_catchup_installs += stats.catchup_installs;
+    report_.remote_catchup_replays += stats.catchup_replays;
+  }
+}
+
+Status Simulation::SettleRemoteShards(const std::string& where) {
+  // Reconnect backoff is bounded at 10ms (AttachRemoteShards), so a
+  // cleared burst heals within a few probe rounds; 400 x 5ms is a
+  // generous ceiling before calling it an invariant violation.
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    collection_->buffer().Clear();
+    bool stale = false;
+    auto result = collection_->GetIrsResult(kVocab[0], &stale);
+    if (result.ok() && !stale) {
+      bool all_ok = true;
+      for (const ShardStatusEntry& e : collection_->last_shard_report()) {
+        if (e.state != ShardState::kOk) {
+          all_ok = false;
+          last = Status::IoError("shard " + std::to_string(e.shard) +
+                                 " still " +
+                                 std::string(ShardStateName(e.state)) + ": " +
+                                 e.detail);
+        }
+      }
+      if (all_ok) return Status::OK();
+    } else if (!result.ok()) {
+      last = result.status();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return SimFailure(where, "remote shards failed to heal after the fault "
+                           "was cleared: " + last.ToString());
 }
 
 Status Simulation::DefineParaClass() {
@@ -202,6 +299,9 @@ Status Simulation::Restart() {
   // and the next incarnation starts with a clean fault registry.
   fault::FaultRegistry::Instance().Clear();
   faults_armed_ = false;
+  // Channels die with the router incarnation (the servers live on);
+  // bank their catch-up counters before the teardown loses them.
+  HarvestRemoteStats();
   collection_ = nullptr;
   coupling_.reset();
   db_.reset();
@@ -415,13 +515,30 @@ Status Simulation::DoShardBurst() {
   if (!coll_or.ok()) return coll_or.status();
   const uint32_t shard_count = static_cast<uint32_t>((*coll_or)->num_shards());
   const uint32_t target = static_cast<uint32_t>(rng_.Uniform(shard_count));
-  const char* point = irs::ShardSearchFaultPoint(target);
-  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
-  fault::FaultRule rule;
   // Kill (IO error) or stall (latency) exactly this shard's search
   // path. A stalled shard still answers, so its burst exercises the
-  // complete-but-slow side of the invariant.
+  // complete-but-slow side of the invariant. In remote mode the burst
+  // lands on the network instead: a seeded draw over the four fault
+  // classes of the shard's transport (connect only bites on a closed
+  // connection, but a prior read/partition fire closes it, and the
+  // reconnect then pays the connect gauntlet too).
   const bool stall = rng_.Bernoulli(0.34);
+  const char* point;
+  if (remote_shards_) {
+    if (stall) {
+      point = coupling::ShardNetStallFaultPoint(target);
+    } else {
+      switch (rng_.Uniform(3)) {
+        case 0: point = coupling::ShardNetConnectFaultPoint(target); break;
+        case 1: point = coupling::ShardNetReadFaultPoint(target); break;
+        default: point = coupling::ShardNetPartitionFaultPoint(target); break;
+      }
+    }
+  } else {
+    point = irs::ShardSearchFaultPoint(target);
+  }
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  fault::FaultRule rule;
   rule.kind = stall ? fault::FaultKind::kLatency : fault::FaultKind::kIoError;
   rule.latency_micros = 200 + rng_.Uniform(800);
   rule.probability = 1.0;
@@ -487,7 +604,13 @@ Status Simulation::DoShardBurst() {
   faults_armed_ = false;
   // The shard is back: the next fresh fan-out must be complete again
   // and the index bit-identical to the oracle (searches never touch
-  // the index, so this doubles as a no-corruption check).
+  // the index, so this doubles as a no-corruption check). In remote
+  // mode "back" also means reconnected — give the channel its backoff
+  // window before demanding complete answers.
+  if (remote_shards_) {
+    SDMS_RETURN_IF_ERROR(
+        SettleRemoteShards("after shard burst @" + std::string(point)));
+  }
   return CheckInvariants("after shard burst @" + std::string(point));
 }
 

@@ -5,11 +5,17 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "common/status.h"
 #include "coupling/coupling.h"
 #include "irs/engine.h"
 #include "oodb/database.h"
+
+namespace sdms::server {
+class ShardServer;
+}  // namespace sdms::server
 
 namespace sdms::sim {
 
@@ -37,6 +43,14 @@ struct SimOptions {
   /// Arms fault bursts (IO-error storms and crash-restarts). Off =
   /// fault-free baseline schedule.
   bool enable_faults = true;
+  /// Serves every shard of a multi-shard schedule from its own
+  /// in-process ShardServer over a loopback RemoteShardChannel, with
+  /// shard bursts armed at the network fault points instead of the
+  /// in-process search points. Opt-in: the remote transport reads the
+  /// wall clock (deadlines, reconnect backoff), so while every
+  /// invariant still holds, the action trace of two runs of the same
+  /// seed is no longer guaranteed to be identical.
+  bool enable_remote_shards = false;
   /// Leaves the scratch directory behind for post-mortem debugging.
   bool keep_work_dir = false;
 };
@@ -60,6 +74,15 @@ struct SimReport {
   size_t shard_degraded = 0;
   /// Seeded shard count of the schedule's collection (1..4).
   uint32_t num_shards = 1;
+  /// True when the schedule served its shards from in-process
+  /// ShardServers over loopback channels (enable_remote_shards and
+  /// num_shards > 1).
+  bool remote_shards = false;
+  /// Remote catch-ups observed across every router incarnation: full
+  /// shard installs and retained-op replays (crash recoveries and
+  /// failed tees both land here).
+  size_t remote_catchup_installs = 0;
+  size_t remote_catchup_replays = 0;
   size_t crash_restarts = 0;
   /// Fault firings observed across all bursts.
   size_t faults_fired = 0;
@@ -139,10 +162,25 @@ class Simulation {
   /// and checks all recovery invariants.
   Status DoCrashBurst();
   /// Kills (kIoError) or stalls (kLatency) exactly one shard's search
-  /// path ("irs.search.shard<i>") and runs queries against the
-  /// surviving fan-out, checking the fan-out invariant on every fresh
-  /// answer (class comment above).
+  /// path — in-process ("irs.search.shard<i>") or, in remote mode,
+  /// one of the network fault classes ("net.shard<i>.connect/read/
+  /// stall/partition") — and runs queries against the surviving
+  /// fan-out, checking the fan-out invariant on every fresh answer
+  /// (class comment above).
   Status DoShardBurst();
+
+  /// Starts one in-process ShardServer per shard (first boot only —
+  /// the "processes" survive simulated router crashes) and attaches a
+  /// loopback RemoteShardChannel for each, syncing them from the
+  /// local index (full install on first contact, applied-seq catch-up
+  /// after a restart).
+  Status AttachRemoteShards();
+  /// Bounded wait after a cleared network burst: fresh fan-outs must
+  /// return to fully-complete answers once reconnect backoff expires.
+  Status SettleRemoteShards(const std::string& where);
+  /// Accumulates the current channels' catch-up counters into the
+  /// report (channels die with each router incarnation).
+  void HarvestRemoteStats();
 
   /// The post-recovery / final invariant suite (class comment above).
   Status CheckInvariants(const std::string& where);
@@ -176,6 +214,11 @@ class Simulation {
   /// True while a burst has faults armed — the only time a stale serve
   /// is legal.
   bool faults_armed_ = false;
+  /// Remote-shard serving tier (enable_remote_shards): one in-process
+  /// ShardServer per shard, started lazily on the first boot and kept
+  /// across simulated router crashes.
+  bool remote_shards_ = false;
+  std::vector<std::unique_ptr<server::ShardServer>> shard_servers_;
 };
 
 /// Convenience wrapper: runs one schedule and returns its report.

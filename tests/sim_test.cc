@@ -73,6 +73,45 @@ TEST(SimulationTest, SameSeedSameTrace) {
   EXPECT_EQ(first->clock_micros, second->clock_micros);
 }
 
+TEST(SimulationTest, RemoteShardSchedules) {
+  // Every multi-shard schedule serves its shards from in-process
+  // ShardServers over loopback channels; bursts land on the network
+  // fault points (connect/read/stall/partition) and simulated router
+  // crashes force the applied-seq catch-up handshake on recovery.
+  // Remote transport reads the wall clock, so this asserts invariants
+  // and coverage, not trace equality.
+  const size_t schedules = 30;
+  size_t remote_schedules = 0;
+  size_t shard_bursts = 0;
+  size_t crash_restarts = 0;
+  size_t catchup_installs = 0;
+  for (size_t i = 0; i < schedules; ++i) {
+    SimOptions options;
+    options.seed = 9000 + i;
+    options.steps = 40;
+    options.enable_remote_shards = true;
+    options.work_dir = WorkDir("remote", options.seed);
+    auto report = RunSchedule(options);
+    ASSERT_TRUE(report.ok())
+        << "remote schedule seed=" << options.seed
+        << " violated an invariant: " << report.status().ToString();
+    if (report->remote_shards) {
+      ++remote_schedules;
+      shard_bursts += report->shard_bursts;
+      crash_restarts += report->crash_restarts;
+      catchup_installs += report->remote_catchup_installs;
+    }
+  }
+  // Coverage, not vacuity: most seeds draw a multi-shard layout, and
+  // across them the machinery under test actually ran — network
+  // bursts, router crash recoveries, and at least the initial full
+  // install per attached shard.
+  EXPECT_GT(remote_schedules, schedules / 2);
+  EXPECT_GT(shard_bursts, 0u);
+  EXPECT_GT(crash_restarts, 0u);
+  EXPECT_GT(catchup_installs, remote_schedules);
+}
+
 TEST(SimulationTest, SeededFaultSchedules) {
   const size_t schedules = ScheduleCount();
   size_t crash_restarts = 0;
